@@ -1,0 +1,43 @@
+# Gnuplot script regenerating the paper-figure plots from bench output.
+#
+#   dune exec bench/main.exe -- --out results
+#   gnuplot -e "dir='results'" scripts/plot_figures.gp
+#
+# Produces results/fig{5,6,7,9,11}.png from the whitespace-aligned tables
+# the harness writes (comment and header lines start with non-digits, so
+# every data row is selected by a leading integer).
+
+if (!exists("dir")) dir = "results"
+set terminal pngcairo size 900,600 font "sans,11"
+set grid
+set key top left
+
+set output dir."/fig5.png"
+set title "Figure 5: secure DTW vs sequence size"
+set xlabel "sequence length n"; set ylabel "seconds"
+plot dir."/fig5.txt" using 1:2 with linespoints title "phase 1", \
+     ""             using 1:3 with linespoints title "phase 2", \
+     ""             using 1:5 with linespoints title "total"
+
+set output dir."/fig6.png"
+set title "Figure 6: per-party time vs sequence size"
+plot dir."/fig6.txt" using 1:2 with linespoints title "client online", \
+     ""             using 1:3 with linespoints title "server", \
+     ""             using 1:4 with linespoints title "client offline"
+
+set output dir."/fig7.png"
+set title "Figure 7: DTW vs DFD"
+plot dir."/fig7.txt" using 1:2 with linespoints title "DTW", \
+     ""             using 1:3 with linespoints title "DFD"
+
+set output dir."/fig9.png"
+set title "Figure 9: phase times vs dimensionality"
+set xlabel "element dimensionality d"
+plot dir."/fig9.txt" using 1:2 with linespoints title "phase 1", \
+     ""             using 1:3 with linespoints title "phase 2"
+
+set output dir."/fig11.png"
+set title "Figure 11: phase 2 vs random-set size"
+set xlabel "random set size k"
+plot dir."/fig11.txt" using 1:2 with linespoints title "phase 2 (s)", \
+     ""              using 1:3 axes x1y2 with linespoints title "KiB (right)"
