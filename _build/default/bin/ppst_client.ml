@@ -1,0 +1,150 @@
+(* The client party over TCP: owns a time series (CSV), connects to a
+   ppst_server, runs the secure DTW or DFD protocol and prints the jointly
+   revealed distance plus cost/communication accounting. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let run host port series_file distance k band gap search wavefront seed verbose =
+  setup_logs verbose;
+  let series = Ppst_timeseries.Csv.load series_file in
+  let rng =
+    match seed with
+    | Some s -> Ppst_rng.Secure_rng.of_seed_string s
+    | None -> Ppst_rng.Secure_rng.system ()
+  in
+  let params = Ppst.Params.make ~k () in
+  let max_value = Stdlib.max 1 (Ppst_timeseries.Series.max_abs_value series) in
+  let channel = Ppst_transport.Channel.connect ~host ~port in
+  let kind : Ppst.Client.distance_kind =
+    match distance with
+    | `Dtw -> `Dtw
+    | `Dfd -> `Dfd
+    | `Erp -> `Erp
+    | `Euclidean | `Subsequence -> `Euclidean
+  in
+  let client =
+    Ppst.Client.connect ~params ~rng ~series ~max_value ~distance:kind channel
+  in
+  Logs.info (fun m ->
+      m "connected; server series length %d; session %a"
+        (Ppst.Client.server_length client)
+        Ppst.Params.pp_session (Ppst.Client.session client));
+  let t0 = Unix.gettimeofday () in
+  (if search then begin
+     let metric = match distance with `Dfd -> `Dfd | _ -> `Dtw in
+     let results = Ppst.Search.scan ~metric client in
+     List.iter
+       (fun r ->
+         Printf.printf "record %d: distance %s\n" r.Ppst.Search.index
+           (Ppst_bigint.Bigint.to_string r.Ppst.Search.distance))
+       results;
+     match results with
+     | [] -> print_endline "empty catalog"
+     | first :: rest ->
+       let best =
+         List.fold_left
+           (fun b r ->
+             if Ppst_bigint.Bigint.compare r.Ppst.Search.distance
+                  b.Ppst.Search.distance < 0
+             then r else b)
+           first rest
+       in
+       Printf.printf "nearest: record %d (distance %s)\n" best.Ppst.Search.index
+         (Ppst_bigint.Bigint.to_string best.Ppst.Search.distance)
+   end
+   else begin
+     (match band with
+      | Some _ when distance <> `Dtw ->
+        failwith "--band only applies to --distance dtw"
+      | _ -> ());
+     let result =
+       match distance with
+       | `Dtw -> begin
+         match band with
+         | Some b -> Ppst.Secure_dtw_banded.run ~band:b client
+         | None ->
+           if wavefront then Ppst.Secure_dtw_wavefront.run_dtw client
+           else Ppst.Secure_dtw.run client
+       end
+       | `Dfd ->
+         if wavefront then Ppst.Secure_dtw_wavefront.run_dfd client
+         else Ppst.Secure_dfd.run client
+       | `Erp ->
+         let d = Ppst_timeseries.Series.dimension series in
+         Ppst.Secure_erp.run ~gap:(Array.make d gap) client
+       | `Euclidean -> Ppst.Secure_euclidean.run client
+       | `Subsequence ->
+         let offset, best = Ppst.Secure_euclidean.best_window client in
+         Printf.printf "best window offset = %d\n" offset;
+         best
+     in
+     Printf.printf "secure %s distance (squared-Euclidean costs) = %s\n"
+       (match distance with
+        | `Dtw -> "DTW"
+        | `Dfd -> "DFD"
+        | `Erp -> "ERP"
+        | `Euclidean -> "Euclidean"
+        | `Subsequence -> "best-window Euclidean")
+       (Ppst_bigint.Bigint.to_string result)
+   end);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Ppst.Client.finish client;
+  Printf.printf "elapsed: %.3f s\n" elapsed;
+  Format.printf "communication: %a@." Ppst_transport.Stats.pp
+    (Ppst_transport.Channel.stats channel);
+  Format.printf "cost: %a@." Ppst.Cost.pp (Ppst.Client.cost client)
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "h"; "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port =
+  Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let series_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv" ~doc:"Client time series (CSV).")
+
+let distance =
+  let enum_conv =
+    Arg.enum
+      [ ("dtw", `Dtw); ("dfd", `Dfd); ("erp", `Erp); ("euclidean", `Euclidean);
+        ("subsequence", `Subsequence) ]
+  in
+  Arg.(value & opt enum_conv `Dtw & info [ "d"; "distance" ]
+         ~docv:"dtw|dfd|erp|euclidean|subsequence" ~doc:"Distance function.")
+
+let band =
+  Arg.(value & opt (some int) None & info [ "band" ] ~docv:"B"
+         ~doc:"Sakoe-Chiba band for DTW (unconstrained when omitted).")
+
+let gap =
+  Arg.(value & opt int 0 & info [ "gap" ] ~docv:"G"
+         ~doc:"ERP gap element value (applied to every coordinate).")
+
+let search =
+  Arg.(value & flag & info [ "search" ]
+         ~doc:"Scan every record in the server's catalog and report the nearest.")
+
+let wavefront =
+  Arg.(value & flag & info [ "wavefront" ]
+         ~doc:"Batch each DP anti-diagonal into one round trip (big win on real networks).")
+
+let k =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Random-set size for the masking rounds (paper default 10).")
+
+let seed =
+  Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed (testing only).")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let cmd =
+  let doc = "secure time-series similarity client (series X owner, evaluator)" in
+  Cmd.v
+    (Cmd.info "ppst_client" ~doc)
+    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap $ search $ wavefront $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,45 @@
+(* Generate synthetic workload CSVs (ECG-like, signatures, trajectories,
+   random vectors) for use with ppst_server / ppst_client. *)
+
+open Cmdliner
+
+let run kind seed length dim max_value output =
+  let module G = Ppst_timeseries.Generate in
+  let series =
+    match kind with
+    | `Ecg -> G.ecg_int ~seed ~length ~max_value
+    | `Signature -> G.signature_int ~seed ~length ~max_value
+    | `Trajectory -> G.trajectory_int ~seed ~length ~max_value
+    | `Vectors -> G.random_vectors ~seed ~length ~dim ~max_value
+  in
+  Ppst_timeseries.Csv.save output series;
+  Printf.printf "wrote %s series (length %d, dim %d, values in [1,%d]) to %s\n"
+    (match kind with
+     | `Ecg -> "ECG-like"
+     | `Signature -> "signature"
+     | `Trajectory -> "trajectory"
+     | `Vectors -> "random-vector")
+    (Ppst_timeseries.Series.length series)
+    (Ppst_timeseries.Series.dimension series)
+    max_value output
+
+let kind =
+  let enum_conv =
+    Arg.enum
+      [ ("ecg", `Ecg); ("signature", `Signature); ("trajectory", `Trajectory);
+        ("vectors", `Vectors) ]
+  in
+  Arg.(value & opt enum_conv `Ecg & info [ "t"; "type" ] ~docv:"KIND" ~doc:"Workload kind: ecg, signature, trajectory or vectors.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+let length = Arg.(value & opt int 100 & info [ "n"; "length" ] ~docv:"N" ~doc:"Series length.")
+let dim = Arg.(value & opt int 1 & info [ "d"; "dim" ] ~docv:"D" ~doc:"Element dimension (vectors kind only).")
+let max_value = Arg.(value & opt int 100 & info [ "max-value" ] ~docv:"V" ~doc:"Quantization ceiling.")
+let output = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output CSV path.")
+
+let cmd =
+  let doc = "generate synthetic time-series CSVs for the secure protocols" in
+  Cmd.v (Cmd.info "ppst_datagen" ~doc)
+    Term.(const run $ kind $ seed $ length $ dim $ max_value $ output)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* Generate a Paillier key pair and write the private key to a file.
+   The server binary loads it with --key; the public part travels in the
+   protocol's Welcome message, so no separate public file is needed. *)
+
+open Cmdliner
+
+let generate bits output seed =
+  let rng =
+    match seed with
+    | Some s -> Ppst_rng.Secure_rng.of_seed_string s
+    | None -> Ppst_rng.Secure_rng.system ()
+  in
+  let pk, sk = Ppst_paillier.Paillier.keygen ~bits rng in
+  let oc = open_out output in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Ppst_paillier.Paillier.private_key_to_string sk));
+  Printf.printf "wrote %d-bit Paillier key to %s\n" bits output;
+  Printf.printf "modulus n = %s\n" (Ppst_bigint.Bigint.to_string pk.Ppst_paillier.Paillier.n)
+
+let bits =
+  let doc = "Modulus size in bits (the paper's experiments use 64)." in
+  Arg.(value & opt int 64 & info [ "b"; "bits" ] ~docv:"BITS" ~doc)
+
+let output =
+  let doc = "Output file for the private key." in
+  Arg.(value & opt string "paillier.key" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let seed =
+  let doc = "Deterministic seed (testing only; omit for /dev/urandom)." in
+  Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "generate a Paillier key pair for the secure time-series protocols" in
+  Cmd.v (Cmd.info "ppst_keygen" ~doc) Term.(const generate $ bits $ output $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,86 @@
+(* The server party over TCP: owns a time series (CSV) and the Paillier
+   secret key, answers one protocol session per invocation (use a shell
+   loop or --sessions for more). *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let run port series_file key_file max_value seed sessions verbose =
+  setup_logs verbose;
+  (* a CSV with blank-line-separated blocks is served as a multi-record
+     database (similarity-search mode); a plain CSV as a single series *)
+  let records = Array.of_list (Ppst_timeseries.Csv.load_many series_file) in
+  if Array.length records = 0 then failwith "no series in input file";
+  let rng =
+    match seed with
+    | Some s -> Ppst_rng.Secure_rng.of_seed_string s
+    | None -> Ppst_rng.Secure_rng.system ()
+  in
+  let max_value =
+    match max_value with
+    | Some v -> v
+    | None ->
+      Array.fold_left
+        (fun acc s -> Stdlib.max acc (Ppst_timeseries.Series.max_abs_value s))
+        1 records
+  in
+  let server =
+    match key_file with
+    | Some path ->
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let _pk, sk = Ppst_paillier.Paillier.private_key_of_string text in
+      Ppst.Server.create_db_with_key ~sk ~rng ~records ~max_value ()
+    | None ->
+      Logs.info (fun m -> m "no --key given; generating a fresh 64-bit key");
+      Ppst.Server.create_db ~rng ~records ~max_value ()
+  in
+  Logs.info (fun m ->
+      m "serving %d record(s), dim %d, max value %d, on port %d"
+        (Array.length records)
+        (Ppst_timeseries.Series.dimension records.(0))
+        max_value port);
+  for session = 1 to sessions do
+    Logs.info (fun m -> m "waiting for session %d/%d" session sessions);
+    Ppst_transport.Channel.serve_once ~port ~handler:(Ppst.Server.handler server);
+    let ops = Ppst.Server.ops server in
+    Logs.info (fun m ->
+        m "session %d done: %d encryptions, %d decryptions so far" session
+          ops.Ppst.Cost.encryptions ops.Ppst.Cost.decryptions)
+  done
+
+let port =
+  Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let series_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv" ~doc:"Server time series (CSV, one element per row).")
+
+let key_file =
+  Arg.(value & opt (some file) None & info [ "k"; "key" ] ~docv:"FILE" ~doc:"Private key from ppst_keygen (fresh key when omitted).")
+
+let max_value =
+  Arg.(value & opt (some int) None & info [ "max-value" ] ~docv:"V" ~doc:"Advertised coordinate bound (default: actual series maximum).")
+
+let seed =
+  Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed (testing only).")
+
+let sessions =
+  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc:"Number of sessions to serve before exiting.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let cmd =
+  let doc = "secure time-series similarity server (series Y owner, key holder)" in
+  Cmd.v
+    (Cmd.info "ppst_server" ~doc)
+    Term.(const run $ port $ series_file $ key_file $ max_value $ seed $ sessions $ verbose)
+
+let () = exit (Cmd.eval cmd)

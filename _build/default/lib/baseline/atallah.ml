@@ -1,0 +1,13 @@
+let yao_invocations ~m ~n ~d =
+  if m <= 0 || n <= 0 || d <= 0 then invalid_arg "Atallah.yao_invocations: bad sizes";
+  3 * m * n * d * d
+
+let fairplay_fast_seconds = 1.25
+let fairplay_slow_seconds = 4.0
+
+let estimated_seconds ?(per_call = fairplay_fast_seconds) ~m ~n ~d () =
+  float_of_int (yao_invocations ~m ~n ~d) *. per_call
+
+let speedup_vs ~measured_seconds ~m ~n ~d =
+  if measured_seconds <= 0.0 then invalid_arg "Atallah.speedup_vs: bad measurement";
+  estimated_seconds ~m ~n ~d () /. measured_seconds

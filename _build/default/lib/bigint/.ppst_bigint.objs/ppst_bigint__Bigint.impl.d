@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Buffer Char Format Hashtbl List Nat Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bigint/montgomery.mli: Nat

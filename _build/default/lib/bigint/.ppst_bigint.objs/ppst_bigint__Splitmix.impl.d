@@ -1,0 +1,1 @@
+lib/bigint/splitmix.ml: Bigint Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/bigint/splitmix.mli: Bigint

@@ -1,0 +1,42 @@
+(** Modular arithmetic over {!Bigint}: reduction, inverses, GCD and fast
+    exponentiation (Montgomery-backed for odd moduli). *)
+
+exception Not_invertible
+(** Raised by {!invert} when the element shares a factor with the
+    modulus. *)
+
+val reduce : Bigint.t -> Bigint.t -> Bigint.t
+(** Canonical residue in [\[0, m)]. *)
+
+val add : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+val sub : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+val mul : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [add a b m], [sub a b m], [mul a b m] — all reduced into [\[0, m)]. *)
+
+val gcd : Bigint.t -> Bigint.t -> Bigint.t
+val lcm : Bigint.t -> Bigint.t -> Bigint.t
+
+val egcd : Bigint.t -> Bigint.t -> Bigint.t * Bigint.t * Bigint.t
+(** [egcd a b = (g, u, v)] with [u*a + v*b = g = gcd a b]. *)
+
+val invert : Bigint.t -> Bigint.t -> Bigint.t
+(** Modular inverse in [\[0, m)].
+    @raise Not_invertible when [gcd a m <> 1]. *)
+
+val pow_mod : ?ctx:Montgomery.ctx -> Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [pow_mod b e m] = [b^e mod m], [e >= 0].  Uses Montgomery
+    exponentiation when [m] is odd (pass [?ctx] to reuse a context),
+    naive square-and-multiply otherwise. *)
+
+(** {1 Fixed-modulus contexts}
+
+    Precompute Montgomery constants once for a long-lived odd modulus. *)
+
+type ctx
+
+val make_ctx : Bigint.t -> ctx
+(** @raise Invalid_argument on even or non-positive modulus. *)
+
+val ctx_modulus : ctx -> Bigint.t
+val pow_ctx : ctx -> Bigint.t -> Bigint.t -> Bigint.t
+val mul_ctx : ctx -> Bigint.t -> Bigint.t -> Bigint.t

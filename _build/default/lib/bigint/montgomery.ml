@@ -1,0 +1,133 @@
+(* Montgomery modular multiplication (CIOS variant, Koç et al.) for odd
+   moduli, on raw Nat limb vectors.  This is the workhorse of Paillier:
+   every encryption/decryption is a modular exponentiation mod n or n^2.
+
+   A context fixes the modulus n (s limbs) and R = B^s with B = 2^31.
+   Values are kept in Montgomery form aR mod n; mont_mul computes
+   (aR)(bR)R^-1 = abR, i.e. multiplication stays in form. *)
+
+type ctx = {
+  modulus : Nat.t;      (* odd modulus, s limbs, normalized *)
+  s : int;              (* limb count of the modulus *)
+  n0_inv : int;         (* -modulus^{-1} mod B *)
+  r_mod : Nat.t;        (* R mod n: Montgomery form of 1 *)
+  r2_mod : Nat.t;       (* R^2 mod n: converts to Montgomery form *)
+}
+
+exception Even_modulus
+
+(* Inverse of the odd limb n0 modulo 2^31 by Newton iteration:
+   x <- x (2 - n0 x) doubles the number of correct low bits. *)
+let limb_inverse n0 =
+  let mask = Nat.base_mask in
+  let x = ref n0 in
+  for _ = 1 to 5 do
+    x := !x * (2 - (n0 * !x)) land mask land mask
+  done;
+  !x land mask
+
+let create (modulus : Nat.t) : ctx =
+  if Nat.is_zero modulus || not (Nat.testbit modulus 0) then raise Even_modulus;
+  let s = Array.length modulus in
+  let n0_inv = Nat.base - limb_inverse modulus.(0) in
+  let r = Nat.shift_left Nat.one (s * Nat.base_bits) in
+  let r_mod = snd (Nat.divmod r modulus) in
+  let r2 = Nat.mul r_mod r_mod in
+  let r2_mod = snd (Nat.divmod r2 modulus) in
+  { modulus; s; n0_inv; r_mod; r2_mod }
+
+(* Pad a normalized Nat (< modulus) to exactly s limbs. *)
+let pad ctx (a : Nat.t) : int array =
+  let r = Array.make ctx.s 0 in
+  Array.blit a 0 r 0 (Array.length a);
+  r
+
+(* CIOS Montgomery multiplication on s-limb padded arrays.
+   Writes ab R^-1 mod n into a fresh s-limb array. *)
+let mont_mul_raw ctx (a : int array) (b : int array) : int array =
+  let s = ctx.s in
+  let n = ctx.modulus in
+  let mask = Nat.base_mask and bits = Nat.base_bits in
+  let t = Array.make (s + 2) 0 in
+  for i = 0 to s - 1 do
+    let bi = b.(i) in
+    (* t += a * b_i *)
+    let carry = ref 0 in
+    for j = 0 to s - 1 do
+      let x = t.(j) + (a.(j) * bi) + !carry in
+      t.(j) <- x land mask;
+      carry := x lsr bits
+    done;
+    let x = t.(s) + !carry in
+    t.(s) <- x land mask;
+    t.(s + 1) <- x lsr bits;
+    (* m = t0 * n0_inv mod B; t += m * n; t >>= one limb *)
+    let m = (t.(0) * ctx.n0_inv) land mask in
+    let x0 = t.(0) + (m * n.(0)) in
+    let carry = ref (x0 lsr bits) in
+    for j = 1 to s - 1 do
+      let x = t.(j) + (m * n.(j)) + !carry in
+      t.(j - 1) <- x land mask;
+      carry := x lsr bits
+    done;
+    let x = t.(s) + !carry in
+    t.(s - 1) <- x land mask;
+    t.(s) <- t.(s + 1) + (x lsr bits);
+    t.(s + 1) <- 0
+  done;
+  let result = Array.sub t 0 s in
+  (* Conditional final subtraction: result may be in [n, 2n). *)
+  let ge =
+    if t.(s) <> 0 then true
+    else begin
+      let rec cmp i =
+        if i < 0 then true (* equal counts as >= *)
+        else if result.(i) <> n.(i) then result.(i) > n.(i)
+        else cmp (i - 1)
+      in
+      cmp (s - 1)
+    end
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to s - 1 do
+      let d = result.(i) - n.(i) - !borrow in
+      if d < 0 then begin
+        result.(i) <- d + Nat.base;
+        borrow := 1
+      end
+      else begin
+        result.(i) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  result
+
+let to_mont ctx (a : Nat.t) : int array =
+  mont_mul_raw ctx (pad ctx a) (pad ctx ctx.r2_mod)
+
+let of_mont ctx (a : int array) : Nat.t =
+  let one_padded = pad ctx Nat.one in
+  Nat.normalize (mont_mul_raw ctx a one_padded)
+
+(* Left-to-right binary exponentiation in Montgomery form.
+   [base_nat] must already be reduced mod the modulus. *)
+let pow_mod ctx (base_nat : Nat.t) (exponent : Nat.t) : Nat.t =
+  if Nat.is_zero exponent then snd (Nat.divmod Nat.one ctx.modulus)
+  else begin
+    let x = to_mont ctx base_nat in
+    let acc = ref (pad ctx ctx.r_mod) (* Montgomery form of 1 *) in
+    let nbits = Nat.num_bits exponent in
+    for i = nbits - 1 downto 0 do
+      acc := mont_mul_raw ctx !acc !acc;
+      if Nat.testbit exponent i then acc := mont_mul_raw ctx !acc x
+    done;
+    Nat.normalize (of_mont ctx !acc)
+  end
+
+(* Modular multiplication through Montgomery form (for callers that only
+   need a few products; exponentiation uses the in-form loop above). *)
+let mul_mod ctx (a : Nat.t) (b : Nat.t) : Nat.t =
+  let am = to_mont ctx a and bm = to_mont ctx b in
+  of_mont ctx (mont_mul_raw ctx am bm)

@@ -1,0 +1,22 @@
+(** Montgomery modular multiplication and exponentiation (CIOS) for odd
+    moduli, operating on raw {!Nat} limb vectors.  Most callers should use
+    the {!Modular} wrappers; this interface exists for the few hot paths
+    that want to stay at the limb level. *)
+
+type ctx
+
+exception Even_modulus
+
+val create : Nat.t -> ctx
+(** Precompute constants for an odd modulus.
+    @raise Even_modulus if the modulus is even or zero. *)
+
+val pow_mod : ctx -> Nat.t -> Nat.t -> Nat.t
+(** [pow_mod ctx b e] = [b^e mod n] for [b < n] (reduced). *)
+
+val mul_mod : ctx -> Nat.t -> Nat.t -> Nat.t
+(** [mul_mod ctx a b] = [a*b mod n] for reduced [a], [b]. *)
+
+val to_mont : ctx -> Nat.t -> int array
+val of_mont : ctx -> int array -> Nat.t
+val mont_mul_raw : ctx -> int array -> int array -> int array

@@ -1,0 +1,44 @@
+(* SplitMix64 — a tiny, fast, *non-cryptographic* PRNG.
+
+   Used only where unpredictability is not a security requirement:
+   Miller-Rabin witness selection and test-suite data generation.  All
+   protocol randomness (offsets, Paillier nonces) comes from the ChaCha20
+   CSPRNG in ppst_rng instead. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound), bound > 0, by rejection on 62 bits. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let v = r mod bound in
+    if r - v > (1 lsl 61) * 2 - bound then draw () else v
+  in
+  draw ()
+
+let bits t nbits =
+  if nbits <= 0 then invalid_arg "Splitmix.bits: need positive bit count";
+  let nbytes = (nbits + 7) / 8 in
+  let buf = Bytes.create nbytes in
+  for i = 0 to nbytes - 1 do
+    Bytes.set buf i (Char.chr (int t 256))
+  done;
+  (* Mask excess high bits so the result has at most [nbits] bits. *)
+  let excess = (nbytes * 8) - nbits in
+  if excess > 0 then begin
+    let mask = 0xFF lsr excess in
+    Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) land mask))
+  end;
+  Bigint.of_bytes_be (Bytes.to_string buf)

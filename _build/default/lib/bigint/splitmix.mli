@@ -1,0 +1,16 @@
+(** SplitMix64 — fast {e non-cryptographic} PRNG for Miller–Rabin
+    witnesses and test data.  Never use for protocol randomness; the
+    ChaCha20 CSPRNG in [ppst_rng] serves that purpose. *)
+
+type t
+
+val create : int -> t
+(** Deterministic from the given seed. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. *)
+
+val bits : t -> int -> Bigint.t
+(** Uniform non-negative integer with at most the given bit count. *)

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Bigint Channel Cost Import Masking Message Paillier Params Printf Secure_rng Series Stdlib Unix

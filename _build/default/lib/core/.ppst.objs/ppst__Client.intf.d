@@ -1,0 +1,1 @@
+lib/core/client.mli: Bigint Channel Cost Import Paillier Params Secure_rng Series

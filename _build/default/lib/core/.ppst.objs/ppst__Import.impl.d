@@ -1,0 +1,1 @@
+lib/core/import.ml: Ppst_bigint Ppst_paillier Ppst_rng Ppst_timeseries Ppst_transport

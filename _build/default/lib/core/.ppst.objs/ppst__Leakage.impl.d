@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Array Import List Series Splitmix

@@ -1,0 +1,1 @@
+lib/core/masking.ml: Array Bigint Import List Paillier Params Ppst_rng

@@ -1,0 +1,1 @@
+lib/core/masking.mli: Bigint Import Paillier Params Ppst_rng

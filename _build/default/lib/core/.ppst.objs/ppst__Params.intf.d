@@ -1,0 +1,1 @@
+lib/core/params.mli: Bigint Format Import

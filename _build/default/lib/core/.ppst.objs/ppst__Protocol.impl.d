@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bigint Channel Client Cost Import Params Secure_dfd Secure_dtw Secure_dtw_banded Secure_dtw_wavefront Secure_erp Secure_euclidean Secure_rng Series Server Stats Stdlib Trace

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Bigint Client Import List Printf Secure_dfd Secure_dtw Stdlib

@@ -1,0 +1,1 @@
+lib/core/search.mli: Bigint Client Import

@@ -1,0 +1,1 @@
+lib/core/secure_dfd.ml: Array Client Params

@@ -1,0 +1,1 @@
+lib/core/secure_dfd.mli: Bigint Client Import Paillier

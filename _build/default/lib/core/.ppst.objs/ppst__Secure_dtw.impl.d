@@ -1,0 +1,1 @@
+lib/core/secure_dtw.ml: Array Client Params

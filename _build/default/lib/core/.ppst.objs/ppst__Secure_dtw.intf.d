@@ -1,0 +1,1 @@
+lib/core/secure_dtw.mli: Bigint Client Import Paillier

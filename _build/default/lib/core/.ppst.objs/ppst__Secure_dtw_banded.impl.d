@@ -1,0 +1,1 @@
+lib/core/secure_dtw_banded.ml: Array Client Fun List Params

@@ -1,0 +1,1 @@
+lib/core/secure_dtw_banded.mli: Bigint Client Import Paillier

@@ -1,0 +1,1 @@
+lib/core/secure_dtw_wavefront.mli: Bigint Client Import

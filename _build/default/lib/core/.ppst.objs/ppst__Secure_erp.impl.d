@@ -1,0 +1,1 @@
+lib/core/secure_erp.ml: Array Client Params Ppst_timeseries

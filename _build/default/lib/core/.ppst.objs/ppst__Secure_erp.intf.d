@@ -1,0 +1,1 @@
+lib/core/secure_erp.mli: Bigint Client Import Paillier

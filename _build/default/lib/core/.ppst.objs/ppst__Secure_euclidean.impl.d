@@ -1,0 +1,1 @@
+lib/core/secure_euclidean.ml: Array Bigint Client Import

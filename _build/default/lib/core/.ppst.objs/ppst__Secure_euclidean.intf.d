@@ -1,0 +1,1 @@
+lib/core/secure_euclidean.mli: Bigint Client Import

@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Bigint Cost Fun Import Message Paillier Params Printf Secure_rng Series

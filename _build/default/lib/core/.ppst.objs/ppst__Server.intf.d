@@ -1,0 +1,1 @@
+lib/core/server.mli: Cost Import Message Paillier Params Secure_rng Series

@@ -1,0 +1,350 @@
+open Import
+
+exception Incompatible of string
+
+type distance_kind = [ `Dtw | `Dfd | `Erp | `Euclidean ]
+
+type t = {
+  series : Series.t;
+  channel : Channel.t;
+  rng : Secure_rng.t;
+  pk : Paillier.public_key;
+  params : Params.t;
+  distance : distance_kind;
+  max_value : int;  (* negotiated coordinate bound (max of both parties) *)
+  mutable session : Params.session;
+  mutable server_length : int;
+  mutable catalog : int array option;
+  cost : Cost.t;
+  pool : Paillier.randomness_pool;
+  offline : bool;
+}
+
+let session t = t.session
+let public_key t = t.pk
+let cost t = t.cost
+let server_length t = t.server_length
+let client_length t = Series.length t.series
+let client_element t i = Series.get t.series i
+let distance t = t.distance
+
+let show_kind = function
+  | `Dtw -> "`Dtw"
+  | `Dfd -> "`Dfd"
+  | `Erp -> "`Erp"
+  | `Euclidean -> "`Euclidean"
+
+(* Drivers call this before touching the matrix: running a distance whose
+   value bound exceeds the planned one would break the masking analysis. *)
+let require_plan t expected =
+  if t.distance <> expected then
+    invalid_arg
+      (Printf.sprintf
+         "this driver needs a session planned with ~distance:%s (got %s)"
+         (show_kind expected) (show_kind t.distance))
+
+(* Attribute elapsed wall time to [phase], splitting out the time the
+   local channel spent inside the server handler so client and server
+   work are measured separately (Figures 6 and 10). *)
+let timed t phase f =
+  let w0 = Unix.gettimeofday () in
+  let s0 = Channel.server_seconds t.channel in
+  let result = f () in
+  let w1 = Unix.gettimeofday () in
+  let s1 = Channel.server_seconds t.channel in
+  Cost.add_server_time t.cost phase (s1 -. s0);
+  Cost.add_client_time t.cost phase (w1 -. w0 -. (s1 -. s0));
+  result
+
+(* Pooled online encryption: consumes offline-precomputed r^n factors
+   when available (see Paillier.randomness_pool). *)
+let encrypt_online t m =
+  let client_ops = Cost.client_ops t.cost in
+  client_ops.Cost.encryptions <- client_ops.Cost.encryptions + 1;
+  Paillier.encrypt_pooled t.pk t.pool t.rng m
+
+let precompute_randomness t count =
+  if t.offline && count > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    Paillier.pool_refill t.pk t.pool t.rng count;
+    Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0)
+  end
+
+let pool_remaining t = Paillier.pool_size t.pool
+
+let check_own_bounds series max_value =
+  let d = Series.dimension series in
+  for i = 0 to Series.length series - 1 do
+    let e = Series.get series i in
+    for l = 0 to d - 1 do
+      if e.(l) < 0 || e.(l) > max_value then
+        raise
+          (Incompatible
+             (Printf.sprintf "client coordinate %d of element %d is %d, outside [0, %d]"
+                l i e.(l) max_value))
+    done
+  done
+
+let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
+  Params.plan params ~max_value ~dimension:(Series.dimension series)
+    ~client_length:(Series.length series) ~server_length ~modulus ~distance
+
+let connect ?(params = Params.default) ?(offline = true) ~rng ~series ~max_value
+    ~distance channel =
+  check_own_bounds series max_value;
+  match Channel.request channel Message.Hello with
+  | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max } ->
+    if dimension <> Series.dimension series then
+      raise
+        (Incompatible
+           (Printf.sprintf "dimension mismatch: client %d, server %d"
+              (Series.dimension series) dimension));
+    let pk = Paillier.public_of_modulus n ~bits:key_bits in
+    let bound = Stdlib.max max_value server_max in
+    let session =
+      plan_session ~params ~series ~server_length:series_length ~max_value:bound
+        ~modulus:pk.Paillier.n ~distance
+    in
+    {
+      series;
+      channel;
+      rng;
+      pk;
+      params;
+      distance;
+      max_value = bound;
+      session;
+      server_length = series_length;
+      catalog = None;
+      cost = Cost.create ();
+      pool = Paillier.pool_create pk;
+      offline;
+    }
+  | _ -> raise (Channel.Protocol_error "expected Welcome after Hello")
+
+(* --- similarity-search extension: record catalogs ----------------------- *)
+
+let catalog t =
+  match t.catalog with
+  | Some lengths -> Array.copy lengths
+  | None -> begin
+    match Channel.request t.channel Message.Catalog_request with
+    | Message.Catalog_reply lengths ->
+      t.catalog <- Some lengths;
+      Array.copy lengths
+    | _ -> raise (Channel.Protocol_error "expected Catalog_reply")
+  end
+
+let select_record t index =
+  let lengths = catalog t in
+  if index < 0 || index >= Array.length lengths then
+    invalid_arg
+      (Printf.sprintf "Client.select_record: %d out of range [0, %d)" index
+         (Array.length lengths));
+  match Channel.request t.channel (Message.Select_request index) with
+  | Message.Select_ack i when i = index ->
+    t.server_length <- lengths.(index);
+    (* the masking parameters depend on the matrix size: re-plan *)
+    t.session <-
+      plan_session ~params:t.params ~series:t.series ~server_length:lengths.(index)
+        ~max_value:t.max_value ~modulus:t.pk.Paillier.n ~distance:t.distance
+  | Message.Select_ack _ ->
+    raise (Channel.Protocol_error "select acknowledged the wrong record")
+  | _ -> raise (Channel.Protocol_error "expected Select_ack")
+
+(* --- phase 1 -------------------------------------------------------------- *)
+
+type phase1_data = {
+  server_sumsq : Paillier.ciphertext array;
+  server_coords : Paillier.ciphertext array array;
+}
+
+let fetch_phase1 t =
+  timed t Cost.Phase1 (fun () ->
+      let elements =
+        match Channel.request t.channel Message.Phase1_request with
+        | Message.Phase1_reply e -> e
+        | _ -> raise (Channel.Protocol_error "expected Phase1_reply")
+      in
+      if Array.length elements <> t.server_length then
+        raise (Channel.Protocol_error "phase1 element count differs from Welcome");
+      let d = Series.dimension t.series in
+      let wrap v = Paillier.ciphertext_of_bigint t.pk v in
+      let server_sumsq = Array.map (fun e -> wrap e.Message.sum_sq) elements in
+      let server_coords =
+        Array.map
+          (fun e ->
+            if Array.length e.Message.coords <> d then
+              raise (Channel.Protocol_error "phase1 coordinate count mismatch");
+            Array.map wrap e.Message.coords)
+          elements
+      in
+      { server_sumsq; server_coords })
+
+(* Enc(δ²(x, y_j)) = Enc(Σ x²) · Enc(Σ y_j²) · Π_l Enc(y_jl)^(-2 x_l)
+   (Section 3.2, Eq. 4).  [enc_x_sumsq] is the client's encryption of its
+   own squared norm; it may be reused across a row — it never leaves the
+   client unmasked, and outgoing candidates are re-randomized in Masking. *)
+let cost_against t data ~enc_x_sumsq ~x j =
+  let client_ops = Cost.client_ops t.cost in
+  let acc = ref (Paillier.add t.pk enc_x_sumsq data.server_sumsq.(j)) in
+  client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+  for l = 0 to Array.length x - 1 do
+    let factor =
+      Paillier.scalar_mul t.pk data.server_coords.(j).(l)
+        (Bigint.of_int (-2 * x.(l)))
+    in
+    acc := Paillier.add t.pk !acc factor;
+    client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 2
+  done;
+  !acc
+
+let cost_matrix_of t data =
+  timed t Cost.Phase1 (fun () ->
+      Array.init (Series.length t.series) (fun i ->
+          let x = Series.get t.series i in
+          let sum_sq = Array.fold_left (fun acc v -> acc + (v * v)) 0 x in
+          let enc_x_sumsq = encrypt_online t (Bigint.of_int sum_sq) in
+          Array.init t.server_length (fun j -> cost_against t data ~enc_x_sumsq ~x j)))
+
+let fetch_cost_matrix t =
+  let data = fetch_phase1 t in
+  cost_matrix_of t data
+
+(* Enc(δ²(y_j, gap)) for a public gap element, derived from the phase-1
+   ciphertexts with no extra communication:
+   δ²(y_j, g) = Σ y² - 2 Σ g_l y_jl + Σ g².  Used by secure ERP. *)
+let gap_costs_of t data ~gap =
+  timed t Cost.Phase1 (fun () ->
+      let d = Series.dimension t.series in
+      if Array.length gap <> d then
+        invalid_arg "Client.gap_costs_of: gap dimension mismatch";
+      Array.iter
+        (fun g ->
+          if g < 0 || g > t.max_value then
+            invalid_arg "Client.gap_costs_of: gap outside the negotiated bound")
+        gap;
+      let gap_sumsq = Array.fold_left (fun acc v -> acc + (v * v)) 0 gap in
+      let client_ops = Cost.client_ops t.cost in
+      Array.init t.server_length (fun j ->
+          let acc =
+            ref (Paillier.add_plain t.pk data.server_sumsq.(j) (Bigint.of_int gap_sumsq))
+          in
+          client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+          for l = 0 to d - 1 do
+            if gap.(l) <> 0 then begin
+              let factor =
+                Paillier.scalar_mul t.pk data.server_coords.(j).(l)
+                  (Bigint.of_int (-2 * gap.(l)))
+              in
+              acc := Paillier.add t.pk !acc factor;
+              client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 2
+            end
+          done;
+          !acc))
+
+(* --- phases 2 and 3 -------------------------------------------------------- *)
+
+let round_extreme t phase ~prepare ~request ~unmask inputs =
+  timed t phase (fun () ->
+      let prepared =
+        prepare ~encrypt:(encrypt_online t) ~pk:t.pk ~rng:t.rng ~session:t.session
+          inputs
+      in
+      let client_ops = Cost.client_ops t.cost in
+      (* One offset encryption per candidate (counted by encrypt_online),
+         plus the homomorphic add folding it into the source ciphertext. *)
+      let n_candidates = Array.length prepared.Masking.candidates in
+      client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + n_candidates;
+      let payload =
+        Array.map Paillier.ciphertext_to_bigint prepared.Masking.candidates
+      in
+      match Channel.request t.channel (request payload) with
+      | Message.Cipher_reply v ->
+        client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+        unmask ~pk:t.pk prepared (Paillier.ciphertext_of_bigint t.pk v)
+      | _ -> raise (Channel.Protocol_error "expected Cipher_reply"))
+
+(* Wavefront extension: many independent extreme instances in a single
+   round trip.  Each instance is masked exactly as in the per-cell round;
+   only the message framing changes, so the security argument carries
+   over unchanged. *)
+let batch_extreme t phase ~prepare ~request ~unmask (instances : Paillier.ciphertext array array) =
+  if Array.length instances = 0 then [||]
+  else
+    timed t phase (fun () ->
+        let prepared =
+          Array.map
+            (fun inputs ->
+              prepare ~encrypt:(encrypt_online t) ~pk:t.pk ~rng:t.rng
+                ~session:t.session inputs)
+            instances
+        in
+        let client_ops = Cost.client_ops t.cost in
+        Array.iter
+          (fun p ->
+            client_ops.Cost.homomorphic <-
+              client_ops.Cost.homomorphic + Array.length p.Masking.candidates)
+          prepared;
+        let payload =
+          Array.map
+            (fun p -> Array.map Paillier.ciphertext_to_bigint p.Masking.candidates)
+            prepared
+        in
+        match Channel.request t.channel (request payload) with
+        | Message.Batch_cipher_reply replies ->
+          if Array.length replies <> Array.length instances then
+            raise (Channel.Protocol_error "batch reply count mismatch");
+          Array.mapi
+            (fun i v ->
+              client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+              unmask ~pk:t.pk prepared.(i) (Paillier.ciphertext_of_bigint t.pk v))
+            replies
+        | _ -> raise (Channel.Protocol_error "expected Batch_cipher_reply"))
+
+let secure_min_batch t instances =
+  batch_extreme t Cost.Phase2
+    ~prepare:(fun ~encrypt -> Masking.prepare_min ~encrypt)
+    ~request:(fun p -> Message.Batch_min_request p)
+    ~unmask:Masking.unmask_min instances
+
+let secure_max_batch t instances =
+  batch_extreme t Cost.Phase3
+    ~prepare:(fun ~encrypt -> Masking.prepare_max ~encrypt)
+    ~request:(fun p -> Message.Batch_max_request p)
+    ~unmask:Masking.unmask_max instances
+
+let secure_min t inputs =
+  round_extreme t Cost.Phase2
+    ~prepare:(fun ~encrypt -> Masking.prepare_min ~encrypt)
+    ~request:(fun p -> Message.Min_request p)
+    ~unmask:Masking.unmask_min inputs
+
+let secure_max t inputs =
+  round_extreme t Cost.Phase3
+    ~prepare:(fun ~encrypt -> Masking.prepare_max ~encrypt)
+    ~request:(fun p -> Message.Max_request p)
+    ~unmask:Masking.unmask_max inputs
+
+let add t c1 c2 =
+  let client_ops = Cost.client_ops t.cost in
+  client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+  Paillier.add t.pk c1 c2
+
+let add_plain t c v =
+  let client_ops = Cost.client_ops t.cost in
+  client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+  Paillier.add_plain t.pk c (Bigint.of_int v)
+
+let encrypt_constant t v = encrypt_online t (Bigint.of_int v)
+
+let reveal t c =
+  timed t Cost.Phase2 (fun () ->
+      match
+        Channel.request t.channel
+          (Message.Reveal_request (Paillier.ciphertext_to_bigint c))
+      with
+      | Message.Reveal_reply v -> v
+      | _ -> raise (Channel.Protocol_error "expected Reveal_reply"))
+
+let finish t = Channel.close t.channel

@@ -1,0 +1,154 @@
+(** The client party: owns time series [X], evaluates the encrypted
+    dynamic-programming matrix, and drives the protocol rounds.
+
+    The client never holds the secret key; every matrix entry it stores
+    is a Paillier ciphertext (paper Figure 2).  It learns the final
+    distance only through the joint {!reveal} step. *)
+
+open Import
+
+type t
+
+exception Incompatible of string
+(** Raised at {!connect} when the two series cannot be compared
+    (dimension mismatch) or a coordinate violates the advertised bound. *)
+
+type distance_kind = [ `Dtw | `Dfd | `Erp | `Euclidean ]
+
+val connect :
+  ?params:Params.t ->
+  ?offline:bool ->
+  rng:Secure_rng.t ->
+  series:Series.t ->
+  max_value:int ->
+  distance:distance_kind ->
+  Channel.t ->
+  t
+(** Perform the [Hello] handshake, rebuild the server's public key,
+    validate dimensions and plan the session's masking parameters
+    ({!Params.plan} with the larger of the two advertised coordinate
+    bounds).
+
+    [offline] (default true) enables the offline/online encryption split:
+    the client precomputes its Paillier randomness ([r^n] factors) before
+    the interactive rounds ({!precompute_randomness}), so its online work
+    per masked round drops to modular multiplications — the natural mode
+    for the paper's weak-client setting.  Offline time is accounted
+    separately in {!Cost.client_offline_seconds}.
+    @raise Incompatible on dimension mismatch
+    @raise Params.Insecure when no safe [γ] exists for the negotiated
+    key and series sizes. *)
+
+val precompute_randomness : t -> int -> unit
+(** Refill the randomness pool with [count] factors (no-op when [offline]
+    is false; the protocol then pays fresh exponentiations online).  The
+    DP drivers call this with the exact number of encryptions the run
+    will need. *)
+
+val pool_remaining : t -> int
+
+val session : t -> Params.session
+val public_key : t -> Paillier.public_key
+val cost : t -> Cost.t
+val server_length : t -> int
+(** Length of the server's {e active} record (changes on
+    {!select_record}). *)
+
+val client_length : t -> int
+
+val distance : t -> distance_kind
+(** The distance kind the session's masking parameters were planned for.
+    Running a distance with a larger value bound than planned (e.g. DTW
+    on a [`Dfd] session) is unsafe; {!Search} enforces the match. *)
+
+val require_plan : t -> distance_kind -> unit
+(** @raise Invalid_argument when the session was planned for a different
+    distance kind.  Every secure-distance driver calls this first. *)
+
+val client_element : t -> int -> int array
+(** The client's own element [x_i] (it owns this data; drivers use it for
+    client-local plaintext costs such as ERP's deletion penalties). *)
+
+(** {1 Similarity search over server databases}
+
+    When the server holds several records (see {!Server.create_db}), the
+    client can enumerate them and switch the active one; each switch
+    re-plans the masking parameters for the new matrix size.  {!Search}
+    builds nearest-neighbour queries on top of this. *)
+
+val catalog : t -> int array
+(** Lengths of every server record (fetched once, then cached). *)
+
+val select_record : t -> int -> unit
+(** Make record [i] the active series for subsequent protocol runs.
+    @raise Invalid_argument when [i] is outside the catalog. *)
+
+(** {1 Phase 1} *)
+
+type phase1_data = {
+  server_sumsq : Paillier.ciphertext array;  (** [Enc(Σ_l y_jl²)] *)
+  server_coords : Paillier.ciphertext array array;  (** [Enc(y_jl)] *)
+}
+
+val fetch_phase1 : t -> phase1_data
+(** One-way transfer of the encrypted active record (Section 3.2).
+    Timed as phase 1. *)
+
+val cost_matrix_of : t -> phase1_data -> Paillier.ciphertext array array
+(** Evaluate [Enc(δ²(x_i, y_j))] for every pair (Eq. 4) — [m × n]
+    ciphertexts.  Timed as phase 1. *)
+
+val fetch_cost_matrix : t -> Paillier.ciphertext array array
+(** [fetch_phase1] followed by [cost_matrix_of]. *)
+
+val gap_costs_of : t -> phase1_data -> gap:int array -> Paillier.ciphertext array
+(** [Enc(δ²(y_j, gap))] for every server element, for a public gap
+    element — derived homomorphically from the phase-1 data with no extra
+    communication.  Secure ERP uses this for its deletion penalties.
+    @raise Invalid_argument on dimension mismatch or a gap coordinate
+    outside the negotiated bound. *)
+
+(** {1 Phases 2 and 3} *)
+
+val secure_min : t -> Paillier.ciphertext array -> Paillier.ciphertext
+(** Phase 2 round: masked-candidate minimum (Section 5.1).  Exactly one
+    round trip of [k + length inputs] ciphertexts; the reply is unmasked
+    homomorphically.  Timed as phase 2. *)
+
+val secure_max : t -> Paillier.ciphertext array -> Paillier.ciphertext
+(** Phase 3 round: masked-candidate maximum (Section 6).  Timed as
+    phase 3. *)
+
+val secure_min_batch :
+  t -> Paillier.ciphertext array array -> Paillier.ciphertext array
+(** Wavefront extension: several independent secure-minimum instances in
+    {e one} round trip.  Each instance is masked exactly as in
+    {!secure_min} — same candidates, same offsets, same re-encryption —
+    only the framing changes, so the leakage profile is identical while
+    the round count drops from one per cell to one per DP anti-diagonal.
+    Results are in instance order. *)
+
+val secure_max_batch :
+  t -> Paillier.ciphertext array array -> Paillier.ciphertext array
+
+(** {1 Local ciphertext arithmetic} *)
+
+val add : t -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext
+(** Homomorphic addition (DTW cell assembly), counted in the client's
+    operation tally. *)
+
+val add_plain : t -> Paillier.ciphertext -> int -> Paillier.ciphertext
+(** Homomorphic addition of a client-known constant (ERP uses this for
+    the [δ²(x_i, gap)] penalties). *)
+
+val encrypt_constant : t -> int -> Paillier.ciphertext
+(** Encrypt a client-known value (pooled).  ERP border cells use this. *)
+
+(** {1 Completion} *)
+
+val reveal : t -> Paillier.ciphertext -> Bigint.t
+(** Send the final ciphertext for decryption; both parties learn the
+    plaintext (the only value the protocol discloses). *)
+
+val finish : t -> unit
+(** Close the channel ([Bye]). *)

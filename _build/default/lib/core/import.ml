@@ -1,0 +1,16 @@
+(* Short aliases for the substrate libraries, opened by every module (and
+   interface) of the core protocol library. *)
+
+module Bigint = Ppst_bigint.Bigint
+module Modular = Ppst_bigint.Modular
+module Splitmix = Ppst_bigint.Splitmix
+module Secure_rng = Ppst_rng.Secure_rng
+module Paillier = Ppst_paillier.Paillier
+module Series = Ppst_timeseries.Series
+module Distance = Ppst_timeseries.Distance
+module Message = Ppst_transport.Message
+module Channel = Ppst_transport.Channel
+module Stats = Ppst_transport.Stats
+module Wire = Ppst_transport.Wire
+module Trace = Ppst_transport.Trace
+module Netsim = Ppst_transport.Netsim

@@ -1,0 +1,111 @@
+open Import
+
+(* --- Section 4 attack: plaintext matrix => other party's series ------- *)
+
+let isqrt v =
+  if v < 0 then None
+  else begin
+    let r = int_of_float (sqrt (float_of_int v)) in
+    (* float sqrt can be off by one at the edges *)
+    let r = ref r in
+    while (!r + 1) * (!r + 1) <= v do incr r done;
+    while !r * !r > v do decr r done;
+    if !r * !r = v then Some !r else None
+  end
+
+(* Candidate values of y from a known squared difference to x. *)
+let candidates_from_cost x cost =
+  match isqrt cost with
+  | None -> []
+  | Some 0 -> [ x ]
+  | Some s -> [ x - s; x + s ]
+
+let infer_server_series ~x ~matrix =
+  if Series.dimension x <> 1 then
+    invalid_arg "Leakage.infer_server_series: only 1-dimensional series";
+  let m = Array.length matrix in
+  if m <> Series.length x || m = 0 then
+    invalid_arg "Leakage.infer_server_series: matrix does not match series";
+  let n = Array.length matrix.(0) in
+  let xi i = Series.value x i in
+  (* Local cost of cell (i, j) recovered from the DP recurrence: the first
+     row/column are cumulative, inner cells subtract the minimum of the
+     three predecessors — all of which the matrix holder can read off. *)
+  let local_cost i j =
+    if i = 0 && j = 0 then matrix.(0).(0)
+    else if i = 0 then matrix.(0).(j) - matrix.(0).(j - 1)
+    else if j = 0 then matrix.(i).(0) - matrix.(i - 1).(0)
+    else
+      matrix.(i).(j)
+      - min matrix.(i - 1).(j - 1) (min matrix.(i - 1).(j) matrix.(i).(j - 1))
+  in
+  (* For column j, every row i gives candidates for y_j; intersect until a
+     single value remains (exactly the paper's y1 = 2 example). *)
+  let infer_one j =
+    let rec refine i remaining =
+      match remaining with
+      | [ y ] -> Some y
+      | [] -> None
+      | _ when i >= m -> None
+      | _ ->
+        let cands = candidates_from_cost (xi i) (local_cost i j) in
+        refine (i + 1) (List.filter (fun y -> List.mem y cands) remaining)
+    in
+    refine 1 (candidates_from_cost (xi 0) (local_cost 0 j))
+  in
+  let out = Array.make n 0 in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    match infer_one j with
+    | Some y -> out.(j) <- y
+    | None -> ok := false
+  done;
+  if !ok then Some out else None
+
+(* --- Section 5.3 gap attack ------------------------------------------- *)
+
+let guess_baseline ~k = 2.0 /. float_of_int (k * (k + 1))
+
+type attack_stats = { trials : int; successes : int; rate : float }
+
+(* Sample from (2^e, 2^(e+1)] with a non-crypto PRNG (this is simulation,
+   not protocol execution). *)
+let sample_range rng e =
+  let lo = 1 lsl e in
+  lo + 1 + Splitmix.int rng lo
+
+let cluster_attack ~beta ~gamma ~k ~trials ~seed =
+  if beta >= 60 || gamma >= 60 then
+    invalid_arg "Leakage.cluster_attack: simulation limited to < 60-bit ranges";
+  let rng = Splitmix.create seed in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let a = sample_range rng beta
+    and b = sample_range rng beta
+    and c = sample_range rng beta in
+    (* k distinct offsets, ascending *)
+    let offsets = Array.init k (fun _ -> sample_range rng gamma) in
+    Array.sort compare offsets;
+    let rmin = offsets.(0) in
+    let inputs = [| a; b; c |] in
+    let true_sums = Array.map (fun v -> v + rmin) inputs in
+    let decoys =
+      Array.init (k - 1) (fun i -> inputs.(Splitmix.int rng 3) + offsets.(i + 1))
+    in
+    let all = Array.append true_sums decoys in
+    let sorted = Array.copy all in
+    Array.sort compare sorted;
+    (* Attack heuristic: the three smallest decryptions are the masked
+       triple.  Success iff that multiset matches the true sums. *)
+    let bottom3 = Array.sub sorted 0 3 in
+    let true_sorted = Array.copy true_sums in
+    Array.sort compare true_sorted;
+    if bottom3 = true_sorted then incr successes
+  done;
+  { trials; successes = !successes; rate = float_of_int !successes /. float_of_int trials }
+
+let masked_sum_samples ~beta ~gamma ~count ~seed =
+  if beta >= 60 || gamma >= 60 then
+    invalid_arg "Leakage.masked_sum_samples: limited to < 60-bit ranges";
+  let rng = Splitmix.create seed in
+  Array.init count (fun _ -> sample_range rng beta + sample_range rng gamma)

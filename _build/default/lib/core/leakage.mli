@@ -1,0 +1,46 @@
+(** Attack simulations validating the paper's Section 4 and 5.3 security
+    arguments empirically.
+
+    Three experiments:
+    - {!infer_server_series}: the Section 4 motivating attack — a party
+      holding the {e plaintext} DP matrix and its own series reconstructs
+      the other party's series step by step.  Its success is exactly why
+      the matrix must stay encrypted.
+    - {!cluster_attack}: the Section 5.3 gap attack — when the offset
+      range is far wider than the value range ([γ - β >= α]), the three
+      pivot-masked candidates cluster at the bottom of the sorted
+      decryptions and the server identifies them; with valid parameters
+      the identification rate stays near the guessing baseline.
+    - {!guess_baseline}: the paper's [2 / (k (k + 1))] random-guess
+      probability for picking the masked triple out of [k + 2]
+      candidates. *)
+
+open Import
+
+val infer_server_series : x:Series.t -> matrix:int array array -> int array option
+(** Reconstruct the server's 1-dimensional series from the plaintext DTW
+    matrix [matrix] (as computed by
+    [Ppst_timeseries.Distance.dtw_sq_matrix x y]) and the client's own
+    series [x].  Returns [None] when some element is not uniquely
+    determined (e.g. non-square residues caused by an inconsistent
+    matrix).
+    @raise Invalid_argument for multi-dimensional [x]. *)
+
+val guess_baseline : k:int -> float
+
+type attack_stats = {
+  trials : int;
+  successes : int;  (** trials where the sorted bottom-3 were the true triple *)
+  rate : float;
+}
+
+val cluster_attack :
+  beta:int -> gamma:int -> k:int -> trials:int -> seed:int -> attack_stats
+(** Simulate the server's "take the three smallest" heuristic against
+    masked candidate sets with values in [(2^β, 2^(β+1)]] and offsets in
+    [(2^γ, 2^(γ+1)]].  Deterministic in [seed]. *)
+
+val masked_sum_samples :
+  beta:int -> gamma:int -> count:int -> seed:int -> int array
+(** Sample masked sums [x + r] (value and offset drawn per the protocol's
+    ranges) for empirical-entropy comparison with {!Entropy}. *)

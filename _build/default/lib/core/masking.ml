@@ -1,0 +1,61 @@
+open Import
+
+type prepared = { candidates : Paillier.ciphertext array; unmask : Bigint.t }
+
+(* Distinct offsets, sorted ascending.  Distinctness matters at the
+   extremes: a duplicated r_min (r_max) would let two decoys share the
+   extreme offset and slightly sharpen the server's guessing attack, so we
+   redraw collisions (the range has at least 2^γ values, collisions are
+   rare). *)
+let draw_offsets ~rng ~session ~count =
+  let module S = Ppst_rng.Secure_rng in
+  let lo = session.Params.offset_lo and hi = session.Params.offset_hi in
+  let rec fill acc n =
+    if n = 0 then acc
+    else begin
+      let r = S.in_range rng ~lo ~hi in
+      if List.exists (Bigint.equal r) acc then fill acc n
+      else fill (r :: acc) (n - 1)
+    end
+  in
+  let offsets = Array.of_list (fill [] count) in
+  Array.sort Bigint.compare offsets;
+  offsets
+
+let prepare ?encrypt ~extreme ~pk ~rng ~session (inputs : Paillier.ciphertext array) =
+  if Array.length inputs = 0 then invalid_arg "Masking.prepare: no inputs";
+  let module S = Ppst_rng.Secure_rng in
+  let encrypt = match encrypt with Some f -> f | None -> Paillier.encrypt pk rng in
+  let k = session.Params.params.Params.k in
+  let offsets = draw_offsets ~rng ~session ~count:k in
+  let pivot, decoy_offsets =
+    match extreme with
+    | `Min -> (offsets.(0), Array.sub offsets 1 (k - 1))
+    | `Max -> (offsets.(k - 1), Array.sub offsets 0 (k - 1))
+  in
+  (* Masked inputs: every input gets the pivot offset, freshly encrypted
+     so the ciphertext is re-randomized. *)
+  let masked = Array.map (fun c -> Paillier.add pk c (encrypt pivot)) inputs in
+  (* Decoys: a random input plus a non-pivot offset each. *)
+  let decoys =
+    Array.map
+      (fun r ->
+        let source = inputs.(S.int rng (Array.length inputs)) in
+        Paillier.add pk source (encrypt r))
+      decoy_offsets
+  in
+  let candidates = Array.append masked decoys in
+  S.shuffle_in_place rng candidates;
+  { candidates; unmask = pivot }
+
+let prepare_min ?encrypt ~pk ~rng ~session inputs =
+  prepare ?encrypt ~extreme:`Min ~pk ~rng ~session inputs
+
+let prepare_max ?encrypt ~pk ~rng ~session inputs =
+  prepare ?encrypt ~extreme:`Max ~pk ~rng ~session inputs
+
+let unmask ~pk prepared reply =
+  Paillier.add_plain pk reply (Bigint.neg prepared.unmask)
+
+let unmask_min = unmask
+let unmask_max = unmask

@@ -1,0 +1,59 @@
+(** Random-offset candidate construction — the client side of the
+    secure-minimum (paper Section 5.1) and secure-maximum (Section 6)
+    subprotocols.
+
+    For a minimum over ciphertexts [e_1..e_j] the client draws a random
+    set [R = {r_min < r_2 < ... < r_k}] from [(2^γ, 2^(γ+1)]], builds
+    the candidate multiset
+
+    [{Enc(a_i + r_min)} ∪ {Enc(x_t + r_t)}]   (x_t drawn from the inputs)
+
+    with every offset freshly encrypted (re-randomizing each candidate so
+    the holder of the secret key cannot link candidates to ciphertexts it
+    has seen before), shuffles it, and remembers [r_min] to unmask the
+    reply.  The maximum variant mirrors this with [r_max] the unique
+    largest offset. *)
+
+open Import
+
+type prepared = {
+  candidates : Paillier.ciphertext array;  (** shuffled, ready to send *)
+  unmask : Bigint.t;  (** [r_min] (or [r_max]) to subtract from the reply *)
+}
+
+val prepare_min :
+  ?encrypt:(Bigint.t -> Paillier.ciphertext) ->
+  pk:Paillier.public_key ->
+  rng:Ppst_rng.Secure_rng.t ->
+  session:Params.session ->
+  Paillier.ciphertext array ->
+  prepared
+(** [prepare_min ~pk ~rng ~session inputs] builds [k + length inputs]
+    … candidates ([k - 1] decoys + the masked inputs) for the secure
+    minimum of [inputs].  With the paper's three DP predecessors this is
+    [k + 2] ciphertexts.
+    @raise Invalid_argument when [inputs] is empty. *)
+
+val prepare_max :
+  ?encrypt:(Bigint.t -> Paillier.ciphertext) ->
+  pk:Paillier.public_key ->
+  rng:Ppst_rng.Secure_rng.t ->
+  session:Params.session ->
+  Paillier.ciphertext array ->
+  prepared
+(** Mirror of {!prepare_min} for the maximum ([k + 1] candidates for the
+    DFD case of two inputs).
+
+    [?encrypt] overrides how offsets are encrypted (default
+    [Paillier.encrypt pk rng]); the client passes its pooled offline
+    encryptor here. *)
+
+val unmask_min : pk:Paillier.public_key -> prepared -> Paillier.ciphertext -> Paillier.ciphertext
+(** [unmask_min ~pk prepared reply] = [Enc(decrypt reply - r_min)]. *)
+
+val unmask_max : pk:Paillier.public_key -> prepared -> Paillier.ciphertext -> Paillier.ciphertext
+
+val draw_offsets :
+  rng:Ppst_rng.Secure_rng.t -> session:Params.session -> count:int -> Bigint.t array
+(** [count] distinct offsets from [(2^γ, 2^(γ+1)]], sorted ascending.
+    Exposed for the leakage simulations and tests. *)

@@ -1,0 +1,125 @@
+open Import
+
+type result = {
+  distance : Bigint.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  session : Params.session;
+}
+
+let distance_int r = Bigint.to_int_exn r.distance
+
+let series_bound s = Stdlib.max 1 (Series.max_abs_value s)
+
+let run : type a.
+    distance_kind:Client.distance_kind ->
+    runner:(Client.t -> a) ->
+    ?params:Params.t -> ?seed:string -> ?max_value:int ->
+    ?decryption:[ `Standard | `Crt ] -> ?offline:bool -> ?trace:Trace.t ->
+    x:Series.t -> y:Series.t -> unit ->
+    a * Cost.t * Stats.t * Params.session =
+ fun ~distance_kind ~runner ?(params = Params.default) ?seed ?max_value
+     ?decryption ?offline ?trace ~x ~y () ->
+  let rng_of suffix =
+    match seed with
+    | Some s -> Secure_rng.of_seed_string (s ^ "/" ^ suffix)
+    | None -> Secure_rng.system ()
+  in
+  let server_rng = rng_of "server" and client_rng = rng_of "client" in
+  let server_max =
+    match max_value with Some v -> v | None -> series_bound y
+  in
+  let client_max =
+    match max_value with Some v -> v | None -> series_bound x
+  in
+  let server =
+    Server.create ~params ?decryption ~rng:server_rng ~series:y
+      ~max_value:server_max ()
+  in
+  let channel = Channel.local ?trace (Server.handler server) in
+  let client =
+    Client.connect ~params ?offline ~rng:client_rng ~series:x
+      ~max_value:client_max ~distance:distance_kind channel
+  in
+  let value = runner client in
+  Client.finish client;
+  (* Fold the server's operation counters into the cost record (in a TCP
+     deployment the server reports its own side). *)
+  let cost = Client.cost client in
+  let server_ops = Server.ops server in
+  let merged = Cost.server_ops cost in
+  merged.Cost.encryptions <- merged.Cost.encryptions + server_ops.Cost.encryptions;
+  merged.Cost.decryptions <- merged.Cost.decryptions + server_ops.Cost.decryptions;
+  merged.Cost.homomorphic <- merged.Cost.homomorphic + server_ops.Cost.homomorphic;
+  (value, cost, Channel.stats channel, Client.session client)
+
+let pack (distance, cost, stats, session) = { distance; cost; stats; session }
+
+let run_dtw ?params ?seed ?max_value ?decryption ?offline ?trace ~x ~y () =
+  pack
+    (run ~distance_kind:`Dtw ~runner:Secure_dtw.run ?params ?seed ?max_value
+       ?decryption ?offline ?trace ~x ~y ())
+
+let run_dfd ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+  pack
+    (run ~distance_kind:`Dfd ~runner:Secure_dfd.run ?params ?seed ?max_value
+       ?decryption ?offline ~x ~y ())
+
+let run_erp ?params ?seed ?max_value ?decryption ?offline ~gap ~x ~y () =
+  pack
+    (run ~distance_kind:`Erp ~runner:(Secure_erp.run ~gap) ?params ?seed ?max_value
+       ?decryption ?offline ~x ~y ())
+
+let run_dtw_banded ?params ?seed ?max_value ?decryption ?offline ?trace ~band ~x ~y () =
+  pack
+    (run ~distance_kind:`Dtw ~runner:(Secure_dtw_banded.run ~band) ?params ?seed
+       ?max_value ?decryption ?offline ?trace ~x ~y ())
+
+let run_dfd_banded ?params ?seed ?max_value ?decryption ?offline ?trace ~band ~x ~y () =
+  pack
+    (run ~distance_kind:`Dfd ~runner:(Secure_dtw_banded.run_dfd ~band) ?params
+       ?seed ?max_value ?decryption ?offline ?trace ~x ~y ())
+
+let run_euclidean ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+  pack
+    (run ~distance_kind:`Euclidean ~runner:Secure_euclidean.run ?params ?seed
+       ?max_value ?decryption ?offline ~x ~y ())
+
+let run_dtw_wavefront ?params ?seed ?max_value ?decryption ?offline ?trace ~x ~y () =
+  pack
+    (run ~distance_kind:`Dtw ~runner:Secure_dtw_wavefront.run_dtw ?params ?seed
+       ?max_value ?decryption ?offline ?trace ~x ~y ())
+
+let run_dfd_wavefront ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+  pack
+    (run ~distance_kind:`Dfd ~runner:Secure_dtw_wavefront.run_dfd ?params ?seed
+       ?max_value ?decryption ?offline ~x ~y ())
+
+type windows_result = {
+  window_distances : Bigint.t array;
+  windows_cost : Cost.t;
+  windows_stats : Stats.t;
+}
+
+let run_subsequence ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+  let distances, cost, stats, _session =
+    run ~distance_kind:`Euclidean ~runner:Secure_euclidean.sliding_windows ?params
+      ?seed ?max_value ?decryption ?offline ~x ~y ()
+  in
+  { window_distances = distances; windows_cost = cost; windows_stats = stats }
+
+(* Closed-form count of protocol "values" for this implementation's exact
+   message layout; the paper's mn(d + k + 4) appears as the dominant term
+   of the DTW case. *)
+let expected_values_transferred ~params ~m ~n ~d kind =
+  let k = params.Params.k in
+  let phase1 = n * (d + 1) in
+  let reveal = 2 in
+  match kind with
+  | `Dtw ->
+    let inner = (m - 1) * (n - 1) * (k + 3) in
+    phase1 + inner + reveal
+  | `Dfd ->
+    let borders = (m - 1 + (n - 1)) * (k + 2) in
+    let inner = (m - 1) * (n - 1) * (k + 3 + k + 2) in
+    phase1 + borders + inner + reveal

@@ -1,0 +1,167 @@
+(** One-call entry points: run a complete secure-distance session with
+    both parties in this process, over the accounted loopback channel.
+
+    This is the quickest way to use the library:
+
+    {[
+      let x = Series.of_list [3; 4; 5; 4; 6; 7]
+      and y = Series.of_list [2; 4; 6; 5; 7] in
+      let r = Protocol.run_dtw ~x ~y () in
+      Printf.printf "secure DTW distance = %d\n" (Bigint.to_int_exn r.distance)
+    ]}
+
+    For a real two-machine deployment use the [bin/ppst_server] and
+    [bin/ppst_client] executables (TCP), which drive exactly the same
+    {!Client}/{!Server} code. *)
+
+open Import
+
+type result = {
+  distance : Bigint.t;  (** the jointly revealed distance value *)
+  cost : Cost.t;  (** per-party, per-phase work and time *)
+  stats : Stats.t;  (** bytes/values/rounds over the wire *)
+  session : Params.session;  (** the masking parameters that were used *)
+}
+
+val distance_int : result -> int
+(** The distance as a native int.
+    @raise Failure if it does not fit (cannot happen for valid params). *)
+
+val run_dtw :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?trace:Trace.t ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Secure DTW between client series [x] and server series [y].
+    [seed] makes the run deterministic (tests/benches); omitted, both
+    parties draw from [/dev/urandom].  [max_value] overrides the
+    advertised coordinate bound (default: the actual maximum of each
+    party's series).  [decryption] picks the server's decryption path
+    (see {!Server.create}); [offline] toggles the client's randomness
+    precomputation (see {!Client.connect}); [trace] records per-round
+    message sizes for {!Netsim} replay. *)
+
+val run_dfd :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+
+val run_erp :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  gap:int array ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Secure ERP with the public gap element [gap] (see {!Secure_erp}). *)
+
+val run_dtw_banded :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?trace:Trace.t ->
+  band:int ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Secure Sakoe–Chiba banded DTW (see {!Secure_dtw_banded}).
+    @raise Secure_dtw_banded.Band_too_narrow when no path fits. *)
+
+val run_dfd_banded :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?trace:Trace.t ->
+  band:int ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Band-constrained secure Discrete Fréchet Distance
+    (see {!Secure_dtw_banded.run_dfd}). *)
+
+val run_euclidean :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Secure lockstep squared Euclidean distance (equal lengths). *)
+
+val run_dtw_wavefront :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?trace:Trace.t ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Secure DTW with anti-diagonal batching: identical result and leakage
+    profile, [m + n - 3] round trips instead of [(m-1)(n-1)]
+    (see {!Secure_dtw_wavefront}). *)
+
+val run_dfd_wavefront :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+
+type windows_result = {
+  window_distances : Bigint.t array;  (** one per window offset *)
+  windows_cost : Cost.t;
+  windows_stats : Stats.t;
+}
+
+val run_subsequence :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  windows_result
+(** Secure subsequence matching: Euclidean distance of server series [y]
+    against every window of client series [x]
+    (see {!Secure_euclidean.sliding_windows}). *)
+
+val expected_values_transferred :
+  params:Params.t -> m:int -> n:int -> d:int -> [ `Dtw | `Dfd ] -> int
+(** The paper's Section 5.2 communication formula — [mn(d + k + 4)]
+    values for DTW — adapted to this implementation's exact message
+    layout (border cells and the reveal round included).  Tests assert
+    the live accounting matches this closed form. *)

@@ -1,0 +1,44 @@
+open Import
+
+type metric = [ `Dtw | `Dfd ]
+
+type match_result = { index : int; distance : Bigint.t }
+
+let scan ?limit ~metric client =
+  (* the masking bound planned at connect time must cover the distance
+     actually run: a DTW scan on a `Dfd-planned session would exceed it *)
+  (match (metric, Client.distance client) with
+   | `Dtw, `Dtw | `Dfd, `Dfd -> ()
+   | (`Dtw | `Dfd), other ->
+     invalid_arg
+       (Printf.sprintf
+          "Search.scan: client session planned for %s but metric is %s;            connect with the matching ~distance"
+          (match other with
+           | `Dtw -> "`Dtw" | `Dfd -> "`Dfd" | `Erp -> "`Erp"
+           | `Euclidean -> "`Euclidean")
+          (match metric with `Dtw -> "`Dtw" | `Dfd -> "`Dfd")));
+  let lengths = Client.catalog client in
+  let total = Array.length lengths in
+  let count = match limit with Some l -> Stdlib.min l total | None -> total in
+  List.init count (fun index ->
+      Client.select_record client index;
+      let distance =
+        match metric with
+        | `Dtw -> Secure_dtw.run client
+        | `Dfd -> Secure_dfd.run client
+      in
+      { index; distance })
+
+let nearest ?limit ~metric client =
+  match scan ?limit ~metric client with
+  | [] -> invalid_arg "Search.nearest: empty catalog"
+  | first :: rest ->
+    List.fold_left
+      (fun best r -> if Bigint.compare r.distance best.distance < 0 then r else best)
+      first rest
+
+let within ?limit ~metric ~radius client =
+  let radius = Bigint.of_int radius in
+  scan ?limit ~metric client
+  |> List.filter (fun r -> Bigint.compare r.distance radius <= 0)
+  |> List.sort (fun a b -> Bigint.compare a.distance b.distance)

@@ -1,0 +1,42 @@
+(** Secure similarity search over a server-side database — the paper's
+    motivating scenario (hospital ECG lookup, signature databases) as a
+    first-class protocol layer.
+
+    One connection, one key: the client enumerates the server's records
+    ({!Client.catalog}), selects each in turn and runs a secure-distance
+    session against it.  What the parties learn is exactly the sequence of
+    revealed distances (one per compared record) — the same disclosure as
+    running independent sessions, minus the repeated handshakes.
+
+    All functions cross-check nothing and reveal every compared distance;
+    use {!nearest}'s [?limit] to bound disclosure when the database is
+    large. *)
+
+open Import
+
+type metric = [ `Dtw | `Dfd ]
+
+type match_result = {
+  index : int;  (** record index in the server's catalog *)
+  distance : Bigint.t;
+}
+
+val scan :
+  ?limit:int ->
+  metric:metric ->
+  Client.t ->
+  match_result list
+(** Compare the client's series against the first [limit] records
+    (default: all) and return every distance, in catalog order.
+    @raise Invalid_argument when the client was connected with a
+    different [~distance] than [metric] — the masking bound planned at
+    connect time must cover the distance actually run. *)
+
+val nearest : ?limit:int -> metric:metric -> Client.t -> match_result
+(** The closest record among those scanned.
+    @raise Invalid_argument on an empty catalog. *)
+
+val within :
+  ?limit:int -> metric:metric -> radius:int -> Client.t -> match_result list
+(** All scanned records with distance [<= radius], ascending by
+    distance. *)

@@ -1,0 +1,16 @@
+(** Privacy-preserving Discrete Fréchet Distance (paper Section 6).
+
+    DFD replaces DTW's homomorphic addition with a maximum, which cannot
+    be computed under Paillier locally — so every cell needs a phase-3
+    secure-maximum round on top of the phase-2 minimum, and the border
+    cells need phase-3 rounds too.  Cost is therefore roughly twice
+    secure DTW (paper Figures 7–8).
+
+    The result equals the plaintext
+    [Ppst_timeseries.Distance.dfd_sq] of the two series bit-for-bit. *)
+
+open Import
+
+val run : Client.t -> Bigint.t
+
+val run_matrix : Client.t -> Paillier.ciphertext array array * Bigint.t

@@ -1,0 +1,31 @@
+(* Paper Algorithm 1 on ciphertexts: cell = Enc(cost) + Enc(min of the
+   three predecessors), the min obtained through the phase-2 round. *)
+let run_matrix client =
+  Client.require_plan client `Dtw;
+  (* Offline phase: precompute all the randomness this run will consume —
+     one factor per row for phase 1, k + 2 per inner-cell minimum round. *)
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  let k = (Client.session client).Params.params.Params.k in
+  Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
+  let cost = Client.fetch_cost_matrix client in
+  let matrix = Array.make_matrix m n cost.(0).(0) in
+  for i = 1 to m - 1 do
+    matrix.(i).(0) <- Client.add client cost.(i).(0) matrix.(i - 1).(0)
+  done;
+  for j = 1 to n - 1 do
+    matrix.(0).(j) <- Client.add client cost.(0).(j) matrix.(0).(j - 1)
+  done;
+  for i = 1 to m - 1 do
+    for j = 1 to n - 1 do
+      let minimum =
+        Client.secure_min client
+          [| matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) |]
+      in
+      matrix.(i).(j) <- Client.add client cost.(i).(j) minimum
+    done
+  done;
+  let distance = Client.reveal client matrix.(m - 1).(n - 1) in
+  (matrix, distance)
+
+let run client = snd (run_matrix client)

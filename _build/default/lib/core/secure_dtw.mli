@@ -1,0 +1,21 @@
+(** Privacy-preserving Dynamic Time Warping (paper Section 5).
+
+    The client fills an [m × n] ciphertext matrix:
+    - borders accumulate by homomorphic addition (no interaction);
+    - every inner cell costs one phase-2 secure-minimum round of
+      [k + 2] ciphertexts;
+    - the final cell is jointly revealed.
+
+    The result equals the plaintext
+    [Ppst_timeseries.Distance.dtw_sq] of the two series bit-for-bit. *)
+
+open Import
+
+val run : Client.t -> Bigint.t
+(** Execute phases 1 and 2 and reveal the distance.  The client object
+    accumulates cost/timing; communication totals live in the channel's
+    {!Stats}. *)
+
+val run_matrix : Client.t -> Paillier.ciphertext array array * Bigint.t
+(** Like {!run} but also returns the filled ciphertext matrix (tests use
+    it to check that the client's view stays encrypted). *)

@@ -1,0 +1,119 @@
+exception Band_too_narrow
+
+(* Mirrors Distance.dtw_sq_banded: out-of-band cells do not exist, and a
+   cell combines only its in-band predecessors.  With zero or one live
+   predecessor no interaction is needed; with two or three, a phase-2
+   round runs on exactly those inputs. *)
+let run_matrix ~band client =
+  Client.require_plan client `Dtw;
+  if band < 0 then invalid_arg "Secure_dtw_banded.run: negative band";
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  if abs (m - n) > band then raise Band_too_narrow;
+  let in_band i j = abs (i - j) <= band in
+  let k = (Client.session client).Params.params.Params.k in
+  (* offline randomness (upper bound): m row norms + (k + 2) per in-band
+     inner cell; cells per row <= 2*band + 1 *)
+  let in_band_cells = m * ((2 * band) + 1) in
+  Client.precompute_randomness client (m + (in_band_cells * (k + 2)));
+  (* phase 1: only in-band cost cells are ever read, but the cost-matrix
+     evaluation is already the cheap part; computing the full matrix keeps
+     the phase-1 message identical to unbanded DTW (same leakage profile).
+     Skip per-cell work lazily instead. *)
+  let data = Client.fetch_phase1 client in
+  let cost = Client.cost_matrix_of client data in
+  let matrix = Array.make_matrix m n None in
+  matrix.(0).(0) <- Some cost.(0).(0);
+  for i = 1 to m - 1 do
+    if in_band i 0 then
+      match matrix.(i - 1).(0) with
+      | Some prev -> matrix.(i).(0) <- Some (Client.add client cost.(i).(0) prev)
+      | None -> ()
+  done;
+  for j = 1 to n - 1 do
+    if in_band 0 j then
+      match matrix.(0).(j - 1) with
+      | Some prev -> matrix.(0).(j) <- Some (Client.add client cost.(0).(j) prev)
+      | None -> ()
+  done;
+  for i = 1 to m - 1 do
+    for j = 1 to n - 1 do
+      if in_band i j then begin
+        let predecessors =
+          List.filter_map Fun.id
+            [ matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) ]
+        in
+        match predecessors with
+        | [] -> ()
+        | [ only ] -> matrix.(i).(j) <- Some (Client.add client cost.(i).(j) only)
+        | several ->
+          let minimum = Client.secure_min client (Array.of_list several) in
+          matrix.(i).(j) <- Some (Client.add client cost.(i).(j) minimum)
+      end
+    done
+  done;
+  match matrix.(m - 1).(n - 1) with
+  | Some final ->
+    let distance = Client.reveal client final in
+    (matrix, distance)
+  | None -> raise Band_too_narrow
+
+let run ~band client = snd (run_matrix ~band client)
+
+(* Banded Discrete Fréchet: same band geometry, with the DFD cell rule —
+   a phase-2 minimum over the live predecessors followed by a phase-3
+   maximum against the local cost (borders are pure maximum chains). *)
+let run_dfd_matrix ~band client =
+  if band < 0 then invalid_arg "Secure_dtw_banded.run_dfd: negative band";
+  Client.require_plan client `Dfd;
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  if abs (m - n) > band then raise Band_too_narrow;
+  let in_band i j = abs (i - j) <= band in
+  let k = (Client.session client).Params.params.Params.k in
+  let in_band_cells = m * ((2 * band) + 1) in
+  Client.precompute_randomness client
+    (m + (in_band_cells * ((k + 2) + (k + 1))));
+  let data = Client.fetch_phase1 client in
+  let cost = Client.cost_matrix_of client data in
+  let matrix = Array.make_matrix m n None in
+  matrix.(0).(0) <- Some cost.(0).(0);
+  for i = 1 to m - 1 do
+    if in_band i 0 then
+      match matrix.(i - 1).(0) with
+      | Some prev ->
+        matrix.(i).(0) <- Some (Client.secure_max client [| cost.(i).(0); prev |])
+      | None -> ()
+  done;
+  for j = 1 to n - 1 do
+    if in_band 0 j then
+      match matrix.(0).(j - 1) with
+      | Some prev ->
+        matrix.(0).(j) <- Some (Client.secure_max client [| cost.(0).(j); prev |])
+      | None -> ()
+  done;
+  for i = 1 to m - 1 do
+    for j = 1 to n - 1 do
+      if in_band i j then begin
+        let predecessors =
+          List.filter_map Fun.id
+            [ matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) ]
+        in
+        match predecessors with
+        | [] -> ()
+        | [ only ] ->
+          matrix.(i).(j) <- Some (Client.secure_max client [| cost.(i).(j); only |])
+        | several ->
+          let minimum = Client.secure_min client (Array.of_list several) in
+          matrix.(i).(j) <-
+            Some (Client.secure_max client [| cost.(i).(j); minimum |])
+      end
+    done
+  done;
+  match matrix.(m - 1).(n - 1) with
+  | Some final ->
+    let distance = Client.reveal client final in
+    (matrix, distance)
+  | None -> raise Band_too_narrow
+
+let run_dfd ~band client = snd (run_dfd_matrix ~band client)

@@ -1,0 +1,41 @@
+(** Privacy-preserving DTW under a Sakoe–Chiba band constraint.
+
+    Cells with [|i - j| > band] are excluded from the warping path —
+    the standard constrained-DTW speedup.  The band width is a {e public}
+    parameter (both parties learn it; it reveals nothing about the data),
+    and only in-band cells trigger phase-2 rounds, cutting both time and
+    communication from [O(m·n)] to [O((m + n)·band)].
+
+    At the band's edges a cell has fewer than three in-band predecessors;
+    the secure-minimum round simply runs with two inputs (or none — a
+    plain homomorphic addition) without any protocol change, since the
+    masking construction works for any input count.
+
+    The result equals
+    [Ppst_timeseries.Distance.dtw_sq_banded ~band] bit-for-bit; callers
+    must check band feasibility ([|m - n| <= band]) up front, mirroring
+    the plaintext function's [None]. *)
+
+open Import
+
+exception Band_too_narrow
+(** Raised when [band < |m - n|]: no complete warping path exists. *)
+
+val run : band:int -> Client.t -> Bigint.t
+(** Connect the client with [~distance:`Dtw] (the banded bound is never
+    larger).
+    @raise Band_too_narrow when the band admits no path
+    @raise Invalid_argument on a negative band. *)
+
+val run_matrix :
+  band:int -> Client.t -> Paillier.ciphertext option array array * Bigint.t
+(** The matrix holds [None] outside the band. *)
+
+val run_dfd : band:int -> Client.t -> Bigint.t
+(** Band-constrained secure Discrete Fréchet Distance; connect with
+    [~distance:`Dfd].  Matches
+    [Ppst_timeseries.Distance.dfd_sq_banded ~band] bit-for-bit.
+    @raise Band_too_narrow / @raise Invalid_argument as {!run}. *)
+
+val run_dfd_matrix :
+  band:int -> Client.t -> Paillier.ciphertext option array array * Bigint.t

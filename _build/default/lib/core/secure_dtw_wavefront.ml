@@ -1,0 +1,72 @@
+(* Cells of one anti-diagonal: (i, j) with i + j = s, 1 <= i < m,
+   1 <= j < n, ascending in i. *)
+let diagonal_cells ~m ~n s =
+  let lo = Stdlib.max 1 (s - (n - 1)) in
+  let hi = Stdlib.min (m - 1) (s - 1) in
+  if hi < lo then []
+  else List.init (hi - lo + 1) (fun idx -> (lo + idx, s - (lo + idx)))
+
+let run_dtw client =
+  Client.require_plan client `Dtw;
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  let k = (Client.session client).Params.params.Params.k in
+  Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
+  let cost = Client.fetch_cost_matrix client in
+  let matrix = Array.make_matrix m n cost.(0).(0) in
+  for i = 1 to m - 1 do
+    matrix.(i).(0) <- Client.add client cost.(i).(0) matrix.(i - 1).(0)
+  done;
+  for j = 1 to n - 1 do
+    matrix.(0).(j) <- Client.add client cost.(0).(j) matrix.(0).(j - 1)
+  done;
+  for s = 2 to m + n - 2 do
+    let cells = diagonal_cells ~m ~n s in
+    let instances =
+      List.map
+        (fun (i, j) ->
+          [| matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) |])
+        cells
+    in
+    let minima = Client.secure_min_batch client (Array.of_list instances) in
+    List.iteri
+      (fun idx (i, j) -> matrix.(i).(j) <- Client.add client cost.(i).(j) minima.(idx))
+      cells
+  done;
+  Client.reveal client matrix.(m - 1).(n - 1)
+
+let run_dfd client =
+  Client.require_plan client `Dfd;
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  let k = (Client.session client).Params.params.Params.k in
+  let max_rounds = ((m - 1) * (n - 1)) + (m - 1) + (n - 1) in
+  Client.precompute_randomness client
+    (m + ((m - 1) * (n - 1) * (k + 2)) + (max_rounds * (k + 1)));
+  let cost = Client.fetch_cost_matrix client in
+  let matrix = Array.make_matrix m n cost.(0).(0) in
+  (* both borders are chains of maxima: batch each border column/row as
+     one sequence of singleton diagonals is pointless — instead batch the
+     two borders jointly per step along the diagonal index *)
+  for i = 1 to m - 1 do
+    matrix.(i).(0) <- (Client.secure_max_batch client [| [| cost.(i).(0); matrix.(i - 1).(0) |] |]).(0)
+  done;
+  for j = 1 to n - 1 do
+    matrix.(0).(j) <- (Client.secure_max_batch client [| [| cost.(0).(j); matrix.(0).(j - 1) |] |]).(0)
+  done;
+  for s = 2 to m + n - 2 do
+    let cells = diagonal_cells ~m ~n s in
+    let min_instances =
+      List.map
+        (fun (i, j) ->
+          [| matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) |])
+        cells
+    in
+    let minima = Client.secure_min_batch client (Array.of_list min_instances) in
+    let max_instances =
+      List.mapi (fun idx (i, j) -> [| cost.(i).(j); minima.(idx) |]) cells
+    in
+    let maxima = Client.secure_max_batch client (Array.of_list max_instances) in
+    List.iteri (fun idx (i, j) -> matrix.(i).(j) <- maxima.(idx)) cells
+  done;
+  Client.reveal client matrix.(m - 1).(n - 1)

@@ -1,0 +1,26 @@
+(** Wavefront (anti-diagonal batched) secure DTW and DFD.
+
+    Cells on the same anti-diagonal [i + j = s] of the DP matrix have no
+    data dependencies between them, so their phase-2 (and, for DFD,
+    phase-3) rounds can share a single message round trip.  The round
+    count falls from [(m-1)(n-1)] to [m + n - 3] — on a real network at,
+    say, 0.5 ms RTT, that is the difference between ~5 s and ~50 ms of
+    pure latency for 100×100 series.
+
+    Masking is per-instance and identical to the per-cell protocol: each
+    cell still gets its own random-offset set, shuffle and fresh
+    re-encryption, so both parties' views are the same multiset of values
+    they would see in the sequential protocol (the server additionally
+    learns which cells share a diagonal — but the diagonal structure of
+    DTW is public knowledge anyway).
+
+    Results equal [Distance.dtw_sq] / [Distance.dfd_sq] bit-for-bit. *)
+
+open Import
+
+val run_dtw : Client.t -> Bigint.t
+(** Connect with [~distance:`Dtw]. *)
+
+val run_dfd : Client.t -> Bigint.t
+(** Connect with [~distance:`Dfd].  Each anti-diagonal costs one batched
+    minimum round followed by one batched maximum round. *)

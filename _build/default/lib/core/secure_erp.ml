@@ -1,0 +1,45 @@
+(* Mirrors Distance.erp_sq exactly: an (m+1) x (n+1) matrix whose borders
+   accumulate gap penalties and whose inner cells take a three-way secure
+   minimum over candidate *sums*.  Unlike DTW, the additions happen before
+   the minimum (the three predecessors carry different local costs), so
+   each cell does 3 homomorphic additions and then one phase-2 round. *)
+let run_matrix ~gap client =
+  Client.require_plan client `Erp;
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  let k = (Client.session client).Params.params.Params.k in
+  (* offline randomness: 1 border-zero encryption, m row-norm encryptions,
+     (k + 2) offset encryptions per inner cell *)
+  Client.precompute_randomness client (1 + m + (m * n * (k + 2)));
+  let data = Client.fetch_phase1 client in
+  let cost = Client.cost_matrix_of client data in
+  let y_gap = Client.gap_costs_of client data ~gap in
+  (* deletion penalties of the client's own elements: plaintext constants *)
+  let x_gap =
+    Array.init m (fun i ->
+        Ppst_timeseries.Distance.sq_euclidean (Client.client_element client i) gap)
+  in
+  let matrix =
+    Array.make_matrix (m + 1) (n + 1) (Client.encrypt_constant client 0)
+  in
+  for i = 1 to m do
+    matrix.(i).(0) <- Client.add_plain client matrix.(i - 1).(0) x_gap.(i - 1)
+  done;
+  for j = 1 to n do
+    matrix.(0).(j) <- Client.add client matrix.(0).(j - 1) y_gap.(j - 1)
+  done;
+  for i = 1 to m do
+    for j = 1 to n do
+      let match_candidate =
+        Client.add client matrix.(i - 1).(j - 1) cost.(i - 1).(j - 1)
+      in
+      let delete_x = Client.add_plain client matrix.(i - 1).(j) x_gap.(i - 1) in
+      let delete_y = Client.add client matrix.(i).(j - 1) y_gap.(j - 1) in
+      matrix.(i).(j) <-
+        Client.secure_min client [| match_candidate; delete_x; delete_y |]
+    done
+  done;
+  let distance = Client.reveal client matrix.(m).(n) in
+  (matrix, distance)
+
+let run ~gap client = snd (run_matrix ~gap client)

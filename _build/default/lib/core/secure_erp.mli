@@ -1,0 +1,32 @@
+(** Privacy-preserving ERP — Edit distance with Real Penalty (Chen & Ng,
+    VLDB 2004) — the paper's Section 8 claim made concrete: "our protocols
+    can be easily extended to any privacy preserving distance computation
+    using dynamic programming".
+
+    ERP aligns the two series like edit distance, but gaps are charged
+    their squared distance to a fixed public {e gap element} [g] (usually
+    the origin), which restores the triangle inequality that DTW lacks.
+    The cell recurrence on ciphertexts:
+
+    [M(i,j) = min { M(i-1,j-1) + Enc(δ²(x_i, y_j)),
+                    M(i-1,j)   + δ²(x_i, g)          (client-known constant),
+                    M(i,j-1)   + Enc(δ²(y_j, g)) }]
+
+    All three local costs come from the single phase-1 transfer: the
+    [δ²(y_j, g)] terms are derived homomorphically ({!Client.gap_costs_of}),
+    the [δ²(x_i, g)] terms are plaintext constants folded in with
+    [add_plain].  Each of the [m·n] cells costs one phase-2 round over the
+    three candidate sums.
+
+    The result equals [Ppst_timeseries.Distance.erp_sq ~gap] bit-for-bit. *)
+
+open Import
+
+val run : gap:int array -> Client.t -> Bigint.t
+(** The client must have been connected with [~distance:`Erp] so the
+    masking parameters cover the larger ERP value bound.
+    @raise Invalid_argument on a bad gap element. *)
+
+val run_matrix : gap:int array -> Client.t -> Paillier.ciphertext array array * Bigint.t
+(** Also returns the [(m+1) × (n+1)] ciphertext matrix (row/column 0 are
+    the cumulative gap borders). *)

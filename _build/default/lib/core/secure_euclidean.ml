@@ -1,0 +1,39 @@
+open Import
+
+(* Lockstep sum of Enc(δ²(x_{o+j}, y_j)) over j — entirely homomorphic.
+   For window matching all offsets share one phase-1 transfer and one
+   m x n cost matrix. *)
+let window_distances client =
+  Client.require_plan client `Euclidean;
+  let m = Client.client_length client in
+  let n = Client.server_length client in
+  if m < n then
+    invalid_arg "Secure_euclidean: client series shorter than the server's";
+  Client.precompute_randomness client m;
+  let cost = Client.fetch_cost_matrix client in
+  Array.init
+    (m - n + 1)
+    (fun o ->
+      let acc = ref cost.(o).(0) in
+      for j = 1 to n - 1 do
+        acc := Client.add client !acc cost.(o + j).(j)
+      done;
+      !acc)
+
+let run client =
+  if Client.client_length client <> Client.server_length client then
+    invalid_arg "Secure_euclidean.run: series lengths differ";
+  match window_distances client with
+  | [| single |] -> Client.reveal client single
+  | _ -> assert false
+
+let sliding_windows client =
+  Array.map (Client.reveal client) (window_distances client)
+
+let best_window client =
+  let distances = sliding_windows client in
+  let best = ref 0 in
+  Array.iteri
+    (fun o d -> if Bigint.compare d distances.(!best) < 0 then best := o)
+    distances;
+  (!best, distances.(!best))

@@ -1,0 +1,34 @@
+(** Privacy-preserving (squared) Euclidean distance and sliding-window
+    subsequence matching.
+
+    Whole-series Euclidean distance is the degenerate case of the
+    framework: after phase 1 the client sums the lockstep costs
+    homomorphically — no phase-2 rounds, no masking, one reveal.  This is
+    the classic protocol of the paper's Section 3.2 references, provided
+    both as a baseline and because the evaluation's cheapest queries
+    (exact match / ε-range with lockstep alignment) only need it.
+
+    {!sliding_windows} extends it to the paper's introduction scenario of
+    {e subsequence matching}: the client holds a long series [X], the
+    server a query [Y] of length [n ≤ m], and they compute the distance of
+    [Y] against every length-[n] window of [X] — all windows are assembled
+    from the single phase-1 transfer.  Each revealed window distance is
+    one unit of the agreed result disclosure. *)
+
+open Import
+
+val run : Client.t -> Bigint.t
+(** Whole-series squared Euclidean distance; requires both series to have
+    equal length.  Connect with [~distance:`Euclidean].
+    @raise Invalid_argument on a length mismatch. *)
+
+val sliding_windows : Client.t -> Bigint.t array
+(** Distance of the server's series against every window
+    [X\[o .. o+n-1\]]; [m - n + 1] values, in offset order.  Connect with
+    [~distance:`Euclidean].
+    @raise Invalid_argument when the client series is shorter than the
+    server's. *)
+
+val best_window : Client.t -> int * Bigint.t
+(** [(offset, distance)] of the best-matching window (computed from
+    {!sliding_windows}; ties resolve to the smallest offset). *)

@@ -1,0 +1,187 @@
+open Import
+
+type t = {
+  records : Series.t array;
+  mutable selected : int;
+  sk : Paillier.private_key;
+  rng : Secure_rng.t;
+  max_value : int;
+  ops : Cost.ops;
+  mutable reveals : int;
+  max_reveals : int option;
+  decrypt : Paillier.private_key -> Paillier.ciphertext -> Bigint.t;
+}
+
+let check_bounds series max_value =
+  let len = Series.length series and d = Series.dimension series in
+  for i = 0 to len - 1 do
+    let e = Series.get series i in
+    for l = 0 to d - 1 do
+      if e.(l) < 0 || e.(l) > max_value then
+        invalid_arg
+          (Printf.sprintf "Server: coordinate %d of element %d is %d, outside [0, %d]"
+             l i e.(l) max_value)
+    done
+  done
+
+let create_db_with_key ?(decryption = `Standard) ?max_reveals ~sk ~rng ~records
+    ~max_value () =
+  if Array.length records = 0 then invalid_arg "Server: empty record set";
+  let dim = Series.dimension records.(0) in
+  Array.iter
+    (fun series ->
+      if Series.dimension series <> dim then
+        invalid_arg "Server: records have differing dimensions";
+      check_bounds series max_value)
+    records;
+  let decrypt =
+    match decryption with
+    | `Standard -> Paillier.decrypt
+    | `Crt -> Paillier.decrypt_crt
+  in
+  (match max_reveals with
+   | Some limit when limit <= 0 ->
+     invalid_arg "Server: max_reveals must be positive"
+   | _ -> ());
+  {
+    records;
+    selected = 0;
+    sk;
+    rng;
+    max_value;
+    ops = { encryptions = 0; decryptions = 0; homomorphic = 0 };
+    reveals = 0;
+    max_reveals;
+    decrypt;
+  }
+
+let create_with_key ?decryption ?max_reveals ~sk ~rng ~series ~max_value () =
+  create_db_with_key ?decryption ?max_reveals ~sk ~rng ~records:[| series |]
+    ~max_value ()
+
+let create_db ?(params = Params.default) ?decryption ?max_reveals ~rng ~records
+    ~max_value () =
+  let _pk, sk = Paillier.keygen ~bits:params.Params.key_bits rng in
+  create_db_with_key ?decryption ?max_reveals ~sk ~rng ~records ~max_value ()
+
+let create ?params ?decryption ?max_reveals ~rng ~series ~max_value () =
+  create_db ?params ?decryption ?max_reveals ~rng ~records:[| series |] ~max_value ()
+
+let public_key t = t.sk.Paillier.public
+let private_key t = t.sk
+let ops t = t.ops
+let reveal_count t = t.reveals
+let record_count t = Array.length t.records
+let selected t = t.selected
+let active_series t = t.records.(t.selected)
+
+(* Phase 1 payload: for every element y_j, Enc(Σ_l y_jl²) and each
+   Enc(y_jl) — the one-way transfer of Section 3.2. *)
+let phase1_elements t =
+  let pk = public_key t in
+  let series = active_series t in
+  let d = Series.dimension series in
+  Array.init (Series.length series) (fun j ->
+      let y = Series.get series j in
+      let sum_sq = ref 0 in
+      for l = 0 to d - 1 do
+        sum_sq := !sum_sq + (y.(l) * y.(l))
+      done;
+      t.ops.encryptions <- t.ops.encryptions + d + 1;
+      {
+        Message.sum_sq =
+          Paillier.ciphertext_to_bigint
+            (Paillier.encrypt pk t.rng (Bigint.of_int !sum_sq));
+        coords =
+          Array.map
+            (fun v ->
+              Paillier.ciphertext_to_bigint
+                (Paillier.encrypt pk t.rng (Bigint.of_int v)))
+            (Array.map Fun.id y);
+      })
+
+(* Decrypt every candidate, select by [better], and return a *fresh*
+   encryption of the selected plaintext (path hiding, Section 5.5). *)
+exception Bad_candidates of string
+
+let extreme_of t ~better (candidates : Bigint.t array) =
+  let pk = public_key t in
+  if Array.length candidates < 2 then raise (Bad_candidates "need at least two candidates");
+  match
+    Array.map
+      (fun v ->
+        let c = Paillier.ciphertext_of_bigint pk v in
+        t.ops.decryptions <- t.ops.decryptions + 1;
+        t.decrypt t.sk c)
+      candidates
+  with
+  | exception Paillier.Invalid_plaintext m -> raise (Bad_candidates m)
+  | plains ->
+    let extreme =
+      Array.fold_left (fun acc v -> if better v acc then v else acc) plains.(0) plains
+    in
+    t.ops.encryptions <- t.ops.encryptions + 1;
+    Paillier.ciphertext_to_bigint (Paillier.encrypt pk t.rng extreme)
+
+let select_extreme t ~better candidates =
+  match extreme_of t ~better candidates with
+  | v -> Message.Cipher_reply v
+  | exception Bad_candidates m -> Message.Error_reply m
+
+(* Wavefront extension: many independent instances in one round trip. *)
+let select_extreme_batch t ~better (sets : Bigint.t array array) =
+  if Array.length sets = 0 then Message.Error_reply "empty batch"
+  else begin
+    match Array.map (extreme_of t ~better) sets with
+    | replies -> Message.Batch_cipher_reply replies
+    | exception Bad_candidates m -> Message.Error_reply m
+  end
+
+let handle t (req : Message.request) : Message.reply =
+  let pk = public_key t in
+  match req with
+  | Message.Hello ->
+    Message.Welcome
+      {
+        n = pk.Paillier.n;
+        key_bits = pk.Paillier.bits;
+        series_length = Series.length (active_series t);
+        dimension = Series.dimension (active_series t);
+        max_value = t.max_value;
+      }
+  | Message.Catalog_request ->
+    Message.Catalog_reply (Array.map Series.length t.records)
+  | Message.Select_request i ->
+    if i < 0 || i >= Array.length t.records then
+      Message.Error_reply
+        (Printf.sprintf "record %d out of range [0, %d)" i (Array.length t.records))
+    else begin
+      t.selected <- i;
+      Message.Select_ack i
+    end
+  | Message.Phase1_request -> Message.Phase1_reply (phase1_elements t)
+  | Message.Min_request candidates ->
+    select_extreme t ~better:(fun a b -> Bigint.compare a b < 0) candidates
+  | Message.Max_request candidates ->
+    select_extreme t ~better:(fun a b -> Bigint.compare a b > 0) candidates
+  | Message.Batch_min_request sets ->
+    select_extreme_batch t ~better:(fun a b -> Bigint.compare a b < 0) sets
+  | Message.Batch_max_request sets ->
+    select_extreme_batch t ~better:(fun a b -> Bigint.compare a b > 0) sets
+  | Message.Reveal_request v -> begin
+    match t.max_reveals with
+    | Some limit when t.reveals >= limit ->
+      Message.Error_reply
+        (Printf.sprintf "reveal budget exhausted (%d allowed per session)" limit)
+    | _ -> begin
+      match Paillier.ciphertext_of_bigint pk v with
+      | exception Paillier.Invalid_plaintext m -> Message.Error_reply m
+      | c ->
+        t.ops.decryptions <- t.ops.decryptions + 1;
+        t.reveals <- t.reveals + 1;
+        Message.Reveal_reply (t.decrypt t.sk c)
+    end
+  end
+  | Message.Bye -> Message.Bye_ack
+
+let handler = handle

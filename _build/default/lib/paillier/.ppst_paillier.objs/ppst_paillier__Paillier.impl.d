@@ -1,0 +1,1 @@
+lib/paillier/paillier.ml: Bigint List Modular Ppst_bigint Ppst_rng Prime Printf String

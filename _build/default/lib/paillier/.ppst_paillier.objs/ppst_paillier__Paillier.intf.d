@@ -1,0 +1,1 @@
+lib/paillier/paillier.mli: Bigint Modular Ppst_bigint Ppst_rng

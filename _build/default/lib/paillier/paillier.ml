@@ -1,0 +1,287 @@
+open Ppst_bigint
+
+type public_key = {
+  n : Bigint.t;
+  n_squared : Bigint.t;
+  g : Bigint.t;
+  bits : int;
+  ctx_n2 : Modular.ctx;
+}
+
+type private_key = {
+  p : Bigint.t;
+  q : Bigint.t;
+  lambda : Bigint.t;
+  mu : Bigint.t;
+  public : public_key;
+  p_squared : Bigint.t;
+  q_squared : Bigint.t;
+  hp : Bigint.t;
+  hq : Bigint.t;
+  p_inv_mod_q : Bigint.t;
+  ctx_p2 : Modular.ctx;
+  ctx_q2 : Modular.ctx;
+}
+
+type ciphertext = { key_n : Bigint.t; value : Bigint.t }
+
+exception Invalid_plaintext of string
+exception Key_mismatch
+
+let check_same_key pk c =
+  if not (Bigint.equal pk.n c.key_n) then raise Key_mismatch
+
+(* L(x) = (x - 1) / n, defined on x = 1 mod n. *)
+let l_function x n = Bigint.div (Bigint.pred x) n
+
+let make_public n bits =
+  {
+    n;
+    n_squared = Bigint.mul n n;
+    g = Bigint.succ n;
+    bits;
+    ctx_n2 = Modular.make_ctx (Bigint.mul n n);
+  }
+
+let public_of_modulus n ~bits =
+  if Bigint.compare n Bigint.two <= 0 || Bigint.is_even n then
+    raise (Invalid_plaintext "modulus must be an odd integer > 2");
+  if Bigint.num_bits n <> bits then
+    raise
+      (Invalid_plaintext
+         (Printf.sprintf "modulus has %d bits, expected %d" (Bigint.num_bits n) bits));
+  make_public n bits
+
+(* Assemble the full key material from validated primes. *)
+let assemble p q =
+  let n = Bigint.mul p q in
+  let p1 = Bigint.pred p and q1 = Bigint.pred q in
+  let lambda = Modular.lcm p1 q1 in
+  let public = make_public n (Bigint.num_bits n) in
+  (* mu = (L(g^lambda mod n^2))^-1 mod n; with g = n+1,
+     g^lambda = 1 + lambda*n mod n^2, so L(...) = lambda mod n. *)
+  let mu = Modular.invert lambda n in
+  let p_squared = Bigint.mul p p in
+  let q_squared = Bigint.mul q q in
+  (* CRT decryption constants (as in accelerated Paillier):
+     hp = L_p(g^{p-1} mod p^2)^-1 mod p, and symmetrically hq. *)
+  let lp x = Bigint.div (Bigint.pred x) p in
+  let lq x = Bigint.div (Bigint.pred x) q in
+  let g = public.g in
+  let ctx_p2 = Modular.make_ctx p_squared in
+  let ctx_q2 = Modular.make_ctx q_squared in
+  let hp = Modular.invert (lp (Modular.pow_ctx ctx_p2 g p1)) p in
+  let hq = Modular.invert (lq (Modular.pow_ctx ctx_q2 g q1)) q in
+  let p_inv_mod_q = Modular.invert p q in
+  ( public,
+    {
+      p; q; lambda; mu; public; p_squared; q_squared; hp; hq; p_inv_mod_q;
+      ctx_p2; ctx_q2;
+    } )
+
+let of_primes ~p ~q =
+  if Bigint.compare p Bigint.two <= 0 || Bigint.compare q Bigint.two <= 0 then
+    raise (Invalid_plaintext "primes must exceed 2");
+  if Bigint.equal p q then raise (Invalid_plaintext "primes must be distinct");
+  let p1 = Bigint.pred p and q1 = Bigint.pred q in
+  let n = Bigint.mul p q in
+  if not (Bigint.equal (Modular.gcd n (Bigint.mul p1 q1)) Bigint.one) then
+    raise (Invalid_plaintext "gcd(pq, (p-1)(q-1)) must be 1");
+  assemble p q
+
+let keygen ?(bits = 64) rng =
+  if bits < 16 then invalid_arg "Paillier.keygen: modulus below 16 bits";
+  let half = bits / 2 in
+  let random_bits b = Ppst_rng.Secure_rng.bits rng b in
+  let rec gen () =
+    let p = Prime.random_prime ~random_bits ~bits:half in
+    let q = Prime.random_prime ~random_bits ~bits:(bits - half) in
+    if Bigint.equal p q then gen ()
+    else begin
+      let n = Bigint.mul p q in
+      let p1 = Bigint.pred p and q1 = Bigint.pred q in
+      (* g = n+1 requires gcd(n, (p-1)(q-1)) = 1, which holds when neither
+         prime divides the other's predecessor. *)
+      if
+        Bigint.num_bits n = bits
+        && Bigint.equal (Modular.gcd n (Bigint.mul p1 q1)) Bigint.one
+      then (p, q)
+      else gen ()
+    end
+  in
+  let p, q = gen () in
+  assemble p q
+
+let key_file_header = "ppst-paillier-v1"
+
+let private_key_to_string sk =
+  Printf.sprintf "%s\np=%s\nq=%s\n" key_file_header (Bigint.to_string sk.p)
+    (Bigint.to_string sk.q)
+
+let private_key_of_string text =
+  let fail m = raise (Invalid_plaintext ("key parse: " ^ m)) in
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: rest when header = key_file_header ->
+    let field name =
+      let prefix = name ^ "=" in
+      match
+        List.find_opt
+          (fun l -> String.length l > String.length prefix
+                    && String.sub l 0 (String.length prefix) = prefix)
+          rest
+      with
+      | Some l ->
+        let v = String.sub l (String.length prefix) (String.length l - String.length prefix) in
+        (try Bigint.of_string v with Invalid_argument m -> fail m)
+      | None -> fail (Printf.sprintf "missing field %s" name)
+    in
+    let p = field "p" and q = field "q" in
+    if not (Prime.is_probable_prime p) then fail "p is not prime";
+    if not (Prime.is_probable_prime q) then fail "q is not prime";
+    of_primes ~p ~q
+  | _ -> fail "bad header"
+
+let check_plaintext pk m =
+  if Bigint.is_negative m || Bigint.compare m pk.n >= 0 then
+    raise
+      (Invalid_plaintext
+         (Printf.sprintf "plaintext %s outside [0, n)" (Bigint.to_string m)))
+
+(* Random r in [1, n) with gcd(r, n) = 1.  For honest keys a random unit
+   fails coprimality with probability ~ 2/sqrt(n); we re-draw. *)
+let random_unit pk rng =
+  let rec draw () =
+    let r = Ppst_rng.Secure_rng.below rng pk.n in
+    if Bigint.is_zero r then draw ()
+    else if Bigint.equal (Modular.gcd r pk.n) Bigint.one then r
+    else draw ()
+  in
+  draw ()
+
+(* With g = n+1: g^m = 1 + m*n (mod n^2), avoiding one exponentiation. *)
+let g_pow_m pk m = Bigint.erem (Bigint.succ (Bigint.mul m pk.n)) pk.n_squared
+
+let fresh_rn pk rng =
+  let r = random_unit pk rng in
+  Modular.pow_ctx pk.ctx_n2 r pk.n
+
+let encrypt pk rng m =
+  check_plaintext pk m;
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) (fresh_rn pk rng) }
+
+(* Offline/online split (Paillier 1999, Section 6): the expensive factor
+   r^n of a ciphertext is independent of the plaintext, so a party can
+   precompute a pool of such factors while idle and encrypt online with
+   two modular multiplications.  The protocol's client — the weak party in
+   the paper's asymmetric setting — uses this for its masking offsets. *)
+type randomness_pool = {
+  pool_n : Bigint.t;
+  mutable store : Bigint.t list;
+  mutable available : int;
+}
+
+let pool_create pk = { pool_n = pk.n; store = []; available = 0 }
+
+let pool_size pool = pool.available
+
+let pool_refill pk pool rng count =
+  if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
+  for _ = 1 to count do
+    pool.store <- fresh_rn pk rng :: pool.store
+  done;
+  pool.available <- pool.available + count
+
+let encrypt_pooled pk pool rng m =
+  check_plaintext pk m;
+  if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
+  let rn =
+    match pool.store with
+    | rn :: rest ->
+      pool.store <- rest;
+      pool.available <- pool.available - 1;
+      rn
+    | [] -> fresh_rn pk rng
+  in
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) rn }
+
+let encrypt_zero pk rng = encrypt pk rng Bigint.zero
+
+let decrypt sk c =
+  let pk = sk.public in
+  check_same_key pk c;
+  let x = Modular.pow_ctx pk.ctx_n2 c.value sk.lambda in
+  Bigint.erem (Bigint.mul (l_function x pk.n) sk.mu) pk.n
+
+(* CRT decryption: decrypt mod p and mod q separately with half-size
+   exponentiations, then recombine. *)
+let decrypt_crt sk c =
+  let pk = sk.public in
+  check_same_key pk c;
+  let p1 = Bigint.pred sk.p and q1 = Bigint.pred sk.q in
+  let cp = Bigint.erem c.value sk.p_squared in
+  let cq = Bigint.erem c.value sk.q_squared in
+  let lp x = Bigint.div (Bigint.pred x) sk.p in
+  let lq x = Bigint.div (Bigint.pred x) sk.q in
+  let mp = Bigint.erem (Bigint.mul (lp (Modular.pow_ctx sk.ctx_p2 cp p1)) sk.hp) sk.p in
+  let mq = Bigint.erem (Bigint.mul (lq (Modular.pow_ctx sk.ctx_q2 cq q1)) sk.hq) sk.q in
+  (* Garner recombination: m = mp + p * ((mq - mp) * p^-1 mod q). *)
+  let diff = Bigint.erem (Bigint.sub mq mp) sk.q in
+  let h = Bigint.erem (Bigint.mul diff sk.p_inv_mod_q) sk.q in
+  Bigint.erem (Bigint.add mp (Bigint.mul sk.p h)) pk.n
+
+let add pk c1 c2 =
+  check_same_key pk c1;
+  check_same_key pk c2;
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 c1.value c2.value }
+
+let add_plain pk c k =
+  check_same_key pk c;
+  let k = Bigint.erem k pk.n in
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 c.value (g_pow_m pk k) }
+
+let scalar_mul pk c k =
+  check_same_key pk c;
+  let k = Bigint.erem k pk.n in
+  { key_n = pk.n; value = Modular.pow_ctx pk.ctx_n2 c.value k }
+
+let neg pk c = scalar_mul pk c (Bigint.pred pk.n)
+
+let sub pk c1 c2 = add pk c1 (neg pk c2)
+
+let rerandomize pk rng c =
+  check_same_key pk c;
+  let r = random_unit pk rng in
+  let rn = Modular.pow_ctx pk.ctx_n2 r pk.n in
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 c.value rn }
+
+(* Signed encoding: x in (-n/2, n/2) represented as x mod n. *)
+let half_n pk = Bigint.shift_right pk.n 1
+
+let encode_signed pk x =
+  let h = half_n pk in
+  if Bigint.compare (Bigint.abs x) h >= 0 then
+    raise (Invalid_plaintext "signed value outside (-n/2, n/2)");
+  Bigint.erem x pk.n
+
+let decode_signed pk m =
+  if Bigint.compare m (half_n pk) > 0 then Bigint.sub m pk.n else m
+
+let encrypt_signed pk rng x = encrypt pk rng (encode_signed pk x)
+
+let decrypt_signed sk c = decode_signed sk.public (decrypt_crt sk c)
+
+let ciphertext_to_bigint c = c.value
+
+let ciphertext_of_bigint pk v =
+  if Bigint.is_negative v || Bigint.compare v pk.n_squared >= 0 then
+    raise (Invalid_plaintext "ciphertext value outside [0, n^2)");
+  { key_n = pk.n; value = v }
+
+let ciphertext_bytes pk = (Bigint.num_bits pk.n_squared + 7) / 8
+
+let equal_ciphertext a b =
+  Bigint.equal a.key_n b.key_n && Bigint.equal a.value b.value

@@ -1,0 +1,158 @@
+(** The Paillier cryptosystem (Paillier, EUROCRYPT 1999) — the partially
+    homomorphic encryption engine of the secure time-series protocols.
+
+    Supported homomorphisms, with [n] the public modulus:
+    - {e addition}: [Dec (add pk c1 c2) = (m1 + m2) mod n]
+    - {e plaintext multiplication}: [Dec (scalar_mul pk c k) = (k * m) mod n]
+    - {e re-randomization}: [rerandomize] produces an independent
+      ciphertext of the same plaintext — the paper's path-hiding step
+      (Section 5.5).
+
+    Key generation uses [g = n + 1], the standard simplification for which
+    encryption needs a single [r^n mod n^2] exponentiation. *)
+
+open Ppst_bigint
+
+type public_key = {
+  n : Bigint.t;          (** modulus [p*q] *)
+  n_squared : Bigint.t;  (** ciphertext modulus [n^2] *)
+  g : Bigint.t;          (** generator, fixed to [n + 1] *)
+  bits : int;            (** bit length of [n] *)
+  ctx_n2 : Modular.ctx;  (** Montgomery context for [n^2] (precomputed) *)
+}
+
+type private_key = {
+  p : Bigint.t;
+  q : Bigint.t;
+  lambda : Bigint.t;     (** [lcm (p-1) (q-1)] *)
+  mu : Bigint.t;         (** [lambda^-1 mod n] *)
+  public : public_key;
+  (* CRT acceleration (precomputed at key creation) *)
+  p_squared : Bigint.t;
+  q_squared : Bigint.t;
+  hp : Bigint.t;  (** [L_p(g^(p-1) mod p²)^-1 mod p] *)
+  hq : Bigint.t;  (** [L_q(g^(q-1) mod q²)^-1 mod q] *)
+  p_inv_mod_q : Bigint.t;  (** Garner recombination constant *)
+  ctx_p2 : Modular.ctx;
+  ctx_q2 : Modular.ctx;
+}
+
+type ciphertext
+(** Abstract: a value in [(Z/n^2)^*].  Equality of ciphertexts does not
+    imply equality of plaintexts and vice versa (probabilistic
+    encryption). *)
+
+exception Invalid_plaintext of string
+(** Raised when a plaintext lies outside [\[0, n)] (or the signed window
+    for the [_signed] variants). *)
+
+exception Key_mismatch
+(** Raised when ciphertexts from different keys are combined. *)
+
+val public_of_modulus : Bigint.t -> bits:int -> public_key
+(** Rebuild a public key from a received modulus [n] — what the client
+    does with the server's [Welcome] message.  Validates that [n] is odd,
+    positive and of the stated bit length.
+    @raise Invalid_plaintext on an implausible modulus. *)
+
+val keygen : ?bits:int -> Ppst_rng.Secure_rng.t -> public_key * private_key
+(** Generate a fresh key pair; [bits] is the modulus size (default 64,
+    matching the paper's experimental security parameter).  [p] and [q]
+    are balanced random primes of [bits/2] bits with [gcd(pq, (p-1)(q-1))
+    = 1]. *)
+
+val of_primes : p:Bigint.t -> q:Bigint.t -> public_key * private_key
+(** Assemble a key pair from two distinct odd primes.  Validates the
+    [gcd(pq, (p-1)(q-1)) = 1] requirement (primality itself is the
+    caller's responsibility — key loading uses this after a
+    probable-prime check).
+    @raise Invalid_plaintext when the primes are unusable. *)
+
+val private_key_to_string : private_key -> string
+(** Serialize as ["ppst-paillier-v1\np=<dec>\nq=<dec>\n"] — everything
+    else is re-derived on load. *)
+
+val private_key_of_string : string -> public_key * private_key
+(** @raise Invalid_plaintext on malformed input or non-prime components. *)
+
+val encrypt : public_key -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
+(** [encrypt pk rng m] for [m] in [\[0, n)].
+    @raise Invalid_plaintext otherwise. *)
+
+val decrypt : private_key -> ciphertext -> Bigint.t
+(** Plaintext in [\[0, n)] via [L(c^lambda mod n^2) * mu mod n]. *)
+
+val decrypt_crt : private_key -> ciphertext -> Bigint.t
+(** Same result as {!decrypt} but ~4x faster using exponentiation modulo
+    [p^2] and [q^2] recombined by CRT. *)
+
+val add : public_key -> ciphertext -> ciphertext -> ciphertext
+(** Homomorphic addition: multiply ciphertexts mod [n^2]. *)
+
+val add_plain : public_key -> ciphertext -> Bigint.t -> ciphertext
+(** Homomorphic addition of a plaintext constant (no randomness needed:
+    [c * g^k mod n^2]). *)
+
+val scalar_mul : public_key -> ciphertext -> Bigint.t -> ciphertext
+(** Homomorphic multiplication by a plaintext scalar: [c^k mod n^2].
+    Negative scalars are handled through [k mod n]. *)
+
+val neg : public_key -> ciphertext -> ciphertext
+(** [scalar_mul pk c (-1)]: encryption of [n - m]. *)
+
+val sub : public_key -> ciphertext -> ciphertext -> ciphertext
+(** Homomorphic subtraction. *)
+
+val rerandomize : public_key -> Ppst_rng.Secure_rng.t -> ciphertext -> ciphertext
+(** Fresh, statistically independent ciphertext of the same plaintext
+    ([c * r^n mod n^2]). *)
+
+val encrypt_zero : public_key -> Ppst_rng.Secure_rng.t -> ciphertext
+
+(** {1 Offline/online encryption}
+
+    The plaintext-independent factor [r^n mod n²] dominates encryption
+    cost.  A party can precompute a pool of such factors while idle
+    (Paillier 1999, Section 6) and then encrypt online with two modular
+    multiplications.  The protocol client — the weak party of the paper's
+    asymmetric setting — uses this for its phase-2/3 masking offsets. *)
+
+type randomness_pool
+
+val pool_create : public_key -> randomness_pool
+val pool_size : randomness_pool -> int
+
+val pool_refill :
+  public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> int -> unit
+(** Precompute [count] more [r^n] factors.
+    @raise Key_mismatch if the pool belongs to another key. *)
+
+val encrypt_pooled :
+  public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
+(** Like {!encrypt}, consuming one pooled factor; falls back to a fresh
+    exponentiation when the pool is empty.
+    @raise Invalid_plaintext / @raise Key_mismatch as {!encrypt}. *)
+
+(** {1 Signed-value encoding}
+
+    Plaintexts in [(-n/2, n/2)] encoded by their residue mod [n]; values
+    above [n/2] decode as negative.  The DP-matrix values in the protocol
+    are non-negative, but masked differences can be interpreted signed. *)
+
+val encrypt_signed : public_key -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
+val decrypt_signed : private_key -> ciphertext -> Bigint.t
+val encode_signed : public_key -> Bigint.t -> Bigint.t
+val decode_signed : public_key -> Bigint.t -> Bigint.t
+
+(** {1 Serialization support} *)
+
+val ciphertext_to_bigint : ciphertext -> Bigint.t
+val ciphertext_of_bigint : public_key -> Bigint.t -> ciphertext
+(** @raise Invalid_plaintext when the value is outside [\[0, n^2)]. *)
+
+val ciphertext_bytes : public_key -> int
+(** Serialized size of one ciphertext under this key, in bytes — used by
+    the transport layer for communication accounting. *)
+
+val equal_ciphertext : ciphertext -> ciphertext -> bool
+(** Byte-equality of ciphertexts (NOT plaintext equality). *)

@@ -1,0 +1,1 @@
+lib/rng/secure_rng.ml: Array Bigint Bytes Chacha20 Char Fun Ppst_bigint String

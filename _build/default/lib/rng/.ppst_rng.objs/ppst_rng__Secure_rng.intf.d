@@ -1,0 +1,1 @@
+lib/rng/secure_rng.mli: Bigint Ppst_bigint

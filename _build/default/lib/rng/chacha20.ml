@@ -1,0 +1,68 @@
+(* ChaCha20 block function (RFC 8439), used as the core of the CSPRNG in
+   {!Secure_rng}.  32-bit words are stored in native ints masked to 32
+   bits; OCaml's 63-bit ints make this safe without Int32 boxing. *)
+
+let mask32 = 0xFFFFFFFF
+
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  let open Array in
+  unsafe_set st a ((unsafe_get st a + unsafe_get st b) land mask32);
+  unsafe_set st d (rotl32 (unsafe_get st d lxor unsafe_get st a) 16);
+  unsafe_set st c ((unsafe_get st c + unsafe_get st d) land mask32);
+  unsafe_set st b (rotl32 (unsafe_get st b lxor unsafe_get st c) 12);
+  unsafe_set st a ((unsafe_get st a + unsafe_get st b) land mask32);
+  unsafe_set st d (rotl32 (unsafe_get st d lxor unsafe_get st a) 8);
+  unsafe_set st c ((unsafe_get st c + unsafe_get st d) land mask32);
+  unsafe_set st b (rotl32 (unsafe_get st b lxor unsafe_get st c) 7)
+
+(* "expand 32-byte k" *)
+let sigma = [| 0x61707865; 0x3320646e; 0x79622d32; 0x6b206574 |]
+
+type key = int array (* 8 words *)
+type nonce = int array (* 3 words *)
+
+let word_of_bytes_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let key_of_string s : key =
+  if String.length s <> 32 then invalid_arg "Chacha20.key_of_string: need 32 bytes";
+  Array.init 8 (fun i -> word_of_bytes_le s (4 * i))
+
+let nonce_of_string s : nonce =
+  if String.length s <> 12 then invalid_arg "Chacha20.nonce_of_string: need 12 bytes";
+  Array.init 3 (fun i -> word_of_bytes_le s (4 * i))
+
+(* One 64-byte keystream block for the given counter value. *)
+let block (key : key) (nonce : nonce) (counter : int) : Bytes.t =
+  let init = Array.make 16 0 in
+  Array.blit sigma 0 init 0 4;
+  Array.blit key 0 init 4 8;
+  init.(12) <- counter land mask32;
+  Array.blit nonce 0 init 13 3;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    (* column rounds *)
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    (* diagonal rounds *)
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let w = (st.(i) + init.(i)) land mask32 in
+    Bytes.set out (4 * i) (Char.chr (w land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((w lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((w lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((w lsr 24) land 0xFF))
+  done;
+  out

@@ -1,0 +1,15 @@
+(** ChaCha20 block function (RFC 8439).  Only the keystream generator is
+    exposed — the CSPRNG in {!Secure_rng} is the intended consumer. *)
+
+type key
+type nonce
+
+val key_of_string : string -> key
+(** Exactly 32 bytes. @raise Invalid_argument otherwise. *)
+
+val nonce_of_string : string -> nonce
+(** Exactly 12 bytes. @raise Invalid_argument otherwise. *)
+
+val block : key -> nonce -> int -> Bytes.t
+(** [block key nonce counter] is the 64-byte keystream block for the given
+    block counter (RFC 8439 test vectors apply). *)

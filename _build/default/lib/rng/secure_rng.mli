@@ -1,0 +1,38 @@
+(** ChaCha20-based cryptographically secure PRNG.
+
+    All protocol randomness — Paillier nonces, random-offset sets,
+    candidate shuffles — is drawn from here.  The generator is
+    deterministic given a seed, which makes test and benchmark runs
+    reproducible; {!system} seeds from [/dev/urandom] for real use. *)
+
+open Ppst_bigint
+
+type t
+
+val system : unit -> t
+(** Fresh generator seeded with 48 bytes from [/dev/urandom]. *)
+
+val of_seed_bytes : string -> t
+(** Deterministic generator from at least 16 bytes of seed material.
+    @raise Invalid_argument when the seed is shorter. *)
+
+val of_seed_string : string -> t
+(** Like {!of_seed_bytes} but pads short strings; convenient in tests. *)
+
+val byte : t -> int
+val bytes : t -> int -> string
+
+val bits : t -> int -> Bigint.t
+(** Uniform non-negative integer of at most the given bit count. *)
+
+val below : t -> Bigint.t -> Bigint.t
+(** Uniform in [\[0, bound)] by rejection sampling. *)
+
+val in_range : t -> lo:Bigint.t -> hi:Bigint.t -> Bigint.t
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val int : t -> int -> int
+(** Uniform native int in [\[0, bound)]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by this generator. *)

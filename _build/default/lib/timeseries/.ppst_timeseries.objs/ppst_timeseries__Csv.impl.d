@@ -1,0 +1,1 @@
+lib/timeseries/csv.ml: Array Buffer Fun List Printf Series String

@@ -1,0 +1,1 @@
+lib/timeseries/distance.ml: Array Float Printf Series

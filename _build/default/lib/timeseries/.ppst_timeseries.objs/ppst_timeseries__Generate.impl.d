@@ -1,0 +1,1 @@
+lib/timeseries/generate.ml: Array Float Ppst_bigint Series Splitmix

@@ -1,0 +1,1 @@
+lib/timeseries/knn.ml: Array Distance List

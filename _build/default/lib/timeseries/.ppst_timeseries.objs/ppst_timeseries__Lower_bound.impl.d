@@ -1,0 +1,1 @@
+lib/timeseries/lower_bound.ml: Array Series Stdlib

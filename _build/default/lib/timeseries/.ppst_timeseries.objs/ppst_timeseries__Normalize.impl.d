@@ -1,0 +1,1 @@
+lib/timeseries/normalize.ml: Array Float Series

@@ -1,0 +1,1 @@
+lib/timeseries/paa.ml: Array Normalize Series Stdlib

@@ -1,0 +1,1 @@
+lib/timeseries/paa.mli: Series

@@ -1,0 +1,122 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_error line message = raise (Parse_error { line; message })
+
+let split_commas s = String.split_on_char ',' s |> List.map String.trim
+
+let parse_int_row lineno s =
+  List.map
+    (fun field ->
+      match int_of_string_opt field with
+      | Some v -> v
+      | None -> parse_error lineno (Printf.sprintf "not an integer: %S" field))
+    (split_commas s)
+
+let parse_float_row lineno s =
+  List.map
+    (fun field ->
+      match float_of_string_opt field with
+      | Some v -> v
+      | None -> parse_error lineno (Printf.sprintf "not a number: %S" field))
+    (split_commas s)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let is_blank s = String.trim s = ""
+
+let series_of_rows rows =
+  match rows with
+  | [] -> parse_error 0 "empty series"
+  | _ -> Series.create (Array.of_list (List.map Array.of_list rows))
+
+let of_lines lines =
+  let rows =
+    List.filteri (fun _ l -> not (is_blank l)) lines
+    |> List.mapi (fun i l -> parse_int_row (i + 1) l)
+  in
+  series_of_rows rows
+
+let of_string text = of_lines (String.split_on_char '\n' text)
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  for i = 0 to Series.length s - 1 do
+    let e = Series.get s i in
+    Array.iteri
+      (fun k v ->
+        if k > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int v))
+      e;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let save path s = write_string path (to_string s)
+let load path = of_lines (read_lines path)
+
+let to_string_f s =
+  let buf = Buffer.create 256 in
+  for i = 0 to Series.Fseries.length s - 1 do
+    let e = Series.Fseries.get s i in
+    Array.iteri
+      (fun k v ->
+        if k > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "%.9g" v))
+      e;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let save_f path s = write_string path (to_string_f s)
+
+let load_f path =
+  let rows =
+    read_lines path
+    |> List.filter (fun l -> not (is_blank l))
+    |> List.mapi (fun i l -> parse_float_row (i + 1) l)
+  in
+  match rows with
+  | [] -> parse_error 0 "empty series"
+  | _ -> Series.Fseries.create (Array.of_list (List.map Array.of_list rows))
+
+let save_many path series_list =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (to_string s))
+    series_list;
+  write_string path (Buffer.contents buf)
+
+let load_many path =
+  let lines = read_lines path in
+  let blocks, current, _ =
+    List.fold_left
+      (fun (blocks, current, lineno) line ->
+        if is_blank line then
+          match current with
+          | [] -> (blocks, [], lineno + 1)
+          | rows -> (List.rev rows :: blocks, [], lineno + 1)
+        else (blocks, parse_int_row lineno line :: current, lineno + 1))
+      ([], [], 1) lines
+  in
+  let blocks =
+    match current with [] -> blocks | rows -> List.rev rows :: blocks
+  in
+  List.rev_map series_of_rows blocks

@@ -1,0 +1,22 @@
+(** CSV persistence for time series.
+
+    Row format: one element per line, coordinates comma-separated.
+    A file holds one series; {!load_many}/{!save_many} use blank-line
+    separated blocks for small databases of series. *)
+
+exception Parse_error of { line : int; message : string }
+
+val save : string -> Series.t -> unit
+val load : string -> Series.t
+(** @raise Parse_error on malformed input, [Sys_error] on I/O failure. *)
+
+val save_f : string -> Series.Fseries.t -> unit
+val load_f : string -> Series.Fseries.t
+
+val save_many : string -> Series.t list -> unit
+val load_many : string -> Series.t list
+
+val of_string : string -> Series.t
+(** Parse CSV text directly (used by tests). *)
+
+val to_string : Series.t -> string

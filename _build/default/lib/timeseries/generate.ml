@@ -1,0 +1,132 @@
+(* Deterministic synthetic workload generators (SplitMix64-driven). *)
+
+open Ppst_bigint
+
+let uniform rng = float_of_int (Splitmix.int rng 1_000_000) /. 1_000_000.0
+
+(* Box-Muller; one value per call is enough here. *)
+let gaussian rng =
+  let u1 = Float.max 1e-12 (uniform rng) in
+  let u2 = uniform rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* A Gaussian bump: amplitude a centered at c with width w, evaluated at
+   phase t in [0, 1). *)
+let bump a c w t =
+  let d = t -. c in
+  a *. exp (-.(d *. d) /. (2.0 *. w *. w))
+
+(* One cardiac cycle sampled at phase t in [0,1): P wave, QRS complex,
+   T wave.  Shapes chosen to mimic lead-II morphology. *)
+let pqrst t =
+  bump 0.12 0.18 0.04 t (* P *)
+  +. bump (-0.12) 0.38 0.012 t (* Q *)
+  +. bump 1.0 0.42 0.014 t (* R *)
+  +. bump (-0.25) 0.46 0.015 t (* S *)
+  +. bump 0.28 0.68 0.06 t (* T *)
+
+let ecg ~seed ~length =
+  if length <= 0 then invalid_arg "Generate.ecg: non-positive length";
+  let rng = Splitmix.create (seed lxor 0x6A09E667) in
+  let samples_per_beat = 36.0 +. (6.0 *. uniform rng) in
+  let noise_level = 0.02 in
+  let wander_freq = 0.9 +. uniform rng in
+  let wander_amp = 0.05 in
+  let data =
+    Array.init length (fun i ->
+        let beat_pos = float_of_int i /. samples_per_beat in
+        let phase = beat_pos -. Float.of_int (int_of_float beat_pos) in
+        let wander =
+          wander_amp *. sin (2.0 *. Float.pi *. wander_freq *. beat_pos /. 10.0)
+        in
+        [| pqrst phase +. wander +. (noise_level *. gaussian rng) |])
+  in
+  Series.Fseries.create data
+
+let quantize_positive ~max_value (fs : Series.Fseries.t) : Series.t =
+  if max_value < 2 then invalid_arg "Generate: max_value must be >= 2";
+  let data = Series.Fseries.to_array fs in
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < !lo then lo := v;
+         if v > !hi then hi := v))
+    data;
+  let span = if !hi -. !lo < 1e-12 then 1.0 else !hi -. !lo in
+  Series.create
+    (Array.map
+       (Array.map (fun v ->
+            1 + int_of_float ((v -. !lo) /. span *. float_of_int (max_value - 1))))
+       data)
+
+let ecg_int ~seed ~length ~max_value =
+  quantize_positive ~max_value (ecg ~seed ~length)
+
+let random_walk ~seed ~length ~dim =
+  if length <= 0 || dim <= 0 then invalid_arg "Generate.random_walk: bad size";
+  let rng = Splitmix.create (seed lxor 0xBB67AE85) in
+  let pos = Array.make dim 0.0 in
+  let data =
+    Array.init length (fun _ ->
+        for k = 0 to dim - 1 do
+          pos.(k) <- pos.(k) +. gaussian rng
+        done;
+        Array.copy pos)
+  in
+  Series.Fseries.create data
+
+let random_vectors ~seed ~length ~dim ~max_value =
+  if length <= 0 || dim <= 0 then invalid_arg "Generate.random_vectors: bad size";
+  let rng = Splitmix.create (seed lxor 0x3C6EF372) in
+  Series.create
+    (Array.init length (fun _ ->
+         Array.init dim (fun _ -> 1 + Splitmix.int rng max_value)))
+
+let sine_with_noise ~seed ~length ~period ~noise =
+  if length <= 0 then invalid_arg "Generate.sine_with_noise: bad length";
+  if period <= 0.0 then invalid_arg "Generate.sine_with_noise: bad period";
+  let rng = Splitmix.create (seed lxor 0xA54FF53A) in
+  Series.Fseries.create
+    (Array.init length (fun i ->
+         [| sin (2.0 *. Float.pi *. float_of_int i /. period) +. (noise *. gaussian rng) |]))
+
+(* Pen strokes: two coupled oscillators with drifting frequency, like a
+   cursive loop pattern; jitter models pen shake. *)
+let signature ~seed ~length =
+  if length <= 0 then invalid_arg "Generate.signature: bad length";
+  let rng = Splitmix.create (seed lxor 0x510E527F) in
+  let fx = 1.0 +. (0.4 *. uniform rng) in
+  let fy = 2.0 +. (0.6 *. uniform rng) in
+  let phase = 2.0 *. Float.pi *. uniform rng in
+  let drift = 0.5 +. uniform rng in
+  Series.Fseries.create
+    (Array.init length (fun i ->
+         let t = float_of_int i /. float_of_int length *. 4.0 *. Float.pi in
+         let x = (t *. drift /. 6.0) +. cos ((fx *. t) +. phase) +. (0.02 *. gaussian rng) in
+         let y = sin (fy *. t) +. (0.3 *. sin (0.5 *. t)) +. (0.02 *. gaussian rng) in
+         [| x; y |]))
+
+let signature_int ~seed ~length ~max_value =
+  quantize_positive ~max_value (signature ~seed ~length)
+
+let trajectory ~seed ~length =
+  if length <= 0 then invalid_arg "Generate.trajectory: bad length";
+  let rng = Splitmix.create (seed lxor 0x9B05688C) in
+  let heading = ref (2.0 *. Float.pi *. uniform rng) in
+  let x = ref 0.0 and y = ref 0.0 in
+  Series.Fseries.create
+    (Array.init length (fun _ ->
+         heading := !heading +. (0.15 *. gaussian rng);
+         let speed = 1.0 +. (0.2 *. gaussian rng) in
+         x := !x +. (speed *. cos !heading);
+         y := !y +. (speed *. sin !heading);
+         [| !x; !y |]))
+
+let trajectory_int ~seed ~length ~max_value =
+  quantize_positive ~max_value (trajectory ~seed ~length)
+
+let perturb ~seed ~noise fs =
+  let rng = Splitmix.create (seed lxor 0x1F83D9AB) in
+  Series.Fseries.map
+    (fun e -> Array.map (fun v -> v +. (noise *. gaussian rng)) e)
+    fs

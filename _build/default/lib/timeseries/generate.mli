@@ -1,0 +1,46 @@
+(** Synthetic time-series generators.
+
+    The paper evaluates on UCR ECG segments normalized to positive
+    integers, plus synthetic d-dimensional vectors with coordinates in
+    [\[1, 100\]].  The UCR data is not redistributable, so {!ecg} produces
+    ECG-morphology surrogates (quasi-periodic P-QRS-T complexes with
+    measurement noise and baseline wander) with the same value range and
+    length regime — see DESIGN.md §4 for the substitution argument.
+
+    All generators are deterministic given the seed. *)
+
+val ecg : seed:int -> length:int -> Series.Fseries.t
+(** One-dimensional ECG-like waveform, amplitude roughly [\[-0.5, 1.2\]]
+    millivolt-like units before quantization. *)
+
+val ecg_int : seed:int -> length:int -> max_value:int -> Series.t
+(** {!ecg} scaled and quantized to positive integers in [\[1,
+    max_value\]] — the form the secure protocols consume (the paper's
+    "normalized ECG data to positive integer values"). *)
+
+val random_walk : seed:int -> length:int -> dim:int -> Series.Fseries.t
+(** Gaussian-increment random walk, the classic synthetic similarity
+    workload. *)
+
+val random_vectors : seed:int -> length:int -> dim:int -> max_value:int -> Series.t
+(** Elements uniform in [\[1, max_value\]^dim] — exactly the paper's
+    Section 7.2 synthetic workload ("values of each vector are random
+    values between 1 and 100"). *)
+
+val sine_with_noise :
+  seed:int -> length:int -> period:float -> noise:float -> Series.Fseries.t
+
+val signature : seed:int -> length:int -> Series.Fseries.t
+(** 2-D pen trajectory: smooth looping strokes with per-signer jitter —
+    workload for the paper's signature-verification motivating example. *)
+
+val signature_int : seed:int -> length:int -> max_value:int -> Series.t
+
+val trajectory : seed:int -> length:int -> Series.Fseries.t
+(** 2-D GPS-like trajectory: piecewise-smooth headings with speed noise. *)
+
+val trajectory_int : seed:int -> length:int -> max_value:int -> Series.t
+
+val perturb : seed:int -> noise:float -> Series.Fseries.t -> Series.Fseries.t
+(** Additive Gaussian perturbation — builds "similar" series for
+    nearest-neighbour scenarios. *)

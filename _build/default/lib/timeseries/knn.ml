@@ -1,0 +1,33 @@
+type metric = Dtw_sq | Dfd_sq | Euclidean_sq
+
+let distance metric a b =
+  match metric with
+  | Dtw_sq -> Distance.dtw_sq a b
+  | Dfd_sq -> Distance.dfd_sq a b
+  | Euclidean_sq -> Distance.euclidean_sq a b
+
+let all_distances metric ~query database =
+  Array.mapi (fun i s -> (i, distance metric query s)) database
+
+let nearest metric ~query database =
+  if Array.length database = 0 then invalid_arg "Knn.nearest: empty database";
+  Array.fold_left
+    (fun (bi, bd) (i, d) -> if d < bd then (i, d) else (bi, bd))
+    (0, distance metric query database.(0))
+    (all_distances metric ~query database)
+
+let sorted_distances metric ~query database =
+  let scored = Array.to_list (all_distances metric ~query database) in
+  List.sort (fun (_, d1) (_, d2) -> compare d1 d2) scored
+
+let k_nearest metric ~k ~query database =
+  if k <= 0 then invalid_arg "Knn.k_nearest: k must be positive";
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (sorted_distances metric ~query database)
+
+let within metric ~radius ~query database =
+  List.filter (fun (_, d) -> d <= radius) (sorted_distances metric ~query database)

@@ -1,0 +1,20 @@
+(** Plaintext nearest-neighbour search over small series databases —
+    the retrieval layer of the examples (hospital ECG lookup, signature
+    verification).  Linear scan; the protocol's cost dwarfs any index. *)
+
+type metric = Dtw_sq | Dfd_sq | Euclidean_sq
+
+val distance : metric -> Series.t -> Series.t -> int
+(** Dispatch to the corresponding [Distance.*_sq] function.
+    [Euclidean_sq] requires equal lengths. *)
+
+val nearest : metric -> query:Series.t -> Series.t array -> int * int
+(** [(index, distance)] of the closest database entry.
+    @raise Invalid_argument on an empty database. *)
+
+val k_nearest : metric -> k:int -> query:Series.t -> Series.t array -> (int * int) list
+(** The [k] closest entries, ascending by distance (fewer when the
+    database is smaller than [k]). *)
+
+val within : metric -> radius:int -> query:Series.t -> Series.t array -> (int * int) list
+(** All entries at distance [<= radius], ascending. *)

@@ -1,0 +1,49 @@
+let check_1d what s =
+  if Series.dimension s <> 1 then invalid_arg (what ^ ": only 1-dimensional series")
+
+let envelope ~band series =
+  check_1d "Lower_bound.envelope" series;
+  if band < 0 then invalid_arg "Lower_bound.envelope: negative band";
+  let n = Series.length series in
+  let upper = Array.make n min_int and lower = Array.make n max_int in
+  for j = 0 to n - 1 do
+    let lo = Stdlib.max 0 (j - band) and hi = Stdlib.min (n - 1) (j + band) in
+    for t = lo to hi do
+      let v = Series.value series t in
+      if v > upper.(j) then upper.(j) <- v;
+      if v < lower.(j) then lower.(j) <- v
+    done
+  done;
+  (upper, lower)
+
+let lb_keogh ~band x y =
+  check_1d "Lower_bound.lb_keogh" x;
+  check_1d "Lower_bound.lb_keogh" y;
+  if Series.length x <> Series.length y then
+    invalid_arg "Lower_bound.lb_keogh: series lengths differ";
+  let upper, lower = envelope ~band y in
+  let acc = ref 0 in
+  for j = 0 to Series.length x - 1 do
+    let v = Series.value x j in
+    if v > upper.(j) then begin
+      let d = v - upper.(j) in
+      acc := !acc + (d * d)
+    end
+    else if v < lower.(j) then begin
+      let d = lower.(j) - v in
+      acc := !acc + (d * d)
+    end
+  done;
+  !acc
+
+let prune ~band ~radius ~query database =
+  let candidates = ref [] in
+  for i = Array.length database - 1 downto 0 do
+    let keep =
+      Series.length database.(i) <> Series.length query
+      || Series.dimension database.(i) <> 1
+      || lb_keogh ~band query database.(i) <= radius
+    in
+    if keep then candidates := i :: !candidates
+  done;
+  !candidates

@@ -1,0 +1,34 @@
+(** LB_Keogh lower bounds for DTW (Keogh, VLDB 2002 — the paper's
+    reference [20] for exact DTW indexing).
+
+    Given a Sakoe–Chiba band [r], the {e envelope} of a series [Y] is the
+    pair of running extremes [U_j = max Y\[j-r .. j+r\]],
+    [L_j = min Y\[j-r .. j+r\]].  For any [X] of the same length,
+    [lb_keogh ~band:r x y] lower-bounds [dtw_sq_banded ~band:r x y]: each
+    band-constrained coupling partner of [x_j] lies inside the envelope,
+    so the one-sided squared gap to the envelope never overestimates the
+    true coupling cost.  Plaintext retrieval systems use this to prune
+    candidates before paying the quadratic DTW cost; here it serves the
+    {e plaintext} side of hybrid workflows (pre-filtering public metadata
+    before running the secure protocol on the shortlist) and as a test
+    oracle for the banded DTW implementations.
+
+    Only 1-dimensional series are supported, matching the classic
+    formulation. *)
+
+val envelope : band:int -> Series.t -> int array * int array
+(** [(upper, lower)] running extremes over the window [j-band .. j+band].
+    @raise Invalid_argument for multi-dimensional series or negative
+    band. *)
+
+val lb_keogh : band:int -> Series.t -> Series.t -> int
+(** The squared-cost LB_Keogh bound; requires equal lengths.
+    With [band = 0] it degenerates to the squared Euclidean distance.
+    @raise Invalid_argument on length/dimension mismatch. *)
+
+val prune :
+  band:int -> radius:int -> query:Series.t -> Series.t array -> int list
+(** Indices of database entries whose lower bound does not exceed
+    [radius] — the candidates that still need an exact (or secure) DTW
+    evaluation.  Entries of a different length than the query are kept
+    (the bound does not apply to them). *)

@@ -1,0 +1,76 @@
+let mean_std fs =
+  let n = Series.Fseries.length fs and d = Series.Fseries.dimension fs in
+  let mean = Array.make d 0.0 and std = Array.make d 0.0 in
+  for i = 0 to n - 1 do
+    let e = Series.Fseries.get fs i in
+    for k = 0 to d - 1 do
+      mean.(k) <- mean.(k) +. e.(k)
+    done
+  done;
+  for k = 0 to d - 1 do
+    mean.(k) <- mean.(k) /. float_of_int n
+  done;
+  for i = 0 to n - 1 do
+    let e = Series.Fseries.get fs i in
+    for k = 0 to d - 1 do
+      let dv = e.(k) -. mean.(k) in
+      std.(k) <- std.(k) +. (dv *. dv)
+    done
+  done;
+  for k = 0 to d - 1 do
+    std.(k) <- sqrt (std.(k) /. float_of_int n)
+  done;
+  (mean, std)
+
+let z_normalize fs =
+  let mean, std = mean_std fs in
+  Series.Fseries.map
+    (fun e ->
+      Array.mapi
+        (fun k v ->
+          let s = std.(k) in
+          if s < 1e-12 then v -. mean.(k) else (v -. mean.(k)) /. s)
+        e)
+    fs
+
+let coordinate_ranges fs =
+  let d = Series.Fseries.dimension fs in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  for i = 0 to Series.Fseries.length fs - 1 do
+    let e = Series.Fseries.get fs i in
+    for k = 0 to d - 1 do
+      if e.(k) < lo.(k) then lo.(k) <- e.(k);
+      if e.(k) > hi.(k) then hi.(k) <- e.(k)
+    done
+  done;
+  (lo, hi)
+
+let min_max ~lo ~hi fs =
+  if lo >= hi then invalid_arg "Normalize.min_max: lo >= hi";
+  let clo, chi = coordinate_ranges fs in
+  Series.Fseries.map
+    (fun e ->
+      Array.mapi
+        (fun k v ->
+          let span = chi.(k) -. clo.(k) in
+          if span < 1e-12 then lo
+          else lo +. ((v -. clo.(k)) /. span *. (hi -. lo)))
+        e)
+    fs
+
+let quantize ~max_value fs =
+  if max_value < 2 then invalid_arg "Normalize.quantize: max_value < 2";
+  (* Joint (not per-coordinate) rescale so relative geometry is kept. *)
+  let clo, chi = coordinate_ranges fs in
+  let lo = Array.fold_left Float.min infinity clo in
+  let hi = Array.fold_left Float.max neg_infinity chi in
+  let span = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+  Series.create
+    (Array.map
+       (Array.map (fun v ->
+            1 + int_of_float ((v -. lo) /. span *. float_of_int (max_value - 1))))
+       (Series.Fseries.to_array fs))
+
+let dequantize s =
+  Series.Fseries.create
+    (Array.map (Array.map float_of_int) (Series.to_array s))

@@ -1,0 +1,22 @@
+(** Normalization and quantization bridges between float series (raw
+    sensor data) and the positive-integer series the secure protocols
+    consume. *)
+
+val z_normalize : Series.Fseries.t -> Series.Fseries.t
+(** Per-coordinate zero mean, unit variance (constant coordinates are
+    left centered at zero). *)
+
+val min_max : lo:float -> hi:float -> Series.Fseries.t -> Series.Fseries.t
+(** Per-coordinate affine rescale into [\[lo, hi\]].
+    @raise Invalid_argument if [lo >= hi]. *)
+
+val quantize : max_value:int -> Series.Fseries.t -> Series.t
+(** Rescale all coordinates jointly into [\[1, max_value\]] and round —
+    the paper's "normalized to positive integer values" step.
+    @raise Invalid_argument if [max_value < 2]. *)
+
+val dequantize : Series.t -> Series.Fseries.t
+(** Integer series viewed as floats (no rescaling). *)
+
+val mean_std : Series.Fseries.t -> float array * float array
+(** Per-coordinate mean and standard deviation. *)

@@ -1,0 +1,1 @@
+lib/transport/channel.ml: Array Bytes Char Fun Message Printexc Printf Stats String Trace Unix Wire

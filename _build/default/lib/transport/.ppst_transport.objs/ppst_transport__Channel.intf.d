@@ -1,0 +1,1 @@
+lib/transport/channel.mli: Message Stats Trace Unix

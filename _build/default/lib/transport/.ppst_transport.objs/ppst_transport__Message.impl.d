@@ -1,0 +1,1 @@
+lib/transport/message.ml: Array Bigint Ppst_bigint Printf String Wire

@@ -1,0 +1,1 @@
+lib/transport/message.mli: Bigint Ppst_bigint

@@ -1,0 +1,1 @@
+lib/transport/netsim.ml: Format Trace

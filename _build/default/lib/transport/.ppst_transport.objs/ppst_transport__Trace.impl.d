@@ -1,0 +1,1 @@
+lib/transport/trace.ml: List

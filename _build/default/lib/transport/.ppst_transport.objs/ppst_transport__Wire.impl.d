@@ -1,0 +1,1 @@
+lib/transport/wire.ml: Array Bigint Buffer Char Ppst_bigint Printf String

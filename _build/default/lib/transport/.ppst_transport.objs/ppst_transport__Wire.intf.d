@@ -1,0 +1,1 @@
+lib/transport/wire.mli: Ppst_bigint

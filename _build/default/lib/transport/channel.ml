@@ -1,0 +1,190 @@
+exception Protocol_error of string
+
+let protocol_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type backend =
+  | Local of (Message.request -> Message.reply)
+  | Tcp of Unix.file_descr
+
+type t = {
+  backend : backend;
+  stats : Stats.t;
+  trace : Trace.t option;
+  mutable server_seconds : float;
+  mutable closed : bool;
+}
+
+let stats t = t.stats
+let trace t = t.trace
+let server_seconds t = t.server_seconds
+
+(* Frames on the wire: 4-byte big-endian length, then the message bytes.
+   A hard cap guards against forged lengths. *)
+let max_frame = 256 * 1024 * 1024
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then protocol_error "frame too large: %d bytes" len;
+  (* Header and body go out in one write: separate writes interact with
+     Nagle + delayed ACK and add ~40 ms per round trip on loopback. *)
+  let frame = Bytes.create (4 + len) in
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set frame 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 frame 4 len;
+  let rec write_all off remaining =
+    if remaining > 0 then begin
+      let n = Unix.write fd frame off remaining in
+      write_all (off + n) (remaining - n)
+    end
+  in
+  write_all 0 (4 + len)
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Some buf
+    else begin
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then None else protocol_error "truncated frame (eof mid-frame)"
+      | k -> go (off + k)
+    end
+  in
+  go 0
+
+let read_frame fd =
+  match read_exactly fd 4 with
+  | None -> None
+  | Some header ->
+    let b i = Char.code (Bytes.get header i) in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame then protocol_error "frame length %d exceeds cap" len;
+    (match read_exactly fd len with
+     | None -> protocol_error "truncated frame (eof in body)"
+     | Some body -> Some (Bytes.to_string body))
+
+let decode_reply bytes_str =
+  match Message.decode bytes_str with
+  | Message.Reply r -> r
+  | Message.Request _ -> protocol_error "peer sent a request where a reply was expected"
+  | exception Wire.Malformed m -> protocol_error "malformed reply: %s" m
+
+let check_not_closed t = if t.closed then protocol_error "channel is closed"
+
+let request t req =
+  check_not_closed t;
+  let msg = Message.Request req in
+  let encoded = Message.encode msg in
+  Stats.record_sent t.stats ~bytes:(String.length encoded)
+    ~values:(Message.values_in msg);
+  let reply =
+    match t.backend with
+    | Local handler ->
+      (* Round-trip through the codec so byte accounting matches a socket
+         run, then time the server-side work separately. *)
+      let decoded_req =
+        match Message.decode encoded with
+        | Message.Request r -> r
+        | Message.Reply _ -> protocol_error "request decoded as reply"
+      in
+      let t0 = Unix.gettimeofday () in
+      let reply =
+        try handler decoded_req
+        with e -> Message.Error_reply (Printexc.to_string e)
+      in
+      t.server_seconds <- t.server_seconds +. (Unix.gettimeofday () -. t0);
+      let reply_encoded = Message.encode (Message.Reply reply) in
+      Stats.record_received t.stats ~bytes:(String.length reply_encoded)
+        ~values:(Message.values_in (Message.Reply reply));
+      (match t.trace with
+       | Some tr ->
+         Trace.record tr ~request_bytes:(String.length encoded)
+           ~reply_bytes:(String.length reply_encoded)
+       | None -> ());
+      decode_reply reply_encoded
+    | Tcp fd ->
+      write_frame fd encoded;
+      (match read_frame fd with
+       | None -> protocol_error "connection closed by peer"
+       | Some frame ->
+         let reply = decode_reply frame in
+         Stats.record_received t.stats ~bytes:(String.length frame)
+           ~values:(Message.values_in (Message.Reply reply));
+         (match t.trace with
+          | Some tr ->
+            Trace.record tr ~request_bytes:(String.length encoded)
+              ~reply_bytes:(String.length frame)
+          | None -> ());
+         reply)
+  in
+  Stats.record_round t.stats;
+  match reply with
+  | Message.Error_reply m -> protocol_error "peer error: %s" m
+  | r -> r
+
+let close t =
+  if not t.closed then begin
+    (try ignore (request t Message.Bye) with _ -> ());
+    t.closed <- true;
+    match t.backend with
+    | Local _ -> ()
+    | Tcp fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let local ?trace handler =
+  {
+    backend = Local handler;
+    stats = Stats.create ();
+    trace;
+    server_seconds = 0.0;
+    closed = false;
+  }
+
+let connect ~host ~port =
+  let addr =
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { backend = Tcp fd; stats = Stats.create (); trace = None; server_seconds = 0.0; closed = false }
+
+let serve_once ~port ~handler =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close listener with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt listener Unix.SO_REUSEADDR true;
+      Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
+      Unix.listen listener 1;
+      let fd, _ = Unix.accept listener in
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let rec loop () =
+            match read_frame fd with
+            | None -> ()
+            | Some frame ->
+              let reply =
+                match Message.decode frame with
+                | Message.Request Message.Bye -> Message.Bye_ack
+                | Message.Request req -> begin
+                  try handler req
+                  with e -> Message.Error_reply (Printexc.to_string e)
+                end
+                | Message.Reply _ -> Message.Error_reply "expected a request"
+                | exception Wire.Malformed m ->
+                  Message.Error_reply ("malformed request: " ^ m)
+              in
+              write_frame fd (Message.encode (Message.Reply reply));
+              if reply <> Message.Bye_ack then loop ()
+          in
+          loop ()))

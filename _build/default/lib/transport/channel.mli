@@ -1,0 +1,56 @@
+(** Client-side view of the two-party link: a request/reply channel with
+    full communication accounting.
+
+    Two implementations:
+    - {!local}: in-process, backed by a server-side handler function.
+      Every message is still serialized and deserialized through the real
+      wire format, so byte counts equal what a socket run would transfer;
+      the handler's wall-clock time is accumulated separately, enabling
+      per-party timing (paper Figures 6 and 10).
+    - {!connect}/{!serve}: TCP over [Unix], with length-prefixed frames. *)
+
+exception Protocol_error of string
+(** Raised on an [Error_reply] from the peer or a transport-level
+    violation (unexpected reply kind, short read, ...). *)
+
+type t
+
+val request : t -> Message.request -> Message.reply
+(** One round trip.  Accounting is updated on both directions.
+    @raise Protocol_error when the peer signals an error. *)
+
+val stats : t -> Stats.t
+
+val trace : t -> Trace.t option
+
+val server_seconds : t -> float
+(** Wall-clock time spent inside the server handler (local channels) or
+    [0.] when unknown (remote channels report their own). *)
+
+val close : t -> unit
+(** Sends [Bye] (best-effort) and releases resources. *)
+
+(** {1 In-process} *)
+
+val local : ?trace:Trace.t -> (Message.request -> Message.reply) -> t
+(** [?trace] records every request/reply pair's byte sizes for
+    {!Netsim} replay. *)
+
+(** {1 TCP} *)
+
+val connect : host:string -> port:int -> t
+(** @raise Unix.Unix_error on connection failure. *)
+
+val serve_once :
+  port:int -> handler:(Message.request -> Message.reply) -> unit
+(** Accept a single connection on [port] and answer requests until [Bye]
+    or EOF.  [Bye] is answered with [Bye_ack] before returning.  Handler
+    exceptions are converted to [Error_reply] frames, keeping the server
+    alive. *)
+
+(** {1 Frame I/O (exposed for the server binary and tests)} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> string option
+(** [None] on clean EOF.
+    @raise Protocol_error on truncated frames or oversized lengths. *)

@@ -1,0 +1,217 @@
+open Ppst_bigint
+
+type request =
+  | Hello
+  | Phase1_request
+  | Min_request of Bigint.t array
+  | Max_request of Bigint.t array
+  | Reveal_request of Bigint.t
+  | Catalog_request
+  | Select_request of int
+  | Batch_min_request of Bigint.t array array
+  | Batch_max_request of Bigint.t array array
+  | Bye
+
+type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
+
+type reply =
+  | Welcome of {
+      n : Bigint.t;
+      key_bits : int;
+      series_length : int;
+      dimension : int;
+      max_value : int;
+    }
+  | Phase1_reply of phase1_element array
+  | Cipher_reply of Bigint.t
+  | Reveal_reply of Bigint.t
+  | Catalog_reply of int array
+  | Select_ack of int
+  | Batch_cipher_reply of Bigint.t array
+  | Bye_ack
+  | Error_reply of string
+
+type t = Request of request | Reply of reply
+
+(* Frame tags.  Requests are 0x0*, replies 0x8*. *)
+let tag_hello = 0x01
+let tag_phase1_request = 0x02
+let tag_min_request = 0x03
+let tag_max_request = 0x04
+let tag_reveal_request = 0x05
+let tag_bye = 0x06
+let tag_catalog_request = 0x07
+let tag_select_request = 0x08
+let tag_batch_min_request = 0x09
+let tag_batch_max_request = 0x0a
+let tag_welcome = 0x81
+let tag_phase1_reply = 0x82
+let tag_cipher_reply = 0x83
+let tag_reveal_reply = 0x84
+let tag_bye_ack = 0x85
+let tag_error_reply = 0x86
+let tag_catalog_reply = 0x87
+let tag_select_ack = 0x88
+let tag_batch_cipher_reply = 0x89
+
+let encode t =
+  let w = Wire.writer () in
+  (match t with
+   | Request Hello -> Wire.put_u8 w tag_hello
+   | Request Phase1_request -> Wire.put_u8 w tag_phase1_request
+   | Request (Min_request candidates) ->
+     Wire.put_u8 w tag_min_request;
+     Wire.put_bigint_array w candidates
+   | Request (Max_request candidates) ->
+     Wire.put_u8 w tag_max_request;
+     Wire.put_bigint_array w candidates
+   | Request (Reveal_request c) ->
+     Wire.put_u8 w tag_reveal_request;
+     Wire.put_bigint w c
+   | Request Catalog_request -> Wire.put_u8 w tag_catalog_request
+   | Request (Select_request i) ->
+     Wire.put_u8 w tag_select_request;
+     Wire.put_u32 w i
+   | Request (Batch_min_request sets) ->
+     Wire.put_u8 w tag_batch_min_request;
+     Wire.put_u32 w (Array.length sets);
+     Array.iter (Wire.put_bigint_array w) sets
+   | Request (Batch_max_request sets) ->
+     Wire.put_u8 w tag_batch_max_request;
+     Wire.put_u32 w (Array.length sets);
+     Array.iter (Wire.put_bigint_array w) sets
+   | Request Bye -> Wire.put_u8 w tag_bye
+   | Reply (Welcome { n; key_bits; series_length; dimension; max_value }) ->
+     Wire.put_u8 w tag_welcome;
+     Wire.put_bigint w n;
+     Wire.put_u32 w key_bits;
+     Wire.put_u32 w series_length;
+     Wire.put_u32 w dimension;
+     Wire.put_u32 w max_value
+   | Reply (Phase1_reply elements) ->
+     Wire.put_u8 w tag_phase1_reply;
+     Wire.put_u32 w (Array.length elements);
+     Array.iter
+       (fun { sum_sq; coords } ->
+         Wire.put_bigint w sum_sq;
+         Wire.put_bigint_array w coords)
+       elements
+   | Reply (Cipher_reply c) ->
+     Wire.put_u8 w tag_cipher_reply;
+     Wire.put_bigint w c
+   | Reply (Reveal_reply v) ->
+     Wire.put_u8 w tag_reveal_reply;
+     Wire.put_bigint w v
+   | Reply (Catalog_reply lengths) ->
+     Wire.put_u8 w tag_catalog_reply;
+     Wire.put_u32 w (Array.length lengths);
+     Array.iter (Wire.put_u32 w) lengths
+   | Reply (Select_ack i) ->
+     Wire.put_u8 w tag_select_ack;
+     Wire.put_u32 w i
+   | Reply (Batch_cipher_reply replies) ->
+     Wire.put_u8 w tag_batch_cipher_reply;
+     Wire.put_bigint_array w replies
+   | Reply Bye_ack -> Wire.put_u8 w tag_bye_ack
+   | Reply (Error_reply msg) ->
+     Wire.put_u8 w tag_error_reply;
+     Wire.put_bytes w msg);
+  Wire.contents w
+
+let decode s =
+  let r = Wire.reader s in
+  let tag = Wire.get_u8 r in
+  let msg =
+    if tag = tag_hello then Request Hello
+    else if tag = tag_phase1_request then Request Phase1_request
+    else if tag = tag_min_request then Request (Min_request (Wire.get_bigint_array r))
+    else if tag = tag_max_request then Request (Max_request (Wire.get_bigint_array r))
+    else if tag = tag_reveal_request then Request (Reveal_request (Wire.get_bigint r))
+    else if tag = tag_catalog_request then Request Catalog_request
+    else if tag = tag_select_request then Request (Select_request (Wire.get_u32 r))
+    else if tag = tag_batch_min_request || tag = tag_batch_max_request then begin
+      let count = Wire.get_u32 r in
+      if count * 6 > String.length s then
+        raise (Wire.Malformed "batch count exceeds frame capacity");
+      let sets = Array.init count (fun _ -> Wire.get_bigint_array r) in
+      if tag = tag_batch_min_request then Request (Batch_min_request sets)
+      else Request (Batch_max_request sets)
+    end
+    else if tag = tag_bye then Request Bye
+    else if tag = tag_welcome then begin
+      let n = Wire.get_bigint r in
+      let key_bits = Wire.get_u32 r in
+      let series_length = Wire.get_u32 r in
+      let dimension = Wire.get_u32 r in
+      let max_value = Wire.get_u32 r in
+      Reply (Welcome { n; key_bits; series_length; dimension; max_value })
+    end
+    else if tag = tag_phase1_reply then begin
+      let count = Wire.get_u32 r in
+      if count * 12 > String.length s then
+        raise (Wire.Malformed "phase1 element count exceeds frame capacity");
+      let elements =
+        Array.init count (fun _ ->
+            let sum_sq = Wire.get_bigint r in
+            let coords = Wire.get_bigint_array r in
+            { sum_sq; coords })
+      in
+      Reply (Phase1_reply elements)
+    end
+    else if tag = tag_cipher_reply then Reply (Cipher_reply (Wire.get_bigint r))
+    else if tag = tag_reveal_reply then Reply (Reveal_reply (Wire.get_bigint r))
+    else if tag = tag_catalog_reply then begin
+      let count = Wire.get_u32 r in
+      if count * 4 > String.length s then
+        raise (Wire.Malformed "catalog count exceeds frame capacity");
+      Reply (Catalog_reply (Array.init count (fun _ -> Wire.get_u32 r)))
+    end
+    else if tag = tag_select_ack then Reply (Select_ack (Wire.get_u32 r))
+    else if tag = tag_batch_cipher_reply then
+      Reply (Batch_cipher_reply (Wire.get_bigint_array r))
+    else if tag = tag_bye_ack then Reply Bye_ack
+    else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
+    else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
+  in
+  Wire.expect_end r;
+  msg
+
+let describe = function
+  | Request Hello -> "hello"
+  | Request Phase1_request -> "phase1-request"
+  | Request (Min_request c) -> Printf.sprintf "min-request(%d candidates)" (Array.length c)
+  | Request (Max_request c) -> Printf.sprintf "max-request(%d candidates)" (Array.length c)
+  | Request (Reveal_request _) -> "reveal-request"
+  | Request Catalog_request -> "catalog-request"
+  | Request (Select_request i) -> Printf.sprintf "select-request(%d)" i
+  | Request (Batch_min_request sets) ->
+    Printf.sprintf "batch-min-request(%d sets)" (Array.length sets)
+  | Request (Batch_max_request sets) ->
+    Printf.sprintf "batch-max-request(%d sets)" (Array.length sets)
+  | Request Bye -> "bye"
+  | Reply (Welcome w) ->
+    Printf.sprintf "welcome(bits=%d, length=%d, dim=%d)" w.key_bits w.series_length
+      w.dimension
+  | Reply (Phase1_reply e) -> Printf.sprintf "phase1-reply(%d elements)" (Array.length e)
+  | Reply (Cipher_reply _) -> "cipher-reply"
+  | Reply (Reveal_reply _) -> "reveal-reply"
+  | Reply (Catalog_reply l) -> Printf.sprintf "catalog-reply(%d records)" (Array.length l)
+  | Reply (Select_ack i) -> Printf.sprintf "select-ack(%d)" i
+  | Reply (Batch_cipher_reply replies) ->
+    Printf.sprintf "batch-cipher-reply(%d)" (Array.length replies)
+  | Reply Bye_ack -> "bye-ack"
+  | Reply (Error_reply m) -> Printf.sprintf "error(%s)" m
+
+let values_in = function
+  | Request Hello | Request Phase1_request | Request Bye
+  | Request Catalog_request | Request (Select_request _) -> 0
+  | Request (Min_request c) | Request (Max_request c) -> Array.length c
+  | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
+    Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
+  | Request (Reveal_request _) -> 1
+  | Reply (Welcome _) | Reply Bye_ack | Reply (Error_reply _)
+  | Reply (Catalog_reply _) | Reply (Select_ack _) -> 0
+  | Reply (Phase1_reply elements) ->
+    Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements
+  | Reply (Cipher_reply _) | Reply (Reveal_reply _) -> 1
+  | Reply (Batch_cipher_reply replies) -> Array.length replies

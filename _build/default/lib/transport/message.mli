@@ -1,0 +1,76 @@
+(** Protocol messages exchanged between client (series X owner, ciphertext
+    evaluator) and server (series Y owner, secret-key holder).
+
+    Ciphertexts travel as raw [Bigint.t] residues mod [n^2]; the protocol
+    layer re-wraps them against the session's public key, validating the
+    range on receipt. *)
+
+open Ppst_bigint
+
+type request =
+  | Hello
+      (** Session opening: asks for the public key and the server
+          series' public metadata (length, dimension, value bound —
+          the matrix dimensions are public in the paper's model). *)
+  | Phase1_request
+      (** Ask for the encrypted server series (paper Section 3.2: the
+          one-way transfer of [Enc(Σq²)] and each [Enc(q_i)]). *)
+  | Min_request of Bigint.t array
+      (** Phase 2: masked candidates; the server must reply with a fresh
+          encryption of the minimum plaintext. *)
+  | Max_request of Bigint.t array
+      (** Phase 3 (DFD only): masked candidates; reply encrypts the
+          maximum. *)
+  | Reveal_request of Bigint.t
+      (** Final step: ciphertext of the result for joint disclosure. *)
+  | Catalog_request
+      (** Similarity-search extension: ask for the lengths of every record
+          the server holds (dimension and value bound are in [Welcome]). *)
+  | Select_request of int
+      (** Similarity-search extension: make record [i] the active series
+          for subsequent [Phase1_request]s. *)
+  | Batch_min_request of Bigint.t array array
+      (** Wavefront extension: several independent masked-minimum
+          instances (one per DP anti-diagonal cell) answered in a single
+          round trip.  Each inner array is one candidate set. *)
+  | Batch_max_request of Bigint.t array array
+  | Bye
+
+type phase1_element = {
+  sum_sq : Bigint.t;  (** [Enc(Σ_l y_{j,l}²)] *)
+  coords : Bigint.t array;  (** [Enc(y_{j,l})] for each dimension [l] *)
+}
+
+type reply =
+  | Welcome of {
+      n : Bigint.t;  (** Paillier modulus *)
+      key_bits : int;
+      series_length : int;
+      dimension : int;
+      max_value : int;
+    }
+  | Phase1_reply of phase1_element array
+  | Cipher_reply of Bigint.t
+  | Reveal_reply of Bigint.t
+  | Catalog_reply of int array  (** length of each record *)
+  | Select_ack of int
+  | Batch_cipher_reply of Bigint.t array
+      (** One fresh encryption of the extreme per requested instance, in
+          request order. *)
+  | Bye_ack
+  | Error_reply of string
+      (** Typed in-band failure (bad request for session state, malformed
+          candidates, ...). *)
+
+type t = Request of request | Reply of reply
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Malformed on any framing or tag error. *)
+
+val describe : t -> string
+(** One-line human description for logs. *)
+
+val values_in : t -> int
+(** Number of protocol-level "values" (ciphertexts/plaintexts) carried —
+    the unit the paper's communication analysis counts (Section 5.2). *)

@@ -1,0 +1,17 @@
+type entry = { request_bytes : int; reply_bytes : int }
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t ~request_bytes ~reply_bytes =
+  t.rev_entries <- { request_bytes; reply_bytes } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+let rounds t = t.count
+
+let total_bytes t =
+  List.fold_left
+    (fun acc e -> acc + e.request_bytes + e.reply_bytes)
+    0 t.rev_entries

@@ -1,0 +1,20 @@
+(** Per-round message traces.
+
+    A trace records the byte size of every request/reply pair that crossed
+    a channel, in order.  {!Netsim} replays a trace against a network
+    model to predict wall-clock time on links the benchmark machine does
+    not have — the paper measured on localhost only, and the value of
+    round-trip reductions (wavefront batching) only shows under real
+    latency. *)
+
+type entry = { request_bytes : int; reply_bytes : int }
+
+type t
+
+val create : unit -> t
+val record : t -> request_bytes:int -> reply_bytes:int -> unit
+val entries : t -> entry list
+(** In transmission order. *)
+
+val rounds : t -> int
+val total_bytes : t -> int

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Ppst Ppst_bigint Ppst_timeseries Printf

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Array Bigint List Modular Ppst_bigint Prime Printf QCheck2 QCheck_alcotest Splitmix

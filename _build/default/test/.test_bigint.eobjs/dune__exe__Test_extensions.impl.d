@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bigint Channel Distance Format Fun List Message Ppst Ppst_timeseries Printf QCheck2 QCheck_alcotest Secure_rng Series Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bigint Channel Distance Filename Fun List Paillier Ppst Ppst_timeseries Printf Secure_rng Series Stats Stdlib Sys Thread

@@ -1,0 +1,1 @@
+test/test_paillier.ml: Alcotest Bigint List Paillier Ppst_bigint Ppst_paillier Ppst_rng Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Bigint Channel Distance Format List Message Paillier Ppst Printf QCheck2 QCheck_alcotest Secure_rng Series Stats

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bigint Bytes Chacha20 Char Fun List Ppst_bigint Ppst_rng Printf Secure_rng String

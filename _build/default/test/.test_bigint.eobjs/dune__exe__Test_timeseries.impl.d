@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Csv Distance Filename Format Fun Generate Knn List Lower_bound Normalize Paa Ppst_timeseries Printf QCheck2 QCheck_alcotest Series Sys

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Bigint Channel Fun List Message Netsim Ppst_bigint Ppst_transport QCheck2 QCheck_alcotest Stats String Thread Trace Wire

@@ -1,0 +1,223 @@
+(* Tests for the security-analysis modules: entropy preservation (paper
+   Section 5.4) and the leakage/attack simulations (Sections 4, 5.3). *)
+
+let close_to () = Alcotest.float 1e-6
+
+(* --- entropy ---------------------------------------------------------------- *)
+
+let test_uniform_entropy () =
+  Alcotest.check (close_to ()) "Γ=1" 0.0 (Ppst.Entropy.uniform_entropy 1);
+  (* 2Γ-1 = 3 points -> log2 3 *)
+  Alcotest.check (close_to ()) "Γ=2" (log 3.0 /. log 2.0) (Ppst.Entropy.uniform_entropy 2);
+  Alcotest.check (close_to ()) "Γ=2^16" (log 131071.0 /. log 2.0)
+    (Ppst.Entropy.uniform_entropy 65536)
+
+let test_triangular_entropy_tiny_exact () =
+  (* Γ=2: sums of two uniforms on {2,3}: P(4)=1/4, P(5)=1/2, P(6)=1/4
+     -> H = 1.5 bits *)
+  Alcotest.check (close_to ()) "Γ=2 exact" 1.5 (Ppst.Entropy.triangular_sum_entropy 2);
+  (* Γ=1: a single possible sum -> 0 bits *)
+  Alcotest.check (close_to ()) "Γ=1" 0.0 (Ppst.Entropy.triangular_sum_entropy 1)
+
+let test_triangular_vs_convolution () =
+  (* the closed-form summation must equal the generic convolution path *)
+  List.iter
+    (fun gamma_cap ->
+      let u = Array.make gamma_cap (1.0 /. float_of_int gamma_cap) in
+      let conv = Ppst.Entropy.convolve u u in
+      Alcotest.check (close_to ()) (Printf.sprintf "Γ=%d" gamma_cap)
+        (Ppst.Entropy.triangular_sum_entropy gamma_cap)
+        (Ppst.Entropy.shannon conv))
+    [ 2; 3; 7; 32; 100 ]
+
+let test_entropy_preservation_bound () =
+  (* paper Eq. 9: H(S) > log2(2Γ-1) / 2, for all Γ >= 2 (sweep) *)
+  List.iter
+    (fun gamma_cap ->
+      let h = Ppst.Entropy.triangular_sum_entropy gamma_cap in
+      let bound = Ppst.Entropy.uniform_entropy gamma_cap /. 2.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "Γ=%d: %.3f > %.3f" gamma_cap h bound)
+        true (h > bound))
+    [ 2; 3; 4; 8; 100; 1024; 65536; 1 lsl 20 ]
+
+let test_min_entropy () =
+  (* peak of the triangular distribution is 1/Γ -> min-entropy log2 Γ *)
+  Alcotest.check (close_to ()) "Γ=256" 8.0 (Ppst.Entropy.min_entropy 256);
+  let u = Array.make 16 (1.0 /. 16.0) in
+  let conv = Ppst.Entropy.convolve u u in
+  Alcotest.check (close_to ()) "min_entropy_of conv" 4.0 (Ppst.Entropy.min_entropy_of conv)
+
+let test_entropy_fraction_grows () =
+  (* the preserved fraction approaches 1 from below as Γ grows *)
+  let f16 = Ppst.Entropy.preserved_fraction 16 in
+  let f65536 = Ppst.Entropy.preserved_fraction 65536 in
+  Alcotest.(check bool) "monotone" true (f65536 > f16);
+  Alcotest.(check bool) "above half" true (f16 > 0.5);
+  Alcotest.(check bool) "below one" true (f65536 < 1.0)
+
+let test_convolve_shapes () =
+  let a = [| 0.5; 0.5 |] and b = [| 1.0 |] in
+  let c = Ppst.Entropy.convolve a b in
+  Alcotest.(check int) "length" 2 (Array.length c);
+  Alcotest.check (close_to ()) "p0" 0.5 c.(0);
+  (* non-uniform x uniform *)
+  let skew = [| 0.9; 0.1 |] in
+  let c2 = Ppst.Entropy.convolve skew skew in
+  Alcotest.check (close_to ()) "p(0)" 0.81 c2.(0);
+  Alcotest.check (close_to ()) "p(1)" 0.18 c2.(1);
+  Alcotest.check (close_to ()) "p(2)" 0.01 c2.(2)
+
+let test_empirical_matches_analytic () =
+  (* masked-sum samples from the protocol's ranges must empirically show
+     at least half the uniform entropy (the paper's guarantee) *)
+  let beta = 8 and gamma = 10 in
+  let samples = Ppst.Leakage.masked_sum_samples ~beta ~gamma ~count:50_000 ~seed:3 in
+  let hist = Ppst.Entropy.empirical ~samples in
+  let h = Ppst.Entropy.shannon hist in
+  (* offsets span 2^gamma values: uniform bound log2(2*2^gamma - 1) ≈ 11 *)
+  let uniform = Ppst.Entropy.uniform_entropy (1 lsl gamma) in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.2f > %.2f/2" h uniform)
+    true
+    (h > uniform /. 2.0)
+
+let test_entropy_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "bad input accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> ignore (Ppst.Entropy.uniform_entropy 0));
+      (fun () -> ignore (Ppst.Entropy.triangular_sum_entropy (-1)));
+      (fun () -> ignore (Ppst.Entropy.convolve [||] [| 1.0 |]));
+      (fun () -> ignore (Ppst.Entropy.shannon [| 0.0 |]));
+      (fun () -> ignore (Ppst.Entropy.empirical ~samples:[||]));
+    ]
+
+(* --- leakage: section 4 matrix-inference attack ------------------------------ *)
+
+module Series = Ppst_timeseries.Series
+module Distance = Ppst_timeseries.Distance
+
+let test_paper_inference_example () =
+  (* the paper's exact narrative: owner of X = (3,4,5,4,6,7) with the
+     plaintext matrix recovers Y = (2,4,6,5,7) step by step *)
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] in
+  let y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let matrix = Distance.dtw_sq_matrix x y in
+  match Ppst.Leakage.infer_server_series ~x ~matrix with
+  | Some inferred ->
+    Alcotest.(check (array int)) "recovered Y" [| 2; 4; 6; 5; 7 |] inferred
+  | None -> Alcotest.fail "inference failed"
+
+let test_inference_random_cases () =
+  let rng = Ppst_bigint.Splitmix.create 17 in
+  let successes = ref 0 in
+  for _ = 1 to 30 do
+    let m = 4 + Ppst_bigint.Splitmix.int rng 5 in
+    let n = 4 + Ppst_bigint.Splitmix.int rng 5 in
+    let x = Series.of_list (List.init m (fun _ -> Ppst_bigint.Splitmix.int rng 50)) in
+    let y = Series.of_list (List.init n (fun _ -> Ppst_bigint.Splitmix.int rng 50)) in
+    let matrix = Distance.dtw_sq_matrix x y in
+    match Ppst.Leakage.infer_server_series ~x ~matrix with
+    | Some inferred ->
+      if inferred = Array.init n (fun j -> Series.value y j) then incr successes
+    | None -> ()
+  done;
+  (* the attack should succeed in the vast majority of random instances —
+     that is the point of Section 4 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "attack works (%d/30)" !successes)
+    true (!successes >= 25)
+
+let test_inference_validation () =
+  let x2d = Series.create [| [| 1; 2 |] |] in
+  (match Ppst.Leakage.infer_server_series ~x:x2d ~matrix:[| [| 1 |] |] with
+   | _ -> Alcotest.fail "2-d accepted"
+   | exception Invalid_argument _ -> ());
+  let x = Series.of_list [ 1; 2 ] in
+  (match Ppst.Leakage.infer_server_series ~x ~matrix:[| [| 1 |] |] with
+   | _ -> Alcotest.fail "shape mismatch accepted"
+   | exception Invalid_argument _ -> ())
+
+(* --- leakage: section 5.3 gap attack ----------------------------------------- *)
+
+let test_guess_baseline () =
+  Alcotest.check (close_to ()) "k=10" (2.0 /. 110.0) (Ppst.Leakage.guess_baseline ~k:10)
+
+let test_cluster_attack_directional () =
+  let k = 10 in
+  (* valid parameters: gamma - beta = 2 < alpha = 3 *)
+  let ok = Ppst.Leakage.cluster_attack ~beta:20 ~gamma:22 ~k ~trials:1500 ~seed:5 in
+  (* broken parameters: offsets vastly wider than values *)
+  let broken = Ppst.Leakage.cluster_attack ~beta:20 ~gamma:36 ~k ~trials:1500 ~seed:5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "broken params expose the triple (%.2f)" broken.Ppst.Leakage.rate)
+    true
+    (broken.Ppst.Leakage.rate > 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "valid params resist (%.2f < %.2f)" ok.Ppst.Leakage.rate
+       broken.Ppst.Leakage.rate)
+    true
+    (ok.Ppst.Leakage.rate < broken.Ppst.Leakage.rate -. 0.2)
+
+let test_cluster_attack_k_helps () =
+  (* larger k (denser offsets) makes the three smallest less revealing *)
+  let small_k = Ppst.Leakage.cluster_attack ~beta:20 ~gamma:22 ~k:4 ~trials:1500 ~seed:6 in
+  let big_k = Ppst.Leakage.cluster_attack ~beta:20 ~gamma:22 ~k:40 ~trials:1500 ~seed:6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "k=40 (%.2f) < k=4 (%.2f)" big_k.Ppst.Leakage.rate
+       small_k.Ppst.Leakage.rate)
+    true
+    (big_k.Ppst.Leakage.rate < small_k.Ppst.Leakage.rate)
+
+let test_cluster_attack_stats_consistent () =
+  let r = Ppst.Leakage.cluster_attack ~beta:10 ~gamma:12 ~k:8 ~trials:100 ~seed:1 in
+  Alcotest.(check int) "trials" 100 r.Ppst.Leakage.trials;
+  Alcotest.(check bool) "rate = successes/trials" true
+    (abs_float (r.Ppst.Leakage.rate -. (float_of_int r.Ppst.Leakage.successes /. 100.0))
+     < 1e-9)
+
+let test_simulation_range_guard () =
+  (match Ppst.Leakage.cluster_attack ~beta:61 ~gamma:62 ~k:4 ~trials:1 ~seed:1 with
+   | _ -> Alcotest.fail "oversize range accepted"
+   | exception Invalid_argument _ -> ());
+  (match Ppst.Leakage.masked_sum_samples ~beta:61 ~gamma:30 ~count:1 ~seed:1 with
+   | _ -> Alcotest.fail "oversize range accepted"
+   | exception Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "entropy",
+        [
+          Alcotest.test_case "uniform baseline" `Quick test_uniform_entropy;
+          Alcotest.test_case "triangular exact (tiny)" `Quick
+            test_triangular_entropy_tiny_exact;
+          Alcotest.test_case "closed form = convolution" `Quick
+            test_triangular_vs_convolution;
+          Alcotest.test_case "Eq. 9 preservation bound" `Quick
+            test_entropy_preservation_bound;
+          Alcotest.test_case "min-entropy" `Quick test_min_entropy;
+          Alcotest.test_case "fraction grows with Γ" `Quick test_entropy_fraction_grows;
+          Alcotest.test_case "convolution shapes" `Quick test_convolve_shapes;
+          Alcotest.test_case "empirical sums" `Quick test_empirical_matches_analytic;
+          Alcotest.test_case "validation" `Quick test_entropy_validation;
+        ] );
+      ( "matrix inference (Section 4)",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_inference_example;
+          Alcotest.test_case "random instances" `Quick test_inference_random_cases;
+          Alcotest.test_case "validation" `Quick test_inference_validation;
+        ] );
+      ( "gap attack (Section 5.3)",
+        [
+          Alcotest.test_case "guess baseline" `Quick test_guess_baseline;
+          Alcotest.test_case "directional" `Quick test_cluster_attack_directional;
+          Alcotest.test_case "larger k resists" `Quick test_cluster_attack_k_helps;
+          Alcotest.test_case "stats consistent" `Quick test_cluster_attack_stats_consistent;
+          Alcotest.test_case "range guard" `Quick test_simulation_range_guard;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+(* Tests for the baseline cost models (Atallah et al. and garbled
+   circuits) and for the paper's headline comparison numbers. *)
+
+let close_to = Alcotest.float 1e-9
+
+let test_yao_invocations () =
+  Alcotest.(check int) "paper numbers: 3*100*100*1" 30_000
+    (Ppst_baseline.Atallah.yao_invocations ~m:100 ~n:100 ~d:1);
+  Alcotest.(check int) "quadratic in d" 30_000
+    (Ppst_baseline.Atallah.yao_invocations ~m:10 ~n:10 ~d:10);
+  Alcotest.(check int) "d squared" (3 * 10 * 10 * 25)
+    (Ppst_baseline.Atallah.yao_invocations ~m:10 ~n:10 ~d:5)
+
+let test_paper_37000_seconds () =
+  (* "Atallah et al's protocol needs at least 37000 seconds" at n=100,
+     d=1: 3*100*100*1.25 = 37500 *)
+  let est = Ppst_baseline.Atallah.estimated_seconds ~m:100 ~n:100 ~d:1 () in
+  Alcotest.check close_to "37500 s" 37_500.0 est;
+  Alcotest.(check bool) "paper's 'at least 37000'" true (est >= 37_000.0)
+
+let test_slow_network () =
+  let slow =
+    Ppst_baseline.Atallah.estimated_seconds
+      ~per_call:Ppst_baseline.Atallah.fairplay_slow_seconds ~m:100 ~n:100 ~d:1 ()
+  in
+  Alcotest.check close_to "slow network" 120_000.0 slow
+
+let test_speedup_three_orders () =
+  (* the paper claims >= 3 orders of magnitude; our measured DTW at
+     n = 100 takes seconds, so even a pessimistic 30 s gives > 1000x *)
+  let speedup = Ppst_baseline.Atallah.speedup_vs ~measured_seconds:30.0 ~m:100 ~n:100 ~d:1 in
+  Alcotest.(check bool) "three orders" true (speedup >= 1000.0)
+
+let test_atallah_validation () =
+  (match Ppst_baseline.Atallah.yao_invocations ~m:0 ~n:1 ~d:1 with
+   | _ -> Alcotest.fail "bad size accepted"
+   | exception Invalid_argument _ -> ());
+  (match Ppst_baseline.Atallah.speedup_vs ~measured_seconds:0.0 ~m:1 ~n:1 ~d:1 with
+   | _ -> Alcotest.fail "zero measurement accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_garbled_gates () =
+  (* per cell with d=1, b=32: 32 + 1024 + 0 + 128 + 32 = 1216 gates *)
+  Alcotest.(check int) "single cell" 1216
+    (Ppst_baseline.Garbled.and_gates ~m:1 ~n:1 ~d:1 ~bits:32);
+  Alcotest.(check int) "scales with mn" (100 * 1216)
+    (Ppst_baseline.Garbled.and_gates ~m:10 ~n:10 ~d:1 ~bits:32)
+
+let test_garbled_estimate_dominates_paillier () =
+  (* even the optimistic garbled model is slower than our measured runs:
+     100x100 cells * 1216 gates * 10us ≈ 122 s *)
+  let est = Ppst_baseline.Garbled.estimated_seconds ~m:100 ~n:100 ~d:1 ~bits:32 () in
+  Alcotest.(check bool) "over 100 s" true (est > 100.0)
+
+let test_garbled_validation () =
+  match Ppst_baseline.Garbled.and_gates ~m:1 ~n:1 ~d:1 ~bits:0 with
+  | _ -> Alcotest.fail "zero bits accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "atallah",
+        [
+          Alcotest.test_case "yao invocation counts" `Quick test_yao_invocations;
+          Alcotest.test_case "paper's 37000 s estimate" `Quick test_paper_37000_seconds;
+          Alcotest.test_case "slow network" `Quick test_slow_network;
+          Alcotest.test_case "three orders of magnitude" `Quick test_speedup_three_orders;
+          Alcotest.test_case "validation" `Quick test_atallah_validation;
+        ] );
+      ( "garbled circuits",
+        [
+          Alcotest.test_case "gate counts" `Quick test_garbled_gates;
+          Alcotest.test_case "dominates homomorphic approach" `Quick
+            test_garbled_estimate_dominates_paillier;
+          Alcotest.test_case "validation" `Quick test_garbled_validation;
+        ] );
+    ]

@@ -1,0 +1,628 @@
+(* Tests for the bignum substrate: Bigint/Nat arithmetic, Montgomery
+   exponentiation, modular inverses, primality.  Properties are checked
+   with qcheck against ring axioms and division invariants; fixed vectors
+   cross-check against independently computed values. *)
+
+open Ppst_bigint
+
+let bi = Bigint.of_string
+let eq_bi = Alcotest.testable Bigint.pp Bigint.equal
+
+(* --- generators -------------------------------------------------------- *)
+
+(* Random Bigint of up to ~200 bits, signed, built from decimal digits so
+   shrinking stays meaningful. *)
+let gen_bigint =
+  let open QCheck2.Gen in
+  let* digits = int_range 1 60 in
+  let* s = string_size ~gen:(char_range '0' '9') (return digits) in
+  let* neg = bool in
+  let v = Bigint.of_string s in
+  return (if neg then Bigint.neg v else v)
+
+let gen_positive =
+  QCheck2.Gen.map Bigint.abs gen_bigint
+  |> QCheck2.Gen.map (fun v -> if Bigint.is_zero v then Bigint.one else v)
+
+let arb_bigint = gen_bigint
+let arb_positive = gen_positive
+let print_bi = Bigint.to_string
+
+let qtest name ?(count = 500) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~print:print_bi ~count gen prop)
+
+let qtest2 name ?(count = 500) g1 g2 prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count
+       ~print:(fun (a, b) -> Printf.sprintf "(%s, %s)" (print_bi a) (print_bi b))
+       (QCheck2.Gen.pair g1 g2)
+       (fun (x, y) -> prop x y))
+
+let qtest3 name ?(count = 300) g1 g2 g3 prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count
+       ~print:(fun (a, b, c) ->
+         Printf.sprintf "(%s, %s, %s)" (print_bi a) (print_bi b) (print_bi c))
+       (QCheck2.Gen.triple g1 g2 g3)
+       (fun (x, y, z) -> prop x y z))
+
+(* --- unit tests: conversions ------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int)) (string_of_int v) (Some v)
+        (Bigint.to_int_opt (Bigint.of_int v)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 40 ]
+
+let test_string_roundtrip_fixed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Bigint.to_string (bi s)))
+    [ "0"; "1"; "-1"; "123456789"; "-987654321012345678901234567890";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+
+let test_hex_parse () =
+  Alcotest.check eq_bi "0xff" (Bigint.of_int 255) (bi "0xff");
+  Alcotest.check eq_bi "0xFF" (Bigint.of_int 255) (bi "0xFF");
+  Alcotest.check eq_bi "-0x10" (Bigint.of_int (-16)) (bi "-0x10");
+  Alcotest.check eq_bi "2^64"
+    (bi "18446744073709551616")
+    (bi "0x10000000000000000")
+
+let test_hex_print () =
+  Alcotest.(check string) "255" "0xff" (Bigint.to_string_hex (Bigint.of_int 255));
+  Alcotest.(check string) "0" "0x0" (Bigint.to_string_hex Bigint.zero);
+  Alcotest.(check string) "-16" "-0x10" (Bigint.to_string_hex (Bigint.of_int (-16)))
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument "Bigint.of_string: bad digit")
+        (fun () -> ignore (bi s)))
+    [ "12a3"; "1.5" ];
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (bi ""));
+  Alcotest.check_raises "sign only" (Invalid_argument "Bigint.of_string: sign only")
+    (fun () -> ignore (bi "-"))
+
+let test_underscores () =
+  Alcotest.check eq_bi "1_000_000" (Bigint.of_int 1_000_000) (bi "1_000_000")
+
+let test_bytes_roundtrip_fixed () =
+  let v = bi "0x0123456789abcdef0123" in
+  Alcotest.check eq_bi "bytes" v (Bigint.of_bytes_be (Bigint.to_bytes_be v));
+  Alcotest.(check string) "zero bytes" "" (Bigint.to_bytes_be Bigint.zero);
+  Alcotest.check eq_bi "leading zero bytes"
+    (Bigint.of_int 1)
+    (Bigint.of_bytes_be "\000\000\001")
+
+(* --- unit tests: arithmetic fixed vectors ------------------------------ *)
+
+let test_mul_fixed () =
+  (* cross-checked with python3 *)
+  Alcotest.check eq_bi "big product"
+    (bi "121932631137021795226185032733622923332237463801111263526900")
+    (Bigint.mul
+       (bi "123456789012345678901234567890")
+       (bi "987654321098765432109876543210"))
+
+let test_karatsuba_crossover () =
+  (* operands big enough to force the Karatsuba path (>= 32 limbs each =
+     ~992 bits), checked against the schoolbook identity (a+1)(b+1) =
+     ab + a + b + 1. *)
+  let a = Bigint.pred (Bigint.shift_left Bigint.one 1500) in
+  let b = Bigint.pred (Bigint.shift_left Bigint.one 1200) in
+  let lhs = Bigint.mul (Bigint.succ a) (Bigint.succ b) in
+  let rhs = Bigint.add (Bigint.add (Bigint.mul a b) (Bigint.add a b)) Bigint.one in
+  Alcotest.check eq_bi "karatsuba identity" rhs lhs
+
+let test_div_fixed () =
+  let q, r = Bigint.divmod (bi "1000000000000000000000") (bi "7") in
+  Alcotest.check eq_bi "q" (bi "142857142857142857142") q;
+  Alcotest.check eq_bi "r" (bi "6") r
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Bigint.div Bigint.one Bigint.zero));
+  Alcotest.check_raises "ediv0" Division_by_zero (fun () ->
+      ignore (Bigint.ediv_rem Bigint.one Bigint.zero))
+
+let test_truncated_division_signs () =
+  (* same convention as native / and mod *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Alcotest.(check int) (Printf.sprintf "%d/%d q" a b) (a / b) (Bigint.to_int_exn q);
+      Alcotest.(check int) (Printf.sprintf "%d mod %d" a b) (a mod b) (Bigint.to_int_exn r))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3); (0, 5) ]
+
+let test_euclidean_division_signs () =
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.ediv_rem (Bigint.of_int a) (Bigint.of_int b) in
+      let rv = Bigint.to_int_exn r in
+      Alcotest.(check bool) (Printf.sprintf "0 <= r < |b| for %d %d" a b) true
+        (rv >= 0 && rv < abs b);
+      Alcotest.(check int) "reconstruct" a
+        (Bigint.to_int_exn (Bigint.add (Bigint.mul q (Bigint.of_int b)) r)))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (-1, 3); (1, -3); (0, 7) ]
+
+let test_pow () =
+  Alcotest.check eq_bi "2^100"
+    (bi "1267650600228229401496703205376")
+    (Bigint.pow Bigint.two 100);
+  Alcotest.check eq_bi "x^0" Bigint.one (Bigint.pow (bi "123") 0);
+  Alcotest.check eq_bi "(-2)^3" (Bigint.of_int (-8)) (Bigint.pow (Bigint.of_int (-2)) 3);
+  Alcotest.check_raises "neg exponent" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (Bigint.pow Bigint.two (-1)))
+
+let test_shifts () =
+  Alcotest.check eq_bi "1 << 100 >> 100" Bigint.one
+    (Bigint.shift_right (Bigint.shift_left Bigint.one 100) 100);
+  Alcotest.check eq_bi "7 >> 1" (Bigint.of_int 3) (Bigint.shift_right (Bigint.of_int 7) 1);
+  Alcotest.check eq_bi "-8 << 2" (Bigint.of_int (-32))
+    (Bigint.shift_left (Bigint.of_int (-8)) 2);
+  Alcotest.check eq_bi "5 >> 10" Bigint.zero (Bigint.shift_right (Bigint.of_int 5) 10)
+
+let test_num_bits () =
+  Alcotest.(check int) "0" 0 (Bigint.num_bits Bigint.zero);
+  Alcotest.(check int) "1" 1 (Bigint.num_bits Bigint.one);
+  Alcotest.(check int) "255" 8 (Bigint.num_bits (Bigint.of_int 255));
+  Alcotest.(check int) "256" 9 (Bigint.num_bits (Bigint.of_int 256));
+  Alcotest.(check int) "2^100" 101 (Bigint.num_bits (Bigint.shift_left Bigint.one 100))
+
+let test_testbit () =
+  let v = Bigint.of_int 0b1010 in
+  Alcotest.(check bool) "bit0" false (Bigint.testbit v 0);
+  Alcotest.(check bool) "bit1" true (Bigint.testbit v 1);
+  Alcotest.(check bool) "bit3" true (Bigint.testbit v 3);
+  Alcotest.(check bool) "bit77" false (Bigint.testbit v 77)
+
+let test_compare_ordering () =
+  let sorted = List.map bi [ "-100"; "-1"; "0"; "1"; "99999999999999999999" ] in
+  let shuffled = List.rev sorted in
+  Alcotest.(check (list string))
+    "sort" (List.map Bigint.to_string sorted)
+    (List.map Bigint.to_string (List.sort Bigint.compare shuffled))
+
+(* --- property tests: ring axioms --------------------------------------- *)
+
+let prop_add_commutative = qtest2 "add commutative" arb_bigint arb_bigint
+    (fun a b -> Bigint.equal (Bigint.add a b) (Bigint.add b a))
+
+let prop_add_associative = qtest3 "add associative" arb_bigint arb_bigint arb_bigint
+    (fun a b c ->
+      Bigint.equal (Bigint.add (Bigint.add a b) c) (Bigint.add a (Bigint.add b c)))
+
+let prop_mul_commutative = qtest2 "mul commutative" arb_bigint arb_bigint
+    (fun a b -> Bigint.equal (Bigint.mul a b) (Bigint.mul b a))
+
+let prop_mul_associative = qtest3 "mul associative" arb_bigint arb_bigint arb_bigint
+    (fun a b c ->
+      Bigint.equal (Bigint.mul (Bigint.mul a b) c) (Bigint.mul a (Bigint.mul b c)))
+
+let prop_distributive = qtest3 "distributive" arb_bigint arb_bigint arb_bigint
+    (fun a b c ->
+      Bigint.equal
+        (Bigint.mul a (Bigint.add b c))
+        (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_add_neg = qtest "a + (-a) = 0" arb_bigint (fun a ->
+    Bigint.is_zero (Bigint.add a (Bigint.neg a)))
+
+let prop_sub_add = qtest2 "(a - b) + b = a" arb_bigint arb_bigint (fun a b ->
+    Bigint.equal a (Bigint.add (Bigint.sub a b) b))
+
+let prop_divmod_invariant = qtest2 "a = q*b + r, |r| < |b|" arb_bigint arb_positive
+    (fun a b ->
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0)
+
+let prop_ediv_invariant = qtest2 "euclidean: 0 <= r < b" arb_bigint arb_positive
+    (fun a b ->
+      let q, r = Bigint.ediv_rem a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && not (Bigint.is_negative r)
+      && Bigint.compare r b < 0)
+
+let prop_string_roundtrip = qtest "decimal round-trip" arb_bigint (fun a ->
+    Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let prop_hex_roundtrip = qtest "hex round-trip" arb_bigint (fun a ->
+    Bigint.equal a (Bigint.of_string (Bigint.to_string_hex a)))
+
+let prop_bytes_roundtrip = qtest "bytes round-trip (magnitude)" arb_bigint (fun a ->
+    Bigint.equal (Bigint.abs a) (Bigint.of_bytes_be (Bigint.to_bytes_be a)))
+
+let prop_shift_mul = qtest "shift_left = mul by 2^s" arb_bigint (fun a ->
+    List.for_all
+      (fun s ->
+        Bigint.equal (Bigint.shift_left a s) (Bigint.mul a (Bigint.pow Bigint.two s)))
+      [ 0; 1; 7; 31; 32; 63; 100 ])
+
+let prop_shift_div = qtest "shift_right on non-negative = div by 2^s" arb_positive
+    (fun a ->
+      List.for_all
+        (fun s ->
+          Bigint.equal (Bigint.shift_right a s) (Bigint.div a (Bigint.pow Bigint.two s)))
+        [ 0; 1; 7; 31; 32; 63 ])
+
+let prop_karatsuba_vs_school =
+  (* products with operands above the Karatsuba threshold must match the
+     small-operand path composed via the distributive law *)
+  qtest2 "karatsuba consistent" ~count:50
+    (
+       (QCheck2.Gen.map
+          (fun s -> Bigint.abs (Bigint.of_string ("1" ^ s)))
+          QCheck2.Gen.(string_size ~gen:(char_range '0' '9') (int_range 300 400))))
+    (
+       (QCheck2.Gen.map
+          (fun s -> Bigint.abs (Bigint.of_string ("1" ^ s)))
+          QCheck2.Gen.(string_size ~gen:(char_range '0' '9') (int_range 300 400))))
+    (fun a b ->
+      (* (a + 1) * b = a*b + b exercises different splits *)
+      Bigint.equal (Bigint.mul (Bigint.succ a) b) (Bigint.add (Bigint.mul a b) b))
+
+(* --- modular arithmetic ------------------------------------------------ *)
+
+let test_powmod_fixed () =
+  Alcotest.check eq_bi "3^100 mod 7" (Bigint.of_int 4)
+    (Modular.pow_mod (Bigint.of_int 3) (Bigint.of_int 100) (Bigint.of_int 7));
+  (* cross-checked with python3: pow(123456789, 987654321, 1000000007) *)
+  Alcotest.check eq_bi "big powmod" (bi "652541198")
+    (Modular.pow_mod (bi "123456789") (bi "987654321") (bi "1000000007"))
+
+let test_powmod_even_modulus () =
+  Alcotest.check eq_bi "3^5 mod 16" (Bigint.of_int 3)
+    (Modular.pow_mod (Bigint.of_int 3) (Bigint.of_int 5) (Bigint.of_int 16))
+
+let test_powmod_edge_cases () =
+  let m = bi "1000000007" in
+  Alcotest.check eq_bi "x^0 = 1" Bigint.one (Modular.pow_mod (bi "12345") Bigint.zero m);
+  Alcotest.check eq_bi "0^5 = 0" Bigint.zero (Modular.pow_mod Bigint.zero (bi "5") m);
+  Alcotest.check eq_bi "x^1 = x" (bi "12345") (Modular.pow_mod (bi "12345") Bigint.one m);
+  Alcotest.check eq_bi "mod 1 = 0" Bigint.zero (Modular.pow_mod (bi "5") (bi "5") Bigint.one)
+
+let prop_montgomery_vs_naive =
+  (* Montgomery exponentiation agrees with multiply-and-reduce. *)
+  let gen_odd =
+    QCheck2.Gen.map
+      (fun v ->
+        let v = Bigint.abs v in
+        let v = if Bigint.is_even v then Bigint.succ v else v in
+        if Bigint.compare v (Bigint.of_int 3) < 0 then Bigint.of_int 3 else v)
+      gen_bigint
+  in
+  qtest3 "montgomery = naive powmod" ~count:200 arb_positive arb_positive
+    gen_odd
+    (fun b e m ->
+      let naive =
+        let b = ref (Bigint.erem b m) and acc = ref (Bigint.erem Bigint.one m) in
+        for i = 0 to Bigint.num_bits e - 1 do
+          if Bigint.testbit e i then acc := Bigint.erem (Bigint.mul !acc !b) m;
+          b := Bigint.erem (Bigint.mul !b !b) m
+        done;
+        !acc
+      in
+      Bigint.equal naive (Modular.pow_mod b e m))
+
+let prop_fermat =
+  (* Fermat's little theorem with a fixed large prime *)
+  let p = bi "170141183460469231731687303715884105727" (* 2^127 - 1, prime *) in
+  qtest "fermat little theorem mod 2^127-1" ~count:50 arb_positive (fun a ->
+      let a = Bigint.succ (Bigint.erem a (Bigint.pred p)) in
+      Bigint.equal Bigint.one (Modular.pow_mod a (Bigint.pred p) p))
+
+let test_gcd_lcm () =
+  Alcotest.check eq_bi "gcd 12 18" (Bigint.of_int 6)
+    (Modular.gcd (Bigint.of_int 12) (Bigint.of_int 18));
+  Alcotest.check eq_bi "gcd 0 5" (Bigint.of_int 5) (Modular.gcd Bigint.zero (Bigint.of_int 5));
+  Alcotest.check eq_bi "gcd negative" (Bigint.of_int 6)
+    (Modular.gcd (Bigint.of_int (-12)) (Bigint.of_int 18));
+  Alcotest.check eq_bi "lcm 4 6" (Bigint.of_int 12)
+    (Modular.lcm (Bigint.of_int 4) (Bigint.of_int 6))
+
+let prop_gcd_divides = qtest2 "gcd divides both" arb_positive arb_positive (fun a b ->
+    let g = Modular.gcd a b in
+    Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
+
+let prop_egcd_bezout = qtest2 "egcd bezout identity" arb_positive arb_positive
+    (fun a b ->
+      let g, u, v = Modular.egcd a b in
+      Bigint.equal g (Bigint.add (Bigint.mul u a) (Bigint.mul v b)))
+
+let test_invert () =
+  let m = bi "1000000007" in
+  let a = bi "123456" in
+  let inv = Modular.invert a m in
+  Alcotest.check eq_bi "a * a^-1 = 1" Bigint.one (Bigint.erem (Bigint.mul a inv) m);
+  Alcotest.check_raises "not invertible" Modular.Not_invertible (fun () ->
+      ignore (Modular.invert (Bigint.of_int 6) (Bigint.of_int 9)))
+
+let prop_invert = qtest "invert mod prime" ~count:200 arb_positive (fun a ->
+    let p = bi "170141183460469231731687303715884105727" in
+    let a = Bigint.succ (Bigint.erem a (Bigint.pred p)) in
+    Bigint.equal Bigint.one (Bigint.erem (Bigint.mul a (Modular.invert a p)) p))
+
+let test_modular_ctx () =
+  let m = bi "0xffffffffffffffc5" (* odd 64-bit *) in
+  let ctx = Modular.make_ctx m in
+  Alcotest.check eq_bi "ctx modulus" m (Modular.ctx_modulus ctx);
+  Alcotest.check eq_bi "pow_ctx = pow_mod"
+    (Modular.pow_mod (bi "987654321") (bi "1234567") m)
+    (Modular.pow_ctx ctx (bi "987654321") (bi "1234567"));
+  Alcotest.check eq_bi "mul_ctx"
+    (Bigint.erem (Bigint.mul (bi "111111111111") (bi "222222222222")) m)
+    (Modular.mul_ctx ctx (bi "111111111111") (bi "222222222222"));
+  Alcotest.check_raises "even modulus rejected"
+    (Invalid_argument "Modular.make_ctx: even modulus") (fun () ->
+      ignore (Modular.make_ctx (Bigint.of_int 16)))
+
+(* --- primes ------------------------------------------------------------ *)
+
+let test_small_primes () =
+  Alcotest.(check int) "168 primes below 1000" 168 (Array.length Prime.small_primes);
+  Alcotest.(check int) "first" 2 Prime.small_primes.(0);
+  Alcotest.(check int) "last" 997 Prime.small_primes.(167)
+
+let test_is_prime_small () =
+  let primes = [ 2; 3; 5; 7; 11; 97; 101; 997; 1009; 7919 ] in
+  let composites = [ 0; 1; 4; 9; 15; 91 (* 7*13 *); 561 (* Carmichael *); 1001; 7917 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (string_of_int p) true
+        (Prime.is_probable_prime (Bigint.of_int p)))
+    primes;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (string_of_int c) false
+        (Prime.is_probable_prime (Bigint.of_int c)))
+    composites
+
+let test_is_prime_large () =
+  Alcotest.(check bool) "2^127 - 1 prime" true
+    (Prime.is_probable_prime (bi "170141183460469231731687303715884105727"));
+  Alcotest.(check bool) "2^128 + 1 composite" false
+    (Prime.is_probable_prime (bi "340282366920938463463374607431768211457"));
+  (* large Carmichael-style pseudoprime: 3215031751 = 151*751*28351 fools
+     bases 2,3,5,7 in the Fermat test *)
+  Alcotest.(check bool) "strong pseudoprime caught" false
+    (Prime.is_probable_prime (bi "3215031751"))
+
+let test_next_prime () =
+  let np v = Bigint.to_int_exn (Prime.next_prime (Bigint.of_int v)) in
+  Alcotest.(check int) "after 0" 2 (np 0);
+  Alcotest.(check int) "after 2" 3 (np 2);
+  Alcotest.(check int) "after 7" 11 (np 7);
+  Alcotest.(check int) "after 89" 97 (np 89);
+  Alcotest.(check int) "after 7918" 7919 (np 7918)
+
+let test_random_prime_bits () =
+  let rng = Splitmix.create 99 in
+  let random_bits b = Splitmix.bits rng b in
+  List.iter
+    (fun bits ->
+      let p = Prime.random_prime ~random_bits ~bits in
+      Alcotest.(check int) (Printf.sprintf "%d bits" bits) bits (Bigint.num_bits p);
+      Alcotest.(check bool) "prime" true (Prime.is_probable_prime p);
+      Alcotest.(check bool) "second-highest bit set" true (Bigint.testbit p (bits - 2)))
+    [ 16; 32; 48; 64; 128 ]
+
+let test_random_safe_prime () =
+  let rng = Splitmix.create 7 in
+  let random_bits b = Splitmix.bits rng b in
+  let p = Prime.random_safe_prime ~random_bits ~bits:24 in
+  let q = Bigint.shift_right (Bigint.pred p) 1 in
+  Alcotest.(check bool) "p prime" true (Prime.is_probable_prime p);
+  Alcotest.(check bool) "(p-1)/2 prime" true (Prime.is_probable_prime q);
+  Alcotest.(check int) "bits" 24 (Bigint.num_bits p)
+
+let prop_prime_products_composite =
+  QCheck_alcotest.to_alcotest
+  @@ QCheck2.Test.make ~name:"product of two primes > 3 is composite" ~count:50
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 160)
+    (fun i ->
+      let p = Bigint.of_int Prime.small_primes.(i + 2) in
+      let q = Bigint.of_int Prime.small_primes.(i + 3) in
+      not (Prime.is_probable_prime (Bigint.mul p q)))
+
+(* --- edge cases and division stress -------------------------------------- *)
+
+let test_limb_boundary_values () =
+  (* values at and around the base-2^31 limb boundary and the native-int
+     boundary must round-trip through every representation *)
+  let interesting =
+    [ (1 lsl 31) - 1; 1 lsl 31; (1 lsl 31) + 1; (1 lsl 62) - 1;
+      -((1 lsl 31) - 1); -(1 lsl 31) ]
+  in
+  List.iter
+    (fun v ->
+      let b = Bigint.of_int v in
+      Alcotest.(check (option int)) (string_of_int v) (Some v) (Bigint.to_int_opt b);
+      Alcotest.check eq_bi "via string" b (bi (Bigint.to_string b));
+      Alcotest.check eq_bi "via hex" b (bi (Bigint.to_string_hex b)))
+    interesting
+
+let test_division_addback_branch () =
+  (* Knuth D step D6 (the "add back" correction) triggers only for rare
+     divisor/dividend patterns; this pair is constructed so the first
+     quotient estimate overshoots: u = B^2 * (B/2) and v = (B/2)*B + 1
+     with B = 2^31. *)
+  let b31 = Bigint.shift_left Bigint.one 31 in
+  let half = Bigint.shift_left Bigint.one 30 in
+  let v = Bigint.add (Bigint.mul half b31) Bigint.one in
+  let u = Bigint.mul (Bigint.mul b31 b31) half in
+  let q, r = Bigint.divmod u v in
+  Alcotest.check eq_bi "reconstruct" u (Bigint.add (Bigint.mul q v) r);
+  Alcotest.(check bool) "remainder bound" true
+    (Bigint.compare r v < 0 && not (Bigint.is_negative r));
+  (* sweep a family of near-boundary divisors for the same property *)
+  for offset = 1 to 50 do
+    let v = Bigint.add (Bigint.mul half b31) (Bigint.of_int offset) in
+    let u = Bigint.sub (Bigint.mul (Bigint.mul b31 b31) half) (Bigint.of_int offset) in
+    let q, r = Bigint.divmod u v in
+    Alcotest.check eq_bi "sweep reconstruct" u (Bigint.add (Bigint.mul q v) r);
+    Alcotest.(check bool) "sweep remainder" true
+      (Bigint.compare r v < 0 && not (Bigint.is_negative r))
+  done
+
+let test_division_equal_operands () =
+  let v = bi "123456789012345678901234567890" in
+  let q, r = Bigint.divmod v v in
+  Alcotest.check eq_bi "q" Bigint.one q;
+  Alcotest.check eq_bi "r" Bigint.zero r;
+  let q2, r2 = Bigint.divmod v (Bigint.succ v) in
+  Alcotest.check eq_bi "smaller dividend q" Bigint.zero q2;
+  Alcotest.check eq_bi "smaller dividend r" v r2
+
+let test_power_of_two_arithmetic () =
+  (* exact powers of two stress normalization and shifting paths *)
+  List.iter
+    (fun bits ->
+      let p = Bigint.shift_left Bigint.one bits in
+      Alcotest.(check int) "num_bits" (bits + 1) (Bigint.num_bits p);
+      let q, r = Bigint.divmod p Bigint.two in
+      Alcotest.check eq_bi "p/2" (Bigint.shift_left Bigint.one (bits - 1)) q;
+      Alcotest.check eq_bi "rem" Bigint.zero r;
+      Alcotest.check eq_bi "p-1 + 1" p (Bigint.succ (Bigint.pred p)))
+    [ 31; 32; 62; 63; 64; 93; 124; 1000 ]
+
+let test_isqrt_fixed () =
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.check eq_bi (Printf.sprintf "isqrt %s" v) (bi expected)
+        (Bigint.isqrt (bi v)))
+    [ ("0", "0"); ("1", "1"); ("2", "1"); ("3", "1"); ("4", "2"); ("99", "9");
+      ("100", "10"); ("101", "10");
+      ("340282366920938463463374607431768211456", "18446744073709551616") ];
+  Alcotest.check_raises "negative" (Invalid_argument "Bigint.isqrt: negative argument")
+    (fun () -> ignore (Bigint.isqrt Bigint.minus_one))
+
+let prop_isqrt = qtest "isqrt(n)^2 <= n < (isqrt(n)+1)^2" arb_positive (fun n ->
+    let r = Bigint.isqrt n in
+    Bigint.compare (Bigint.mul r r) n <= 0
+    && Bigint.compare n (Bigint.mul (Bigint.succ r) (Bigint.succ r)) < 0)
+
+let prop_isqrt_of_square = qtest "isqrt(n^2) = n" arb_positive (fun n ->
+    Bigint.equal n (Bigint.isqrt (Bigint.mul n n)))
+
+let prop_divmod_stress_wide =
+  (* dividend much wider than divisor: exercises long quotient loops *)
+  qtest2 "wide-dividend division invariant" ~count:200
+    (QCheck2.Gen.map
+       (fun s -> Bigint.abs (Bigint.of_string ("9" ^ s)))
+       QCheck2.Gen.(string_size ~gen:(char_range '0' '9') (int_range 150 250)))
+    (QCheck2.Gen.map
+       (fun s -> Bigint.abs (Bigint.of_string ("1" ^ s)))
+       QCheck2.Gen.(string_size ~gen:(char_range '0' '9') (int_range 1 20)))
+    (fun a b ->
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare r b < 0
+      && not (Bigint.is_negative r))
+
+(* --- splitmix ----------------------------------------------------------- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 1 and b = Splitmix.create 1 in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "same stream" (Splitmix.next_int64 a) (Splitmix.next_int64 b)
+  done
+
+let test_splitmix_bounds () =
+  let rng = Splitmix.create 5 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  let big = Splitmix.bits rng 100 in
+  Alcotest.(check bool) "bit bound" true (Bigint.num_bits big <= 100)
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "conversions",
+        [
+          Alcotest.test_case "of_int/to_int round-trip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "decimal strings" `Quick test_string_roundtrip_fixed;
+          Alcotest.test_case "hex parse" `Quick test_hex_parse;
+          Alcotest.test_case "hex print" `Quick test_hex_print;
+          Alcotest.test_case "invalid strings rejected" `Quick test_of_string_invalid;
+          Alcotest.test_case "underscore separators" `Quick test_underscores;
+          Alcotest.test_case "bytes round-trip" `Quick test_bytes_roundtrip_fixed;
+          prop_string_roundtrip;
+          prop_hex_roundtrip;
+          prop_bytes_roundtrip;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "fixed product" `Quick test_mul_fixed;
+          Alcotest.test_case "karatsuba crossover" `Quick test_karatsuba_crossover;
+          Alcotest.test_case "fixed division" `Quick test_div_fixed;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "truncated division signs" `Quick test_truncated_division_signs;
+          Alcotest.test_case "euclidean division signs" `Quick test_euclidean_division_signs;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "testbit" `Quick test_testbit;
+          Alcotest.test_case "ordering" `Quick test_compare_ordering;
+          prop_add_commutative;
+          prop_add_associative;
+          prop_mul_commutative;
+          prop_mul_associative;
+          prop_distributive;
+          prop_add_neg;
+          prop_sub_add;
+          prop_divmod_invariant;
+          prop_ediv_invariant;
+          prop_shift_mul;
+          prop_shift_div;
+          prop_karatsuba_vs_school;
+        ] );
+      ( "modular",
+        [
+          Alcotest.test_case "powmod fixed" `Quick test_powmod_fixed;
+          Alcotest.test_case "powmod even modulus" `Quick test_powmod_even_modulus;
+          Alcotest.test_case "powmod edge cases" `Quick test_powmod_edge_cases;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "invert" `Quick test_invert;
+          Alcotest.test_case "montgomery context" `Quick test_modular_ctx;
+          prop_montgomery_vs_naive;
+          prop_fermat;
+          prop_gcd_divides;
+          prop_egcd_bezout;
+          prop_invert;
+        ] );
+      ( "primes",
+        [
+          Alcotest.test_case "small prime table" `Quick test_small_primes;
+          Alcotest.test_case "small primality" `Quick test_is_prime_small;
+          Alcotest.test_case "large primality" `Quick test_is_prime_large;
+          Alcotest.test_case "next_prime" `Quick test_next_prime;
+          Alcotest.test_case "random primes have exact size" `Slow test_random_prime_bits;
+          Alcotest.test_case "safe prime" `Slow test_random_safe_prime;
+          prop_prime_products_composite;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "limb boundaries" `Quick test_limb_boundary_values;
+          Alcotest.test_case "division add-back branch" `Quick
+            test_division_addback_branch;
+          Alcotest.test_case "equal operands" `Quick test_division_equal_operands;
+          Alcotest.test_case "powers of two" `Quick test_power_of_two_arithmetic;
+          Alcotest.test_case "isqrt fixed vectors" `Quick test_isqrt_fixed;
+          prop_isqrt;
+          prop_isqrt_of_square;
+          prop_divmod_stress_wide;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "bounds" `Quick test_splitmix_bounds;
+        ] );
+    ]

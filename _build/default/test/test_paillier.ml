@@ -1,0 +1,360 @@
+(* Tests for the Paillier cryptosystem: round-trips, the homomorphisms
+   the protocols rely on, CRT decryption equivalence, probabilistic
+   encryption (re-randomization), signed encoding, serialization, and
+   error paths. *)
+
+open Ppst_bigint
+open Ppst_paillier
+
+let eq_bi = Alcotest.testable Bigint.pp Bigint.equal
+
+let rng () = Ppst_rng.Secure_rng.of_seed_string "paillier-tests"
+
+(* One shared small key for the bulk of the tests (fresh keygen per test
+   would dominate run time), plus fresh keys where key identity matters. *)
+let shared_rng = rng ()
+let pk, sk = Paillier.keygen ~bits:64 shared_rng
+
+let qtest name ?(count = 100) gen ~print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let gen_plain =
+  (* plaintexts across the full [0, n) range *)
+  QCheck2.Gen.map
+    (fun s -> Bigint.erem (Bigint.abs (Bigint.of_string s)) pk.Paillier.n)
+    QCheck2.Gen.(string_size ~gen:(char_range '0' '9') (int_range 1 25))
+
+let test_keygen_sizes () =
+  List.iter
+    (fun bits ->
+      let r = rng () in
+      let pk, _sk = Paillier.keygen ~bits r in
+      Alcotest.(check int) (Printf.sprintf "%d-bit modulus" bits) bits
+        (Bigint.num_bits pk.Paillier.n))
+    [ 32; 64; 128; 256 ]
+
+let test_keygen_too_small () =
+  Alcotest.check_raises "below 16 bits"
+    (Invalid_argument "Paillier.keygen: modulus below 16 bits") (fun () ->
+      ignore (Paillier.keygen ~bits:8 (rng ())))
+
+let test_roundtrip_basic () =
+  let r = rng () in
+  List.iter
+    (fun v ->
+      let m = Bigint.of_int v in
+      let c = Paillier.encrypt pk r m in
+      Alcotest.check eq_bi (string_of_int v) m (Paillier.decrypt sk c))
+    [ 0; 1; 2; 42; 123456; 99999999 ]
+
+let test_roundtrip_extremes () =
+  let r = rng () in
+  let n1 = Bigint.pred pk.Paillier.n in
+  Alcotest.check eq_bi "n-1" n1 (Paillier.decrypt sk (Paillier.encrypt pk r n1));
+  Alcotest.check eq_bi "0" Bigint.zero
+    (Paillier.decrypt sk (Paillier.encrypt pk r Bigint.zero))
+
+let test_plaintext_range_checked () =
+  let r = rng () in
+  List.iter
+    (fun m ->
+      match Paillier.encrypt pk r m with
+      | _ -> Alcotest.fail "expected Invalid_plaintext"
+      | exception Paillier.Invalid_plaintext _ -> ())
+    [ Bigint.neg Bigint.one; pk.Paillier.n; Bigint.succ pk.Paillier.n ]
+
+let prop_roundtrip =
+  qtest "decrypt . encrypt = id" gen_plain ~print:Bigint.to_string (fun m ->
+      let r = rng () in
+      Bigint.equal m (Paillier.decrypt sk (Paillier.encrypt pk r m)))
+
+let prop_crt_equals_standard =
+  qtest "decrypt_crt = decrypt" gen_plain ~print:Bigint.to_string (fun m ->
+      let r = rng () in
+      let c = Paillier.encrypt pk r m in
+      Bigint.equal (Paillier.decrypt sk c) (Paillier.decrypt_crt sk c))
+
+let prop_additive =
+  qtest "Dec(E(a) + E(b)) = a + b mod n"
+    (QCheck2.Gen.pair gen_plain gen_plain)
+    ~print:(fun (a, b) -> Bigint.to_string a ^ ", " ^ Bigint.to_string b)
+    (fun (a, b) ->
+      let r = rng () in
+      let c = Paillier.add pk (Paillier.encrypt pk r a) (Paillier.encrypt pk r b) in
+      Bigint.equal (Bigint.erem (Bigint.add a b) pk.Paillier.n) (Paillier.decrypt_crt sk c))
+
+let prop_add_plain =
+  qtest "Dec(E(a) +p k) = a + k mod n"
+    (QCheck2.Gen.pair gen_plain gen_plain)
+    ~print:(fun (a, b) -> Bigint.to_string a ^ ", " ^ Bigint.to_string b)
+    (fun (a, k) ->
+      let r = rng () in
+      let c = Paillier.add_plain pk (Paillier.encrypt pk r a) k in
+      Bigint.equal (Bigint.erem (Bigint.add a k) pk.Paillier.n) (Paillier.decrypt_crt sk c))
+
+let prop_add_plain_negative =
+  qtest "Dec(E(a) +p (-k)) = a - k mod n"
+    (QCheck2.Gen.pair gen_plain gen_plain)
+    ~print:(fun (a, b) -> Bigint.to_string a ^ ", " ^ Bigint.to_string b)
+    (fun (a, k) ->
+      let r = rng () in
+      let c = Paillier.add_plain pk (Paillier.encrypt pk r a) (Bigint.neg k) in
+      Bigint.equal (Bigint.erem (Bigint.sub a k) pk.Paillier.n) (Paillier.decrypt_crt sk c))
+
+let prop_scalar_mul =
+  qtest "Dec(E(a) * k) = a * k mod n"
+    (QCheck2.Gen.pair gen_plain gen_plain)
+    ~print:(fun (a, b) -> Bigint.to_string a ^ ", " ^ Bigint.to_string b)
+    (fun (a, k) ->
+      let r = rng () in
+      let c = Paillier.scalar_mul pk (Paillier.encrypt pk r a) k in
+      Bigint.equal (Bigint.erem (Bigint.mul a k) pk.Paillier.n) (Paillier.decrypt_crt sk c))
+
+let prop_sub =
+  qtest "Dec(E(a) - E(b)) = a - b mod n"
+    (QCheck2.Gen.pair gen_plain gen_plain)
+    ~print:(fun (a, b) -> Bigint.to_string a ^ ", " ^ Bigint.to_string b)
+    (fun (a, b) ->
+      let r = rng () in
+      let c = Paillier.sub pk (Paillier.encrypt pk r a) (Paillier.encrypt pk r b) in
+      Bigint.equal (Bigint.erem (Bigint.sub a b) pk.Paillier.n) (Paillier.decrypt_crt sk c))
+
+let test_probabilistic_encryption () =
+  (* same plaintext, different ciphertexts — the property path hiding
+     rests on (paper Section 5.5) *)
+  let r = rng () in
+  let m = Bigint.of_int 777 in
+  let c1 = Paillier.encrypt pk r m and c2 = Paillier.encrypt pk r m in
+  Alcotest.(check bool) "ciphertexts differ" false (Paillier.equal_ciphertext c1 c2);
+  Alcotest.check eq_bi "same plaintext" (Paillier.decrypt_crt sk c1)
+    (Paillier.decrypt_crt sk c2)
+
+let test_rerandomize () =
+  let r = rng () in
+  let m = Bigint.of_int 31337 in
+  let c = Paillier.encrypt pk r m in
+  let c' = Paillier.rerandomize pk r c in
+  Alcotest.(check bool) "fresh ciphertext" false (Paillier.equal_ciphertext c c');
+  Alcotest.check eq_bi "plaintext preserved" m (Paillier.decrypt_crt sk c')
+
+let test_neg () =
+  let r = rng () in
+  let m = Bigint.of_int 5 in
+  let c = Paillier.neg pk (Paillier.encrypt pk r m) in
+  Alcotest.check eq_bi "n - 5" (Bigint.sub pk.Paillier.n m) (Paillier.decrypt_crt sk c)
+
+let test_encrypt_zero () =
+  let r = rng () in
+  Alcotest.check eq_bi "zero" Bigint.zero
+    (Paillier.decrypt_crt sk (Paillier.encrypt_zero pk r))
+
+let test_signed_encoding () =
+  let r = rng () in
+  List.iter
+    (fun v ->
+      let m = Bigint.of_int v in
+      let c = Paillier.encrypt_signed pk r m in
+      Alcotest.check eq_bi (string_of_int v) m (Paillier.decrypt_signed sk c))
+    [ 0; 1; -1; 1000; -1000; 123456789; -123456789 ]
+
+let test_signed_window_checked () =
+  let r = rng () in
+  let too_big = Bigint.shift_right pk.Paillier.n 1 in
+  match Paillier.encrypt_signed pk r (Bigint.neg too_big) with
+  | _ -> Alcotest.fail "expected Invalid_plaintext"
+  | exception Paillier.Invalid_plaintext _ -> ()
+
+let test_key_mismatch () =
+  let r = rng () in
+  (* a different seed, or this would regenerate the exact same key *)
+  let pk2, _sk2 =
+    Paillier.keygen ~bits:64 (Ppst_rng.Secure_rng.of_seed_string "other-key")
+  in
+  let c = Paillier.encrypt pk r (Bigint.of_int 1) in
+  let c2 = Paillier.encrypt pk2 r (Bigint.of_int 1) in
+  Alcotest.check_raises "add across keys" Paillier.Key_mismatch (fun () ->
+      ignore (Paillier.add pk c c2));
+  Alcotest.check_raises "decrypt with wrong key" Paillier.Key_mismatch (fun () ->
+      ignore (Paillier.decrypt sk c2))
+
+let test_ciphertext_serialization () =
+  let r = rng () in
+  let m = Bigint.of_int 424242 in
+  let c = Paillier.encrypt pk r m in
+  let v = Paillier.ciphertext_to_bigint c in
+  let c' = Paillier.ciphertext_of_bigint pk v in
+  Alcotest.check eq_bi "round-trip" m (Paillier.decrypt_crt sk c');
+  (match Paillier.ciphertext_of_bigint pk pk.Paillier.n_squared with
+   | _ -> Alcotest.fail "expected range error"
+   | exception Paillier.Invalid_plaintext _ -> ());
+  (match Paillier.ciphertext_of_bigint pk (Bigint.neg Bigint.one) with
+   | _ -> Alcotest.fail "expected range error"
+   | exception Paillier.Invalid_plaintext _ -> ())
+
+let test_ciphertext_bytes () =
+  (* 64-bit modulus -> 128-bit n² -> 16 bytes *)
+  Alcotest.(check int) "16 bytes" 16 (Paillier.ciphertext_bytes pk)
+
+let test_public_of_modulus () =
+  let pk' = Paillier.public_of_modulus pk.Paillier.n ~bits:pk.Paillier.bits in
+  let r = rng () in
+  let c = Paillier.encrypt pk' r (Bigint.of_int 99) in
+  Alcotest.check eq_bi "usable for encryption" (Bigint.of_int 99)
+    (Paillier.decrypt_crt sk c);
+  (match Paillier.public_of_modulus (Bigint.of_int 16) ~bits:5 with
+   | _ -> Alcotest.fail "even modulus accepted"
+   | exception Paillier.Invalid_plaintext _ -> ());
+  (match Paillier.public_of_modulus pk.Paillier.n ~bits:32 with
+   | _ -> Alcotest.fail "wrong bit length accepted"
+   | exception Paillier.Invalid_plaintext _ -> ())
+
+let test_key_serialization () =
+  let text = Paillier.private_key_to_string sk in
+  let pk', sk' = Paillier.private_key_of_string text in
+  Alcotest.check eq_bi "same modulus" pk.Paillier.n pk'.Paillier.n;
+  let r = rng () in
+  let c = Paillier.encrypt pk r (Bigint.of_int 2024) in
+  Alcotest.check eq_bi "loaded key decrypts" (Bigint.of_int 2024)
+    (Paillier.decrypt_crt sk' c)
+
+let test_key_parse_failures () =
+  List.iter
+    (fun text ->
+      match Paillier.private_key_of_string text with
+      | _ -> Alcotest.fail ("accepted: " ^ String.escaped text)
+      | exception Paillier.Invalid_plaintext _ -> ())
+    [
+      "";
+      "garbage";
+      "ppst-paillier-v1\n";
+      "ppst-paillier-v1\np=4\nq=9\n" (* not prime *);
+      "ppst-paillier-v1\np=11\nq=11\n" (* equal primes *);
+      "ppst-paillier-v1\np=abc\nq=11\n";
+    ]
+
+let test_of_primes_validation () =
+  (match Paillier.of_primes ~p:(Bigint.of_int 7) ~q:(Bigint.of_int 7) with
+   | _ -> Alcotest.fail "equal primes accepted"
+   | exception Paillier.Invalid_plaintext _ -> ());
+  let pk', sk' = Paillier.of_primes ~p:(Bigint.of_int 1009) ~q:(Bigint.of_int 1013) in
+  let r = rng () in
+  Alcotest.check eq_bi "tiny key works" (Bigint.of_int 500)
+    (Paillier.decrypt_crt sk' (Paillier.encrypt pk' r (Bigint.of_int 500)))
+
+let test_homomorphic_chain () =
+  (* a long chain mixing all homomorphic ops, mirroring how the DP matrix
+     is assembled: E(((a+b)*3 - c) + 7) *)
+  let r = rng () in
+  let e v = Paillier.encrypt pk r (Bigint.of_int v) in
+  let c =
+    Paillier.add_plain pk
+      (Paillier.sub pk
+         (Paillier.scalar_mul pk (Paillier.add pk (e 10) (e 20)) (Bigint.of_int 3))
+         (e 25))
+      (Bigint.of_int 7)
+  in
+  Alcotest.check eq_bi "chain" (Bigint.of_int (((10 + 20) * 3) - 25 + 7))
+    (Paillier.decrypt_crt sk c)
+
+let test_randomness_pool () =
+  let r = rng () in
+  let pool = Paillier.pool_create pk in
+  Alcotest.(check int) "empty" 0 (Paillier.pool_size pool);
+  Paillier.pool_refill pk pool r 5;
+  Alcotest.(check int) "refilled" 5 (Paillier.pool_size pool);
+  let m = Bigint.of_int 777 in
+  let c1 = Paillier.encrypt_pooled pk pool r m in
+  Alcotest.(check int) "consumed one" 4 (Paillier.pool_size pool);
+  Alcotest.check eq_bi "pooled decrypts" m (Paillier.decrypt_crt sk c1);
+  (* drain the pool; the next call must fall back to a fresh factor *)
+  for _ = 1 to 4 do
+    ignore (Paillier.encrypt_pooled pk pool r m)
+  done;
+  Alcotest.(check int) "drained" 0 (Paillier.pool_size pool);
+  let c_fallback = Paillier.encrypt_pooled pk pool r m in
+  Alcotest.check eq_bi "fallback decrypts" m (Paillier.decrypt_crt sk c_fallback);
+  (* pooled ciphertexts of equal plaintexts stay distinct *)
+  Paillier.pool_refill pk pool r 2;
+  let a = Paillier.encrypt_pooled pk pool r m in
+  let b = Paillier.encrypt_pooled pk pool r m in
+  Alcotest.(check bool) "probabilistic" false (Paillier.equal_ciphertext a b)
+
+let test_pool_key_mismatch () =
+  let r = rng () in
+  let pk2, _ = Paillier.keygen ~bits:64 (Ppst_rng.Secure_rng.of_seed_string "pool-other") in
+  let pool = Paillier.pool_create pk in
+  Alcotest.check_raises "refill with wrong key" Paillier.Key_mismatch (fun () ->
+      Paillier.pool_refill pk2 pool r 1);
+  Alcotest.check_raises "encrypt with wrong key" Paillier.Key_mismatch (fun () ->
+      ignore (Paillier.encrypt_pooled pk2 pool r Bigint.one))
+
+let test_scalar_mul_special_cases () =
+  let r = rng () in
+  let m = Bigint.of_int 1234 in
+  let c = Paillier.encrypt pk r m in
+  Alcotest.check eq_bi "x * 0" Bigint.zero
+    (Paillier.decrypt_crt sk (Paillier.scalar_mul pk c Bigint.zero));
+  Alcotest.check eq_bi "x * 1" m
+    (Paillier.decrypt_crt sk (Paillier.scalar_mul pk c Bigint.one));
+  Alcotest.check eq_bi "x * (n-1) = -x mod n"
+    (Bigint.sub pk.Paillier.n m)
+    (Paillier.decrypt_crt sk (Paillier.scalar_mul pk c (Bigint.pred pk.Paillier.n)))
+
+let test_larger_key_roundtrip () =
+  let r = rng () in
+  let pk, sk = Paillier.keygen ~bits:256 r in
+  let m = Bigint.of_string "123456789012345678901234567890" in
+  Alcotest.check eq_bi "256-bit key" m (Paillier.decrypt_crt sk (Paillier.encrypt pk r m));
+  Alcotest.check eq_bi "256-bit standard dec" m
+    (Paillier.decrypt sk (Paillier.encrypt pk r m))
+
+let () =
+  Alcotest.run "paillier"
+    [
+      ( "keygen",
+        [
+          Alcotest.test_case "modulus sizes" `Slow test_keygen_sizes;
+          Alcotest.test_case "too-small rejected" `Quick test_keygen_too_small;
+          Alcotest.test_case "of_primes validation" `Quick test_of_primes_validation;
+          Alcotest.test_case "public_of_modulus" `Quick test_public_of_modulus;
+        ] );
+      ( "encryption",
+        [
+          Alcotest.test_case "basic round-trips" `Quick test_roundtrip_basic;
+          Alcotest.test_case "extreme plaintexts" `Quick test_roundtrip_extremes;
+          Alcotest.test_case "range checking" `Quick test_plaintext_range_checked;
+          Alcotest.test_case "probabilistic" `Quick test_probabilistic_encryption;
+          Alcotest.test_case "re-randomization" `Quick test_rerandomize;
+          Alcotest.test_case "encrypt_zero" `Quick test_encrypt_zero;
+          Alcotest.test_case "larger keys" `Slow test_larger_key_roundtrip;
+          Alcotest.test_case "randomness pool" `Quick test_randomness_pool;
+          Alcotest.test_case "pool key mismatch" `Quick test_pool_key_mismatch;
+          Alcotest.test_case "scalar_mul special cases" `Quick
+            test_scalar_mul_special_cases;
+          prop_roundtrip;
+          prop_crt_equals_standard;
+        ] );
+      ( "homomorphisms",
+        [
+          Alcotest.test_case "negation" `Quick test_neg;
+          Alcotest.test_case "mixed chain" `Quick test_homomorphic_chain;
+          prop_additive;
+          prop_add_plain;
+          prop_add_plain_negative;
+          prop_scalar_mul;
+          prop_sub;
+        ] );
+      ( "signed encoding",
+        [
+          Alcotest.test_case "round-trips" `Quick test_signed_encoding;
+          Alcotest.test_case "window checked" `Quick test_signed_window_checked;
+        ] );
+      ( "keys and wire",
+        [
+          Alcotest.test_case "key mismatch detected" `Quick test_key_mismatch;
+          Alcotest.test_case "ciphertext serialization" `Quick test_ciphertext_serialization;
+          Alcotest.test_case "ciphertext byte size" `Quick test_ciphertext_bytes;
+          Alcotest.test_case "private key round-trip" `Quick test_key_serialization;
+          Alcotest.test_case "key parse failures" `Quick test_key_parse_failures;
+        ] );
+    ]

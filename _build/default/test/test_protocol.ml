@@ -1,0 +1,600 @@
+(* Tests for the secure protocols themselves: parameter planning, masked
+   min/max rounds, full secure DTW/DFD against the plaintext reference,
+   path hiding, cost accounting, the communication closed form, and
+   misuse/failure injection. *)
+
+open Ppst.Import
+
+let eq_bi = Alcotest.testable Bigint.pp Bigint.equal
+
+let qtest name ?(count = 25) gen ~print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let print_series s = Format.asprintf "%a" Series.pp s
+
+(* --- params -------------------------------------------------------------- *)
+
+let modulus_64 = Bigint.of_string "13497220662202513373" (* a real 64-bit n *)
+
+let plan ?(params = Ppst.Params.default) ?(max_value = 100) ?(dimension = 1)
+    ?(m = 10) ?(n = 10) ?(distance = `Dtw) () =
+  Ppst.Params.plan params ~max_value ~dimension ~client_length:m ~server_length:n
+    ~modulus:modulus_64 ~distance
+
+let test_params_defaults () =
+  let p = Ppst.Params.default in
+  Alcotest.(check int) "key bits" 64 p.Ppst.Params.key_bits;
+  Alcotest.(check int) "k" 10 p.Ppst.Params.k;
+  Alcotest.(check int) "alpha of 10" 3 (Ppst.Params.alpha p)
+
+let test_params_plan_basic () =
+  let s = plan () in
+  (* 19 elements max path, cost <= 100^2, bound = 19*10^4 + 1 *)
+  Alcotest.check eq_bi "value bound" (Bigint.of_int 190_001) s.Ppst.Params.value_bound;
+  Alcotest.(check int) "gamma = beta + slack" (s.Ppst.Params.beta + 2) s.Ppst.Params.gamma;
+  Alcotest.(check bool) "offsets positive" true
+    (Bigint.compare s.Ppst.Params.offset_lo Bigint.zero > 0)
+
+let test_params_dfd_bound_smaller () =
+  let dtw = plan ~distance:`Dtw () and dfd = plan ~distance:`Dfd () in
+  Alcotest.(check bool) "dfd bound < dtw bound" true
+    (Bigint.compare dfd.Ppst.Params.value_bound dtw.Ppst.Params.value_bound < 0);
+  Alcotest.check eq_bi "dfd bound = max cost + 1" (Bigint.of_int 10_001)
+    dfd.Ppst.Params.value_bound
+
+let test_params_k_too_small () =
+  (match plan ~params:(Ppst.Params.make ~k:3 ()) () with
+   | _ -> Alcotest.fail "k=3 accepted"
+   | exception Ppst.Params.Insecure _ -> ())
+
+let test_params_slack_constraint () =
+  (* slack must satisfy 0 < slack < alpha; k=10 -> alpha=3 -> slack in {1,2} *)
+  (match plan ~params:(Ppst.Params.make ~gamma_slack:3 ()) () with
+   | _ -> Alcotest.fail "slack = alpha accepted"
+   | exception Ppst.Params.Insecure _ -> ());
+  (match plan ~params:(Ppst.Params.make ~gamma_slack:0 ()) () with
+   | _ -> Alcotest.fail "slack 0 accepted"
+   | exception Ppst.Params.Insecure _ -> ());
+  ignore (plan ~params:(Ppst.Params.make ~gamma_slack:1 ()) ())
+
+let test_params_wraparound_guard () =
+  (* values so large that masked candidates would exceed the modulus *)
+  (match plan ~max_value:1_000_000 ~dimension:1000 ~m:2000 ~n:2000 () with
+   | _ -> Alcotest.fail "wrap-around accepted"
+   | exception Ppst.Params.Insecure _ -> ())
+
+let test_params_bad_args () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "bad argument accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> ignore (plan ~max_value:0 ()));
+      (fun () -> ignore (plan ~dimension:0 ()));
+      (fun () -> ignore (plan ~m:0 ()));
+    ]
+
+(* --- masking -------------------------------------------------------------- *)
+
+let with_session f =
+  let rng = Secure_rng.of_seed_string "masking-tests" in
+  let pk, sk = Paillier.keygen ~bits:64 rng in
+  let session =
+    Ppst.Params.plan Ppst.Params.default ~max_value:100 ~dimension:1
+      ~client_length:10 ~server_length:10 ~modulus:pk.Paillier.n ~distance:`Dtw
+  in
+  f ~rng ~pk ~sk ~session
+
+let test_offsets_sorted_distinct_in_range () =
+  with_session (fun ~rng ~pk:_ ~sk:_ ~session ->
+      let offsets = Ppst.Masking.draw_offsets ~rng ~session ~count:20 in
+      Alcotest.(check int) "count" 20 (Array.length offsets);
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check bool) "in range" true
+            (Bigint.compare session.Ppst.Params.offset_lo r <= 0
+             && Bigint.compare r session.Ppst.Params.offset_hi <= 0);
+          if i > 0 then
+            Alcotest.(check bool) "strictly ascending" true
+              (Bigint.compare offsets.(i - 1) r < 0))
+        offsets)
+
+let test_prepare_min_counts_and_correctness () =
+  with_session (fun ~rng ~pk ~sk ~session ->
+      let enc v = Paillier.encrypt pk rng (Bigint.of_int v) in
+      let inputs = [| enc 50; enc 30; enc 90 |] in
+      let prepared = Ppst.Masking.prepare_min ~pk ~rng ~session inputs in
+      let k = session.Ppst.Params.params.Ppst.Params.k in
+      Alcotest.(check int) "k + 2 candidates" (k + 2)
+        (Array.length prepared.Ppst.Masking.candidates);
+      (* server side: decrypt all, the minimum plaintext must be 30 + r_min *)
+      let plains =
+        Array.map (Paillier.decrypt_crt sk) prepared.Ppst.Masking.candidates
+      in
+      let min_plain = Array.fold_left Bigint.min plains.(0) plains in
+      Alcotest.check eq_bi "min = 30 + r_min"
+        (Bigint.add (Bigint.of_int 30) prepared.Ppst.Masking.unmask)
+        min_plain;
+      (* unmasking a fresh encryption of the min recovers Enc(30) *)
+      let reply = Paillier.encrypt pk rng min_plain in
+      let unmasked = Ppst.Masking.unmask_min ~pk prepared reply in
+      Alcotest.check eq_bi "unmask" (Bigint.of_int 30) (Paillier.decrypt_crt sk unmasked))
+
+let test_prepare_max_counts_and_correctness () =
+  with_session (fun ~rng ~pk ~sk ~session ->
+      let enc v = Paillier.encrypt pk rng (Bigint.of_int v) in
+      let inputs = [| enc 50; enc 90 |] in
+      let prepared = Ppst.Masking.prepare_max ~pk ~rng ~session inputs in
+      let k = session.Ppst.Params.params.Ppst.Params.k in
+      Alcotest.(check int) "k + 1 candidates" (k + 1)
+        (Array.length prepared.Ppst.Masking.candidates);
+      let plains =
+        Array.map (Paillier.decrypt_crt sk) prepared.Ppst.Masking.candidates
+      in
+      let max_plain = Array.fold_left Bigint.max plains.(0) plains in
+      Alcotest.check eq_bi "max = 90 + r_max"
+        (Bigint.add (Bigint.of_int 90) prepared.Ppst.Masking.unmask)
+        max_plain;
+      let reply = Paillier.encrypt pk rng max_plain in
+      let unmasked = Ppst.Masking.unmask_max ~pk prepared reply in
+      Alcotest.check eq_bi "unmask" (Bigint.of_int 90) (Paillier.decrypt_crt sk unmasked))
+
+let test_prepare_rejects_empty () =
+  with_session (fun ~rng ~pk ~sk:_ ~session ->
+      match Ppst.Masking.prepare_min ~pk ~rng ~session [||] with
+      | _ -> Alcotest.fail "empty inputs accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_candidates_rerandomized () =
+  (* no outgoing candidate may equal (as a ciphertext) any input — the
+     linkability protection *)
+  with_session (fun ~rng ~pk ~sk:_ ~session ->
+      let enc v = Paillier.encrypt pk rng (Bigint.of_int v) in
+      let inputs = [| enc 1; enc 2; enc 3 |] in
+      let prepared = Ppst.Masking.prepare_min ~pk ~rng ~session inputs in
+      Array.iter
+        (fun c ->
+          Array.iter
+            (fun input ->
+              Alcotest.(check bool) "distinct from inputs" false
+                (Paillier.equal_ciphertext c input))
+            inputs)
+        prepared.Ppst.Masking.candidates)
+
+let test_masked_min_many_rounds () =
+  (* the masked minimum is exact over many random triples *)
+  with_session (fun ~rng ~pk ~sk ~session ->
+      for _ = 1 to 30 do
+        let vals = Array.init 3 (fun _ -> Secure_rng.int rng 100_000) in
+        let inputs = Array.map (fun v -> Paillier.encrypt pk rng (Bigint.of_int v)) vals in
+        let prepared = Ppst.Masking.prepare_min ~pk ~rng ~session inputs in
+        let plains = Array.map (Paillier.decrypt_crt sk) prepared.Ppst.Masking.candidates in
+        let min_plain = Array.fold_left Bigint.min plains.(0) plains in
+        let recovered =
+          Paillier.decrypt_crt sk
+            (Ppst.Masking.unmask_min ~pk prepared (Paillier.encrypt pk rng min_plain))
+        in
+        let expected = Array.fold_left min vals.(0) vals in
+        Alcotest.check eq_bi "min" (Bigint.of_int expected) recovered
+      done)
+
+(* --- secure DTW / DFD end-to-end ------------------------------------------ *)
+
+let run_dtw ?params ?max_value ~seed x y =
+  Ppst.Protocol.run_dtw ?params ?max_value ~seed ~x ~y ()
+
+let run_dfd ?params ?max_value ~seed x y =
+  Ppst.Protocol.run_dfd ?params ?max_value ~seed ~x ~y ()
+
+let test_dtw_paper_example () =
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let r = run_dtw ~seed:"paper-dtw" x y in
+  Alcotest.(check int) "matches plaintext" (Distance.dtw_sq x y)
+    (Ppst.Protocol.distance_int r)
+
+let test_dfd_paper_example () =
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let r = run_dfd ~seed:"paper-dfd" x y in
+  Alcotest.(check int) "matches plaintext" (Distance.dfd_sq x y)
+    (Ppst.Protocol.distance_int r)
+
+let test_single_element_series () =
+  let x = Series.of_list [ 5 ] and y = Series.of_list [ 9 ] in
+  Alcotest.(check int) "dtw singleton" 16
+    (Ppst.Protocol.distance_int (run_dtw ~seed:"single" x y));
+  Alcotest.(check int) "dfd singleton" 16
+    (Ppst.Protocol.distance_int (run_dfd ~seed:"single2" x y))
+
+let test_identical_series () =
+  let x = Series.of_list [ 7; 7; 7; 7 ] in
+  Alcotest.(check int) "zero distance" 0
+    (Ppst.Protocol.distance_int (run_dtw ~seed:"ident" x x))
+
+let test_unequal_lengths () =
+  let x = Series.of_list [ 1; 5; 9; 5; 1; 5; 9 ] and y = Series.of_list [ 1; 9 ] in
+  Alcotest.(check int) "dtw m<>n" (Distance.dtw_sq x y)
+    (Ppst.Protocol.distance_int (run_dtw ~seed:"uneq" x y));
+  Alcotest.(check int) "dfd m<>n" (Distance.dfd_sq x y)
+    (Ppst.Protocol.distance_int (run_dfd ~seed:"uneq2" x y))
+
+let gen_series_pair =
+  let open QCheck2.Gen in
+  let* d = int_range 1 3 in
+  let mk =
+    let* len = int_range 1 6 in
+    let* data = list_size (return len) (list_size (return d) (int_range 0 40)) in
+    return (Series.create (Array.of_list (List.map Array.of_list data)))
+  in
+  pair mk mk
+
+let prop_secure_dtw_equals_plaintext =
+  qtest "secure DTW = plaintext DTW" ~count:15 gen_series_pair
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (x, y) ->
+      let r = run_dtw ~seed:"prop-dtw" x y in
+      Ppst.Protocol.distance_int r = Distance.dtw_sq x y)
+
+let prop_secure_dfd_equals_plaintext =
+  qtest "secure DFD = plaintext DFD" ~count:10 gen_series_pair
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (x, y) ->
+      let r = run_dfd ~seed:"prop-dfd" x y in
+      Ppst.Protocol.distance_int r = Distance.dfd_sq x y)
+
+let test_multidimensional_protocol () =
+  let x = Series.create [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| 7; 8; 9 |] |] in
+  let y = Series.create [| [| 9; 8; 7 |]; [| 6; 5; 4 |] |] in
+  Alcotest.(check int) "3-d dtw" (Distance.dtw_sq x y)
+    (Ppst.Protocol.distance_int (run_dtw ~seed:"3d" x y));
+  Alcotest.(check int) "3-d dfd" (Distance.dfd_sq x y)
+    (Ppst.Protocol.distance_int (run_dfd ~seed:"3d2" x y))
+
+let test_various_k () =
+  let x = Series.of_list [ 10; 20; 30; 25 ] and y = Series.of_list [ 12; 22; 28 ] in
+  let expected = Distance.dtw_sq x y in
+  List.iter
+    (fun k ->
+      (* k = 4 gives alpha = 2, so the slack must drop to 1 *)
+      let gamma_slack = if k <= 4 then 1 else 2 in
+      let params = Ppst.Params.make ~k ~gamma_slack () in
+      let r = run_dtw ~params ~seed:(Printf.sprintf "k%d" k) x y in
+      Alcotest.(check int) (Printf.sprintf "k = %d" k) expected
+        (Ppst.Protocol.distance_int r))
+    [ 4; 8; 10; 16; 50 ]
+
+let test_larger_keys () =
+  let x = Series.of_list [ 3; 1; 4; 1; 5 ] and y = Series.of_list [ 2; 7; 1; 8 ] in
+  List.iter
+    (fun key_bits ->
+      let params = Ppst.Params.make ~key_bits () in
+      let r = run_dtw ~params ~seed:(Printf.sprintf "bits%d" key_bits) x y in
+      Alcotest.(check int) (Printf.sprintf "%d-bit key" key_bits)
+        (Distance.dtw_sq x y) (Ppst.Protocol.distance_int r))
+    [ 48; 96; 128 ]
+
+let test_zero_values_allowed () =
+  let x = Series.of_list [ 0; 0; 0 ] and y = Series.of_list [ 0; 1; 0 ] in
+  Alcotest.(check int) "zeros" (Distance.dtw_sq x y)
+    (Ppst.Protocol.distance_int (run_dtw ~seed:"zeros" x y))
+
+let test_determinism_across_seeds () =
+  (* different randomness, same result *)
+  let x = Series.of_list [ 5; 15; 25 ] and y = Series.of_list [ 10; 20 ] in
+  let r1 = run_dtw ~seed:"seed-a" x y and r2 = run_dtw ~seed:"seed-b" x y in
+  Alcotest.check eq_bi "independent of randomness" r1.Ppst.Protocol.distance
+    r2.Ppst.Protocol.distance
+
+(* --- accounting ------------------------------------------------------------ *)
+
+let test_communication_formula_dtw () =
+  List.iter
+    (fun (m, n, d, k) ->
+      let params = Ppst.Params.make ~k () in
+      let x =
+        Series.create (Array.init m (fun i -> Array.init d (fun l -> ((i + l) mod 20) + 1)))
+      in
+      let y =
+        Series.create (Array.init n (fun j -> Array.init d (fun l -> ((j * l) mod 20) + 1)))
+      in
+      let r = run_dtw ~params ~seed:"comm" x y in
+      Alcotest.(check int)
+        (Printf.sprintf "values m=%d n=%d d=%d k=%d" m n d k)
+        (Ppst.Protocol.expected_values_transferred ~params ~m ~n ~d `Dtw)
+        (Stats.total_values r.Ppst.Protocol.stats))
+    [ (5, 5, 1, 10); (4, 7, 2, 8); (1, 3, 1, 10); (6, 2, 3, 16) ]
+
+let test_communication_formula_dfd () =
+  let params = Ppst.Params.make ~k:10 () in
+  let m = 5 and n = 4 and d = 2 in
+  let x = Series.create (Array.init m (fun i -> [| i + 1; 2 * (i + 1) |])) in
+  let y = Series.create (Array.init n (fun j -> [| 3 * (j + 1); j + 1 |])) in
+  let r = run_dfd ~params ~seed:"comm-dfd" x y in
+  Alcotest.(check int) "dfd closed form"
+    (Ppst.Protocol.expected_values_transferred ~params ~m ~n ~d `Dfd)
+    (Stats.total_values r.Ppst.Protocol.stats)
+
+let test_paper_per_entry_formula () =
+  (* paper Section 5.2: the dominant per-entry cost is d + k + 4 values;
+     check the live count divided by cells approaches it as m, n grow *)
+  let params = Ppst.Params.make ~k:10 () in
+  let m = 12 and n = 12 and d = 1 in
+  let x = Series.create (Array.init m (fun i -> [| (i mod 9) + 1 |])) in
+  let y = Series.create (Array.init n (fun j -> [| (j mod 7) + 1 |])) in
+  let r = run_dtw ~params ~seed:"per-entry" x y in
+  let total = Stats.total_values r.Ppst.Protocol.stats in
+  (* the paper charges (d+1) phase-1 values to every entry; we amortize
+     phase 1 per server element, so mn(d+k+4) is an upper bound and the
+     inner-cell phase-2 term (k+3 per cell) a lower bound *)
+  Alcotest.(check bool)
+    (Printf.sprintf "total %d <= mn(d+k+4) = %d" total (m * n * (d + 10 + 4)))
+    true
+    (total <= m * n * (d + 10 + 4));
+  Alcotest.(check bool)
+    (Printf.sprintf "total %d >= (m-1)(n-1)(k+3) = %d" total
+       ((m - 1) * (n - 1) * (10 + 3)))
+    true
+    (total >= (m - 1) * (n - 1) * (10 + 3))
+
+let test_cost_counters () =
+  let x = Series.of_list [ 1; 2; 3; 4 ] and y = Series.of_list [ 4; 3; 2 ] in
+  let params = Ppst.Params.default in
+  let r = run_dtw ~params ~seed:"counters" x y in
+  let k = params.Ppst.Params.k in
+  let m = 4 and n = 3 and d = 1 in
+  let inner = (m - 1) * (n - 1) in
+  let client = Ppst.Cost.client_ops r.Ppst.Protocol.cost in
+  let server = Ppst.Cost.server_ops r.Ppst.Protocol.cost in
+  (* client: one Enc(Σx²) per row + (k+2) offset encryptions per min round *)
+  Alcotest.(check int) "client encryptions" (m + (inner * (k + 2)))
+    client.Ppst.Cost.encryptions;
+  (* server: n(d+1) phase-1 + 1 re-encryption per round *)
+  Alcotest.(check int) "server encryptions" ((n * (d + 1)) + inner)
+    server.Ppst.Cost.encryptions;
+  (* server decrypts k+2 per round + the final reveal *)
+  Alcotest.(check int) "server decryptions" ((inner * (k + 2)) + 1)
+    server.Ppst.Cost.decryptions;
+  Alcotest.(check int) "client never decrypts" 0 client.Ppst.Cost.decryptions
+
+let test_dfd_costs_more_than_dtw () =
+  let x = Series.of_list [ 1; 9; 2; 8; 3; 7 ] and y = Series.of_list [ 9; 1; 8; 2; 7 ] in
+  let dtw = run_dtw ~seed:"cmp1" x y and dfd = run_dfd ~seed:"cmp2" x y in
+  Alcotest.(check bool) "dfd transfers more" true
+    (Stats.total_values dfd.Ppst.Protocol.stats
+     > Stats.total_values dtw.Ppst.Protocol.stats);
+  let d_dec = (Ppst.Cost.server_ops dfd.Ppst.Protocol.cost).Ppst.Cost.decryptions in
+  let t_dec = (Ppst.Cost.server_ops dtw.Ppst.Protocol.cost).Ppst.Cost.decryptions in
+  Alcotest.(check bool) "dfd decrypts more" true (d_dec > t_dec)
+
+(* --- hiding ------------------------------------------------------------------ *)
+
+let test_matrix_stays_encrypted_and_path_hidden () =
+  (* Run via the lower-level API to inspect the client's matrix view. *)
+  let rng = Secure_rng.of_seed_string "hiding/client" in
+  let server_rng = Secure_rng.of_seed_string "hiding/server" in
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value:7 () in
+  let channel = Channel.local (Ppst.Server.handler server) in
+  let client =
+    Ppst.Client.connect ~rng ~series:x ~max_value:7 ~distance:`Dtw channel
+  in
+  let matrix, dist = Ppst.Secure_dtw.run_matrix client in
+  Ppst.Client.finish client;
+  Alcotest.(check int) "distance" (Distance.dtw_sq x y) (Bigint.to_int_exn dist);
+  (* every pair of matrix ciphertexts must be distinct, even where the
+     plaintext matrix has equal values (e.g. m11 = m22 = 1 in Figure 1) —
+     otherwise the client learns the optimal path (Section 5.5) *)
+  let plain = Distance.dtw_sq_matrix x y in
+  let duplicates = ref 0 and equal_plaintexts = ref 0 in
+  for i1 = 0 to 5 do
+    for j1 = 0 to 4 do
+      for i2 = 0 to 5 do
+        for j2 = 0 to 4 do
+          if (i1, j1) < (i2, j2) then begin
+            if plain.(i1).(j1) = plain.(i2).(j2) then incr equal_plaintexts;
+            if Paillier.equal_ciphertext matrix.(i1).(j1) matrix.(i2).(j2) then
+              incr duplicates
+          end
+        done
+      done
+    done
+  done;
+  Alcotest.(check bool) "plaintext matrix has equal entries" true (!equal_plaintexts > 0);
+  Alcotest.(check int) "no duplicate ciphertexts" 0 !duplicates
+
+let test_server_never_sees_unmasked_values () =
+  (* instrument the channel: every Min_request candidate decrypted by the
+     secret key must be >= offset_lo (i.e. masked), never a raw matrix
+     value *)
+  let rng = Secure_rng.of_seed_string "mask-audit/client" in
+  let server_rng = Secure_rng.of_seed_string "mask-audit/server" in
+  let x = Series.of_list [ 3; 9; 1; 7 ] and y = Series.of_list [ 2; 8; 5 ] in
+  let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value:9 () in
+  let sk = Ppst.Server.private_key server in
+  let violations = ref 0 in
+  let audited req =
+    (match req with
+     | Message.Min_request candidates ->
+       Array.iter
+         (fun c ->
+           let plain =
+             Paillier.decrypt_crt sk
+               (Paillier.ciphertext_of_bigint (Ppst.Server.public_key server) c)
+           in
+           (* every candidate = value + offset with offset > 2^gamma *)
+           if Bigint.compare plain (Bigint.of_int 1024) < 0 then incr violations)
+         candidates
+     | _ -> ());
+    Ppst.Server.handle server req
+  in
+  let channel = Channel.local audited in
+  let client = Ppst.Client.connect ~rng ~series:x ~max_value:9 ~distance:`Dtw channel in
+  let dist = Ppst.Secure_dtw.run client in
+  Ppst.Client.finish client;
+  Alcotest.(check int) "distance still right" (Distance.dtw_sq x y)
+    (Bigint.to_int_exn dist);
+  Alcotest.(check int) "no unmasked candidate" 0 !violations
+
+(* --- failure injection -------------------------------------------------------- *)
+
+let test_dimension_mismatch_rejected () =
+  let x = Series.create [| [| 1; 2 |] |] and y = Series.of_list [ 1; 2; 3 ] in
+  (match Ppst.Protocol.run_dtw ~seed:"dim" ~x ~y () with
+   | _ -> Alcotest.fail "dimension mismatch accepted"
+   | exception Ppst.Client.Incompatible _ -> ())
+
+let test_negative_coordinates_rejected () =
+  let y = Series.of_list [ 1; -2; 3 ] in
+  (match
+     Ppst.Server.create
+       ~rng:(Secure_rng.of_seed_string "neg-coord")
+       ~series:y ~max_value:10 ()
+   with
+   | _ -> Alcotest.fail "negative coordinate accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_client_bound_violation_rejected () =
+  let x = Series.of_list [ 1; 200 ] and y = Series.of_list [ 1; 2 ] in
+  (match Ppst.Protocol.run_dtw ~seed:"bound" ~max_value:100 ~x ~y () with
+   | _ -> Alcotest.fail "out-of-bound accepted"
+   | exception (Ppst.Client.Incompatible _ | Invalid_argument _) -> ())
+
+let test_server_rejects_garbage_candidates () =
+  let rng = Secure_rng.of_seed_string "garbage" in
+  let server =
+    Ppst.Server.create ~rng ~series:(Series.of_list [ 1; 2 ]) ~max_value:10 ()
+  in
+  (* a candidate outside [0, n²) must yield Error_reply, not an exception *)
+  let bad = Bigint.neg Bigint.one in
+  (match Ppst.Server.handle server (Message.Min_request [| bad |]) with
+   | Message.Error_reply _ -> ()
+   | _ -> Alcotest.fail "garbage accepted");
+  (* fewer than two candidates is ill-formed *)
+  (match Ppst.Server.handle server (Message.Min_request [| Bigint.one |]) with
+   | Message.Error_reply _ -> ()
+   | _ -> Alcotest.fail "single candidate accepted")
+
+let test_server_reveal_counting () =
+  let rng = Secure_rng.of_seed_string "reveals" in
+  let server =
+    Ppst.Server.create ~rng ~series:(Series.of_list [ 1; 2 ]) ~max_value:10 ()
+  in
+  Alcotest.(check int) "none yet" 0 (Ppst.Server.reveal_count server);
+  let pk = Ppst.Server.public_key server in
+  let c = Paillier.encrypt pk rng (Bigint.of_int 5) in
+  (match
+     Ppst.Server.handle server
+       (Message.Reveal_request (Paillier.ciphertext_to_bigint c))
+   with
+   | Message.Reveal_reply v -> Alcotest.check eq_bi "value" (Bigint.of_int 5) v
+   | _ -> Alcotest.fail "reveal failed");
+  Alcotest.(check int) "counted" 1 (Ppst.Server.reveal_count server)
+
+let test_reveal_budget_enforced () =
+  let rng = Secure_rng.of_seed_string "budget" in
+  let server =
+    Ppst.Server.create ~max_reveals:2 ~rng ~series:(Series.of_list [ 1; 2 ])
+      ~max_value:10 ()
+  in
+  let pk = Ppst.Server.public_key server in
+  let ask () =
+    Ppst.Server.handle server
+      (Message.Reveal_request
+         (Paillier.ciphertext_to_bigint (Paillier.encrypt pk rng (Bigint.of_int 5))))
+  in
+  (match ask () with Message.Reveal_reply _ -> () | _ -> Alcotest.fail "first reveal");
+  (match ask () with Message.Reveal_reply _ -> () | _ -> Alcotest.fail "second reveal");
+  (match ask () with
+   | Message.Error_reply _ -> ()
+   | _ -> Alcotest.fail "third reveal allowed");
+  Alcotest.(check int) "only two disclosed" 2 (Ppst.Server.reveal_count server);
+  (match
+     Ppst.Server.create ~max_reveals:0 ~rng ~series:(Series.of_list [ 1 ])
+       ~max_value:10 ()
+   with
+   | _ -> Alcotest.fail "zero budget accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_wrong_reply_kind_detected () =
+  (* a server that answers Hello with Bye_ack must trip the client *)
+  let channel = Channel.local (fun _ -> Message.Bye_ack) in
+  (match
+     Ppst.Client.connect
+       ~rng:(Secure_rng.of_seed_string "wrong-reply")
+       ~series:(Series.of_list [ 1 ])
+       ~max_value:10 ~distance:`Dtw channel
+   with
+   | _ -> Alcotest.fail "bad reply accepted"
+   | exception Channel.Protocol_error _ -> ())
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "defaults" `Quick test_params_defaults;
+          Alcotest.test_case "plan derivation" `Quick test_params_plan_basic;
+          Alcotest.test_case "DFD bound tighter" `Quick test_params_dfd_bound_smaller;
+          Alcotest.test_case "k >= 4 enforced" `Quick test_params_k_too_small;
+          Alcotest.test_case "slack constraint" `Quick test_params_slack_constraint;
+          Alcotest.test_case "wrap-around guard" `Quick test_params_wraparound_guard;
+          Alcotest.test_case "bad arguments" `Quick test_params_bad_args;
+        ] );
+      ( "masking",
+        [
+          Alcotest.test_case "offsets sorted/distinct/in-range" `Quick
+            test_offsets_sorted_distinct_in_range;
+          Alcotest.test_case "secure-min candidates" `Quick
+            test_prepare_min_counts_and_correctness;
+          Alcotest.test_case "secure-max candidates" `Quick
+            test_prepare_max_counts_and_correctness;
+          Alcotest.test_case "empty inputs rejected" `Quick test_prepare_rejects_empty;
+          Alcotest.test_case "candidates re-randomized" `Quick test_candidates_rerandomized;
+          Alcotest.test_case "masked minimum exact (30 rounds)" `Quick
+            test_masked_min_many_rounds;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "paper example DTW" `Quick test_dtw_paper_example;
+          Alcotest.test_case "paper example DFD" `Quick test_dfd_paper_example;
+          Alcotest.test_case "single elements" `Quick test_single_element_series;
+          Alcotest.test_case "identical series" `Quick test_identical_series;
+          Alcotest.test_case "unequal lengths" `Quick test_unequal_lengths;
+          Alcotest.test_case "multi-dimensional" `Quick test_multidimensional_protocol;
+          Alcotest.test_case "random-set sizes" `Slow test_various_k;
+          Alcotest.test_case "larger keys" `Slow test_larger_keys;
+          Alcotest.test_case "zero values" `Quick test_zero_values_allowed;
+          Alcotest.test_case "randomness-independent" `Quick test_determinism_across_seeds;
+          prop_secure_dtw_equals_plaintext;
+          prop_secure_dfd_equals_plaintext;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "DTW communication closed form" `Quick
+            test_communication_formula_dtw;
+          Alcotest.test_case "DFD communication closed form" `Quick
+            test_communication_formula_dfd;
+          Alcotest.test_case "paper d+k+4 per entry" `Quick test_paper_per_entry_formula;
+          Alcotest.test_case "operation counters" `Quick test_cost_counters;
+          Alcotest.test_case "DFD costs ~2x DTW" `Quick test_dfd_costs_more_than_dtw;
+        ] );
+      ( "hiding",
+        [
+          Alcotest.test_case "matrix encrypted, path hidden" `Quick
+            test_matrix_stays_encrypted_and_path_hidden;
+          Alcotest.test_case "server sees only masked values" `Quick
+            test_server_never_sees_unmasked_values;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch_rejected;
+          Alcotest.test_case "negative coordinates" `Quick
+            test_negative_coordinates_rejected;
+          Alcotest.test_case "bound violation" `Quick test_client_bound_violation_rejected;
+          Alcotest.test_case "garbage candidates" `Quick
+            test_server_rejects_garbage_candidates;
+          Alcotest.test_case "reveal counting" `Quick test_server_reveal_counting;
+          Alcotest.test_case "reveal budget" `Quick test_reveal_budget_enforced;
+          Alcotest.test_case "wrong reply kind" `Quick test_wrong_reply_kind_detected;
+        ] );
+    ]

@@ -1,0 +1,741 @@
+(* Tests for the time-series substrate: series containers, all distance
+   functions (fixed vectors from the paper plus metric properties),
+   generators, normalization/quantization, CSV persistence, and kNN. *)
+
+open Ppst_timeseries
+
+let series = Alcotest.testable Series.pp Series.equal
+
+let qtest name ?(count = 200) gen ~print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+(* Random positive-integer 1-d series of length 1..12, values 0..50. *)
+let gen_series_1d =
+  let open QCheck2.Gen in
+  let* len = int_range 1 12 in
+  let* values = list_size (return len) (int_range 0 50) in
+  return (Series.of_list values)
+
+(* Random d-dimensional series. *)
+let gen_series_nd =
+  let open QCheck2.Gen in
+  let* d = int_range 1 4 in
+  let* len = int_range 1 8 in
+  let* data =
+    list_size (return len) (list_size (return d) (int_range 0 30))
+  in
+  return (Series.create (Array.of_list (List.map Array.of_list data)))
+
+let print_series s = Format.asprintf "%a" Series.pp s
+
+let pair_same_dim =
+  let open QCheck2.Gen in
+  let* d = int_range 1 3 in
+  let mk =
+    let* len = int_range 1 8 in
+    let* data = list_size (return len) (list_size (return d) (int_range 0 30)) in
+    return (Series.create (Array.of_list (List.map Array.of_list data)))
+  in
+  pair mk mk
+
+(* --- Series ------------------------------------------------------------- *)
+
+let test_series_create_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Series.create: empty series")
+    (fun () -> ignore (Series.create [||]));
+  Alcotest.check_raises "zero-dim"
+    (Invalid_argument "Series.create: zero-dimensional elements") (fun () ->
+      ignore (Series.create [| [||] |]));
+  (match Series.create [| [| 1 |]; [| 1; 2 |] |] with
+   | _ -> Alcotest.fail "ragged accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_series_accessors () =
+  let s = Series.create [| [| 1; 2 |]; [| 3; 4 |]; [| 5; 6 |] |] in
+  Alcotest.(check int) "length" 3 (Series.length s);
+  Alcotest.(check int) "dimension" 2 (Series.dimension s);
+  Alcotest.(check (array int)) "get" [| 3; 4 |] (Series.get s 1);
+  Alcotest.(check int) "max_abs" 6 (Series.max_abs_value s)
+
+let test_series_value_1d_only () =
+  let s1 = Series.of_list [ 9; 8 ] in
+  Alcotest.(check int) "value" 8 (Series.value s1 1);
+  let s2 = Series.create [| [| 1; 2 |] |] in
+  Alcotest.check_raises "multi-dim"
+    (Invalid_argument "Series.value: series is not 1-dimensional") (fun () ->
+      ignore (Series.value s2 0))
+
+let test_series_immutability () =
+  let raw = [| [| 1 |]; [| 2 |] |] in
+  let s = Series.create raw in
+  raw.(0).(0) <- 99;
+  Alcotest.(check int) "input copied" 1 (Series.value s 0);
+  let out = Series.to_array s in
+  out.(0).(0) <- 42;
+  Alcotest.(check int) "output copied" 1 (Series.value s 0)
+
+let test_series_sub_append () =
+  let s = Series.of_list [ 1; 2; 3; 4; 5 ] in
+  let mid = Series.sub s ~pos:1 ~len:3 in
+  Alcotest.check series "sub" (Series.of_list [ 2; 3; 4 ]) mid;
+  Alcotest.check series "append"
+    (Series.of_list [ 2; 3; 4; 2; 3; 4 ])
+    (Series.append mid mid);
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Series.sub: bounds")
+    (fun () -> ignore (Series.sub s ~pos:4 ~len:3))
+
+let test_series_map () =
+  let s = Series.of_list [ 1; 2; 3 ] in
+  Alcotest.check series "double"
+    (Series.of_list [ 2; 4; 6 ])
+    (Series.map (Array.map (fun v -> 2 * v)) s)
+
+(* --- distances: fixed vectors ------------------------------------------ *)
+
+(* The paper's Figure 1 example: X = (3,4,5,4,6,7), Y = (2,4,6,5,7) with
+   squared Euclidean local costs gives the matrix whose corner is 3.  (The
+   figure itself uses |.|; with squares the DTW value is 3 and DFD is 1.) *)
+let paper_x = Series.of_list [ 3; 4; 5; 4; 6; 7 ]
+let paper_y = Series.of_list [ 2; 4; 6; 5; 7 ]
+
+let test_dtw_paper_example () =
+  Alcotest.(check int) "dtw" 3 (Distance.dtw_sq paper_x paper_y)
+
+let test_dfd_paper_example () =
+  Alcotest.(check int) "dfd" 1 (Distance.dfd_sq paper_x paper_y)
+
+let test_dtw_matrix_shape () =
+  let m = Distance.dtw_sq_matrix paper_x paper_y in
+  Alcotest.(check int) "rows" 6 (Array.length m);
+  Alcotest.(check int) "cols" 5 (Array.length m.(0));
+  Alcotest.(check int) "m00 = (3-2)^2" 1 m.(0).(0);
+  Alcotest.(check int) "corner" 3 m.(5).(4)
+
+let test_sq_euclidean () =
+  Alcotest.(check int) "1d" 9 (Distance.sq_euclidean [| 5 |] [| 2 |]);
+  Alcotest.(check int) "3d" 27 (Distance.sq_euclidean [| 1; 2; 3 |] [| 4; 5; 6 |]);
+  Alcotest.(check int) "same" 0 (Distance.sq_euclidean [| 7; 7 |] [| 7; 7 |]);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Distance.sq_euclidean: dimension mismatch (2 vs 1)")
+    (fun () -> ignore (Distance.sq_euclidean [| 1; 2 |] [| 1 |]))
+
+let test_euclidean_sq_series () =
+  let a = Series.of_list [ 1; 2; 3 ] and b = Series.of_list [ 2; 4; 6 ] in
+  Alcotest.(check int) "1+4+9" 14 (Distance.euclidean_sq a b);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Distance.euclidean_sq: series lengths differ") (fun () ->
+      ignore (Distance.euclidean_sq a (Series.of_list [ 1 ])))
+
+let test_dtw_known_warp () =
+  (* X = (0,0,10), Y = (0,10,10): DTW warps and only pays 0;
+     lockstep Euclidean pays 100. *)
+  let x = Series.of_list [ 0; 0; 10 ] and y = Series.of_list [ 0; 10; 10 ] in
+  Alcotest.(check int) "dtw warps" 0 (Distance.dtw_sq x y);
+  Alcotest.(check int) "euclid does not" 100 (Distance.euclidean_sq x y)
+
+let test_dfd_bottleneck () =
+  (* DFD is the worst coupling gap: one big outlier dominates *)
+  let x = Series.of_list [ 0; 0; 0 ] and y = Series.of_list [ 0; 9; 0 ] in
+  Alcotest.(check int) "dfd" 81 (Distance.dfd_sq x y);
+  Alcotest.(check int) "dtw sums but can warp" 81 (Distance.dtw_sq x y)
+
+let test_different_lengths () =
+  let x = Series.of_list [ 1; 2; 3; 4; 5; 6 ] and y = Series.of_list [ 1; 6 ] in
+  (* must not raise; basic sanity on values *)
+  Alcotest.(check bool) "dtw >= 0" true (Distance.dtw_sq x y >= 0);
+  Alcotest.(check bool) "dfd >= dtw impossible in general" true (Distance.dfd_sq x y >= 0)
+
+let test_multidim_distances () =
+  let x = Series.create [| [| 0; 0 |]; [| 3; 4 |] |] in
+  let y = Series.create [| [| 0; 0 |]; [| 0; 0 |] |] in
+  Alcotest.(check int) "dtw 2d" 25 (Distance.dtw_sq x y);
+  Alcotest.(check int) "dfd 2d" 25 (Distance.dfd_sq x y)
+
+let test_banded_dtw () =
+  let x = Series.of_list [ 0; 0; 10 ] and y = Series.of_list [ 0; 10; 10 ] in
+  Alcotest.(check (option int)) "wide band = plain dtw"
+    (Some (Distance.dtw_sq x y))
+    (Distance.dtw_sq_banded ~band:5 x y);
+  Alcotest.(check (option int)) "band 0 = lockstep" (Some 100)
+    (Distance.dtw_sq_banded ~band:0 x y);
+  let long = Series.of_list [ 1; 1; 1; 1; 1 ] and short = Series.of_list [ 1 ] in
+  Alcotest.(check (option int)) "band below length gap" None
+    (Distance.dtw_sq_banded ~band:2 long short)
+
+let test_dtw_path () =
+  let path = Distance.dtw_sq_path paper_x paper_y in
+  Alcotest.(check (pair int int)) "starts at origin" (0, 0) (List.hd path);
+  Alcotest.(check (pair int int)) "ends at corner" (5, 4)
+    (List.nth path (List.length path - 1));
+  (* steps move by at most 1 in each coordinate, monotonically *)
+  let rec check_steps = function
+    | (i1, j1) :: ((i2, j2) :: _ as rest) ->
+      Alcotest.(check bool) "monotone unit step" true
+        (i2 - i1 >= 0 && i2 - i1 <= 1 && j2 - j1 >= 0 && j2 - j1 <= 1
+         && i2 + j2 > i1 + j1);
+      check_steps rest
+    | _ -> ()
+  in
+  check_steps path;
+  (* path cost must equal the DTW distance *)
+  let cost =
+    List.fold_left
+      (fun acc (i, j) ->
+        acc + Distance.sq_euclidean (Series.get paper_x i) (Series.get paper_y j))
+      0 path
+  in
+  Alcotest.(check int) "path cost = distance" (Distance.dtw_sq paper_x paper_y) cost
+
+let test_erp () =
+  let x = Series.of_list [ 1; 2 ] and y = Series.of_list [ 1; 2 ] in
+  Alcotest.(check int) "identical" 0 (Distance.erp_sq ~gap:[| 0 |] x y);
+  (* [1;2;5] vs [1;2]: the optimal alignment deletes x1 (cost 1), matches
+     2~1 (cost 1) and 5~2 (cost 9) — cheaper than deleting the 5 (25) *)
+  let x2 = Series.of_list [ 1; 2; 5 ] in
+  Alcotest.(check int) "one deletion" 11 (Distance.erp_sq ~gap:[| 0 |] x2 y);
+  Alcotest.check_raises "gap dimension"
+    (Invalid_argument "Distance.erp_sq: gap element dimension mismatch") (fun () ->
+      ignore (Distance.erp_sq ~gap:[| 0; 0 |] x y))
+
+let test_float_distances_match_int () =
+  (* on integer data, float DTW with squared local costs isn't defined;
+     but float euclidean² should equal the int version *)
+  let xi = Series.of_list [ 1; 5; 7 ] and yi = Series.of_list [ 2; 2; 9 ] in
+  let xf = Series.Fseries.of_list [ 1.; 5.; 7. ] in
+  let yf = Series.Fseries.of_list [ 2.; 2.; 9. ] in
+  Alcotest.(check (float 1e-9)) "euclidean"
+    (sqrt (float_of_int (Distance.euclidean_sq xi yi)))
+    (Distance.euclidean xf yf);
+  Alcotest.(check bool) "dtw float positive" true (Distance.dtw xf yf >= 0.0);
+  Alcotest.(check bool) "dfd float positive" true (Distance.dfd xf yf >= 0.0)
+
+(* --- distances: properties ---------------------------------------------- *)
+
+let prop_dtw_identity =
+  qtest "dtw(x, x) = 0" gen_series_nd ~print:print_series (fun s ->
+      Distance.dtw_sq s s = 0)
+
+let prop_dfd_identity =
+  qtest "dfd(x, x) = 0" gen_series_nd ~print:print_series (fun s ->
+      Distance.dfd_sq s s = 0)
+
+let prop_dtw_symmetric =
+  qtest "dtw symmetric" pair_same_dim
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) -> Distance.dtw_sq a b = Distance.dtw_sq b a)
+
+let prop_dfd_symmetric =
+  qtest "dfd symmetric" pair_same_dim
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) -> Distance.dfd_sq a b = Distance.dfd_sq b a)
+
+let prop_dfd_le_max_cost =
+  qtest "dfd <= max pairwise cost" pair_same_dim
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) ->
+      let worst = ref 0 in
+      for i = 0 to Series.length a - 1 do
+        for j = 0 to Series.length b - 1 do
+          worst := max !worst (Distance.sq_euclidean (Series.get a i) (Series.get b j))
+        done
+      done;
+      Distance.dfd_sq a b <= !worst)
+
+let prop_dtw_le_euclidean =
+  (* the lockstep path is one admissible coupling for equal lengths *)
+  let gen =
+    let open QCheck2.Gen in
+    let* len = int_range 1 10 in
+    let* v1 = list_size (return len) (int_range 0 50) in
+    let* v2 = list_size (return len) (int_range 0 50) in
+    return (Series.of_list v1, Series.of_list v2)
+  in
+  qtest "dtw <= lockstep euclidean" gen
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) -> Distance.dtw_sq a b <= Distance.euclidean_sq a b)
+
+let prop_dfd_le_dtw =
+  (* max over the optimal-DTW coupling <= sum over it; and DFD minimizes
+     the max, so dfd <= dtw always *)
+  qtest "dfd <= dtw" pair_same_dim
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) -> Distance.dfd_sq a b <= Distance.dtw_sq a b)
+
+let prop_banded_ge_unbanded =
+  qtest "banded dtw >= dtw" pair_same_dim
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (a, b) ->
+      match Distance.dtw_sq_banded ~band:2 a b with
+      | None -> true
+      | Some banded -> banded >= Distance.dtw_sq a b)
+
+let prop_translation_invariance =
+  qtest "dtw invariant under joint translation" gen_series_1d ~print:print_series
+    (fun s ->
+      (* shifting BOTH series by the same offset preserves every pairwise
+         cost and hence the distance *)
+      let shift t = Series.map (Array.map (fun v -> v + 7)) t in
+      let other = Series.map (Array.map (fun v -> (v * 2) mod 51)) s in
+      Distance.dtw_sq s other = Distance.dtw_sq (shift s) (shift other)
+      && Distance.dfd_sq s other = Distance.dfd_sq (shift s) (shift other))
+
+(* --- generators ---------------------------------------------------------- *)
+
+let test_generators_deterministic () =
+  let a = Generate.ecg_int ~seed:3 ~length:50 ~max_value:100 in
+  let b = Generate.ecg_int ~seed:3 ~length:50 ~max_value:100 in
+  Alcotest.check series "same seed same series" a b;
+  let c = Generate.ecg_int ~seed:4 ~length:50 ~max_value:100 in
+  Alcotest.(check bool) "different seed differs" false (Series.equal a c)
+
+let test_generator_ranges () =
+  let checks =
+    [
+      ("ecg", Generate.ecg_int ~seed:1 ~length:80 ~max_value:100, 1, 100);
+      ("signature", Generate.signature_int ~seed:1 ~length:40 ~max_value:60, 2, 60);
+      ("trajectory", Generate.trajectory_int ~seed:1 ~length:40 ~max_value:80, 2, 80);
+      ("vectors", Generate.random_vectors ~seed:1 ~length:30 ~dim:5 ~max_value:100, 5, 100);
+    ]
+  in
+  List.iter
+    (fun (name, s, dim, maxv) ->
+      Alcotest.(check int) (name ^ " dim") dim (Series.dimension s);
+      let lo = ref max_int and hi = ref 0 in
+      for i = 0 to Series.length s - 1 do
+        Array.iter
+          (fun v ->
+            if v < !lo then lo := v;
+            if v > !hi then hi := v)
+          (Series.get s i)
+      done;
+      Alcotest.(check bool) (name ^ " in [1, max]") true (!lo >= 1 && !hi <= maxv))
+    checks
+
+let test_ecg_periodicity () =
+  (* the ECG generator must produce a strongly autocorrelated signal:
+     R peaks repeat roughly every samples_per_beat; check that the series
+     has high variance concentrated in spikes (max >> mean) *)
+  let s = Generate.ecg_int ~seed:9 ~length:200 ~max_value:1000 in
+  let values = Array.init (Series.length s) (fun i -> Series.value s i) in
+  let mean = Array.fold_left ( + ) 0 values / Array.length values in
+  let maxv = Array.fold_left max 0 values in
+  Alcotest.(check bool) "spiky morphology" true (maxv > mean * 2)
+
+let test_sine_with_noise () =
+  let s = Generate.sine_with_noise ~seed:2 ~length:100 ~period:25.0 ~noise:0.0 in
+  (* noiseless sine: v(i) ≈ v(i+25) *)
+  let v i = (Series.Fseries.get s i).(0) in
+  Alcotest.(check (float 1e-6)) "period" (v 10) (v 35)
+
+let test_generator_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "bad size accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> ignore (Generate.ecg ~seed:1 ~length:0));
+      (fun () -> ignore (Generate.random_walk ~seed:1 ~length:5 ~dim:0));
+      (fun () -> ignore (Generate.random_vectors ~seed:1 ~length:0 ~dim:1 ~max_value:9));
+      (fun () -> ignore (Generate.sine_with_noise ~seed:1 ~length:5 ~period:0.0 ~noise:0.1));
+    ]
+
+let test_perturb () =
+  let base = Generate.ecg ~seed:5 ~length:60 in
+  let noisy = Generate.perturb ~seed:6 ~noise:0.05 base in
+  Alcotest.(check int) "same length" (Series.Fseries.length base)
+    (Series.Fseries.length noisy);
+  let far = Generate.ecg ~seed:99 ~length:60 in
+  let q s = Normalize.quantize ~max_value:100 s in
+  let d_near = Distance.dtw_sq (q base) (q noisy) in
+  let d_far = Distance.dtw_sq (q base) (q far) in
+  Alcotest.(check bool)
+    (Printf.sprintf "perturbed closer than unrelated (%d < %d)" d_near d_far)
+    true (d_near < d_far)
+
+(* --- normalize ----------------------------------------------------------- *)
+
+let test_z_normalize () =
+  let s = Series.Fseries.of_list [ 2.0; 4.0; 6.0; 8.0 ] in
+  let z = Normalize.z_normalize s in
+  let mean, std = Normalize.mean_std z in
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 mean.(0);
+  Alcotest.(check (float 1e-9)) "std 1" 1.0 std.(0)
+
+let test_z_normalize_constant () =
+  let s = Series.Fseries.of_list [ 5.0; 5.0; 5.0 ] in
+  let z = Normalize.z_normalize s in
+  Alcotest.(check (float 1e-9)) "centered" 0.0 (Series.Fseries.get z 0).(0)
+
+let test_min_max () =
+  let s = Series.Fseries.of_list [ 0.0; 5.0; 10.0 ] in
+  let r = Normalize.min_max ~lo:0.0 ~hi:1.0 s in
+  Alcotest.(check (float 1e-9)) "lo" 0.0 (Series.Fseries.get r 0).(0);
+  Alcotest.(check (float 1e-9)) "mid" 0.5 (Series.Fseries.get r 1).(0);
+  Alcotest.(check (float 1e-9)) "hi" 1.0 (Series.Fseries.get r 2).(0);
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Normalize.min_max: lo >= hi")
+    (fun () -> ignore (Normalize.min_max ~lo:1.0 ~hi:1.0 s))
+
+let test_quantize () =
+  let s = Series.Fseries.of_list [ -1.0; 0.0; 1.0 ] in
+  let q = Normalize.quantize ~max_value:100 s in
+  Alcotest.(check int) "min -> 1" 1 (Series.value q 0);
+  Alcotest.(check int) "max -> 100" 100 (Series.value q 2);
+  Alcotest.(check bool) "mid in range" true
+    (Series.value q 1 >= 1 && Series.value q 1 <= 100);
+  Alcotest.check_raises "max_value < 2"
+    (Invalid_argument "Normalize.quantize: max_value < 2") (fun () ->
+      ignore (Normalize.quantize ~max_value:1 s))
+
+let test_dequantize () =
+  let s = Series.of_list [ 1; 2; 3 ] in
+  let f = Normalize.dequantize s in
+  Alcotest.(check (float 1e-9)) "value" 2.0 (Series.Fseries.get f 1).(0)
+
+(* --- csv ----------------------------------------------------------------- *)
+
+let test_csv_roundtrip_string () =
+  let s = Series.create [| [| 1; 2 |]; [| 3; 4 |] |] in
+  Alcotest.check series "string round-trip" s (Csv.of_string (Csv.to_string s))
+
+let test_csv_file_roundtrip () =
+  let s = Generate.ecg_int ~seed:11 ~length:30 ~max_value:100 in
+  let path = Filename.temp_file "ppst_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path s;
+      Alcotest.check series "file round-trip" s (Csv.load path))
+
+let test_csv_many_roundtrip () =
+  let list = [ Series.of_list [ 1; 2 ]; Series.of_list [ 3 ]; Series.of_list [ 4; 5; 6 ] ] in
+  let path = Filename.temp_file "ppst_test_many" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save_many path list;
+      let loaded = Csv.load_many path in
+      Alcotest.(check int) "count" 3 (List.length loaded);
+      List.iter2 (fun a b -> Alcotest.check series "entry" a b) list loaded)
+
+let test_csv_float_roundtrip () =
+  let s = Series.Fseries.of_list [ 1.5; -2.25; 3.125 ] in
+  let path = Filename.temp_file "ppst_test_f" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save_f path s;
+      let loaded = Csv.load_f path in
+      Alcotest.(check (float 1e-9)) "v1" 1.5 (Series.Fseries.get loaded 0).(0);
+      Alcotest.(check (float 1e-9)) "v2" (-2.25) (Series.Fseries.get loaded 1).(0))
+
+let test_csv_malformed () =
+  (match Csv.of_string "1,2\nthree,4\n" with
+   | _ -> Alcotest.fail "accepted garbage"
+   | exception Csv.Parse_error { line = 2; _ } -> ()
+   | exception Csv.Parse_error _ -> Alcotest.fail "wrong line reported");
+  (match Csv.of_string "" with
+   | _ -> Alcotest.fail "accepted empty"
+   | exception Csv.Parse_error _ -> ())
+
+(* --- lower bounds ----------------------------------------------------------- *)
+
+let test_envelope_basic () =
+  let y = Series.of_list [ 1; 5; 3; 9; 2 ] in
+  let upper, lower = Lower_bound.envelope ~band:1 y in
+  Alcotest.(check (array int)) "upper" [| 5; 5; 9; 9; 9 |] upper;
+  Alcotest.(check (array int)) "lower" [| 1; 1; 3; 2; 2 |] lower;
+  let u0, l0 = Lower_bound.envelope ~band:0 y in
+  Alcotest.(check (array int)) "band 0 upper = series" [| 1; 5; 3; 9; 2 |] u0;
+  Alcotest.(check (array int)) "band 0 lower = series" [| 1; 5; 3; 9; 2 |] l0
+
+let test_envelope_validation () =
+  (match Lower_bound.envelope ~band:(-1) (Series.of_list [ 1 ]) with
+   | _ -> Alcotest.fail "negative band accepted"
+   | exception Invalid_argument _ -> ());
+  (match Lower_bound.envelope ~band:1 (Series.create [| [| 1; 2 |] |]) with
+   | _ -> Alcotest.fail "2-d accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_lb_keogh_band0_is_euclidean () =
+  let x = Series.of_list [ 1; 4; 2; 8 ] and y = Series.of_list [ 2; 2; 2; 2 ] in
+  Alcotest.(check int) "band 0" (Distance.euclidean_sq x y)
+    (Lower_bound.lb_keogh ~band:0 x y)
+
+let prop_lb_keogh_bounds_banded_dtw =
+  let gen =
+    let open QCheck2.Gen in
+    let* len = int_range 2 10 in
+    let* band = int_range 0 3 in
+    let* v1 = list_size (return len) (int_range 0 40) in
+    let* v2 = list_size (return len) (int_range 0 40) in
+    return (Series.of_list v1, Series.of_list v2, band)
+  in
+  qtest "LB_Keogh <= banded DTW" ~count:300 gen
+    ~print:(fun (a, b, band) ->
+      Printf.sprintf "%s / %s band=%d" (print_series a) (print_series b) band)
+    (fun (x, y, band) ->
+      match Distance.dtw_sq_banded ~band x y with
+      | None -> true
+      | Some banded -> Lower_bound.lb_keogh ~band x y <= banded)
+
+let prop_lb_keogh_wider_band_looser =
+  let gen =
+    let open QCheck2.Gen in
+    let* len = int_range 2 10 in
+    let* v1 = list_size (return len) (int_range 0 40) in
+    let* v2 = list_size (return len) (int_range 0 40) in
+    return (Series.of_list v1, Series.of_list v2)
+  in
+  qtest "wider band never increases LB" ~count:200 gen
+    ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
+    (fun (x, y) ->
+      Lower_bound.lb_keogh ~band:2 x y <= Lower_bound.lb_keogh ~band:1 x y
+      && Lower_bound.lb_keogh ~band:1 x y <= Lower_bound.lb_keogh ~band:0 x y)
+
+let test_prune_keeps_true_matches () =
+  let query = Series.of_list [ 5; 5; 5; 5 ] in
+  let db =
+    [| Series.of_list [ 5; 5; 5; 6 ] (* close *);
+       Series.of_list [ 50; 50; 50; 50 ] (* far *);
+       Series.of_list [ 5; 5 ] (* different length: must be kept *) |]
+  in
+  let kept = Lower_bound.prune ~band:1 ~radius:10 ~query db in
+  Alcotest.(check (list int)) "prunes only the far entry" [ 0; 2 ] kept;
+  (* soundness: every pruned entry really exceeds the radius *)
+  List.iter
+    (fun i ->
+      if not (List.mem i kept) then
+        match Distance.dtw_sq_banded ~band:1 query db.(i) with
+        | Some d -> Alcotest.(check bool) "pruned is far" true (d > 10)
+        | None -> ())
+    [ 0; 1; 2 ]
+
+(* --- paa / sax ---------------------------------------------------------------- *)
+
+let test_paa_basic () =
+  let s = Series.Fseries.of_list [ 1.0; 3.0; 5.0; 7.0 ] in
+  let means = Paa.paa ~segments:2 s in
+  Alcotest.(check int) "segment count" 2 (Array.length means);
+  Alcotest.(check (float 1e-9)) "first frame" 2.0 means.(0);
+  Alcotest.(check (float 1e-9)) "second frame" 6.0 means.(1);
+  (* segments = length -> identity *)
+  let id = Paa.paa ~segments:4 s in
+  Alcotest.(check (float 1e-9)) "identity" 5.0 id.(2)
+
+let test_paa_uneven_frames () =
+  let s = Series.Fseries.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let means = Paa.paa ~segments:2 s in
+  (* frames [0,2) and [2,5): means 1.5 and 4.0 *)
+  Alcotest.(check (float 1e-9)) "short frame" 1.5 means.(0);
+  Alcotest.(check (float 1e-9)) "long frame" 4.0 means.(1)
+
+let test_paa_preserves_mean () =
+  (* the weighted mean of PAA frames equals the series mean *)
+  let s = Generate.ecg ~seed:3 ~length:60 in
+  let means = Paa.paa ~segments:6 s in
+  let paa_mean = Array.fold_left ( +. ) 0.0 means /. 6.0 in
+  let series_mean =
+    let acc = ref 0.0 in
+    for i = 0 to 59 do
+      acc := !acc +. (Series.Fseries.get s i).(0)
+    done;
+    !acc /. 60.0
+  in
+  Alcotest.(check (float 1e-9)) "mean preserved (equal frames)" series_mean paa_mean
+
+let test_paa_validation () =
+  let s = Series.Fseries.of_list [ 1.0; 2.0 ] in
+  (match Paa.paa ~segments:0 s with
+   | _ -> Alcotest.fail "zero segments"
+   | exception Invalid_argument _ -> ());
+  (match Paa.paa ~segments:3 s with
+   | _ -> Alcotest.fail "too many segments"
+   | exception Invalid_argument _ -> ())
+
+let test_sax_breakpoints () =
+  let b3 = Paa.sax_breakpoints ~alphabet:3 in
+  Alcotest.(check int) "count" 2 (Array.length b3);
+  Alcotest.(check (float 1e-9)) "symmetric" (-.b3.(0)) b3.(1);
+  (match Paa.sax_breakpoints ~alphabet:1 with
+   | _ -> Alcotest.fail "alphabet 1"
+   | exception Invalid_argument _ -> ());
+  (match Paa.sax_breakpoints ~alphabet:11 with
+   | _ -> Alcotest.fail "alphabet 11"
+   | exception Invalid_argument _ -> ())
+
+let test_sax_word () =
+  (* a rising ramp maps to non-decreasing symbols *)
+  let s = Series.Fseries.of_list (List.init 32 (fun i -> float_of_int i)) in
+  let word = Paa.sax ~segments:8 ~alphabet:4 s in
+  Alcotest.(check int) "length" 8 (Array.length word);
+  Array.iter
+    (fun sym -> Alcotest.(check bool) "in range" true (sym >= 0 && sym < 4))
+    word;
+  let rec non_decreasing i =
+    i >= Array.length word - 1 || (word.(i) <= word.(i + 1) && non_decreasing (i + 1))
+  in
+  Alcotest.(check bool) "monotone" true (non_decreasing 0);
+  Alcotest.(check bool) "uses low and high symbols" true
+    (word.(0) = 0 && word.(7) = 3)
+
+let test_sax_identical_words_zero_distance () =
+  let s = Generate.ecg ~seed:4 ~length:64 in
+  let w = Paa.sax ~segments:8 ~alphabet:6 s in
+  Alcotest.(check (float 1e-9)) "self distance" 0.0
+    (Paa.sax_distance_sq ~alphabet:6 ~original_length:64 w w)
+
+let prop_sax_mindist_lower_bounds_euclidean =
+  (* the SAX guarantee: MINDIST(Â, B̂) <= D(A, B) on z-normalized data *)
+  let gen =
+    let open QCheck2.Gen in
+    let* len = return 32 in
+    let* v1 = list_size (return len) (int_range 0 100) in
+    let* v2 = list_size (return len) (int_range 0 100) in
+    return
+      ( Series.Fseries.create
+          (Array.of_list (List.map (fun v -> [| float_of_int v |]) v1)),
+        Series.Fseries.create
+          (Array.of_list (List.map (fun v -> [| float_of_int v |]) v2)) )
+  in
+  qtest "SAX MINDIST <= euclidean of z-normalized" ~count:100 gen
+    ~print:(fun _ -> "series pair")
+    (fun (a, b) ->
+      let za = Normalize.z_normalize a and zb = Normalize.z_normalize b in
+      let d2 =
+        let acc = ref 0.0 in
+        for i = 0 to Series.Fseries.length za - 1 do
+          let x = (Series.Fseries.get za i).(0) -. (Series.Fseries.get zb i).(0) in
+          acc := !acc +. (x *. x)
+        done;
+        !acc
+      in
+      let wa = Paa.sax ~segments:8 ~alphabet:6 a in
+      let wb = Paa.sax ~segments:8 ~alphabet:6 b in
+      Paa.sax_distance_sq ~alphabet:6 ~original_length:32 wa wb <= d2 +. 1e-9)
+
+(* --- knn ----------------------------------------------------------------- *)
+
+let knn_db =
+  [|
+    Series.of_list [ 0; 0; 0 ];
+    Series.of_list [ 10; 10; 10 ];
+    Series.of_list [ 5; 5; 5 ];
+    Series.of_list [ 1; 1; 2 ];
+  |]
+
+let test_knn_nearest () =
+  let i, d = Knn.nearest Knn.Dtw_sq ~query:(Series.of_list [ 1; 1; 1 ]) knn_db in
+  Alcotest.(check int) "index" 3 i;
+  Alcotest.(check int) "distance" 1 d;
+  Alcotest.check_raises "empty db" (Invalid_argument "Knn.nearest: empty database")
+    (fun () -> ignore (Knn.nearest Knn.Dtw_sq ~query:(Series.of_list [ 1 ]) [||]))
+
+let test_knn_k_nearest () =
+  let top2 = Knn.k_nearest Knn.Dtw_sq ~k:2 ~query:(Series.of_list [ 0; 0; 0 ]) knn_db in
+  Alcotest.(check (list (pair int int))) "ordered" [ (0, 0); (3, 6) ] top2;
+  let all = Knn.k_nearest Knn.Dtw_sq ~k:10 ~query:(Series.of_list [ 0; 0; 0 ]) knn_db in
+  Alcotest.(check int) "clamped to db size" 4 (List.length all)
+
+let test_knn_within () =
+  let hits = Knn.within Knn.Euclidean_sq ~radius:10 ~query:(Series.of_list [ 0; 0; 0 ]) knn_db in
+  Alcotest.(check (list (pair int int))) "within" [ (0, 0); (3, 6) ] hits
+
+let test_knn_metrics_dispatch () =
+  let q = Series.of_list [ 0; 0; 9 ] in
+  let s = Series.of_list [ 0; 9; 9 ] in
+  Alcotest.(check int) "dtw" (Distance.dtw_sq q s) (Knn.distance Knn.Dtw_sq q s);
+  Alcotest.(check int) "dfd" (Distance.dfd_sq q s) (Knn.distance Knn.Dfd_sq q s);
+  Alcotest.(check int) "euclid" (Distance.euclidean_sq q s)
+    (Knn.distance Knn.Euclidean_sq q s)
+
+let () =
+  Alcotest.run "timeseries"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "creation validation" `Quick test_series_create_validation;
+          Alcotest.test_case "accessors" `Quick test_series_accessors;
+          Alcotest.test_case "value is 1-d only" `Quick test_series_value_1d_only;
+          Alcotest.test_case "immutability" `Quick test_series_immutability;
+          Alcotest.test_case "sub/append" `Quick test_series_sub_append;
+          Alcotest.test_case "map" `Quick test_series_map;
+        ] );
+      ( "distances",
+        [
+          Alcotest.test_case "paper DTW example" `Quick test_dtw_paper_example;
+          Alcotest.test_case "paper DFD example" `Quick test_dfd_paper_example;
+          Alcotest.test_case "DTW matrix" `Quick test_dtw_matrix_shape;
+          Alcotest.test_case "squared Euclidean" `Quick test_sq_euclidean;
+          Alcotest.test_case "series Euclidean" `Quick test_euclidean_sq_series;
+          Alcotest.test_case "DTW warps" `Quick test_dtw_known_warp;
+          Alcotest.test_case "DFD bottleneck" `Quick test_dfd_bottleneck;
+          Alcotest.test_case "unequal lengths" `Quick test_different_lengths;
+          Alcotest.test_case "multi-dimensional" `Quick test_multidim_distances;
+          Alcotest.test_case "banded DTW" `Quick test_banded_dtw;
+          Alcotest.test_case "optimal path" `Quick test_dtw_path;
+          Alcotest.test_case "ERP" `Quick test_erp;
+          Alcotest.test_case "float variants" `Quick test_float_distances_match_int;
+          prop_dtw_identity;
+          prop_dfd_identity;
+          prop_dtw_symmetric;
+          prop_dfd_symmetric;
+          prop_dfd_le_max_cost;
+          prop_dtw_le_euclidean;
+          prop_dfd_le_dtw;
+          prop_banded_ge_unbanded;
+          prop_translation_invariance;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "value ranges" `Quick test_generator_ranges;
+          Alcotest.test_case "ECG morphology" `Quick test_ecg_periodicity;
+          Alcotest.test_case "sine period" `Quick test_sine_with_noise;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+          Alcotest.test_case "perturb keeps similarity" `Quick test_perturb;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "z-normalize" `Quick test_z_normalize;
+          Alcotest.test_case "constant series" `Quick test_z_normalize_constant;
+          Alcotest.test_case "min-max" `Quick test_min_max;
+          Alcotest.test_case "quantize" `Quick test_quantize;
+          Alcotest.test_case "dequantize" `Quick test_dequantize;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_csv_roundtrip_string;
+          Alcotest.test_case "file round-trip" `Quick test_csv_file_roundtrip;
+          Alcotest.test_case "multi-series files" `Quick test_csv_many_roundtrip;
+          Alcotest.test_case "float files" `Quick test_csv_float_roundtrip;
+          Alcotest.test_case "malformed input" `Quick test_csv_malformed;
+        ] );
+      ( "paa / sax",
+        [
+          Alcotest.test_case "paa basics" `Quick test_paa_basic;
+          Alcotest.test_case "uneven frames" `Quick test_paa_uneven_frames;
+          Alcotest.test_case "mean preserved" `Quick test_paa_preserves_mean;
+          Alcotest.test_case "validation" `Quick test_paa_validation;
+          Alcotest.test_case "breakpoints" `Quick test_sax_breakpoints;
+          Alcotest.test_case "sax word" `Quick test_sax_word;
+          Alcotest.test_case "self distance" `Quick test_sax_identical_words_zero_distance;
+          prop_sax_mindist_lower_bounds_euclidean;
+        ] );
+      ( "lower bounds",
+        [
+          Alcotest.test_case "envelope" `Quick test_envelope_basic;
+          Alcotest.test_case "envelope validation" `Quick test_envelope_validation;
+          Alcotest.test_case "band 0 = euclidean" `Quick test_lb_keogh_band0_is_euclidean;
+          Alcotest.test_case "prune soundness" `Quick test_prune_keeps_true_matches;
+          prop_lb_keogh_bounds_banded_dtw;
+          prop_lb_keogh_wider_band_looser;
+        ] );
+      ( "knn",
+        [
+          Alcotest.test_case "nearest" `Quick test_knn_nearest;
+          Alcotest.test_case "k-nearest" `Quick test_knn_k_nearest;
+          Alcotest.test_case "within radius" `Quick test_knn_within;
+          Alcotest.test_case "metric dispatch" `Quick test_knn_metrics_dispatch;
+        ] );
+    ]

@@ -1,0 +1,420 @@
+(* Tests for the wire format, protocol messages, communication accounting
+   and both channel implementations (in-process and TCP). *)
+
+open Ppst_bigint
+open Ppst_transport
+
+let eq_bi = Alcotest.testable Bigint.pp Bigint.equal
+
+let qtest name ?(count = 200) gen ~print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let gen_bigint =
+  let open QCheck2.Gen in
+  let* s = string_size ~gen:(char_range '0' '9') (int_range 1 40) in
+  let* neg = bool in
+  let v = Bigint.of_string s in
+  return (if neg then Bigint.neg v else v)
+
+(* --- wire primitives ----------------------------------------------------- *)
+
+let test_u8_u32_roundtrip () =
+  let w = Wire.writer () in
+  Wire.put_u8 w 0;
+  Wire.put_u8 w 255;
+  Wire.put_u32 w 0;
+  Wire.put_u32 w 0xFFFFFFFF;
+  Wire.put_u32 w 123456789;
+  let r = Wire.reader (Wire.contents w) in
+  Alcotest.(check int) "u8 0" 0 (Wire.get_u8 r);
+  Alcotest.(check int) "u8 255" 255 (Wire.get_u8 r);
+  Alcotest.(check int) "u32 0" 0 (Wire.get_u32 r);
+  Alcotest.(check int) "u32 max" 0xFFFFFFFF (Wire.get_u32 r);
+  Alcotest.(check int) "u32 mid" 123456789 (Wire.get_u32 r);
+  Wire.expect_end r
+
+let test_u8_range_checked () =
+  let w = Wire.writer () in
+  Alcotest.check_raises "negative" (Invalid_argument "Wire.put_u8: out of range")
+    (fun () -> Wire.put_u8 w (-1));
+  Alcotest.check_raises "256" (Invalid_argument "Wire.put_u8: out of range")
+    (fun () -> Wire.put_u8 w 256)
+
+let test_truncated_read () =
+  let r = Wire.reader "\001" in
+  ignore (Wire.get_u8 r);
+  (match Wire.get_u32 r with
+   | _ -> Alcotest.fail "read past end"
+   | exception Wire.Malformed _ -> ())
+
+let test_trailing_bytes () =
+  let r = Wire.reader "ab" in
+  ignore (Wire.get_u8 r);
+  (match Wire.expect_end r with
+   | _ -> Alcotest.fail "trailing bytes accepted"
+   | exception Wire.Malformed _ -> ())
+
+let test_bigint_wire_fixed () =
+  let check v =
+    let w = Wire.writer () in
+    Wire.put_bigint w v;
+    let r = Wire.reader (Wire.contents w) in
+    let v' = Wire.get_bigint r in
+    Wire.expect_end r;
+    Alcotest.check eq_bi (Bigint.to_string v) v v'
+  in
+  List.iter check
+    [ Bigint.zero; Bigint.one; Bigint.minus_one;
+      Bigint.of_string "123456789012345678901234567890";
+      Bigint.neg (Bigint.of_string "999999999999999999999999") ]
+
+let prop_bigint_wire =
+  qtest "bigint wire round-trip" gen_bigint ~print:Bigint.to_string (fun v ->
+      let w = Wire.writer () in
+      Wire.put_bigint w v;
+      Bigint.equal v (Wire.get_bigint (Wire.reader (Wire.contents w))))
+
+let test_bigint_sign_consistency_checked () =
+  (* sign byte 1 with zero magnitude must be rejected *)
+  let w = Wire.writer () in
+  Wire.put_u8 w 1;
+  Wire.put_bytes w "";
+  (match Wire.get_bigint (Wire.reader (Wire.contents w)) with
+   | _ -> Alcotest.fail "inconsistent sign accepted"
+   | exception Wire.Malformed _ -> ());
+  (* bad sign byte *)
+  let w2 = Wire.writer () in
+  Wire.put_u8 w2 7;
+  Wire.put_bytes w2 "\001";
+  (match Wire.get_bigint (Wire.reader (Wire.contents w2)) with
+   | _ -> Alcotest.fail "bad sign byte accepted"
+   | exception Wire.Malformed _ -> ())
+
+let test_array_count_guard () =
+  (* a forged huge array count must be rejected before allocation *)
+  let w = Wire.writer () in
+  Wire.put_u32 w 0x7FFFFFFF;
+  (match Wire.get_bigint_array (Wire.reader (Wire.contents w)) with
+   | _ -> Alcotest.fail "forged count accepted"
+   | exception Wire.Malformed _ -> ())
+
+(* --- messages ------------------------------------------------------------ *)
+
+let sample_messages =
+  let b = Bigint.of_string in
+  [
+    Message.Request Message.Hello;
+    Message.Request Message.Phase1_request;
+    Message.Request (Message.Min_request [| b "1"; b "22"; b "333" |]);
+    Message.Request (Message.Max_request [| b "987654321987654321" |]);
+    Message.Request (Message.Reveal_request (b "31337"));
+    Message.Request Message.Catalog_request;
+    Message.Request (Message.Select_request 7);
+    Message.Request Message.Bye;
+    Message.Reply
+      (Message.Welcome
+         { n = b "13497220662202513373"; key_bits = 64; series_length = 100;
+           dimension = 3; max_value = 100 });
+    Message.Reply
+      (Message.Phase1_reply
+         [|
+           { Message.sum_sq = b "11"; coords = [| b "1"; b "2" |] };
+           { Message.sum_sq = b "55"; coords = [| b "3"; b "4" |] };
+         |]);
+    Message.Reply (Message.Cipher_reply (b "424242424242"));
+    Message.Reply (Message.Reveal_reply (b "3"));
+    Message.Reply (Message.Catalog_reply [| 10; 20; 30 |]);
+    Message.Reply (Message.Select_ack 2);
+    Message.Reply Message.Bye_ack;
+    Message.Reply (Message.Error_reply "something went wrong");
+  ]
+
+let test_message_roundtrips () =
+  List.iter
+    (fun msg ->
+      let decoded = Message.decode (Message.encode msg) in
+      Alcotest.(check string) (Message.describe msg) (Message.describe msg)
+        (Message.describe decoded);
+      (* structural equality through re-encoding *)
+      Alcotest.(check string) "bytes" (Message.encode msg) (Message.encode decoded))
+    sample_messages
+
+let test_message_values_in () =
+  let b = Bigint.of_string in
+  Alcotest.(check int) "hello" 0 (Message.values_in (Message.Request Message.Hello));
+  Alcotest.(check int) "min(3)" 3
+    (Message.values_in (Message.Request (Message.Min_request [| b "1"; b "2"; b "3" |])));
+  Alcotest.(check int) "phase1 2x(1+2)" 6
+    (Message.values_in
+       (Message.Reply
+          (Message.Phase1_reply
+             [|
+               { Message.sum_sq = b "1"; coords = [| b "1"; b "2" |] };
+               { Message.sum_sq = b "2"; coords = [| b "3"; b "4" |] };
+             |])));
+  Alcotest.(check int) "cipher reply" 1
+    (Message.values_in (Message.Reply (Message.Cipher_reply (b "9"))))
+
+let test_message_unknown_tag () =
+  (match Message.decode "\x7f" with
+   | _ -> Alcotest.fail "unknown tag accepted"
+   | exception Wire.Malformed _ -> ())
+
+let test_message_trailing_garbage () =
+  let encoded = Message.encode (Message.Request Message.Hello) ^ "extra" in
+  (match Message.decode encoded with
+   | _ -> Alcotest.fail "trailing bytes accepted"
+   | exception Wire.Malformed _ -> ())
+
+let test_message_truncated () =
+  let encoded =
+    Message.encode (Message.Request (Message.Reveal_request (Bigint.of_int 5)))
+  in
+  let truncated = String.sub encoded 0 (String.length encoded - 1) in
+  (match Message.decode truncated with
+   | _ -> Alcotest.fail "truncated frame accepted"
+   | exception Wire.Malformed _ -> ())
+
+let prop_decode_fuzz =
+  (* arbitrary bytes must either decode or raise Wire.Malformed — never
+     any other exception (no Invalid_argument / Out_of_memory from forged
+     lengths) *)
+  QCheck_alcotest.to_alcotest
+  @@ QCheck2.Test.make ~name:"decode never crashes on fuzz" ~count:2000
+       ~print:String.escaped
+       QCheck2.Gen.(string_size ~gen:char (int_range 0 60))
+       (fun s ->
+         match Message.decode s with
+         | _ -> true
+         | exception Wire.Malformed _ -> true)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let test_stats_accounting () =
+  let s = Stats.create () in
+  Stats.record_sent s ~bytes:100 ~values:5;
+  Stats.record_received s ~bytes:40 ~values:1;
+  Stats.record_round s;
+  Alcotest.(check int) "sent" 100 (Stats.bytes_sent s);
+  Alcotest.(check int) "received" 40 (Stats.bytes_received s);
+  Alcotest.(check int) "total" 140 (Stats.total_bytes s);
+  Alcotest.(check int) "values" 6 (Stats.total_values s);
+  Alcotest.(check int) "rounds" 1 (Stats.rounds s);
+  Alcotest.(check int) "messages" 2 (Stats.messages s);
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.total_bytes s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.record_sent a ~bytes:10 ~values:1;
+  Stats.record_received b ~bytes:20 ~values:2;
+  Stats.record_round a;
+  Stats.record_round b;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "bytes" 30 (Stats.total_bytes m);
+  Alcotest.(check int) "rounds" 2 (Stats.rounds m)
+
+(* --- local channel --------------------------------------------------------- *)
+
+let echo_handler (req : Message.request) : Message.reply =
+  match req with
+  | Message.Reveal_request v -> Message.Reveal_reply v
+  | Message.Hello ->
+    Message.Welcome
+      { n = Bigint.of_int 99; key_bits = 7; series_length = 1; dimension = 1;
+        max_value = 1 }
+  | Message.Bye -> Message.Bye_ack
+  | _ -> Message.Error_reply "unsupported"
+
+let test_local_channel_roundtrip () =
+  let ch = Channel.local echo_handler in
+  (match Channel.request ch (Message.Reveal_request (Bigint.of_int 77)) with
+   | Message.Reveal_reply v -> Alcotest.check eq_bi "echoed" (Bigint.of_int 77) v
+   | _ -> Alcotest.fail "wrong reply");
+  Alcotest.(check bool) "bytes counted" true (Stats.total_bytes (Channel.stats ch) > 0);
+  Alcotest.(check int) "one round" 1 (Stats.rounds (Channel.stats ch));
+  Alcotest.(check bool) "server time measured" true (Channel.server_seconds ch >= 0.0)
+
+let test_local_channel_error_reply () =
+  let ch = Channel.local echo_handler in
+  (match Channel.request ch Message.Phase1_request with
+   | _ -> Alcotest.fail "error reply not raised"
+   | exception Channel.Protocol_error _ -> ())
+
+let test_local_channel_handler_exception () =
+  let ch = Channel.local (fun _ -> failwith "handler blew up") in
+  (match Channel.request ch Message.Hello with
+   | _ -> Alcotest.fail "exception not converted"
+   | exception Channel.Protocol_error m ->
+     Alcotest.(check bool) "mentions failure" true (String.length m > 0))
+
+let test_local_channel_close () =
+  let ch = Channel.local echo_handler in
+  Channel.close ch;
+  (match Channel.request ch Message.Hello with
+   | _ -> Alcotest.fail "closed channel accepted request"
+   | exception Channel.Protocol_error _ -> ())
+
+let test_local_channel_byte_parity () =
+  (* the local channel must account exactly the encoded frame sizes *)
+  let ch = Channel.local echo_handler in
+  let req = Message.Reveal_request (Bigint.of_string "123456789123456789") in
+  ignore (Channel.request ch req);
+  let expected_sent = String.length (Message.encode (Message.Request req)) in
+  Alcotest.(check int) "sent bytes = encoding size" expected_sent
+    (Stats.bytes_sent (Channel.stats ch))
+
+(* --- trace & netsim ---------------------------------------------------------- *)
+
+let test_trace_records_rounds () =
+  let trace = Trace.create () in
+  let ch = Channel.local ~trace echo_handler in
+  for i = 1 to 5 do
+    ignore (Channel.request ch (Message.Reveal_request (Bigint.of_int i)))
+  done;
+  Alcotest.(check int) "rounds" 5 (Trace.rounds trace);
+  Alcotest.(check int) "entries" 5 (List.length (Trace.entries trace));
+  (* trace bytes must equal the stats totals *)
+  Alcotest.(check int) "byte parity" (Stats.total_bytes (Channel.stats ch))
+    (Trace.total_bytes trace);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "positive sizes" true
+        (e.Trace.request_bytes > 0 && e.Trace.reply_bytes > 0))
+    (Trace.entries trace)
+
+let test_netsim_components () =
+  let trace = Trace.create () in
+  Trace.record trace ~request_bytes:1000 ~reply_bytes:500;
+  Trace.record trace ~request_bytes:1000 ~reply_bytes:500;
+  let link = Netsim.link ~rtt_ms:10.0 ~mbit_per_s:8.0 (* = 1e6 bytes/s *) in
+  let e = Netsim.estimate ~link ~compute_seconds:1.0 trace in
+  Alcotest.(check (float 1e-9)) "compute" 1.0 e.Netsim.compute_seconds;
+  Alcotest.(check (float 1e-9)) "latency = 2 x 10ms" 0.02 e.Netsim.latency_seconds;
+  (* 3000 payload + 4 headers x 4 = 3016 bytes at 1e6 B/s *)
+  Alcotest.(check (float 1e-9)) "transfer" 0.003016 e.Netsim.transfer_seconds;
+  Alcotest.(check (float 1e-9)) "total" (1.0 +. 0.02 +. 0.003016) e.Netsim.total_seconds
+
+let test_netsim_monotone_in_rtt () =
+  let trace = Trace.create () in
+  for _ = 1 to 10 do
+    Trace.record trace ~request_bytes:100 ~reply_bytes:100
+  done;
+  let t rtt =
+    (Netsim.estimate
+       ~link:(Netsim.link ~rtt_ms:rtt ~mbit_per_s:100.0)
+       ~compute_seconds:0.5 trace)
+      .Netsim.total_seconds
+  in
+  Alcotest.(check bool) "monotone" true (t 0.1 < t 1.0 && t 1.0 < t 50.0)
+
+let test_netsim_validation () =
+  (match Netsim.link ~rtt_ms:(-1.0) ~mbit_per_s:1.0 with
+   | _ -> Alcotest.fail "negative rtt"
+   | exception Invalid_argument _ -> ());
+  (match Netsim.link ~rtt_ms:1.0 ~mbit_per_s:0.0 with
+   | _ -> Alcotest.fail "zero bandwidth"
+   | exception Invalid_argument _ -> ())
+
+(* --- tcp channel ------------------------------------------------------------ *)
+
+let next_port =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    17820 + !counter
+
+let with_tcp_server handler f =
+  let port = next_port () in
+  let server = Thread.create (fun () -> Channel.serve_once ~port ~handler) () in
+  Thread.delay 0.15;
+  let ch = Channel.connect ~host:"127.0.0.1" ~port in
+  Fun.protect
+    ~finally:(fun () ->
+      Channel.close ch;
+      Thread.join server)
+    (fun () -> f ch)
+
+let test_tcp_roundtrip () =
+  with_tcp_server echo_handler (fun ch ->
+      match Channel.request ch (Message.Reveal_request (Bigint.of_int 5)) with
+      | Message.Reveal_reply v -> Alcotest.check eq_bi "echo over tcp" (Bigint.of_int 5) v
+      | _ -> Alcotest.fail "wrong reply")
+
+let test_tcp_multiple_rounds () =
+  with_tcp_server echo_handler (fun ch ->
+      for i = 1 to 20 do
+        match Channel.request ch (Message.Reveal_request (Bigint.of_int i)) with
+        | Message.Reveal_reply v -> Alcotest.check eq_bi "round" (Bigint.of_int i) v
+        | _ -> Alcotest.fail "wrong reply"
+      done;
+      Alcotest.(check int) "20 rounds" 20 (Stats.rounds (Channel.stats ch)))
+
+let test_tcp_handler_exception_kept_alive () =
+  with_tcp_server
+    (fun req ->
+      match req with
+      | Message.Hello -> failwith "boom"
+      | r -> echo_handler r)
+    (fun ch ->
+      (* first request trips the handler; server must survive and report *)
+      (match Channel.request ch Message.Hello with
+       | _ -> Alcotest.fail "no error"
+       | exception Channel.Protocol_error _ -> ());
+      match Channel.request ch (Message.Reveal_request (Bigint.of_int 3)) with
+      | Message.Reveal_reply v ->
+        Alcotest.check eq_bi "server survived" (Bigint.of_int 3) v
+      | _ -> Alcotest.fail "wrong reply")
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "u8/u32 round-trip" `Quick test_u8_u32_roundtrip;
+          Alcotest.test_case "u8 range checked" `Quick test_u8_range_checked;
+          Alcotest.test_case "truncated read" `Quick test_truncated_read;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
+          Alcotest.test_case "bigint fixed vectors" `Quick test_bigint_wire_fixed;
+          Alcotest.test_case "sign consistency" `Quick test_bigint_sign_consistency_checked;
+          Alcotest.test_case "forged array count" `Quick test_array_count_guard;
+          prop_bigint_wire;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "round-trips" `Quick test_message_roundtrips;
+          Alcotest.test_case "values_in counting" `Quick test_message_values_in;
+          Alcotest.test_case "unknown tag" `Quick test_message_unknown_tag;
+          Alcotest.test_case "trailing garbage" `Quick test_message_trailing_garbage;
+          Alcotest.test_case "truncated frame" `Quick test_message_truncated;
+          prop_decode_fuzz;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "local channel",
+        [
+          Alcotest.test_case "round-trip" `Quick test_local_channel_roundtrip;
+          Alcotest.test_case "error replies raise" `Quick test_local_channel_error_reply;
+          Alcotest.test_case "handler exceptions converted" `Quick
+            test_local_channel_handler_exception;
+          Alcotest.test_case "close" `Quick test_local_channel_close;
+          Alcotest.test_case "byte accounting parity" `Quick test_local_channel_byte_parity;
+        ] );
+      ( "trace & netsim",
+        [
+          Alcotest.test_case "trace records rounds" `Quick test_trace_records_rounds;
+          Alcotest.test_case "estimate components" `Quick test_netsim_components;
+          Alcotest.test_case "monotone in rtt" `Quick test_netsim_monotone_in_rtt;
+          Alcotest.test_case "link validation" `Quick test_netsim_validation;
+        ] );
+      ( "tcp channel",
+        [
+          Alcotest.test_case "round-trip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "many rounds" `Quick test_tcp_multiple_rounds;
+          Alcotest.test_case "handler failure keeps server alive" `Quick
+            test_tcp_handler_exception_kept_alive;
+        ] );
+    ]
