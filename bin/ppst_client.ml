@@ -9,8 +9,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run host port series_file distance k band gap search wavefront seed verbose =
+let run host port series_file distance k band gap search wavefront seed jobs verbose =
   setup_logs verbose;
+  if jobs < 1 then failwith "--jobs must be >= 1";
+  let workers = Ppst_parallel.Pool.create jobs in
   let series = Ppst_timeseries.Csv.load series_file in
   let rng =
     match seed with
@@ -28,8 +30,10 @@ let run host port series_file distance k band gap search wavefront seed verbose 
     | `Euclidean | `Subsequence -> `Euclidean
   in
   let client =
-    Ppst.Client.connect ~params ~rng ~series ~max_value ~distance:kind channel
+    Ppst.Client.connect ~params ~workers ~rng ~series ~max_value ~distance:kind
+      channel
   in
+  Ppst.Cost.set_jobs (Ppst.Client.cost client) jobs;
   Logs.info (fun m ->
       m "connected; server series length %d; session %a"
         (Ppst.Client.server_length client)
@@ -94,6 +98,10 @@ let run host port series_file distance k band gap search wavefront seed verbose 
    end);
   let elapsed = Unix.gettimeofday () -. t0 in
   Ppst.Client.finish client;
+  Ppst_parallel.Pool.shutdown workers;
+  (* the server ships its measured handler total in the final Bye_ack *)
+  Printf.printf "server time (reported at close): %.3f s\n"
+    (Ppst_transport.Channel.server_seconds channel);
   Printf.printf "elapsed: %.3f s\n" elapsed;
   Format.printf "communication: %a@." Ppst_transport.Stats.pp
     (Ppst_transport.Channel.stats channel);
@@ -139,12 +147,16 @@ let k =
 let seed =
   Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed (testing only).")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domain worker pool size for Paillier batch work (1 = sequential).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let cmd =
   let doc = "secure time-series similarity client (series X owner, evaluator)" in
   Cmd.v
     (Cmd.info "ppst_client" ~doc)
-    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap $ search $ wavefront $ seed $ verbose)
+    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap $ search $ wavefront $ seed $ jobs $ verbose)
 
 let () = exit (Cmd.eval cmd)

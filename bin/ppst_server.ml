@@ -9,8 +9,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port series_file key_file max_value seed sessions verbose =
+let run port series_file key_file max_value seed sessions jobs verbose =
   setup_logs verbose;
+  if jobs < 1 then failwith "--jobs must be >= 1";
+  let workers = Ppst_parallel.Pool.create jobs in
   (* a CSV with blank-line-separated blocks is served as a multi-record
      database (similarity-search mode); a plain CSV as a single series *)
   let records = Array.of_list (Ppst_timeseries.Csv.load_many series_file) in
@@ -38,24 +40,33 @@ let run port series_file key_file max_value seed sessions verbose =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       let _pk, sk = Ppst_paillier.Paillier.private_key_of_string text in
-      Ppst.Server.create_db_with_key ~sk ~rng ~records ~max_value ()
+      Ppst.Server.create_db_with_key ~workers ~sk ~rng ~records ~max_value ()
     | None ->
       Logs.info (fun m -> m "no --key given; generating a fresh 64-bit key");
-      Ppst.Server.create_db ~rng ~records ~max_value ()
+      Ppst.Server.create_db ~workers ~rng ~records ~max_value ()
   in
   Logs.info (fun m ->
       m "serving %d record(s), dim %d, max value %d, on port %d"
         (Array.length records)
         (Ppst_timeseries.Series.dimension records.(0))
         max_value port);
-  for session = 1 to sessions do
-    Logs.info (fun m -> m "waiting for session %d/%d" session sessions);
-    Ppst_transport.Channel.serve_once ~port ~handler:(Ppst.Server.handler server);
-    let ops = Ppst.Server.ops server in
-    Logs.info (fun m ->
-        m "session %d done: %d encryptions, %d decryptions so far" session
-          ops.Ppst.Cost.encryptions ops.Ppst.Cost.decryptions)
-  done
+  Fun.protect
+    ~finally:(fun () -> Ppst_parallel.Pool.shutdown workers)
+    (fun () ->
+      for session = 1 to sessions do
+        Logs.info (fun m -> m "waiting for session %d/%d" session sessions);
+        (* a misbehaving client (malformed frame, oversized length header)
+           must only cost its own session, never the server process *)
+        (try
+           Ppst_transport.Channel.serve_once ~port
+             ~handler:(Ppst.Server.handler server)
+         with Ppst_transport.Channel.Protocol_error msg ->
+           Logs.warn (fun m -> m "session %d aborted: %s" session msg));
+        let ops = Ppst.Server.ops server in
+        Logs.info (fun m ->
+            m "session %d done: %d encryptions, %d decryptions so far" session
+              ops.Ppst.Cost.encryptions ops.Ppst.Cost.decryptions)
+      done)
 
 let port =
   Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
@@ -75,12 +86,16 @@ let seed =
 let sessions =
   Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc:"Number of sessions to serve before exiting.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domain worker pool size for Paillier batch work (1 = sequential).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let cmd =
   let doc = "secure time-series similarity server (series Y owner, key holder)" in
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
-    Term.(const run $ port $ series_file $ key_file $ max_value $ seed $ sessions $ verbose)
+    Term.(const run $ port $ series_file $ key_file $ max_value $ seed $ sessions $ jobs $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -18,6 +18,7 @@ type t = {
   cost : Cost.t;
   pool : Paillier.randomness_pool;
   offline : bool;
+  workers : Parallel.t;
 }
 
 let session t = t.session
@@ -57,16 +58,23 @@ let timed t phase f =
   result
 
 (* Pooled online encryption: consumes offline-precomputed r^n factors
-   when available (see Paillier.randomness_pool). *)
+   when available (see Paillier.randomness_pool).  Pool misses — online
+   exponentiations that the offline provisioning should have covered —
+   are mirrored into the cost record after every consumption site. *)
+let sync_pool_misses t =
+  Cost.set_pool_misses t.cost (Paillier.pool_misses t.pool)
+
 let encrypt_online t m =
   let client_ops = Cost.client_ops t.cost in
   client_ops.Cost.encryptions <- client_ops.Cost.encryptions + 1;
-  Paillier.encrypt_pooled t.pk t.pool t.rng m
+  let c = Paillier.encrypt_pooled t.pk t.pool t.rng m in
+  sync_pool_misses t;
+  c
 
 let precompute_randomness t count =
   if t.offline && count > 0 then begin
     let t0 = Unix.gettimeofday () in
-    Paillier.pool_refill t.pk t.pool t.rng count;
+    Paillier.pool_refill ~workers:t.workers t.pk t.pool t.rng count;
     Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0)
   end
 
@@ -89,8 +97,8 @@ let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
   Params.plan params ~max_value ~dimension:(Series.dimension series)
     ~client_length:(Series.length series) ~server_length ~modulus ~distance
 
-let connect ?(params = Params.default) ?(offline = true) ~rng ~series ~max_value
-    ~distance channel =
+let connect ?(params = Params.default) ?(offline = true)
+    ?(workers = Parallel.sequential) ~rng ~series ~max_value ~distance channel =
   check_own_bounds series max_value;
   match Channel.request channel Message.Hello with
   | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max } ->
@@ -119,6 +127,7 @@ let connect ?(params = Params.default) ?(offline = true) ~rng ~series ~max_value
       cost = Cost.create ();
       pool = Paillier.pool_create pk;
       offline;
+      workers;
     }
   | _ -> raise (Channel.Protocol_error "expected Welcome after Hello")
 
@@ -184,28 +193,40 @@ let fetch_phase1 t =
 (* Enc(δ²(x, y_j)) = Enc(Σ x²) · Enc(Σ y_j²) · Π_l Enc(y_jl)^(-2 x_l)
    (Section 3.2, Eq. 4).  [enc_x_sumsq] is the client's encryption of its
    own squared norm; it may be reused across a row — it never leaves the
-   client unmasked, and outgoing candidates are re-randomized in Masking. *)
-let cost_against t data ~enc_x_sumsq ~x j =
-  let client_ops = Cost.client_ops t.cost in
-  let acc = ref (Paillier.add t.pk enc_x_sumsq data.server_sumsq.(j)) in
-  client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+   client unmasked, and outgoing candidates are re-randomized in Masking.
+   Pure (no counter updates): rows fan out over the worker pool, with
+   the homomorphic tally taken in bulk by the caller. *)
+let cost_cell pk data ~enc_x_sumsq ~x j =
+  let acc = ref (Paillier.add pk enc_x_sumsq data.server_sumsq.(j)) in
   for l = 0 to Array.length x - 1 do
     let factor =
-      Paillier.scalar_mul t.pk data.server_coords.(j).(l)
+      Paillier.scalar_mul pk data.server_coords.(j).(l)
         (Bigint.of_int (-2 * x.(l)))
     in
-    acc := Paillier.add t.pk !acc factor;
-    client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 2
+    acc := Paillier.add pk !acc factor
   done;
   !acc
 
 let cost_matrix_of t data =
   timed t Cost.Phase1 (fun () ->
-      Array.init (Series.length t.series) (fun i ->
-          let x = Series.get t.series i in
-          let sum_sq = Array.fold_left (fun acc v -> acc + (v * v)) 0 x in
-          let enc_x_sumsq = encrypt_online t (Bigint.of_int sum_sq) in
-          Array.init t.server_length (fun j -> cost_against t data ~enc_x_sumsq ~x j)))
+      let m = Series.length t.series in
+      let d = Series.dimension t.series in
+      (* Row norms are encrypted sequentially first (pool pops and any
+         miss draws happen in row order, independent of the pool size);
+         the scalar_mul-heavy cell evaluations then fan out per row. *)
+      let rows =
+        Array.init m (fun i ->
+            let x = Series.get t.series i in
+            let sum_sq = Array.fold_left (fun acc v -> acc + (v * v)) 0 x in
+            (x, encrypt_online t (Bigint.of_int sum_sq)))
+      in
+      let client_ops = Cost.client_ops t.cost in
+      client_ops.Cost.homomorphic <-
+        client_ops.Cost.homomorphic + (m * t.server_length * (1 + (2 * d)));
+      Parallel.map_array t.workers
+        (fun (x, enc_x_sumsq) ->
+          Array.init t.server_length (fun j -> cost_cell t.pk data ~enc_x_sumsq ~x j))
+        rows)
 
 let fetch_cost_matrix t =
   let data = fetch_phase1 t in
@@ -268,24 +289,47 @@ let round_extreme t phase ~prepare ~request ~unmask inputs =
 (* Wavefront extension: many independent extreme instances in a single
    round trip.  Each instance is masked exactly as in the per-cell round;
    only the message framing changes, so the security argument carries
-   over unchanged. *)
-let batch_extreme t phase ~prepare ~request ~unmask (instances : Paillier.ciphertext array array) =
+   over unchanged.
+
+   Parallel execution: all randomness is consumed sequentially up front —
+   the masking plans (offsets, decoy sources, shuffles), then one
+   rn_source per offset encryption, in a fixed instance-major order.
+   What remains per instance (the owed exponentiations on pool misses,
+   the g^m multiplications, the homomorphic adds) is pure and fans out
+   over the worker pool, so seeded transcripts are bit-identical at any
+   pool size. *)
+let batch_extreme t phase ~extreme ~request ~unmask (instances : Paillier.ciphertext array array) =
   if Array.length instances = 0 then [||]
   else
     timed t phase (fun () ->
-        let prepared =
+        let client_ops = Cost.client_ops t.cost in
+        let planned =
           Array.map
             (fun inputs ->
-              prepare ~encrypt:(encrypt_online t) ~pk:t.pk ~rng:t.rng
-                ~session:t.session inputs)
+              let n_inputs = Array.length inputs in
+              let plan = Masking.plan ~rng:t.rng ~session:t.session ~extreme ~n_inputs in
+              let encs = Masking.plan_encryptions plan ~n_inputs in
+              client_ops.Cost.encryptions <- client_ops.Cost.encryptions + encs;
+              client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + encs;
+              let rns =
+                Array.init encs (fun _ -> Paillier.rn_acquire t.pk t.pool t.rng)
+              in
+              (inputs, plan, rns))
             instances
         in
-        let client_ops = Cost.client_ops t.cost in
-        Array.iter
-          (fun p ->
-            client_ops.Cost.homomorphic <-
-              client_ops.Cost.homomorphic + Array.length p.Masking.candidates)
-          prepared;
+        sync_pool_misses t;
+        let prepared =
+          Parallel.map_array t.workers
+            (fun (inputs, plan, rns) ->
+              let next = ref 0 in
+              let encrypt m =
+                let rn = Paillier.rn_realize t.pk rns.(!next) in
+                incr next;
+                Paillier.encrypt_with_rn t.pk ~rn m
+              in
+              Masking.apply_plan ~encrypt ~pk:t.pk plan inputs)
+            planned
+        in
         let payload =
           Array.map
             (fun p -> Array.map Paillier.ciphertext_to_bigint p.Masking.candidates)
@@ -303,14 +347,12 @@ let batch_extreme t phase ~prepare ~request ~unmask (instances : Paillier.cipher
         | _ -> raise (Channel.Protocol_error "expected Batch_cipher_reply"))
 
 let secure_min_batch t instances =
-  batch_extreme t Cost.Phase2
-    ~prepare:(fun ~encrypt -> Masking.prepare_min ~encrypt)
+  batch_extreme t Cost.Phase2 ~extreme:`Min
     ~request:(fun p -> Message.Batch_min_request p)
     ~unmask:Masking.unmask_min instances
 
 let secure_max_batch t instances =
-  batch_extreme t Cost.Phase3
-    ~prepare:(fun ~encrypt -> Masking.prepare_max ~encrypt)
+  batch_extreme t Cost.Phase3 ~extreme:`Max
     ~request:(fun p -> Message.Batch_max_request p)
     ~unmask:Masking.unmask_max instances
 

@@ -18,6 +18,7 @@ type distance_kind = [ `Dtw | `Dfd | `Erp | `Euclidean ]
 val connect :
   ?params:Params.t ->
   ?offline:bool ->
+  ?workers:Parallel.t ->
   rng:Secure_rng.t ->
   series:Series.t ->
   max_value:int ->
@@ -35,6 +36,12 @@ val connect :
     per masked round drops to modular multiplications — the natural mode
     for the paper's weak-client setting.  Offline time is accounted
     separately in {!Cost.client_offline_seconds}.
+
+    [workers] (default sequential) fans the client's embarrassingly
+    parallel work — pool refills, cost-matrix rows, masked-candidate
+    preparation — out over a Domain pool.  All randomness (rng draws and
+    pool pops) is consumed sequentially before each fan-out, so a seeded
+    session produces bit-identical transcripts at any pool size.
     @raise Incompatible on dimension mismatch
     @raise Params.Insecure when no safe [γ] exists for the negotiated
     key and series sizes. *)

@@ -14,6 +14,8 @@ type t = {
   client_time : float array;
   server_time : float array;
   mutable client_offline : float;
+  mutable jobs : int;
+  mutable pool_misses : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     client_time = Array.make 3 0.0;
     server_time = Array.make 3 0.0;
     client_offline = 0.0;
+    jobs = 1;
+    pool_misses = 0;
   }
 
 let index = function Phase1 -> 0 | Phase2 -> 1 | Phase3 -> 2
@@ -40,6 +44,12 @@ let sum = Array.fold_left ( +. ) 0.0
 
 let add_client_offline t dt = t.client_offline <- t.client_offline +. dt
 let client_offline_seconds t = t.client_offline
+
+let set_jobs t jobs = t.jobs <- jobs
+let jobs t = t.jobs
+
+let set_pool_misses t misses = t.pool_misses <- misses
+let pool_misses t = t.pool_misses
 
 let client_total_seconds t = sum t.client_time
 let server_total_seconds t = sum t.server_time
@@ -64,6 +74,8 @@ let merge a b =
     client_time = Array.init 3 (fun i -> a.client_time.(i) +. b.client_time.(i));
     server_time = Array.init 3 (fun i -> a.server_time.(i) +. b.server_time.(i));
     client_offline = a.client_offline +. b.client_offline;
+    jobs = Stdlib.max a.jobs b.jobs;
+    pool_misses = a.pool_misses + b.pool_misses;
   }
 
 let pp_ops fmt o =
@@ -71,7 +83,8 @@ let pp_ops fmt o =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>client: %a, online %.3fs (p1 %.3f, p2 %.3f, p3 %.3f), offline %.3fs@,server: %a, time %.3fs (p1 %.3f, p2 %.3f, p3 %.3f)@]"
+    "@[<v>client: %a, online %.3fs (p1 %.3f, p2 %.3f, p3 %.3f), offline %.3fs, pool misses %d@,server: %a, time %.3fs (p1 %.3f, p2 %.3f, p3 %.3f)@,jobs: %d@]"
     pp_ops t.client (client_total_seconds t) t.client_time.(0) t.client_time.(1)
-    t.client_time.(2) t.client_offline pp_ops t.server (server_total_seconds t)
-    t.server_time.(0) t.server_time.(1) t.server_time.(2)
+    t.client_time.(2) t.client_offline t.pool_misses pp_ops t.server
+    (server_total_seconds t) t.server_time.(0) t.server_time.(1) t.server_time.(2)
+    t.jobs

@@ -40,5 +40,21 @@ val total_seconds : t -> float
 (** Everything: both parties' online time plus the client's offline
     precomputation. *)
 
+val set_jobs : t -> int -> unit
+(** Record the worker-pool size the run executed with (default 1). *)
+
+val jobs : t -> int
+
+val set_pool_misses : t -> int -> unit
+(** Record the client's randomness-pool miss count — encryptions that
+    paid an {e online} [r^n] exponentiation because the offline pool was
+    empty.  A correctly provisioned offline run reports 0; the
+    offline/online cost-split experiments assert this. *)
+
+val pool_misses : t -> int
+
 val merge : t -> t -> t
+(** Counters and times add; [jobs] takes the maximum; [pool_misses]
+    add. *)
+
 val pp : Format.formatter -> t -> unit

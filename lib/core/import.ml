@@ -8,6 +8,7 @@ module Secure_rng = Ppst_rng.Secure_rng
 module Paillier = Ppst_paillier.Paillier
 module Series = Ppst_timeseries.Series
 module Distance = Ppst_timeseries.Distance
+module Parallel = Ppst_parallel.Pool
 module Message = Ppst_transport.Message
 module Channel = Ppst_transport.Channel
 module Stats = Ppst_transport.Stats

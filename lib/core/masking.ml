@@ -22,10 +22,21 @@ let draw_offsets ~rng ~session ~count =
   Array.sort Bigint.compare offsets;
   offsets
 
-let prepare ?encrypt ~extreme ~pk ~rng ~session (inputs : Paillier.ciphertext array) =
-  if Array.length inputs = 0 then invalid_arg "Masking.prepare: no inputs";
+(* The candidate construction split in two: [plan] performs every rng
+   draw (offsets, decoy sources, shuffle permutation) — stateful,
+   sequential — while [apply_plan] performs the encryptions and
+   homomorphic adds — pure given an encryptor, so instances can fan out
+   over a Domain pool without the worker count touching the rng stream. *)
+type plan = {
+  pivot : Bigint.t;
+  decoy_offsets : Bigint.t array;
+  decoy_sources : int array;  (** index into the inputs, per decoy *)
+  perm : int array;  (** shuffled identity over all candidates *)
+}
+
+let plan ~rng ~session ~extreme ~n_inputs =
+  if n_inputs = 0 then invalid_arg "Masking.plan: no inputs";
   let module S = Ppst_rng.Secure_rng in
-  let encrypt = match encrypt with Some f -> f | None -> Paillier.encrypt pk rng in
   let k = session.Params.params.Params.k in
   let offsets = draw_offsets ~rng ~session ~count:k in
   let pivot, decoy_offsets =
@@ -33,20 +44,31 @@ let prepare ?encrypt ~extreme ~pk ~rng ~session (inputs : Paillier.ciphertext ar
     | `Min -> (offsets.(0), Array.sub offsets 1 (k - 1))
     | `Max -> (offsets.(k - 1), Array.sub offsets 0 (k - 1))
   in
-  (* Masked inputs: every input gets the pivot offset, freshly encrypted
-     so the ciphertext is re-randomized. *)
-  let masked = Array.map (fun c -> Paillier.add pk c (encrypt pivot)) inputs in
-  (* Decoys: a random input plus a non-pivot offset each. *)
+  let decoy_sources = Array.map (fun _ -> S.int rng n_inputs) decoy_offsets in
+  let perm = Array.init (n_inputs + k - 1) Fun.id in
+  S.shuffle_in_place rng perm;
+  { pivot; decoy_offsets; decoy_sources; perm }
+
+let plan_encryptions p ~n_inputs = n_inputs + Array.length p.decoy_offsets
+
+let apply_plan ~encrypt ~pk p (inputs : Paillier.ciphertext array) =
+  (* Encryption order is fixed — pivot per input, then each decoy — so a
+     caller feeding pre-acquired randomness consumes it identically at
+     any pool size. *)
+  let masked = Array.map (fun c -> Paillier.add pk c (encrypt p.pivot)) inputs in
   let decoys =
-    Array.map
-      (fun r ->
-        let source = inputs.(S.int rng (Array.length inputs)) in
-        Paillier.add pk source (encrypt r))
-      decoy_offsets
+    Array.map2
+      (fun source r -> Paillier.add pk inputs.(source) (encrypt r))
+      p.decoy_sources p.decoy_offsets
   in
-  let candidates = Array.append masked decoys in
-  S.shuffle_in_place rng candidates;
-  { candidates; unmask = pivot }
+  let unshuffled = Array.append masked decoys in
+  { candidates = Array.map (fun i -> unshuffled.(i)) p.perm; unmask = p.pivot }
+
+let prepare ?encrypt ~extreme ~pk ~rng ~session (inputs : Paillier.ciphertext array) =
+  if Array.length inputs = 0 then invalid_arg "Masking.prepare: no inputs";
+  let encrypt = match encrypt with Some f -> f | None -> Paillier.encrypt pk rng in
+  let p = plan ~rng ~session ~extreme ~n_inputs:(Array.length inputs) in
+  apply_plan ~encrypt ~pk p inputs
 
 let prepare_min ?encrypt ~pk ~rng ~session inputs =
   prepare ?encrypt ~extreme:`Min ~pk ~rng ~session inputs

@@ -57,3 +57,40 @@ val draw_offsets :
   rng:Ppst_rng.Secure_rng.t -> session:Params.session -> count:int -> Bigint.t array
 (** [count] distinct offsets from [(2^γ, 2^(γ+1)]], sorted ascending.
     Exposed for the leakage simulations and tests. *)
+
+(** {1 Plan / apply split (parallel execution support)}
+
+    {!prepare_min}/{!prepare_max} = {!plan} followed by {!apply_plan}.
+    [plan] performs {e every} rng draw (offsets, decoy source indices,
+    the shuffle permutation); [apply_plan] is pure given its [encrypt]
+    function, calling it in a fixed order (the pivot offset once per
+    input, in input order, then each decoy offset).  The client plans
+    all instances of a batch sequentially, acquires encryption
+    randomness sequentially, and applies the plans on a Domain pool —
+    seeded transcripts are therefore identical at any pool size. *)
+
+type plan = {
+  pivot : Bigint.t;  (** [r_min] (or [r_max]) *)
+  decoy_offsets : Bigint.t array;  (** the [k - 1] non-pivot offsets *)
+  decoy_sources : int array;  (** input index each decoy masks *)
+  perm : int array;  (** shuffled identity over all candidates *)
+}
+
+val plan :
+  rng:Ppst_rng.Secure_rng.t ->
+  session:Params.session ->
+  extreme:[ `Min | `Max ] ->
+  n_inputs:int ->
+  plan
+(** @raise Invalid_argument when [n_inputs] is 0. *)
+
+val plan_encryptions : plan -> n_inputs:int -> int
+(** Number of [encrypt] calls {!apply_plan} will make
+    ([n_inputs + k - 1]). *)
+
+val apply_plan :
+  encrypt:(Bigint.t -> Paillier.ciphertext) ->
+  pk:Paillier.public_key ->
+  plan ->
+  Paillier.ciphertext array ->
+  prepared

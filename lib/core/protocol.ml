@@ -15,11 +15,12 @@ let run : type a.
     distance_kind:Client.distance_kind ->
     runner:(Client.t -> a) ->
     ?params:Params.t -> ?seed:string -> ?max_value:int ->
-    ?decryption:[ `Standard | `Crt ] -> ?offline:bool -> ?trace:Trace.t ->
+    ?decryption:[ `Standard | `Crt ] -> ?offline:bool -> ?jobs:int ->
+    ?trace:Trace.t ->
     x:Series.t -> y:Series.t -> unit ->
     a * Cost.t * Stats.t * Params.session =
  fun ~distance_kind ~runner ?(params = Params.default) ?seed ?max_value
-     ?decryption ?offline ?trace ~x ~y () ->
+     ?decryption ?offline ?(jobs = 1) ?trace ~x ~y () ->
   let rng_of suffix =
     match seed with
     | Some s -> Secure_rng.of_seed_string (s ^ "/" ^ suffix)
@@ -32,68 +33,76 @@ let run : type a.
   let client_max =
     match max_value with Some v -> v | None -> series_bound x
   in
-  let server =
-    Server.create ~params ?decryption ~rng:server_rng ~series:y
-      ~max_value:server_max ()
-  in
-  let channel = Channel.local ?trace (Server.handler server) in
-  let client =
-    Client.connect ~params ?offline ~rng:client_rng ~series:x
-      ~max_value:client_max ~distance:distance_kind channel
-  in
-  let value = runner client in
-  Client.finish client;
-  (* Fold the server's operation counters into the cost record (in a TCP
-     deployment the server reports its own side). *)
-  let cost = Client.cost client in
-  let server_ops = Server.ops server in
-  let merged = Cost.server_ops cost in
-  merged.Cost.encryptions <- merged.Cost.encryptions + server_ops.Cost.encryptions;
-  merged.Cost.decryptions <- merged.Cost.decryptions + server_ops.Cost.decryptions;
-  merged.Cost.homomorphic <- merged.Cost.homomorphic + server_ops.Cost.homomorphic;
-  (value, cost, Channel.stats channel, Client.session client)
+  (* One shared pool: with a local channel both parties run in this
+     process, and their parallel sections never overlap (strict
+     request/reply alternation), so sharing lanes wastes nothing. *)
+  let workers = Parallel.create jobs in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown workers)
+    (fun () ->
+      let server =
+        Server.create ~params ?decryption ~workers ~rng:server_rng ~series:y
+          ~max_value:server_max ()
+      in
+      let channel = Channel.local ?trace (Server.handler server) in
+      let client =
+        Client.connect ~params ?offline ~workers ~rng:client_rng ~series:x
+          ~max_value:client_max ~distance:distance_kind channel
+      in
+      let value = runner client in
+      Client.finish client;
+      (* Fold the server's operation counters into the cost record (in a TCP
+         deployment the server reports its own side). *)
+      let cost = Client.cost client in
+      Cost.set_jobs cost jobs;
+      let server_ops = Server.ops server in
+      let merged = Cost.server_ops cost in
+      merged.Cost.encryptions <- merged.Cost.encryptions + server_ops.Cost.encryptions;
+      merged.Cost.decryptions <- merged.Cost.decryptions + server_ops.Cost.decryptions;
+      merged.Cost.homomorphic <- merged.Cost.homomorphic + server_ops.Cost.homomorphic;
+      (value, cost, Channel.stats channel, Client.session client))
 
 let pack (distance, cost, stats, session) = { distance; cost; stats; session }
 
-let run_dtw ?params ?seed ?max_value ?decryption ?offline ?trace ~x ~y () =
+let run_dtw ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
   pack
     (run ~distance_kind:`Dtw ~runner:Secure_dtw.run ?params ?seed ?max_value
-       ?decryption ?offline ?trace ~x ~y ())
+       ?decryption ?offline ?jobs ?trace ~x ~y ())
 
-let run_dfd ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+let run_dfd ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   pack
     (run ~distance_kind:`Dfd ~runner:Secure_dfd.run ?params ?seed ?max_value
-       ?decryption ?offline ~x ~y ())
+       ?decryption ?offline ?jobs ~x ~y ())
 
-let run_erp ?params ?seed ?max_value ?decryption ?offline ~gap ~x ~y () =
+let run_erp ?params ?seed ?max_value ?decryption ?offline ?jobs ~gap ~x ~y () =
   pack
     (run ~distance_kind:`Erp ~runner:(Secure_erp.run ~gap) ?params ?seed ?max_value
-       ?decryption ?offline ~x ~y ())
+       ?decryption ?offline ?jobs ~x ~y ())
 
-let run_dtw_banded ?params ?seed ?max_value ?decryption ?offline ?trace ~band ~x ~y () =
+let run_dtw_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
   pack
     (run ~distance_kind:`Dtw ~runner:(Secure_dtw_banded.run ~band) ?params ?seed
-       ?max_value ?decryption ?offline ?trace ~x ~y ())
+       ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
 
-let run_dfd_banded ?params ?seed ?max_value ?decryption ?offline ?trace ~band ~x ~y () =
+let run_dfd_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
   pack
     (run ~distance_kind:`Dfd ~runner:(Secure_dtw_banded.run_dfd ~band) ?params
-       ?seed ?max_value ?decryption ?offline ?trace ~x ~y ())
+       ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
 
-let run_euclidean ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+let run_euclidean ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   pack
     (run ~distance_kind:`Euclidean ~runner:Secure_euclidean.run ?params ?seed
-       ?max_value ?decryption ?offline ~x ~y ())
+       ?max_value ?decryption ?offline ?jobs ~x ~y ())
 
-let run_dtw_wavefront ?params ?seed ?max_value ?decryption ?offline ?trace ~x ~y () =
+let run_dtw_wavefront ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
   pack
     (run ~distance_kind:`Dtw ~runner:Secure_dtw_wavefront.run_dtw ?params ?seed
-       ?max_value ?decryption ?offline ?trace ~x ~y ())
+       ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
 
-let run_dfd_wavefront ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+let run_dfd_wavefront ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   pack
     (run ~distance_kind:`Dfd ~runner:Secure_dtw_wavefront.run_dfd ?params ?seed
-       ?max_value ?decryption ?offline ~x ~y ())
+       ?max_value ?decryption ?offline ?jobs ~x ~y ())
 
 type windows_result = {
   window_distances : Bigint.t array;
@@ -101,10 +110,10 @@ type windows_result = {
   windows_stats : Stats.t;
 }
 
-let run_subsequence ?params ?seed ?max_value ?decryption ?offline ~x ~y () =
+let run_subsequence ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   let distances, cost, stats, _session =
     run ~distance_kind:`Euclidean ~runner:Secure_euclidean.sliding_windows ?params
-      ?seed ?max_value ?decryption ?offline ~x ~y ()
+      ?seed ?max_value ?decryption ?offline ?jobs ~x ~y ()
   in
   { window_distances = distances; windows_cost = cost; windows_stats = stats }
 

@@ -33,6 +33,7 @@ val run_dtw :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   ?trace:Trace.t ->
   x:Series.t ->
   y:Series.t ->
@@ -44,8 +45,12 @@ val run_dtw :
     advertised coordinate bound (default: the actual maximum of each
     party's series).  [decryption] picks the server's decryption path
     (see {!Server.create}); [offline] toggles the client's randomness
-    precomputation (see {!Client.connect}); [trace] records per-round
-    message sizes for {!Netsim} replay. *)
+    precomputation (see {!Client.connect}); [jobs] (default 1) sizes the
+    Domain worker pool both parties share for their Paillier fan-outs —
+    a seeded run's transcript and revealed distance are bit-identical at
+    any [jobs] value (see {!Client.connect} for the determinism
+    contract); [trace] records per-round message sizes for {!Netsim}
+    replay. *)
 
 val run_dfd :
   ?params:Params.t ->
@@ -53,6 +58,7 @@ val run_dfd :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   x:Series.t ->
   y:Series.t ->
   unit ->
@@ -64,6 +70,7 @@ val run_erp :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   gap:int array ->
   x:Series.t ->
   y:Series.t ->
@@ -77,6 +84,7 @@ val run_dtw_banded :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   ?trace:Trace.t ->
   band:int ->
   x:Series.t ->
@@ -92,6 +100,7 @@ val run_dfd_banded :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   ?trace:Trace.t ->
   band:int ->
   x:Series.t ->
@@ -107,6 +116,7 @@ val run_euclidean :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   x:Series.t ->
   y:Series.t ->
   unit ->
@@ -119,6 +129,7 @@ val run_dtw_wavefront :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   ?trace:Trace.t ->
   x:Series.t ->
   y:Series.t ->
@@ -134,6 +145,7 @@ val run_dfd_wavefront :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   x:Series.t ->
   y:Series.t ->
   unit ->
@@ -151,6 +163,7 @@ val run_subsequence :
   ?max_value:int ->
   ?decryption:[ `Standard | `Crt ] ->
   ?offline:bool ->
+  ?jobs:int ->
   x:Series.t ->
   y:Series.t ->
   unit ->

@@ -1,10 +1,18 @@
 (* Cells of one anti-diagonal: (i, j) with i + j = s, 1 <= i < m,
-   1 <= j < n, ascending in i. *)
+   1 <= j < n, ascending in i.
+
+   The anti-diagonal is both the communication batch (its cells travel in
+   one Batch_min_request) and the parallelism unit: the cells of a
+   diagonal are data-independent, so Client.secure_min_batch fans their
+   masked-candidate preparation out over the session's worker pool, and
+   the server decrypts the whole diagonal's candidates as one flat batch.
+   The fan-out lives in the batch entry points, not here — the wavefront
+   driver only decides what is batched together. *)
 let diagonal_cells ~m ~n s =
   let lo = Stdlib.max 1 (s - (n - 1)) in
   let hi = Stdlib.min (m - 1) (s - 1) in
-  if hi < lo then []
-  else List.init (hi - lo + 1) (fun idx -> (lo + idx, s - (lo + idx)))
+  if hi < lo then [||]
+  else Array.init (hi - lo + 1) (fun idx -> (lo + idx, s - (lo + idx)))
 
 let run_dtw client =
   Client.require_plan client `Dtw;
@@ -23,13 +31,13 @@ let run_dtw client =
   for s = 2 to m + n - 2 do
     let cells = diagonal_cells ~m ~n s in
     let instances =
-      List.map
+      Array.map
         (fun (i, j) ->
           [| matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) |])
         cells
     in
-    let minima = Client.secure_min_batch client (Array.of_list instances) in
-    List.iteri
+    let minima = Client.secure_min_batch client instances in
+    Array.iteri
       (fun idx (i, j) -> matrix.(i).(j) <- Client.add client cost.(i).(j) minima.(idx))
       cells
   done;
@@ -57,16 +65,16 @@ let run_dfd client =
   for s = 2 to m + n - 2 do
     let cells = diagonal_cells ~m ~n s in
     let min_instances =
-      List.map
+      Array.map
         (fun (i, j) ->
           [| matrix.(i - 1).(j - 1); matrix.(i - 1).(j); matrix.(i).(j - 1) |])
         cells
     in
-    let minima = Client.secure_min_batch client (Array.of_list min_instances) in
+    let minima = Client.secure_min_batch client min_instances in
     let max_instances =
-      List.mapi (fun idx (i, j) -> [| cost.(i).(j); minima.(idx) |]) cells
+      Array.mapi (fun idx (i, j) -> [| cost.(i).(j); minima.(idx) |]) cells
     in
-    let maxima = Client.secure_max_batch client (Array.of_list max_instances) in
-    List.iteri (fun idx (i, j) -> matrix.(i).(j) <- maxima.(idx)) cells
+    let maxima = Client.secure_max_batch client max_instances in
+    Array.iteri (fun idx (i, j) -> matrix.(i).(j) <- maxima.(idx)) cells
   done;
   Client.reveal client matrix.(m - 1).(n - 1)

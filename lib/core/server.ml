@@ -10,6 +10,8 @@ type t = {
   mutable reveals : int;
   max_reveals : int option;
   decrypt : Paillier.private_key -> Paillier.ciphertext -> Bigint.t;
+  decryption : [ `Standard | `Crt ];
+  workers : Parallel.t;
 }
 
 let check_bounds series max_value =
@@ -24,8 +26,8 @@ let check_bounds series max_value =
     done
   done
 
-let create_db_with_key ?(decryption = `Standard) ?max_reveals ~sk ~rng ~records
-    ~max_value () =
+let create_db_with_key ?(decryption = `Standard) ?(workers = Parallel.sequential)
+    ?max_reveals ~sk ~rng ~records ~max_value () =
   if Array.length records = 0 then invalid_arg "Server: empty record set";
   let dim = Series.dimension records.(0) in
   Array.iter
@@ -53,19 +55,22 @@ let create_db_with_key ?(decryption = `Standard) ?max_reveals ~sk ~rng ~records
     reveals = 0;
     max_reveals;
     decrypt;
+    decryption;
+    workers;
   }
 
-let create_with_key ?decryption ?max_reveals ~sk ~rng ~series ~max_value () =
-  create_db_with_key ?decryption ?max_reveals ~sk ~rng ~records:[| series |]
+let create_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~series ~max_value () =
+  create_db_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~records:[| series |]
     ~max_value ()
 
-let create_db ?(params = Params.default) ?decryption ?max_reveals ~rng ~records
-    ~max_value () =
+let create_db ?(params = Params.default) ?decryption ?workers ?max_reveals ~rng
+    ~records ~max_value () =
   let _pk, sk = Paillier.keygen ~bits:params.Params.key_bits rng in
-  create_db_with_key ?decryption ?max_reveals ~sk ~rng ~records ~max_value ()
+  create_db_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~records ~max_value ()
 
-let create ?params ?decryption ?max_reveals ~rng ~series ~max_value () =
-  create_db ?params ?decryption ?max_reveals ~rng ~records:[| series |] ~max_value ()
+let create ?params ?decryption ?workers ?max_reveals ~rng ~series ~max_value () =
+  create_db ?params ?decryption ?workers ?max_reveals ~rng ~records:[| series |]
+    ~max_value ()
 
 let public_key t = t.sk.Paillier.public
 let private_key t = t.sk
@@ -75,66 +80,101 @@ let record_count t = Array.length t.records
 let selected t = t.selected
 let active_series t = t.records.(t.selected)
 
+(* Decryption fan-out: the worker count never touches the server's rng
+   stream (decryption is deterministic), so replies are bit-identical at
+   any pool size. *)
+let decrypt_batch t cs =
+  t.ops.decryptions <- t.ops.decryptions + Array.length cs;
+  match t.decryption with
+  | `Standard -> Paillier.decrypt_batch ~workers:t.workers t.sk cs
+  | `Crt -> Paillier.decrypt_crt_batch ~workers:t.workers t.sk cs
+
 (* Phase 1 payload: for every element y_j, Enc(Σ_l y_jl²) and each
-   Enc(y_jl) — the one-way transfer of Section 3.2. *)
+   Enc(y_jl) — the one-way transfer of Section 3.2.  Flattened into one
+   batch so the encryptions fan out; the flat order matches the
+   sequential per-element order, keeping the rng stream unchanged. *)
 let phase1_elements t =
   let pk = public_key t in
   let series = active_series t in
   let d = Series.dimension series in
-  Array.init (Series.length series) (fun j ->
-      let y = Series.get series j in
-      let sum_sq = ref 0 in
-      for l = 0 to d - 1 do
-        sum_sq := !sum_sq + (y.(l) * y.(l))
-      done;
-      t.ops.encryptions <- t.ops.encryptions + d + 1;
+  let n = Series.length series in
+  let plains = Array.make (n * (d + 1)) Bigint.zero in
+  for j = 0 to n - 1 do
+    let y = Series.get series j in
+    let sum_sq = ref 0 in
+    for l = 0 to d - 1 do
+      sum_sq := !sum_sq + (y.(l) * y.(l))
+    done;
+    plains.((j * (d + 1))) <- Bigint.of_int !sum_sq;
+    for l = 0 to d - 1 do
+      plains.((j * (d + 1)) + 1 + l) <- Bigint.of_int y.(l)
+    done
+  done;
+  t.ops.encryptions <- t.ops.encryptions + (n * (d + 1));
+  let encs = Paillier.encrypt_batch ~workers:t.workers pk t.rng plains in
+  Array.init n (fun j ->
       {
-        Message.sum_sq =
-          Paillier.ciphertext_to_bigint
-            (Paillier.encrypt pk t.rng (Bigint.of_int !sum_sq));
+        Message.sum_sq = Paillier.ciphertext_to_bigint encs.(j * (d + 1));
         coords =
-          Array.map
-            (fun v ->
-              Paillier.ciphertext_to_bigint
-                (Paillier.encrypt pk t.rng (Bigint.of_int v)))
-            (Array.map Fun.id y);
+          Array.init d (fun l ->
+              Paillier.ciphertext_to_bigint encs.((j * (d + 1)) + 1 + l));
       })
 
 (* Decrypt every candidate, select by [better], and return a *fresh*
    encryption of the selected plaintext (path hiding, Section 5.5). *)
 exception Bad_candidates of string
 
+let wrap_candidates pk (candidates : Bigint.t array) =
+  if Array.length candidates < 2 then raise (Bad_candidates "need at least two candidates");
+  match Array.map (Paillier.ciphertext_of_bigint pk) candidates with
+  | cs -> cs
+  | exception Paillier.Invalid_plaintext m -> raise (Bad_candidates m)
+
+let fold_better ~better (plains : Bigint.t array) lo len =
+  let best = ref plains.(lo) in
+  for i = lo + 1 to lo + len - 1 do
+    if better plains.(i) !best then best := plains.(i)
+  done;
+  !best
+
 let extreme_of t ~better (candidates : Bigint.t array) =
   let pk = public_key t in
-  if Array.length candidates < 2 then raise (Bad_candidates "need at least two candidates");
-  match
-    Array.map
-      (fun v ->
-        let c = Paillier.ciphertext_of_bigint pk v in
-        t.ops.decryptions <- t.ops.decryptions + 1;
-        t.decrypt t.sk c)
-      candidates
-  with
-  | exception Paillier.Invalid_plaintext m -> raise (Bad_candidates m)
-  | plains ->
-    let extreme =
-      Array.fold_left (fun acc v -> if better v acc then v else acc) plains.(0) plains
-    in
-    t.ops.encryptions <- t.ops.encryptions + 1;
-    Paillier.ciphertext_to_bigint (Paillier.encrypt pk t.rng extreme)
+  let cs = wrap_candidates pk candidates in
+  let plains = decrypt_batch t cs in
+  let extreme = fold_better ~better plains 0 (Array.length plains) in
+  t.ops.encryptions <- t.ops.encryptions + 1;
+  Paillier.ciphertext_to_bigint (Paillier.encrypt pk t.rng extreme)
 
 let select_extreme t ~better candidates =
   match extreme_of t ~better candidates with
   | v -> Message.Cipher_reply v
   | exception Bad_candidates m -> Message.Error_reply m
 
-(* Wavefront extension: many independent instances in one round trip. *)
+(* Wavefront extension: many independent instances in one round trip.
+   All sets are validated up front, decrypted as ONE flat batch (better
+   load balance than per-set fan-out when sets are small), then the
+   per-set extremes are re-encrypted as one batch.  The re-encryption
+   rng draws happen in set order, exactly as the sequential loop's. *)
 let select_extreme_batch t ~better (sets : Bigint.t array array) =
   if Array.length sets = 0 then Message.Error_reply "empty batch"
   else begin
-    match Array.map (extreme_of t ~better) sets with
-    | replies -> Message.Batch_cipher_reply replies
+    let pk = public_key t in
+    match Array.map (wrap_candidates pk) sets with
     | exception Bad_candidates m -> Message.Error_reply m
+    | wrapped ->
+      let flat = Array.concat (Array.to_list wrapped) in
+      let plains = decrypt_batch t flat in
+      let extremes = Array.make (Array.length wrapped) Bigint.zero in
+      let off = ref 0 in
+      Array.iteri
+        (fun s cs ->
+          let len = Array.length cs in
+          extremes.(s) <- fold_better ~better plains !off len;
+          off := !off + len)
+        wrapped;
+      t.ops.encryptions <- t.ops.encryptions + Array.length extremes;
+      let encs = Paillier.encrypt_batch ~workers:t.workers pk t.rng extremes in
+      Message.Batch_cipher_reply (Array.map Paillier.ciphertext_to_bigint encs)
   end
 
 let handle t (req : Message.request) : Message.reply =
@@ -182,6 +222,8 @@ let handle t (req : Message.request) : Message.reply =
         Message.Reveal_reply (t.decrypt t.sk c)
     end
   end
-  | Message.Bye -> Message.Bye_ack
+  (* An in-process server sends 0: Channel.local times the handler
+     itself; TCP servers report via Channel.serve_once instead. *)
+  | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }
 
 let handler = handle

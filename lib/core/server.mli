@@ -15,6 +15,7 @@ type t
 val create :
   ?params:Params.t ->
   ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
   ?max_reveals:int ->
   rng:Secure_rng.t ->
   series:Series.t ->
@@ -30,6 +31,11 @@ val create :
     server-side operation; [`Crt] enables the ~2x-faster CRT decryption —
     an optimization beyond the paper, benchmarked in the ablation suite.
 
+    [workers] (default sequential) fans candidate decryption and phase-1
+    encryption out over a Domain pool.  Replies are bit-identical at any
+    pool size: decryption is deterministic and batch encryption draws
+    its randomness sequentially.
+
     [max_reveals] caps the number of [Reveal_request]s the server will
     answer in this session — the disclosure-control hook the paper's
     "information that is leaked if a client runs many queries" caveat
@@ -39,6 +45,7 @@ val create :
 
 val create_with_key :
   ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
   ?max_reveals:int ->
   sk:Paillier.private_key ->
   rng:Secure_rng.t ->
@@ -60,6 +67,7 @@ val create_with_key :
 val create_db :
   ?params:Params.t ->
   ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
   ?max_reveals:int ->
   rng:Secure_rng.t ->
   records:Series.t array ->
@@ -71,6 +79,7 @@ val create_db :
 
 val create_db_with_key :
   ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
   ?max_reveals:int ->
   sk:Paillier.private_key ->
   rng:Secure_rng.t ->

@@ -173,6 +173,19 @@ let encrypt pk rng m =
   check_plaintext pk m;
   { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) (fresh_rn pk rng) }
 
+(* Batch encryption with the randomness pre-drawn sequentially: the rng
+   is consumed in plaintext order exactly as a loop of [encrypt] calls
+   would, so seeded transcripts do not depend on the worker count.  Only
+   the pure exponentiations fan out. *)
+let encrypt_batch ?(workers = Ppst_parallel.Pool.sequential) pk rng ms =
+  Array.iter (check_plaintext pk) ms;
+  let rs = Array.map (fun _ -> random_unit pk rng) ms in
+  Ppst_parallel.Pool.map_array workers
+    (fun (m, r) ->
+      let rn = Modular.pow_ctx pk.ctx_n2 r pk.n in
+      { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) rn })
+    (Array.map2 (fun m r -> (m, r)) ms rs)
+
 (* Offline/online split (Paillier 1999, Section 6): the expensive factor
    r^n of a ciphertext is independent of the plaintext, so a party can
    precompute a pool of such factors while idle and encrypt online with
@@ -182,30 +195,55 @@ type randomness_pool = {
   pool_n : Bigint.t;
   mutable store : Bigint.t list;
   mutable available : int;
+  mutable misses : int;
 }
 
-let pool_create pk = { pool_n = pk.n; store = []; available = 0 }
+let pool_create pk = { pool_n = pk.n; store = []; available = 0; misses = 0 }
 
 let pool_size pool = pool.available
+let pool_misses pool = pool.misses
 
-let pool_refill pk pool rng count =
+let pool_refill ?(workers = Ppst_parallel.Pool.sequential) pk pool rng count =
   if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
-  for _ = 1 to count do
-    pool.store <- fresh_rn pk rng :: pool.store
-  done;
+  (* Draw the units sequentially (rng order independent of worker count),
+     exponentiate in parallel, then push in draw order — the store ends up
+     exactly as the sequential loop would leave it. *)
+  let rs = Array.init count (fun _ -> random_unit pk rng) in
+  let rns =
+    Ppst_parallel.Pool.map_array workers (fun r -> Modular.pow_ctx pk.ctx_n2 r pk.n) rs
+  in
+  Array.iter (fun rn -> pool.store <- rn :: pool.store) rns;
   pool.available <- pool.available + count
+
+(* A unit of encryption randomness: either a precomputed [r^n] factor
+   popped from the pool, or — on a pool miss — a raw unit [r] whose
+   exponentiation is still owed.  Splitting acquisition (sequential,
+   consumes rng/pool state) from realization (pure, parallelizable) lets
+   the client fan out its masking encryptions deterministically. *)
+type rn_source = Pooled of Bigint.t | Owed of Bigint.t
+
+let rn_acquire pk pool rng =
+  if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
+  match pool.store with
+  | rn :: rest ->
+    pool.store <- rest;
+    pool.available <- pool.available - 1;
+    Pooled rn
+  | [] ->
+    pool.misses <- pool.misses + 1;
+    Owed (random_unit pk rng)
+
+let rn_realize pk = function
+  | Pooled rn -> rn
+  | Owed r -> Modular.pow_ctx pk.ctx_n2 r pk.n
+
+let encrypt_with_rn pk ~rn m =
+  check_plaintext pk m;
+  { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) rn }
 
 let encrypt_pooled pk pool rng m =
   check_plaintext pk m;
-  if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
-  let rn =
-    match pool.store with
-    | rn :: rest ->
-      pool.store <- rest;
-      pool.available <- pool.available - 1;
-      rn
-    | [] -> fresh_rn pk rng
-  in
+  let rn = rn_realize pk (rn_acquire pk pool rng) in
   { key_n = pk.n; value = Modular.mul_ctx pk.ctx_n2 (g_pow_m pk m) rn }
 
 let encrypt_zero pk rng = encrypt pk rng Bigint.zero
@@ -233,6 +271,15 @@ let decrypt_crt sk c =
   let h = Bigint.erem (Bigint.mul diff sk.p_inv_mod_q) sk.q in
   Bigint.erem (Bigint.add mp (Bigint.mul sk.p h)) pk.n
 
+(* Decryption is pure per ciphertext, so batches fan out unchanged. *)
+let decrypt_batch ?(workers = Ppst_parallel.Pool.sequential) sk cs =
+  Array.iter (check_same_key sk.public) cs;
+  Ppst_parallel.Pool.map_array workers (decrypt sk) cs
+
+let decrypt_crt_batch ?(workers = Ppst_parallel.Pool.sequential) sk cs =
+  Array.iter (check_same_key sk.public) cs;
+  Ppst_parallel.Pool.map_array workers (decrypt_crt sk) cs
+
 let add pk c1 c2 =
   check_same_key pk c1;
   check_same_key pk c2;
@@ -247,6 +294,10 @@ let scalar_mul pk c k =
   check_same_key pk c;
   let k = Bigint.erem k pk.n in
   { key_n = pk.n; value = Modular.pow_ctx pk.ctx_n2 c.value k }
+
+let scalar_mul_batch ?(workers = Ppst_parallel.Pool.sequential) pk cks =
+  Array.iter (fun (c, _) -> check_same_key pk c) cks;
+  Ppst_parallel.Pool.map_array workers (fun (c, k) -> scalar_mul pk c k) cks
 
 let neg pk c = scalar_mul pk c (Bigint.pred pk.n)
 

@@ -86,6 +86,32 @@ val decrypt_crt : private_key -> ciphertext -> Bigint.t
 (** Same result as {!decrypt} but ~4x faster using exponentiation modulo
     [p^2] and [q^2] recombined by CRT. *)
 
+(** {1 Batch entry points}
+
+    Paillier work is embarrassingly parallel per ciphertext.  The batch
+    variants fan the pure exponentiations out over a
+    {!Ppst_parallel.Pool} ([workers], default sequential) while drawing
+    any randomness {e sequentially and in element order} first — a
+    seeded rng therefore advances identically for every pool size, and
+    results are always in input order. *)
+
+val encrypt_batch :
+  ?workers:Ppst_parallel.Pool.t ->
+  public_key -> Ppst_rng.Secure_rng.t -> Bigint.t array -> ciphertext array
+(** Element-wise {!encrypt}; consumes the rng exactly as the equivalent
+    sequential loop would. *)
+
+val decrypt_batch :
+  ?workers:Ppst_parallel.Pool.t -> private_key -> ciphertext array -> Bigint.t array
+
+val decrypt_crt_batch :
+  ?workers:Ppst_parallel.Pool.t -> private_key -> ciphertext array -> Bigint.t array
+
+val scalar_mul_batch :
+  ?workers:Ppst_parallel.Pool.t ->
+  public_key -> (ciphertext * Bigint.t) array -> ciphertext array
+(** Element-wise {!scalar_mul} over (ciphertext, scalar) pairs. *)
+
 val add : public_key -> ciphertext -> ciphertext -> ciphertext
 (** Homomorphic addition: multiply ciphertexts mod [n^2]. *)
 
@@ -122,16 +148,47 @@ type randomness_pool
 val pool_create : public_key -> randomness_pool
 val pool_size : randomness_pool -> int
 
+val pool_misses : randomness_pool -> int
+(** Number of encryptions that found the pool empty and had to pay an
+    {e online} [r^n] exponentiation.  A correctly provisioned offline
+    run keeps this at zero — the cost-split experiments assert it. *)
+
 val pool_refill :
+  ?workers:Ppst_parallel.Pool.t ->
   public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> int -> unit
-(** Precompute [count] more [r^n] factors.
+(** Precompute [count] more [r^n] factors.  The unit draws are
+    sequential; the exponentiations fan out over [workers].
     @raise Key_mismatch if the pool belongs to another key. *)
 
 val encrypt_pooled :
   public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
 (** Like {!encrypt}, consuming one pooled factor; falls back to a fresh
-    exponentiation when the pool is empty.
+    exponentiation when the pool is empty and counts the miss
+    (see {!pool_misses}).
     @raise Invalid_plaintext / @raise Key_mismatch as {!encrypt}. *)
+
+(** {2 Split acquisition}
+
+    [rn_acquire]/[rn_realize] separate the stateful part of pooled
+    encryption (pool pop or rng draw — sequential) from the expensive
+    pure part (the owed exponentiation on a miss — parallelizable).
+    [encrypt_pooled] is [encrypt_with_rn ~rn:(rn_realize pk (rn_acquire
+    pk pool rng))]. *)
+
+type rn_source
+
+val rn_acquire : public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> rn_source
+(** Pop one pooled [r^n] factor, or on an empty pool draw a raw unit
+    [r] (counting a miss) whose exponentiation is owed.
+    @raise Key_mismatch if the pool belongs to another key. *)
+
+val rn_realize : public_key -> rn_source -> Bigint.t
+(** The [r^n] factor itself; pays the owed exponentiation on a miss.
+    Pure — safe inside {!Ppst_parallel.Pool.map_array}. *)
+
+val encrypt_with_rn : public_key -> rn:Bigint.t -> Bigint.t -> ciphertext
+(** [g^m * rn mod n^2] — two multiplications, no rng.
+    @raise Invalid_plaintext as {!encrypt}. *)
 
 (** {1 Signed-value encoding}
 

@@ -19,12 +19,30 @@ let trace t = t.trace
 let server_seconds t = t.server_seconds
 
 (* Frames on the wire: 4-byte big-endian length, then the message bytes.
-   A hard cap guards against forged lengths. *)
-let max_frame = 256 * 1024 * 1024
+   A hard cap guards against forged lengths.  Mutable so tests can
+   exercise the cap without 256 MiB frames. *)
+let max_frame_cap = ref (256 * 1024 * 1024)
+
+let max_frame () = !max_frame_cap
+
+let set_max_frame n =
+  if n < 16 then invalid_arg "Channel.set_max_frame: cap below 16 bytes";
+  max_frame_cap := n
+
+(* Retry a syscall interrupted by a signal (EINTR) — without this, any
+   signal delivered mid-read kills the session with a spurious
+   Protocol_error.  EAGAIN/EWOULDBLOCK are retried too: our sockets are
+   blocking, so these only appear in rare kernel corner cases (e.g.
+   after select wakeups) and mean "try again", never "give up". *)
+let rec retry_on_intr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    retry_on_intr f
 
 let write_frame fd payload =
   let len = String.length payload in
-  if len > max_frame then protocol_error "frame too large: %d bytes" len;
+  if len > !max_frame_cap then protocol_error "frame too large: %d bytes" len;
   (* Header and body go out in one write: separate writes interact with
      Nagle + delayed ACK and add ~40 ms per round trip on loopback. *)
   let frame = Bytes.create (4 + len) in
@@ -35,7 +53,7 @@ let write_frame fd payload =
   Bytes.blit_string payload 0 frame 4 len;
   let rec write_all off remaining =
     if remaining > 0 then begin
-      let n = Unix.write fd frame off remaining in
+      let n = retry_on_intr (fun () -> Unix.write fd frame off remaining) in
       write_all (off + n) (remaining - n)
     end
   in
@@ -46,7 +64,7 @@ let read_exactly fd n =
   let rec go off =
     if off >= n then Some buf
     else begin
-      match Unix.read fd buf off (n - off) with
+      match retry_on_intr (fun () -> Unix.read fd buf off (n - off)) with
       | 0 -> if off = 0 then None else protocol_error "truncated frame (eof mid-frame)"
       | k -> go (off + k)
     end
@@ -59,7 +77,7 @@ let read_frame fd =
   | Some header ->
     let b i = Char.code (Bytes.get header i) in
     let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > max_frame then protocol_error "frame length %d exceeds cap" len;
+    if len > !max_frame_cap then protocol_error "frame length %d exceeds cap" len;
     (match read_exactly fd len with
      | None -> protocol_error "truncated frame (eof in body)"
      | Some body -> Some (Bytes.to_string body))
@@ -125,7 +143,14 @@ let request t req =
 
 let close t =
   if not t.closed then begin
-    (try ignore (request t Message.Bye) with _ -> ());
+    (try
+       match (request t Message.Bye, t.backend) with
+       | Message.Bye_ack { server_seconds }, Tcp _ ->
+         (* The remote server reports its measured handler total in the
+            accounting reply; local channels timed the handler directly. *)
+         t.server_seconds <- t.server_seconds +. server_seconds
+       | _ -> ()
+     with _ -> ());
     t.closed <- true;
     match t.backend with
     | Local _ -> ()
@@ -169,22 +194,30 @@ let serve_once ~port ~handler =
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
+          (* Measure handler time so the client's accounting can include
+             the server side even over TCP: the total is shipped back in
+             the final Bye_ack (see Message.Bye_ack). *)
+          let handler_seconds = ref 0.0 in
+          let timed req =
+            let t0 = Unix.gettimeofday () in
+            let reply = try handler req with e -> Message.Error_reply (Printexc.to_string e) in
+            handler_seconds := !handler_seconds +. (Unix.gettimeofday () -. t0);
+            reply
+          in
           let rec loop () =
             match read_frame fd with
             | None -> ()
             | Some frame ->
               let reply =
                 match Message.decode frame with
-                | Message.Request Message.Bye -> Message.Bye_ack
-                | Message.Request req -> begin
-                  try handler req
-                  with e -> Message.Error_reply (Printexc.to_string e)
-                end
+                | Message.Request Message.Bye ->
+                  Message.Bye_ack { server_seconds = !handler_seconds }
+                | Message.Request req -> timed req
                 | Message.Reply _ -> Message.Error_reply "expected a request"
                 | exception Wire.Malformed m ->
                   Message.Error_reply ("malformed request: " ^ m)
               in
               write_frame fd (Message.encode (Message.Reply reply));
-              if reply <> Message.Bye_ack then loop ()
+              match reply with Message.Bye_ack _ -> () | _ -> loop ()
           in
           loop ()))

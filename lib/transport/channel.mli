@@ -24,8 +24,16 @@ val stats : t -> Stats.t
 val trace : t -> Trace.t option
 
 val server_seconds : t -> float
-(** Wall-clock time spent inside the server handler (local channels) or
-    [0.] when unknown (remote channels report their own). *)
+(** Wall-clock time spent inside the server handler.
+
+    {e Local channels} accumulate it live: after every {!request} the
+    value includes that request's handler time.
+
+    {e TCP channels} cannot observe the remote handler directly, so the
+    value stays [0.] during the session and becomes the server-measured
+    total when {!close} receives the final accounting reply
+    ([Bye_ack { server_seconds }] from {!serve_once}).  Read it after
+    [close]; per-phase attribution is not available remotely. *)
 
 val close : t -> unit
 (** Sends [Bye] (best-effort) and releases resources. *)
@@ -44,9 +52,11 @@ val connect : host:string -> port:int -> t
 val serve_once :
   port:int -> handler:(Message.request -> Message.reply) -> unit
 (** Accept a single connection on [port] and answer requests until [Bye]
-    or EOF.  [Bye] is answered with [Bye_ack] before returning.  Handler
-    exceptions are converted to [Error_reply] frames, keeping the server
-    alive. *)
+    or EOF.  Handler wall-clock time is measured per request and the
+    session total is shipped back in the final
+    [Bye_ack { server_seconds }], so a remote client's accounting can
+    include server cost (see {!server_seconds}).  Handler exceptions are
+    converted to [Error_reply] frames, keeping the server alive. *)
 
 (** {1 Frame I/O (exposed for the server binary and tests)} *)
 
@@ -54,3 +64,18 @@ val write_frame : Unix.file_descr -> string -> unit
 val read_frame : Unix.file_descr -> string option
 (** [None] on clean EOF.
     @raise Protocol_error on truncated frames or oversized lengths. *)
+
+val retry_on_intr : (unit -> 'a) -> 'a
+(** Run a syscall thunk, retrying on [EINTR] (signal mid-syscall) and
+    [EAGAIN]/[EWOULDBLOCK] (spurious wakeup on a blocking socket).  All
+    frame I/O goes through this; exposed for tests. *)
+
+val max_frame : unit -> int
+(** Current frame-size cap (default 256 MiB): both the largest payload
+    {!write_frame} will send and the largest length header
+    {!read_frame} will accept. *)
+
+val set_max_frame : int -> unit
+(** Override the cap (process-wide; tests shrink it to exercise the
+    limit without huge allocations).
+    @raise Invalid_argument below 16 bytes. *)

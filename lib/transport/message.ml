@@ -28,7 +28,7 @@ type reply =
   | Catalog_reply of int array
   | Select_ack of int
   | Batch_cipher_reply of Bigint.t array
-  | Bye_ack
+  | Bye_ack of { server_seconds : float }
   | Error_reply of string
 
 type t = Request of request | Reply of reply
@@ -112,7 +112,9 @@ let encode t =
    | Reply (Batch_cipher_reply replies) ->
      Wire.put_u8 w tag_batch_cipher_reply;
      Wire.put_bigint_array w replies
-   | Reply Bye_ack -> Wire.put_u8 w tag_bye_ack
+   | Reply (Bye_ack { server_seconds }) ->
+     Wire.put_u8 w tag_bye_ack;
+     Wire.put_f64 w server_seconds
    | Reply (Error_reply msg) ->
      Wire.put_u8 w tag_error_reply;
      Wire.put_bytes w msg);
@@ -169,7 +171,8 @@ let decode s =
     else if tag = tag_select_ack then Reply (Select_ack (Wire.get_u32 r))
     else if tag = tag_batch_cipher_reply then
       Reply (Batch_cipher_reply (Wire.get_bigint_array r))
-    else if tag = tag_bye_ack then Reply Bye_ack
+    else if tag = tag_bye_ack then
+      Reply (Bye_ack { server_seconds = Wire.get_f64 r })
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
   in
@@ -199,7 +202,8 @@ let describe = function
   | Reply (Select_ack i) -> Printf.sprintf "select-ack(%d)" i
   | Reply (Batch_cipher_reply replies) ->
     Printf.sprintf "batch-cipher-reply(%d)" (Array.length replies)
-  | Reply Bye_ack -> "bye-ack"
+  | Reply (Bye_ack { server_seconds }) ->
+    Printf.sprintf "bye-ack(server=%.3fs)" server_seconds
   | Reply (Error_reply m) -> Printf.sprintf "error(%s)" m
 
 let values_in = function
@@ -209,7 +213,7 @@ let values_in = function
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
   | Request (Reveal_request _) -> 1
-  | Reply (Welcome _) | Reply Bye_ack | Reply (Error_reply _)
+  | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Error_reply _)
   | Reply (Catalog_reply _) | Reply (Select_ack _) -> 0
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements

@@ -57,7 +57,12 @@ type reply =
   | Batch_cipher_reply of Bigint.t array
       (** One fresh encryption of the extreme per requested instance, in
           request order. *)
-  | Bye_ack
+  | Bye_ack of { server_seconds : float }
+      (** Final accounting reply: total wall-clock time the server spent
+          inside its request handler this session.  A TCP server reports
+          its measured total here (see {!Channel.serve_once}); in-process
+          servers send [0.] because {!Channel.local} times the handler
+          itself. *)
   | Error_reply of string
       (** Typed in-band failure (bad request for session state, malformed
           candidates, ...). *)

@@ -17,6 +17,10 @@ val put_u32 : writer -> int -> unit
 val put_bytes : writer -> string -> unit
 (** Length-prefixed byte string. *)
 
+val put_f64 : writer -> float -> unit
+(** IEEE-754 double as its 8-byte big-endian bit pattern (exact
+    round-trip, NaN included). *)
+
 val put_bigint : writer -> Ppst_bigint.Bigint.t -> unit
 (** Sign byte + length-prefixed magnitude. *)
 
@@ -30,6 +34,7 @@ type reader
 val reader : string -> reader
 val get_u8 : reader -> int
 val get_u32 : reader -> int
+val get_f64 : reader -> float
 val get_bytes : reader -> string
 val get_bigint : reader -> Ppst_bigint.Bigint.t
 val get_bigint_array : reader -> Ppst_bigint.Bigint.t array

@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: full build, the complete test suite, and a sub-second
+# smoke bench that runs one seeded wavefront-DTW session at pool sizes
+# 1 and 4, cross-checks the plaintext distance and asserts the two
+# transcripts are identical (the lib/parallel determinism contract).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- smoke

@@ -356,6 +356,25 @@ let test_cost_counters () =
     server.Ppst.Cost.decryptions;
   Alcotest.(check int) "client never decrypts" 0 client.Ppst.Cost.decryptions
 
+let test_offline_pool_has_no_misses () =
+  (* regression: encrypt_pooled silently fell back to an online
+     exponentiation when the pool ran dry, so "offline" runs could pay
+     online cost without any accounting trace.  The drivers pre-size the
+     pool exactly, so a default (offline) run must never miss... *)
+  let x = Series.of_list [ 1; 2; 3; 4 ] and y = Series.of_list [ 4; 3; 2 ] in
+  let offline = Ppst.Protocol.run_dtw ~seed:"misses-off" ~x ~y () in
+  Alcotest.(check int) "offline run: zero pool misses" 0
+    (Ppst.Cost.pool_misses offline.Ppst.Protocol.cost);
+  (* ...while with the pool disabled every client encryption is a miss
+     (i.e. an online exponentiation), and the counter says exactly that *)
+  let online = Ppst.Protocol.run_dtw ~offline:false ~seed:"misses-on" ~x ~y () in
+  let client_encs =
+    (Ppst.Cost.client_ops online.Ppst.Protocol.cost).Ppst.Cost.encryptions
+  in
+  Alcotest.(check int) "online run: every encryption misses" client_encs
+    (Ppst.Cost.pool_misses online.Ppst.Protocol.cost);
+  Alcotest.(check bool) "counter is live" true (client_encs > 0)
+
 let test_dfd_costs_more_than_dtw () =
   let x = Series.of_list [ 1; 9; 2; 8; 3; 7 ] and y = Series.of_list [ 9; 1; 8; 2; 7 ] in
   let dtw = run_dtw ~seed:"cmp1" x y and dfd = run_dfd ~seed:"cmp2" x y in
@@ -517,7 +536,7 @@ let test_reveal_budget_enforced () =
 
 let test_wrong_reply_kind_detected () =
   (* a server that answers Hello with Bye_ack must trip the client *)
-  let channel = Channel.local (fun _ -> Message.Bye_ack) in
+  let channel = Channel.local (fun _ -> Message.Bye_ack { server_seconds = 0.0 }) in
   (match
      Ppst.Client.connect
        ~rng:(Secure_rng.of_seed_string "wrong-reply")
@@ -576,6 +595,8 @@ let () =
             test_communication_formula_dfd;
           Alcotest.test_case "paper d+k+4 per entry" `Quick test_paper_per_entry_formula;
           Alcotest.test_case "operation counters" `Quick test_cost_counters;
+          Alcotest.test_case "offline pool never misses" `Quick
+            test_offline_pool_has_no_misses;
           Alcotest.test_case "DFD costs ~2x DTW" `Quick test_dfd_costs_more_than_dtw;
         ] );
       ( "hiding",

@@ -125,7 +125,7 @@ let sample_messages =
     Message.Reply (Message.Reveal_reply (b "3"));
     Message.Reply (Message.Catalog_reply [| 10; 20; 30 |]);
     Message.Reply (Message.Select_ack 2);
-    Message.Reply Message.Bye_ack;
+    Message.Reply (Message.Bye_ack { server_seconds = 1.25 });
     Message.Reply (Message.Error_reply "something went wrong");
   ]
 
@@ -223,7 +223,7 @@ let echo_handler (req : Message.request) : Message.reply =
     Message.Welcome
       { n = Bigint.of_int 99; key_bits = 7; series_length = 1; dimension = 1;
         max_value = 1 }
-  | Message.Bye -> Message.Bye_ack
+  | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }
   | _ -> Message.Error_reply "unsupported"
 
 let test_local_channel_roundtrip () =
@@ -316,6 +316,104 @@ let test_netsim_validation () =
    | _ -> Alcotest.fail "zero bandwidth"
    | exception Invalid_argument _ -> ())
 
+(* --- frame I/O edge cases ---------------------------------------------------- *)
+
+let with_max_frame cap f =
+  let old = Channel.max_frame () in
+  Channel.set_max_frame cap;
+  Fun.protect ~finally:(fun () -> Channel.set_max_frame old) f
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ()))
+    (fun () -> f r w)
+
+let test_retry_on_intr () =
+  let calls = ref 0 in
+  let v =
+    Channel.retry_on_intr (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+        else 42)
+  in
+  Alcotest.(check int) "result after retries" 42 v;
+  Alcotest.(check int) "three attempts" 3 !calls
+
+let test_retry_on_eagain () =
+  let calls = ref 0 in
+  let v =
+    Channel.retry_on_intr (fun () ->
+        incr calls;
+        match !calls with
+        | 1 -> raise (Unix.Unix_error (Unix.EAGAIN, "read", ""))
+        | 2 -> raise (Unix.Unix_error (Unix.EWOULDBLOCK, "read", ""))
+        | n -> n)
+  in
+  Alcotest.(check int) "result" 3 v
+
+let test_retry_other_errors_propagate () =
+  let exn = Unix.Unix_error (Unix.ECONNRESET, "read", "") in
+  Alcotest.check_raises "ECONNRESET propagates" exn (fun () ->
+      Channel.retry_on_intr (fun () -> raise exn))
+
+let test_max_frame_validation () =
+  (match Channel.set_max_frame 1 with
+   | _ -> Alcotest.fail "tiny cap accepted"
+   | exception Invalid_argument _ -> ());
+  with_max_frame 1024 (fun () ->
+      Alcotest.(check int) "cap readable" 1024 (Channel.max_frame ()))
+
+let test_frame_at_cap_roundtrips () =
+  with_max_frame 64 (fun () ->
+      with_pipe (fun r w ->
+          let payload = String.init 64 (fun i -> Char.chr (i land 0xff)) in
+          Channel.write_frame w payload;
+          match Channel.read_frame r with
+          | Some got -> Alcotest.(check string) "payload" payload got
+          | None -> Alcotest.fail "unexpected EOF"))
+
+let test_frame_over_cap_rejected_on_write () =
+  with_max_frame 64 (fun () ->
+      with_pipe (fun _r w ->
+          match Channel.write_frame w (String.make 65 'x') with
+          | _ -> Alcotest.fail "oversized frame written"
+          | exception Channel.Protocol_error _ -> ()))
+
+let test_forged_length_header_rejected () =
+  with_max_frame 64 (fun () ->
+      with_pipe (fun r w ->
+          (* header claims 65 bytes: one past the cap, must be rejected
+             before any body is read (nothing follows the header) *)
+          ignore (Unix.write_substring w "\000\000\000\065" 0 4);
+          match Channel.read_frame r with
+          | _ -> Alcotest.fail "oversized length accepted"
+          | exception Channel.Protocol_error _ -> ()))
+
+let test_truncated_header_rejected () =
+  with_pipe (fun r w ->
+      ignore (Unix.write_substring w "\000\000" 0 2);
+      Unix.close w;
+      match Channel.read_frame r with
+      | _ -> Alcotest.fail "truncated header accepted"
+      | exception Channel.Protocol_error _ -> ())
+
+let test_truncated_body_rejected () =
+  with_pipe (fun r w ->
+      (* header promises 10 bytes; deliver 3, then EOF *)
+      ignore (Unix.write_substring w "\000\000\000\010abc" 0 7);
+      Unix.close w;
+      match Channel.read_frame r with
+      | _ -> Alcotest.fail "truncated body accepted"
+      | exception Channel.Protocol_error _ -> ())
+
+let test_clean_eof_is_none () =
+  with_pipe (fun r w ->
+      Unix.close w;
+      Alcotest.(check bool) "None on clean EOF" true (Channel.read_frame r = None))
+
 (* --- tcp channel ------------------------------------------------------------ *)
 
 let next_port =
@@ -366,6 +464,28 @@ let test_tcp_handler_exception_kept_alive () =
         Alcotest.check eq_bi "server survived" (Bigint.of_int 3) v
       | _ -> Alcotest.fail "wrong reply")
 
+let test_tcp_server_seconds_reported () =
+  (* regression: TCP used to report 0.0 forever because only the local
+     backend accumulated handler time; serve_once now ships its measured
+     total in the final Bye_ack *)
+  let port = next_port () in
+  let slow_handler req =
+    (match req with Message.Reveal_request _ -> Thread.delay 0.05 | _ -> ());
+    echo_handler req
+  in
+  let server =
+    Thread.create (fun () -> Channel.serve_once ~port ~handler:slow_handler) ()
+  in
+  Thread.delay 0.15;
+  let ch = Channel.connect ~host:"127.0.0.1" ~port in
+  ignore (Channel.request ch (Message.Reveal_request (Bigint.of_int 1)));
+  Alcotest.(check (float 0.0)) "0 during the session" 0.0
+    (Channel.server_seconds ch);
+  Channel.close ch;
+  Thread.join server;
+  Alcotest.(check bool) "handler time reported at close" true
+    (Channel.server_seconds ch >= 0.05)
+
 let () =
   Alcotest.run "transport"
     [
@@ -410,11 +530,34 @@ let () =
           Alcotest.test_case "monotone in rtt" `Quick test_netsim_monotone_in_rtt;
           Alcotest.test_case "link validation" `Quick test_netsim_validation;
         ] );
+      ( "framing",
+        [
+          Alcotest.test_case "retry on EINTR" `Quick test_retry_on_intr;
+          Alcotest.test_case "retry on EAGAIN/EWOULDBLOCK" `Quick
+            test_retry_on_eagain;
+          Alcotest.test_case "other errors propagate" `Quick
+            test_retry_other_errors_propagate;
+          Alcotest.test_case "max_frame validation" `Quick
+            test_max_frame_validation;
+          Alcotest.test_case "frame at cap round-trips" `Quick
+            test_frame_at_cap_roundtrips;
+          Alcotest.test_case "over-cap write rejected" `Quick
+            test_frame_over_cap_rejected_on_write;
+          Alcotest.test_case "forged length header rejected" `Quick
+            test_forged_length_header_rejected;
+          Alcotest.test_case "truncated header rejected" `Quick
+            test_truncated_header_rejected;
+          Alcotest.test_case "truncated body rejected" `Quick
+            test_truncated_body_rejected;
+          Alcotest.test_case "clean EOF is None" `Quick test_clean_eof_is_none;
+        ] );
       ( "tcp channel",
         [
           Alcotest.test_case "round-trip" `Quick test_tcp_roundtrip;
           Alcotest.test_case "many rounds" `Quick test_tcp_multiple_rounds;
           Alcotest.test_case "handler failure keeps server alive" `Quick
             test_tcp_handler_exception_kept_alive;
+          Alcotest.test_case "server_seconds over TCP" `Quick
+            test_tcp_server_seconds_reported;
         ] );
     ]
