@@ -21,7 +21,7 @@ let run host port series_file distance k band gap search wavefront seed jobs ver
   in
   let params = Ppst.Params.make ~k () in
   let max_value = Stdlib.max 1 (Ppst_timeseries.Series.max_abs_value series) in
-  let channel = Ppst_transport.Channel.connect ~host ~port in
+  let channel = Ppst_transport.Channel.connect ~host ~port () in
   let kind : Ppst.Client.distance_kind =
     match distance with
     | `Dtw -> `Dtw
@@ -30,8 +30,15 @@ let run host port series_file distance k band gap search wavefront seed jobs ver
     | `Euclidean | `Subsequence -> `Euclidean
   in
   let client =
-    Ppst.Client.connect ~params ~workers ~rng ~series ~max_value ~distance:kind
-      channel
+    (* a server at --max-sessions capacity answers the opening Hello with
+       a Busy frame carrying a backoff hint *)
+    try
+      Ppst.Client.connect ~params ~workers ~rng ~series ~max_value
+        ~distance:kind channel
+    with Ppst_transport.Channel.Busy { retry_after_s } ->
+      Logs.err (fun m ->
+          m "server is at capacity; retry in %.1f s" retry_after_s);
+      exit 75 (* EX_TEMPFAIL, as sysexits.h calls it *)
   in
   Ppst.Cost.set_jobs (Ppst.Client.cost client) jobs;
   Logs.info (fun m ->

@@ -1,6 +1,7 @@
 (* The server party over TCP: owns a time series (CSV) and the Paillier
-   secret key, answers one protocol session per invocation (use a shell
-   loop or --sessions for more). *)
+   secret key, and serves many concurrent protocol sessions through
+   Ppst_transport.Server_loop.  SIGINT/SIGTERM drain in-flight sessions
+   and print merged accounting before exit. *)
 
 open Cmdliner
 
@@ -9,17 +10,19 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port series_file key_file max_value seed sessions jobs verbose =
+let run port series_file key_file max_value seed sessions concurrency
+    idle_timeout deadline jobs verbose =
   setup_logs verbose;
   if jobs < 1 then failwith "--jobs must be >= 1";
-  let workers = Ppst_parallel.Pool.create jobs in
+  if concurrency < 1 then failwith "--concurrency must be >= 1";
+  if sessions < 0 then failwith "--sessions must be >= 0";
   (* a CSV with blank-line-separated blocks is served as a multi-record
      database (similarity-search mode); a plain CSV as a single series *)
   let records = Array.of_list (Ppst_timeseries.Csv.load_many series_file) in
   if Array.length records = 0 then failwith "no series in input file";
-  let rng =
+  let rng_of suffix =
     match seed with
-    | Some s -> Ppst_rng.Secure_rng.of_seed_string s
+    | Some s -> Ppst_rng.Secure_rng.of_seed_string (s ^ suffix)
     | None -> Ppst_rng.Secure_rng.system ()
   in
   let max_value =
@@ -30,7 +33,9 @@ let run port series_file key_file max_value seed sessions jobs verbose =
         (fun acc s -> Stdlib.max acc (Ppst_timeseries.Series.max_abs_value s))
         1 records
   in
-  let server =
+  (* One key for the whole process; every session gets its own Server.t
+     (its own record selection, counters and rng stream) sharing it. *)
+  let sk =
     match key_file with
     | Some path ->
       let ic = open_in path in
@@ -40,36 +45,118 @@ let run port series_file key_file max_value seed sessions jobs verbose =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       let _pk, sk = Ppst_paillier.Paillier.private_key_of_string text in
-      Ppst.Server.create_db_with_key ~workers ~sk ~rng ~records ~max_value ()
+      sk
     | None ->
-      Logs.info (fun m -> m "no --key given; generating a fresh 64-bit key");
-      Ppst.Server.create_db ~workers ~rng ~records ~max_value ()
+      let bits = Ppst.Params.default.Ppst.Params.key_bits in
+      Logs.info (fun m -> m "no --key given; generating a fresh %d-bit key" bits);
+      let _pk, sk = Ppst_paillier.Paillier.keygen ~bits (rng_of "/keygen") in
+      sk
   in
+  (* The Domain pool has one work queue: safe to share only when a single
+     session runs at a time.  Under real concurrency each session computes
+     sequentially and the parallelism comes from the sessions themselves. *)
+  let shared_pool =
+    if concurrency = 1 && jobs > 1 then Some (Ppst_parallel.Pool.create jobs)
+    else begin
+      if jobs > 1 then
+        Logs.warn (fun m ->
+            m "--jobs %d ignored: per-session Domain pools are unsafe at \
+               --concurrency %d (sessions already run in parallel)"
+              jobs concurrency);
+      None
+    end
+  in
+  let total_ops = { Ppst.Cost.encryptions = 0; decryptions = 0; homomorphic = 0 } in
+  let ops_mutex = Mutex.create () in
+  let handler ~id ~peer:_ =
+    let workers =
+      match shared_pool with
+      | Some pool -> pool
+      | None -> Ppst_parallel.Pool.sequential
+    in
+    let server =
+      Ppst.Server.create_db_with_key ~workers ~sk
+        ~rng:(rng_of (Printf.sprintf "/session-%d" id))
+        ~records ~max_value ()
+    in
+    fun req ->
+      let reply = Ppst.Server.handle server req in
+      (match req with
+       | Ppst_transport.Message.Bye ->
+         (* last request of the session: fold this session's counters in *)
+         let ops = Ppst.Server.ops server in
+         Mutex.lock ops_mutex;
+         total_ops.Ppst.Cost.encryptions <-
+           total_ops.Ppst.Cost.encryptions + ops.Ppst.Cost.encryptions;
+         total_ops.Ppst.Cost.decryptions <-
+           total_ops.Ppst.Cost.decryptions + ops.Ppst.Cost.decryptions;
+         total_ops.Ppst.Cost.homomorphic <-
+           total_ops.Ppst.Cost.homomorphic + ops.Ppst.Cost.homomorphic;
+         Mutex.unlock ops_mutex
+       | _ -> ());
+      reply
+  in
+  let on_session_end (s : Ppst_transport.Server_loop.session) =
+    Logs.info (fun m ->
+        m "session %d (%s) ended: %s, %d requests, %.3f s in handler" s.id
+          s.peer
+          (match s.outcome with
+           | Ppst_transport.Server_loop.Completed -> "completed"
+           | Idle_timeout -> "idle timeout"
+           | Deadline_exceeded -> "deadline exceeded"
+           | Client_error msg -> "client error: " ^ msg)
+          s.requests s.handler_seconds)
+  in
+  let config =
+    {
+      Ppst_transport.Server_loop.default_config with
+      max_sessions = concurrency;
+      max_total = (if sessions = 0 then None else Some sessions);
+      idle_timeout_s = idle_timeout;
+      deadline_s = deadline;
+    }
+  in
+  let loop =
+    Ppst_transport.Server_loop.create ~config ~on_session_end ~port ~handler ()
+  in
+  Ppst_transport.Server_loop.install_signal_handlers loop;
   Logs.info (fun m ->
-      m "serving %d record(s), dim %d, max value %d, on port %d"
+      m "serving %d record(s), dim %d, max value %d, on port %d \
+         (concurrency %d%s%s)"
         (Array.length records)
         (Ppst_timeseries.Series.dimension records.(0))
-        max_value port);
+        max_value
+        (Ppst_transport.Server_loop.port loop)
+        concurrency
+        (match idle_timeout with
+         | Some s -> Printf.sprintf ", idle timeout %.1fs" s
+         | None -> "")
+        (match deadline with
+         | Some s -> Printf.sprintf ", deadline %.1fs" s
+         | None -> ""));
   Fun.protect
-    ~finally:(fun () -> Ppst_parallel.Pool.shutdown workers)
-    (fun () ->
-      for session = 1 to sessions do
-        Logs.info (fun m -> m "waiting for session %d/%d" session sessions);
-        (* a misbehaving client (malformed frame, oversized length header)
-           must only cost its own session, never the server process *)
-        (try
-           Ppst_transport.Channel.serve_once ~port
-             ~handler:(Ppst.Server.handler server)
-         with Ppst_transport.Channel.Protocol_error msg ->
-           Logs.warn (fun m -> m "session %d aborted: %s" session msg));
-        let ops = Ppst.Server.ops server in
-        Logs.info (fun m ->
-            m "session %d done: %d encryptions, %d decryptions so far" session
-              ops.Ppst.Cost.encryptions ops.Ppst.Cost.decryptions)
-      done)
+    ~finally:(fun () ->
+      match shared_pool with
+      | Some pool -> Ppst_parallel.Pool.shutdown pool
+      | None -> ())
+    (fun () -> Ppst_transport.Server_loop.run loop);
+  Logs.info (fun m ->
+      m "done: %d session(s) served, %d rejected at capacity"
+        (Ppst_transport.Server_loop.accepted loop)
+        (Ppst_transport.Server_loop.rejected loop));
+  Format.printf "sessions: %d accepted, %d rejected (Busy)@."
+    (Ppst_transport.Server_loop.accepted loop)
+    (Ppst_transport.Server_loop.rejected loop);
+  Format.printf "handler time (all sessions): %.3f s@."
+    (Ppst_transport.Server_loop.handler_seconds_total loop);
+  Format.printf "crypto ops: %d encryptions, %d decryptions, %d homomorphic@."
+    total_ops.Ppst.Cost.encryptions total_ops.Ppst.Cost.decryptions
+    total_ops.Ppst.Cost.homomorphic;
+  Format.printf "communication (all sessions): %a@." Ppst_transport.Stats.pp
+    (Ppst_transport.Server_loop.stats loop)
 
 let port =
-  Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 picks an ephemeral port).")
 
 let series_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv" ~doc:"Server time series (CSV, one element per row).")
@@ -84,11 +171,24 @@ let seed =
   Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic randomness seed (testing only).")
 
 let sessions =
-  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc:"Number of sessions to serve before exiting.")
+  Arg.(value & opt int 0 & info [ "sessions" ] ~docv:"N"
+         ~doc:"Total sessions to serve before exiting (0 = until SIGINT/SIGTERM).")
+
+let concurrency =
+  Arg.(value & opt int 4 & info [ "concurrency"; "max-sessions" ] ~docv:"N"
+         ~doc:"Concurrent-session capacity; extra clients get a Busy reply with a retry-after hint.")
+
+let idle_timeout =
+  Arg.(value & opt (some float) None & info [ "idle-timeout-s" ] ~docv:"S"
+         ~doc:"Close a session after this many seconds of client silence.")
+
+let deadline =
+  Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"S"
+         ~doc:"Close a session this many seconds after accept, no matter what.")
 
 let jobs =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Domain worker pool size for Paillier batch work (1 = sequential).")
+         ~doc:"Domain worker pool size for Paillier batch work; only honoured at --concurrency 1 (the pool has one work queue).")
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
@@ -96,6 +196,7 @@ let cmd =
   let doc = "secure time-series similarity server (series Y owner, key holder)" in
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
-    Term.(const run $ port $ series_file $ key_file $ max_value $ seed $ sessions $ jobs $ verbose)
+    Term.(const run $ port $ series_file $ key_file $ max_value $ seed
+          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -17,8 +17,10 @@ let () =
 
   (* One call runs the whole protocol: key generation at the server,
      handshake, phase 1 (encrypted squared Euclidean distances), phase 2
-     (masked secure minima for every DP cell), and the joint reveal. *)
-  let result = Ppst.Protocol.run_dtw ~x ~y () in
+     (masked secure minima for every DP cell), and the joint reveal.
+     The spec picks the distance; ~band and ~strategy:`Wavefront are the
+     other knobs. *)
+  let result = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~x ~y () in
 
   Printf.printf "secure DTW distance  = %s\n" (Bigint.to_string result.distance);
   Printf.printf "plaintext reference  = %d\n" (Distance.dtw_sq x y);
@@ -30,6 +32,6 @@ let () =
   Format.printf "masking session: %a@." Ppst.Params.pp_session result.session;
 
   (* The same two lines with the Discrete Frechet Distance: *)
-  let dfd = Ppst.Protocol.run_dfd ~x ~y () in
+  let dfd = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dfd) ~x ~y () in
   Printf.printf "\nsecure DFD distance  = %s\n" (Bigint.to_string dfd.distance);
   Printf.printf "plaintext reference  = %d\n" (Distance.dfd_sq x y)

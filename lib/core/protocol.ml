@@ -11,7 +11,7 @@ let distance_int r = Bigint.to_int_exn r.distance
 
 let series_bound s = Stdlib.max 1 (Series.max_abs_value s)
 
-let run : type a.
+let run_session : type a.
     distance_kind:Client.distance_kind ->
     runner:(Client.t -> a) ->
     ?params:Params.t -> ?seed:string -> ?max_value:int ->
@@ -44,7 +44,7 @@ let run : type a.
         Server.create ~params ?decryption ~workers ~rng:server_rng ~series:y
           ~max_value:server_max ()
       in
-      let channel = Channel.local ?trace (Server.handler server) in
+      let channel = Channel.local ?trace (Server.handle server) in
       let client =
         Client.connect ~params ?offline ~workers ~rng:client_rng ~series:x
           ~max_value:client_max ~distance:distance_kind channel
@@ -64,45 +64,98 @@ let run : type a.
 
 let pack (distance, cost, stats, session) = { distance; cost; stats; session }
 
-let run_dtw ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
-  pack
-    (run ~distance_kind:`Dtw ~runner:Secure_dtw.run ?params ?seed ?max_value
-       ?decryption ?offline ?jobs ?trace ~x ~y ())
+type algo = [ `Dtw | `Dfd | `Erp | `Euclidean ]
+type strategy = [ `Full | `Wavefront ]
 
-let run_dfd ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
-  pack
-    (run ~distance_kind:`Dfd ~runner:Secure_dfd.run ?params ?seed ?max_value
-       ?decryption ?offline ?jobs ~x ~y ())
+type spec = {
+  algo : algo;
+  band : int option;
+  strategy : strategy;
+  gap : int array option;
+}
 
-let run_erp ?params ?seed ?max_value ?decryption ?offline ?jobs ~gap ~x ~y () =
-  pack
-    (run ~distance_kind:`Erp ~runner:(Secure_erp.run ~gap) ?params ?seed ?max_value
-       ?decryption ?offline ?jobs ~x ~y ())
+let spec ?band ?(strategy = `Full) ?gap algo = { algo; band; strategy; gap }
 
-let run_dtw_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
-  pack
-    (run ~distance_kind:`Dtw ~runner:(Secure_dtw_banded.run ~band) ?params ?seed
-       ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
+let algo_name = function
+  | `Dtw -> "`Dtw"
+  | `Dfd -> "`Dfd"
+  | `Erp -> "`Erp"
+  | `Euclidean -> "`Euclidean"
 
-let run_dfd_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
+(* Validation happens here rather than in [spec] so record literals get
+   the same checks as the smart constructor. *)
+let runner_of_spec s : Client.t -> Bigint.t =
+  (match (s.gap, s.algo) with
+   | Some _, (`Dtw | `Dfd | `Euclidean) ->
+     invalid_arg "Protocol.run: gap only applies to `Erp"
+   | None, `Erp -> invalid_arg "Protocol.run: `Erp requires a gap element"
+   | _ -> ());
+  (match (s.band, s.strategy, s.algo) with
+   | Some _, `Wavefront, _ ->
+     invalid_arg "Protocol.run: banded wavefront is not implemented"
+   | Some _, _, (`Erp | `Euclidean) ->
+     invalid_arg
+       (Printf.sprintf "Protocol.run: band does not apply to %s" (algo_name s.algo))
+   | None, `Wavefront, (`Erp | `Euclidean) ->
+     invalid_arg
+       (Printf.sprintf "Protocol.run: wavefront does not apply to %s"
+          (algo_name s.algo))
+   | _ -> ());
+  match (s.algo, s.band, s.strategy) with
+  | `Dtw, Some band, _ -> Secure_dtw_banded.run ~band
+  | `Dtw, None, `Wavefront -> Secure_dtw_wavefront.run_dtw
+  | `Dtw, None, `Full -> Secure_dtw.run
+  | `Dfd, Some band, _ -> Secure_dtw_banded.run_dfd ~band
+  | `Dfd, None, `Wavefront -> Secure_dtw_wavefront.run_dfd
+  | `Dfd, None, `Full -> Secure_dfd.run
+  | `Erp, _, _ ->
+    let gap = Option.get s.gap in
+    Secure_erp.run ~gap
+  | `Euclidean, _, _ -> Secure_euclidean.run
+
+let distance_kind_of_algo : algo -> Client.distance_kind = fun a -> a
+
+let run ~spec:s ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
+  let runner = runner_of_spec s in
   pack
-    (run ~distance_kind:`Dfd ~runner:(Secure_dtw_banded.run_dfd ~band) ?params
+    (run_session ~distance_kind:(distance_kind_of_algo s.algo) ~runner ?params
        ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
 
+(* Legacy entry points: thin wrappers over [run], kept so callers can
+   migrate incrementally.  Each preserves its historical signature
+   (run_dfd & co never took ?trace). *)
+
+let run_dtw ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
+  run ~spec:(spec `Dtw) ?params ?seed ?max_value ?decryption ?offline ?jobs
+    ?trace ~x ~y ()
+
+let run_dfd ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
+  run ~spec:(spec `Dfd) ?params ?seed ?max_value ?decryption ?offline ?jobs ~x
+    ~y ()
+
+let run_erp ?params ?seed ?max_value ?decryption ?offline ?jobs ~gap ~x ~y () =
+  run ~spec:(spec ~gap `Erp) ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~x ~y ()
+
+let run_dtw_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
+  run ~spec:(spec ~band `Dtw) ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ?trace ~x ~y ()
+
+let run_dfd_banded ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~band ~x ~y () =
+  run ~spec:(spec ~band `Dfd) ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ?trace ~x ~y ()
+
 let run_euclidean ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
-  pack
-    (run ~distance_kind:`Euclidean ~runner:Secure_euclidean.run ?params ?seed
-       ?max_value ?decryption ?offline ?jobs ~x ~y ())
+  run ~spec:(spec `Euclidean) ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~x ~y ()
 
 let run_dtw_wavefront ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
-  pack
-    (run ~distance_kind:`Dtw ~runner:Secure_dtw_wavefront.run_dtw ?params ?seed
-       ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
+  run ~spec:(spec ~strategy:`Wavefront `Dtw) ?params ?seed ?max_value
+    ?decryption ?offline ?jobs ?trace ~x ~y ()
 
 let run_dfd_wavefront ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
-  pack
-    (run ~distance_kind:`Dfd ~runner:Secure_dtw_wavefront.run_dfd ?params ?seed
-       ?max_value ?decryption ?offline ?jobs ~x ~y ())
+  run ~spec:(spec ~strategy:`Wavefront `Dfd) ?params ?seed ?max_value
+    ?decryption ?offline ?jobs ~x ~y ()
 
 type windows_result = {
   window_distances : Bigint.t array;
@@ -112,8 +165,8 @@ type windows_result = {
 
 let run_subsequence ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   let distances, cost, stats, _session =
-    run ~distance_kind:`Euclidean ~runner:Secure_euclidean.sliding_windows ?params
-      ?seed ?max_value ?decryption ?offline ?jobs ~x ~y ()
+    run_session ~distance_kind:`Euclidean ~runner:Secure_euclidean.sliding_windows
+      ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y ()
   in
   { window_distances = distances; windows_cost = cost; windows_stats = stats }
 

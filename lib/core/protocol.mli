@@ -6,9 +6,14 @@
     {[
       let x = Series.of_list [3; 4; 5; 4; 6; 7]
       and y = Series.of_list [2; 4; 6; 5; 7] in
-      let r = Protocol.run_dtw ~x ~y () in
+      let r = Protocol.run ~spec:(Protocol.spec `Dtw) ~x ~y () in
       Printf.printf "secure DTW distance = %d\n" (Bigint.to_int_exn r.distance)
     ]}
+
+    {!run} is the single engine entry point; the distance, the optional
+    Sakoe–Chiba band, and the round-trip strategy are picked by a
+    {!spec} value.  The historical per-algorithm [run_*] functions
+    remain as thin wrappers (see {!section-legacy}).
 
     For a real two-machine deployment use the [bin/ppst_server] and
     [bin/ppst_client] executables (TCP), which drive exactly the same
@@ -27,6 +32,77 @@ val distance_int : result -> int
 (** The distance as a native int.
     @raise Failure if it does not fit (cannot happen for valid params). *)
 
+(** {1 The unified engine} *)
+
+type algo = [ `Dtw | `Dfd | `Erp | `Euclidean ]
+(** Which secure distance to evaluate.  Same constructors as
+    {!Client.distance_kind} (an [algo] coerces directly). *)
+
+type strategy = [ `Full | `Wavefront ]
+(** Round-trip strategy.  [`Full] is the paper's cell-at-a-time
+    protocol; [`Wavefront] batches each anti-diagonal into one round
+    trip ([m + n - 3] rounds instead of [(m-1)(n-1)]), with identical
+    results and leakage profile.  Only DTW and DFD have wavefront
+    formulations. *)
+
+type spec = {
+  algo : algo;
+  band : int option;
+      (** Sakoe–Chiba band radius; only meaningful for [`Dtw]/[`Dfd]. *)
+  strategy : strategy;
+  gap : int array option;
+      (** ERP's public gap element; required iff [algo = `Erp]. *)
+}
+(** A full description of the session to run.  Build with {!spec} or as
+    a record literal; either way {!run} validates the combination. *)
+
+val spec : ?band:int -> ?strategy:strategy -> ?gap:int array -> algo -> spec
+(** [spec `Dtw], [spec ~band:5 `Dfd], [spec ~gap:[|0|] `Erp], ...
+    [strategy] defaults to [`Full]. *)
+
+val run :
+  spec:spec ->
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  result
+(** Run one complete secure session described by [spec] between client
+    series [x] and server series [y].
+
+    [seed] makes the run deterministic (tests/benches); omitted, both
+    parties draw from [/dev/urandom].  [max_value] overrides the
+    advertised coordinate bound (default: the actual maximum of each
+    party's series).  [decryption] picks the server's decryption path
+    (see {!Server.create}); [offline] toggles the client's randomness
+    precomputation (see {!Client.connect}); [jobs] (default 1) sizes the
+    Domain worker pool both parties share for their Paillier fan-outs —
+    a seeded run's transcript and revealed distance are bit-identical at
+    any [jobs] value (see {!Client.connect} for the determinism
+    contract); [trace] records per-round message sizes for {!Netsim}
+    replay.
+
+    @raise Invalid_argument on an inconsistent [spec]: [gap] present
+    without [`Erp] or absent with it; [band] with [`Erp]/[`Euclidean]
+    or combined with [`Wavefront]; [`Wavefront] with
+    [`Erp]/[`Euclidean].
+    @raise Secure_dtw_banded.Band_too_narrow when a banded run's band
+    admits no warping path. *)
+
+(** {1:legacy Legacy per-algorithm entry points}
+
+    Thin wrappers over {!run}, one per historical [spec] combination.
+    Deprecated: prefer [run ~spec:(spec ...)]; these remain so existing
+    callers keep compiling and will be removed in a future major
+    version.  Each preserves its historical signature, which is why
+    some lack [?trace]. *)
+
 val run_dtw :
   ?params:Params.t ->
   ?seed:string ->
@@ -39,18 +115,8 @@ val run_dtw :
   y:Series.t ->
   unit ->
   result
-(** Secure DTW between client series [x] and server series [y].
-    [seed] makes the run deterministic (tests/benches); omitted, both
-    parties draw from [/dev/urandom].  [max_value] overrides the
-    advertised coordinate bound (default: the actual maximum of each
-    party's series).  [decryption] picks the server's decryption path
-    (see {!Server.create}); [offline] toggles the client's randomness
-    precomputation (see {!Client.connect}); [jobs] (default 1) sizes the
-    Domain worker pool both parties share for their Paillier fan-outs —
-    a seeded run's transcript and revealed distance are bit-identical at
-    any [jobs] value (see {!Client.connect} for the determinism
-    contract); [trace] records per-round message sizes for {!Netsim}
-    replay. *)
+(** Equivalent to [run ~spec:(spec `Dtw)]; see {!run} for the optional
+    arguments. *)
 
 val run_dfd :
   ?params:Params.t ->

@@ -225,5 +225,3 @@ let handle t (req : Message.request) : Message.reply =
   (* An in-process server sends 0: Channel.local times the handler
      itself; TCP servers report via Channel.serve_once instead. *)
   | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }
-
-let handler = handle

@@ -1,6 +1,34 @@
 exception Protocol_error of string
+exception Busy of { retry_after_s : float }
+exception Timeout
 
 let protocol_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* Frames on the wire: 4-byte big-endian length, then the message bytes.
+   A hard cap guards against forged lengths.  The process-wide ref is
+   only the default for channels created without an explicit [config];
+   every channel carries its own cap (per-channel configuration). *)
+let max_frame_cap = ref (256 * 1024 * 1024)
+
+let max_frame () = !max_frame_cap
+
+let check_cap n =
+  if n < 16 then invalid_arg "Channel: frame cap below 16 bytes"
+
+let set_max_frame n =
+  check_cap n;
+  max_frame_cap := n
+
+type config = { max_frame : int }
+
+let default_config () = { max_frame = !max_frame_cap }
+
+let config ?max_frame () =
+  match max_frame with
+  | None -> default_config ()
+  | Some n ->
+    check_cap n;
+    { max_frame = n }
 
 type backend =
   | Local of (Message.request -> Message.reply)
@@ -8,6 +36,7 @@ type backend =
 
 type t = {
   backend : backend;
+  config : config;
   stats : Stats.t;
   trace : Trace.t option;
   mutable server_seconds : float;
@@ -18,16 +47,15 @@ let stats t = t.stats
 let trace t = t.trace
 let server_seconds t = t.server_seconds
 
-(* Frames on the wire: 4-byte big-endian length, then the message bytes.
-   A hard cap guards against forged lengths.  Mutable so tests can
-   exercise the cap without 256 MiB frames. *)
-let max_frame_cap = ref (256 * 1024 * 1024)
+(* A write to a peer-reset socket must surface as EPIPE (handled by the
+   caller), not as a process-killing SIGPIPE — which is exactly what a
+   client racing a server-side timeout close would otherwise get.
+   Forced on every socket construction; a no-op where SIGPIPE does not
+   exist. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
 
-let max_frame () = !max_frame_cap
-
-let set_max_frame n =
-  if n < 16 then invalid_arg "Channel.set_max_frame: cap below 16 bytes";
-  max_frame_cap := n
+let setup_sigpipe () = Lazy.force ignore_sigpipe
 
 (* Retry a syscall interrupted by a signal (EINTR) — without this, any
    signal delivered mid-read kills the session with a spurious
@@ -40,9 +68,10 @@ let rec retry_on_intr f =
   | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     retry_on_intr f
 
-let write_frame fd payload =
+let write_frame ?max_frame:cap fd payload =
+  let cap = match cap with Some c -> c | None -> !max_frame_cap in
   let len = String.length payload in
-  if len > !max_frame_cap then protocol_error "frame too large: %d bytes" len;
+  if len > cap then protocol_error "frame too large: %d bytes" len;
   (* Header and body go out in one write: separate writes interact with
      Nagle + delayed ACK and add ~40 ms per round trip on loopback. *)
   let frame = Bytes.create (4 + len) in
@@ -59,11 +88,26 @@ let write_frame fd payload =
   in
   write_all 0 (4 + len)
 
-let read_exactly fd n =
+(* Block until [fd] is readable or the absolute monotonic [deadline]
+   passes.  Recomputes the remaining budget after every EINTR wakeup, so
+   a signal storm cannot extend the deadline. *)
+let wait_readable fd deadline =
+  let rec go () =
+    let remaining = deadline -. Monoclock.now () in
+    if remaining <= 0.0 then raise Timeout;
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_exactly ?deadline fd n =
   let buf = Bytes.create n in
   let rec go off =
     if off >= n then Some buf
     else begin
+      (match deadline with Some d -> wait_readable fd d | None -> ());
       match retry_on_intr (fun () -> Unix.read fd buf off (n - off)) with
       | 0 -> if off = 0 then None else protocol_error "truncated frame (eof mid-frame)"
       | k -> go (off + k)
@@ -71,14 +115,15 @@ let read_exactly fd n =
   in
   go 0
 
-let read_frame fd =
-  match read_exactly fd 4 with
+let read_frame ?max_frame:cap ?deadline fd =
+  let cap = match cap with Some c -> c | None -> !max_frame_cap in
+  match read_exactly ?deadline fd 4 with
   | None -> None
   | Some header ->
     let b i = Char.code (Bytes.get header i) in
     let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > !max_frame_cap then protocol_error "frame length %d exceeds cap" len;
-    (match read_exactly fd len with
+    if len > cap then protocol_error "frame length %d exceeds cap" len;
+    (match read_exactly ?deadline fd len with
      | None -> protocol_error "truncated frame (eof in body)"
      | Some body -> Some (Bytes.to_string body))
 
@@ -92,6 +137,7 @@ let check_not_closed t = if t.closed then protocol_error "channel is closed"
 
 let request t req =
   check_not_closed t;
+  let cap = t.config.max_frame in
   let msg = Message.Request req in
   let encoded = Message.encode msg in
   Stats.record_sent t.stats ~bytes:(String.length encoded)
@@ -100,7 +146,10 @@ let request t req =
     match t.backend with
     | Local handler ->
       (* Round-trip through the codec so byte accounting matches a socket
-         run, then time the server-side work separately. *)
+         run (the frame cap included), then time the server-side work
+         separately. *)
+      if String.length encoded > cap then
+        protocol_error "frame too large: %d bytes" (String.length encoded);
       let decoded_req =
         match Message.decode encoded with
         | Message.Request r -> r
@@ -113,6 +162,8 @@ let request t req =
       in
       t.server_seconds <- t.server_seconds +. (Unix.gettimeofday () -. t0);
       let reply_encoded = Message.encode (Message.Reply reply) in
+      if String.length reply_encoded > cap then
+        protocol_error "frame length %d exceeds cap" (String.length reply_encoded);
       Stats.record_received t.stats ~bytes:(String.length reply_encoded)
         ~values:(Message.values_in (Message.Reply reply));
       (match t.trace with
@@ -122,8 +173,8 @@ let request t req =
        | None -> ());
       decode_reply reply_encoded
     | Tcp fd ->
-      write_frame fd encoded;
-      (match read_frame fd with
+      write_frame ~max_frame:cap fd encoded;
+      (match read_frame ~max_frame:cap fd with
        | None -> protocol_error "connection closed by peer"
        | Some frame ->
          let reply = decode_reply frame in
@@ -139,6 +190,7 @@ let request t req =
   Stats.record_round t.stats;
   match reply with
   | Message.Error_reply m -> protocol_error "peer error: %s" m
+  | Message.Busy { retry_after_s } -> raise (Busy { retry_after_s })
   | r -> r
 
 let close t =
@@ -157,16 +209,20 @@ let close t =
     | Tcp fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
   end
 
-let local ?trace handler =
+let make ?config:cfg ?trace backend =
   {
-    backend = Local handler;
+    backend;
+    config = (match cfg with Some c -> c | None -> default_config ());
     stats = Stats.create ();
     trace;
     server_seconds = 0.0;
     closed = false;
   }
 
-let connect ~host ~port =
+let local ?config ?trace handler = make ?config ?trace (Local handler)
+
+let connect ?config ?trace ~host ~port () =
+  Lazy.force ignore_sigpipe;
   let addr =
     match Unix.gethostbyname host with
     | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
@@ -179,9 +235,11 @@ let connect ~host ~port =
    with e ->
      Unix.close fd;
      raise e);
-  { backend = Tcp fd; stats = Stats.create (); trace = None; server_seconds = 0.0; closed = false }
+  make ?config ?trace (Tcp fd)
 
-let serve_once ~port ~handler =
+let serve_once ?config:cfg ~port ~handler () =
+  Lazy.force ignore_sigpipe;
+  let cfg = match cfg with Some c -> c | None -> default_config () in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close listener with Unix.Unix_error _ -> ())
@@ -205,7 +263,7 @@ let serve_once ~port ~handler =
             reply
           in
           let rec loop () =
-            match read_frame fd with
+            match read_frame ~max_frame:cfg.max_frame fd with
             | None -> ()
             | Some frame ->
               let reply =
@@ -217,7 +275,7 @@ let serve_once ~port ~handler =
                 | exception Wire.Malformed m ->
                   Message.Error_reply ("malformed request: " ^ m)
               in
-              write_frame fd (Message.encode (Message.Reply reply));
+              write_frame ~max_frame:cfg.max_frame fd (Message.encode (Message.Reply reply));
               match reply with Message.Bye_ack _ -> () | _ -> loop ()
           in
           loop ()))

@@ -7,17 +7,49 @@
       wire format, so byte counts equal what a socket run would transfer;
       the handler's wall-clock time is accumulated separately, enabling
       per-party timing (paper Figures 6 and 10).
-    - {!connect}/{!serve}: TCP over [Unix], with length-prefixed frames. *)
+    - {!connect}/{!serve_once}: TCP over [Unix], with length-prefixed
+      frames.  {!Server_loop} builds the concurrent multi-session server
+      on the same frame primitives.
+
+    Both constructors take the same optional arguments ([?config],
+    [?trace]); a channel's frame cap is part of its {!config}, not
+    process-global state. *)
 
 exception Protocol_error of string
 (** Raised on an [Error_reply] from the peer or a transport-level
     violation (unexpected reply kind, short read, ...). *)
 
+exception Busy of { retry_after_s : float }
+(** Raised by {!request} when the peer answers with [Message.Busy]: the
+    server is at its concurrent-session capacity.  [retry_after_s] is
+    the server's backoff hint. *)
+
+exception Timeout
+(** Raised by {!read_frame} when its [?deadline] passes before a full
+    frame arrives. *)
+
+(** {1 Per-channel configuration} *)
+
+type config = {
+  max_frame : int;
+      (** Largest frame this channel will send or accept (bytes). *)
+}
+
+val config : ?max_frame:int -> unit -> config
+(** Build a configuration; omitted fields take the process defaults
+    ({!max_frame} for the frame cap).
+    @raise Invalid_argument on a cap below 16 bytes. *)
+
+val default_config : unit -> config
+(** The configuration channels get when none is supplied: the current
+    process-wide defaults. *)
+
 type t
 
 val request : t -> Message.request -> Message.reply
 (** One round trip.  Accounting is updated on both directions.
-    @raise Protocol_error when the peer signals an error. *)
+    @raise Protocol_error when the peer signals an error.
+    @raise Busy when the peer rejects the session at capacity. *)
 
 val stats : t -> Stats.t
 
@@ -32,7 +64,7 @@ val server_seconds : t -> float
     {e TCP channels} cannot observe the remote handler directly, so the
     value stays [0.] during the session and becomes the server-measured
     total when {!close} receives the final accounting reply
-    ([Bye_ack { server_seconds }] from {!serve_once}).  Read it after
+    ([Bye_ack { server_seconds }] from the server).  Read it after
     [close]; per-phase attribution is not available remotely. *)
 
 val close : t -> unit
@@ -40,30 +72,51 @@ val close : t -> unit
 
 (** {1 In-process} *)
 
-val local : ?trace:Trace.t -> (Message.request -> Message.reply) -> t
-(** [?trace] records every request/reply pair's byte sizes for
-    {!Netsim} replay. *)
+val local : ?config:config -> ?trace:Trace.t -> (Message.request -> Message.reply) -> t
+(** [?config] applies the per-channel frame cap to the encoded messages
+    (byte parity with a socket run includes the cap); [?trace] records
+    every request/reply pair's byte sizes for {!Netsim} replay. *)
 
 (** {1 TCP} *)
 
-val connect : host:string -> port:int -> t
-(** @raise Unix.Unix_error on connection failure. *)
+val connect :
+  ?config:config -> ?trace:Trace.t -> host:string -> port:int -> unit -> t
+(** Same optional arguments as {!local} (constructor symmetry): the
+    channel's frame cap comes from [?config], and [?trace] records
+    per-round sizes exactly as in-process channels do.  (The trailing
+    [unit] lets the optional arguments default.)
+    @raise Unix.Unix_error on connection failure. *)
 
 val serve_once :
-  port:int -> handler:(Message.request -> Message.reply) -> unit
+  ?config:config ->
+  port:int ->
+  handler:(Message.request -> Message.reply) ->
+  unit ->
+  unit
 (** Accept a single connection on [port] and answer requests until [Bye]
     or EOF.  Handler wall-clock time is measured per request and the
     session total is shipped back in the final
     [Bye_ack { server_seconds }], so a remote client's accounting can
     include server cost (see {!server_seconds}).  Handler exceptions are
-    converted to [Error_reply] frames, keeping the server alive. *)
+    converted to [Error_reply] frames, keeping the server alive.  For a
+    persistent, concurrent server use {!Server_loop}. *)
 
-(** {1 Frame I/O (exposed for the server binary and tests)} *)
+(** {1 Frame I/O (exposed for {!Server_loop}, the server binary and tests)} *)
 
-val write_frame : Unix.file_descr -> string -> unit
-val read_frame : Unix.file_descr -> string option
-(** [None] on clean EOF.
-    @raise Protocol_error on truncated frames or oversized lengths. *)
+val write_frame : ?max_frame:int -> Unix.file_descr -> string -> unit
+
+val read_frame : ?max_frame:int -> ?deadline:float -> Unix.file_descr -> string option
+(** [None] on clean EOF.  [?max_frame] overrides the process-wide cap
+    for this read; [?deadline] is an {e absolute} instant on
+    {!Monoclock.now}'s timescale after which the read gives up.
+    @raise Protocol_error on truncated frames or oversized lengths.
+    @raise Timeout when [deadline] passes mid-read. *)
+
+val setup_sigpipe : unit -> unit
+(** Set SIGPIPE to ignore (idempotent), so a write to a peer-reset
+    socket surfaces as [EPIPE] instead of killing the process.  Forced
+    automatically by {!connect}, {!serve_once} and
+    {!Server_loop.create}; exposed for callers doing raw frame I/O. *)
 
 val retry_on_intr : (unit -> 'a) -> 'a
 (** Run a syscall thunk, retrying on [EINTR] (signal mid-syscall) and
@@ -71,11 +124,12 @@ val retry_on_intr : (unit -> 'a) -> 'a
     frame I/O goes through this; exposed for tests. *)
 
 val max_frame : unit -> int
-(** Current frame-size cap (default 256 MiB): both the largest payload
-    {!write_frame} will send and the largest length header
-    {!read_frame} will accept. *)
+(** Process-wide {e default} frame cap (256 MiB initially): used by
+    {!write_frame}/{!read_frame} when no explicit cap is given and by
+    channels created without a [config]. *)
 
 val set_max_frame : int -> unit
-(** Override the cap (process-wide; tests shrink it to exercise the
-    limit without huge allocations).
+(** Override the process-wide default cap.  Prefer per-channel
+    {!config}; this remains for callers that genuinely want to change
+    the default for every subsequently created channel.
     @raise Invalid_argument below 16 bytes. *)

@@ -29,6 +29,7 @@ type reply =
   | Select_ack of int
   | Batch_cipher_reply of Bigint.t array
   | Bye_ack of { server_seconds : float }
+  | Busy of { retry_after_s : float }
   | Error_reply of string
 
 type t = Request of request | Reply of reply
@@ -53,6 +54,7 @@ let tag_error_reply = 0x86
 let tag_catalog_reply = 0x87
 let tag_select_ack = 0x88
 let tag_batch_cipher_reply = 0x89
+let tag_busy = 0x8e
 
 let encode t =
   let w = Wire.writer () in
@@ -115,6 +117,9 @@ let encode t =
    | Reply (Bye_ack { server_seconds }) ->
      Wire.put_u8 w tag_bye_ack;
      Wire.put_f64 w server_seconds
+   | Reply (Busy { retry_after_s }) ->
+     Wire.put_u8 w tag_busy;
+     Wire.put_f64 w retry_after_s
    | Reply (Error_reply msg) ->
      Wire.put_u8 w tag_error_reply;
      Wire.put_bytes w msg);
@@ -173,6 +178,7 @@ let decode s =
       Reply (Batch_cipher_reply (Wire.get_bigint_array r))
     else if tag = tag_bye_ack then
       Reply (Bye_ack { server_seconds = Wire.get_f64 r })
+    else if tag = tag_busy then Reply (Busy { retry_after_s = Wire.get_f64 r })
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
   in
@@ -204,6 +210,8 @@ let describe = function
     Printf.sprintf "batch-cipher-reply(%d)" (Array.length replies)
   | Reply (Bye_ack { server_seconds }) ->
     Printf.sprintf "bye-ack(server=%.3fs)" server_seconds
+  | Reply (Busy { retry_after_s }) ->
+    Printf.sprintf "busy(retry-after=%.1fs)" retry_after_s
   | Reply (Error_reply m) -> Printf.sprintf "error(%s)" m
 
 let values_in = function
@@ -213,7 +221,7 @@ let values_in = function
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
   | Request (Reveal_request _) -> 1
-  | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Error_reply _)
+  | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
   | Reply (Catalog_reply _) | Reply (Select_ack _) -> 0
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements

@@ -63,6 +63,12 @@ type reply =
           its measured total here (see {!Channel.serve_once}); in-process
           servers send [0.] because {!Channel.local} times the handler
           itself. *)
+  | Busy of { retry_after_s : float }
+      (** Capacity rejection (tag [0x8E]): the server is at its
+          concurrent-session limit.  Sent by {!Server_loop} immediately
+          after accept, before any request is read, then the connection
+          is closed.  [retry_after_s] is a backoff hint; clients see it
+          as {!Channel.Busy}. *)
   | Error_reply of string
       (** Typed in-band failure (bad request for session state, malformed
           candidates, ...). *)

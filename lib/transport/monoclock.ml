@@ -1,0 +1,5 @@
+(* CLOCK_MONOTONIC via the bechamel stub: immune to wall-clock steps
+   (NTP, manual adjustment), which matters because session deadlines and
+   idle timeouts compare absolute instants across seconds of real time. *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9

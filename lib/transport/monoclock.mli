@@ -1,0 +1,10 @@
+(** Monotonic time for timeout and deadline arithmetic.
+
+    All transport-level deadlines ({!Channel.read_frame},
+    {!Server_loop}) are absolute instants on this clock, never on
+    [Unix.gettimeofday] — a wall-clock step (NTP sync, manual reset)
+    must not expire or extend a session. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin, strictly monotonic.  Only
+    differences between two [now] readings are meaningful. *)

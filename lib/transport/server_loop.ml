@@ -1,0 +1,333 @@
+(* Concurrent accept loop: one worker thread per session, capacity
+   enforcement with Busy replies, monotonic idle/deadline checks in the
+   frame-read path, and a drain-on-shutdown protocol.
+
+   Locking discipline: [t.mu] guards the session registry (active count,
+   finished list, merged aggregates); the stop request is an [Atomic] so
+   a signal handler can set it without touching any lock. *)
+
+type config = {
+  max_sessions : int;
+  max_total : int option;
+  idle_timeout_s : float option;
+  deadline_s : float option;
+  retry_after_s : float;
+  max_frame : int option;
+  drain_timeout_s : float;
+}
+
+let default_config =
+  {
+    max_sessions = 4;
+    max_total = None;
+    idle_timeout_s = None;
+    deadline_s = None;
+    retry_after_s = 1.0;
+    max_frame = None;
+    drain_timeout_s = 30.0;
+  }
+
+type outcome =
+  | Completed
+  | Idle_timeout
+  | Deadline_exceeded
+  | Client_error of string
+
+type session = {
+  id : int;
+  peer : string;
+  outcome : outcome;
+  requests : int;
+  handler_seconds : float;
+  session_stats : Stats.t;
+}
+
+type t = {
+  config : config;
+  on_session_end : (session -> unit) option;
+  handler : id:int -> peer:Unix.sockaddr -> (Message.request -> Message.reply);
+  listener : Unix.file_descr;
+  bound_port : int;
+  stop : bool Atomic.t;
+  mu : Mutex.t;
+  mutable active : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable finished : session list;
+  mutable merged_stats : Stats.t;
+  mutable handler_seconds_total : float;
+}
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+
+let create ?(config = default_config) ?on_session_end ~port ~handler () =
+  if config.max_sessions < 1 then
+    invalid_arg "Server_loop.create: max_sessions must be >= 1";
+  (match config.max_frame with
+   | Some n when n < 16 ->
+     invalid_arg "Server_loop.create: frame cap below 16 bytes"
+   | _ -> ());
+  Channel.setup_sigpipe ();
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
+     Unix.listen listener (config.max_sessions + 16)
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  {
+    config;
+    on_session_end;
+    handler;
+    listener;
+    bound_port;
+    stop = Atomic.make false;
+    mu = Mutex.create ();
+    active = 0;
+    accepted = 0;
+    rejected = 0;
+    finished = [];
+    merged_stats = Stats.create ();
+    handler_seconds_total = 0.0;
+  }
+
+let port t = t.bound_port
+let shutdown t = Atomic.set t.stop true
+
+let install_signal_handlers t =
+  let on_signal _ = shutdown t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let active_sessions t = locked t (fun () -> t.active)
+let sessions t = locked t (fun () -> t.finished)
+let accepted t = locked t (fun () -> t.accepted)
+let rejected t = locked t (fun () -> t.rejected)
+let handler_seconds_total t = locked t (fun () -> t.handler_seconds_total)
+
+let stats t =
+  (* fresh snapshot so callers never alias the mutable accumulator *)
+  locked t (fun () -> Stats.merge t.merged_stats (Stats.create ()))
+
+(* The earliest of the idle and overall deadlines, tagged with which one
+   it is so a timeout maps to the right outcome. *)
+let next_deadline t ~session_deadline =
+  let idle =
+    match t.config.idle_timeout_s with
+    | None -> None
+    | Some s -> Some (Monoclock.now () +. s)
+  in
+  match (idle, session_deadline) with
+  | None, None -> None
+  | Some i, None -> Some (i, Idle_timeout)
+  | None, Some d -> Some (d, Deadline_exceeded)
+  | Some i, Some d ->
+    if d <= i then Some (d, Deadline_exceeded) else Some (i, Idle_timeout)
+
+let best_effort_reply ?max_frame fd reply =
+  try Channel.write_frame ?max_frame fd (Message.encode (Message.Reply reply))
+  with _ -> ()
+
+(* One session, run in its own thread.  Mirrors Channel.serve_once's
+   request loop, plus per-frame deadline checks and stats. *)
+let serve_session t ~id ~peer fd =
+  let cap = t.config.max_frame in
+  let stats = Stats.create () in
+  let requests = ref 0 in
+  let handler_seconds = ref 0.0 in
+  let session_deadline =
+    match t.config.deadline_s with
+    | None -> None
+    | Some s -> Some (Monoclock.now () +. s)
+  in
+  let handle =
+    (* the factory runs in the session thread too: key-sharing setup
+       cost is paid by the session, never by the accept loop *)
+    t.handler ~id ~peer
+  in
+  let timed req =
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      try handle req with e -> Message.Error_reply (Printexc.to_string e)
+    in
+    handler_seconds := !handler_seconds +. (Unix.gettimeofday () -. t0);
+    reply
+  in
+  let outcome =
+    try
+      let rec loop () =
+        let deadline = next_deadline t ~session_deadline in
+        match
+          Channel.read_frame ?max_frame:cap
+            ?deadline:(Option.map fst deadline) fd
+        with
+        | None -> Completed
+        | Some frame ->
+          let request = Message.decode frame in
+          Stats.record_received stats ~bytes:(String.length frame)
+            ~values:(Message.values_in request);
+          let reply =
+            match request with
+            | Message.Request Message.Bye ->
+              Message.Bye_ack { server_seconds = !handler_seconds }
+            | Message.Request req ->
+              incr requests;
+              timed req
+            | Message.Reply _ -> Message.Error_reply "expected a request"
+          in
+          let encoded = Message.encode (Message.Reply reply) in
+          Channel.write_frame ?max_frame:cap fd encoded;
+          Stats.record_sent stats ~bytes:(String.length encoded)
+            ~values:(Message.values_in (Message.Reply reply));
+          Stats.record_round stats;
+          (match reply with
+           | Message.Bye_ack _ ->
+             incr requests;
+             Completed
+           | _ -> loop ())
+        | exception Wire.Malformed m ->
+          (* a malformed payload inside a well-framed message is
+             answerable in-band; the session survives *)
+          let reply = Message.Error_reply ("malformed request: " ^ m) in
+          let encoded = Message.encode (Message.Reply reply) in
+          Channel.write_frame ?max_frame:cap fd encoded;
+          Stats.record_sent stats ~bytes:(String.length encoded) ~values:0;
+          Stats.record_round stats;
+          loop ()
+      in
+      loop ()
+    with
+    | Channel.Timeout ->
+      let which =
+        match next_deadline t ~session_deadline with
+        | Some (_, Deadline_exceeded) -> Deadline_exceeded
+        | _ -> Idle_timeout
+      in
+      best_effort_reply ?max_frame:cap fd
+        (Message.Error_reply
+           (match which with
+            | Deadline_exceeded -> "session deadline exceeded"
+            | _ -> "session idle timeout"));
+      which
+    | Channel.Protocol_error m -> Client_error m
+    | Unix.Unix_error (e, _, _) -> Client_error (Unix.error_message e)
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let record =
+    {
+      id;
+      peer = string_of_sockaddr peer;
+      outcome;
+      requests = !requests;
+      handler_seconds = !handler_seconds;
+      session_stats = stats;
+    }
+  in
+  locked t (fun () ->
+      t.active <- t.active - 1;
+      t.finished <- record :: t.finished;
+      t.handler_seconds_total <- t.handler_seconds_total +. !handler_seconds;
+      t.merged_stats <- Stats.merge t.merged_stats stats);
+  match t.on_session_end with Some f -> f record | None -> ()
+
+let accept_one t =
+  match
+    Channel.retry_on_intr (fun () -> Unix.select [ t.listener ] [] [] 0.2)
+  with
+  | [], _, _ -> ()
+  | _ ->
+    let fd, peer = Unix.accept t.listener in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    let admitted =
+      locked t (fun () ->
+          if t.active >= t.config.max_sessions then None
+          else begin
+            t.active <- t.active + 1;
+            t.accepted <- t.accepted + 1;
+            Some t.accepted
+          end)
+    in
+    (match admitted with
+     | None ->
+       locked t (fun () -> t.rejected <- t.rejected + 1);
+       (* The client's first request is usually already in our receive
+          buffer; close() with unread bytes pending sends RST, which can
+          destroy the Busy frame before the client reads it.  So: reply,
+          half-close, drain briefly, then close — off the accept thread,
+          so a hostile client cannot slow admission down. *)
+       ignore
+         (Thread.create
+            (fun () ->
+              best_effort_reply ?max_frame:t.config.max_frame fd
+                (Message.Busy { retry_after_s = t.config.retry_after_s });
+              (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+               with Unix.Unix_error _ -> ());
+              (try
+                 let buf = Bytes.create 4096 in
+                 let rec drain_input attempts =
+                   if attempts > 0 then
+                     match Unix.select [ fd ] [] [] 0.2 with
+                     | [], _, _ -> ()
+                     | _ ->
+                       if Unix.read fd buf 0 4096 > 0 then
+                         drain_input (attempts - 1)
+                 in
+                 drain_input 8
+               with Unix.Unix_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            ())
+     | Some id ->
+       ignore
+         (Thread.create
+            (fun () ->
+              try serve_session t ~id ~peer fd
+              with _ ->
+                (* serve_session handles its own errors; this is the
+                   last-resort belt against bugs in the hooks *)
+                ())
+            ()))
+
+let drain t =
+  let give_up = Monoclock.now () +. t.config.drain_timeout_s in
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      while t.active > 0 && Monoclock.now () < give_up do
+        (* Condition.wait has no timeout; poll on a short tick so a
+           stuck session cannot wedge the drain past its budget. *)
+        Mutex.unlock t.mu;
+        Thread.delay 0.05;
+        Mutex.lock t.mu
+      done)
+
+let run t =
+  let total_reached () =
+    match t.config.max_total with
+    | None -> false
+    | Some n -> locked t (fun () -> t.accepted >= n)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close t.listener with Unix.Unix_error _ -> ())
+    (fun () ->
+      while (not (Atomic.get t.stop)) && not (total_reached ()) do
+        accept_one t
+      done);
+  (* stopped accepting (listener closed above: queued connects are
+     refused, not served) — now drain what is already in flight *)
+  drain t

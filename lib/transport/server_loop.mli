@@ -1,0 +1,133 @@
+(** Persistent concurrent session server: the production accept loop.
+
+    Where {!Channel.serve_once} answers exactly one connection and
+    returns, [Server_loop] keeps accepting and hands every connection to
+    its own worker thread, so one slow session can no longer
+    head-of-line-block every other client.  It adds the capacity,
+    timeout and shutdown machinery a long-running deployment needs:
+
+    - {e capacity}: at most [config.max_sessions] sessions run at once;
+      an over-capacity connection is answered with a [Message.Busy]
+      frame (tag [0x8E], retry-after hint) and closed instead of being
+      left hanging in the backlog;
+    - {e idle timeout / deadline}: enforced in the frame-read path with
+      monotonic-clock checks ({!Monoclock}), so neither a silent client
+      nor a wall-clock step can pin a worker forever;
+    - {e error isolation}: a malformed frame, forged length or handler
+      exception aborts only its own session — the loop and every other
+      session keep running (the single-session guarantee, kept under
+      concurrency);
+    - {e graceful shutdown}: {!shutdown} (typically from a
+      SIGINT/SIGTERM handler, see {!install_signal_handlers}) stops
+      accepting, drains in-flight sessions up to
+      [config.drain_timeout_s], then {!run} returns so the caller can
+      print merged accounting.
+
+    Concurrency model: one [Thread.t] per session (I/O overlaps; OCaml
+    compute interleaves under the runtime lock).  The per-session
+    handler closure returned by the factory is only ever called from
+    that session's thread, but {e different} sessions run concurrently —
+    the factory must hand each session its own mutable state (its own
+    [Server.t] in the core layer) and merge shared aggregates under a
+    mutex. *)
+
+type config = {
+  max_sessions : int;  (** concurrent-session capacity, [>= 1] *)
+  max_total : int option;
+      (** stop accepting after this many sessions have been {e accepted}
+          (Busy rejections do not count); [None] = serve until
+          {!shutdown} *)
+  idle_timeout_s : float option;
+      (** longest silence between two client frames before the session
+          is closed *)
+  deadline_s : float option;
+      (** longest total session duration, measured from accept *)
+  retry_after_s : float;  (** backoff hint carried in [Busy] replies *)
+  max_frame : int option;
+      (** per-session frame cap; [None] = the process default
+          ({!Channel.max_frame}) *)
+  drain_timeout_s : float;
+      (** how long {!run} waits for in-flight sessions after
+          {!shutdown} before giving up on them *)
+}
+
+val default_config : config
+(** [max_sessions = 4], no total limit, no idle timeout, no deadline,
+    [retry_after_s = 1.0], default frame cap, [drain_timeout_s = 30.0]. *)
+
+(** Why a session ended, for observability and tests. *)
+type outcome =
+  | Completed  (** [Bye] handshake or clean EOF *)
+  | Idle_timeout  (** closed by [idle_timeout_s] *)
+  | Deadline_exceeded  (** closed by [deadline_s] *)
+  | Client_error of string
+      (** transport violation (truncated frame, forged length, ...) —
+          only this session died *)
+
+type session = {
+  id : int;  (** accept order, starting at 1 *)
+  peer : string;  (** printable peer address *)
+  outcome : outcome;
+  requests : int;  (** requests answered (the final [Bye] included) *)
+  handler_seconds : float;  (** wall-clock total inside the handler *)
+  session_stats : Stats.t;
+      (** this session's traffic, server perspective: received =
+          requests, sent = replies *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?on_session_end:(session -> unit) ->
+  port:int ->
+  handler:(id:int -> peer:Unix.sockaddr -> (Message.request -> Message.reply)) ->
+  unit ->
+  t
+(** Bind and listen immediately (so [port = 0] picks an ephemeral port
+    readable via {!port} before {!run} is even called).  [handler] is
+    the per-session factory: invoked {e once} per accepted session, from
+    the accept loop, and the returned closure answers that session's
+    requests from the session's own thread.  [Bye] is answered by the
+    loop itself (with the measured handler total in [Bye_ack]), mirroring
+    {!Channel.serve_once}.  [on_session_end] runs in the session's
+    thread right after its socket closes — the hook for logging and for
+    merging per-session cost into process-wide aggregates.
+    @raise Invalid_argument on [max_sessions < 1]
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val port : t -> int
+(** The actually bound TCP port. *)
+
+val run : t -> unit
+(** Accept-and-serve until {!shutdown} is requested or [max_total]
+    sessions have been accepted; then stop accepting, drain in-flight
+    sessions (bounded by [drain_timeout_s]) and return.  Call from the
+    thread that owns the server (it blocks). *)
+
+val shutdown : t -> unit
+(** Request a graceful stop: only sets a flag (async-signal-safe), so it
+    may be called from a signal handler or any thread.  {!run} notices
+    within its accept tick (~0.2 s). *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!shutdown} for this loop. *)
+
+val active_sessions : t -> int
+(** Sessions currently in flight. *)
+
+val sessions : t -> session list
+(** Finished sessions, most recent first. *)
+
+val accepted : t -> int
+(** Sessions accepted so far (in-flight included). *)
+
+val rejected : t -> int
+(** Connections answered with [Busy] at capacity. *)
+
+val stats : t -> Stats.t
+(** Merged traffic accounting over all {e finished} sessions (fresh
+    snapshot; safe to read from any thread). *)
+
+val handler_seconds_total : t -> float
+(** Wall-clock handler total over all finished sessions. *)

@@ -1,8 +1,11 @@
 #!/bin/sh
 # CI entry point: full build, the complete test suite, and a sub-second
-# smoke bench that runs one seeded wavefront-DTW session at pool sizes
-# 1 and 4, cross-checks the plaintext distance and asserts the two
-# transcripts are identical (the lib/parallel determinism contract).
+# smoke bench that (a) runs one seeded wavefront-DTW session at pool
+# sizes 1 and 4, cross-checks the plaintext distance and asserts the two
+# transcripts are identical (the lib/parallel determinism contract), and
+# (b) serves two concurrent TCP sessions through Server_loop with a
+# seeded key and a tiny series, cross-checking both revealed distances
+# (the concurrent-server correctness contract).
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -336,7 +336,7 @@ let with_db_client ~records ~query ~distance f =
       ~rng:(Secure_rng.of_seed_string "db-server")
       ~records ~max_value:50 ()
   in
-  let channel = Channel.local (Ppst.Server.handler server) in
+  let channel = Channel.local (Ppst.Server.handle server) in
   let client =
     Ppst.Client.connect
       ~rng:(Secure_rng.of_seed_string "db-client")
@@ -452,7 +452,7 @@ let test_drivers_reject_wrong_plan () =
         ~rng:(Secure_rng.of_seed_string "plan-guard-server")
         ~series:y ~max_value:10 ()
     in
-    let channel = Channel.local (Ppst.Server.handler server) in
+    let channel = Channel.local (Ppst.Server.handle server) in
     let client =
       Ppst.Client.connect
         ~rng:(Secure_rng.of_seed_string "plan-guard-client")

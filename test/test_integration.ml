@@ -21,11 +21,11 @@ let run_over_tcp ?(params = Ppst.Params.default) ~(distance : [ `Dtw | `Dfd ]) ~
   let server = Ppst.Server.create ~params ~rng:server_rng ~series:y ~max_value:max_value_y () in
   let server_thread =
     Thread.create
-      (fun () -> Channel.serve_once ~port ~handler:(Ppst.Server.handler server))
+      (fun () -> Channel.serve_once ~port ~handler:(Ppst.Server.handle server) ())
       ()
   in
   Thread.delay 0.15;
-  let channel = Channel.connect ~host:"127.0.0.1" ~port in
+  let channel = Channel.connect ~host:"127.0.0.1" ~port () in
   let client_rng = Secure_rng.of_seed_string (seed ^ "/client") in
   let max_value_x = Stdlib.max 1 (Series.max_abs_value x) in
   let client =
@@ -78,11 +78,11 @@ let run_custom_over_tcp ~distance ~runner ~x ~y ~seed () =
   let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value:(maxv y) () in
   let server_thread =
     Thread.create
-      (fun () -> Channel.serve_once ~port ~handler:(Ppst.Server.handler server))
+      (fun () -> Channel.serve_once ~port ~handler:(Ppst.Server.handle server) ())
       ()
   in
   Thread.delay 0.15;
-  let channel = Channel.connect ~host:"127.0.0.1" ~port in
+  let channel = Channel.connect ~host:"127.0.0.1" ~port () in
   let client =
     Ppst.Client.connect
       ~rng:(Secure_rng.of_seed_string (seed ^ "/client"))
@@ -135,7 +135,7 @@ let test_key_file_workflow () =
           ~rng:(Secure_rng.of_seed_string "keyfile-server")
           ~series:y ~max_value:10 ()
       in
-      let channel = Channel.local (Ppst.Server.handler server) in
+      let channel = Channel.local (Ppst.Server.handle server) in
       let client =
         Ppst.Client.connect
           ~rng:(Secure_rng.of_seed_string "keyfile-client")
@@ -176,7 +176,7 @@ let test_sequential_sessions_one_server () =
   in
   List.iteri
     (fun i x ->
-      let channel = Channel.local (Ppst.Server.handler server) in
+      let channel = Channel.local (Ppst.Server.handle server) in
       let client =
         Ppst.Client.connect
           ~rng:(Secure_rng.of_seed_string (Printf.sprintf "msc-%d" i))

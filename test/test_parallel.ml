@@ -108,7 +108,7 @@ let digest_run ~jobs ~decryption ~distance ~runner =
       let buf = Buffer.create (1 lsl 16) in
       let handler req =
         Buffer.add_string buf (Message.encode (Message.Request req));
-        let reply = Ppst.Server.handler server req in
+        let reply = Ppst.Server.handle server req in
         Buffer.add_string buf (Message.encode (Message.Reply reply));
         reply
       in

@@ -393,7 +393,7 @@ let test_matrix_stays_encrypted_and_path_hidden () =
   let server_rng = Secure_rng.of_seed_string "hiding/server" in
   let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
   let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value:7 () in
-  let channel = Channel.local (Ppst.Server.handler server) in
+  let channel = Channel.local (Ppst.Server.handle server) in
   let client =
     Ppst.Client.connect ~rng ~series:x ~max_value:7 ~distance:`Dtw channel
   in

@@ -126,6 +126,7 @@ let sample_messages =
     Message.Reply (Message.Catalog_reply [| 10; 20; 30 |]);
     Message.Reply (Message.Select_ack 2);
     Message.Reply (Message.Bye_ack { server_seconds = 1.25 });
+    Message.Reply (Message.Busy { retry_after_s = 2.5 });
     Message.Reply (Message.Error_reply "something went wrong");
   ]
 
@@ -263,6 +264,26 @@ let test_local_channel_byte_parity () =
   let expected_sent = String.length (Message.encode (Message.Request req)) in
   Alcotest.(check int) "sent bytes = encoding size" expected_sent
     (Stats.bytes_sent (Channel.stats ch))
+
+let test_local_channel_per_channel_cap () =
+  (* a tiny cap on one channel rejects oversized messages there and
+     leaves the process default (other channels) untouched *)
+  let tiny = Channel.local ~config:(Channel.config ~max_frame:16 ()) echo_handler in
+  let big = Message.Min_request (Array.make 8 (Bigint.of_string "123456789123456789")) in
+  (match Channel.request tiny big with
+   | _ -> Alcotest.fail "oversized frame accepted on capped channel"
+   | exception Channel.Protocol_error _ -> ());
+  let normal = Channel.local echo_handler in
+  (match Channel.request normal (Message.Reveal_request (Bigint.of_int 1)) with
+   | Message.Reveal_reply _ -> ()
+   | _ -> Alcotest.fail "default-config channel affected by peer's cap")
+
+let test_busy_reply_raises () =
+  let ch = Channel.local (fun _ -> Message.Busy { retry_after_s = 2.5 }) in
+  (match Channel.request ch Message.Hello with
+   | _ -> Alcotest.fail "Busy reply did not raise"
+   | exception Channel.Busy { retry_after_s } ->
+     Alcotest.(check (float 1e-9)) "retry hint carried" 2.5 retry_after_s)
 
 (* --- trace & netsim ---------------------------------------------------------- *)
 
@@ -424,9 +445,9 @@ let next_port =
 
 let with_tcp_server handler f =
   let port = next_port () in
-  let server = Thread.create (fun () -> Channel.serve_once ~port ~handler) () in
+  let server = Thread.create (fun () -> Channel.serve_once ~port ~handler ()) () in
   Thread.delay 0.15;
-  let ch = Channel.connect ~host:"127.0.0.1" ~port in
+  let ch = Channel.connect ~host:"127.0.0.1" ~port () in
   Fun.protect
     ~finally:(fun () ->
       Channel.close ch;
@@ -438,6 +459,27 @@ let test_tcp_roundtrip () =
       match Channel.request ch (Message.Reveal_request (Bigint.of_int 5)) with
       | Message.Reveal_reply v -> Alcotest.check eq_bi "echo over tcp" (Bigint.of_int 5) v
       | _ -> Alcotest.fail "wrong reply")
+
+let test_tcp_connect_trace () =
+  (* connect takes the same ?trace as local (constructor symmetry) *)
+  let port = next_port () in
+  let server =
+    Thread.create (fun () -> Channel.serve_once ~port ~handler:echo_handler ()) ()
+  in
+  Thread.delay 0.15;
+  let trace = Trace.create () in
+  let ch = Channel.connect ~trace ~host:"127.0.0.1" ~port () in
+  Fun.protect
+    ~finally:(fun () ->
+      Channel.close ch;
+      Thread.join server)
+    (fun () ->
+      for i = 1 to 3 do
+        ignore (Channel.request ch (Message.Reveal_request (Bigint.of_int i)))
+      done;
+      Alcotest.(check int) "rounds traced" 3 (Trace.rounds trace);
+      Alcotest.(check int) "byte parity" (Stats.total_bytes (Channel.stats ch))
+        (Trace.total_bytes trace))
 
 let test_tcp_multiple_rounds () =
   with_tcp_server echo_handler (fun ch ->
@@ -474,10 +516,10 @@ let test_tcp_server_seconds_reported () =
     echo_handler req
   in
   let server =
-    Thread.create (fun () -> Channel.serve_once ~port ~handler:slow_handler) ()
+    Thread.create (fun () -> Channel.serve_once ~port ~handler:slow_handler ()) ()
   in
   Thread.delay 0.15;
-  let ch = Channel.connect ~host:"127.0.0.1" ~port in
+  let ch = Channel.connect ~host:"127.0.0.1" ~port () in
   ignore (Channel.request ch (Message.Reveal_request (Bigint.of_int 1)));
   Alcotest.(check (float 0.0)) "0 during the session" 0.0
     (Channel.server_seconds ch);
@@ -522,6 +564,9 @@ let () =
             test_local_channel_handler_exception;
           Alcotest.test_case "close" `Quick test_local_channel_close;
           Alcotest.test_case "byte accounting parity" `Quick test_local_channel_byte_parity;
+          Alcotest.test_case "per-channel frame cap" `Quick
+            test_local_channel_per_channel_cap;
+          Alcotest.test_case "busy reply raises" `Quick test_busy_reply_raises;
         ] );
       ( "trace & netsim",
         [
@@ -554,6 +599,8 @@ let () =
       ( "tcp channel",
         [
           Alcotest.test_case "round-trip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "connect records a trace" `Quick
+            test_tcp_connect_trace;
           Alcotest.test_case "many rounds" `Quick test_tcp_multiple_rounds;
           Alcotest.test_case "handler failure keeps server alive" `Quick
             test_tcp_handler_exception_kept_alive;
