@@ -24,7 +24,12 @@
      parallel Domain worker-pool speedup sweep (writes BENCH_parallel.json)
      throughput concurrent TCP session rate, capacity 1 vs 4 (writes
               BENCH_concurrency.json)
+     telemetry tracing overhead + JSONL trace fidelity (writes
+              BENCH_telemetry.json)
      smoke    sub-second correctness + determinism sweep (scripts/ci.sh)
+
+   --log-level {quiet,info,debug}, --log-json and --trace-out FILE wire
+   the Ppst_telemetry sinks exactly as on ppst_server/ppst_client.
 
    --jobs N sizes the Domain worker pool every secure run uses (default 1
    = sequential); the [parallel] and [smoke] experiments sweep pool sizes
@@ -491,10 +496,15 @@ let parallel_bench ~quick =
   ],
   "speedup_jobs4_vs_jobs1": %.3f,
   "transcripts_identical": true,
-  "note": "Measured on a host reporting %d core(s). The Domain pool cannot beat 1.0x without real cores to fan out to; rerun `dune exec bench/main.exe -- parallel` on a multicore host for the parallel speedup. Seeded transcripts are bit-identical at every pool size."
+  "cost": %s,
+  "stats": %s,
+  "note": "Measured on a host reporting %d core(s). The Domain pool cannot beat 1.0x without real cores to fan out to; rerun `dune exec bench/main.exe -- parallel` on a multicore host for the parallel speedup. Seeded transcripts are bit-identical at every pool size. cost/stats are from the jobs=1 run (identical across pool sizes by the transcript check)."
 }
 |}
-    length length params.Ppst.Params.k key_bits cores w1 w4 (w1 /. w4) cores;
+    length length params.Ppst.Params.k key_bits cores w1 w4 (w1 /. w4)
+    (Ppst.Cost.to_json r1.Ppst.Protocol.cost)
+    (Stats.to_json r1.Ppst.Protocol.stats)
+    cores;
   close_out oc;
   line "  wrote BENCH_parallel.json"
 
@@ -584,7 +594,9 @@ let throughput_run ~params ~x ~y ~concurrency ~total ~client_workers =
     distances;
   if List.length distances <> total then
     failwith "throughput: lost sessions";
-  (wall, Ppst_transport.Server_loop.rejected loop)
+  ( wall,
+    Ppst_transport.Server_loop.rejected loop,
+    Ppst_transport.Server_loop.stats loop )
 
 let throughput ~quick =
   header "Throughput: concurrent TCP sessions (Server_loop)";
@@ -600,17 +612,17 @@ let throughput ~quick =
      domains; every distance checked against plaintext:"
     length key_bits total client_workers;
   let measure concurrency =
-    let wall, rejected =
+    let wall, rejected, stats =
       throughput_run ~params ~x ~y ~concurrency ~total ~client_workers
     in
     let rate = float_of_int total /. wall in
     line
       "  concurrency=%d  wall %7.3f s  %6.2f sessions/s  (%d Busy rejection(s))"
       concurrency wall rate rejected;
-    (concurrency, wall, rate, rejected)
+    (concurrency, wall, rate, rejected, stats)
   in
-  let c1, w1, r1, b1 = measure 1 in
-  let c4, w4, r4, b4 = measure 4 in
+  let c1, w1, r1, b1, s1 = measure 1 in
+  let c4, w4, r4, b4, s4 = measure 4 in
   line "  (all %d distances bit-identical to the sequential plaintext check)"
     (2 * total);
   let oc = open_out "BENCH_concurrency.json" in
@@ -624,18 +636,144 @@ let throughput ~quick =
   "sessions_per_run": %d,
   "client_workers": %d,
   "runs": [
-    { "concurrency": %d, "wall_seconds": %.3f, "sessions_per_second": %.3f, "busy_rejections": %d },
-    { "concurrency": %d, "wall_seconds": %.3f, "sessions_per_second": %.3f, "busy_rejections": %d }
+    { "concurrency": %d, "wall_seconds": %.3f, "sessions_per_second": %.3f, "busy_rejections": %d, "stats": %s },
+    { "concurrency": %d, "wall_seconds": %.3f, "sessions_per_second": %.3f, "busy_rejections": %d, "stats": %s }
   ],
   "speedup_concurrency4_vs_1": %.3f,
   "distances_bit_identical_to_sequential": true,
-  "note": "Single-process measurement: client sessions run in their own Domains, but all server sessions share the main domain's runtime lock (systhreads), so server-side compute serializes; the speedup reflects overlap of client compute and I/O, not a second server core. At concurrency 1 the extra client workers exercise the Busy/retry path."
+  "note": "Single-process measurement: client sessions run in their own Domains, but all server sessions share the main domain's runtime lock (systhreads), so server-side compute serializes; the speedup reflects overlap of client compute and I/O, not a second server core. At concurrency 1 the extra client workers exercise the Busy/retry path. Each run's stats are the server-side transport totals over all its sessions."
 }
 |}
-    length length key_bits total client_workers c1 w1 r1 b1 c4 w4 r4 b4
+    length length key_bits total client_workers c1 w1 r1 b1 (Stats.to_json s1)
+    c4 w4 r4 b4 (Stats.to_json s4)
     (w1 /. w4);
   close_out oc;
   line "  wrote BENCH_concurrency.json"
+
+(* ---- telemetry: overhead + trace fidelity ------------------------------------ *)
+
+(* Re-applies whatever --log-level/--log-json/--trace-out the user gave,
+   after telemetry_bench has temporarily rewired the sinks. *)
+let telemetry_cli : (unit -> unit) ref =
+  ref (fun () -> Ppst_telemetry.Telemetry.configure ())
+
+let telemetry_bench ~quick =
+  header "Telemetry: tracing overhead and JSONL trace fidelity (wavefront DTW)";
+  let module T = Ppst_telemetry.Telemetry in
+  let module R = Ppst_telemetry.Trace_reader in
+  let length = 16 in
+  let key_bits = if quick then 256 else 1024 in
+  let params = Ppst.Params.make ~key_bits () in
+  let x = Generate.ecg_int ~seed:13001 ~length ~max_value in
+  let y = Generate.ecg_int ~seed:13002 ~length ~max_value in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Ppst.Protocol.run_dtw_wavefront ~params ~seed:"telemetry-bench"
+        ~max_value ~decryption:`Crt ~x ~y ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    check_against_plaintext `Dtw x y r;
+    (wall, r)
+  in
+  let best_of count f =
+    let rec go count best last =
+      if count = 0 then (best, Option.get last)
+      else
+        let w, r = f () in
+        go (count - 1) (Float.min best w) (Some r)
+    in
+    go count infinity None
+  in
+  let runs = if quick then 1 else 2 in
+  line "m = n = %d, d = 1, k = %d, %d-bit modulus, best of %d run(s):" length
+    params.Ppst.Params.k key_bits runs;
+  T.configure ();
+  ignore (run ());
+  (* warmup *)
+  let w_off, r_off = best_of runs run in
+  line "  telemetry off:          wall %8.3f s" w_off;
+  let trace_file = Filename.temp_file "ppst_bench_trace" ".jsonl" in
+  let run_traced () =
+    (* reconfigure per run: each run gets a freshly truncated trace, so
+       the surviving file always holds exactly one session *)
+    T.configure ~trace_out:trace_file ();
+    let res = run () in
+    T.configure ();
+    (* flushes and detaches the file sink *)
+    res
+  in
+  let w_on, _ = best_of runs run_traced in
+  let overhead = (w_on -. w_off) /. w_off in
+  line "  telemetry on (JSONL):   wall %8.3f s  overhead %+.2f%%" w_on
+    (100.0 *. overhead);
+  (* one more traced run dedicated to fidelity: its own wall clock, Cost
+     and Stats must agree with what its trace says *)
+  let w_fid, r_fid = run_traced () in
+  if not (same_transcript r_off r_fid) then
+    failwith "telemetry: seeded transcript diverges with tracing on";
+  line "  seeded transcripts bit-identical with tracing on vs off: verified";
+  let entries = R.read_file trace_file in
+  (match List.filter_map R.lint_entry entries with
+   | [] -> ()
+   | reason :: _ -> failwith ("telemetry: leakage lint failed: " ^ reason));
+  let s = R.summarize entries in
+  let stats_bytes = Stats.total_bytes r_fid.Ppst.Protocol.stats in
+  if s.R.total_round_bytes <> stats_bytes then
+    failwith
+      (Printf.sprintf "telemetry: trace says %d round bytes, Stats says %d"
+         s.R.total_round_bytes stats_bytes);
+  if s.R.total_rounds <> Stats.rounds r_fid.Ppst.Protocol.stats then
+    failwith "telemetry: trace round count disagrees with Stats";
+  let session_s =
+    List.fold_left
+      (fun acc (row : R.span_row) ->
+        if row.R.span_name = "protocol.session" then acc +. row.R.total_s
+        else acc)
+      0.0 s.R.spans
+  in
+  let session_gap = Float.abs (session_s -. w_fid) /. w_fid in
+  if session_gap > 0.01 then
+    failwith
+      (Printf.sprintf
+         "telemetry: session span %.3f s vs measured wall %.3f s (%.1f%% apart)"
+         session_s w_fid (100.0 *. session_gap));
+  line
+    "  trace fidelity: %d records; round bytes = Stats bytes (%d) exactly;"
+    (List.length entries) stats_bytes;
+  line "  session span %.3f s vs wall %.3f s (%.2f%% apart); lint clean."
+    session_s w_fid (100.0 *. session_gap);
+  Sys.remove trace_file;
+  let oc = open_out "BENCH_telemetry.json" in
+  Printf.fprintf oc
+    {|{
+  "task": "telemetry overhead, secure DTW (wavefront), JSONL file sink",
+  "m": %d,
+  "n": %d,
+  "d": 1,
+  "k": %d,
+  "key_bits": %d,
+  "runs_per_config": %d,
+  "wall_seconds_telemetry_off": %.3f,
+  "wall_seconds_telemetry_on": %.3f,
+  "overhead_fraction": %.4f,
+  "trace": { "records": %d, "round_bytes": %d, "rounds": %d, "session_span_seconds": %.3f, "session_wall_seconds": %.3f },
+  "transcripts_identical": true,
+  "cost": %s,
+  "stats": %s,
+  "note": "Tracing records every span and per-round point (debug level) to a JSONL file; the trace's per-round byte totals equal the channel's Stats exactly, and the protocol.session span matches the measured wall clock within 1%%. Overhead is wall(on)/wall(off)-1, best-of-%d each; negative values are measurement noise."
+}
+|}
+    length length params.Ppst.Params.k key_bits runs w_off w_on overhead
+    (List.length entries) stats_bytes
+    (Stats.rounds r_fid.Ppst.Protocol.stats)
+    session_s w_fid
+    (Ppst.Cost.to_json r_fid.Ppst.Protocol.cost)
+    (Stats.to_json r_fid.Ppst.Protocol.stats)
+    runs;
+  close_out oc;
+  line "  wrote BENCH_telemetry.json";
+  !telemetry_cli ()
 
 let smoke () =
   header "Smoke: sub-second correctness + determinism sweep (CI)";
@@ -664,7 +802,7 @@ let smoke () =
   let params = Ppst.Params.make () in
   let cx = Generate.ecg_int ~seed:12003 ~length:6 ~max_value in
   let cy = Generate.ecg_int ~seed:12004 ~length:6 ~max_value in
-  let wall, _rejected =
+  let wall, _rejected, _stats =
     throughput_run ~params ~x:cx ~y:cy ~concurrency:2 ~total:2
       ~client_workers:2
   in
@@ -799,11 +937,32 @@ let () =
    in
    find args);
   if !jobs < 1 then failwith "--jobs must be >= 1";
+  (* telemetry sinks, same flags as ppst_server/ppst_client *)
+  (let opt_value flag =
+     let rec find = function
+       | f :: v :: _ when f = flag -> Some v
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find args
+   in
+   let level = Option.value ~default:"quiet" (opt_value "--log-level") in
+   let json = List.mem "--log-json" args in
+   let trace_out = opt_value "--trace-out" in
+   let apply () =
+     Ppst_telemetry.Telemetry.configure ~level ~json ?trace_out ()
+   in
+   telemetry_cli := apply;
+   apply ());
   let selected =
     let rec strip = function
       | "--out" :: _ :: rest -> strip rest
       | "--jobs" :: _ :: rest -> strip rest
-      | a :: rest -> if a = "--quick" then strip rest else a :: strip rest
+      | "--log-level" :: _ :: rest -> strip rest
+      | "--trace-out" :: _ :: rest -> strip rest
+      | a :: rest ->
+        if a = "--quick" || a = "--log-json" then strip rest
+        else a :: strip rest
       | [] -> []
     in
     strip args
@@ -849,6 +1008,8 @@ let () =
     with_tee out_dir "parallel" (fun () -> parallel_bench ~quick);
   if want "throughput" then
     with_tee out_dir "throughput" (fun () -> throughput ~quick);
+  if want "telemetry" then
+    with_tee out_dir "telemetry" (fun () -> telemetry_bench ~quick);
   if want "smoke" then with_tee out_dir "smoke" (fun () -> smoke ());
   line "";
   line "done."

@@ -84,6 +84,49 @@ let infer () =
       (String.concat "," (Array.to_list (Array.map string_of_int inferred)))
   | None -> print_endline "reconstruction ambiguous"
 
+(* JSONL telemetry traces (--trace-out on ppst_server/ppst_client/bench):
+   per-phase and per-round aggregation, plus the leakage lint ci.sh runs
+   over every trace it produces. *)
+let trace file lint =
+  let module R = Ppst_telemetry.Trace_reader in
+  match R.read_file file with
+  | exception R.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+  | entries ->
+    let violations =
+      List.filter_map
+        (fun e -> Option.map (fun r -> (e.R.name, r)) (R.lint_entry e))
+        entries
+    in
+    if lint then
+      if violations = [] then
+        Printf.printf "lint: %d record(s), no leakage-lint violations\n"
+          (List.length entries)
+      else begin
+        List.iter
+          (fun (name, reason) ->
+            Printf.eprintf "lint: record %S: %s\n" name reason)
+          violations;
+        exit 1
+      end;
+    let opcode_name op =
+      let module M = Ppst_transport.Message in
+      if op = M.tag_hello then "hello"
+      else if op = M.tag_phase1_request then "phase1"
+      else if op = M.tag_min_request then "min"
+      else if op = M.tag_max_request then "max"
+      else if op = M.tag_reveal_request then "reveal"
+      else if op = M.tag_bye then "bye"
+      else if op = M.tag_catalog_request then "catalog"
+      else if op = M.tag_select_request then "select"
+      else if op = M.tag_batch_min_request then "batch-min"
+      else if op = M.tag_batch_max_request then "batch-max"
+      else if op = M.tag_stats_request then "stats"
+      else Printf.sprintf "0x%02x" op
+    in
+    R.pp_summary ~opcode_name Format.std_formatter (R.summarize entries)
+
 (* ---- cmdliner plumbing ---- *)
 
 let entropy_cmd =
@@ -124,7 +167,19 @@ let infer_cmd =
   Cmd.v (Cmd.info "infer" ~doc:"Section 4 matrix-inference attack demonstration")
     Term.(const infer $ const ())
 
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl"
+         ~doc:"Telemetry trace written by --trace-out.")
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ]
+         ~doc:"Leakage lint: fail if any record carries free-form strings or out-of-range numbers.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"summarize a JSONL telemetry trace (per-phase and per-round tables)")
+    Term.(const trace $ file $ lint)
+
 let () =
   let doc = "security analysis for the secure time-series protocols" in
   exit (Cmd.eval (Cmd.group (Cmd.info "ppst_analyze" ~doc)
-                    [ entropy_cmd; attack_cmd; plan_cmd; infer_cmd ]))
+                    [ entropy_cmd; attack_cmd; plan_cmd; infer_cmd; trace_cmd ]))

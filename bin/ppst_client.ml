@@ -9,8 +9,30 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run host port series_file distance k band gap search wavefront seed jobs verbose =
+(* --stats: one Stats_req round against a running server, no session
+   state needed.  Server_loop answers it even at capacity (the probe
+   path), so this works exactly when an operator needs it most. *)
+let fetch_stats host port =
+  let channel = Ppst_transport.Channel.connect ~host ~port () in
+  (match Ppst_transport.Channel.request channel Ppst_transport.Message.Stats_req with
+   | Ppst_transport.Message.Stats_reply text -> print_string text
+   | _ -> failwith "expected Stats_reply");
+  Ppst_transport.Channel.close channel
+
+let run host port series_file distance k band gap search wavefront stats seed
+    jobs verbose log_level log_json trace_out =
   setup_logs verbose;
+  Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
+    ?trace_out ();
+  if stats then begin
+    fetch_stats host port;
+    exit 0
+  end;
+  let series_file =
+    match series_file with
+    | Some f -> f
+    | None -> failwith "SERIES.csv is required unless --stats is given"
+  in
   if jobs < 1 then failwith "--jobs must be >= 1";
   let workers = Ppst_parallel.Pool.create jobs in
   let series = Ppst_timeseries.Csv.load series_file in
@@ -121,7 +143,8 @@ let port =
   Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
 
 let series_file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv" ~doc:"Client time series (CSV).")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SERIES.csv"
+         ~doc:"Client time series (CSV).  Required except with --stats.")
 
 let distance =
   let enum_conv =
@@ -158,12 +181,30 @@ let jobs =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Domain worker pool size for Paillier batch work (1 = sequential).")
 
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Fetch and print the server's live metrics snapshot, then exit (no protocol session).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let log_level =
+  Arg.(value & opt string "quiet" & info [ "log-level" ] ~docv:"quiet|info|debug"
+         ~doc:"Telemetry stderr verbosity: spans and counters only (never protocol values).")
+
+let log_json =
+  Arg.(value & flag & info [ "log-json" ]
+         ~doc:"Emit stderr telemetry as JSON lines instead of pretty text.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Append every telemetry event (debug level) as JSON lines to $(docv); read it back with ppst_analyze trace.")
 
 let cmd =
   let doc = "secure time-series similarity client (series X owner, evaluator)" in
   Cmd.v
     (Cmd.info "ppst_client" ~doc)
-    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap $ search $ wavefront $ seed $ jobs $ verbose)
+    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap
+          $ search $ wavefront $ stats $ seed $ jobs $ verbose $ log_level
+          $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

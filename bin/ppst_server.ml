@@ -11,8 +11,10 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
 let run port series_file key_file max_value seed sessions concurrency
-    idle_timeout deadline jobs verbose =
+    idle_timeout deadline jobs verbose log_level log_json trace_out =
   setup_logs verbose;
+  Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
+    ?trace_out ();
   if jobs < 1 then failwith "--jobs must be >= 1";
   if concurrency < 1 then failwith "--concurrency must be >= 1";
   if sessions < 0 then failwith "--sessions must be >= 0";
@@ -192,11 +194,24 @@ let jobs =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
+let log_level =
+  Arg.(value & opt string "quiet" & info [ "log-level" ] ~docv:"quiet|info|debug"
+         ~doc:"Telemetry stderr verbosity: spans and counters only (never protocol values).")
+
+let log_json =
+  Arg.(value & flag & info [ "log-json" ]
+         ~doc:"Emit stderr telemetry as JSON lines instead of pretty text.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Append every telemetry event (debug level) as JSON lines to $(docv); read it back with ppst_analyze trace.")
+
 let cmd =
   let doc = "secure time-series similarity server (series Y owner, key holder)" in
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
     Term.(const run $ port $ series_file $ key_file $ max_value $ seed
-          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs $ verbose)
+          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs $ verbose
+          $ log_level $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -44,6 +44,17 @@ let require_plan t expected =
          "this driver needs a session planned with ~distance:%s (got %s)"
          (show_kind expected) (show_kind t.distance))
 
+(* Per-phase wall-clock mirrored into the process metrics registry, so a
+   live Stats_req snapshot shows where sessions spend their time. *)
+let m_phase_seconds =
+  [|
+    Metrics.gauge "protocol.phase1.seconds";
+    Metrics.gauge "protocol.phase2.seconds";
+    Metrics.gauge "protocol.phase3.seconds";
+  |]
+
+let phase_index = function Cost.Phase1 -> 0 | Cost.Phase2 -> 1 | Cost.Phase3 -> 2
+
 (* Attribute elapsed wall time to [phase], splitting out the time the
    local channel spent inside the server handler so client and server
    work are measured separately (Figures 6 and 10). *)
@@ -55,6 +66,7 @@ let timed t phase f =
   let s1 = Channel.server_seconds t.channel in
   Cost.add_server_time t.cost phase (s1 -. s0);
   Cost.add_client_time t.cost phase (w1 -. w0 -. (s1 -. s0));
+  Metrics.gauge_add m_phase_seconds.(phase_index phase) (w1 -. w0);
   result
 
 (* Pooled online encryption: consumes offline-precomputed r^n factors
@@ -72,11 +84,17 @@ let encrypt_online t m =
   c
 
 let precompute_randomness t count =
-  if t.offline && count > 0 then begin
-    let t0 = Unix.gettimeofday () in
-    Paillier.pool_refill ~workers:t.workers t.pk t.pool t.rng count;
-    Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0)
-  end
+  if t.offline && count > 0 then
+    Telemetry.span ~name:"client.offline.refill"
+      ~attrs:
+        [
+          ("count", Telemetry.Int count);
+          ("phase", Telemetry.Phase Telemetry.Offline);
+        ]
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        Paillier.pool_refill ~workers:t.workers t.pk t.pool t.rng count;
+        Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0))
 
 let pool_remaining t = Paillier.pool_size t.pool
 
@@ -169,6 +187,9 @@ type phase1_data = {
 }
 
 let fetch_phase1 t =
+  Telemetry.span ~name:"client.phase1.fetch"
+    ~attrs:[ ("phase", Telemetry.Phase Telemetry.Phase1) ]
+  @@ fun () ->
   timed t Cost.Phase1 (fun () ->
       let elements =
         match Channel.request t.channel Message.Phase1_request with
@@ -208,6 +229,9 @@ let cost_cell pk data ~enc_x_sumsq ~x j =
   !acc
 
 let cost_matrix_of t data =
+  Telemetry.span ~name:"client.phase1.matrix"
+    ~attrs:[ ("phase", Telemetry.Phase Telemetry.Phase1) ]
+  @@ fun () ->
   timed t Cost.Phase1 (fun () ->
       let m = Series.length t.series in
       let d = Series.dimension t.series in

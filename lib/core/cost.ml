@@ -78,6 +78,17 @@ let merge a b =
     pool_misses = a.pool_misses + b.pool_misses;
   }
 
+let ops_to_json o =
+  Printf.sprintf {|{"encryptions":%d,"decryptions":%d,"homomorphic":%d}|}
+    o.encryptions o.decryptions o.homomorphic
+
+let to_json t =
+  Printf.sprintf
+    {|{"client":%s,"server":%s,"client_seconds":[%.6f,%.6f,%.6f],"server_seconds":[%.6f,%.6f,%.6f],"client_offline_seconds":%.6f,"jobs":%d,"pool_misses":%d,"total_seconds":%.6f}|}
+    (ops_to_json t.client) (ops_to_json t.server) t.client_time.(0)
+    t.client_time.(1) t.client_time.(2) t.server_time.(0) t.server_time.(1)
+    t.server_time.(2) t.client_offline t.jobs t.pool_misses (total_seconds t)
+
 let pp_ops fmt o =
   Format.fprintf fmt "enc=%d dec=%d hom=%d" o.encryptions o.decryptions o.homomorphic
 

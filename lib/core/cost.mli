@@ -58,3 +58,8 @@ val merge : t -> t -> t
     add. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Compact single-line JSON object (machine-readable [pp]): per-party op
+    counts, per-phase seconds arrays, offline seconds, jobs, pool misses.
+    Embedded verbatim in the bench BENCH_*.json reports. *)

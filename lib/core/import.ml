@@ -15,3 +15,5 @@ module Stats = Ppst_transport.Stats
 module Wire = Ppst_transport.Wire
 module Trace = Ppst_transport.Trace
 module Netsim = Ppst_transport.Netsim
+module Telemetry = Ppst_telemetry.Telemetry
+module Metrics = Ppst_telemetry.Metrics

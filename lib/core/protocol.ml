@@ -37,9 +37,23 @@ let run_session : type a.
      process, and their parallel sections never overlap (strict
      request/reply alternation), so sharing lanes wastes nothing. *)
   let workers = Parallel.create jobs in
+  (* Distances as small codes: the attr vocabulary is closed to numbers
+     and phase tags, so even the span schema cannot leak free text. *)
+  let distance_code =
+    match distance_kind with `Dtw -> 0 | `Dfd -> 1 | `Erp -> 2 | `Euclidean -> 3
+  in
   Fun.protect
     ~finally:(fun () -> Parallel.shutdown workers)
     (fun () ->
+      Telemetry.span ~name:"protocol.session"
+        ~attrs:
+          [
+            ("distance_code", Telemetry.Int distance_code);
+            ("m", Telemetry.Int (Series.length x));
+            ("n", Telemetry.Int (Series.length y));
+            ("jobs", Telemetry.Int jobs);
+          ]
+      @@ fun () ->
       let server =
         Server.create ~params ?decryption ~workers ~rng:server_rng ~series:y
           ~max_value:server_max ()

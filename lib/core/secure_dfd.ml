@@ -1,3 +1,5 @@
+module Telemetry = Ppst_telemetry.Telemetry
+
 (* Paper Algorithm 2 on ciphertexts: cell = Enc(max{cost, min of three
    predecessors}); both extremes go through masked server rounds. *)
 let run_matrix client =
@@ -6,6 +8,9 @@ let run_matrix client =
      maximum round (inner cells and both borders). *)
   let m = Client.client_length client in
   let n = Client.server_length client in
+  Telemetry.span ~name:"dfd.full"
+    ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
+  @@ fun () ->
   let k = (Client.session client).Params.params.Params.k in
   let max_rounds = ((m - 1) * (n - 1)) + (m - 1) + (n - 1) in
   Client.precompute_randomness client

@@ -1,3 +1,5 @@
+module Telemetry = Ppst_telemetry.Telemetry
+
 (* Paper Algorithm 1 on ciphertexts: cell = Enc(cost) + Enc(min of the
    three predecessors), the min obtained through the phase-2 round. *)
 let run_matrix client =
@@ -6,6 +8,9 @@ let run_matrix client =
      one factor per row for phase 1, k + 2 per inner-cell minimum round. *)
   let m = Client.client_length client in
   let n = Client.server_length client in
+  Telemetry.span ~name:"dtw.full"
+    ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
+  @@ fun () ->
   let k = (Client.session client).Params.params.Params.k in
   Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
   let cost = Client.fetch_cost_matrix client in

@@ -1,5 +1,7 @@
 exception Band_too_narrow
 
+module Telemetry = Ppst_telemetry.Telemetry
+
 (* Mirrors Distance.dtw_sq_banded: out-of-band cells do not exist, and a
    cell combines only its in-band predecessors.  With zero or one live
    predecessor no interaction is needed; with two or three, a phase-2
@@ -10,6 +12,14 @@ let run_matrix ~band client =
   let m = Client.client_length client in
   let n = Client.server_length client in
   if abs (m - n) > band then raise Band_too_narrow;
+  Telemetry.span ~name:"dtw.banded"
+    ~attrs:
+      [
+        ("m", Telemetry.Int m);
+        ("n", Telemetry.Int n);
+        ("band", Telemetry.Int band);
+      ]
+  @@ fun () ->
   let in_band i j = abs (i - j) <= band in
   let k = (Client.session client).Params.params.Params.k in
   (* offline randomness (upper bound): m row norms + (k + 2) per in-band
@@ -69,6 +79,14 @@ let run_dfd_matrix ~band client =
   let m = Client.client_length client in
   let n = Client.server_length client in
   if abs (m - n) > band then raise Band_too_narrow;
+  Telemetry.span ~name:"dfd.banded"
+    ~attrs:
+      [
+        ("m", Telemetry.Int m);
+        ("n", Telemetry.Int n);
+        ("band", Telemetry.Int band);
+      ]
+  @@ fun () ->
   let in_band i j = abs (i - j) <= band in
   let k = (Client.session client).Params.params.Params.k in
   let in_band_cells = m * ((2 * band) + 1) in

@@ -14,11 +14,24 @@ let diagonal_cells ~m ~n s =
   if hi < lo then [||]
   else Array.init (hi - lo + 1) (fun idx -> (lo + idx, s - (lo + idx)))
 
+module Telemetry = Ppst_telemetry.Telemetry
+
+(* Per-diagonal spans are Debug-level: a 1024-point alignment has ~2k of
+   them, which would swamp an Info stream but is exactly what a JSONL
+   trace wants for the latency-vs-batch-size table. *)
+let diagonal_span name ~s ~cells f =
+  Telemetry.span ~level:Telemetry.Debug ~name
+    ~attrs:[ ("s", Telemetry.Int s); ("cells", Telemetry.Int cells) ]
+    f
+
 let run_dtw client =
   Client.require_plan client `Dtw;
   let m = Client.client_length client in
   let n = Client.server_length client in
   let k = (Client.session client).Params.params.Params.k in
+  Telemetry.span ~name:"dtw.wavefront"
+    ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
+  @@ fun () ->
   Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
   let cost = Client.fetch_cost_matrix client in
   let matrix = Array.make_matrix m n cost.(0).(0) in
@@ -30,6 +43,7 @@ let run_dtw client =
   done;
   for s = 2 to m + n - 2 do
     let cells = diagonal_cells ~m ~n s in
+    diagonal_span "dtw.diagonal" ~s ~cells:(Array.length cells) @@ fun () ->
     let instances =
       Array.map
         (fun (i, j) ->
@@ -49,6 +63,9 @@ let run_dfd client =
   let n = Client.server_length client in
   let k = (Client.session client).Params.params.Params.k in
   let max_rounds = ((m - 1) * (n - 1)) + (m - 1) + (n - 1) in
+  Telemetry.span ~name:"dfd.wavefront"
+    ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
+  @@ fun () ->
   Client.precompute_randomness client
     (m + ((m - 1) * (n - 1) * (k + 2)) + (max_rounds * (k + 1)));
   let cost = Client.fetch_cost_matrix client in
@@ -64,6 +81,7 @@ let run_dfd client =
   done;
   for s = 2 to m + n - 2 do
     let cells = diagonal_cells ~m ~n s in
+    diagonal_span "dfd.diagonal" ~s ~cells:(Array.length cells) @@ fun () ->
     let min_instances =
       Array.map
         (fun (i, j) ->

@@ -222,6 +222,10 @@ let handle t (req : Message.request) : Message.reply =
         Message.Reveal_reply (t.decrypt t.sk c)
     end
   end
+  (* In-process servers answer with the process-wide registry; a TCP
+     daemon's Server_loop intercepts Stats_req before it reaches here and
+     prefixes its own live session counters. *)
+  | Message.Stats_req -> Message.Stats_reply (Metrics.dump_string ())
   (* An in-process server sends 0: Channel.local times the handler
      itself; TCP servers report via Channel.serve_once instead. *)
   | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }

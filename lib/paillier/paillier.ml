@@ -177,7 +177,19 @@ let encrypt pk rng m =
    is consumed in plaintext order exactly as a loop of [encrypt] calls
    would, so seeded transcripts do not depend on the worker count.  Only
    the pure exponentiations fan out. *)
+let batch_buckets = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+let m_encrypt_batch =
+  Ppst_telemetry.Metrics.histogram ~buckets:batch_buckets "paillier.batch.encrypt"
+let m_decrypt_batch =
+  Ppst_telemetry.Metrics.histogram ~buckets:batch_buckets "paillier.batch.decrypt"
+let m_scalar_mul_batch =
+  Ppst_telemetry.Metrics.histogram ~buckets:batch_buckets "paillier.batch.scalar_mul"
+let m_pool_refill =
+  Ppst_telemetry.Metrics.histogram ~buckets:batch_buckets "paillier.pool.refill"
+let m_pool_misses = Ppst_telemetry.Metrics.counter "paillier.pool.misses"
+
 let encrypt_batch ?(workers = Ppst_parallel.Pool.sequential) pk rng ms =
+  Ppst_telemetry.Metrics.observe m_encrypt_batch (float_of_int (Array.length ms));
   Array.iter (check_plaintext pk) ms;
   let rs = Array.map (fun _ -> random_unit pk rng) ms in
   Ppst_parallel.Pool.map_array workers
@@ -205,6 +217,7 @@ let pool_misses pool = pool.misses
 
 let pool_refill ?(workers = Ppst_parallel.Pool.sequential) pk pool rng count =
   if not (Bigint.equal pool.pool_n pk.n) then raise Key_mismatch;
+  Ppst_telemetry.Metrics.observe m_pool_refill (float_of_int count);
   (* Draw the units sequentially (rng order independent of worker count),
      exponentiate in parallel, then push in draw order — the store ends up
      exactly as the sequential loop would leave it. *)
@@ -231,6 +244,7 @@ let rn_acquire pk pool rng =
     Pooled rn
   | [] ->
     pool.misses <- pool.misses + 1;
+    Ppst_telemetry.Metrics.incr m_pool_misses;
     Owed (random_unit pk rng)
 
 let rn_realize pk = function
@@ -273,10 +287,12 @@ let decrypt_crt sk c =
 
 (* Decryption is pure per ciphertext, so batches fan out unchanged. *)
 let decrypt_batch ?(workers = Ppst_parallel.Pool.sequential) sk cs =
+  Ppst_telemetry.Metrics.observe m_decrypt_batch (float_of_int (Array.length cs));
   Array.iter (check_same_key sk.public) cs;
   Ppst_parallel.Pool.map_array workers (decrypt sk) cs
 
 let decrypt_crt_batch ?(workers = Ppst_parallel.Pool.sequential) sk cs =
+  Ppst_telemetry.Metrics.observe m_decrypt_batch (float_of_int (Array.length cs));
   Array.iter (check_same_key sk.public) cs;
   Ppst_parallel.Pool.map_array workers (decrypt_crt sk) cs
 
@@ -296,6 +312,8 @@ let scalar_mul pk c k =
   { key_n = pk.n; value = Modular.pow_ctx pk.ctx_n2 c.value k }
 
 let scalar_mul_batch ?(workers = Ppst_parallel.Pool.sequential) pk cks =
+  Ppst_telemetry.Metrics.observe m_scalar_mul_batch
+    (float_of_int (Array.length cks));
   Array.iter (fun (c, _) -> check_same_key pk c) cks;
   Ppst_parallel.Pool.map_array workers (fun (c, k) -> scalar_mul pk c k) cks
 

@@ -4,6 +4,24 @@
    contiguous chunk and runs the first chunk itself, so a pool is never
    idle while the caller blocks. *)
 
+module Metrics = Ppst_telemetry.Metrics
+
+(* Pool observability: how large the fan-outs are, how long a submitted
+   chunk waits before a worker picks it up, and the queue depth at each
+   submit.  Pure observation — no effect on chunking or task order, so
+   determinism of seeded runs is untouched. *)
+let m_batch_items =
+  Metrics.histogram
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+    "pool.batch.items"
+
+let m_task_wait =
+  Metrics.histogram
+    ~buckets:[| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1. |]
+    "pool.task.wait_s"
+
+let m_queue_depth = Metrics.gauge "pool.queue.depth"
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -64,6 +82,7 @@ let shutdown t =
 let submit t task =
   Mutex.lock t.lock;
   Queue.add task t.queue;
+  Metrics.gauge_set m_queue_depth (float_of_int (Queue.length t.queue));
   Condition.signal t.work_available;
   Mutex.unlock t.lock
 
@@ -76,6 +95,7 @@ let map_array t f arr =
   let len = Array.length arr in
   if t.size = 1 || len <= 1 || t.domains = [] then Array.map f arr
   else begin
+    Metrics.observe m_batch_items (float_of_int len);
     let chunk_count = min t.size len in
     let results : ('b array, exn * Printexc.raw_backtrace) result option array =
       Array.make chunk_count None
@@ -92,7 +112,10 @@ let map_array t f arr =
           results.(c) <- Some (Error (e, bt))
     in
     for c = 1 to chunk_count - 1 do
+      let submitted_at = Ppst_telemetry.Telemetry.now () in
       submit t (fun () ->
+          Metrics.observe m_task_wait
+            (Ppst_telemetry.Telemetry.now () -. submitted_at);
           run_chunk c;
           Mutex.lock done_lock;
           decr remaining;

@@ -2,6 +2,40 @@ exception Protocol_error of string
 exception Busy of { retry_after_s : float }
 exception Timeout
 
+module Telemetry = Ppst_telemetry.Telemetry
+module Metrics = Ppst_telemetry.Metrics
+
+(* Per-round observability (subsumes the deprecated Trace module): every
+   request/reply pair updates these process-wide metrics and, at Debug,
+   emits a "channel.round" point with opcode/sizes/latency — the record
+   ppst_analyze's trace table aggregates. *)
+let m_frame_bytes =
+  Metrics.histogram
+    ~buckets:[| 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144.; 1048576. |]
+    "transport.frame.bytes"
+
+let m_round_latency =
+  Metrics.histogram
+    ~buckets:[| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.; 3. |]
+    "transport.round.latency_s"
+
+let m_rounds = Metrics.counter "transport.rounds"
+
+let record_round_telemetry ~opcode ~request_bytes ~reply_bytes ~latency_s =
+  Metrics.observe m_frame_bytes (float_of_int request_bytes);
+  Metrics.observe m_frame_bytes (float_of_int reply_bytes);
+  Metrics.observe m_round_latency latency_s;
+  Metrics.incr m_rounds;
+  Telemetry.event ~level:Telemetry.Debug ~name:"channel.round"
+    ~attrs:
+      [
+        ("opcode", Telemetry.Opcode opcode);
+        ("request_bytes", Telemetry.Size request_bytes);
+        ("reply_bytes", Telemetry.Size reply_bytes);
+        ("latency_s", Telemetry.Duration latency_s);
+      ]
+    ()
+
 let protocol_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
 (* Frames on the wire: 4-byte big-endian length, then the message bytes.
@@ -140,9 +174,10 @@ let request t req =
   let cap = t.config.max_frame in
   let msg = Message.Request req in
   let encoded = Message.encode msg in
+  let t0 = Telemetry.now () in
   Stats.record_sent t.stats ~bytes:(String.length encoded)
     ~values:(Message.values_in msg);
-  let reply =
+  let reply, reply_bytes =
     match t.backend with
     | Local handler ->
       (* Round-trip through the codec so byte accounting matches a socket
@@ -171,7 +206,7 @@ let request t req =
          Trace.record tr ~request_bytes:(String.length encoded)
            ~reply_bytes:(String.length reply_encoded)
        | None -> ());
-      decode_reply reply_encoded
+      (decode_reply reply_encoded, String.length reply_encoded)
     | Tcp fd ->
       write_frame ~max_frame:cap fd encoded;
       (match read_frame ~max_frame:cap fd with
@@ -185,9 +220,13 @@ let request t req =
             Trace.record tr ~request_bytes:(String.length encoded)
               ~reply_bytes:(String.length frame)
           | None -> ());
-         reply)
+         (reply, String.length frame))
   in
   Stats.record_round t.stats;
+  record_round_telemetry
+    ~opcode:(if String.length encoded > 0 then Char.code encoded.[0] else 0)
+    ~request_bytes:(String.length encoded) ~reply_bytes
+    ~latency_s:(Telemetry.now () -. t0);
   match reply with
   | Message.Error_reply m -> protocol_error "peer error: %s" m
   | Message.Busy { retry_after_s } -> raise (Busy { retry_after_s })

@@ -10,6 +10,7 @@ type request =
   | Select_request of int
   | Batch_min_request of Bigint.t array array
   | Batch_max_request of Bigint.t array array
+  | Stats_req
   | Bye
 
 type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
@@ -29,6 +30,7 @@ type reply =
   | Select_ack of int
   | Batch_cipher_reply of Bigint.t array
   | Bye_ack of { server_seconds : float }
+  | Stats_reply of string
   | Busy of { retry_after_s : float }
   | Error_reply of string
 
@@ -45,6 +47,7 @@ let tag_catalog_request = 0x07
 let tag_select_request = 0x08
 let tag_batch_min_request = 0x09
 let tag_batch_max_request = 0x0a
+let tag_stats_request = 0x0b
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -54,6 +57,7 @@ let tag_error_reply = 0x86
 let tag_catalog_reply = 0x87
 let tag_select_ack = 0x88
 let tag_batch_cipher_reply = 0x89
+let tag_stats_reply = 0x8a
 let tag_busy = 0x8e
 
 let encode t =
@@ -82,6 +86,7 @@ let encode t =
      Wire.put_u8 w tag_batch_max_request;
      Wire.put_u32 w (Array.length sets);
      Array.iter (Wire.put_bigint_array w) sets
+   | Request Stats_req -> Wire.put_u8 w tag_stats_request
    | Request Bye -> Wire.put_u8 w tag_bye
    | Reply (Welcome { n; key_bits; series_length; dimension; max_value }) ->
      Wire.put_u8 w tag_welcome;
@@ -117,6 +122,9 @@ let encode t =
    | Reply (Bye_ack { server_seconds }) ->
      Wire.put_u8 w tag_bye_ack;
      Wire.put_f64 w server_seconds
+   | Reply (Stats_reply text) ->
+     Wire.put_u8 w tag_stats_reply;
+     Wire.put_bytes w text
    | Reply (Busy { retry_after_s }) ->
      Wire.put_u8 w tag_busy;
      Wire.put_f64 w retry_after_s
@@ -144,6 +152,7 @@ let decode s =
       if tag = tag_batch_min_request then Request (Batch_min_request sets)
       else Request (Batch_max_request sets)
     end
+    else if tag = tag_stats_request then Request Stats_req
     else if tag = tag_bye then Request Bye
     else if tag = tag_welcome then begin
       let n = Wire.get_bigint r in
@@ -178,6 +187,7 @@ let decode s =
       Reply (Batch_cipher_reply (Wire.get_bigint_array r))
     else if tag = tag_bye_ack then
       Reply (Bye_ack { server_seconds = Wire.get_f64 r })
+    else if tag = tag_stats_reply then Reply (Stats_reply (Wire.get_bytes r))
     else if tag = tag_busy then Reply (Busy { retry_after_s = Wire.get_f64 r })
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
@@ -197,6 +207,7 @@ let describe = function
     Printf.sprintf "batch-min-request(%d sets)" (Array.length sets)
   | Request (Batch_max_request sets) ->
     Printf.sprintf "batch-max-request(%d sets)" (Array.length sets)
+  | Request Stats_req -> "stats-request"
   | Request Bye -> "bye"
   | Reply (Welcome w) ->
     Printf.sprintf "welcome(bits=%d, length=%d, dim=%d)" w.key_bits w.series_length
@@ -210,19 +221,21 @@ let describe = function
     Printf.sprintf "batch-cipher-reply(%d)" (Array.length replies)
   | Reply (Bye_ack { server_seconds }) ->
     Printf.sprintf "bye-ack(server=%.3fs)" server_seconds
+  | Reply (Stats_reply text) ->
+    Printf.sprintf "stats-reply(%d bytes)" (String.length text)
   | Reply (Busy { retry_after_s }) ->
     Printf.sprintf "busy(retry-after=%.1fs)" retry_after_s
   | Reply (Error_reply m) -> Printf.sprintf "error(%s)" m
 
 let values_in = function
-  | Request Hello | Request Phase1_request | Request Bye
+  | Request Hello | Request Phase1_request | Request Bye | Request Stats_req
   | Request Catalog_request | Request (Select_request _) -> 0
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
   | Request (Reveal_request _) -> 1
   | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
-  | Reply (Catalog_reply _) | Reply (Select_ack _) -> 0
+  | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _) -> 0
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements
   | Reply (Cipher_reply _) | Reply (Reveal_reply _) -> 1

@@ -34,6 +34,12 @@ type request =
           instances (one per DP anti-diagonal cell) answered in a single
           round trip.  Each inner array is one candidate set. *)
   | Batch_max_request of Bigint.t array array
+  | Stats_req
+      (** Observability (tag [0x0B]): ask for the server's metrics
+          snapshot.  Answered by {!Server_loop} itself — even at capacity
+          — so an operator can inspect a running daemon without consuming
+          a session slot; in-process servers answer with the process-wide
+          {!Ppst_telemetry.Metrics} exposition. *)
   | Bye
 
 type phase1_element = {
@@ -63,6 +69,11 @@ type reply =
           its measured total here (see {!Channel.serve_once}); in-process
           servers send [0.] because {!Channel.local} times the handler
           itself. *)
+  | Stats_reply of string
+      (** Observability (tag [0x8A]): the metrics text exposition
+          ({!Ppst_telemetry.Metrics.dump} format, prefixed with the
+          serving loop's live session counters).  Carries only metric
+          names and numbers — never protocol values. *)
   | Busy of { retry_after_s : float }
       (** Capacity rejection (tag [0x8E]): the server is at its
           concurrent-session limit.  Sent by {!Server_loop} immediately
@@ -85,3 +96,32 @@ val describe : t -> string
 val values_in : t -> int
 (** Number of protocol-level "values" (ciphertexts/plaintexts) carried —
     the unit the paper's communication analysis counts (Section 5.2). *)
+
+(** {1 Wire tags}
+
+    First byte of every encoded message (requests [0x0*], replies
+    [0x8*]).  Exposed so trace tooling ([ppst_analyze trace]) can label
+    the opcodes telemetry records without re-parsing frames. *)
+
+val tag_hello : int
+val tag_phase1_request : int
+val tag_min_request : int
+val tag_max_request : int
+val tag_reveal_request : int
+val tag_bye : int
+val tag_catalog_request : int
+val tag_select_request : int
+val tag_batch_min_request : int
+val tag_batch_max_request : int
+val tag_stats_request : int
+val tag_welcome : int
+val tag_phase1_reply : int
+val tag_cipher_reply : int
+val tag_reveal_reply : int
+val tag_bye_ack : int
+val tag_error_reply : int
+val tag_catalog_reply : int
+val tag_select_ack : int
+val tag_batch_cipher_reply : int
+val tag_stats_reply : int
+val tag_busy : int

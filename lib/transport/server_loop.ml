@@ -6,6 +6,16 @@
    finished list, merged aggregates); the stop request is an [Atomic] so
    a signal handler can set it without touching any lock. *)
 
+module Telemetry = Ppst_telemetry.Telemetry
+module Metrics = Ppst_telemetry.Metrics
+
+(* Session lifecycle metrics, exposed to operators through Stats_req. *)
+let m_active = Metrics.gauge "server.sessions.active"
+let m_accepted = Metrics.counter "server.sessions.accepted"
+let m_completed = Metrics.counter "server.sessions.completed"
+let m_aborted = Metrics.counter "server.sessions.aborted"
+let m_busy_rejected = Metrics.counter "server.sessions.busy_rejected"
+
 type config = {
   max_sessions : int;
   max_total : int option;
@@ -122,6 +132,26 @@ let stats t =
   (* fresh snapshot so callers never alias the mutable accumulator *)
   locked t (fun () -> Stats.merge t.merged_stats (Stats.create ()))
 
+(* The Stats_reply payload: this loop's live session counters (loop-local
+   truth, unlike the process-wide registry a test harness may share
+   across several loops), then the full metrics exposition. *)
+let stats_text t =
+  let active, accepted, rejected, finished =
+    locked t (fun () -> (t.active, t.accepted, t.rejected, t.finished))
+  in
+  let completed =
+    List.length (List.filter (fun s -> s.outcome = Completed) finished)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# live sessions\n";
+  Buffer.add_string b (Printf.sprintf "active %d\n" active);
+  Buffer.add_string b (Printf.sprintf "accepted %d\n" accepted);
+  Buffer.add_string b (Printf.sprintf "rejected %d\n" rejected);
+  Buffer.add_string b (Printf.sprintf "completed %d\n" completed);
+  Buffer.add_string b "# metrics\n";
+  Buffer.add_string b (Metrics.dump_string ());
+  Buffer.contents b
+
 (* The earliest of the idle and overall deadlines, tagged with which one
    it is so a timeout maps to the right outcome. *)
 let next_deadline t ~session_deadline =
@@ -144,6 +174,9 @@ let best_effort_reply ?max_frame fd reply =
 (* One session, run in its own thread.  Mirrors Channel.serve_once's
    request loop, plus per-frame deadline checks and stats. *)
 let serve_session t ~id ~peer fd =
+  let span =
+    Telemetry.start ~name:"server.session" ~attrs:[ ("id", Telemetry.Int id) ] ()
+  in
   let cap = t.config.max_frame in
   let stats = Stats.create () in
   let requests = ref 0 in
@@ -183,6 +216,11 @@ let serve_session t ~id ~peer fd =
             match request with
             | Message.Request Message.Bye ->
               Message.Bye_ack { server_seconds = !handler_seconds }
+            | Message.Request Message.Stats_req ->
+              (* introspection is answered by the loop, not the protocol
+                 handler: it must reflect every session, not this one *)
+              incr requests;
+              Message.Stats_reply (stats_text t)
             | Message.Request req ->
               incr requests;
               timed req
@@ -240,8 +278,76 @@ let serve_session t ~id ~peer fd =
       t.active <- t.active - 1;
       t.finished <- record :: t.finished;
       t.handler_seconds_total <- t.handler_seconds_total +. !handler_seconds;
-      t.merged_stats <- Stats.merge t.merged_stats stats);
+      t.merged_stats <- Stats.merge t.merged_stats stats;
+      Metrics.gauge_set m_active (float_of_int t.active));
+  Metrics.incr (match outcome with Completed -> m_completed | _ -> m_aborted);
+  Telemetry.finish
+    ~attrs:
+      [
+        ( "outcome",
+          Telemetry.Int
+            (match outcome with
+             | Completed -> 0
+             | Idle_timeout -> 1
+             | Deadline_exceeded -> 2
+             | Client_error _ -> 3) );
+        ("requests", Telemetry.Int !requests);
+      ]
+    span;
   match t.on_session_end with Some f -> f record | None -> ()
+
+(* At-capacity handling, run off the accept thread.  A connection whose
+   first frame is Stats_req is an introspection probe: answer it (and any
+   follow-ups, ending at Bye/EOF) without a session slot.  Anything else
+   — including silence — is a protocol client and gets the Busy reply. *)
+let reject_or_probe t fd =
+  let cap = t.config.max_frame in
+  let read_req ~timeout =
+    match
+      Channel.read_frame ?max_frame:cap ~deadline:(Monoclock.now () +. timeout) fd
+    with
+    | Some frame -> (try Some (Message.decode frame) with Wire.Malformed _ -> None)
+    | None -> None
+    | exception _ -> None
+  in
+  let rec probe_loop budget =
+    if budget > 0 then begin
+      match read_req ~timeout:2.0 with
+      | Some (Message.Request Message.Stats_req) ->
+        best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t));
+        probe_loop (budget - 1)
+      | Some (Message.Request Message.Bye) ->
+        best_effort_reply ?max_frame:cap fd
+          (Message.Bye_ack { server_seconds = 0.0 })
+      | Some _ | None -> ()
+    end
+  in
+  let answered_probe =
+    match read_req ~timeout:0.5 with
+    | Some (Message.Request Message.Stats_req) ->
+      best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t));
+      probe_loop 64;
+      true
+    | Some _ | None -> false
+  in
+  if not answered_probe then begin
+    locked t (fun () -> t.rejected <- t.rejected + 1);
+    Metrics.incr m_busy_rejected;
+    best_effort_reply ?max_frame:cap fd
+      (Message.Busy { retry_after_s = t.config.retry_after_s });
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    try
+      let buf = Bytes.create 4096 in
+      let rec drain_input attempts =
+        if attempts > 0 then
+          match Unix.select [ fd ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ -> if Unix.read fd buf 0 4096 > 0 then drain_input (attempts - 1)
+      in
+      drain_input 8
+    with Unix.Unix_error _ -> ()
+  end;
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_one t =
   match
@@ -258,38 +364,22 @@ let accept_one t =
           else begin
             t.active <- t.active + 1;
             t.accepted <- t.accepted + 1;
+            Metrics.incr m_accepted;
+            Metrics.gauge_set m_active (float_of_int t.active);
             Some t.accepted
           end)
     in
     (match admitted with
      | None ->
-       locked t (fun () -> t.rejected <- t.rejected + 1);
        (* The client's first request is usually already in our receive
           buffer; close() with unread bytes pending sends RST, which can
-          destroy the Busy frame before the client reads it.  So: reply,
-          half-close, drain briefly, then close — off the accept thread,
-          so a hostile client cannot slow admission down. *)
-       ignore
-         (Thread.create
-            (fun () ->
-              best_effort_reply ?max_frame:t.config.max_frame fd
-                (Message.Busy { retry_after_s = t.config.retry_after_s });
-              (try Unix.shutdown fd Unix.SHUTDOWN_SEND
-               with Unix.Unix_error _ -> ());
-              (try
-                 let buf = Bytes.create 4096 in
-                 let rec drain_input attempts =
-                   if attempts > 0 then
-                     match Unix.select [ fd ] [] [] 0.2 with
-                     | [], _, _ -> ()
-                     | _ ->
-                       if Unix.read fd buf 0 4096 > 0 then
-                         drain_input (attempts - 1)
-                 in
-                 drain_input 8
-               with Unix.Unix_error _ -> ());
-              try Unix.close fd with Unix.Unix_error _ -> ())
-            ())
+          destroy the Busy frame before the client reads it.  So: read
+          that first frame (answering a Stats_req probe in place — the
+          introspection channel must work precisely when the server is
+          saturated), otherwise reply Busy, half-close, drain briefly,
+          then close — off the accept thread, so a hostile client cannot
+          slow admission down. *)
+       ignore (Thread.create (fun () -> reject_or_probe t fd) ())
      | Some id ->
        ignore
          (Thread.create

@@ -61,3 +61,9 @@ let pp fmt t =
     "@[<h>sent %d B / %d values; received %d B / %d values; %d rounds, %d messages@]"
     t.bytes_sent t.values_sent t.bytes_received t.values_received t.rounds
     t.messages
+
+let to_json t =
+  Printf.sprintf
+    {|{"bytes_sent":%d,"bytes_received":%d,"values_sent":%d,"values_received":%d,"rounds":%d,"messages":%d}|}
+    t.bytes_sent t.bytes_received t.values_sent t.values_received t.rounds
+    t.messages

@@ -31,3 +31,7 @@ val merge : t -> t -> t
 (** Sum of two accountings (fresh accumulator). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Compact single-line JSON object (machine-readable [pp]); embedded
+    verbatim in the bench BENCH_*.json reports. *)

@@ -1,5 +1,13 @@
 (** Per-round message traces.
 
+    @deprecated Subsumed by [Ppst_telemetry]: {!Channel.request} now
+    records every round into the process metrics registry and, at Debug,
+    emits a ["channel.round"] telemetry point with opcode, sizes and
+    latency — strictly more than a [Trace] entry.  This module remains
+    for one release because {!Netsim.replay} consumes its in-memory
+    entries; new callers should read a [--trace-out] JSONL file through
+    [Ppst_telemetry.Trace_reader] instead.
+
     A trace records the byte size of every request/reply pair that crossed
     a channel, in order.  {!Netsim} replays a trace against a network
     model to predict wall-clock time on links the benchmark machine does

@@ -6,9 +6,32 @@
 # (b) serves two concurrent TCP sessions through Server_loop with a
 # seeded key and a tiny series, cross-checking both revealed distances
 # (the concurrent-server correctness contract).
+#
+# The smoke run records a JSONL telemetry trace, which is then (c) linted
+# through ppst_analyze (closed attribute vocabulary — telemetry must not
+# be able to carry plaintexts, offsets or ciphertexts) plus a belt-and-
+# braces grep for anything bignum-sized leaking into the trace.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
-dune exec bench/main.exe -- smoke
+
+trace="$(mktemp /tmp/ppst_ci_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT INT TERM
+
+dune exec bench/main.exe -- smoke --log-json --trace-out "$trace"
+
+# Telemetry smoke: the trace must be non-empty, valid JSONL, and pass the
+# leakage lint (only whitelisted strings, no numbers beyond count/size/
+# duration magnitude).
+test -s "$trace"
+dune exec bin/ppst_analyze.exe -- trace "$trace" --lint
+# Nothing bignum-sized may ever appear in a trace (a Paillier ciphertext,
+# masked sum or offset would be hundreds of digits; honest counters stay
+# well under 17).
+if grep -E '[0-9]{17}' "$trace"; then
+  echo "ci: leakage lint FAILED: oversized number in telemetry trace" >&2
+  exit 1
+fi
+echo "ci: telemetry trace lint OK ($(wc -l < "$trace") records)"

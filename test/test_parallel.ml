@@ -150,6 +150,38 @@ let test_dfd_transcript_identical () =
     ~expected:(Distance.dfd_sq det_x det_y)
     "wavefront DFD (standard)"
 
+(* --- telemetry must observe without perturbing -------------------------- *)
+
+(* The determinism contract extends to observability: a seeded transcript
+   must be bit-identical whether a --trace-out JSONL sink is recording
+   every span and round or telemetry is fully disabled. *)
+let test_transcript_identical_with_telemetry () =
+  let module Telemetry = Ppst_telemetry.Telemetry in
+  let run () =
+    digest_run ~jobs:1 ~decryption:`Crt ~distance:`Dtw
+      ~runner:Ppst.Secure_dtw_wavefront.run_dtw
+  in
+  Telemetry.configure ();
+  (* sinks off *)
+  let d_off, t_off = run () in
+  let trace = Filename.temp_file "ppst_test_det" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.configure ();
+      Sys.remove trace)
+    (fun () ->
+      Telemetry.configure ~trace_out:trace ();
+      let d_on, t_on = run () in
+      Telemetry.configure ();
+      (* flush the file sink *)
+      Alcotest.(check int) "distance unchanged" d_off d_on;
+      Alcotest.(check string) "transcript digest unchanged" t_off t_on;
+      (* and the trace really was recording — the check is not vacuous *)
+      let ic = open_in trace in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool) "trace non-empty" true (len > 0))
+
 (* --- Paillier batch entry points --------------------------------------- *)
 
 let test_paillier_batches_match_sequential () =
@@ -215,6 +247,8 @@ let () =
             test_dtw_transcript_identical;
           Alcotest.test_case "DFD transcript, pool 1 vs 4" `Quick
             test_dfd_transcript_identical;
+          Alcotest.test_case "transcript, telemetry on vs off" `Quick
+            test_transcript_identical_with_telemetry;
           Alcotest.test_case "Paillier batch = sequential" `Quick
             test_paillier_batches_match_sequential;
         ] );
