@@ -20,7 +20,7 @@ let fetch_stats host port =
   Ppst_transport.Channel.close channel
 
 let run host port series_file distance k band gap search wavefront stats seed
-    jobs verbose log_level log_json trace_out =
+    jobs retries verbose log_level log_json trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
@@ -34,6 +34,7 @@ let run host port series_file distance k band gap search wavefront stats seed
     | None -> failwith "SERIES.csv is required unless --stats is given"
   in
   if jobs < 1 then failwith "--jobs must be >= 1";
+  if retries < 1 then failwith "--retries must be >= 1";
   let workers = Ppst_parallel.Pool.create jobs in
   let series = Ppst_timeseries.Csv.load series_file in
   let rng =
@@ -43,7 +44,6 @@ let run host port series_file distance k band gap search wavefront stats seed
   in
   let params = Ppst.Params.make ~k () in
   let max_value = Stdlib.max 1 (Ppst_timeseries.Series.max_abs_value series) in
-  let channel = Ppst_transport.Channel.connect ~host ~port () in
   let kind : Ppst.Client.distance_kind =
     match distance with
     | `Dtw -> `Dtw
@@ -51,16 +51,58 @@ let run host port series_file distance k band gap search wavefront stats seed
     | `Erp -> `Erp
     | `Euclidean | `Subsequence -> `Euclidean
   in
-  let client =
-    (* a server at --max-sessions capacity answers the opening Hello with
-       a Busy frame carrying a backoff hint *)
+  (* One backoff policy for every way a session can fail to start:
+     refused connects, a Busy server (its retry-after hint is honoured
+     as a floor), a connection lost during the handshake.  The same
+     policy then governs mid-session reconnect + resume inside the
+     channel.  Backoff jitter gets its own rng stream so retries never
+     perturb the protocol transcript of a --seed run. *)
+  let policy =
+    { Ppst_transport.Retry.default_policy with max_attempts = retries }
+  in
+  let jitter_rng =
+    match seed with
+    | Some s -> Ppst_rng.Secure_rng.of_seed_string (s ^ "/backoff")
+    | None -> Ppst_rng.Secure_rng.system ()
+  in
+  let connect_session () =
+    let channel =
+      Ppst_transport.Channel.connect ~retry:policy ~rng:jitter_rng ~host ~port ()
+    in
     try
-      Ppst.Client.connect ~params ~workers ~rng ~series ~max_value
-        ~distance:kind channel
-    with Ppst_transport.Channel.Busy { retry_after_s } ->
+      ( channel,
+        Ppst.Client.connect ~params ~workers ~rng ~series ~max_value
+          ~distance:kind channel )
+    with e ->
+      (try Ppst_transport.Channel.close channel with _ -> ());
+      raise e
+  in
+  let channel, client =
+    try
+      Ppst_transport.Retry.with_retry ~policy ~rng:jitter_rng
+        ~on_attempt:(fun ~attempt ~delay_s e ->
+          Logs.warn (fun m ->
+              m "session attempt %d failed (%s); retrying in %.2f s" attempt
+                (Printexc.to_string e) delay_s))
+        ~classify:(function
+          | Ppst_transport.Channel.Busy { retry_after_s } ->
+            `Retry_after retry_after_s
+          | Ppst_transport.Channel.Connection_lost _
+          | Ppst_transport.Channel.Frame_corrupt _ -> `Retry
+          | _ -> `Fail)
+        connect_session
+    with
+    | Ppst_transport.Retry.Exhausted
+        { attempts; last = Ppst_transport.Channel.Busy { retry_after_s } } ->
       Logs.err (fun m ->
-          m "server is at capacity; retry in %.1f s" retry_after_s);
+          m "server still at capacity after %d attempt(s); retry in %.1f s"
+            attempts retry_after_s);
       exit 75 (* EX_TEMPFAIL, as sysexits.h calls it *)
+    | Ppst_transport.Retry.Exhausted { attempts; last } ->
+      Logs.err (fun m ->
+          m "no session after %d attempt(s): %s" attempts
+            (Printexc.to_string last));
+      exit 75
   in
   Ppst.Cost.set_jobs (Ppst.Client.cost client) jobs;
   Logs.info (fun m ->
@@ -181,6 +223,10 @@ let jobs =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Domain worker pool size for Paillier batch work (1 = sequential).")
 
+let retries =
+  Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N"
+         ~doc:"Attempts to establish (and, mid-session, to resume) the                session before giving up; exponential backoff with jitter                between attempts, honouring the server's Busy hint.")
+
 let stats =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Fetch and print the server's live metrics snapshot, then exit (no protocol session).")
@@ -204,7 +250,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ppst_client" ~doc)
     Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap
-          $ search $ wavefront $ stats $ seed $ jobs $ verbose $ log_level
-          $ log_json $ trace_out)
+          $ search $ wavefront $ stats $ seed $ jobs $ retries $ verbose
+          $ log_level $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

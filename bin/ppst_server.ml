@@ -11,13 +11,29 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
 let run port series_file key_file max_value seed sessions concurrency
-    idle_timeout deadline jobs verbose log_level log_json trace_out =
+    idle_timeout deadline jobs chaos_profile chaos_seed resume_ttl no_resume
+    no_crc verbose log_level log_json trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
   if jobs < 1 then failwith "--jobs must be >= 1";
   if concurrency < 1 then failwith "--concurrency must be >= 1";
   if sessions < 0 then failwith "--sessions must be >= 0";
+  if resume_ttl <= 0.0 then failwith "--resume-ttl-s must be positive";
+  let faults =
+    match chaos_profile with
+    | None -> None
+    | Some text ->
+      (match Ppst_transport.Faults.profile_of_string text with
+       | Error msg -> failwith msg
+       | Ok Ppst_transport.Faults.Off -> None
+       | Ok profile ->
+         Logs.warn (fun m ->
+             m "CHAOS MODE: injecting %s (seed %d) into every session"
+               (Ppst_transport.Faults.profile_to_string profile)
+               chaos_seed);
+         Some (Ppst_transport.Faults.create ~seed:chaos_seed profile))
+  in
   (* a CSV with blank-line-separated blocks is served as a multi-record
      database (similarity-search mode); a plain CSV as a single series *)
   let records = Array.of_list (Ppst_timeseries.Csv.load_many series_file) in
@@ -106,7 +122,8 @@ let run port series_file key_file max_value seed sessions concurrency
            | Ppst_transport.Server_loop.Completed -> "completed"
            | Idle_timeout -> "idle timeout"
            | Deadline_exceeded -> "deadline exceeded"
-           | Client_error msg -> "client error: " ^ msg)
+           | Client_error msg -> "client error: " ^ msg
+           | Disconnected -> "disconnected (resumable)")
           s.requests s.handler_seconds)
   in
   let config =
@@ -116,6 +133,10 @@ let run port series_file key_file max_value seed sessions concurrency
       max_total = (if sessions = 0 then None else Some sessions);
       idle_timeout_s = idle_timeout;
       deadline_s = deadline;
+      resume_ttl_s = resume_ttl;
+      enable_resume = not no_resume;
+      enable_crc = not no_crc;
+      faults;
     }
   in
   let loop =
@@ -192,6 +213,26 @@ let jobs =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Domain worker pool size for Paillier batch work; only honoured at --concurrency 1 (the pool has one work queue).")
 
+let chaos_profile =
+  Arg.(value & opt (some string) None & info [ "chaos-profile" ] ~docv:"PROFILE"
+         ~doc:"Deterministic fault injection for soak runs: drop-at-N,                drop-every-N, corrupt-every-N[:BYTE], delay-every-N[:MS],                short-every-N, dup-every-N or flaky-P.  Never use in                production.")
+
+let chaos_seed =
+  Arg.(value & opt int 1 & info [ "chaos-seed" ] ~docv:"SEED"
+         ~doc:"Seed for the --chaos-profile injector (replays bit-identically).")
+
+let resume_ttl =
+  Arg.(value & opt float 300.0 & info [ "resume-ttl-s" ] ~docv:"S"
+         ~doc:"How long a disconnected session's state stays resumable.")
+
+let no_resume =
+  Arg.(value & flag & info [ "no-resume" ]
+         ~doc:"Never grant session resume (no tokens, no parked state).")
+
+let no_crc =
+  Arg.(value & flag & info [ "no-crc" ]
+         ~doc:"Never grant CRC-32 frame integrity.")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let log_level =
@@ -211,7 +252,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
     Term.(const run $ port $ series_file $ key_file $ max_value $ seed
-          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs $ verbose
-          $ log_level $ log_json $ trace_out)
+          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs
+          $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
+          $ verbose $ log_level $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

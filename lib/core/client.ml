@@ -118,8 +118,20 @@ let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
 let connect ?(params = Params.default) ?(offline = true)
     ?(workers = Parallel.sequential) ~rng ~series ~max_value ~distance channel =
   check_own_bounds series max_value;
-  match Channel.request channel Message.Hello with
-  | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max } ->
+  (* Offer the channel's transport capabilities (CRC, resume) in Hello.
+     A pre-capability server sees trailing bytes it cannot parse and
+     answers with an in-band error — fall back to a bare Hello once, so
+     new clients interop with old servers at the cost of one round. *)
+  let offered = Channel.offered_flags channel in
+  let welcome =
+    let hello flags = Channel.request channel (Message.Hello { flags }) in
+    if offered = 0 then hello 0
+    else
+      try hello offered
+      with Channel.Protocol_error _ -> hello 0
+  in
+  match welcome with
+  | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max; _ } ->
     if dimension <> Series.dimension series then
       raise
         (Incompatible

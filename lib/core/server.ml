@@ -180,7 +180,10 @@ let select_extreme_batch t ~better (sets : Bigint.t array array) =
 let handle t (req : Message.request) : Message.reply =
   let pk = public_key t in
   match req with
-  | Message.Hello ->
+  | Message.Hello _ ->
+    (* the core handler grants no transport capabilities: flag
+       negotiation (CRC, resume) belongs to the serving loop, which
+       rewrites this Welcome with its grant and token (Server_loop) *)
     Message.Welcome
       {
         n = pk.Paillier.n;
@@ -188,6 +191,8 @@ let handle t (req : Message.request) : Message.reply =
         series_length = Series.length (active_series t);
         dimension = Series.dimension (active_series t);
         max_value = t.max_value;
+        flags = 0;
+        resume_token = "";
       }
   | Message.Catalog_request ->
     Message.Catalog_reply (Array.map Series.length t.records)
@@ -226,6 +231,10 @@ let handle t (req : Message.request) : Message.reply =
      daemon's Server_loop intercepts Stats_req before it reaches here and
      prefixes its own live session counters. *)
   | Message.Stats_req -> Message.Stats_reply (Metrics.dump_string ())
+  (* Resume is a transport concern (Server_loop intercepts it before the
+     handler); reaching the core handler means nobody retains state. *)
+  | Message.Resume _ ->
+    Message.Resume_reject { reason = "this endpoint does not retain session state" }
   (* An in-process server sends 0: Channel.local times the handler
      itself; TCP servers report via Channel.serve_once instead. *)
   | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }

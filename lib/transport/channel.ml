@@ -1,6 +1,9 @@
 exception Protocol_error of string
 exception Busy of { retry_after_s : float }
 exception Timeout
+exception Connection_lost of string
+exception Frame_corrupt of string
+exception Resume_rejected of string
 
 module Telemetry = Ppst_telemetry.Telemetry
 module Metrics = Ppst_telemetry.Metrics
@@ -21,6 +24,13 @@ let m_round_latency =
 
 let m_rounds = Metrics.counter "transport.rounds"
 
+(* Fault-tolerance counters: how often the transport had to recover. *)
+let m_connection_lost = Metrics.counter "transport.connection.lost"
+let m_crc_failures = Metrics.counter "transport.crc.failures"
+let m_resume_attempts = Metrics.counter "transport.resume.attempts"
+let m_resume_ok = Metrics.counter "transport.resume.ok"
+let m_resume_replayed = Metrics.counter "transport.resume.replayed"
+
 let record_round_telemetry ~opcode ~request_bytes ~reply_bytes ~latency_s =
   Metrics.observe m_frame_bytes (float_of_int request_bytes);
   Metrics.observe m_frame_bytes (float_of_int reply_bytes);
@@ -37,6 +47,20 @@ let record_round_telemetry ~opcode ~request_bytes ~reply_bytes ~latency_s =
     ()
 
 let protocol_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let conn_lost fmt =
+  Printf.ksprintf
+    (fun s ->
+      Metrics.incr m_connection_lost;
+      raise (Connection_lost s))
+    fmt
+
+let frame_corrupt fmt =
+  Printf.ksprintf
+    (fun s ->
+      Metrics.incr m_crc_failures;
+      raise (Frame_corrupt s))
+    fmt
 
 (* Frames on the wire: 4-byte big-endian length, then the message bytes.
    A hard cap guards against forged lengths.  The process-wide ref is
@@ -64,9 +88,30 @@ let config ?max_frame () =
     check_cap n;
     { max_frame = n }
 
+(* Everything a dropped TCP connection needs to be re-established and
+   the session resumed in place. *)
+type reconnect = {
+  host : string;
+  port : int;
+  offered : int;  (* capability bits re-offered in Hello / Resume *)
+  retry : Retry.policy option;
+  rng : Ppst_rng.Secure_rng.t;  (* backoff jitter *)
+  sleep : float -> unit;
+}
+
+type tcp_state = {
+  mutable fd : Unix.file_descr;
+  reconnect : reconnect option;  (* None: raw fd, not reconnectable *)
+  faults : Faults.t option;
+  mutable crc : bool;  (* CRC-32 trailers active on this connection *)
+  mutable granted : int;  (* flags the server granted *)
+  mutable token : string;  (* resume token; "" = session not resumable *)
+  mutable rounds : int;  (* reply frames fully received, errors included *)
+}
+
 type backend =
   | Local of (Message.request -> Message.reply)
-  | Tcp of Unix.file_descr
+  | Tcp of tcp_state
 
 type t = {
   backend : backend;
@@ -80,6 +125,20 @@ type t = {
 let stats t = t.stats
 let trace t = t.trace
 let server_seconds t = t.server_seconds
+
+let offered_flags t =
+  match t.backend with
+  | Local _ -> 0
+  | Tcp { reconnect = Some rc; _ } -> rc.offered
+  | Tcp _ -> 0
+
+let negotiated_flags t =
+  match t.backend with Local _ -> 0 | Tcp st -> st.granted
+
+let resume_token t =
+  match t.backend with
+  | Tcp { token; _ } when token <> "" -> Some token
+  | _ -> None
 
 (* A write to a peer-reset socket must surface as EPIPE (handled by the
    caller), not as a process-killing SIGPIPE — which is exactly what a
@@ -102,25 +161,80 @@ let rec retry_on_intr f =
   | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     retry_on_intr f
 
-let write_frame ?max_frame:cap fd payload =
+(* The connection-level errno class: the peer (or the network) is gone,
+   which the fault-tolerant paths treat as recoverable.  Everything else
+   (EBADF, EINVAL, ...) stays a raw Unix_error — those are local bugs,
+   and retrying them would hide the bug. *)
+let map_conn_errors f =
+  try f ()
+  with
+  | Unix.Unix_error
+      ( (( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ENETRESET
+         | Unix.ENETDOWN | Unix.ENETUNREACH | Unix.ETIMEDOUT
+         | Unix.EHOSTUNREACH | Unix.EHOSTDOWN | Unix.ENOTCONN
+         | Unix.ESHUTDOWN ) as e),
+        fn,
+        _ ) ->
+    conn_lost "%s: connection lost (%s)" fn (Unix.error_message e)
+
+let drop_connection fd why =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  conn_lost "fault injection: %s" why
+
+let put_u32_be b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr (v land 0xFF))
+
+let write_frame ?max_frame:cap ?(crc = false) ?faults fd payload =
   let cap = match cap with Some c -> c | None -> !max_frame_cap in
-  let len = String.length payload in
-  if len > cap then protocol_error "frame too large: %d bytes" len;
-  (* Header and body go out in one write: separate writes interact with
-     Nagle + delayed ACK and add ~40 ms per round trip on loopback. *)
+  let payload_len = String.length payload in
+  if payload_len > cap then protocol_error "frame too large: %d bytes" payload_len;
+  (* With CRC negotiated, the body is payload ^ 4-byte big-endian CRC-32
+     and the header length covers both.  Header and body still go out in
+     one write: separate writes interact with Nagle + delayed ACK and
+     add ~40 ms per round trip on loopback. *)
+  let len = if crc then payload_len + 4 else payload_len in
   let frame = Bytes.create (4 + len) in
-  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
-  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xFF));
-  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
-  Bytes.set frame 3 (Char.chr (len land 0xFF));
-  Bytes.blit_string payload 0 frame 4 len;
-  let rec write_all off remaining =
-    if remaining > 0 then begin
-      let n = retry_on_intr (fun () -> Unix.write fd frame off remaining) in
-      write_all (off + n) (remaining - n)
-    end
+  put_u32_be frame 0 len;
+  Bytes.blit_string payload 0 frame 4 payload_len;
+  if crc then put_u32_be frame (4 + payload_len) (Crc32.digest payload);
+  let total = 4 + len in
+  let write_range first count =
+    let rec go off remaining =
+      if remaining > 0 then begin
+        let n = retry_on_intr (fun () -> Unix.write fd frame off remaining) in
+        go (off + n) (remaining - n)
+      end
+    in
+    go first count
   in
-  write_all 0 (4 + len)
+  let action = match faults with None -> Faults.Pass | Some f -> Faults.next f in
+  map_conn_errors (fun () ->
+      match action with
+      | Faults.Pass -> write_range 0 total
+      | Faults.Drop -> drop_connection fd "connection dropped before send"
+      | Faults.Corrupt k ->
+        (* flip one bit of the body (trailer included), leaving the
+           header intact: the frame arrives well-formed and the
+           integrity check has to be the thing that catches it *)
+        if len > 0 then begin
+          let pos = 4 + (((k mod len) + len) mod len) in
+          Bytes.set frame pos
+            (Char.chr (Char.code (Bytes.get frame pos) lxor 0x20))
+        end;
+        write_range 0 total
+      | Faults.Delay s ->
+        Thread.delay s;
+        write_range 0 total
+      | Faults.Short_write ->
+        write_range 0 (max 1 (total / 2));
+        drop_connection fd "connection dropped mid-frame (short write)"
+      | Faults.Duplicate ->
+        write_range 0 total;
+        write_range 0 total;
+        drop_connection fd "connection dropped after duplicated frame")
 
 (* Block until [fd] is readable or the absolute monotonic [deadline]
    passes.  Recomputes the remaining budget after every EINTR wakeup, so
@@ -143,23 +257,54 @@ let read_exactly ?deadline fd n =
     else begin
       (match deadline with Some d -> wait_readable fd d | None -> ());
       match retry_on_intr (fun () -> Unix.read fd buf off (n - off)) with
-      | 0 -> if off = 0 then None else protocol_error "truncated frame (eof mid-frame)"
+      | 0 -> if off = 0 then None else conn_lost "connection lost (eof mid-frame)"
       | k -> go (off + k)
     end
   in
   go 0
 
-let read_frame ?max_frame:cap ?deadline fd =
+let get_u32_be s off =
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let read_frame ?max_frame:cap ?deadline ?(crc = false) ?faults fd =
   let cap = match cap with Some c -> c | None -> !max_frame_cap in
-  match read_exactly ?deadline fd 4 with
-  | None -> None
-  | Some header ->
-    let b i = Char.code (Bytes.get header i) in
-    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > cap then protocol_error "frame length %d exceeds cap" len;
-    (match read_exactly ?deadline fd len with
-     | None -> protocol_error "truncated frame (eof in body)"
-     | Some body -> Some (Bytes.to_string body))
+  let action = match faults with None -> Faults.Pass | Some f -> Faults.next f in
+  (match action with
+   | Faults.Drop | Faults.Short_write | Faults.Duplicate ->
+     (* short-write and duplicate only make sense on the send side;
+        degrade to a plain drop when the injector fires on a receive *)
+     drop_connection fd "connection dropped before receive"
+   | Faults.Delay s -> Thread.delay s
+   | Faults.Pass | Faults.Corrupt _ -> ());
+  map_conn_errors (fun () ->
+      match read_exactly ?deadline fd 4 with
+      | None -> None
+      | Some header ->
+        let len = get_u32_be (Bytes.to_string header) 0 in
+        if len > cap + (if crc then 4 else 0) then
+          protocol_error "frame length %d exceeds cap" len;
+        (match read_exactly ?deadline fd len with
+         | None -> conn_lost "connection lost (eof in frame body)"
+         | Some body ->
+           (match action with
+            | Faults.Corrupt k when len > 0 ->
+              let pos = ((k mod len) + len) mod len in
+              Bytes.set body pos
+                (Char.chr (Char.code (Bytes.get body pos) lxor 0x20))
+            | _ -> ());
+           let body = Bytes.to_string body in
+           if not crc then Some body
+           else begin
+             if len < 4 then
+               frame_corrupt "frame shorter than its CRC-32 trailer";
+             let payload = String.sub body 0 (len - 4) in
+             let expected = get_u32_be body (len - 4) in
+             let actual = Crc32.digest payload in
+             if actual <> expected then
+               frame_corrupt "CRC-32 mismatch on a %d-byte frame" (len - 4);
+             Some payload
+           end))
 
 let decode_reply bytes_str =
   match Message.decode bytes_str with
@@ -168,6 +313,95 @@ let decode_reply bytes_str =
   | exception Wire.Malformed m -> protocol_error "malformed reply: %s" m
 
 let check_not_closed t = if t.closed then protocol_error "channel is closed"
+
+let tcp_socket_connect ~host ~port =
+  let addr =
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let retryable_connect_errno = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT | Unix.EHOSTUNREACH
+  | Unix.ENETUNREACH | Unix.ENETDOWN | Unix.EADDRNOTAVAIL -> true
+  | _ -> false
+
+(* Reconnect and re-attach to the parked server-side session: one
+   Resume round trip per attempt, under the channel's retry policy.
+   Returns [`Replayed reply] when the server already processed the
+   in-flight request (its reply travels inside the Resume_ack — the
+   round is never executed twice), [`In_sync] when the caller should
+   re-send.  The handshake frames deliberately bypass the fault
+   injector and CRC: recovery must work under any chaos profile, and
+   CRC state is renegotiated by the ack itself. *)
+let resume_session t st =
+  let rc =
+    match st.reconnect with
+    | Some rc -> rc
+    | None -> conn_lost "connection lost and channel is not reconnectable"
+  in
+  let cap = t.config.max_frame in
+  let policy = match rc.retry with Some p -> p | None -> Retry.default_policy in
+  let attempt_once () =
+    Metrics.incr m_resume_attempts;
+    (try Unix.close st.fd with Unix.Unix_error _ -> ());
+    st.fd <- tcp_socket_connect ~host:rc.host ~port:rc.port;
+    st.crc <- false;
+    let encoded =
+      Message.encode
+        (Message.Request
+           (Message.Resume
+              { token = st.token; client_rounds = st.rounds; flags = rc.offered }))
+    in
+    Stats.record_sent t.stats ~bytes:(String.length encoded) ~values:0;
+    write_frame ~max_frame:cap st.fd encoded;
+    match read_frame ~max_frame:cap st.fd with
+    | None -> conn_lost "connection lost during resume handshake"
+    | Some frame ->
+      Stats.record_received t.stats ~bytes:(String.length frame) ~values:0;
+      (match decode_reply frame with
+       | Message.Resume_ack { server_rounds; reply; flags } ->
+         st.granted <- flags;
+         st.crc <- flags land Message.flag_crc32 <> 0;
+         Metrics.incr m_resume_ok;
+         if server_rounds > st.rounds then begin
+           (* the lost frame was the reply, not the request: consume the
+              replayed copy and re-align the round counter *)
+           if String.length reply = 0 then
+             protocol_error
+               "resume: server is %d round(s) ahead but sent no replay"
+               (server_rounds - st.rounds);
+           st.rounds <- server_rounds - 1;
+           Metrics.incr m_resume_replayed;
+           `Replayed reply
+         end
+         else if server_rounds = st.rounds then `In_sync
+         else
+           protocol_error "resume: server behind client (%d < %d rounds)"
+             server_rounds st.rounds
+       | Message.Resume_reject { reason } -> raise (Resume_rejected reason)
+       | Message.Busy { retry_after_s } -> raise (Busy { retry_after_s })
+       | Message.Error_reply m -> protocol_error "peer error during resume: %s" m
+       | _ -> protocol_error "unexpected reply to resume")
+  in
+  Retry.with_retry ~policy ~rng:rc.rng ~sleep:rc.sleep
+    ~classify:(function
+      | Connection_lost _ | Frame_corrupt _ -> `Retry
+      (* a reject may be the park/reconnect race (the server thread has
+         not parked the state yet): retry briefly before giving up *)
+      | Resume_rejected _ -> `Retry
+      | Busy { retry_after_s } -> `Retry_after retry_after_s
+      | Unix.Unix_error (e, _, _) when retryable_connect_errno e -> `Retry
+      | _ -> `Fail)
+    attempt_once
 
 let request t req =
   check_not_closed t;
@@ -207,20 +441,56 @@ let request t req =
            ~reply_bytes:(String.length reply_encoded)
        | None -> ());
       (decode_reply reply_encoded, String.length reply_encoded)
-    | Tcp fd ->
-      write_frame ~max_frame:cap fd encoded;
-      (match read_frame ~max_frame:cap fd with
-       | None -> protocol_error "connection closed by peer"
-       | Some frame ->
-         let reply = decode_reply frame in
-         Stats.record_received t.stats ~bytes:(String.length frame)
-           ~values:(Message.values_in (Message.Reply reply));
-         (match t.trace with
-          | Some tr ->
-            Trace.record tr ~request_bytes:(String.length encoded)
-              ~reply_bytes:(String.length frame)
-          | None -> ());
-         (reply, String.length frame))
+    | Tcp st ->
+      (* One logical round, surviving connection loss: on a typed
+         transport fault, reconnect + resume and either consume the
+         replayed reply or re-send.  Consecutive failures of the same
+         round are bounded so a drop-everything chaos profile degrades
+         to a typed error instead of a livelock. *)
+      let max_consecutive_failures =
+        match st.reconnect with
+        | Some { retry = Some p; _ } -> p.Retry.max_attempts
+        | _ -> Retry.default_policy.Retry.max_attempts
+      in
+      let rec round failures =
+        match
+          write_frame ~max_frame:cap ~crc:st.crc ?faults:st.faults st.fd encoded;
+          (match
+             read_frame ~max_frame:cap ~crc:st.crc ?faults:st.faults st.fd
+           with
+          | None -> conn_lost "connection closed by peer"
+          | Some frame -> frame)
+        with
+        | frame -> frame
+        | exception ((Connection_lost _ | Frame_corrupt _) as e) ->
+          Stats.record_failure t.stats;
+          if st.token = "" || failures + 1 >= max_consecutive_failures then
+            raise e;
+          (match resume_session t st with
+           | `Replayed frame -> frame
+           | `In_sync -> round (failures + 1))
+      in
+      let frame = round 0 in
+      let reply = decode_reply frame in
+      st.rounds <- st.rounds + 1;
+      (* Capability negotiation: the server's grant rides in Welcome.
+         CRC turns on only now — the Welcome frame itself is plain, the
+         same on-wire order the server follows. *)
+      (match (req, reply) with
+       | Message.Hello _, Message.Welcome { flags; resume_token; _ } ->
+         st.granted <- flags;
+         st.crc <- flags land Message.flag_crc32 <> 0;
+         st.token <-
+           (if flags land Message.flag_resume <> 0 then resume_token else "")
+       | _ -> ());
+      Stats.record_received t.stats ~bytes:(String.length frame)
+        ~values:(Message.values_in (Message.Reply reply));
+      (match t.trace with
+       | Some tr ->
+         Trace.record tr ~request_bytes:(String.length encoded)
+           ~reply_bytes:(String.length frame)
+       | None -> ());
+      (reply, String.length frame)
   in
   Stats.record_round t.stats;
   record_round_telemetry
@@ -245,7 +515,7 @@ let close t =
     t.closed <- true;
     match t.backend with
     | Local _ -> ()
-    | Tcp fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+    | Tcp st -> (try Unix.close st.fd with Unix.Unix_error _ -> ())
   end
 
 let make ?config:cfg ?trace backend =
@@ -260,21 +530,40 @@ let make ?config:cfg ?trace backend =
 
 let local ?config ?trace handler = make ?config ?trace (Local handler)
 
-let connect ?config ?trace ~host ~port () =
+let connect ?config ?trace ?(crc = true) ?(resume = true) ?retry ?rng ?sleep
+    ?faults ~host ~port () =
   Lazy.force ignore_sigpipe;
-  let addr =
-    match Unix.gethostbyname host with
-    | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
-    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
-    | exception Not_found -> Unix.inet_addr_of_string host
+  let rng =
+    match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ()
   in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.TCP_NODELAY true;
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-   with e ->
-     Unix.close fd;
-     raise e);
-  make ?config ?trace (Tcp fd)
+  let sleep = match sleep with Some s -> s | None -> Thread.delay in
+  let connect_once () = tcp_socket_connect ~host ~port in
+  let fd =
+    match retry with
+    | None -> connect_once ()
+    | Some policy ->
+      Retry.with_retry ~policy ~rng ~sleep
+        ~classify:(function
+          | Unix.Unix_error (e, _, _) when retryable_connect_errno e -> `Retry
+          | Connection_lost _ -> `Retry
+          | _ -> `Fail)
+        connect_once
+  in
+  let offered =
+    (if crc then Message.flag_crc32 else 0)
+    lor if resume then Message.flag_resume else 0
+  in
+  make ?config ?trace
+    (Tcp
+       {
+         fd;
+         reconnect = Some { host; port; offered; retry; rng; sleep };
+         faults;
+         crc = false;
+         granted = 0;
+         token = "";
+         rounds = 0;
+       })
 
 let serve_once ?config:cfg ~port ~handler () =
   Lazy.force ignore_sigpipe;
@@ -293,7 +582,10 @@ let serve_once ?config:cfg ~port ~handler () =
         (fun () ->
           (* Measure handler time so the client's accounting can include
              the server side even over TCP: the total is shipped back in
-             the final Bye_ack (see Message.Bye_ack). *)
+             the final Bye_ack (see Message.Bye_ack).  serve_once never
+             grants capability flags (no CRC, no resume): it is the
+             minimal single-session server; Server_loop is the
+             fault-tolerant one. *)
           let handler_seconds = ref 0.0 in
           let timed req =
             let t0 = Unix.gettimeofday () in
@@ -309,6 +601,9 @@ let serve_once ?config:cfg ~port ~handler () =
                 match Message.decode frame with
                 | Message.Request Message.Bye ->
                   Message.Bye_ack { server_seconds = !handler_seconds }
+                | Message.Request (Message.Resume _) ->
+                  Message.Resume_reject
+                    { reason = "this server does not retain session state" }
                 | Message.Request req -> timed req
                 | Message.Reply _ -> Message.Error_reply "expected a request"
                 | exception Wire.Malformed m ->
@@ -317,4 +612,4 @@ let serve_once ?config:cfg ~port ~handler () =
               write_frame ~max_frame:cfg.max_frame fd (Message.encode (Message.Reply reply));
               match reply with Message.Bye_ack _ -> () | _ -> loop ()
           in
-          loop ()))
+          try loop () with Connection_lost _ -> ()))

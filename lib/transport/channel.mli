@@ -28,6 +28,25 @@ exception Timeout
 (** Raised by {!read_frame} when its [?deadline] passes before a full
     frame arrives. *)
 
+exception Connection_lost of string
+(** The peer (or the network) is gone: EOF mid-frame, [EPIPE],
+    [ECONNRESET], [ETIMEDOUT] and friends — previously these leaked as
+    raw [Unix.Unix_error] and bypassed accounting.  On a resumable
+    channel {!request} recovers from this transparently (reconnect +
+    [Resume]); it only escapes when the session has no resume token or
+    recovery itself exhausted its retry budget. *)
+
+exception Frame_corrupt of string
+(** A frame failed its negotiated CRC-32 integrity check.  The payload
+    is never handed to the codec (garbage must not reach
+    [Paillier.decrypt]); on a resumable channel the same reconnect +
+    resume path as {!Connection_lost} applies. *)
+
+exception Resume_rejected of string
+(** The server answered [Resume] with [Resume_reject]: the token is
+    unknown, expired or evicted.  The session is unrecoverable; start
+    over from [Hello]. *)
+
 (** {1 Per-channel configuration} *)
 
 type config = {
@@ -47,9 +66,18 @@ val default_config : unit -> config
 type t
 
 val request : t -> Message.request -> Message.reply
-(** One round trip.  Accounting is updated on both directions.
+(** One {e logical} round trip.  Accounting is updated on both
+    directions.  On a TCP channel with a resume token, a mid-round
+    {!Connection_lost}/{!Frame_corrupt} triggers transparent recovery:
+    reconnect under the retry policy, present the token, and either
+    consume the replayed reply (the server was ahead — the round is
+    never executed twice) or re-send the request.  Protocol drivers
+    above this call need no fault handling of their own.
     @raise Protocol_error when the peer signals an error.
-    @raise Busy when the peer rejects the session at capacity. *)
+    @raise Busy when the peer rejects the session at capacity.
+    @raise Connection_lost when the link died and could not be resumed.
+    @raise Frame_corrupt on an unrecoverable integrity failure.
+    @raise Resume_rejected when the server refused the resume token. *)
 
 val stats : t -> Stats.t
 
@@ -80,12 +108,41 @@ val local : ?config:config -> ?trace:Trace.t -> (Message.request -> Message.repl
 (** {1 TCP} *)
 
 val connect :
-  ?config:config -> ?trace:Trace.t -> host:string -> port:int -> unit -> t
-(** Same optional arguments as {!local} (constructor symmetry): the
-    channel's frame cap comes from [?config], and [?trace] records
-    per-round sizes exactly as in-process channels do.  (The trailing
-    [unit] lets the optional arguments default.)
+  ?config:config ->
+  ?trace:Trace.t ->
+  ?crc:bool ->
+  ?resume:bool ->
+  ?retry:Retry.policy ->
+  ?rng:Ppst_rng.Secure_rng.t ->
+  ?sleep:(float -> unit) ->
+  ?faults:Faults.t ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** [?config]/[?trace] as in {!local}.  [?crc] (default [true]) and
+    [?resume] (default [true]) choose the capability bits {e offered} in
+    [Hello]; what is actually in force is the server's grant, observed
+    on the [Welcome] reply (an old server simply grants nothing and the
+    session runs exactly as before this PR).  [?retry] makes the initial
+    TCP connect retry per the policy (single attempt when omitted) and
+    is also the policy for mid-session resume (which defaults to
+    {!Retry.default_policy}); [?rng] (jitter) and [?sleep] are
+    injectable for deterministic tests.  [?faults] installs a
+    deterministic fault injector in this channel's frame path — chaos
+    testing; never set in production.
     @raise Unix.Unix_error on connection failure. *)
+
+val offered_flags : t -> int
+(** The capability bits this channel offers in [Hello]
+    ({!Message.flag_crc32} / {!Message.flag_resume}); [0] for local
+    channels. *)
+
+val negotiated_flags : t -> int
+(** The server's grant, [0] until the [Welcome] reply has been seen. *)
+
+val resume_token : t -> string option
+(** The live resume token, once granted. *)
 
 val serve_once :
   ?config:config ->
@@ -103,13 +160,29 @@ val serve_once :
 
 (** {1 Frame I/O (exposed for {!Server_loop}, the server binary and tests)} *)
 
-val write_frame : ?max_frame:int -> Unix.file_descr -> string -> unit
+val write_frame :
+  ?max_frame:int -> ?crc:bool -> ?faults:Faults.t -> Unix.file_descr -> string -> unit
+(** [?crc] appends a CRC-32 trailer (and covers it with the length
+    header); [?faults] consults the injector before the write.
+    @raise Protocol_error when the payload exceeds the cap.
+    @raise Connection_lost on a connection-class [Unix] error (or an
+    injected drop). *)
 
-val read_frame : ?max_frame:int -> ?deadline:float -> Unix.file_descr -> string option
+val read_frame :
+  ?max_frame:int ->
+  ?deadline:float ->
+  ?crc:bool ->
+  ?faults:Faults.t ->
+  Unix.file_descr ->
+  string option
 (** [None] on clean EOF.  [?max_frame] overrides the process-wide cap
     for this read; [?deadline] is an {e absolute} instant on
-    {!Monoclock.now}'s timescale after which the read gives up.
-    @raise Protocol_error on truncated frames or oversized lengths.
+    {!Monoclock.now}'s timescale after which the read gives up.  With
+    [?crc] the trailer is verified and stripped before the payload is
+    returned.
+    @raise Protocol_error on oversized lengths.
+    @raise Connection_lost on EOF mid-frame or a connection-class error.
+    @raise Frame_corrupt on a CRC mismatch.
     @raise Timeout when [deadline] passes mid-read. *)
 
 val setup_sigpipe : unit -> unit

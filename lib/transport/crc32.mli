@@ -1,0 +1,18 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial, the zlib/Ethernet variant)
+    for frame-integrity trailers.
+
+    This is an {e error-detection} code, not a MAC: it catches line
+    corruption and truncation, not a malicious peer (who can recompute
+    it).  The threat model here is the same as TCP's own checksum —
+    protecting {!Paillier.decrypt} from being fed bit-flipped
+    ciphertexts — while authenticity remains out of scope exactly as in
+    the paper's semi-honest setting (SECURITY.md). *)
+
+val digest : string -> int
+(** CRC-32 of the whole string, in [\[0, 2^32)].
+    [digest "123456789" = 0xCBF43926] (the standard check value). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s off len] extends a running checksum — [digest s] is
+    [update 0 s 0 (String.length s)].
+    @raise Invalid_argument when [off]/[len] fall outside [s]. *)

@@ -1,0 +1,169 @@
+(* Deterministic fault injection for the frame layer.  An injector sits
+   in a channel's (or server session's) frame path and decides, per
+   frame, whether to pass it through or to inject one of five faults.
+   Everything is seeded (SplitMix64 — test machinery, not protocol
+   randomness), so a chaos run replays bit-identically from
+   [--chaos-seed]. *)
+
+module Metrics = Ppst_telemetry.Metrics
+
+let m_injected = Metrics.counter "transport.faults.injected"
+
+type profile =
+  | Off
+  | Drop_at of int
+  | Drop_every of int
+  | Corrupt_every of int * int
+  | Delay_every of int * float
+  | Short_every of int
+  | Dup_every of int
+  | Flaky of float
+
+type action =
+  | Pass
+  | Drop
+  | Corrupt of int
+  | Delay of float
+  | Short_write
+  | Duplicate
+
+type t = {
+  profile : profile;
+  prng : Ppst_bigint.Splitmix.t;
+  mu : Mutex.t;
+  mutable frames : int;
+  mutable injected : int;
+}
+
+let create ?(seed = 1) profile =
+  (match profile with
+   | Drop_at n when n < 1 -> invalid_arg "Faults.create: drop-at index must be >= 1"
+   | Drop_every n | Corrupt_every (n, _) | Delay_every (n, _) | Short_every n
+   | Dup_every n ->
+     if n < 1 then invalid_arg "Faults.create: period must be >= 1"
+   | Flaky p ->
+     if p < 0.0 || p > 1.0 then
+       invalid_arg "Faults.create: flaky probability must be in [0, 1]"
+   | Off | Drop_at _ -> ());
+  {
+    profile;
+    prng = Ppst_bigint.Splitmix.create seed;
+    mu = Mutex.create ();
+    frames = 0;
+    injected = 0;
+  }
+
+let profile t = t.profile
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let frames t = locked t (fun () -> t.frames)
+let injected t = locked t (fun () -> t.injected)
+
+let next t =
+  locked t (fun () ->
+      t.frames <- t.frames + 1;
+      let n = t.frames in
+      let action =
+        match t.profile with
+        | Off -> Pass
+        | Drop_at k -> if n = k then Drop else Pass
+        | Drop_every k -> if n mod k = 0 then Drop else Pass
+        | Corrupt_every (k, byte) -> if n mod k = 0 then Corrupt byte else Pass
+        | Delay_every (k, s) -> if n mod k = 0 then Delay s else Pass
+        | Short_every k -> if n mod k = 0 then Short_write else Pass
+        | Dup_every k -> if n mod k = 0 then Duplicate else Pass
+        | Flaky p ->
+          (* seeded coin per frame; the draw happens on every frame so
+             the stream stays aligned with the frame counter *)
+          let u = float_of_int (Ppst_bigint.Splitmix.int t.prng (1 lsl 30)) /. 1073741824.0 in
+          if u < p then Drop else Pass
+      in
+      (match action with Pass -> () | _ ->
+        t.injected <- t.injected + 1;
+        Metrics.incr m_injected);
+      action)
+
+let profile_to_string = function
+  | Off -> "off"
+  | Drop_at n -> Printf.sprintf "drop-at-%d" n
+  | Drop_every n -> Printf.sprintf "drop-every-%d" n
+  | Corrupt_every (n, k) -> Printf.sprintf "corrupt-every-%d:%d" n k
+  | Delay_every (n, s) -> Printf.sprintf "delay-every-%d:%gms" n (s *. 1000.0)
+  | Short_every n -> Printf.sprintf "short-every-%d" n
+  | Dup_every n -> Printf.sprintf "dup-every-%d" n
+  | Flaky p -> Printf.sprintf "flaky-%g" p
+
+let profile_of_string s =
+  (* Parsed profiles go straight to [create]: validate here so a bad
+     [--chaos-profile] dies at argument parsing, not at first frame. *)
+  let int_of v = match int_of_string_opt v with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error (Printf.sprintf "chaos profile: %d is not a positive count" n)
+    | None -> Error (Printf.sprintf "chaos profile: %S is not an integer" v)
+  in
+  let split_colon v = match String.index_opt v ':' with
+    | None -> (v, None)
+    | Some i ->
+      (String.sub v 0 i, Some (String.sub v (i + 1) (String.length v - i - 1)))
+  in
+  let strip prefix =
+    if String.length s > String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then Some (String.sub s (String.length prefix)
+                 (String.length s - String.length prefix))
+    else None
+  in
+  let ( let* ) = Result.bind in
+  match s with
+  | "off" | "" -> Ok Off
+  | _ ->
+    (match strip "drop-at-" with
+     | Some rest -> let* n = int_of rest in Ok (Drop_at n)
+     | None ->
+     match strip "drop-every-" with
+     | Some rest -> let* n = int_of rest in Ok (Drop_every n)
+     | None ->
+     match strip "corrupt-every-" with
+     | Some rest ->
+       let every, byte = split_colon rest in
+       let* n = int_of every in
+       (* the byte index may be 0 (first byte of the frame) *)
+       let* k =
+         match byte with
+         | None -> Ok 0
+         | Some b ->
+           (match int_of_string_opt b with
+            | Some k when k >= 0 -> Ok k
+            | _ -> Error (Printf.sprintf "chaos profile: bad byte index %S" b))
+       in
+       Ok (Corrupt_every (n, k))
+     | None ->
+     match strip "delay-every-" with
+     | Some rest ->
+       let every, ms = split_colon rest in
+       let* n = int_of every in
+       let* ms = match ms with None -> Ok 10 | Some m -> int_of m in
+       Ok (Delay_every (n, float_of_int ms /. 1000.0))
+     | None ->
+     match strip "short-every-" with
+     | Some rest -> let* n = int_of rest in Ok (Short_every n)
+     | None ->
+     match strip "dup-every-" with
+     | Some rest -> let* n = int_of rest in Ok (Dup_every n)
+     | None ->
+     match strip "flaky-" with
+     | Some rest ->
+       (match float_of_string_opt rest with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (Flaky p)
+        | _ -> Error (Printf.sprintf "chaos profile: bad probability %S" rest))
+     | None ->
+       Error
+         (Printf.sprintf
+            "unknown chaos profile %S (expected off, drop-at-N, drop-every-N, \
+             corrupt-every-N[:BYTE], delay-every-N[:MS], short-every-N, \
+             dup-every-N or flaky-P)"
+            s))

@@ -1,0 +1,56 @@
+(** Deterministic fault injection for chaos testing the frame layer.
+
+    An injector is installed in a channel's ({!Channel.connect}
+    [?faults]) or server's ({!Server_loop.config.faults}) frame path and
+    consulted once per frame — sends and receives alike, in I/O order —
+    via {!next}.  Profiles are deterministic in the frame counter (and,
+    for [Flaky], in the SplitMix64 seed), so a failing chaos run replays
+    bit-identically from its [--chaos-seed]/[--chaos-profile] pair.
+
+    The resume-handshake frames a reconnecting channel exchanges
+    ([Resume]/[Resume_ack]) are {e not} passed through the injector:
+    faults target the session's data path, and recovery must be able to
+    make progress under profiles as hostile as [drop-every-1]. *)
+
+type profile =
+  | Off
+  | Drop_at of int  (** hard-drop the connection at frame N (1-based) *)
+  | Drop_every of int  (** ... at every Nth frame *)
+  | Corrupt_every of int * int
+      (** flip one bit of byte K (mod length) in every Nth frame *)
+  | Delay_every of int * float  (** sleep S seconds before every Nth frame *)
+  | Short_every of int
+      (** write only a prefix of every Nth outgoing frame, then drop *)
+  | Dup_every of int
+      (** send every Nth outgoing frame twice, then drop (a duplicate
+          desyncs a strict request/reply stream — the drop forces the
+          resume path to clean it up) *)
+  | Flaky of float  (** drop each frame independently with probability p *)
+
+type action = Pass | Drop | Corrupt of int | Delay of float | Short_write | Duplicate
+
+type t
+
+val create : ?seed:int -> profile -> t
+(** @raise Invalid_argument on a non-positive period/index or a [Flaky]
+    probability outside [\[0, 1\]]. *)
+
+val next : t -> action
+(** Advance the frame counter and return the action for this frame.
+    Thread-safe (one injector may be shared by every session of a
+    server loop). *)
+
+val profile : t -> profile
+
+val frames : t -> int
+(** Frames seen so far. *)
+
+val injected : t -> int
+(** Faults injected so far. *)
+
+val profile_of_string : string -> (profile, string) result
+(** Parse a [--chaos-profile] argument: [off], [drop-at-N],
+    [drop-every-N], [corrupt-every-N[:BYTE]], [delay-every-N[:MS]],
+    [short-every-N], [dup-every-N], [flaky-P]. *)
+
+val profile_to_string : profile -> string

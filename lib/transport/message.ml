@@ -1,7 +1,7 @@
 open Ppst_bigint
 
 type request =
-  | Hello
+  | Hello of { flags : int }
   | Phase1_request
   | Min_request of Bigint.t array
   | Max_request of Bigint.t array
@@ -12,6 +12,7 @@ type request =
   | Batch_max_request of Bigint.t array array
   | Stats_req
   | Bye
+  | Resume of { token : string; client_rounds : int; flags : int }
 
 type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
 
@@ -22,6 +23,8 @@ type reply =
       series_length : int;
       dimension : int;
       max_value : int;
+      flags : int;
+      resume_token : string;
     }
   | Phase1_reply of phase1_element array
   | Cipher_reply of Bigint.t
@@ -33,6 +36,8 @@ type reply =
   | Stats_reply of string
   | Busy of { retry_after_s : float }
   | Error_reply of string
+  | Resume_ack of { server_rounds : int; reply : string; flags : int }
+  | Resume_reject of { reason : string }
 
 type t = Request of request | Reply of reply
 
@@ -48,6 +53,7 @@ let tag_select_request = 0x08
 let tag_batch_min_request = 0x09
 let tag_batch_max_request = 0x0a
 let tag_stats_request = 0x0b
+let tag_resume = 0x0c
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -58,12 +64,24 @@ let tag_catalog_reply = 0x87
 let tag_select_ack = 0x88
 let tag_batch_cipher_reply = 0x89
 let tag_stats_reply = 0x8a
+let tag_resume_ack = 0x8b
+let tag_resume_reject = 0x8c
 let tag_busy = 0x8e
+
+(* Capability bits carried in [Hello.flags] (the client's offer) and
+   echoed back in [Welcome.flags] (the server's grant = offer AND
+   support).  A flags value of 0 encodes byte-identically to the PR 3
+   wire format, which is the whole interop story (PROTOCOL.md s.9). *)
+let flag_crc32 = 0x01
+let flag_resume = 0x02
 
 let encode t =
   let w = Wire.writer () in
   (match t with
-   | Request Hello -> Wire.put_u8 w tag_hello
+   | Request (Hello { flags }) ->
+     Wire.put_u8 w tag_hello;
+     (* flags = 0 stays a bare tag byte: old peers decode it unchanged *)
+     if flags <> 0 then Wire.put_u8 w flags
    | Request Phase1_request -> Wire.put_u8 w tag_phase1_request
    | Request (Min_request candidates) ->
      Wire.put_u8 w tag_min_request;
@@ -88,13 +106,24 @@ let encode t =
      Array.iter (Wire.put_bigint_array w) sets
    | Request Stats_req -> Wire.put_u8 w tag_stats_request
    | Request Bye -> Wire.put_u8 w tag_bye
-   | Reply (Welcome { n; key_bits; series_length; dimension; max_value }) ->
+   | Request (Resume { token; client_rounds; flags }) ->
+     Wire.put_u8 w tag_resume;
+     Wire.put_bytes w token;
+     Wire.put_u32 w client_rounds;
+     Wire.put_u8 w flags
+   | Reply (Welcome { n; key_bits; series_length; dimension; max_value; flags; resume_token }) ->
      Wire.put_u8 w tag_welcome;
      Wire.put_bigint w n;
      Wire.put_u32 w key_bits;
      Wire.put_u32 w series_length;
      Wire.put_u32 w dimension;
-     Wire.put_u32 w max_value
+     Wire.put_u32 w max_value;
+     (* capability extension: absent entirely when nothing is granted,
+        so a PR 3 peer sees exactly the frame it always saw *)
+     if flags <> 0 || resume_token <> "" then begin
+       Wire.put_u8 w flags;
+       Wire.put_bytes w resume_token
+     end
    | Reply (Phase1_reply elements) ->
      Wire.put_u8 w tag_phase1_reply;
      Wire.put_u32 w (Array.length elements);
@@ -130,14 +159,24 @@ let encode t =
      Wire.put_f64 w retry_after_s
    | Reply (Error_reply msg) ->
      Wire.put_u8 w tag_error_reply;
-     Wire.put_bytes w msg);
+     Wire.put_bytes w msg
+   | Reply (Resume_ack { server_rounds; reply; flags }) ->
+     Wire.put_u8 w tag_resume_ack;
+     Wire.put_u32 w server_rounds;
+     Wire.put_bytes w reply;
+     Wire.put_u8 w flags
+   | Reply (Resume_reject { reason }) ->
+     Wire.put_u8 w tag_resume_reject;
+     Wire.put_bytes w reason);
   Wire.contents w
 
 let decode s =
   let r = Wire.reader s in
   let tag = Wire.get_u8 r in
   let msg =
-    if tag = tag_hello then Request Hello
+    if tag = tag_hello then
+      let flags = if Wire.remaining r > 0 then Wire.get_u8 r else 0 in
+      Request (Hello { flags })
     else if tag = tag_phase1_request then Request Phase1_request
     else if tag = tag_min_request then Request (Min_request (Wire.get_bigint_array r))
     else if tag = tag_max_request then Request (Max_request (Wire.get_bigint_array r))
@@ -154,13 +193,25 @@ let decode s =
     end
     else if tag = tag_stats_request then Request Stats_req
     else if tag = tag_bye then Request Bye
+    else if tag = tag_resume then begin
+      let token = Wire.get_bytes r in
+      let client_rounds = Wire.get_u32 r in
+      let flags = Wire.get_u8 r in
+      Request (Resume { token; client_rounds; flags })
+    end
     else if tag = tag_welcome then begin
       let n = Wire.get_bigint r in
       let key_bits = Wire.get_u32 r in
       let series_length = Wire.get_u32 r in
       let dimension = Wire.get_u32 r in
       let max_value = Wire.get_u32 r in
-      Reply (Welcome { n; key_bits; series_length; dimension; max_value })
+      let flags, resume_token =
+        if Wire.remaining r > 0 then
+          let flags = Wire.get_u8 r in
+          (flags, Wire.get_bytes r)
+        else (0, "")
+      in
+      Reply (Welcome { n; key_bits; series_length; dimension; max_value; flags; resume_token })
     end
     else if tag = tag_phase1_reply then begin
       let count = Wire.get_u32 r in
@@ -189,6 +240,14 @@ let decode s =
       Reply (Bye_ack { server_seconds = Wire.get_f64 r })
     else if tag = tag_stats_reply then Reply (Stats_reply (Wire.get_bytes r))
     else if tag = tag_busy then Reply (Busy { retry_after_s = Wire.get_f64 r })
+    else if tag = tag_resume_ack then begin
+      let server_rounds = Wire.get_u32 r in
+      let reply = Wire.get_bytes r in
+      let flags = Wire.get_u8 r in
+      Reply (Resume_ack { server_rounds; reply; flags })
+    end
+    else if tag = tag_resume_reject then
+      Reply (Resume_reject { reason = Wire.get_bytes r })
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
   in
@@ -196,7 +255,8 @@ let decode s =
   msg
 
 let describe = function
-  | Request Hello -> "hello"
+  | Request (Hello { flags }) ->
+    if flags = 0 then "hello" else Printf.sprintf "hello(flags=0x%02x)" flags
   | Request Phase1_request -> "phase1-request"
   | Request (Min_request c) -> Printf.sprintf "min-request(%d candidates)" (Array.length c)
   | Request (Max_request c) -> Printf.sprintf "max-request(%d candidates)" (Array.length c)
@@ -209,6 +269,8 @@ let describe = function
     Printf.sprintf "batch-max-request(%d sets)" (Array.length sets)
   | Request Stats_req -> "stats-request"
   | Request Bye -> "bye"
+  | Request (Resume { client_rounds; flags; _ }) ->
+    Printf.sprintf "resume(acked=%d, flags=0x%02x)" client_rounds flags
   | Reply (Welcome w) ->
     Printf.sprintf "welcome(bits=%d, length=%d, dim=%d)" w.key_bits w.series_length
       w.dimension
@@ -226,16 +288,21 @@ let describe = function
   | Reply (Busy { retry_after_s }) ->
     Printf.sprintf "busy(retry-after=%.1fs)" retry_after_s
   | Reply (Error_reply m) -> Printf.sprintf "error(%s)" m
+  | Reply (Resume_ack { server_rounds; reply; flags }) ->
+    Printf.sprintf "resume-ack(server=%d, replay=%dB, flags=0x%02x)"
+      server_rounds (String.length reply) flags
+  | Reply (Resume_reject { reason }) -> Printf.sprintf "resume-reject(%s)" reason
 
 let values_in = function
-  | Request Hello | Request Phase1_request | Request Bye | Request Stats_req
-  | Request Catalog_request | Request (Select_request _) -> 0
+  | Request (Hello _) | Request Phase1_request | Request Bye | Request Stats_req
+  | Request Catalog_request | Request (Select_request _) | Request (Resume _) -> 0
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
   | Request (Reveal_request _) -> 1
   | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
-  | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _) -> 0
+  | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _)
+  | Reply (Resume_ack _) | Reply (Resume_reject _) -> 0
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements
   | Reply (Cipher_reply _) | Reply (Reveal_reply _) -> 1

@@ -8,10 +8,13 @@
 open Ppst_bigint
 
 type request =
-  | Hello
+  | Hello of { flags : int }
       (** Session opening: asks for the public key and the server
           series' public metadata (length, dimension, value bound —
-          the matrix dimensions are public in the paper's model). *)
+          the matrix dimensions are public in the paper's model).
+          [flags] offers transport capabilities ({!flag_crc32},
+          {!flag_resume}); [0] encodes byte-identically to the PR 3
+          format, so old peers interop unchanged. *)
   | Phase1_request
       (** Ask for the encrypted server series (paper Section 3.2: the
           one-way transfer of [Enc(Σq²)] and each [Enc(q_i)]). *)
@@ -41,6 +44,12 @@ type request =
           a session slot; in-process servers answer with the process-wide
           {!Ppst_telemetry.Metrics} exposition. *)
   | Bye
+  | Resume of { token : string; client_rounds : int; flags : int }
+      (** Reconnect (tag [0x0C], always the first frame of its
+          connection): present the token from [Welcome] and the number
+          of reply frames this client has fully received
+          ([client_rounds]), re-offering capability [flags] for the new
+          connection.  Answered by [Resume_ack] or [Resume_reject]. *)
 
 type phase1_element = {
   sum_sq : Bigint.t;  (** [Enc(Σ_l y_{j,l}²)] *)
@@ -54,6 +63,15 @@ type reply =
       series_length : int;
       dimension : int;
       max_value : int;
+      flags : int;
+          (** capabilities granted for this session = client offer AND
+              server support; [0] omits the extension bytes entirely
+              (PR 3 wire compatibility) *)
+      resume_token : string;
+          (** 16 random bytes from the server CSPRNG when
+              {!flag_resume} is granted, [""] otherwise.  Pure
+              randomness, never derived from key or protocol state
+              (SECURITY.md). *)
     }
   | Phase1_reply of phase1_element array
   | Cipher_reply of Bigint.t
@@ -83,6 +101,18 @@ type reply =
   | Error_reply of string
       (** Typed in-band failure (bad request for session state, malformed
           candidates, ...). *)
+  | Resume_ack of { server_rounds : int; reply : string; flags : int }
+      (** Resume accepted (tag [0x8B]).  [server_rounds] is how many
+          replies the server has produced for this session; when it is
+          ahead of the client's [client_rounds] (the reply to the
+          in-flight request was computed but lost in transit), [reply]
+          carries that last reply, re-encoded, so the client consumes it
+          instead of re-sending — the round is never executed twice.
+          [flags] are the capabilities in force on the new connection. *)
+  | Resume_reject of { reason : string }
+      (** Resume refused (tag [0x8C]): unknown, expired or evicted
+          token.  The session cannot be recovered; the client must
+          restart from [Hello]. *)
 
 type t = Request of request | Reply of reply
 
@@ -114,6 +144,7 @@ val tag_select_request : int
 val tag_batch_min_request : int
 val tag_batch_max_request : int
 val tag_stats_request : int
+val tag_resume : int
 val tag_welcome : int
 val tag_phase1_reply : int
 val tag_cipher_reply : int
@@ -124,4 +155,20 @@ val tag_catalog_reply : int
 val tag_select_ack : int
 val tag_batch_cipher_reply : int
 val tag_stats_reply : int
+val tag_resume_ack : int
+val tag_resume_reject : int
 val tag_busy : int
+
+(** {1 Capability flags}
+
+    Bits of [Hello.flags] (offer) and [Welcome.flags]/[Resume_ack.flags]
+    (grant). *)
+
+val flag_crc32 : int
+(** [0x01]: every subsequent frame on the connection carries a CRC-32
+    trailer ({!Crc32}); a mismatch surfaces as
+    {!Channel.Frame_corrupt}, never as garbage handed to the codec. *)
+
+val flag_resume : int
+(** [0x02]: the server issues a resume token and parks session state on
+    disconnect ({!Resume_table}), enabling the [Resume] handshake. *)

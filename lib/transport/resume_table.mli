@@ -1,0 +1,34 @@
+(** Bounded, TTL-evicted map from resume token to parked session state.
+
+    {!Server_loop} parks the state of a session whose connection died
+    here, keyed by the random token it issued in [Welcome]; a
+    reconnecting client's [Resume] takes it back out.  Two bounds keep
+    an abandoning (or hostile) client population from pinning server
+    memory: entries expire [ttl_s] after parking, and at [capacity] the
+    entry {e closest to expiry} is evicted to make room.
+
+    The clock is injectable ([?now]) so tests prove TTL eviction by
+    advancing a fake clock rather than sleeping.  All operations are
+    thread-safe; expired entries are swept lazily on every
+    {!put}/{!take} and explicitly via {!sweep}. *)
+
+type 'a t
+
+val create : ?now:(unit -> float) -> capacity:int -> ttl_s:float -> unit -> 'a t
+(** [?now] defaults to {!Monoclock.now}.
+    @raise Invalid_argument on [capacity < 1] or [ttl_s <= 0]. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Park state under a token (replacing any previous entry for it),
+    evicting the closest-to-expiry entry when at capacity. *)
+
+val take : 'a t -> string -> 'a option
+(** Remove and return the live entry for a token; [None] when the token
+    is unknown, already taken, expired or evicted. *)
+
+val sweep : 'a t -> int
+(** Drop every expired entry now; returns how many were dropped. *)
+
+val size : 'a t -> int
+val expired_total : 'a t -> int
+val evicted_total : 'a t -> int

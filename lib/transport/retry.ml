@@ -1,0 +1,74 @@
+(* Unified retry policy: capped exponential backoff with full jitter.
+   Every reconnect path in the transport — initial connect, mid-session
+   resume, the client binary's Busy loop — goes through [with_retry], so
+   backoff behaviour is one policy, not three ad-hoc loops. *)
+
+module Metrics = Ppst_telemetry.Metrics
+
+let m_attempts = Metrics.counter "transport.retry.attempts"
+let m_exhausted = Metrics.counter "transport.retry.exhausted"
+
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  multiplier : float;
+}
+
+let default_policy =
+  { max_attempts = 8; base_delay_s = 0.05; max_delay_s = 2.0; multiplier = 2.0 }
+
+exception Exhausted of { attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { attempts; last } ->
+      Some
+        (Printf.sprintf "Retry.Exhausted(%d attempts, last: %s)" attempts
+           (Printexc.to_string last))
+    | _ -> None)
+
+(* Uniform in [0, 1) from the CSPRNG: 30 bits is plenty for jitter. *)
+let unit_float rng = float_of_int (Ppst_rng.Secure_rng.int rng (1 lsl 30)) /. 1073741824.0
+
+let backoff_delay policy ~rng ~attempt ~hint =
+  let attempt = max 1 attempt in
+  let ceiling =
+    min policy.max_delay_s
+      (policy.base_delay_s *. (policy.multiplier ** float_of_int (attempt - 1)))
+  in
+  (* Full jitter (uniform in [0, ceiling]): decorrelates a thundering
+     herd of clients all rejected by the same Busy server.  A peer's
+     retry-after hint is a floor — we never come back earlier than the
+     server asked. *)
+  let jittered = unit_float rng *. ceiling in
+  match hint with None -> jittered | Some h -> Float.max h jittered
+
+let with_retry ?(policy = default_policy) ?rng ?(sleep = Thread.delay)
+    ?on_attempt ~classify f =
+  if policy.max_attempts < 1 then
+    invalid_arg "Retry.with_retry: max_attempts must be >= 1";
+  let rng =
+    match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ()
+  in
+  let rec go attempt =
+    try f () with
+    | e ->
+      let verdict = classify e in
+      (match verdict with
+       | `Fail -> raise e
+       | `Retry | `Retry_after _ ->
+         if attempt >= policy.max_attempts then begin
+           Metrics.incr m_exhausted;
+           raise (Exhausted { attempts = attempt; last = e })
+         end;
+         let hint = match verdict with `Retry_after s -> Some s | _ -> None in
+         let delay_s = backoff_delay policy ~rng ~attempt ~hint in
+         Metrics.incr m_attempts;
+         (match on_attempt with
+          | Some hook -> hook ~attempt ~delay_s e
+          | None -> ());
+         if delay_s > 0.0 then sleep delay_s;
+         go (attempt + 1))
+  in
+  go 1

@@ -1,0 +1,46 @@
+(** One retry policy for every reconnect path: capped exponential
+    backoff with {e full jitter} drawn from the ChaCha20 CSPRNG.
+
+    Used by {!Channel.connect} (initial connect), {!Channel.request}
+    (mid-session reconnect + resume after {!Channel.Connection_lost} /
+    {!Channel.Frame_corrupt}) and the [ppst_client] Busy loop, so all
+    three share the same backoff shape and honour the server's
+    [Busy.retry_after_s] hint the same way. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, the first one included; [>= 1] *)
+  base_delay_s : float;  (** backoff ceiling before attempt 2 *)
+  max_delay_s : float;  (** backoff ceiling never grows past this *)
+  multiplier : float;  (** ceiling growth per attempt (2.0 = doubling) *)
+}
+
+val default_policy : policy
+(** 8 attempts, 50 ms base, 2 s cap, doubling. *)
+
+exception Exhausted of { attempts : int; last : exn }
+(** Raised when every attempt failed with a retryable error; [last] is
+    the final attempt's exception. *)
+
+val backoff_delay :
+  policy -> rng:Ppst_rng.Secure_rng.t -> attempt:int -> hint:float option -> float
+(** The sleep before attempt [attempt + 1]: uniform in
+    [\[0, min (max_delay_s, base_delay_s * multiplier^(attempt-1))\]]
+    (full jitter), floored at [hint] when the peer sent a retry-after.
+    Exposed for tests. *)
+
+val with_retry :
+  ?policy:policy ->
+  ?rng:Ppst_rng.Secure_rng.t ->
+  ?sleep:(float -> unit) ->
+  ?on_attempt:(attempt:int -> delay_s:float -> exn -> unit) ->
+  classify:(exn -> [ `Retry | `Retry_after of float | `Fail ]) ->
+  (unit -> 'a) ->
+  'a
+(** Run [f], retrying per [classify]: [`Fail] re-raises immediately,
+    [`Retry] backs off and tries again, [`Retry_after s] does the same
+    but never sleeps less than [s].  [?rng] defaults to a fresh
+    system-seeded generator; [?sleep] defaults to [Thread.delay]
+    (injectable for fast deterministic tests); [?on_attempt] observes
+    each retry (logging).
+    @raise Exhausted after [policy.max_attempts] failed tries.
+    @raise Invalid_argument when [policy.max_attempts < 1]. *)

@@ -1,10 +1,16 @@
 (* Concurrent accept loop: one worker thread per session, capacity
    enforcement with Busy replies, monotonic idle/deadline checks in the
-   frame-read path, and a drain-on-shutdown protocol.
+   frame-read path, and a drain-on-shutdown protocol.  Since the
+   fault-tolerance PR it also owns the transport capabilities: CRC-32
+   frame integrity and checkpoint/resume are negotiated here (the core
+   protocol handler stays transport-agnostic), and the state of a
+   session whose connection died is parked in a bounded TTL table keyed
+   by the random resume token issued in Welcome.
 
    Locking discipline: [t.mu] guards the session registry (active count,
-   finished list, merged aggregates); the stop request is an [Atomic] so
-   a signal handler can set it without touching any lock. *)
+   finished list, merged aggregates); [t.rng_mu] guards the token
+   generator (drawn from session threads); the stop request is an
+   [Atomic] so a signal handler can set it without touching any lock. *)
 
 module Telemetry = Ppst_telemetry.Telemetry
 module Metrics = Ppst_telemetry.Metrics
@@ -15,6 +21,10 @@ let m_accepted = Metrics.counter "server.sessions.accepted"
 let m_completed = Metrics.counter "server.sessions.completed"
 let m_aborted = Metrics.counter "server.sessions.aborted"
 let m_busy_rejected = Metrics.counter "server.sessions.busy_rejected"
+let m_disconnected = Metrics.counter "server.sessions.disconnected"
+let m_resume_accepted = Metrics.counter "server.resume.accepted"
+let m_resume_rejected = Metrics.counter "server.resume.rejected"
+let m_parked = Metrics.gauge "server.resume.parked"
 
 type config = {
   max_sessions : int;
@@ -24,6 +34,11 @@ type config = {
   retry_after_s : float;
   max_frame : int option;
   drain_timeout_s : float;
+  enable_crc : bool;
+  enable_resume : bool;
+  resume_ttl_s : float;
+  resume_capacity : int;
+  faults : Faults.t option;
 }
 
 let default_config =
@@ -35,6 +50,11 @@ let default_config =
     retry_after_s = 1.0;
     max_frame = None;
     drain_timeout_s = 30.0;
+    enable_crc = true;
+    enable_resume = true;
+    resume_ttl_s = 300.0;
+    resume_capacity = 1024;
+    faults = None;
   }
 
 type outcome =
@@ -42,6 +62,28 @@ type outcome =
   | Idle_timeout
   | Deadline_exceeded
   | Client_error of string
+  | Disconnected
+
+(* Everything needed to continue a session on a later connection.
+   [server_rounds]/[last_reply] implement exactly-once rounds: the
+   client reconciles its own received-reply count against
+   [server_rounds], and when the server is ahead (the reply was
+   computed but lost in transit) the cached encoding is replayed inside
+   Resume_ack instead of running the round again. *)
+type session_ctx = {
+  ctx_id : int;
+  ctx_peer : Unix.sockaddr;
+  mutable handle : (Message.request -> Message.reply) option;
+      (* created lazily in the session thread, exactly once per logical
+         session — a resumed connection reuses it, state intact *)
+  mutable server_rounds : int;  (* replies written, control frames excluded *)
+  mutable last_reply : string;  (* encoded last counted reply *)
+  mutable handler_seconds : float;  (* cumulative across connections *)
+  mutable requests : int;  (* cumulative across connections *)
+  mutable token : string;
+  mutable granted : int;
+  ctx_deadline : float option;  (* fixed at first accept, survives resume *)
+}
 
 type session = {
   id : int;
@@ -60,6 +102,9 @@ type t = {
   bound_port : int;
   stop : bool Atomic.t;
   mu : Mutex.t;
+  resume : session_ctx Resume_table.t;
+  rng : Ppst_rng.Secure_rng.t;
+  rng_mu : Mutex.t;
   mutable active : int;
   mutable accepted : int;
   mutable rejected : int;
@@ -73,7 +118,8 @@ let string_of_sockaddr = function
   | Unix.ADDR_INET (addr, port) ->
     Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
 
-let create ?(config = default_config) ?on_session_end ~port ~handler () =
+let create ?(config = default_config) ?on_session_end ?clock ?rng ~port
+    ~handler () =
   if config.max_sessions < 1 then
     invalid_arg "Server_loop.create: max_sessions must be >= 1";
   (match config.max_frame with
@@ -102,6 +148,11 @@ let create ?(config = default_config) ?on_session_end ~port ~handler () =
     bound_port;
     stop = Atomic.make false;
     mu = Mutex.create ();
+    resume =
+      Resume_table.create ?now:clock ~capacity:config.resume_capacity
+        ~ttl_s:config.resume_ttl_s ();
+    rng = (match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ());
+    rng_mu = Mutex.create ();
     active = 0;
     accepted = 0;
     rejected = 0;
@@ -127,6 +178,22 @@ let sessions t = locked t (fun () -> t.finished)
 let accepted t = locked t (fun () -> t.accepted)
 let rejected t = locked t (fun () -> t.rejected)
 let handler_seconds_total t = locked t (fun () -> t.handler_seconds_total)
+let resume_parked t = Resume_table.size t.resume
+let sweep_resume t = Resume_table.sweep t.resume
+
+(* Capability bits this loop grants when a client offers them. *)
+let supported_flags t =
+  (if t.config.enable_crc then Message.flag_crc32 else 0)
+  lor if t.config.enable_resume then Message.flag_resume else 0
+
+(* 128-bit resume token: pure CSPRNG output, never derived from key or
+   protocol state, so it reveals nothing (SECURITY.md).  The rng is
+   shared by all session threads, hence the lock. *)
+let gen_token t =
+  Mutex.lock t.rng_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.rng_mu)
+    (fun () -> Ppst_rng.Secure_rng.bytes t.rng 16)
 
 let stats t =
   (* fresh snapshot so callers never alias the mutable accumulator *)
@@ -148,6 +215,12 @@ let stats_text t =
   Buffer.add_string b (Printf.sprintf "accepted %d\n" accepted);
   Buffer.add_string b (Printf.sprintf "rejected %d\n" rejected);
   Buffer.add_string b (Printf.sprintf "completed %d\n" completed);
+  Buffer.add_string b "# resume table\n";
+  Buffer.add_string b (Printf.sprintf "parked %d\n" (Resume_table.size t.resume));
+  Buffer.add_string b
+    (Printf.sprintf "expired %d\n" (Resume_table.expired_total t.resume));
+  Buffer.add_string b
+    (Printf.sprintf "evicted %d\n" (Resume_table.evicted_total t.resume));
   Buffer.add_string b "# metrics\n";
   Buffer.add_string b (Metrics.dump_string ());
   Buffer.contents b
@@ -167,120 +240,278 @@ let next_deadline t ~session_deadline =
   | Some i, Some d ->
     if d <= i then Some (d, Deadline_exceeded) else Some (i, Idle_timeout)
 
-let best_effort_reply ?max_frame fd reply =
-  try Channel.write_frame ?max_frame fd (Message.encode (Message.Reply reply))
+let best_effort_reply ?max_frame ?(crc = false) fd reply =
+  try
+    Channel.write_frame ?max_frame ~crc fd (Message.encode (Message.Reply reply))
   with _ -> ()
 
-(* One session, run in its own thread.  Mirrors Channel.serve_once's
-   request loop, plus per-frame deadline checks and stats. *)
+(* One connection, run in its own thread.  A connection is either a
+   fresh session (first frame Hello or any other request) or the
+   continuation of a parked one (first frame Resume); both then run the
+   same request loop, with per-frame deadline checks and stats. *)
 let serve_session t ~id ~peer fd =
   let span =
     Telemetry.start ~name:"server.session" ~attrs:[ ("id", Telemetry.Int id) ] ()
   in
   let cap = t.config.max_frame in
   let stats = Stats.create () in
-  let requests = ref 0 in
-  let handler_seconds = ref 0.0 in
-  let session_deadline =
+  let crc = ref false in
+  let attached : session_ctx option ref = ref None in
+  let base_requests = ref 0 in
+  let base_handler = ref 0.0 in
+  let accept_deadline =
     match t.config.deadline_s with
     | None -> None
     | Some s -> Some (Monoclock.now () +. s)
   in
-  let handle =
-    (* the factory runs in the session thread too: key-sharing setup
-       cost is paid by the session, never by the accept loop *)
-    t.handler ~id ~peer
+  let attach c =
+    attached := Some c;
+    base_requests := c.requests;
+    base_handler := c.handler_seconds
   in
-  let timed req =
+  let ctx () =
+    match !attached with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          ctx_id = id;
+          ctx_peer = peer;
+          handle = None;
+          server_rounds = 0;
+          last_reply = "";
+          handler_seconds = 0.0;
+          requests = 0;
+          token = "";
+          granted = 0;
+          ctx_deadline = accept_deadline;
+        }
+      in
+      attach c;
+      c
+  in
+  let handle_of c =
+    match c.handle with
+    | Some h -> h
+    | None ->
+      (* the factory runs in the session thread: key-sharing setup cost
+         is paid by the session, never by the accept loop *)
+      let h = t.handler ~id:c.ctx_id ~peer:c.ctx_peer in
+      c.handle <- Some h;
+      h
+  in
+  let timed c req =
     let t0 = Unix.gettimeofday () in
     let reply =
-      try handle req with e -> Message.Error_reply (Printexc.to_string e)
+      try handle_of c req with e -> Message.Error_reply (Printexc.to_string e)
     in
-    handler_seconds := !handler_seconds +. (Unix.gettimeofday () -. t0);
+    c.handler_seconds <- c.handler_seconds +. (Unix.gettimeofday () -. t0);
     reply
+  in
+  (* Every counted reply is cached (encoding included) BEFORE the write:
+     if the write dies half-way the client saw nothing, resumes with an
+     older count, and the cached copy is replayed.  Control frames
+     (Resume_ack/Resume_reject) are not rounds on either side. *)
+  let write_reply ?(control = false) reply =
+    let encoded = Message.encode (Message.Reply reply) in
+    if not control then begin
+      let c = ctx () in
+      c.server_rounds <- c.server_rounds + 1;
+      c.last_reply <- encoded
+    end;
+    Channel.write_frame ?max_frame:cap ~crc:!crc ?faults:t.config.faults fd
+      encoded;
+    Stats.record_sent stats ~bytes:(String.length encoded)
+      ~values:(Message.values_in (Message.Reply reply));
+    Stats.record_round stats
   in
   let outcome =
     try
       let rec loop () =
+        let session_deadline =
+          match !attached with
+          | Some c -> c.ctx_deadline
+          | None -> accept_deadline
+        in
         let deadline = next_deadline t ~session_deadline in
         match
-          Channel.read_frame ?max_frame:cap
+          Channel.read_frame ?max_frame:cap ~crc:!crc ?faults:t.config.faults
             ?deadline:(Option.map fst deadline) fd
         with
-        | None -> Completed
-        | Some frame ->
-          let request = Message.decode frame in
-          Stats.record_received stats ~bytes:(String.length frame)
-            ~values:(Message.values_in request);
-          let reply =
-            match request with
-            | Message.Request Message.Bye ->
-              Message.Bye_ack { server_seconds = !handler_seconds }
-            | Message.Request Message.Stats_req ->
-              (* introspection is answered by the loop, not the protocol
-                 handler: it must reflect every session, not this one *)
-              incr requests;
-              Message.Stats_reply (stats_text t)
-            | Message.Request req ->
-              incr requests;
-              timed req
-            | Message.Reply _ -> Message.Error_reply "expected a request"
-          in
-          let encoded = Message.encode (Message.Reply reply) in
-          Channel.write_frame ?max_frame:cap fd encoded;
-          Stats.record_sent stats ~bytes:(String.length encoded)
-            ~values:(Message.values_in (Message.Reply reply));
-          Stats.record_round stats;
-          (match reply with
-           | Message.Bye_ack _ ->
-             incr requests;
-             Completed
-           | _ -> loop ())
-        | exception Wire.Malformed m ->
-          (* a malformed payload inside a well-framed message is
-             answerable in-band; the session survives *)
-          let reply = Message.Error_reply ("malformed request: " ^ m) in
-          let encoded = Message.encode (Message.Reply reply) in
-          Channel.write_frame ?max_frame:cap fd encoded;
-          Stats.record_sent stats ~bytes:(String.length encoded) ~values:0;
-          Stats.record_round stats;
-          loop ()
+        | None -> (
+          (* EOF without Bye: a resumable client may come back *)
+          match !attached with
+          | Some c when c.token <> "" -> Disconnected
+          | _ -> Completed)
+        | Some frame -> (
+          match Message.decode frame with
+          | exception Wire.Malformed m ->
+            (* a malformed payload inside a well-framed message is
+               answerable in-band; the session survives *)
+            Stats.record_received stats ~bytes:(String.length frame) ~values:0;
+            write_reply (Message.Error_reply ("malformed request: " ^ m));
+            loop ()
+          | request ->
+            Stats.record_received stats ~bytes:(String.length frame)
+              ~values:(Message.values_in request);
+            (match request with
+             | Message.Request (Message.Resume { token; client_rounds; flags })
+               -> (
+               match !attached with
+               | Some _ ->
+                 write_reply ~control:true
+                   (Message.Resume_reject
+                      { reason = "resume on an established connection" });
+                 loop ()
+               | None -> (
+                 match
+                   if t.config.enable_resume then Resume_table.take t.resume token
+                   else None
+                 with
+                 | None ->
+                   Metrics.incr m_resume_rejected;
+                   write_reply ~control:true
+                     (Message.Resume_reject
+                        { reason = "unknown or expired resume token" });
+                   loop ()
+                 | Some c ->
+                   attach c;
+                   let granted = flags land supported_flags t in
+                   c.granted <- granted;
+                   let replay =
+                     if c.server_rounds > client_rounds then c.last_reply
+                     else ""
+                   in
+                   Metrics.incr m_resume_accepted;
+                   Metrics.gauge_set m_parked
+                     (float_of_int (Resume_table.size t.resume));
+                   write_reply ~control:true
+                     (Message.Resume_ack
+                        {
+                          server_rounds = c.server_rounds;
+                          reply = replay;
+                          flags = granted;
+                        });
+                   crc := granted land Message.flag_crc32 <> 0;
+                   loop ()))
+             | Message.Request (Message.Hello { flags } as req) ->
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               let reply = timed c req in
+               let reply =
+                 match reply with
+                 | Message.Welcome
+                     { n; key_bits; series_length; dimension; max_value; _ } ->
+                   (* transport-owned negotiation: grant = offer AND
+                      support, and mint the resume token here — the core
+                      handler stays transport-agnostic *)
+                   let granted = flags land supported_flags t in
+                   let token =
+                     if granted land Message.flag_resume <> 0 then gen_token t
+                     else ""
+                   in
+                   c.token <- token;
+                   c.granted <- granted;
+                   Message.Welcome
+                     {
+                       n;
+                       key_bits;
+                       series_length;
+                       dimension;
+                       max_value;
+                       flags = granted;
+                       resume_token = token;
+                     }
+                 | other -> other
+               in
+               write_reply reply;
+               (* the Welcome itself travels plain; everything after it
+                  is protected once the client has seen the grant *)
+               if c.granted land Message.flag_crc32 <> 0 then crc := true;
+               loop ()
+             | Message.Request Message.Bye ->
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               (* orderly end: nothing to park, the token dies here *)
+               c.token <- "";
+               write_reply
+                 (Message.Bye_ack { server_seconds = c.handler_seconds });
+               Completed
+             | Message.Request Message.Stats_req ->
+               (* introspection is answered by the loop, not the protocol
+                  handler: it must reflect every session, not this one *)
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               write_reply (Message.Stats_reply (stats_text t));
+               loop ()
+             | Message.Request req ->
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               write_reply (timed c req);
+               loop ()
+             | Message.Reply _ ->
+               write_reply (Message.Error_reply "expected a request");
+               loop ()))
       in
       loop ()
     with
     | Channel.Timeout ->
       let which =
-        match next_deadline t ~session_deadline with
+        match
+          next_deadline t
+            ~session_deadline:
+              (match !attached with
+               | Some c -> c.ctx_deadline
+               | None -> accept_deadline)
+        with
         | Some (_, Deadline_exceeded) -> Deadline_exceeded
         | _ -> Idle_timeout
       in
-      best_effort_reply ?max_frame:cap fd
+      best_effort_reply ?max_frame:cap ~crc:!crc fd
         (Message.Error_reply
            (match which with
             | Deadline_exceeded -> "session deadline exceeded"
             | _ -> "session idle timeout"));
       which
+    | Channel.Connection_lost _ | Channel.Frame_corrupt _ -> Disconnected
     | Channel.Protocol_error m -> Client_error m
     | Unix.Unix_error (e, _, _) -> Client_error (Unix.error_message e)
   in
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* Park recoverable interruptions (connection lost, idle timeout —
+     the client may just be partitioned); a deadline or Bye is final. *)
+  (match (outcome, !attached) with
+   | (Disconnected | Idle_timeout), Some c
+     when c.token <> "" && t.config.enable_resume ->
+     Resume_table.put t.resume c.token c;
+     Metrics.gauge_set m_parked (float_of_int (Resume_table.size t.resume))
+   | _ -> ());
+  let requests_delta, handler_delta =
+    match !attached with
+    | Some c -> (c.requests - !base_requests, c.handler_seconds -. !base_handler)
+    | None -> (0, 0.0)
+  in
   let record =
     {
       id;
       peer = string_of_sockaddr peer;
       outcome;
-      requests = !requests;
-      handler_seconds = !handler_seconds;
+      requests = requests_delta;
+      handler_seconds = handler_delta;
       session_stats = stats;
     }
   in
   locked t (fun () ->
       t.active <- t.active - 1;
       t.finished <- record :: t.finished;
-      t.handler_seconds_total <- t.handler_seconds_total +. !handler_seconds;
+      t.handler_seconds_total <- t.handler_seconds_total +. handler_delta;
       t.merged_stats <- Stats.merge t.merged_stats stats;
       Metrics.gauge_set m_active (float_of_int t.active));
-  Metrics.incr (match outcome with Completed -> m_completed | _ -> m_aborted);
+  Metrics.incr
+    (match outcome with
+     | Completed -> m_completed
+     | Disconnected -> m_disconnected
+     | _ -> m_aborted);
   Telemetry.finish
     ~attrs:
       [
@@ -290,8 +521,9 @@ let serve_session t ~id ~peer fd =
              | Completed -> 0
              | Idle_timeout -> 1
              | Deadline_exceeded -> 2
-             | Client_error _ -> 3) );
-        ("requests", Telemetry.Int !requests);
+             | Client_error _ -> 3
+             | Disconnected -> 4) );
+        ("requests", Telemetry.Int requests_delta);
       ]
     span;
   match t.on_session_end with Some f -> f record | None -> ()
@@ -299,7 +531,8 @@ let serve_session t ~id ~peer fd =
 (* At-capacity handling, run off the accept thread.  A connection whose
    first frame is Stats_req is an introspection probe: answer it (and any
    follow-ups, ending at Bye/EOF) without a session slot.  Anything else
-   — including silence — is a protocol client and gets the Busy reply. *)
+   — including silence — is a protocol client and gets the Busy reply
+   (a reconnecting Resume client backs off and retries like any other). *)
 let reject_or_probe t fd =
   let cap = t.config.max_frame in
   let read_req ~timeout =

@@ -49,11 +49,27 @@ type config = {
   drain_timeout_s : float;
       (** how long {!run} waits for in-flight sessions after
           {!shutdown} before giving up on them *)
+  enable_crc : bool;
+      (** grant {!Message.flag_crc32} when offered: CRC-32 trailers on
+          every frame after the Welcome *)
+  enable_resume : bool;
+      (** grant {!Message.flag_resume} when offered: issue a resume
+          token and park interrupted sessions in the resume table *)
+  resume_ttl_s : float;
+      (** parked state lives this long before TTL eviction *)
+  resume_capacity : int;
+      (** most sessions parked at once; beyond it the entry closest to
+          expiry is evicted *)
+  faults : Faults.t option;
+      (** deterministic fault injector for the server's frame path
+          ([--chaos-profile] on [ppst_server]); [None] in production *)
 }
 
 val default_config : config
 (** [max_sessions = 4], no total limit, no idle timeout, no deadline,
-    [retry_after_s = 1.0], default frame cap, [drain_timeout_s = 30.0]. *)
+    [retry_after_s = 1.0], default frame cap, [drain_timeout_s = 30.0],
+    CRC and resume enabled ([resume_ttl_s = 300.], capacity 1024), no
+    fault injection. *)
 
 (** Why a session ended, for observability and tests. *)
 type outcome =
@@ -61,15 +77,25 @@ type outcome =
   | Idle_timeout  (** closed by [idle_timeout_s] *)
   | Deadline_exceeded  (** closed by [deadline_s] *)
   | Client_error of string
-      (** transport violation (truncated frame, forged length, ...) —
-          only this session died *)
+      (** protocol violation (forged length, peer error, ...) — only
+          this session died *)
+  | Disconnected
+      (** the connection died mid-session (reset, EOF without [Bye],
+          corrupt frame).  When the session held a resume token its
+          state is parked in the resume table; a later connection
+          presenting the token continues it as a new [session] record. *)
 
 type session = {
   id : int;  (** accept order, starting at 1 *)
   peer : string;  (** printable peer address *)
   outcome : outcome;
-  requests : int;  (** requests answered (the final [Bye] included) *)
-  handler_seconds : float;  (** wall-clock total inside the handler *)
+  requests : int;
+      (** requests answered on {e this connection} (the final [Bye]
+          included) — a resumed session's earlier connections already
+          reported theirs, so totals never double-count *)
+  handler_seconds : float;
+      (** wall-clock inside the handler on this connection (same
+          delta discipline as [requests]) *)
   session_stats : Stats.t;
       (** this session's traffic, server perspective: received =
           requests, sent = replies *)
@@ -80,19 +106,26 @@ type t
 val create :
   ?config:config ->
   ?on_session_end:(session -> unit) ->
+  ?clock:(unit -> float) ->
+  ?rng:Ppst_rng.Secure_rng.t ->
   port:int ->
   handler:(id:int -> peer:Unix.sockaddr -> (Message.request -> Message.reply)) ->
   unit ->
   t
 (** Bind and listen immediately (so [port = 0] picks an ephemeral port
     readable via {!port} before {!run} is even called).  [handler] is
-    the per-session factory: invoked {e once} per accepted session, from
-    the accept loop, and the returned closure answers that session's
-    requests from the session's own thread.  [Bye] is answered by the
-    loop itself (with the measured handler total in [Bye_ack]), mirroring
-    {!Channel.serve_once}.  [on_session_end] runs in the session's
-    thread right after its socket closes — the hook for logging and for
-    merging per-session cost into process-wide aggregates.
+    the per-session factory: invoked {e once} per {e logical} session —
+    lazily, in the session's own thread, at its first protocol request;
+    a connection resuming a parked session reuses the original closure
+    with its state intact.  [Bye] is answered by the loop itself (with
+    the measured handler total in [Bye_ack]), as are [Stats_req],
+    [Resume] and the capability negotiation on [Hello]/[Welcome]: the
+    protocol handler never sees transport concerns.  [on_session_end]
+    runs in the session's thread right after its socket closes — the
+    hook for logging and for merging per-session cost into process-wide
+    aggregates.  [?clock] overrides the resume table's clock (tests
+    prove TTL eviction by advancing a fake clock); [?rng] the token
+    generator (system-seeded by default).
     @raise Invalid_argument on [max_sessions < 1]
     @raise Unix.Unix_error when the port cannot be bound. *)
 
@@ -131,3 +164,9 @@ val stats : t -> Stats.t
 
 val handler_seconds_total : t -> float
 (** Wall-clock handler total over all finished sessions. *)
+
+val resume_parked : t -> int
+(** Sessions currently parked in the resume table. *)
+
+val sweep_resume : t -> int
+(** Evict every TTL-expired parked session now; returns how many went. *)

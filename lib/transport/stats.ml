@@ -5,6 +5,7 @@ type t = {
   mutable values_received : int;
   mutable rounds : int;
   mutable messages : int;
+  mutable failures : int;
 }
 
 let create () =
@@ -15,6 +16,7 @@ let create () =
     values_received = 0;
     rounds = 0;
     messages = 0;
+    failures = 0;
   }
 
 let record_sent t ~bytes ~values =
@@ -28,6 +30,7 @@ let record_received t ~bytes ~values =
   t.messages <- t.messages + 1
 
 let record_round t = t.rounds <- t.rounds + 1
+let record_failure t = t.failures <- t.failures + 1
 
 let bytes_sent t = t.bytes_sent
 let bytes_received t = t.bytes_received
@@ -37,6 +40,7 @@ let values_received t = t.values_received
 let total_values t = t.values_sent + t.values_received
 let rounds t = t.rounds
 let messages t = t.messages
+let failures t = t.failures
 
 let reset t =
   t.bytes_sent <- 0;
@@ -44,7 +48,8 @@ let reset t =
   t.values_sent <- 0;
   t.values_received <- 0;
   t.rounds <- 0;
-  t.messages <- 0
+  t.messages <- 0;
+  t.failures <- 0
 
 let merge a b =
   {
@@ -54,16 +59,20 @@ let merge a b =
     values_received = a.values_received + b.values_received;
     rounds = a.rounds + b.rounds;
     messages = a.messages + b.messages;
+    failures = a.failures + b.failures;
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<h>sent %d B / %d values; received %d B / %d values; %d rounds, %d messages@]"
+    "@[<h>sent %d B / %d values; received %d B / %d values; %d rounds, %d \
+     messages%s@]"
     t.bytes_sent t.values_sent t.bytes_received t.values_received t.rounds
     t.messages
+    (if t.failures = 0 then ""
+     else Printf.sprintf "; %d connection failure(s) recovered or fatal" t.failures)
 
 let to_json t =
   Printf.sprintf
-    {|{"bytes_sent":%d,"bytes_received":%d,"values_sent":%d,"values_received":%d,"rounds":%d,"messages":%d}|}
+    {|{"bytes_sent":%d,"bytes_received":%d,"values_sent":%d,"values_received":%d,"rounds":%d,"messages":%d,"failures":%d}|}
     t.bytes_sent t.bytes_received t.values_sent t.values_received t.rounds
-    t.messages
+    t.messages t.failures

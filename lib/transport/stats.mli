@@ -17,6 +17,13 @@ val record_received : t -> bytes:int -> values:int -> unit
 
 val record_round : t -> unit
 
+val record_failure : t -> unit
+(** A transport fault on this channel/session: connection lost mid-round
+    or a frame rejected by its integrity check.  Failures previously
+    bypassed accounting entirely (raw [Unix.Unix_error] escaped before
+    any counter moved); the typed {!Channel.Connection_lost} path records
+    them here. *)
+
 val bytes_sent : t -> int
 val bytes_received : t -> int
 val total_bytes : t -> int
@@ -25,6 +32,7 @@ val values_received : t -> int
 val total_values : t -> int
 val rounds : t -> int
 val messages : t -> int
+val failures : t -> int
 
 val reset : t -> unit
 val merge : t -> t -> t

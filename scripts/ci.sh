@@ -11,6 +11,14 @@
 # through ppst_analyze (closed attribute vocabulary — telemetry must not
 # be able to carry plaintexts, offsets or ciphertexts) plus a belt-and-
 # braces grep for anything bignum-sized leaking into the trace.
+#
+# Finally (d) a chaos smoke: the same client/server pair is run once
+# clean and once against a server whose frame path hard-drops the
+# connection every 64 frames (--chaos-profile drop-every-64); the
+# retry + resume machinery must repair every cut and the two revealed
+# distances must be identical.  (The codec corruption fuzz and the
+# per-frame-index disconnect matrix run inside `dune runtest` —
+# test/test_resilience.ml.)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,7 +26,8 @@ dune build @all
 dune runtest
 
 trace="$(mktemp /tmp/ppst_ci_trace.XXXXXX.jsonl)"
-trap 'rm -f "$trace"' EXIT INT TERM
+chaos_dir="$(mktemp -d /tmp/ppst_ci_chaos.XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
 
 dune exec bench/main.exe -- smoke --log-json --trace-out "$trace"
 
@@ -35,3 +44,30 @@ if grep -E '[0-9]{17}' "$trace"; then
   exit 1
 fi
 echo "ci: telemetry trace lint OK ($(wc -l < "$trace") records)"
+
+# Chaos smoke: clean run vs a fault-injected server; distances must match.
+./_build/default/bin/ppst_datagen.exe --seed 4101 -n 12 "$chaos_dir/y.csv"
+./_build/default/bin/ppst_datagen.exe --seed 4102 -n 12 "$chaos_dir/x.csv"
+
+chaos_session() {
+  # $1 = port; remaining args = extra server flags.  Prints the distance.
+  port="$1"; shift
+  ./_build/default/bin/ppst_server.exe -p "$port" --seed ci-chaos "$@" \
+    "$chaos_dir/y.csv" >"$chaos_dir/server-$port.log" 2>&1 &
+  server_pid=$!
+  sleep 1
+  ./_build/default/bin/ppst_client.exe -p "$port" --seed ci-chaos-client \
+    "$chaos_dir/x.csv" >"$chaos_dir/client-$port.log" 2>&1
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  sed -n 's/^secure DTW distance.*= //p' "$chaos_dir/client-$port.log"
+}
+
+clean_distance="$(chaos_session 17971)"
+chaos_distance="$(chaos_session 17972 --chaos-profile drop-every-64 --chaos-seed 7)"
+if [ -z "$clean_distance" ] || [ "$clean_distance" != "$chaos_distance" ]; then
+  echo "ci: chaos smoke FAILED: clean='$clean_distance' chaos='$chaos_distance'" >&2
+  cat "$chaos_dir"/client-*.log "$chaos_dir"/server-*.log >&2 || true
+  exit 1
+fi
+echo "ci: chaos smoke OK (distance $chaos_distance, clean = drop-every-64)"

@@ -103,7 +103,8 @@ let test_array_count_guard () =
 let sample_messages =
   let b = Bigint.of_string in
   [
-    Message.Request Message.Hello;
+    Message.Request (Message.Hello { flags = 0 });
+    Message.Request (Message.Hello { flags = Message.flag_crc32 lor Message.flag_resume });
     Message.Request Message.Phase1_request;
     Message.Request (Message.Min_request [| b "1"; b "22"; b "333" |]);
     Message.Request (Message.Max_request [| b "987654321987654321" |]);
@@ -114,7 +115,16 @@ let sample_messages =
     Message.Reply
       (Message.Welcome
          { n = b "13497220662202513373"; key_bits = 64; series_length = 100;
-           dimension = 3; max_value = 100 });
+           dimension = 3; max_value = 100; flags = 0; resume_token = "" });
+    Message.Reply
+      (Message.Welcome
+         { n = b "13497220662202513373"; key_bits = 64; series_length = 100;
+           dimension = 3; max_value = 100;
+           flags = Message.flag_crc32 lor Message.flag_resume;
+           resume_token = String.init 16 (fun i -> Char.chr (i * 7 land 0xff)) });
+    Message.Request (Message.Resume { token = "0123456789abcdef"; client_rounds = 42; flags = 1 });
+    Message.Reply (Message.Resume_ack { server_rounds = 43; reply = "\x81cached"; flags = 3 });
+    Message.Reply (Message.Resume_reject { reason = "unknown token" });
     Message.Reply
       (Message.Phase1_reply
          [|
@@ -142,7 +152,7 @@ let test_message_roundtrips () =
 
 let test_message_values_in () =
   let b = Bigint.of_string in
-  Alcotest.(check int) "hello" 0 (Message.values_in (Message.Request Message.Hello));
+  Alcotest.(check int) "hello" 0 (Message.values_in (Message.Request (Message.Hello { flags = 0 })));
   Alcotest.(check int) "min(3)" 3
     (Message.values_in (Message.Request (Message.Min_request [| b "1"; b "2"; b "3" |])));
   Alcotest.(check int) "phase1 2x(1+2)" 6
@@ -162,7 +172,7 @@ let test_message_unknown_tag () =
    | exception Wire.Malformed _ -> ())
 
 let test_message_trailing_garbage () =
-  let encoded = Message.encode (Message.Request Message.Hello) ^ "extra" in
+  let encoded = Message.encode (Message.Request Message.Phase1_request) ^ "extra" in
   (match Message.decode encoded with
    | _ -> Alcotest.fail "trailing bytes accepted"
    | exception Wire.Malformed _ -> ())
@@ -220,10 +230,10 @@ let test_stats_merge () =
 let echo_handler (req : Message.request) : Message.reply =
   match req with
   | Message.Reveal_request v -> Message.Reveal_reply v
-  | Message.Hello ->
+  | Message.Hello _ ->
     Message.Welcome
       { n = Bigint.of_int 99; key_bits = 7; series_length = 1; dimension = 1;
-        max_value = 1 }
+        max_value = 1; flags = 0; resume_token = "" }
   | Message.Bye -> Message.Bye_ack { server_seconds = 0.0 }
   | _ -> Message.Error_reply "unsupported"
 
@@ -244,7 +254,7 @@ let test_local_channel_error_reply () =
 
 let test_local_channel_handler_exception () =
   let ch = Channel.local (fun _ -> failwith "handler blew up") in
-  (match Channel.request ch Message.Hello with
+  (match Channel.request ch (Message.Hello { flags = 0 }) with
    | _ -> Alcotest.fail "exception not converted"
    | exception Channel.Protocol_error m ->
      Alcotest.(check bool) "mentions failure" true (String.length m > 0))
@@ -252,7 +262,7 @@ let test_local_channel_handler_exception () =
 let test_local_channel_close () =
   let ch = Channel.local echo_handler in
   Channel.close ch;
-  (match Channel.request ch Message.Hello with
+  (match Channel.request ch (Message.Hello { flags = 0 }) with
    | _ -> Alcotest.fail "closed channel accepted request"
    | exception Channel.Protocol_error _ -> ())
 
@@ -280,7 +290,7 @@ let test_local_channel_per_channel_cap () =
 
 let test_busy_reply_raises () =
   let ch = Channel.local (fun _ -> Message.Busy { retry_after_s = 2.5 }) in
-  (match Channel.request ch Message.Hello with
+  (match Channel.request ch (Message.Hello { flags = 0 }) with
    | _ -> Alcotest.fail "Busy reply did not raise"
    | exception Channel.Busy { retry_after_s } ->
      Alcotest.(check (float 1e-9)) "retry hint carried" 2.5 retry_after_s)
@@ -419,7 +429,7 @@ let test_truncated_header_rejected () =
       Unix.close w;
       match Channel.read_frame r with
       | _ -> Alcotest.fail "truncated header accepted"
-      | exception Channel.Protocol_error _ -> ())
+      | exception Channel.Connection_lost _ -> ())
 
 let test_truncated_body_rejected () =
   with_pipe (fun r w ->
@@ -428,7 +438,7 @@ let test_truncated_body_rejected () =
       Unix.close w;
       match Channel.read_frame r with
       | _ -> Alcotest.fail "truncated body accepted"
-      | exception Channel.Protocol_error _ -> ())
+      | exception Channel.Connection_lost _ -> ())
 
 let test_clean_eof_is_none () =
   with_pipe (fun r w ->
@@ -494,11 +504,11 @@ let test_tcp_handler_exception_kept_alive () =
   with_tcp_server
     (fun req ->
       match req with
-      | Message.Hello -> failwith "boom"
+      | Message.Hello _ -> failwith "boom"
       | r -> echo_handler r)
     (fun ch ->
       (* first request trips the handler; server must survive and report *)
-      (match Channel.request ch Message.Hello with
+      (match Channel.request ch (Message.Hello { flags = 0 }) with
        | _ -> Alcotest.fail "no error"
        | exception Channel.Protocol_error _ -> ());
       match Channel.request ch (Message.Reveal_request (Bigint.of_int 3)) with
