@@ -19,8 +19,31 @@ let fetch_stats host port =
    | _ -> failwith "expected Stats_reply");
   Ppst_transport.Channel.close channel
 
-let run host port series_file distance k band gap search wavefront stats seed
-    jobs retries verbose log_level log_json trace_out =
+(* --health: the readiness probe.  Like --stats it is answered even at
+   capacity and even while the server sheds load, so it reports the
+   truth exactly when the serving path is refusing work.  Exit status is
+   the probe status (0 ready / 1 at capacity / 2 shedding). *)
+let fetch_health host port =
+  let channel = Ppst_transport.Channel.connect ~host ~port () in
+  let status =
+    match
+      Ppst_transport.Channel.request channel Ppst_transport.Message.Health_req
+    with
+    | Ppst_transport.Message.Health_reply { status; active; capacity; retry_after_s } ->
+      Printf.printf "status: %s\nactive: %d\ncapacity: %d\nretry_after_s: %.2f\n"
+        (match status with
+         | 0 -> "ready"
+         | 1 -> "at-capacity"
+         | _ -> "shedding")
+        active capacity retry_after_s;
+      status
+    | _ -> failwith "expected Health_reply"
+  in
+  Ppst_transport.Channel.close channel;
+  status
+
+let run host port series_file distance k band gap search wavefront stats health
+    seed jobs retries verbose log_level log_json trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
@@ -28,6 +51,7 @@ let run host port series_file distance k band gap search wavefront stats seed
     fetch_stats host port;
     exit 0
   end;
+  if health then exit (fetch_health host port);
   let series_file =
     match series_file with
     | Some f -> f
@@ -60,11 +84,29 @@ let run host port series_file distance k band gap search wavefront stats seed
   let policy =
     { Ppst_transport.Retry.default_policy with max_attempts = retries }
   in
+  (* The breaker turns a run of shed answers into local waiting: after
+     consecutive Busy/throttle verdicts it opens and later attempts
+     sleep out the server's hinted cooldown without dialling in — one
+     probe (half-open) tests recovery instead of a reconnect stampede. *)
+  let breaker = Ppst_transport.Retry.Breaker.create () in
   let jitter_rng =
     match seed with
     | Some s -> Ppst_rng.Secure_rng.of_seed_string (s ^ "/backoff")
     | None -> Ppst_rng.Secure_rng.system ()
   in
+  (* A quota rejection is a policy verdict, not a transient fault: the
+     server said this session's declared shape exceeds its admission
+     limits, so retrying is pointless.  Report which quota and exit with
+     EX_UNAVAILABLE so scripts can tell it from a crypto failure. *)
+  let quota_fatal f =
+    try f ()
+    with Ppst_transport.Channel.Quota_exceeded { quota; limit; requested } ->
+      Logs.err (fun m ->
+          m "rejected by server admission control: %s quota (limit %d, requested %d)"
+            quota limit requested);
+      exit 69
+  in
+  quota_fatal @@ fun () ->
   let connect_session () =
     let channel =
       Ppst_transport.Channel.connect ~retry:policy ~rng:jitter_rng ~host ~port ()
@@ -79,7 +121,7 @@ let run host port series_file distance k band gap search wavefront stats seed
   in
   let channel, client =
     try
-      Ppst_transport.Retry.with_retry ~policy ~rng:jitter_rng
+      Ppst_transport.Retry.with_retry ~policy ~rng:jitter_rng ~breaker
         ~on_attempt:(fun ~attempt ~delay_s e ->
           Logs.warn (fun m ->
               m "session attempt %d failed (%s); retrying in %.2f s" attempt
@@ -231,6 +273,10 @@ let stats =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Fetch and print the server's live metrics snapshot, then exit (no protocol session).")
 
+let health =
+  Arg.(value & flag & info [ "health" ]
+         ~doc:"Readiness probe: print the server's health (answered even at                capacity and while shedding) and exit with its status                (0 ready, 1 at capacity, 2 shedding).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let log_level =
@@ -250,7 +296,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ppst_client" ~doc)
     Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap
-          $ search $ wavefront $ stats $ seed $ jobs $ retries $ verbose
-          $ log_level $ log_json $ trace_out)
+          $ search $ wavefront $ stats $ health $ seed $ jobs $ retries
+          $ verbose $ log_level $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

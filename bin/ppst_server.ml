@@ -12,7 +12,9 @@ let setup_logs verbose =
 
 let run port series_file key_file max_value seed sessions concurrency
     idle_timeout deadline jobs chaos_profile chaos_seed resume_ttl no_resume
-    no_crc verbose log_level log_json trace_out =
+    no_crc max_cells max_series_len max_dim max_session_bytes
+    max_session_frames rate_limit rate_burst shed_watermark watchdog_timeout
+    verbose log_level log_json trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
@@ -20,6 +22,34 @@ let run port series_file key_file max_value seed sessions concurrency
   if concurrency < 1 then failwith "--concurrency must be >= 1";
   if sessions < 0 then failwith "--sessions must be >= 0";
   if resume_ttl <= 0.0 then failwith "--resume-ttl-s must be positive";
+  let positive name = function
+    | Some v when v <= 0 -> failwith (name ^ " must be positive")
+    | v -> v
+  in
+  let admission =
+    {
+      Ppst_transport.Admission.max_cells = positive "--max-cells" max_cells;
+      max_series_len = positive "--max-series-len" max_series_len;
+      max_dim = positive "--max-dim" max_dim;
+      max_session_bytes = positive "--max-session-bytes" max_session_bytes;
+      max_session_frames = positive "--max-session-frames" max_session_frames;
+    }
+  in
+  let ratelimit =
+    match rate_limit with
+    | None -> None
+    | Some rate ->
+      if rate <= 0.0 then failwith "--rate-limit must be positive";
+      let burst = Option.value rate_burst ~default:(Stdlib.max rate 1.0) in
+      if burst < 1.0 then failwith "--rate-burst must be >= 1";
+      Some { Ppst_transport.Ratelimit.rate_per_s = rate; burst }
+  in
+  (match shed_watermark with
+   | Some w when w < 1 -> failwith "--shed-watermark must be >= 1"
+   | _ -> ());
+  (match watchdog_timeout with
+   | Some s when s <= 0.0 -> failwith "--watchdog-timeout-s must be positive"
+   | _ -> ());
   let faults =
     match chaos_profile with
     | None -> None
@@ -123,7 +153,9 @@ let run port series_file key_file max_value seed sessions concurrency
            | Idle_timeout -> "idle timeout"
            | Deadline_exceeded -> "deadline exceeded"
            | Client_error msg -> "client error: " ^ msg
-           | Disconnected -> "disconnected (resumable)")
+           | Disconnected -> "disconnected (resumable)"
+           | Quota_rejected quota -> "quota exceeded: " ^ quota
+           | Slow_peer -> "slow peer (watchdog)")
           s.requests s.handler_seconds)
   in
   let config =
@@ -137,6 +169,15 @@ let run port series_file key_file max_value seed sessions concurrency
       enable_resume = not no_resume;
       enable_crc = not no_crc;
       faults;
+      admission;
+      ratelimit;
+      shed_watermark;
+      watchdog_timeout_s =
+        (match watchdog_timeout with
+         | Some _ as t -> t
+         | None ->
+           Ppst_transport.Server_loop.default_config
+             .Ppst_transport.Server_loop.watchdog_timeout_s);
     }
   in
   let loop =
@@ -167,9 +208,10 @@ let run port series_file key_file max_value seed sessions concurrency
       m "done: %d session(s) served, %d rejected at capacity"
         (Ppst_transport.Server_loop.accepted loop)
         (Ppst_transport.Server_loop.rejected loop));
-  Format.printf "sessions: %d accepted, %d rejected (Busy)@."
+  Format.printf "sessions: %d accepted, %d rejected (Busy), %d shed@."
     (Ppst_transport.Server_loop.accepted loop)
-    (Ppst_transport.Server_loop.rejected loop);
+    (Ppst_transport.Server_loop.rejected loop)
+    (Ppst_transport.Server_loop.shed_total loop);
   Format.printf "handler time (all sessions): %.3f s@."
     (Ppst_transport.Server_loop.handler_seconds_total loop);
   Format.printf "crypto ops: %d encryptions, %d decryptions, %d homomorphic@."
@@ -233,6 +275,42 @@ let no_crc =
   Arg.(value & flag & info [ "no-crc" ]
          ~doc:"Never grant CRC-32 frame integrity.")
 
+let max_cells =
+  Arg.(value & opt (some int) None & info [ "max-cells" ] ~docv:"N"
+         ~doc:"Per-session DP-matrix budget: most min-selections (and, for                DFD, max-selections) a session may request.  An oversized                session is refused with Quota_exceeded before any Paillier                work runs.")
+
+let max_series_len =
+  Arg.(value & opt (some int) None & info [ "max-series-len" ] ~docv:"N"
+         ~doc:"Longest client series length accepted at Hello.")
+
+let max_dim =
+  Arg.(value & opt (some int) None & info [ "max-dim" ] ~docv:"D"
+         ~doc:"Highest element dimension accepted at Hello.")
+
+let max_session_bytes =
+  Arg.(value & opt (some int) None & info [ "max-session-bytes" ] ~docv:"B"
+         ~doc:"Most request-frame bytes a session may send.")
+
+let max_session_frames =
+  Arg.(value & opt (some int) None & info [ "max-session-frames" ] ~docv:"N"
+         ~doc:"Most request frames a session may send.")
+
+let rate_limit =
+  Arg.(value & opt (some float) None & info [ "rate-limit" ] ~docv:"R"
+         ~doc:"Per-peer token bucket: sustained new-session rate per second                and per client address.  A peer over budget is answered Busy                with the exact bucket-recovery delay as the retry-after hint.")
+
+let rate_burst =
+  Arg.(value & opt (some float) None & info [ "rate-burst" ] ~docv:"B"
+         ~doc:"Token-bucket burst capacity (default: max(--rate-limit, 1)).")
+
+let shed_watermark =
+  Arg.(value & opt (some int) None & info [ "shed-watermark" ] ~docv:"N"
+         ~doc:"Load shedding: refuse new sessions (Busy + retry-after) while                at least $(docv) sessions are inside the crypto handler.")
+
+let watchdog_timeout =
+  Arg.(value & opt (some float) None & info [ "watchdog-timeout-s" ] ~docv:"S"
+         ~doc:"Slow-peer watchdog: cut a connection whose frame stalls                mid-transfer for $(docv) seconds (default 30).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let log_level =
@@ -254,6 +332,8 @@ let cmd =
     Term.(const run $ port $ series_file $ key_file $ max_value $ seed
           $ sessions $ concurrency $ idle_timeout $ deadline $ jobs
           $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
-          $ verbose $ log_level $ log_json $ trace_out)
+          $ max_cells $ max_series_len $ max_dim $ max_session_bytes
+          $ max_session_frames $ rate_limit $ rate_burst $ shed_watermark
+          $ watchdog_timeout $ verbose $ log_level $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

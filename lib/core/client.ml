@@ -118,17 +118,26 @@ let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
 let connect ?(params = Params.default) ?(offline = true)
     ?(workers = Parallel.sequential) ~rng ~series ~max_value ~distance channel =
   check_own_bounds series max_value;
-  (* Offer the channel's transport capabilities (CRC, resume) in Hello.
-     A pre-capability server sees trailing bytes it cannot parse and
-     answers with an in-band error — fall back to a bare Hello once, so
-     new clients interop with old servers at the cost of one round. *)
+  (* Offer the channel's transport capabilities (CRC, resume) in Hello,
+     and declare the client's matrix contribution (series length and
+     dimension) so an admission-controlled server can price the session
+     before any Paillier work.  A pre-capability server sees trailing
+     bytes it cannot parse and answers with an in-band error — fall back
+     to a bare Hello once, so new clients interop with old servers at
+     the cost of one round. *)
   let offered = Channel.offered_flags channel in
+  let spec =
+    Some
+      {
+        Message.series_len = Series.length series;
+        dimension = Series.dimension series;
+      }
+  in
   let welcome =
-    let hello flags = Channel.request channel (Message.Hello { flags }) in
-    if offered = 0 then hello 0
-    else
-      try hello offered
-      with Channel.Protocol_error _ -> hello 0
+    let hello flags spec = Channel.request channel (Message.Hello { flags; spec }) in
+    try hello offered spec
+    with Channel.Protocol_error _ when offered <> 0 || spec <> None ->
+      hello 0 None
   in
   match welcome with
   | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max; _ } ->

@@ -124,11 +124,15 @@ let phase1_elements t =
    encryption of the selected plaintext (path hiding, Section 5.5). *)
 exception Bad_candidates of string
 
+(* Hostile-input boundary: everything the client ships into the decrypt
+   path goes through the strict validator (range AND gcd(c,n)=1), so a
+   garbage value is a typed [Bad_candidates] — answered in-band as
+   Error_reply — and never reaches a CRT exponentiation. *)
 let wrap_candidates pk (candidates : Bigint.t array) =
   if Array.length candidates < 2 then raise (Bad_candidates "need at least two candidates");
-  match Array.map (Paillier.ciphertext_of_bigint pk) candidates with
+  match Array.map (Paillier.validate_ciphertext pk) candidates with
   | cs -> cs
-  | exception Paillier.Invalid_plaintext m -> raise (Bad_candidates m)
+  | exception Paillier.Invalid_ciphertext m -> raise (Bad_candidates m)
 
 let fold_better ~better (plains : Bigint.t array) lo len =
   let best = ref plains.(lo) in
@@ -219,8 +223,8 @@ let handle t (req : Message.request) : Message.reply =
       Message.Error_reply
         (Printf.sprintf "reveal budget exhausted (%d allowed per session)" limit)
     | _ -> begin
-      match Paillier.ciphertext_of_bigint pk v with
-      | exception Paillier.Invalid_plaintext m -> Message.Error_reply m
+      match Paillier.validate_ciphertext pk v with
+      | exception Paillier.Invalid_ciphertext m -> Message.Error_reply m
       | c ->
         t.ops.decryptions <- t.ops.decryptions + 1;
         t.reveals <- t.reveals + 1;
@@ -231,6 +235,10 @@ let handle t (req : Message.request) : Message.reply =
      daemon's Server_loop intercepts Stats_req before it reaches here and
      prefixes its own live session counters. *)
   | Message.Stats_req -> Message.Stats_reply (Metrics.dump_string ())
+  (* An in-process / single-session server is ready by definition; the
+     TCP daemon's Server_loop answers this itself with live capacity. *)
+  | Message.Health_req ->
+    Message.Health_reply { status = 0; active = 0; capacity = 1; retry_after_s = 0.0 }
   (* Resume is a transport concern (Server_loop intercepts it before the
      handler); reaching the core handler means nobody retains state. *)
   | Message.Resume _ ->

@@ -26,6 +26,7 @@ type private_key = {
 type ciphertext = { key_n : Bigint.t; value : Bigint.t }
 
 exception Invalid_plaintext of string
+exception Invalid_ciphertext of string
 exception Key_mismatch
 
 let check_same_key pk c =
@@ -348,6 +349,29 @@ let ciphertext_to_bigint c = c.value
 let ciphertext_of_bigint pk v =
   if Bigint.is_negative v || Bigint.compare v pk.n_squared >= 0 then
     raise (Invalid_plaintext "ciphertext value outside [0, n^2)");
+  { key_n = pk.n; value = v }
+
+let m_invalid_ciphertext =
+  Ppst_telemetry.Metrics.counter "paillier.invalid_ciphertext"
+
+(* Strict validation for hostile-input boundaries (the server's decrypt
+   path): a valid Paillier ciphertext is a unit of Z_{n^2}, i.e.
+   c in [1, n^2-1] with gcd(c, n) = 1.  0, multiples of p or q, and
+   out-of-range values are not ciphertexts — decrypting them yields
+   nonsense (or, for non-units, a value whose gcd with n factors the
+   modulus), so they must be rejected as typed garbage before a single
+   CRT exponentiation runs. *)
+let validate_ciphertext pk v =
+  let invalid msg =
+    Ppst_telemetry.Metrics.incr m_invalid_ciphertext;
+    raise (Invalid_ciphertext msg)
+  in
+  if Bigint.is_negative v || Bigint.equal v Bigint.zero then
+    invalid "ciphertext outside [1, n^2-1]";
+  if Bigint.compare v pk.n_squared >= 0 then
+    invalid "ciphertext outside [1, n^2-1]";
+  if not (Bigint.equal (Modular.gcd v pk.n) Bigint.one) then
+    invalid "ciphertext is not a unit mod n^2";
   { key_n = pk.n; value = v }
 
 let ciphertext_bytes pk = (Bigint.num_bits pk.n_squared + 7) / 8

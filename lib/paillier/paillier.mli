@@ -46,6 +46,13 @@ exception Invalid_plaintext of string
 (** Raised when a plaintext lies outside [\[0, n)] (or the signed window
     for the [_signed] variants). *)
 
+exception Invalid_ciphertext of string
+(** A value presented as a ciphertext is not one: outside
+    [\[1, n^2-1\]] or not a unit of [Z_{n^2}] ([gcd(c, n) <> 1]).
+    Raised by {!validate_ciphertext} at hostile-input boundaries so
+    garbage is rejected {e before} any CRT exponentiation runs and can
+    never surface as a nonsense distance. *)
+
 exception Key_mismatch
 (** Raised when ciphertexts from different keys are combined. *)
 
@@ -206,6 +213,15 @@ val decode_signed : public_key -> Bigint.t -> Bigint.t
 val ciphertext_to_bigint : ciphertext -> Bigint.t
 val ciphertext_of_bigint : public_key -> Bigint.t -> ciphertext
 (** @raise Invalid_plaintext when the value is outside [\[0, n^2)]. *)
+
+val validate_ciphertext : public_key -> Bigint.t -> ciphertext
+(** Strict re-wrap for hostile-input boundaries (the server's decrypt
+    path): additionally to the range, requires the value to be a unit
+    of [Z_{n^2}] — [gcd(c, n) = 1], the defining property of a genuine
+    Paillier ciphertext.  Rejections bump the
+    [paillier.invalid_ciphertext] counter.
+    @raise Invalid_ciphertext on [0], out-of-range values or
+    non-units. *)
 
 val ciphertext_bytes : public_key -> int
 (** Serialized size of one ciphertext under this key, in bytes — used by

@@ -1,9 +1,11 @@
 exception Protocol_error of string
 exception Busy of { retry_after_s : float }
 exception Timeout
+exception Stalled
 exception Connection_lost of string
 exception Frame_corrupt of string
 exception Resume_rejected of string
+exception Quota_exceeded of { quota : string; limit : int; requested : int }
 
 module Telemetry = Ppst_telemetry.Telemetry
 module Metrics = Ppst_telemetry.Metrics
@@ -250,24 +252,57 @@ let wait_readable fd deadline =
   in
   go ()
 
-let read_exactly ?deadline fd n =
+(* [?progress_timeout_s] is the slow-peer watchdog: every chunk of the
+   read must arrive within that many seconds of the previous one, or the
+   read fails with [Stalled].  This is a *progress* bound, deliberately
+   distinct from the absolute [?deadline]: a peer trickling one byte per
+   idle-timeout window satisfies any per-frame deadline reset yet never
+   finishes a frame — the exact slowloris shape that holds a session
+   slot forever on servers configured without an idle timeout.  With
+   [~armed:false] the watchdog only starts ticking after the first byte
+   lands, so a connection sitting quietly between frames is governed by
+   the session's idle policy, not the watchdog. *)
+let read_exactly ?deadline ?progress_timeout_s ?(armed = true) fd n =
   let buf = Bytes.create n in
-  let rec go off =
+  let progress_deadline_after_chunk () =
+    match progress_timeout_s with
+    | None -> None
+    | Some s -> Some (Monoclock.now () +. s)
+  in
+  let rec go off progress_deadline =
     if off >= n then Some buf
     else begin
-      (match deadline with Some d -> wait_readable fd d | None -> ());
+      (match (deadline, progress_deadline) with
+       | None, None -> ()
+       | d, p ->
+         let eff =
+           match (d, p) with
+           | Some d, Some p -> Float.min d p
+           | Some d, None -> d
+           | None, Some p -> p
+           | None, None -> assert false
+         in
+         (try wait_readable fd eff
+          with Timeout ->
+            (* which budget ran out?  the absolute deadline is session
+               policy and wins the tie; only a pure progress expiry is a
+               stall *)
+            (match d with
+             | Some d when d -. Monoclock.now () <= 0.0 -> raise Timeout
+             | _ -> if p <> None then raise Stalled else raise Timeout)));
       match retry_on_intr (fun () -> Unix.read fd buf off (n - off)) with
       | 0 -> if off = 0 then None else conn_lost "connection lost (eof mid-frame)"
-      | k -> go (off + k)
+      | k -> go (off + k) (progress_deadline_after_chunk ())
     end
   in
-  go 0
+  go 0 (if armed then progress_deadline_after_chunk () else None)
 
 let get_u32_be s off =
   let b i = Char.code s.[off + i] in
   (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
 
-let read_frame ?max_frame:cap ?deadline ?(crc = false) ?faults fd =
+let read_frame ?max_frame:cap ?deadline ?progress_timeout_s ?(crc = false)
+    ?faults fd =
   let cap = match cap with Some c -> c | None -> !max_frame_cap in
   let action = match faults with None -> Faults.Pass | Some f -> Faults.next f in
   (match action with
@@ -278,13 +313,17 @@ let read_frame ?max_frame:cap ?deadline ?(crc = false) ?faults fd =
    | Faults.Delay s -> Thread.delay s
    | Faults.Pass | Faults.Corrupt _ -> ());
   map_conn_errors (fun () ->
-      match read_exactly ?deadline fd 4 with
+      (* The watchdog arms on the header's first byte: a quiet connection
+         between frames answers to the idle policy, but once a frame has
+         started every subsequent chunk — header remainder and body —
+         must keep arriving. *)
+      match read_exactly ?deadline ?progress_timeout_s ~armed:false fd 4 with
       | None -> None
       | Some header ->
         let len = get_u32_be (Bytes.to_string header) 0 in
         if len > cap + (if crc then 4 else 0) then
           protocol_error "frame length %d exceeds cap" len;
-        (match read_exactly ?deadline fd len with
+        (match read_exactly ?deadline ?progress_timeout_s fd len with
          | None -> conn_lost "connection lost (eof in frame body)"
          | Some body ->
            (match action with
@@ -500,6 +539,8 @@ let request t req =
   match reply with
   | Message.Error_reply m -> protocol_error "peer error: %s" m
   | Message.Busy { retry_after_s } -> raise (Busy { retry_after_s })
+  | Message.Quota_exceeded { quota; limit; requested } ->
+    raise (Quota_exceeded { quota; limit; requested })
   | r -> r
 
 let close t =
@@ -604,6 +645,11 @@ let serve_once ?config:cfg ~port ~handler () =
                 | Message.Request (Message.Resume _) ->
                   Message.Resume_reject
                     { reason = "this server does not retain session state" }
+                | Message.Request Message.Health_req ->
+                  (* single-session server: serving this connection at
+                     all means it is ready *)
+                  Message.Health_reply
+                    { status = 0; active = 0; capacity = 1; retry_after_s = 0.0 }
                 | Message.Request req -> timed req
                 | Message.Reply _ -> Message.Error_reply "expected a request"
                 | exception Wire.Malformed m ->

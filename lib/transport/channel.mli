@@ -28,6 +28,14 @@ exception Timeout
 (** Raised by {!read_frame} when its [?deadline] passes before a full
     frame arrives. *)
 
+exception Stalled
+(** Raised by {!read_frame} when a frame {e in progress} stops making
+    byte-level progress for longer than [?progress_timeout_s] — the
+    slow-peer watchdog.  Distinct from {!Timeout} (absolute session
+    deadline): a stall means the peer is actively trickling or has
+    wedged mid-frame, the slowloris shape that would otherwise hold a
+    session slot indefinitely on servers with no idle timeout. *)
+
 exception Connection_lost of string
 (** The peer (or the network) is gone: EOF mid-frame, [EPIPE],
     [ECONNRESET], [ETIMEDOUT] and friends — previously these leaked as
@@ -46,6 +54,13 @@ exception Resume_rejected of string
 (** The server answered [Resume] with [Resume_reject]: the token is
     unknown, expired or evicted.  The session is unrecoverable; start
     over from [Hello]. *)
+
+exception Quota_exceeded of { quota : string; limit : int; requested : int }
+(** The server rejected a request at admission control
+    ([Message.Quota_exceeded]): it would exceed the per-session budget
+    named [quota].  Not retryable — the same request will always be
+    rejected; shrink the request or negotiate a bigger budget out of
+    band.  All three fields are public quantities (SECURITY.md). *)
 
 (** {1 Per-channel configuration} *)
 
@@ -77,7 +92,8 @@ val request : t -> Message.request -> Message.reply
     @raise Busy when the peer rejects the session at capacity.
     @raise Connection_lost when the link died and could not be resumed.
     @raise Frame_corrupt on an unrecoverable integrity failure.
-    @raise Resume_rejected when the server refused the resume token. *)
+    @raise Resume_rejected when the server refused the resume token.
+    @raise Quota_exceeded when the server rejects at admission control. *)
 
 val stats : t -> Stats.t
 
@@ -171,19 +187,25 @@ val write_frame :
 val read_frame :
   ?max_frame:int ->
   ?deadline:float ->
+  ?progress_timeout_s:float ->
   ?crc:bool ->
   ?faults:Faults.t ->
   Unix.file_descr ->
   string option
 (** [None] on clean EOF.  [?max_frame] overrides the process-wide cap
     for this read; [?deadline] is an {e absolute} instant on
-    {!Monoclock.now}'s timescale after which the read gives up.  With
-    [?crc] the trailer is verified and stripped before the payload is
-    returned.
+    {!Monoclock.now}'s timescale after which the read gives up.
+    [?progress_timeout_s] is the slow-peer watchdog: once the first
+    byte of the frame has arrived, every subsequent chunk must land
+    within that many seconds of the previous one (a connection sitting
+    quietly {e between} frames is not affected — that is the idle
+    policy's job).  With [?crc] the trailer is verified and stripped
+    before the payload is returned.
     @raise Protocol_error on oversized lengths.
     @raise Connection_lost on EOF mid-frame or a connection-class error.
     @raise Frame_corrupt on a CRC mismatch.
-    @raise Timeout when [deadline] passes mid-read. *)
+    @raise Timeout when [deadline] passes mid-read.
+    @raise Stalled when byte-level progress stops mid-frame. *)
 
 val setup_sigpipe : unit -> unit
 (** Set SIGPIPE to ignore (idempotent), so a write to a peer-reset

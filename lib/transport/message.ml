@@ -1,7 +1,9 @@
 open Ppst_bigint
 
+type spec = { series_len : int; dimension : int }
+
 type request =
-  | Hello of { flags : int }
+  | Hello of { flags : int; spec : spec option }
   | Phase1_request
   | Min_request of Bigint.t array
   | Max_request of Bigint.t array
@@ -13,6 +15,7 @@ type request =
   | Stats_req
   | Bye
   | Resume of { token : string; client_rounds : int; flags : int }
+  | Health_req
 
 type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
 
@@ -38,6 +41,13 @@ type reply =
   | Error_reply of string
   | Resume_ack of { server_rounds : int; reply : string; flags : int }
   | Resume_reject of { reason : string }
+  | Quota_exceeded of { quota : string; limit : int; requested : int }
+  | Health_reply of {
+      status : int;
+      active : int;
+      capacity : int;
+      retry_after_s : float;
+    }
 
 type t = Request of request | Reply of reply
 
@@ -54,6 +64,7 @@ let tag_batch_min_request = 0x09
 let tag_batch_max_request = 0x0a
 let tag_stats_request = 0x0b
 let tag_resume = 0x0c
+let tag_health_request = 0x0d
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -66,7 +77,9 @@ let tag_batch_cipher_reply = 0x89
 let tag_stats_reply = 0x8a
 let tag_resume_ack = 0x8b
 let tag_resume_reject = 0x8c
+let tag_quota_exceeded = 0x8d
 let tag_busy = 0x8e
+let tag_health_reply = 0x8f
 
 (* Capability bits carried in [Hello.flags] (the client's offer) and
    echoed back in [Welcome.flags] (the server's grant = offer AND
@@ -75,13 +88,30 @@ let tag_busy = 0x8e
 let flag_crc32 = 0x01
 let flag_resume = 0x02
 
+(* [flag_spec] marks the presence of a resource spec after the flags
+   byte in [Hello]: the client declares its series length and dimension
+   up front so the server can run admission checks (m*n cell budget,
+   length/dimension caps) before a single Paillier operation.  The bit
+   is derived from [spec] at encode time, never set by hand. *)
+let flag_spec = 0x04
+
 let encode t =
   let w = Wire.writer () in
   (match t with
-   | Request (Hello { flags }) ->
+   | Request (Hello { flags; spec }) ->
      Wire.put_u8 w tag_hello;
+     let flags =
+       match spec with
+       | Some _ -> flags lor flag_spec
+       | None -> flags land lnot flag_spec
+     in
      (* flags = 0 stays a bare tag byte: old peers decode it unchanged *)
-     if flags <> 0 then Wire.put_u8 w flags
+     if flags <> 0 then Wire.put_u8 w flags;
+     (match spec with
+      | None -> ()
+      | Some { series_len; dimension } ->
+        Wire.put_u32 w series_len;
+        Wire.put_u32 w dimension)
    | Request Phase1_request -> Wire.put_u8 w tag_phase1_request
    | Request (Min_request candidates) ->
      Wire.put_u8 w tag_min_request;
@@ -105,6 +135,7 @@ let encode t =
      Wire.put_u32 w (Array.length sets);
      Array.iter (Wire.put_bigint_array w) sets
    | Request Stats_req -> Wire.put_u8 w tag_stats_request
+   | Request Health_req -> Wire.put_u8 w tag_health_request
    | Request Bye -> Wire.put_u8 w tag_bye
    | Request (Resume { token; client_rounds; flags }) ->
      Wire.put_u8 w tag_resume;
@@ -167,7 +198,18 @@ let encode t =
      Wire.put_u8 w flags
    | Reply (Resume_reject { reason }) ->
      Wire.put_u8 w tag_resume_reject;
-     Wire.put_bytes w reason);
+     Wire.put_bytes w reason
+   | Reply (Quota_exceeded { quota; limit; requested }) ->
+     Wire.put_u8 w tag_quota_exceeded;
+     Wire.put_bytes w quota;
+     Wire.put_u32 w limit;
+     Wire.put_u32 w requested
+   | Reply (Health_reply { status; active; capacity; retry_after_s }) ->
+     Wire.put_u8 w tag_health_reply;
+     Wire.put_u8 w status;
+     Wire.put_u32 w active;
+     Wire.put_u32 w capacity;
+     Wire.put_f64 w retry_after_s);
   Wire.contents w
 
 let decode s =
@@ -176,7 +218,15 @@ let decode s =
   let msg =
     if tag = tag_hello then
       let flags = if Wire.remaining r > 0 then Wire.get_u8 r else 0 in
-      Request (Hello { flags })
+      let spec =
+        if flags land flag_spec <> 0 then begin
+          let series_len = Wire.get_u32 r in
+          let dimension = Wire.get_u32 r in
+          Some { series_len; dimension }
+        end
+        else None
+      in
+      Request (Hello { flags; spec })
     else if tag = tag_phase1_request then Request Phase1_request
     else if tag = tag_min_request then Request (Min_request (Wire.get_bigint_array r))
     else if tag = tag_max_request then Request (Max_request (Wire.get_bigint_array r))
@@ -192,6 +242,7 @@ let decode s =
       else Request (Batch_max_request sets)
     end
     else if tag = tag_stats_request then Request Stats_req
+    else if tag = tag_health_request then Request Health_req
     else if tag = tag_bye then Request Bye
     else if tag = tag_resume then begin
       let token = Wire.get_bytes r in
@@ -248,6 +299,19 @@ let decode s =
     end
     else if tag = tag_resume_reject then
       Reply (Resume_reject { reason = Wire.get_bytes r })
+    else if tag = tag_quota_exceeded then begin
+      let quota = Wire.get_bytes r in
+      let limit = Wire.get_u32 r in
+      let requested = Wire.get_u32 r in
+      Reply (Quota_exceeded { quota; limit; requested })
+    end
+    else if tag = tag_health_reply then begin
+      let status = Wire.get_u8 r in
+      let active = Wire.get_u32 r in
+      let capacity = Wire.get_u32 r in
+      let retry_after_s = Wire.get_f64 r in
+      Reply (Health_reply { status; active; capacity; retry_after_s })
+    end
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
   in
@@ -255,8 +319,13 @@ let decode s =
   msg
 
 let describe = function
-  | Request (Hello { flags }) ->
-    if flags = 0 then "hello" else Printf.sprintf "hello(flags=0x%02x)" flags
+  | Request (Hello { flags; spec }) -> (
+    match spec with
+    | None ->
+      if flags = 0 then "hello" else Printf.sprintf "hello(flags=0x%02x)" flags
+    | Some { series_len; dimension } ->
+      Printf.sprintf "hello(flags=0x%02x, m=%d, d=%d)"
+        (flags lor flag_spec) series_len dimension)
   | Request Phase1_request -> "phase1-request"
   | Request (Min_request c) -> Printf.sprintf "min-request(%d candidates)" (Array.length c)
   | Request (Max_request c) -> Printf.sprintf "max-request(%d candidates)" (Array.length c)
@@ -268,6 +337,7 @@ let describe = function
   | Request (Batch_max_request sets) ->
     Printf.sprintf "batch-max-request(%d sets)" (Array.length sets)
   | Request Stats_req -> "stats-request"
+  | Request Health_req -> "health-request"
   | Request Bye -> "bye"
   | Request (Resume { client_rounds; flags; _ }) ->
     Printf.sprintf "resume(acked=%d, flags=0x%02x)" client_rounds flags
@@ -292,9 +362,15 @@ let describe = function
     Printf.sprintf "resume-ack(server=%d, replay=%dB, flags=0x%02x)"
       server_rounds (String.length reply) flags
   | Reply (Resume_reject { reason }) -> Printf.sprintf "resume-reject(%s)" reason
+  | Reply (Quota_exceeded { quota; limit; requested }) ->
+    Printf.sprintf "quota-exceeded(%s: %d > %d)" quota requested limit
+  | Reply (Health_reply { status; active; capacity; retry_after_s }) ->
+    Printf.sprintf "health-reply(status=%d, active=%d/%d, retry-after=%.1fs)"
+      status active capacity retry_after_s
 
 let values_in = function
   | Request (Hello _) | Request Phase1_request | Request Bye | Request Stats_req
+  | Request Health_req
   | Request Catalog_request | Request (Select_request _) | Request (Resume _) -> 0
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
@@ -302,7 +378,8 @@ let values_in = function
   | Request (Reveal_request _) -> 1
   | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
   | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _)
-  | Reply (Resume_ack _) | Reply (Resume_reject _) -> 0
+  | Reply (Resume_ack _) | Reply (Resume_reject _)
+  | Reply (Quota_exceeded _) | Reply (Health_reply _) -> 0
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements
   | Reply (Cipher_reply _) | Reply (Reveal_reply _) -> 1

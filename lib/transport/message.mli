@@ -7,14 +7,27 @@
 
 open Ppst_bigint
 
+type spec = { series_len : int; dimension : int }
+(** Resource declaration a client may attach to [Hello]: the length and
+    dimension of the series it intends to evaluate.  Both quantities are
+    public in the paper's model (Section 2), so declaring them up front
+    adds zero leakage while letting the server run its admission checks
+    (cell budget [m*n], length and dimension caps — {!Admission}) before
+    a single Paillier operation is spent on the session. *)
+
 type request =
-  | Hello of { flags : int }
+  | Hello of { flags : int; spec : spec option }
       (** Session opening: asks for the public key and the server
           series' public metadata (length, dimension, value bound —
           the matrix dimensions are public in the paper's model).
           [flags] offers transport capabilities ({!flag_crc32},
           {!flag_resume}); [0] encodes byte-identically to the PR 3
-          format, so old peers interop unchanged. *)
+          format, so old peers interop unchanged.  [spec], when
+          present (marked on the wire by {!flag_spec}, which the
+          encoder derives automatically), declares the client's series
+          size for admission control; servers that predate the
+          extension answer with [Error_reply] and the client falls
+          back to a bare [Hello]. *)
   | Phase1_request
       (** Ask for the encrypted server series (paper Section 3.2: the
           one-way transfer of [Enc(Σq²)] and each [Enc(q_i)]). *)
@@ -50,6 +63,13 @@ type request =
           of reply frames this client has fully received
           ([client_rounds]), re-offering capability [flags] for the new
           connection.  Answered by [Resume_ack] or [Resume_reject]. *)
+  | Health_req
+      (** Readiness probe (tag [0x0D]): ask whether the server is
+          accepting new sessions.  Like [Stats_req] it is answered by
+          {!Server_loop} itself, without consuming a session slot, and
+          is served even at capacity, under load shed and on
+          rate-limited connections — an operator or load balancer can
+          always tell a saturated server from a dead one. *)
 
 type phase1_element = {
   sum_sq : Bigint.t;  (** [Enc(Σ_l y_{j,l}²)] *)
@@ -113,6 +133,23 @@ type reply =
       (** Resume refused (tag [0x8C]): unknown, expired or evicted
           token.  The session cannot be recovered; the client must
           restart from [Hello]. *)
+  | Quota_exceeded of { quota : string; limit : int; requested : int }
+      (** Admission rejection (tag [0x8D]): the request would exceed a
+          per-session resource budget ({!Admission}).  [quota] is a
+          static budget name ("cells", "series-len", "dim", "bytes",
+          "frames"), [limit] the configured cap and [requested] the
+          size that tripped it — all three are public quantities, so
+          the reject leaks nothing (SECURITY.md).  Unlike [Busy] it is
+          not retryable: the same request will always be rejected. *)
+  | Health_reply of {
+      status : int;
+          (** [0] ready; [1] at session capacity; [2] shedding load *)
+      active : int;  (** sessions currently being served *)
+      capacity : int;  (** configured concurrent-session limit *)
+      retry_after_s : float;
+          (** backoff hint when [status <> 0]; [0.] when ready *)
+    }
+      (** Readiness report (tag [0x8F]), answering [Health_req]. *)
 
 type t = Request of request | Reply of reply
 
@@ -145,6 +182,7 @@ val tag_batch_min_request : int
 val tag_batch_max_request : int
 val tag_stats_request : int
 val tag_resume : int
+val tag_health_request : int
 val tag_welcome : int
 val tag_phase1_reply : int
 val tag_cipher_reply : int
@@ -157,7 +195,9 @@ val tag_batch_cipher_reply : int
 val tag_stats_reply : int
 val tag_resume_ack : int
 val tag_resume_reject : int
+val tag_quota_exceeded : int
 val tag_busy : int
+val tag_health_reply : int
 
 (** {1 Capability flags}
 
@@ -172,3 +212,8 @@ val flag_crc32 : int
 val flag_resume : int
 (** [0x02]: the server issues a resume token and parks session state on
     disconnect ({!Resume_table}), enabling the [Resume] handshake. *)
+
+val flag_spec : int
+(** [0x04]: a resource {!spec} (series length + dimension) follows the
+    flags byte in [Hello].  Derived from the [spec] field by the
+    encoder — never set it by hand in [Hello.flags]. *)

@@ -31,6 +31,123 @@ let () =
 (* Uniform in [0, 1) from the CSPRNG: 30 bits is plenty for jitter. *)
 let unit_float rng = float_of_int (Ppst_rng.Secure_rng.int rng (1 lsl 30)) /. 1073741824.0
 
+(* Client-side circuit breaker.  A server under sustained overload
+   answers every connect with Busy; hammering it with the full retry
+   schedule only deepens the overload.  After [threshold] *consecutive*
+   shed answers the breaker opens: further attempts fail locally,
+   without touching the network, until the cooldown (floored at the
+   server's retry-after hint) passes; then exactly one probe is let
+   through (half-open) — success closes the breaker, another shed
+   reopens it for a fresh cooldown. *)
+module Breaker = struct
+  type config = { threshold : int; cooldown_s : float }
+
+  let default_config = { threshold = 3; cooldown_s = 5.0 }
+
+  exception Open_circuit of { retry_after_s : float }
+
+  let () =
+    Printexc.register_printer (function
+      | Open_circuit { retry_after_s } ->
+        Some
+          (Printf.sprintf "Retry.Breaker.Open_circuit(retry in %.2fs)"
+             retry_after_s)
+      | _ -> None)
+
+  type state = Closed | Open_until of float | Half_open
+
+  type t = {
+    config : config;
+    now : unit -> float;
+    mu : Mutex.t;
+    mutable state : state;
+    mutable consecutive_sheds : int;
+    mutable opened_total : int;
+  }
+
+  let m_opened = Metrics.counter "transport.breaker.opened"
+  let m_short_circuited = Metrics.counter "transport.breaker.short_circuited"
+
+  let create ?now ?(config = default_config) () =
+    if config.threshold < 1 then
+      invalid_arg "Breaker.create: threshold must be >= 1";
+    if config.cooldown_s <= 0.0 then
+      invalid_arg "Breaker.create: cooldown must be positive";
+    let now = match now with Some f -> f | None -> Monoclock.now in
+    {
+      config;
+      now;
+      mu = Mutex.create ();
+      state = Closed;
+      consecutive_sheds = 0;
+      opened_total = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  let state t =
+    locked t (fun () ->
+        match t.state with
+        | Closed -> `Closed
+        | Open_until _ -> `Open
+        | Half_open -> `Half_open)
+
+  let opened_total t = locked t (fun () -> t.opened_total)
+
+  (* Ask permission to attempt.  [`Proceed] either means the breaker is
+     closed or that this caller just won the half-open probe slot. *)
+  let acquire t =
+    locked t (fun () ->
+        match t.state with
+        | Closed -> `Proceed
+        | Half_open ->
+          (* a probe is already in flight; everyone else waits a beat *)
+          Metrics.incr m_short_circuited;
+          `Open t.config.cooldown_s
+        | Open_until until ->
+          let remaining = until -. t.now () in
+          if remaining <= 0.0 then begin
+            t.state <- Half_open;
+            `Proceed
+          end
+          else begin
+            Metrics.incr m_short_circuited;
+            `Open remaining
+          end)
+
+  let success t =
+    locked t (fun () ->
+        t.state <- Closed;
+        t.consecutive_sheds <- 0)
+
+  let trip_locked t ~hint =
+    let cooldown = Float.max t.config.cooldown_s hint in
+    t.state <- Open_until (t.now () +. cooldown);
+    t.consecutive_sheds <- 0;
+    t.opened_total <- t.opened_total + 1;
+    Metrics.incr m_opened
+
+  (* The attempt was shed (Busy / throttle, i.e. a [`Retry_after]). *)
+  let shed t ~hint =
+    locked t (fun () ->
+        match t.state with
+        | Half_open -> trip_locked t ~hint
+        | Closed | Open_until _ ->
+          t.consecutive_sheds <- t.consecutive_sheds + 1;
+          if t.consecutive_sheds >= t.config.threshold then
+            trip_locked t ~hint)
+
+  (* A non-shed failure (connection lost, corrupt frame, ...): breaks
+     the consecutive-shed streak — only sheds open the breaker — and
+     ends a half-open probe without a verdict, back to closed. *)
+  let failure t =
+    locked t (fun () ->
+        t.consecutive_sheds <- 0;
+        match t.state with Half_open -> t.state <- Closed | _ -> ())
+end
+
 let backoff_delay policy ~rng ~attempt ~hint =
   let attempt = max 1 attempt in
   let ceiling =
@@ -45,14 +162,43 @@ let backoff_delay policy ~rng ~attempt ~hint =
   match hint with None -> jittered | Some h -> Float.max h jittered
 
 let with_retry ?(policy = default_policy) ?rng ?(sleep = Thread.delay)
-    ?on_attempt ~classify f =
+    ?on_attempt ?breaker ~classify f =
   if policy.max_attempts < 1 then
     invalid_arg "Retry.with_retry: max_attempts must be >= 1";
   let rng =
     match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ()
   in
+  (* The breaker observes every attempt's outcome; an open breaker
+     replaces the attempt with a local [Open_circuit] "shed", consuming
+     a retry slot and honouring the remaining cooldown as the hint —
+     the server never sees the suppressed attempt. *)
+  let run_attempt () =
+    match breaker with
+    | None -> f ()
+    | Some b -> (
+      match Breaker.acquire b with
+      | `Open retry_after_s -> raise (Breaker.Open_circuit { retry_after_s })
+      | `Proceed -> (
+        match f () with
+        | v ->
+          Breaker.success b;
+          v
+        | exception e ->
+          (match e with
+           | Breaker.Open_circuit _ -> ()
+           | _ -> (
+             match classify e with
+             | `Retry_after s -> Breaker.shed b ~hint:s
+             | `Retry | `Fail -> Breaker.failure b));
+          raise e))
+  in
+  let classify e =
+    match e with
+    | Breaker.Open_circuit { retry_after_s } -> `Retry_after retry_after_s
+    | _ -> classify e
+  in
   let rec go attempt =
-    try f () with
+    try run_attempt () with
     | e ->
       let verdict = classify e in
       (match verdict with

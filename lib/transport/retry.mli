@@ -28,11 +28,66 @@ val backoff_delay :
     (full jitter), floored at [hint] when the peer sent a retry-after.
     Exposed for tests. *)
 
+(** Client-side circuit breaker over the shed/Busy answer.
+
+    A server in sustained overload sheds every new session; retrying on
+    schedule only adds to the stampede.  The breaker counts
+    {e consecutive} shed answers ([`Retry_after] verdicts) and, at
+    [threshold], opens: attempts fail locally with {!Open_circuit} —
+    the server never sees them — until the cooldown (floored at the
+    last retry-after hint) passes.  Then one probe is allowed through
+    (half-open); success closes the breaker, another shed reopens it.
+    Non-shed failures (connection lost, corruption) break the streak
+    but never open the breaker: it reacts to overload, not to faults.
+
+    The clock is injectable for deterministic tests, like
+    {!Resume_table} and {!Ratelimit}.  Thread-safe. *)
+module Breaker : sig
+  type config = {
+    threshold : int;  (** consecutive sheds before opening; [>= 1] *)
+    cooldown_s : float;  (** minimum open duration; [> 0] *)
+  }
+
+  val default_config : config
+  (** 3 consecutive sheds, 5 s cooldown. *)
+
+  exception Open_circuit of { retry_after_s : float }
+  (** An attempt was suppressed locally; [retry_after_s] is the
+      remaining cooldown. *)
+
+  type t
+
+  val create : ?now:(unit -> float) -> ?config:config -> unit -> t
+  (** [?now] defaults to the monotonic clock.
+      @raise Invalid_argument on threshold < 1 or non-positive
+      cooldown. *)
+
+  val acquire : t -> [ `Proceed | `Open of float ]
+  (** Ask permission to attempt.  [`Open remaining_s] means fail
+      locally; [`Proceed] from an open breaker whose cooldown has
+      passed claims the single half-open probe slot. *)
+
+  val success : t -> unit
+  (** The attempt succeeded: close, reset the streak. *)
+
+  val shed : t -> hint:float -> unit
+  (** The attempt was shed (Busy/throttle).  May open the breaker;
+      [hint] floors the cooldown. *)
+
+  val failure : t -> unit
+  (** The attempt failed for a non-shed reason: resets the streak
+      (and ends a half-open probe without a verdict). *)
+
+  val state : t -> [ `Closed | `Open | `Half_open ]
+  val opened_total : t -> int
+end
+
 val with_retry :
   ?policy:policy ->
   ?rng:Ppst_rng.Secure_rng.t ->
   ?sleep:(float -> unit) ->
   ?on_attempt:(attempt:int -> delay_s:float -> exn -> unit) ->
+  ?breaker:Breaker.t ->
   classify:(exn -> [ `Retry | `Retry_after of float | `Fail ]) ->
   (unit -> 'a) ->
   'a
@@ -42,5 +97,12 @@ val with_retry :
     system-seeded generator; [?sleep] defaults to [Thread.delay]
     (injectable for fast deterministic tests); [?on_attempt] observes
     each retry (logging).
+
+    [?breaker] threads every attempt through a {!Breaker}: outcomes
+    feed its state machine ([`Retry_after] verdicts count as sheds),
+    and while it is open each would-be attempt is replaced by a local
+    {!Breaker.Open_circuit} failure that consumes a retry slot and
+    sleeps at least the remaining cooldown — so a run of attempts
+    against an overloaded server collapses to the probe schedule.
     @raise Exhausted after [policy.max_attempts] failed tries.
     @raise Invalid_argument when [policy.max_attempts < 1]. *)

@@ -25,6 +25,9 @@ let m_disconnected = Metrics.counter "server.sessions.disconnected"
 let m_resume_accepted = Metrics.counter "server.resume.accepted"
 let m_resume_rejected = Metrics.counter "server.resume.rejected"
 let m_parked = Metrics.gauge "server.resume.parked"
+let m_shed = Metrics.counter "server.shed"
+let m_capability_violations = Metrics.counter "server.capability.violations"
+let m_stalled = Metrics.counter "server.sessions.stalled"
 
 type config = {
   max_sessions : int;
@@ -39,6 +42,10 @@ type config = {
   resume_ttl_s : float;
   resume_capacity : int;
   faults : Faults.t option;
+  admission : Admission.limits;
+  ratelimit : Ratelimit.config option;
+  shed_watermark : int option;
+  watchdog_timeout_s : float option;
 }
 
 let default_config =
@@ -55,6 +62,10 @@ let default_config =
     resume_ttl_s = 300.0;
     resume_capacity = 1024;
     faults = None;
+    admission = Admission.unlimited;
+    ratelimit = None;
+    shed_watermark = None;
+    watchdog_timeout_s = Some 30.0;
   }
 
 type outcome =
@@ -63,6 +74,8 @@ type outcome =
   | Deadline_exceeded
   | Client_error of string
   | Disconnected
+  | Quota_rejected of string
+  | Slow_peer
 
 (* Everything needed to continue a session on a later connection.
    [server_rounds]/[last_reply] implement exactly-once rounds: the
@@ -83,6 +96,9 @@ type session_ctx = {
   mutable token : string;
   mutable granted : int;
   ctx_deadline : float option;  (* fixed at first accept, survives resume *)
+  adm : Admission.t;  (* per-session budget ledger, survives resume *)
+  mutable server_len : int;  (* active record's length, from Welcome *)
+  mutable catalog : int array option;  (* record lengths, once seen *)
 }
 
 type session = {
@@ -103,11 +119,17 @@ type t = {
   stop : bool Atomic.t;
   mu : Mutex.t;
   resume : session_ctx Resume_table.t;
+  ratelimit : Ratelimit.t option;
+  (* sessions currently inside the protocol handler — the in-flight
+     crypto work the shed watermark compares against.  An Atomic so the
+     accept thread reads it without taking any session's lock. *)
+  inflight : int Atomic.t;
   rng : Ppst_rng.Secure_rng.t;
   rng_mu : Mutex.t;
   mutable active : int;
   mutable accepted : int;
   mutable rejected : int;
+  mutable shed : int;
   mutable finished : session list;
   mutable merged_stats : Stats.t;
   mutable handler_seconds_total : float;
@@ -151,11 +173,15 @@ let create ?(config = default_config) ?on_session_end ?clock ?rng ~port
     resume =
       Resume_table.create ?now:clock ~capacity:config.resume_capacity
         ~ttl_s:config.resume_ttl_s ();
+    ratelimit =
+      Option.map (fun cfg -> Ratelimit.create ?now:clock cfg) config.ratelimit;
+    inflight = Atomic.make 0;
     rng = (match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ());
     rng_mu = Mutex.create ();
     active = 0;
     accepted = 0;
     rejected = 0;
+    shed = 0;
     finished = [];
     merged_stats = Stats.create ();
     handler_seconds_total = 0.0;
@@ -177,6 +203,7 @@ let active_sessions t = locked t (fun () -> t.active)
 let sessions t = locked t (fun () -> t.finished)
 let accepted t = locked t (fun () -> t.accepted)
 let rejected t = locked t (fun () -> t.rejected)
+let shed_total t = locked t (fun () -> t.shed)
 let handler_seconds_total t = locked t (fun () -> t.handler_seconds_total)
 let resume_parked t = Resume_table.size t.resume
 let sweep_resume t = Resume_table.sweep t.resume
@@ -224,6 +251,29 @@ let stats_text t =
   Buffer.add_string b "# metrics\n";
   Buffer.add_string b (Metrics.dump_string ());
   Buffer.contents b
+
+(* Readiness, as reported to Health_req probes.  Shedding (2) dominates
+   at-capacity (1): a load balancer must stop sending work before the
+   session slots are even full. *)
+let health_status t =
+  let shedding =
+    match t.config.shed_watermark with
+    | Some w -> Atomic.get t.inflight >= w
+    | None -> false
+  in
+  if shedding then 2
+  else if locked t (fun () -> t.active) >= t.config.max_sessions then 1
+  else 0
+
+let health_reply ?status t =
+  let status = match status with Some s -> s | None -> health_status t in
+  Message.Health_reply
+    {
+      status;
+      active = locked t (fun () -> t.active);
+      capacity = t.config.max_sessions;
+      retry_after_s = (if status = 0 then 0.0 else t.config.retry_after_s);
+    }
 
 (* The earliest of the idle and overall deadlines, tagged with which one
    it is so a timeout maps to the right outcome. *)
@@ -285,6 +335,9 @@ let serve_session t ~id ~peer fd =
           token = "";
           granted = 0;
           ctx_deadline = accept_deadline;
+          adm = Admission.create t.config.admission;
+          server_len = 0;
+          catalog = None;
         }
       in
       attach c;
@@ -302,9 +355,13 @@ let serve_session t ~id ~peer fd =
   in
   let timed c req =
     let t0 = Unix.gettimeofday () in
+    (* the in-flight gauge the shed watermark watches: this thread is
+       about to spend crypto cycles in the handler *)
+    Atomic.incr t.inflight;
     let reply =
       try handle_of c req with e -> Message.Error_reply (Printexc.to_string e)
     in
+    Atomic.decr t.inflight;
     c.handler_seconds <- c.handler_seconds +. (Unix.gettimeofday () -. t0);
     reply
   in
@@ -336,6 +393,7 @@ let serve_session t ~id ~peer fd =
         let deadline = next_deadline t ~session_deadline in
         match
           Channel.read_frame ?max_frame:cap ~crc:!crc ?faults:t.config.faults
+            ?progress_timeout_s:t.config.watchdog_timeout_s
             ?deadline:(Option.map fst deadline) fd
         with
         | None -> (
@@ -344,13 +402,55 @@ let serve_session t ~id ~peer fd =
           | Some c when c.token <> "" -> Disconnected
           | _ -> Completed)
         | Some frame -> (
+          (* Byte/frame budgets are charged before the codec even runs:
+             an attached session pays for every frame it ships.  (The
+             opening frame of a connection — Hello or Resume, bounded by
+             the frame cap and answered without crypto — is exempt; the
+             ledger attaches with the session.) *)
+          match
+            match !attached with
+            | Some c ->
+              Admission.charge_frame c.adm ~bytes:(String.length frame)
+            | None -> Admission.Admit
+          with
+          | Admission.Reject { quota; limit; requested } ->
+            Stats.record_received stats ~bytes:(String.length frame) ~values:0;
+            write_reply (Message.Quota_exceeded { quota; limit; requested });
+            Quota_rejected quota
+          | Admission.Admit -> (
           match Message.decode frame with
           | exception Wire.Malformed m ->
-            (* a malformed payload inside a well-framed message is
-               answerable in-band; the session survives *)
             Stats.record_received stats ~bytes:(String.length frame) ~values:0;
-            write_reply (Message.Error_reply ("malformed request: " ^ m));
-            loop ()
+            (* A flags-0 session shipping CRC-32 trailers surfaces here:
+               the codec chokes on 4 trailing bytes that happen to be
+               the CRC of the rest.  Name the violation instead of
+               hiding it behind a generic parse error, and end the
+               session — the peer's framing disagrees with what was
+               negotiated, so nothing after this can be trusted. *)
+            let n = String.length frame in
+            let is_unnegotiated_crc =
+              (not !crc) && n > 4
+              && Crc32.digest (String.sub frame 0 (n - 4))
+                 = (Char.code frame.[n - 4] lsl 24)
+                   lor (Char.code frame.[n - 3] lsl 16)
+                   lor (Char.code frame.[n - 2] lsl 8)
+                   lor Char.code frame.[n - 1]
+            in
+            if is_unnegotiated_crc then begin
+              Metrics.incr m_capability_violations;
+              let m =
+                "capability violation: CRC-32 trailer on a session \
+                 without the crc32 grant"
+              in
+              write_reply (Message.Error_reply m);
+              Client_error m
+            end
+            else begin
+              (* a malformed payload inside a well-framed message is
+                 answerable in-band; the session survives *)
+              write_reply (Message.Error_reply ("malformed request: " ^ m));
+              loop ()
+            end
           | request ->
             Stats.record_received stats ~bytes:(String.length frame)
               ~values:(Message.values_in request);
@@ -363,11 +463,21 @@ let serve_session t ~id ~peer fd =
                    (Message.Resume_reject
                       { reason = "resume on an established connection" });
                  loop ()
+               | None when not t.config.enable_resume ->
+                 (* a capability the server never grants: name the
+                    violation instead of pretending the token expired *)
+                 Metrics.incr m_capability_violations;
+                 Metrics.incr m_resume_rejected;
+                 write_reply ~control:true
+                   (Message.Resume_reject
+                      {
+                        reason =
+                          "capability violation: resume is not enabled on \
+                           this server";
+                      });
+                 loop ()
                | None -> (
-                 match
-                   if t.config.enable_resume then Resume_table.take t.resume token
-                   else None
-                 with
+                 match Resume_table.take t.resume token with
                  | None ->
                    Metrics.incr m_resume_rejected;
                    write_reply ~control:true
@@ -394,7 +504,7 @@ let serve_session t ~id ~peer fd =
                         });
                    crc := granted land Message.flag_crc32 <> 0;
                    loop ()))
-             | Message.Request (Message.Hello { flags } as req) ->
+             | Message.Request (Message.Hello { flags; spec } as req) -> (
                let c = ctx () in
                c.requests <- c.requests + 1;
                let reply = timed c req in
@@ -412,6 +522,7 @@ let serve_session t ~id ~peer fd =
                    in
                    c.token <- token;
                    c.granted <- granted;
+                   c.server_len <- series_length;
                    Message.Welcome
                      {
                        n;
@@ -424,11 +535,28 @@ let serve_session t ~id ~peer fd =
                      }
                  | other -> other
                in
-               write_reply reply;
-               (* the Welcome itself travels plain; everything after it
-                  is protected once the client has seen the grant *)
-               if c.granted land Message.flag_crc32 <> 0 then crc := true;
-               loop ()
+               (* Admission at Hello time: the declared spec against the
+                  session budgets, while everything is still plaintext
+                  bookkeeping — a rejected session never reaches
+                  Phase1's n*(d+1) encryptions, let alone the per-cell
+                  decrypt path. *)
+               let verdict =
+                 match spec with
+                 | Some sp when c.server_len > 0 ->
+                   Admission.declare c.adm ~spec:sp ~server_len:c.server_len
+                 | _ -> Admission.Admit
+               in
+               match verdict with
+               | Admission.Reject { quota; limit; requested } ->
+                 write_reply
+                   (Message.Quota_exceeded { quota; limit; requested });
+                 Quota_rejected quota
+               | Admission.Admit ->
+                 write_reply reply;
+                 (* the Welcome itself travels plain; everything after it
+                    is protected once the client has seen the grant *)
+                 if c.granted land Message.flag_crc32 <> 0 then crc := true;
+                 loop ())
              | Message.Request Message.Bye ->
                let c = ctx () in
                c.requests <- c.requests + 1;
@@ -444,14 +572,47 @@ let serve_session t ~id ~peer fd =
                c.requests <- c.requests + 1;
                write_reply (Message.Stats_reply (stats_text t));
                loop ()
-             | Message.Request req ->
+             | Message.Request Message.Health_req ->
                let c = ctx () in
                c.requests <- c.requests + 1;
-               write_reply (timed c req);
+               write_reply (health_reply t);
                loop ()
+             | Message.Request req -> (
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               (* Price the request in DP cells before any decryption:
+                  a single oversized batch cannot buy crypto cycles the
+                  session's budget (configured or declared) does not
+                  cover. *)
+               match
+                 match Admission.cells_of_request req with
+                 | Some (kind, count) ->
+                   Admission.charge_cells c.adm ~kind ~count
+                     ~server_len:c.server_len
+                 | None -> Admission.Admit
+               with
+               | Admission.Reject { quota; limit; requested } ->
+                 write_reply
+                   (Message.Quota_exceeded { quota; limit; requested });
+                 Quota_rejected quota
+               | Admission.Admit ->
+                 let reply = timed c req in
+                 (* track the active record so the cell ledger follows
+                    catalog re-selection *)
+                 (match (req, reply) with
+                  | _, Message.Catalog_reply lengths -> c.catalog <- Some lengths
+                  | Message.Select_request i, Message.Select_ack _ ->
+                    Admission.reselect c.adm;
+                    (match c.catalog with
+                     | Some lens when i >= 0 && i < Array.length lens ->
+                       c.server_len <- lens.(i)
+                     | _ -> ())
+                  | _ -> ());
+                 write_reply reply;
+                 loop ())
              | Message.Reply _ ->
                write_reply (Message.Error_reply "expected a request");
-               loop ()))
+               loop ())))
       in
       loop ()
     with
@@ -473,6 +634,14 @@ let serve_session t ~id ~peer fd =
             | Deadline_exceeded -> "session deadline exceeded"
             | _ -> "session idle timeout"));
       which
+    | Channel.Stalled ->
+      (* the slow-peer watchdog fired: the peer was mid-frame but made
+         no byte progress for watchdog_timeout_s — the slowloris shape.
+         Not parked: a trickler does not deserve a resume slot. *)
+      Metrics.incr m_stalled;
+      best_effort_reply ?max_frame:cap ~crc:!crc fd
+        (Message.Error_reply "slow peer: no frame progress within watchdog");
+      Slow_peer
     | Channel.Connection_lost _ | Channel.Frame_corrupt _ -> Disconnected
     | Channel.Protocol_error m -> Client_error m
     | Unix.Unix_error (e, _, _) -> Client_error (Unix.error_message e)
@@ -522,18 +691,27 @@ let serve_session t ~id ~peer fd =
              | Idle_timeout -> 1
              | Deadline_exceeded -> 2
              | Client_error _ -> 3
-             | Disconnected -> 4) );
+             | Disconnected -> 4
+             | Quota_rejected _ -> 5
+             | Slow_peer -> 6) );
         ("requests", Telemetry.Int requests_delta);
       ]
     span;
   match t.on_session_end with Some f -> f record | None -> ()
 
-(* At-capacity handling, run off the accept thread.  A connection whose
-   first frame is Stats_req is an introspection probe: answer it (and any
-   follow-ups, ending at Bye/EOF) without a session slot.  Anything else
-   — including silence — is a protocol client and gets the Busy reply
-   (a reconnecting Resume client backs off and retries like any other). *)
-let reject_or_probe t fd =
+(* At-capacity / shedding / throttled handling, run off the accept
+   thread.  A connection whose first frame is Stats_req or Health_req is
+   an introspection probe: answer it (and any follow-ups, ending at
+   Bye/EOF) without a session slot — the monitoring channel must keep
+   working precisely when the server is refusing work.  Anything else —
+   including silence — is a protocol client and gets the Busy reply with
+   the appropriate retry-after hint (a reconnecting Resume client backs
+   off and retries like any other).  [?shed] marks a load-shed or
+   rate-limit rejection rather than a capacity one. *)
+let reject_or_probe ?(shed = false) ?retry_after t fd =
+  let retry_after =
+    match retry_after with Some s -> s | None -> t.config.retry_after_s
+  in
   let cap = t.config.max_frame in
   let read_req ~timeout =
     match
@@ -543,11 +721,16 @@ let reject_or_probe t fd =
     | None -> None
     | exception _ -> None
   in
+  let answer_probe = function
+    | Message.Stats_req ->
+      best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t))
+    | _ -> best_effort_reply ?max_frame:cap fd (health_reply t)
+  in
   let rec probe_loop budget =
     if budget > 0 then begin
       match read_req ~timeout:2.0 with
-      | Some (Message.Request Message.Stats_req) ->
-        best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t));
+      | Some (Message.Request ((Message.Stats_req | Message.Health_req) as p)) ->
+        answer_probe p;
         probe_loop (budget - 1)
       | Some (Message.Request Message.Bye) ->
         best_effort_reply ?max_frame:cap fd
@@ -557,17 +740,19 @@ let reject_or_probe t fd =
   in
   let answered_probe =
     match read_req ~timeout:0.5 with
-    | Some (Message.Request Message.Stats_req) ->
-      best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t));
+    | Some (Message.Request ((Message.Stats_req | Message.Health_req) as p)) ->
+      answer_probe p;
       probe_loop 64;
       true
     | Some _ | None -> false
   in
   if not answered_probe then begin
-    locked t (fun () -> t.rejected <- t.rejected + 1);
-    Metrics.incr m_busy_rejected;
+    locked t (fun () ->
+        t.rejected <- t.rejected + 1;
+        if shed then t.shed <- t.shed + 1);
+    if shed then Metrics.incr m_shed else Metrics.incr m_busy_rejected;
     best_effort_reply ?max_frame:cap fd
-      (Message.Busy { retry_after_s = t.config.retry_after_s });
+      (Message.Busy { retry_after_s = retry_after });
     (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
     try
       let buf = Bytes.create 4096 in
@@ -591,28 +776,57 @@ let accept_one t =
     let fd, peer = Unix.accept t.listener in
     (try Unix.setsockopt fd Unix.TCP_NODELAY true
      with Unix.Unix_error _ -> ());
+    (* Cheapest checks first, all on public information.  The per-peer
+       rate limit is keyed by address (no port: one hostile process
+       cannot dodge its bucket by rotating source ports), and the shed
+       watermark compares in-flight crypto work against the configured
+       ceiling — both decided before a session slot is even considered. *)
+    let peer_key =
+      match peer with
+      | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
+      | Unix.ADDR_UNIX p -> p
+    in
+    let throttled =
+      match t.ratelimit with
+      | None -> None
+      | Some rl -> (
+        match Ratelimit.admit rl peer_key with
+        | `Admit -> None
+        | `Throttle retry_after_s -> Some retry_after_s)
+    in
+    let shedding =
+      match t.config.shed_watermark with
+      | Some w -> Atomic.get t.inflight >= w
+      | None -> false
+    in
     let admitted =
-      locked t (fun () ->
-          if t.active >= t.config.max_sessions then None
-          else begin
-            t.active <- t.active + 1;
-            t.accepted <- t.accepted + 1;
-            Metrics.incr m_accepted;
-            Metrics.gauge_set m_active (float_of_int t.active);
-            Some t.accepted
-          end)
+      if throttled <> None || shedding then None
+      else
+        locked t (fun () ->
+            if t.active >= t.config.max_sessions then None
+            else begin
+              t.active <- t.active + 1;
+              t.accepted <- t.accepted + 1;
+              Metrics.incr m_accepted;
+              Metrics.gauge_set m_active (float_of_int t.active);
+              Some t.accepted
+            end)
     in
     (match admitted with
      | None ->
        (* The client's first request is usually already in our receive
           buffer; close() with unread bytes pending sends RST, which can
           destroy the Busy frame before the client reads it.  So: read
-          that first frame (answering a Stats_req probe in place — the
-          introspection channel must work precisely when the server is
-          saturated), otherwise reply Busy, half-close, drain briefly,
-          then close — off the accept thread, so a hostile client cannot
-          slow admission down. *)
-       ignore (Thread.create (fun () -> reject_or_probe t fd) ())
+          that first frame (answering a Stats_req/Health_req probe in
+          place — the introspection channel must work precisely when the
+          server is saturated), otherwise reply Busy, half-close, drain
+          briefly, then close — off the accept thread, so a hostile
+          client cannot slow admission down. *)
+       let shed = throttled <> None || shedding in
+       ignore
+         (Thread.create
+            (fun () -> reject_or_probe ~shed ?retry_after:throttled t fd)
+            ())
      | Some id ->
        ignore
          (Thread.create

@@ -63,13 +63,32 @@ type config = {
   faults : Faults.t option;
       (** deterministic fault injector for the server's frame path
           ([--chaos-profile] on [ppst_server]); [None] in production *)
+  admission : Admission.limits;
+      (** per-session resource budgets (DP cells, series length,
+          dimension, frame bytes/count), enforced before any Paillier
+          work; violations answer {!Message.reply.Quota_exceeded} and
+          end the session ({!outcome.Quota_rejected}) *)
+  ratelimit : Ratelimit.config option;
+      (** per-peer token-bucket admission: a peer over its budget is
+          answered [Busy] with the exact bucket-recovery delay as the
+          retry-after hint; [None] = unlimited *)
+  shed_watermark : int option;
+      (** global load shed: refuse {e new} sessions (Busy + hint) while
+          at least this many sessions are inside the crypto handler —
+          in-flight work finishes instead of thrashing; [None] = off *)
+  watchdog_timeout_s : float option;
+      (** slow-peer watchdog: a frame in progress whose byte stream
+          stalls longer than this is cut ({!outcome.Slow_peer}) — the
+          slowloris defense.  Quiet time {e between} frames is governed
+          by [idle_timeout_s], not this. *)
 }
 
 val default_config : config
 (** [max_sessions = 4], no total limit, no idle timeout, no deadline,
     [retry_after_s = 1.0], default frame cap, [drain_timeout_s = 30.0],
     CRC and resume enabled ([resume_ttl_s = 300.], capacity 1024), no
-    fault injection. *)
+    fault injection, no admission budgets, no rate limit, no shed
+    watermark, 30 s slow-peer watchdog. *)
 
 (** Why a session ended, for observability and tests. *)
 type outcome =
@@ -84,6 +103,13 @@ type outcome =
           corrupt frame).  When the session held a resume token its
           state is parked in the resume table; a later connection
           presenting the token continues it as a new [session] record. *)
+  | Quota_rejected of string
+      (** admission control refused a request against the named budget
+          ([Message.Quota_exceeded] was sent); the session is over *)
+  | Slow_peer
+      (** the slow-peer watchdog cut a connection that stopped making
+          byte progress mid-frame ([watchdog_timeout_s]).  Never
+          parked for resume. *)
 
 type session = {
   id : int;  (** accept order, starting at 1 *)
@@ -156,7 +182,12 @@ val accepted : t -> int
 (** Sessions accepted so far (in-flight included). *)
 
 val rejected : t -> int
-(** Connections answered with [Busy] at capacity. *)
+(** Connections answered with [Busy] — capacity, rate limit and load
+    shed combined. *)
+
+val shed_total : t -> int
+(** The subset of {!rejected} refused by the rate limiter or the shed
+    watermark (rather than plain session capacity). *)
 
 val stats : t -> Stats.t
 (** Merged traffic accounting over all {e finished} sessions (fresh

@@ -12,13 +12,20 @@
 # be able to carry plaintexts, offsets or ciphertexts) plus a belt-and-
 # braces grep for anything bignum-sized leaking into the trace.
 #
-# Finally (d) a chaos smoke: the same client/server pair is run once
+# (d) a chaos smoke: the same client/server pair is run once
 # clean and once against a server whose frame path hard-drops the
 # connection every 64 frames (--chaos-profile drop-every-64); the
 # retry + resume machinery must repair every cut and the two revealed
 # distances must be identical.  (The codec corruption fuzz and the
 # per-frame-index disconnect matrix run inside `dune runtest` —
 # test/test_resilience.ml.)
+#
+# Finally (e) an overload smoke: a capacity-2 server with admission
+# quotas takes a 6-client burst — every client must still reveal the
+# correct distance (Busy + retry-after absorbs the overflow), the
+# health probe must answer before and after the burst, and an
+# oversized session must be turned away with a typed quota verdict
+# before any Paillier work.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -71,3 +78,72 @@ if [ -z "$clean_distance" ] || [ "$clean_distance" != "$chaos_distance" ]; then
   exit 1
 fi
 echo "ci: chaos smoke OK (distance $chaos_distance, clean = drop-every-64)"
+
+# Overload smoke: capacity 2, quotas sized to admit the honest series
+# with headroom, 6 concurrent clients.
+overload_port=17973
+./_build/default/bin/ppst_server.exe -p "$overload_port" --seed ci-overload \
+  --concurrency 2 --max-series-len 64 --max-dim 4 --max-cells 4096 \
+  "$chaos_dir/y.csv" >"$chaos_dir/server-overload.log" 2>&1 &
+overload_pid=$!
+trap 'kill "$overload_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
+sleep 1
+
+./_build/default/bin/ppst_client.exe -p "$overload_port" --health \
+  >"$chaos_dir/health-before.log"
+grep -q '^status: ready$' "$chaos_dir/health-before.log"
+
+burst_pids=""
+for i in 1 2 3 4 5 6; do
+  ./_build/default/bin/ppst_client.exe -p "$overload_port" \
+    --seed "ci-overload-$i" --retries 100 "$chaos_dir/x.csv" \
+    >"$chaos_dir/burst-$i.log" 2>&1 &
+  burst_pids="$burst_pids $!"
+done
+wait_failed=0
+for job in $burst_pids; do
+  wait "$job" || wait_failed=1
+done
+if [ "$wait_failed" -ne 0 ]; then
+  echo "ci: overload smoke FAILED: a burst client did not complete" >&2
+  cat "$chaos_dir"/burst-*.log "$chaos_dir/server-overload.log" >&2 || true
+  exit 1
+fi
+for i in 1 2 3 4 5 6; do
+  burst_distance="$(sed -n 's/^secure DTW distance.*= //p' "$chaos_dir/burst-$i.log")"
+  if [ -z "$burst_distance" ] || [ "$burst_distance" != "$clean_distance" ]; then
+    echo "ci: overload smoke FAILED: client $i distance '$burst_distance' != '$clean_distance'" >&2
+    cat "$chaos_dir/burst-$i.log" "$chaos_dir/server-overload.log" >&2 || true
+    exit 1
+  fi
+done
+
+# The probe still answers once the burst drains, and the serving path
+# turned clients away at least once while it was full.
+./_build/default/bin/ppst_client.exe -p "$overload_port" --health \
+  >"$chaos_dir/health-after.log"
+grep -q '^status:' "$chaos_dir/health-after.log"
+
+kill "$overload_pid" 2>/dev/null || true
+wait "$overload_pid" 2>/dev/null || true
+
+# An oversized declaration is refused with a typed quota verdict before
+# any Paillier work — not a crash, not a hung session.
+tight_port=17974
+./_build/default/bin/ppst_server.exe -p "$tight_port" --seed ci-overload-tight \
+  --max-series-len 4 "$chaos_dir/y.csv" >"$chaos_dir/server-tight.log" 2>&1 &
+tight_pid=$!
+trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
+sleep 1
+rejected=0
+./_build/default/bin/ppst_client.exe -p "$tight_port" \
+  --seed ci-overload-hostile "$chaos_dir/x.csv" \
+  >"$chaos_dir/hostile.log" 2>&1 || rejected=$?
+kill "$tight_pid" 2>/dev/null || true
+wait "$tight_pid" 2>/dev/null || true
+if [ "$rejected" -ne 69 ] || ! grep -q 'series-len quota' "$chaos_dir/hostile.log"; then
+  echo "ci: overload smoke FAILED: oversized session not quota-rejected (exit $rejected)" >&2
+  cat "$chaos_dir/hostile.log" "$chaos_dir/server-tight.log" >&2 || true
+  exit 1
+fi
+echo "ci: overload smoke OK (6/6 burst distances correct, oversized session quota-rejected)"

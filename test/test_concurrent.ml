@@ -117,12 +117,12 @@ let test_busy_at_capacity () =
       (* client A occupies the only slot: complete its Hello so the slot
          is certainly taken before B tries *)
       let a = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request a (Message.Hello { flags = 0 }) with
+      (match Channel.request a (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "A's Hello failed");
       (* B must be turned away with the configured hint *)
       let b = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request b (Message.Hello { flags = 0 }) with
+      (match Channel.request b (Message.Hello { flags = 0; spec = None }) with
        | _ -> Alcotest.fail "second session admitted beyond capacity"
        | exception Channel.Busy { retry_after_s } ->
          Alcotest.(check (float 1e-9)) "retry hint" 0.5 retry_after_s);
@@ -156,7 +156,7 @@ let test_idle_timeout () =
   Fun.protect ~finally:(fun () -> stop t)
     (fun () ->
       let silent = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request silent (Message.Hello { flags = 0 }) with
+      (match Channel.request silent (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "Hello failed");
       (* ... then say nothing until the server hangs up *)
@@ -200,14 +200,14 @@ let test_deadline () =
   Fun.protect ~finally:(fun () -> stop t)
     (fun () ->
       let ch = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request ch (Message.Hello { flags = 0 }) with
+      (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "Hello failed");
       (* keep trickling requests: the per-request gaps never trip an idle
          timeout, but the overall deadline must still fire *)
       let rec trickle () =
         Thread.delay 0.05;
-        match Channel.request ch (Message.Hello { flags = 0 }) with
+        match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
         | Message.Welcome _ -> trickle ()
         | _ -> ()
         | exception Channel.Protocol_error _ -> ()
@@ -244,7 +244,7 @@ let test_malformed_frame_isolated () =
       (* hand-roll a valid frame carrying garbage: the session gets an
          in-band error reply and stays usable *)
       let ch = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request ch (Message.Hello { flags = 0 }) with
+      (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "Hello failed");
       Channel.close ch;

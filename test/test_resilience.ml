@@ -261,9 +261,9 @@ let test_resume_table_sweep_and_validation () =
 let fuzz_messages =
   let b = Ppst_bigint.Bigint.of_string in
   [
-    Message.Request (Message.Hello { flags = 0 });
+    Message.Request (Message.Hello { flags = 0; spec = None });
     Message.Request
-      (Message.Hello { flags = Message.flag_crc32 lor Message.flag_resume });
+      (Message.Hello { flags = Message.flag_crc32 lor Message.flag_resume; spec = None });
     Message.Request Message.Phase1_request;
     Message.Request (Message.Min_request [| b "1"; b "22"; b "333" |]);
     Message.Request (Message.Max_request [| b "987654321987654321" |]);
@@ -479,7 +479,7 @@ let test_connection_lost_without_resume () =
         Channel.connect ~crc:false ~resume:false ~faults ~host:"127.0.0.1"
           ~port ()
       in
-      (match Channel.request ch (Message.Hello { flags = 0 }) with
+      (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome { flags; resume_token; _ } ->
          Alcotest.(check int) "nothing granted to a flagless hello" 0 flags;
          Alcotest.(check string) "no token" "" resume_token
@@ -542,7 +542,10 @@ let test_resume_ttl_eviction_end_to_end () =
         (Message.encode
            (Message.Request
               (Message.Hello
-                 { flags = Message.flag_crc32 lor Message.flag_resume })));
+                 {
+                   flags = Message.flag_crc32 lor Message.flag_resume;
+                   spec = None;
+                 })));
       let token =
         match Channel.read_frame fd with
         | Some frame ->

@@ -267,10 +267,10 @@ let test_stats_req_live_sessions () =
       (* hold two sessions open mid-protocol, then introspect *)
       let a = Channel.connect ~host:"127.0.0.1" ~port () in
       let b = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request a (Message.Hello { flags = 0 }) with
+      (match Channel.request a (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "A's Hello failed");
-      (match Channel.request b (Message.Hello { flags = 0 }) with
+      (match Channel.request b (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "B's Hello failed");
       let text = fetch_stats ~port in
@@ -298,7 +298,7 @@ let test_stats_req_at_capacity () =
   Fun.protect ~finally:(fun () -> stop t)
     (fun () ->
       let a = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request a (Message.Hello { flags = 0 }) with
+      (match Channel.request a (Message.Hello { flags = 0; spec = None }) with
        | Message.Welcome _ -> ()
        | _ -> Alcotest.fail "A's Hello failed");
       (* the only slot is taken: a Stats_req probe must still be served,
@@ -312,7 +312,7 @@ let test_stats_req_at_capacity () =
         (Server_loop.rejected loop);
       (* a real session is still turned away *)
       let b = Channel.connect ~host:"127.0.0.1" ~port () in
-      (match Channel.request b (Message.Hello { flags = 0 }) with
+      (match Channel.request b (Message.Hello { flags = 0; spec = None }) with
        | _ -> Alcotest.fail "second session admitted beyond capacity"
        | exception Channel.Busy _ -> ());
       Channel.close b;

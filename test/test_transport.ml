@@ -103,8 +103,8 @@ let test_array_count_guard () =
 let sample_messages =
   let b = Bigint.of_string in
   [
-    Message.Request (Message.Hello { flags = 0 });
-    Message.Request (Message.Hello { flags = Message.flag_crc32 lor Message.flag_resume });
+    Message.Request (Message.Hello { flags = 0; spec = None });
+    Message.Request (Message.Hello { flags = Message.flag_crc32 lor Message.flag_resume; spec = None });
     Message.Request Message.Phase1_request;
     Message.Request (Message.Min_request [| b "1"; b "22"; b "333" |]);
     Message.Request (Message.Max_request [| b "987654321987654321" |]);
@@ -152,7 +152,7 @@ let test_message_roundtrips () =
 
 let test_message_values_in () =
   let b = Bigint.of_string in
-  Alcotest.(check int) "hello" 0 (Message.values_in (Message.Request (Message.Hello { flags = 0 })));
+  Alcotest.(check int) "hello" 0 (Message.values_in (Message.Request (Message.Hello { flags = 0; spec = None })));
   Alcotest.(check int) "min(3)" 3
     (Message.values_in (Message.Request (Message.Min_request [| b "1"; b "2"; b "3" |])));
   Alcotest.(check int) "phase1 2x(1+2)" 6
@@ -254,7 +254,7 @@ let test_local_channel_error_reply () =
 
 let test_local_channel_handler_exception () =
   let ch = Channel.local (fun _ -> failwith "handler blew up") in
-  (match Channel.request ch (Message.Hello { flags = 0 }) with
+  (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
    | _ -> Alcotest.fail "exception not converted"
    | exception Channel.Protocol_error m ->
      Alcotest.(check bool) "mentions failure" true (String.length m > 0))
@@ -262,7 +262,7 @@ let test_local_channel_handler_exception () =
 let test_local_channel_close () =
   let ch = Channel.local echo_handler in
   Channel.close ch;
-  (match Channel.request ch (Message.Hello { flags = 0 }) with
+  (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
    | _ -> Alcotest.fail "closed channel accepted request"
    | exception Channel.Protocol_error _ -> ())
 
@@ -290,7 +290,7 @@ let test_local_channel_per_channel_cap () =
 
 let test_busy_reply_raises () =
   let ch = Channel.local (fun _ -> Message.Busy { retry_after_s = 2.5 }) in
-  (match Channel.request ch (Message.Hello { flags = 0 }) with
+  (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
    | _ -> Alcotest.fail "Busy reply did not raise"
    | exception Channel.Busy { retry_after_s } ->
      Alcotest.(check (float 1e-9)) "retry hint carried" 2.5 retry_after_s)
@@ -508,7 +508,7 @@ let test_tcp_handler_exception_kept_alive () =
       | r -> echo_handler r)
     (fun ch ->
       (* first request trips the handler; server must survive and report *)
-      (match Channel.request ch (Message.Hello { flags = 0 }) with
+      (match Channel.request ch (Message.Hello { flags = 0; spec = None }) with
        | _ -> Alcotest.fail "no error"
        | exception Channel.Protocol_error _ -> ());
       match Channel.request ch (Message.Reveal_request (Bigint.of_int 3)) with
