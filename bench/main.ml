@@ -1010,6 +1010,12 @@ let overload ~quick =
 let telemetry_cli : (unit -> unit) ref =
   ref (fun () -> Ppst_telemetry.Telemetry.configure ())
 
+(* The stored BENCH_telemetry.json baseline measured before the crypto
+   hot-path overhaul (naive division-based modular arithmetic, no
+   noise pools, no packing) — the reference the overhaul's speedup is
+   reported against. *)
+let prior_baseline_wall = 167.799
+
 let telemetry_bench ~quick =
   header "Telemetry: tracing overhead and JSONL trace fidelity (wavefront DTW)";
   let module T = Ppst_telemetry.Telemetry in
@@ -1019,16 +1025,20 @@ let telemetry_bench ~quick =
   let params = Ppst.Params.make ~key_bits () in
   let x = Generate.ecg_int ~seed:13001 ~length ~max_value in
   let y = Generate.ecg_int ~seed:13002 ~length ~max_value in
-  let run () =
+  let run_spec ~packing ~offline () =
     let t0 = Unix.gettimeofday () in
     let r =
-      Ppst.Protocol.run_dtw_wavefront ~params ~seed:"telemetry-bench"
-        ~max_value ~decryption:`Crt ~x ~y ()
+      Ppst.Protocol.run
+        ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront ~packing `Dtw)
+        ~params ~seed:"telemetry-bench" ~max_value ~decryption:`Crt ~offline ~x
+        ~y ()
     in
     let wall = Unix.gettimeofday () -. t0 in
     check_against_plaintext `Dtw x y r;
     (wall, r)
   in
+  (* the headline profile: plaintext packing + offline noise pool *)
+  let run = run_spec ~packing:true ~offline:true in
   let best_of count f =
     let rec go count best last =
       if count = 0 then (best, Option.get last)
@@ -1039,13 +1049,17 @@ let telemetry_bench ~quick =
     go count infinity None
   in
   let runs = if quick then 1 else 2 in
-  line "m = n = %d, d = 1, k = %d, %d-bit modulus, best of %d run(s):" length
-    params.Ppst.Params.k key_bits runs;
+  line
+    "m = n = %d, d = 1, k = %d, %d-bit modulus, packed + pooled profile, best \
+     of %d run(s):"
+    length params.Ppst.Params.k key_bits runs;
   T.configure ();
   ignore (run ());
   (* warmup *)
   let w_off, r_off = best_of runs run in
   line "  telemetry off:          wall %8.3f s" w_off;
+  if Ppst.Cost.pool_misses r_off.Ppst.Protocol.cost <> 0 then
+    failwith "telemetry: packed offline run paid online noise exponentiations";
   let trace_file = Filename.temp_file "ppst_bench_trace" ".jsonl" in
   let run_traced () =
     (* reconfigure per run: each run gets a freshly truncated trace, so
@@ -1097,10 +1111,32 @@ let telemetry_bench ~quick =
   line "  session span %.3f s vs wall %.3f s (%.2f%% apart); lint clean."
     session_s w_fid (100.0 *. session_gap);
   Sys.remove trace_file;
+  (* the unpacked (default) path, pooled and unpooled: the revealed
+     distance must match the packed profile's, and disabling the pool
+     must not change what goes over the wire *)
+  let w_default, r_default = run_spec ~packing:false ~offline:true () in
+  line "  default (unpacked) path: wall %8.3f s" w_default;
+  if
+    Ppst.Protocol.distance_int r_default <> Ppst.Protocol.distance_int r_off
+  then failwith "telemetry: packed distance diverges from the default path";
+  if Ppst.Cost.pool_misses r_default.Ppst.Protocol.cost <> 0 then
+    failwith "telemetry: default offline run paid online noise exponentiations";
+  let _, r_unpooled = run_spec ~packing:false ~offline:false () in
+  if not (same_transcript r_default r_unpooled) then
+    failwith "telemetry: pooled vs unpooled transcripts diverge";
+  line
+    "  pooled vs unpooled transcript fingerprints identical (byte-level \
+     identity is asserted by the test suite and scripts/ci.sh)";
+  let speedup_packed = prior_baseline_wall /. w_off in
+  let speedup_default = prior_baseline_wall /. w_default in
+  line
+    "  speedup vs the pre-overhaul baseline (%.1f s at 1024 bits): packed \
+     %.1fx, default %.1fx"
+    prior_baseline_wall speedup_packed speedup_default;
   let oc = open_out "BENCH_telemetry.json" in
   Printf.fprintf oc
     {|{
-  "task": "telemetry overhead, secure DTW (wavefront), JSONL file sink",
+  "task": "telemetry overhead, secure DTW (wavefront, packed + pooled), JSONL file sink",
   "m": %d,
   "n": %d,
   "d": 1,
@@ -1110,14 +1146,22 @@ let telemetry_bench ~quick =
   "wall_seconds_telemetry_off": %.3f,
   "wall_seconds_telemetry_on": %.3f,
   "overhead_fraction": %.4f,
+  "wall_seconds_default_path": %.3f,
+  "prior_baseline_wall_seconds": %.3f,
+  "speedup_packed_vs_prior_baseline": %.2f,
+  "speedup_default_vs_prior_baseline": %.2f,
+  "packed_distance_equals_default_path": true,
+  "pooled_unpooled_transcripts_identical": true,
+  "pool_misses_offline": 0,
   "trace": { "records": %d, "round_bytes": %d, "rounds": %d, "session_span_seconds": %.3f, "session_wall_seconds": %.3f },
   "transcripts_identical": true,
   "cost": %s,
   "stats": %s,
-  "note": "Tracing records every span and per-round point (debug level) to a JSONL file; the trace's per-round byte totals equal the channel's Stats exactly, and the protocol.session span matches the measured wall clock within 1%%. Overhead is wall(on)/wall(off)-1, best-of-%d each; negative values are measurement noise."
+  "note": "Timed runs use the crypto hot path: fixed-base windowed exponentiation, offline noise pools, Montgomery-form homomorphic chains and plaintext packing. prior_baseline_wall_seconds is the same configuration measured before the overhaul (unpacked; naive modular arithmetic); the packed profile reveals the identical distance but not identical transcript bytes, so its speedup is distance-compared while the default path stays wire-compatible. Tracing records every span and per-round point (debug level) to a JSONL file; the trace's per-round byte totals equal the channel's Stats exactly, and the protocol.session span matches the measured wall clock within 1%%. Overhead is wall(on)/wall(off)-1, best-of-%d each; negative values are measurement noise."
 }
 |}
     length length params.Ppst.Params.k key_bits runs w_off w_on overhead
+    w_default prior_baseline_wall speedup_packed speedup_default
     (List.length entries) stats_bytes
     (Stats.rounds r_fid.Ppst.Protocol.stats)
     session_s w_fid
@@ -1149,6 +1193,48 @@ let smoke () =
     (Stats.total_bytes r1.Ppst.Protocol.stats)
     (Stats.rounds r1.Ppst.Protocol.stats);
   line "  identical at jobs=1 and jobs=4; matches the plaintext distance.";
+  (* hot-path smoke (a): the offline noise pool must be invisible on the
+     wire — same seed with the pool on and off, hash the raw frames *)
+  let transcript ~offline =
+    let rng = Secure_rng.of_seed_string "smoke-hotpath/client" in
+    let server_rng = Secure_rng.of_seed_string "smoke-hotpath/server" in
+    let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value () in
+    let buf = Buffer.create 4096 in
+    let handler req =
+      Buffer.add_string buf (Message.encode (Message.Request req));
+      let reply = Ppst.Server.handle server req in
+      Buffer.add_string buf (Message.encode (Message.Reply reply));
+      reply
+    in
+    let client =
+      Ppst.Client.connect ~offline ~rng ~series:x ~max_value ~distance:`Dtw
+        (Channel.local handler)
+    in
+    let d = Ppst.Secure_dtw_wavefront.run_dtw client in
+    Ppst.Client.finish client;
+    (Bigint.to_int_exn d, Digest.to_hex (Digest.string (Buffer.contents buf)))
+  in
+  let d_pooled, h_pooled = transcript ~offline:true in
+  let _d_unpooled, h_unpooled = transcript ~offline:false in
+  if d_pooled <> Ppst.Protocol.distance_int r1 then
+    failwith "smoke: instrumented run diverges from the plaintext distance";
+  if h_pooled <> h_unpooled then
+    failwith "smoke: pooled vs unpooled transcript hashes differ";
+  line "  pooled = unpooled transcript hash %s." (String.sub h_pooled 0 12);
+  (* hot-path smoke (b): the packed profile reveals the same distance and
+     its provisioned offline pool never misses *)
+  let packed =
+    Ppst.Protocol.run
+      ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront ~packing:true `Dtw)
+      ~params:(Ppst.Params.make ~key_bits:256 ())
+      ~seed:"smoke" ~max_value ~x ~y ()
+  in
+  check_against_plaintext `Dtw x y packed;
+  if Ppst.Protocol.distance_int packed <> Ppst.Protocol.distance_int r1 then
+    failwith "smoke: packed distance diverges from the baseline path";
+  if Ppst.Cost.pool_misses packed.Ppst.Protocol.cost <> 0 then
+    failwith "smoke: packed offline run paid online noise exponentiations";
+  line "  packed profile: same distance, zero pool misses offline.";
   (* concurrency smoke: two parallel TCP sessions against one Server_loop
      (seeded key, tiny series); throughput_run cross-checks every revealed
      distance against the plaintext reference *)

@@ -101,3 +101,10 @@ let mul_ctx c a b =
   let a = reduce a c.modulus and b = reduce b c.modulus in
   Bigint.of_nat
     (Montgomery.mul_mod c.mont (Bigint.magnitude a) (Bigint.magnitude b))
+
+let mont_of_ctx c = c.mont
+
+let to_mont_ctx c a =
+  Montgomery.to_mont c.mont (Bigint.magnitude (reduce a c.modulus))
+
+let of_mont_ctx c a = Bigint.of_nat (Montgomery.of_mont c.mont a)

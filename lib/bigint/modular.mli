@@ -28,6 +28,11 @@ val pow_mod : ?ctx:Montgomery.ctx -> Bigint.t -> Bigint.t -> Bigint.t -> Bigint.
     exponentiation when [m] is odd (pass [?ctx] to reuse a context),
     naive square-and-multiply otherwise. *)
 
+val pow_mod_naive : Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** Reference square-and-multiply with a full division per step — the
+    even-modulus fallback of {!pow_mod}, exposed so differential tests
+    can pit the Montgomery path against it.  [e >= 0]; [m >= 1]. *)
+
 (** {1 Fixed-modulus contexts}
 
     Precompute Montgomery constants once for a long-lived odd modulus. *)
@@ -40,3 +45,13 @@ val make_ctx : Bigint.t -> ctx
 val ctx_modulus : ctx -> Bigint.t
 val pow_ctx : ctx -> Bigint.t -> Bigint.t -> Bigint.t
 val mul_ctx : ctx -> Bigint.t -> Bigint.t -> Bigint.t
+
+val mont_of_ctx : ctx -> Montgomery.ctx
+(** The underlying Montgomery context, for limb-level hot paths
+    ({!Fixed_base} tables, in-form homomorphic chains). *)
+
+val to_mont_ctx : ctx -> Bigint.t -> int array
+(** Reduce mod the context modulus and convert to Montgomery form. *)
+
+val of_mont_ctx : ctx -> int array -> Bigint.t
+(** Convert out of Montgomery form to a canonical residue. *)

@@ -20,3 +20,11 @@ val mul_mod : ctx -> Nat.t -> Nat.t -> Nat.t
 val to_mont : ctx -> Nat.t -> int array
 val of_mont : ctx -> int array -> Nat.t
 val mont_mul_raw : ctx -> int array -> int array -> int array
+
+val one_raw : ctx -> int array
+(** Montgomery form of 1 ([R mod n]), padded to the context width. *)
+
+val pow_raw : ctx -> int array -> Nat.t -> int array
+(** [pow_raw ctx x e] with [x] in Montgomery form returns [x^e] in
+    Montgomery form (sliding-window ladder).  [e = 0] yields
+    {!one_raw}. *)

@@ -8,16 +8,25 @@ type t = {
   series : Series.t;
   channel : Channel.t;
   rng : Secure_rng.t;
+  noise_rng : Secure_rng.t;
+      (* dedicated stream for r^n noise draws, split off [rng] at
+         connect.  Masking draws and noise draws then advance two
+         independent streams, so precomputing the noise offline (pool
+         refill) consumes randomness in exactly the order online misses
+         would — pooled and unpooled seeded runs are bit-identical. *)
   pk : Paillier.public_key;
   params : Params.t;
   distance : distance_kind;
   max_value : int;  (* negotiated coordinate bound (max of both parties) *)
+  packing : bool;  (* server granted Message.flag_packing *)
   mutable session : Params.session;
   mutable server_length : int;
   mutable catalog : int array option;
   cost : Cost.t;
   pool : Paillier.randomness_pool;
   offline : bool;
+  mutable refill_join : (unit -> unit) option;
+      (* outstanding background pool producer, joined at [finish] *)
   workers : Parallel.t;
 }
 
@@ -79,9 +88,20 @@ let sync_pool_misses t =
 let encrypt_online t m =
   let client_ops = Cost.client_ops t.cost in
   client_ops.Cost.encryptions <- client_ops.Cost.encryptions + 1;
-  let c = Paillier.encrypt_pooled t.pk t.pool t.rng m in
+  let c = Paillier.encrypt_pooled t.pk t.pool t.noise_rng m in
   sync_pool_misses t;
   c
+
+let join_refill t =
+  match t.refill_join with
+  | None -> ()
+  | Some join ->
+    t.refill_join <- None;
+    (* only the time the client actually blocks on the producer counts
+       as offline cost; the overlapped production itself is free wall *)
+    let t0 = Unix.gettimeofday () in
+    join ();
+    Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0)
 
 let precompute_randomness t count =
   if t.offline && count > 0 then
@@ -92,9 +112,18 @@ let precompute_randomness t count =
           ("phase", Telemetry.Phase Telemetry.Offline);
         ]
       (fun () ->
-        let t0 = Unix.gettimeofday () in
-        Paillier.pool_refill ~workers:t.workers t.pk t.pool t.rng count;
-        Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0))
+        join_refill t;
+        if t.packing then
+          (* packed profile: fast subgroup noise, produced on a
+             background Domain; online rounds block in rn_acquire while
+             entries are owed instead of recording misses *)
+          t.refill_join <-
+            Some (Paillier.pool_refill_async ~fast:true t.pk t.pool t.noise_rng count)
+        else begin
+          let t0 = Unix.gettimeofday () in
+          Paillier.pool_refill ~workers:t.workers t.pk t.pool t.noise_rng count;
+          Cost.add_client_offline t.cost (Unix.gettimeofday () -. t0)
+        end)
 
 let pool_remaining t = Paillier.pool_size t.pool
 
@@ -115,7 +144,7 @@ let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
   Params.plan params ~max_value ~dimension:(Series.dimension series)
     ~client_length:(Series.length series) ~server_length ~modulus ~distance
 
-let connect ?(params = Params.default) ?(offline = true)
+let connect ?(params = Params.default) ?(offline = true) ?(packing = false)
     ?(workers = Parallel.sequential) ~rng ~series ~max_value ~distance channel =
   check_own_bounds series max_value;
   (* Offer the channel's transport capabilities (CRC, resume) in Hello,
@@ -125,7 +154,10 @@ let connect ?(params = Params.default) ?(offline = true)
      bytes it cannot parse and answers with an in-band error — fall back
      to a bare Hello once, so new clients interop with old servers at
      the cost of one round. *)
-  let offered = Channel.offered_flags channel in
+  let offered =
+    Channel.offered_flags channel
+    lor if packing then Message.flag_packing else 0
+  in
   let spec =
     Some
       {
@@ -140,7 +172,8 @@ let connect ?(params = Params.default) ?(offline = true)
       hello 0 None
   in
   match welcome with
-  | Message.Welcome { n; key_bits; series_length; dimension; max_value = server_max; _ } ->
+  | Message.Welcome
+      { n; key_bits; series_length; dimension; max_value = server_max; flags; _ } ->
     if dimension <> Series.dimension series then
       raise
         (Incompatible
@@ -152,20 +185,27 @@ let connect ?(params = Params.default) ?(offline = true)
       plan_session ~params ~series ~server_length:series_length ~max_value:bound
         ~modulus:pk.Paillier.n ~distance
     in
+    (* the noise stream forks off the session rng here, after the
+       handshake: every r^n draw — offline refill or online miss — comes
+       from [noise_rng], every masking draw from [rng] *)
+    let noise_rng = Secure_rng.of_seed_bytes (Secure_rng.bytes rng 32) in
     {
       series;
       channel;
       rng;
+      noise_rng;
       pk;
       params;
       distance;
       max_value = bound;
+      packing = packing && flags land Message.flag_packing <> 0;
       session;
       server_length = series_length;
       catalog = None;
       cost = Cost.create ();
       pool = Paillier.pool_create pk;
       offline;
+      refill_join = None;
       workers;
     }
   | _ -> raise (Channel.Protocol_error "expected Welcome after Hello")
@@ -199,6 +239,24 @@ let select_record t index =
   | Message.Select_ack _ ->
     raise (Channel.Protocol_error "select acknowledged the wrong record")
   | _ -> raise (Channel.Protocol_error "expected Select_ack")
+
+(* --- plaintext packing (packed/fast profile) ----------------------------- *)
+
+(* Slot geometry, derived from the masking analysis: every masked
+   candidate is below [value_bound + offset_hi] (the wrap guard of
+   Params.plan), so that bound's width is the slot width.  Recomputed on
+   demand — a [select_record] re-plan changes it. *)
+let packing_spec t =
+  let s = t.session in
+  let slot_bits =
+    Bigint.num_bits (Bigint.add s.Params.value_bound s.Params.offset_hi)
+  in
+  (slot_bits, Paillier.pack_capacity t.pk ~slot_bits)
+
+(* Packing is active when the server granted it AND the key leaves room
+   for at least one slot (a 64-bit test key planned near its wrap guard
+   has capacity 0 — fall back to the unpacked rounds silently). *)
+let packing_active t = t.packing && snd (packing_spec t) >= 1
 
 (* --- phase 1 -------------------------------------------------------------- *)
 
@@ -268,10 +326,37 @@ let cost_matrix_of t data =
       let client_ops = Cost.client_ops t.cost in
       client_ops.Cost.homomorphic <-
         client_ops.Cost.homomorphic + (m * t.server_length * (1 + (2 * d)));
-      Parallel.map_array t.workers
-        (fun (x, enc_x_sumsq) ->
-          Array.init t.server_length (fun j -> cost_cell t.pk data ~enc_x_sumsq ~x j))
-        rows)
+      if packing_active t then begin
+        (* packed profile: invert each server coordinate once (one
+           modular inverse) so the per-cell factor is the small positive
+           power [inv^(2 x_l)] instead of the full-width [n - 2 x_l]
+           exponent that [scalar_mul c (-2 x_l)] pays.  Decrypts
+           identically; ciphertext bytes differ, which the packed
+           (distance-compared) profile permits. *)
+        let inv_coords =
+          Parallel.map_array t.workers
+            (Array.map (Paillier.invert_ciphertext t.pk))
+            data.server_coords
+        in
+        Parallel.map_array t.workers
+          (fun (x, enc_x_sumsq) ->
+            Array.init t.server_length (fun j ->
+                let acc = ref (Paillier.add t.pk enc_x_sumsq data.server_sumsq.(j)) in
+                for l = 0 to d - 1 do
+                  let factor =
+                    Paillier.scalar_mul t.pk inv_coords.(j).(l)
+                      (Bigint.of_int (2 * x.(l)))
+                  in
+                  acc := Paillier.add t.pk !acc factor
+                done;
+                !acc))
+          rows
+      end
+      else
+        Parallel.map_array t.workers
+          (fun (x, enc_x_sumsq) ->
+            Array.init t.server_length (fun j -> cost_cell t.pk data ~enc_x_sumsq ~x j))
+          rows)
 
 let fetch_cost_matrix t =
   let data = fetch_phase1 t in
@@ -357,7 +442,7 @@ let batch_extreme t phase ~extreme ~request ~unmask (instances : Paillier.cipher
               client_ops.Cost.encryptions <- client_ops.Cost.encryptions + encs;
               client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + encs;
               let rns =
-                Array.init encs (fun _ -> Paillier.rn_acquire t.pk t.pool t.rng)
+                Array.init encs (fun _ -> Paillier.rn_acquire t.pk t.pool t.noise_rng)
               in
               (inputs, plan, rns))
             instances
@@ -391,27 +476,128 @@ let batch_extreme t phase ~extreme ~request ~unmask (instances : Paillier.cipher
             replies
         | _ -> raise (Channel.Protocol_error "expected Batch_cipher_reply"))
 
+(* Packed batch: same plans and plaintext relationships as
+   [batch_extreme], but the candidates are assembled with plaintext adds
+   (no per-candidate noise), concatenated across instances, packed
+   [capacity] slots to a ciphertext, and each pack re-randomized with ONE
+   pooled r^n factor — which makes the pack's noise uniform, covering
+   every slot at once (SECURITY.md).  The server decrypts
+   ceil(total/capacity) ciphertexts instead of one per candidate and
+   replies as in the unpacked batch. *)
+let batch_extreme_packed t phase ~extreme ~request ~unmask
+    (instances : Paillier.ciphertext array array) =
+  if Array.length instances = 0 then [||]
+  else
+    timed t phase (fun () ->
+        let client_ops = Cost.client_ops t.cost in
+        let slot_bits, capacity = packing_spec t in
+        let planned =
+          Array.map
+            (fun inputs ->
+              let n_inputs = Array.length inputs in
+              let plan = Masking.plan ~rng:t.rng ~session:t.session ~extreme ~n_inputs in
+              client_ops.Cost.homomorphic <-
+                client_ops.Cost.homomorphic + Masking.plan_encryptions plan ~n_inputs;
+              (inputs, plan))
+            instances
+        in
+        let prepared =
+          Parallel.map_array t.workers
+            (fun (inputs, plan) -> Masking.apply_plan_plain ~pk:t.pk plan inputs)
+            planned
+        in
+        let counts = Array.map (fun p -> Array.length p.Masking.candidates) prepared in
+        let flat =
+          Array.concat (Array.to_list (Array.map (fun p -> p.Masking.candidates) prepared))
+        in
+        let total = Array.length flat in
+        let packs = (total + capacity - 1) / capacity in
+        let chunks =
+          Array.init packs (fun i ->
+              let lo = i * capacity in
+              Array.sub flat lo (min capacity (total - lo)))
+        in
+        (* Horner packing is pure and fans out; the pooled
+           re-randomization draws stay sequential in pack order. *)
+        let packed_cts =
+          Parallel.map_array t.workers
+            (Paillier.pack_ciphertexts t.pk ~slot_bits)
+            chunks
+        in
+        client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + total;
+        client_ops.Cost.encryptions <- client_ops.Cost.encryptions + packs;
+        let payload =
+          Array.map
+            (fun c ->
+              Paillier.ciphertext_to_bigint
+                (Paillier.rerandomize_pooled t.pk t.pool t.noise_rng c))
+            packed_cts
+        in
+        sync_pool_misses t;
+        match Channel.request t.channel (request ~slot_bits ~counts ~packed:payload) with
+        | Message.Batch_cipher_reply replies ->
+          if Array.length replies <> Array.length instances then
+            raise (Channel.Protocol_error "batch reply count mismatch");
+          Array.mapi
+            (fun i v ->
+              client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+              unmask ~pk:t.pk prepared.(i) (Paillier.ciphertext_of_bigint t.pk v))
+            replies
+        | _ -> raise (Channel.Protocol_error "expected Batch_cipher_reply"))
+
 let secure_min_batch t instances =
-  batch_extreme t Cost.Phase2 ~extreme:`Min
-    ~request:(fun p -> Message.Batch_min_request p)
-    ~unmask:Masking.unmask_min instances
+  if packing_active t then
+    batch_extreme_packed t Cost.Phase2 ~extreme:`Min
+      ~request:(fun ~slot_bits ~counts ~packed ->
+        Message.Packed_min_request { slot_bits; counts; packed })
+      ~unmask:Masking.unmask_min instances
+  else
+    batch_extreme t Cost.Phase2 ~extreme:`Min
+      ~request:(fun p -> Message.Batch_min_request p)
+      ~unmask:Masking.unmask_min instances
 
 let secure_max_batch t instances =
-  batch_extreme t Cost.Phase3 ~extreme:`Max
-    ~request:(fun p -> Message.Batch_max_request p)
-    ~unmask:Masking.unmask_max instances
+  if packing_active t then
+    batch_extreme_packed t Cost.Phase3 ~extreme:`Max
+      ~request:(fun ~slot_bits ~counts ~packed ->
+        Message.Packed_max_request { slot_bits; counts; packed })
+      ~unmask:Masking.unmask_max instances
+  else
+    batch_extreme t Cost.Phase3 ~extreme:`Max
+      ~request:(fun p -> Message.Batch_max_request p)
+      ~unmask:Masking.unmask_max instances
 
+(* The single-instance rounds delegate to the packed batch when packing
+   is active, so every DP driver rides the packed path without
+   structural changes. *)
 let secure_min t inputs =
-  round_extreme t Cost.Phase2
-    ~prepare:(fun ~encrypt -> Masking.prepare_min ~encrypt)
-    ~request:(fun p -> Message.Min_request p)
-    ~unmask:Masking.unmask_min inputs
+  if packing_active t then (secure_min_batch t [| inputs |]).(0)
+  else
+    round_extreme t Cost.Phase2
+      ~prepare:(fun ~encrypt -> Masking.prepare_min ~encrypt)
+      ~request:(fun p -> Message.Min_request p)
+      ~unmask:Masking.unmask_min inputs
 
 let secure_max t inputs =
-  round_extreme t Cost.Phase3
-    ~prepare:(fun ~encrypt -> Masking.prepare_max ~encrypt)
-    ~request:(fun p -> Message.Max_request p)
-    ~unmask:Masking.unmask_max inputs
+  if packing_active t then (secure_max_batch t [| inputs |]).(0)
+  else
+    round_extreme t Cost.Phase3
+      ~prepare:(fun ~encrypt -> Masking.prepare_max ~encrypt)
+      ~request:(fun p -> Message.Max_request p)
+      ~unmask:Masking.unmask_max inputs
+
+(* Pool draws one protocol round consumes — the bridge between the
+   drivers' provisioning formulas and the active profile.  [sizes] lists
+   the input count of each masked instance in the round: the default
+   profile encrypts one offset per candidate; the packed profile draws
+   one factor per packed ciphertext. *)
+let round_randomness t sizes =
+  let k = t.session.Params.params.Params.k in
+  let slots = Array.fold_left (fun acc n -> acc + n + k - 1) 0 sizes in
+  if packing_active t then
+    let _, capacity = packing_spec t in
+    (slots + capacity - 1) / capacity
+  else slots
 
 let add t c1 c2 =
   let client_ops = Cost.client_ops t.cost in
@@ -434,4 +620,8 @@ let reveal t c =
       | Message.Reveal_reply v -> v
       | _ -> raise (Channel.Protocol_error "expected Reveal_reply"))
 
-let finish t = Channel.close t.channel
+let finish t =
+  join_refill t;
+  Channel.close t.channel
+
+let packing = packing_active

@@ -18,6 +18,7 @@ type distance_kind = [ `Dtw | `Dfd | `Erp | `Euclidean ]
 val connect :
   ?params:Params.t ->
   ?offline:bool ->
+  ?packing:bool ->
   ?workers:Parallel.t ->
   rng:Secure_rng.t ->
   series:Series.t ->
@@ -37,6 +38,15 @@ val connect :
     for the paper's weak-client setting.  Offline time is accounted
     separately in {!Cost.client_offline_seconds}.
 
+    [packing] (default false) offers the plaintext-packing capability
+    ({!Message.flag_packing}): masked candidates ride ciphertexts many
+    slots at a time, collapsing the per-candidate encryption and
+    decryption work.  Packed runs produce the same distances as unpacked
+    ones but not the same transcript bytes; servers that do not grant
+    the flag (or keys too small to fit one slot) silently fall back to
+    the unpacked rounds.  Combined with [offline], the pool refill runs
+    on a background Domain using the fast subgroup noise generator.
+
     [workers] (default sequential) fans the client's embarrassingly
     parallel work — pool refills, cost-matrix rows, masked-candidate
     preparation — out over a Domain pool.  All randomness (rng draws and
@@ -53,6 +63,18 @@ val precompute_randomness : t -> int -> unit
     will need. *)
 
 val pool_remaining : t -> int
+
+val packing : t -> bool
+(** Whether the packed profile is active for this session: offered at
+    {!connect}, granted by the server, and the key fits at least one
+    slot. *)
+
+val round_randomness : t -> int array -> int
+(** Pool draws one protocol round will consume, given the input count of
+    each masked instance in the round — [Σ (n_i + k - 1)] offset
+    encryptions in the default profile, the resulting packed-ciphertext
+    count in the packed one.  The DP drivers sum this over their rounds
+    to provision {!precompute_randomness} exactly. *)
 
 val session : t -> Params.session
 val public_key : t -> Paillier.public_key

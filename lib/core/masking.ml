@@ -64,6 +64,23 @@ let apply_plan ~encrypt ~pk p (inputs : Paillier.ciphertext array) =
   let unshuffled = Array.append masked decoys in
   { candidates = Array.map (fun i -> unshuffled.(i)) p.perm; unmask = p.pivot }
 
+(* Packed-path variant: add the offsets as plaintext constants
+   ([add_plain], one multiplication) instead of encrypting each one.
+   The candidates then carry no fresh per-candidate noise — sound only
+   when the caller re-randomizes the pack as a whole (one pooled [r^n]
+   per packed ciphertext makes the packed value's noise uniform; see
+   SECURITY.md).  Plaintext relationships, shuffle and unmask pivot are
+   exactly those of [apply_plan]. *)
+let apply_plan_plain ~pk p (inputs : Paillier.ciphertext array) =
+  let masked = Array.map (fun c -> Paillier.add_plain pk c p.pivot) inputs in
+  let decoys =
+    Array.map2
+      (fun source r -> Paillier.add_plain pk inputs.(source) r)
+      p.decoy_sources p.decoy_offsets
+  in
+  let unshuffled = Array.append masked decoys in
+  { candidates = Array.map (fun i -> unshuffled.(i)) p.perm; unmask = p.pivot }
+
 let prepare ?encrypt ~extreme ~pk ~rng ~session (inputs : Paillier.ciphertext array) =
   if Array.length inputs = 0 then invalid_arg "Masking.prepare: no inputs";
   let encrypt = match encrypt with Some f -> f | None -> Paillier.encrypt pk rng in

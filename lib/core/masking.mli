@@ -94,3 +94,11 @@ val apply_plan :
   plan ->
   Paillier.ciphertext array ->
   prepared
+
+val apply_plan_plain :
+  pk:Paillier.public_key -> plan -> Paillier.ciphertext array -> prepared
+(** {!apply_plan} with every offset added as a plaintext constant
+    ([Paillier.add_plain]) instead of freshly encrypted — no rng, no
+    noise.  Reserved for the packed path, where the caller re-randomizes
+    each {e packed} ciphertext with one pooled [r^n] factor; never send
+    these candidates unpacked. *)

@@ -15,12 +15,12 @@ let run_session : type a.
     distance_kind:Client.distance_kind ->
     runner:(Client.t -> a) ->
     ?params:Params.t -> ?seed:string -> ?max_value:int ->
-    ?decryption:[ `Standard | `Crt ] -> ?offline:bool -> ?jobs:int ->
-    ?trace:Trace.t ->
+    ?decryption:[ `Standard | `Crt ] -> ?offline:bool -> ?packing:bool ->
+    ?jobs:int -> ?trace:Trace.t ->
     x:Series.t -> y:Series.t -> unit ->
     a * Cost.t * Stats.t * Params.session =
  fun ~distance_kind ~runner ?(params = Params.default) ?seed ?max_value
-     ?decryption ?offline ?(jobs = 1) ?trace ~x ~y () ->
+     ?decryption ?offline ?packing ?(jobs = 1) ?trace ~x ~y () ->
   let rng_of suffix =
     match seed with
     | Some s -> Secure_rng.of_seed_string (s ^ "/" ^ suffix)
@@ -60,8 +60,8 @@ let run_session : type a.
       in
       let channel = Channel.local ?trace (Server.handle server) in
       let client =
-        Client.connect ~params ?offline ~workers ~rng:client_rng ~series:x
-          ~max_value:client_max ~distance:distance_kind channel
+        Client.connect ~params ?offline ?packing ~workers ~rng:client_rng
+          ~series:x ~max_value:client_max ~distance:distance_kind channel
       in
       let value = runner client in
       Client.finish client;
@@ -86,9 +86,11 @@ type spec = {
   band : int option;
   strategy : strategy;
   gap : int array option;
+  packing : bool;
 }
 
-let spec ?band ?(strategy = `Full) ?gap algo = { algo; band; strategy; gap }
+let spec ?band ?(strategy = `Full) ?gap ?(packing = false) algo =
+  { algo; band; strategy; gap; packing }
 
 let algo_name = function
   | `Dtw -> "`Dtw"
@@ -133,7 +135,8 @@ let run ~spec:s ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y
   let runner = runner_of_spec s in
   pack
     (run_session ~distance_kind:(distance_kind_of_algo s.algo) ~runner ?params
-       ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y ())
+       ?seed ?max_value ?decryption ?offline ~packing:s.packing ?jobs ?trace ~x
+       ~y ())
 
 (* Legacy entry points: thin wrappers over [run], kept so callers can
    migrate incrementally.  Each preserves its historical signature

@@ -52,13 +52,18 @@ type spec = {
   strategy : strategy;
   gap : int array option;
       (** ERP's public gap element; required iff [algo = `Erp]. *)
+  packing : bool;
+      (** Offer the plaintext-packing capability (see {!Client.connect}).
+          Packed runs reveal the same distances as unpacked ones but not
+          the same transcript bytes; default [false]. *)
 }
 (** A full description of the session to run.  Build with {!spec} or as
     a record literal; either way {!run} validates the combination. *)
 
-val spec : ?band:int -> ?strategy:strategy -> ?gap:int array -> algo -> spec
+val spec :
+  ?band:int -> ?strategy:strategy -> ?gap:int array -> ?packing:bool -> algo -> spec
 (** [spec `Dtw], [spec ~band:5 `Dfd], [spec ~gap:[|0|] `Erp], ...
-    [strategy] defaults to [`Full]. *)
+    [strategy] defaults to [`Full], [packing] to [false]. *)
 
 val run :
   spec:spec ->

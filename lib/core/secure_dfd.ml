@@ -4,17 +4,19 @@ module Telemetry = Ppst_telemetry.Telemetry
    predecessors}); both extremes go through masked server rounds. *)
 let run_matrix client =
   Client.require_plan client `Dfd;
-  (* Offline phase: m phase-1 factors, k + 2 per minimum round, k + 1 per
-     maximum round (inner cells and both borders). *)
+  (* Offline phase: m phase-1 factors, one round's worth per minimum
+     (three inputs) and per maximum (two inputs — inner cells and both
+     borders). *)
   let m = Client.client_length client in
   let n = Client.server_length client in
   Telemetry.span ~name:"dfd.full"
     ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
   @@ fun () ->
-  let k = (Client.session client).Params.params.Params.k in
+  let per_min = Client.round_randomness client [| 3 |] in
+  let per_max = Client.round_randomness client [| 2 |] in
   let max_rounds = ((m - 1) * (n - 1)) + (m - 1) + (n - 1) in
   Client.precompute_randomness client
-    (m + ((m - 1) * (n - 1) * (k + 2)) + (max_rounds * (k + 1)));
+    (m + ((m - 1) * (n - 1) * per_min) + (max_rounds * per_max));
   let cost = Client.fetch_cost_matrix client in
   let matrix = Array.make_matrix m n cost.(0).(0) in
   for i = 1 to m - 1 do

@@ -5,14 +5,15 @@ module Telemetry = Ppst_telemetry.Telemetry
 let run_matrix client =
   Client.require_plan client `Dtw;
   (* Offline phase: precompute all the randomness this run will consume —
-     one factor per row for phase 1, k + 2 per inner-cell minimum round. *)
+     one factor per row for phase 1, one round's worth per inner-cell
+     minimum (k + 2 offsets unpacked, the pack count when packing). *)
   let m = Client.client_length client in
   let n = Client.server_length client in
   Telemetry.span ~name:"dtw.full"
     ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
   @@ fun () ->
-  let k = (Client.session client).Params.params.Params.k in
-  Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
+  let per_min = Client.round_randomness client [| 3 |] in
+  Client.precompute_randomness client (m + ((m - 1) * (n - 1) * per_min));
   let cost = Client.fetch_cost_matrix client in
   let matrix = Array.make_matrix m n cost.(0).(0) in
   for i = 1 to m - 1 do

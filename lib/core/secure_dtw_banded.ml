@@ -21,11 +21,11 @@ let run_matrix ~band client =
       ]
   @@ fun () ->
   let in_band i j = abs (i - j) <= band in
-  let k = (Client.session client).Params.params.Params.k in
-  (* offline randomness (upper bound): m row norms + (k + 2) per in-band
-     inner cell; cells per row <= 2*band + 1 *)
+  (* offline randomness (upper bound): m row norms + one minimum round per
+     in-band inner cell; cells per row <= 2*band + 1 *)
   let in_band_cells = m * ((2 * band) + 1) in
-  Client.precompute_randomness client (m + (in_band_cells * (k + 2)));
+  let per_min = Client.round_randomness client [| 3 |] in
+  Client.precompute_randomness client (m + (in_band_cells * per_min));
   (* phase 1: only in-band cost cells are ever read, but the cost-matrix
      evaluation is already the cheap part; computing the full matrix keeps
      the phase-1 message identical to unbanded DTW (same leakage profile).
@@ -88,10 +88,10 @@ let run_dfd_matrix ~band client =
       ]
   @@ fun () ->
   let in_band i j = abs (i - j) <= band in
-  let k = (Client.session client).Params.params.Params.k in
   let in_band_cells = m * ((2 * band) + 1) in
-  Client.precompute_randomness client
-    (m + (in_band_cells * ((k + 2) + (k + 1))));
+  let per_min = Client.round_randomness client [| 3 |] in
+  let per_max = Client.round_randomness client [| 2 |] in
+  Client.precompute_randomness client (m + (in_band_cells * (per_min + per_max)));
   let data = Client.fetch_phase1 client in
   let cost = Client.cost_matrix_of client data in
   let matrix = Array.make_matrix m n None in

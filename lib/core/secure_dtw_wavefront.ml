@@ -28,11 +28,18 @@ let run_dtw client =
   Client.require_plan client `Dtw;
   let m = Client.client_length client in
   let n = Client.server_length client in
-  let k = (Client.session client).Params.params.Params.k in
   Telemetry.span ~name:"dtw.wavefront"
     ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
   @@ fun () ->
-  Client.precompute_randomness client (m + ((m - 1) * (n - 1) * (k + 2)));
+  (* one batched round per anti-diagonal: provision each diagonal's
+     randomness by its own instance sizes (all three-input minima) *)
+  let provision = ref m in
+  for s = 2 to m + n - 2 do
+    let cells = Array.length (diagonal_cells ~m ~n s) in
+    if cells > 0 then
+      provision := !provision + Client.round_randomness client (Array.make cells 3)
+  done;
+  Client.precompute_randomness client !provision;
   let cost = Client.fetch_cost_matrix client in
   let matrix = Array.make_matrix m n cost.(0).(0) in
   for i = 1 to m - 1 do
@@ -61,13 +68,22 @@ let run_dfd client =
   Client.require_plan client `Dfd;
   let m = Client.client_length client in
   let n = Client.server_length client in
-  let k = (Client.session client).Params.params.Params.k in
-  let max_rounds = ((m - 1) * (n - 1)) + (m - 1) + (n - 1) in
   Telemetry.span ~name:"dfd.wavefront"
     ~attrs:[ ("m", Telemetry.Int m); ("n", Telemetry.Int n) ]
   @@ fun () ->
-  Client.precompute_randomness client
-    (m + ((m - 1) * (n - 1) * (k + 2)) + (max_rounds * (k + 1)));
+  (* borders run as singleton max batches; each diagonal contributes one
+     min batch (three-input instances) and one max batch (two-input) *)
+  let per_max = Client.round_randomness client [| 2 |] in
+  let provision = ref (m + (((m - 1) + (n - 1)) * per_max)) in
+  for s = 2 to m + n - 2 do
+    let cells = Array.length (diagonal_cells ~m ~n s) in
+    if cells > 0 then
+      provision :=
+        !provision
+        + Client.round_randomness client (Array.make cells 3)
+        + Client.round_randomness client (Array.make cells 2)
+  done;
+  Client.precompute_randomness client !provision;
   let cost = Client.fetch_cost_matrix client in
   let matrix = Array.make_matrix m n cost.(0).(0) in
   (* both borders are chains of maxima: batch each border column/row as

@@ -7,10 +7,10 @@ let run_matrix ~gap client =
   Client.require_plan client `Erp;
   let m = Client.client_length client in
   let n = Client.server_length client in
-  let k = (Client.session client).Params.params.Params.k in
   (* offline randomness: 1 border-zero encryption, m row-norm encryptions,
-     (k + 2) offset encryptions per inner cell *)
-  Client.precompute_randomness client (1 + m + (m * n * (k + 2)));
+     one minimum round per inner cell *)
+  let per_min = Client.round_randomness client [| 3 |] in
+  Client.precompute_randomness client (1 + m + (m * n * per_min));
   let data = Client.fetch_phase1 client in
   let cost = Client.cost_matrix_of client data in
   let y_gap = Client.gap_costs_of client data ~gap in

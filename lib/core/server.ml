@@ -12,6 +12,9 @@ type t = {
   decrypt : Paillier.private_key -> Paillier.ciphertext -> Bigint.t;
   decryption : [ `Standard | `Crt ];
   workers : Parallel.t;
+  mutable noise : Paillier.noise_gen option;
+      (* lazily built fast-noise table for packed-reply re-encryptions;
+         one full-width exponentiation amortized over the session *)
 }
 
 let check_bounds series max_value =
@@ -57,6 +60,7 @@ let create_db_with_key ?(decryption = `Standard) ?(workers = Parallel.sequential
     decrypt;
     decryption;
     workers;
+    noise = None;
   }
 
 let create_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~series ~max_value () =
@@ -94,7 +98,6 @@ let decrypt_batch t cs =
    batch so the encryptions fan out; the flat order matches the
    sequential per-element order, keeping the rng stream unchanged. *)
 let phase1_elements t =
-  let pk = public_key t in
   let series = active_series t in
   let d = Series.dimension series in
   let n = Series.length series in
@@ -111,7 +114,7 @@ let phase1_elements t =
     done
   done;
   t.ops.encryptions <- t.ops.encryptions + (n * (d + 1));
-  let encs = Paillier.encrypt_batch ~workers:t.workers pk t.rng plains in
+  let encs = Paillier.encrypt_batch_sk ~workers:t.workers t.sk t.rng plains in
   Array.init n (fun j ->
       {
         Message.sum_sq = Paillier.ciphertext_to_bigint encs.(j * (d + 1));
@@ -147,7 +150,7 @@ let extreme_of t ~better (candidates : Bigint.t array) =
   let plains = decrypt_batch t cs in
   let extreme = fold_better ~better plains 0 (Array.length plains) in
   t.ops.encryptions <- t.ops.encryptions + 1;
-  Paillier.ciphertext_to_bigint (Paillier.encrypt pk t.rng extreme)
+  Paillier.ciphertext_to_bigint (Paillier.encrypt_sk t.sk t.rng extreme)
 
 let select_extreme t ~better candidates =
   match extreme_of t ~better candidates with
@@ -177,17 +180,80 @@ let select_extreme_batch t ~better (sets : Bigint.t array array) =
           off := !off + len)
         wrapped;
       t.ops.encryptions <- t.ops.encryptions + Array.length extremes;
-      let encs = Paillier.encrypt_batch ~workers:t.workers pk t.rng extremes in
+      let encs = Paillier.encrypt_batch_sk ~workers:t.workers t.sk t.rng extremes in
       Message.Batch_cipher_reply (Array.map Paillier.ciphertext_to_bigint encs)
   end
+
+(* Packing extension: the flattened candidate slots of many instances
+   arrive [capacity] to a ciphertext, so the whole batch costs
+   [ceil(total/capacity)] decryptions instead of [total].  Replies are
+   re-encrypted through the cached subgroup noise generator — fresh
+   noise per reply at a table-walk's cost (this is the packed/fast
+   profile; see SECURITY.md on the subgroup caveat). *)
+let noise_gen t =
+  match t.noise with
+  | Some g -> g
+  | None ->
+    let g = Paillier.noise_gen_create (public_key t) t.rng in
+    t.noise <- Some g;
+    g
+
+let select_extreme_packed t ~better ~slot_bits ~counts ~(packed : Bigint.t array) =
+  let pk = public_key t in
+  match
+    if slot_bits <= 0 || slot_bits >= pk.Paillier.bits then
+      raise (Bad_candidates "packed slot width out of range for this key");
+    let capacity = Paillier.pack_capacity pk ~slot_bits in
+    if Array.length counts = 0 then raise (Bad_candidates "empty packed batch");
+    Array.iter
+      (fun k -> if k < 2 then raise (Bad_candidates "need at least two candidates"))
+      counts;
+    let total = Array.fold_left ( + ) 0 counts in
+    let expected = (total + capacity - 1) / capacity in
+    if Array.length packed <> expected then
+      raise
+        (Bad_candidates
+           (Printf.sprintf "expected %d packed ciphertexts for %d slots, got %d"
+              expected total (Array.length packed)));
+    (match Array.map (Paillier.validate_ciphertext pk) packed with
+     | cs -> (capacity, total, cs)
+     | exception Paillier.Invalid_ciphertext m -> raise (Bad_candidates m))
+  with
+  | exception Bad_candidates m -> Message.Error_reply m
+  | capacity, total, cs ->
+    let plains = decrypt_batch t cs in
+    let slots = Array.make total Bigint.zero in
+    Array.iteri
+      (fun i p ->
+        let lo = i * capacity in
+        let len = min capacity (total - lo) in
+        Array.blit (Paillier.unpack_plain ~slot_bits ~count:len p) 0 slots lo len)
+      plains;
+    let extremes = Array.make (Array.length counts) Bigint.zero in
+    let off = ref 0 in
+    Array.iteri
+      (fun s k ->
+        extremes.(s) <- fold_better ~better slots !off k;
+        off := !off + k)
+      counts;
+    t.ops.encryptions <- t.ops.encryptions + Array.length extremes;
+    let g = noise_gen t in
+    let encs =
+      Array.map
+        (fun m -> Paillier.encrypt_with_rn pk ~rn:(Paillier.noise_gen_rn g pk t.rng) m)
+        extremes
+    in
+    Message.Batch_cipher_reply (Array.map Paillier.ciphertext_to_bigint encs)
 
 let handle t (req : Message.request) : Message.reply =
   let pk = public_key t in
   match req with
-  | Message.Hello _ ->
-    (* the core handler grants no transport capabilities: flag
+  | Message.Hello { flags; _ } ->
+    (* the core handler grants no *transport* capabilities: flag
        negotiation (CRC, resume) belongs to the serving loop, which
-       rewrites this Welcome with its grant and token (Server_loop) *)
+       rewrites this Welcome with its grant and token (Server_loop).
+       Packing is an application capability, so it is granted here and
+       preserved by the loop's rewrite. *)
     Message.Welcome
       {
         n = pk.Paillier.n;
@@ -195,7 +261,7 @@ let handle t (req : Message.request) : Message.reply =
         series_length = Series.length (active_series t);
         dimension = Series.dimension (active_series t);
         max_value = t.max_value;
-        flags = 0;
+        flags = flags land Message.flag_packing;
         resume_token = "";
       }
   | Message.Catalog_request ->
@@ -217,6 +283,14 @@ let handle t (req : Message.request) : Message.reply =
     select_extreme_batch t ~better:(fun a b -> Bigint.compare a b < 0) sets
   | Message.Batch_max_request sets ->
     select_extreme_batch t ~better:(fun a b -> Bigint.compare a b > 0) sets
+  | Message.Packed_min_request { slot_bits; counts; packed } ->
+    select_extreme_packed t
+      ~better:(fun a b -> Bigint.compare a b < 0)
+      ~slot_bits ~counts ~packed
+  | Message.Packed_max_request { slot_bits; counts; packed } ->
+    select_extreme_packed t
+      ~better:(fun a b -> Bigint.compare a b > 0)
+      ~slot_bits ~counts ~packed
   | Message.Reveal_request v -> begin
     match t.max_reveals with
     | Some limit when t.reveals >= limit ->

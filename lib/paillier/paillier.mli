@@ -32,7 +32,10 @@ type private_key = {
   q_squared : Bigint.t;
   hp : Bigint.t;  (** [L_p(g^(p-1) mod p²)^-1 mod p] *)
   hq : Bigint.t;  (** [L_q(g^(q-1) mod q²)^-1 mod q] *)
-  p_inv_mod_q : Bigint.t;  (** Garner recombination constant *)
+  p_inv_mod_q : Bigint.t;  (** Garner recombination constant (mod [q]) *)
+  p2_inv_mod_q2 : Bigint.t;
+  (** Garner constant mod [q²] — recombines the CRT halves of the
+      key holder's [r^n mod n²] noise (see {!encrypt_sk}). *)
   ctx_p2 : Modular.ctx;
   ctx_q2 : Modular.ctx;
 }
@@ -86,6 +89,12 @@ val encrypt : public_key -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
 (** [encrypt pk rng m] for [m] in [\[0, n)].
     @raise Invalid_plaintext otherwise. *)
 
+val encrypt_sk : private_key -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
+(** Key-holder encryption: identical output to {!encrypt} (same rng
+    draws, same ciphertext bytes) but the [r^n mod n²] noise is computed
+    by CRT over [p²]/[q²] — roughly half the multiplication work.  The
+    server's encryption path uses this. *)
+
 val decrypt : private_key -> ciphertext -> Bigint.t
 (** Plaintext in [\[0, n)] via [L(c^lambda mod n^2) * mu mod n]. *)
 
@@ -107,6 +116,12 @@ val encrypt_batch :
   public_key -> Ppst_rng.Secure_rng.t -> Bigint.t array -> ciphertext array
 (** Element-wise {!encrypt}; consumes the rng exactly as the equivalent
     sequential loop would. *)
+
+val encrypt_batch_sk :
+  ?workers:Ppst_parallel.Pool.t ->
+  private_key -> Ppst_rng.Secure_rng.t -> Bigint.t array -> ciphertext array
+(** Element-wise {!encrypt_sk}: byte-identical to {!encrypt_batch} on the
+    same rng, with CRT-accelerated noise. *)
 
 val decrypt_batch :
   ?workers:Ppst_parallel.Pool.t -> private_key -> ciphertext array -> Bigint.t array
@@ -140,6 +155,19 @@ val rerandomize : public_key -> Ppst_rng.Secure_rng.t -> ciphertext -> ciphertex
 (** Fresh, statistically independent ciphertext of the same plaintext
     ([c * r^n mod n^2]). *)
 
+val rerandomize_sk :
+  private_key -> Ppst_rng.Secure_rng.t -> ciphertext -> ciphertext
+(** Byte-identical to {!rerandomize}, with CRT-accelerated noise (see
+    {!encrypt_sk}). *)
+
+val invert_ciphertext : public_key -> ciphertext -> ciphertext
+(** [Enc(m)^-1 mod n²]: an encryption of [-m mod n] obtained by one
+    modular inverse instead of the full-width [n-1] power that {!neg}
+    pays.  Decrypts identically to [neg pk c] but the ciphertext bytes
+    differ, so it belongs to the packed (distance-compared) fast path.
+    Genuine ciphertexts are units mod [n²], so the inverse always
+    exists. *)
+
 val encrypt_zero : public_key -> Ppst_rng.Secure_rng.t -> ciphertext
 
 (** {1 Offline/online encryption}
@@ -148,7 +176,12 @@ val encrypt_zero : public_key -> Ppst_rng.Secure_rng.t -> ciphertext
     cost.  A party can precompute a pool of such factors while idle
     (Paillier 1999, Section 6) and then encrypt online with two modular
     multiplications.  The protocol client — the weak party of the paper's
-    asymmetric setting — uses this for its phase-2/3 masking offsets. *)
+    asymmetric setting — uses this for its phase-2/3 masking offsets.
+
+    The pool is a mutex-guarded FIFO, safe to fill from a background
+    Domain while the session consumes: entries come out in production
+    order, so a pooled run consumes its rng's r-sequence exactly as the
+    unpooled run does and transcripts stay bit-identical. *)
 
 type randomness_pool
 
@@ -167,6 +200,28 @@ val pool_refill :
     sequential; the exponentiations fan out over [workers].
     @raise Key_mismatch if the pool belongs to another key. *)
 
+val pool_refill_fast :
+  ?workers:Ppst_parallel.Pool.t ->
+  public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> int -> unit
+(** Subgroup-noise refill: one full-width [h^n] exponentiation, then
+    [count] entries [h^{n·a}] for short random exponents [a] via a
+    fixed-base table — an order of magnitude cheaper per entry.  The
+    noise is drawn from the cyclic subgroup generated by [h^n] rather
+    than uniformly from all n-th residues, so this is reserved for the
+    packed/fast protocol profile (see SECURITY.md).
+    @raise Key_mismatch if the pool belongs to another key. *)
+
+val pool_refill_async :
+  ?fast:bool ->
+  public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> int -> (unit -> unit)
+(** Start producing [count] entries on a dedicated background Domain
+    ([fast] selects the {!pool_refill_fast} generator) and return a join
+    function.  The producer owns [rng] until it has drawn its last unit;
+    {!rn_acquire} blocks (instead of recording a miss) while promised
+    entries are still outstanding, so online encryption overlaps offline
+    production without transcript divergence.
+    @raise Key_mismatch if the pool belongs to another key. *)
+
 val encrypt_pooled :
   public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> Bigint.t -> ciphertext
 (** Like {!encrypt}, consuming one pooled factor; falls back to a fresh
@@ -182,20 +237,77 @@ val encrypt_pooled :
     [encrypt_pooled] is [encrypt_with_rn ~rn:(rn_realize pk (rn_acquire
     pk pool rng))]. *)
 
+type rn
+(** A realized [r^n mod n²] factor, kept in Montgomery form so online
+    encryption is a single in-form multiplication. *)
+
+val rn_of_bigint : public_key -> Bigint.t -> rn
+val rn_to_bigint : public_key -> rn -> Bigint.t
+
 type rn_source
 
 val rn_acquire : public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> rn_source
-(** Pop one pooled [r^n] factor, or on an empty pool draw a raw unit
-    [r] (counting a miss) whose exponentiation is owed.
+(** Dequeue one pooled [r^n] factor; block while a background producer
+    still owes entries; on a genuinely empty pool draw a raw unit [r]
+    (counting a miss) whose exponentiation is owed.
     @raise Key_mismatch if the pool belongs to another key. *)
 
-val rn_realize : public_key -> rn_source -> Bigint.t
+val rn_realize : public_key -> rn_source -> rn
 (** The [r^n] factor itself; pays the owed exponentiation on a miss.
     Pure — safe inside {!Ppst_parallel.Pool.map_array}. *)
 
-val encrypt_with_rn : public_key -> rn:Bigint.t -> Bigint.t -> ciphertext
+val encrypt_with_rn : public_key -> rn:rn -> Bigint.t -> ciphertext
 (** [g^m * rn mod n^2] — two multiplications, no rng.
     @raise Invalid_plaintext as {!encrypt}. *)
+
+val rerandomize_pooled :
+  public_key -> randomness_pool -> Ppst_rng.Secure_rng.t -> ciphertext -> ciphertext
+(** {!rerandomize} consuming one pooled factor (one multiplication
+    online); falls back and counts a miss as {!encrypt_pooled} does. *)
+
+type noise_gen
+(** The {!pool_refill_fast} subgroup table hoisted into a reusable value:
+    one unit draw and one full-width exponentiation at creation, then a
+    stream of cheap [r^n] factors across many requests — for peers (the
+    server's packed-reply re-encryptions) that need fresh noise per
+    request without maintaining a pool.  Immutable after creation and
+    safe to share across Domains.  Same subgroup caveat as
+    {!pool_refill_fast}: reserved for the packed/fast profile. *)
+
+val noise_gen_create : public_key -> Ppst_rng.Secure_rng.t -> noise_gen
+
+val noise_gen_rn : noise_gen -> public_key -> Ppst_rng.Secure_rng.t -> rn
+(** Draw one fresh noise factor (a short-exponent table walk).
+    @raise Invalid_argument if the generator belongs to another key. *)
+
+(** {1 Plaintext packing}
+
+    [k] values of at most [slot_bits] bits each ride one ciphertext as
+    [sum_j v_j * 2^(j*slot_bits)] — slot [j] occupies bits
+    [j*slot_bits .. (j+1)*slot_bits - 1], little-endian, with the top
+    bit of [n] left as headroom so the packed sum never wraps.  One
+    decryption then yields all [k] slots, amortizing the expensive
+    exponent across the pack. *)
+
+val pack_capacity : public_key -> slot_bits:int -> int
+(** Slots per ciphertext: [(bits(n) - 1) / slot_bits]. *)
+
+val pack_plain : public_key -> slot_bits:int -> Bigint.t array -> Bigint.t
+(** Concatenate plaintext slots.
+    @raise Invalid_plaintext when a value needs more than [slot_bits]
+    bits; @raise Invalid_argument when the slot count is outside
+    [1 .. capacity]. *)
+
+val unpack_plain : slot_bits:int -> count:int -> Bigint.t -> Bigint.t array
+(** Split a packed plaintext back into [count] slots. *)
+
+val pack_ciphertexts :
+  public_key -> slot_bits:int -> ciphertext array -> ciphertext
+(** Homomorphic packing by Horner's rule in Montgomery form
+    ([slot_bits] squarings + 1 multiplication per slot): decrypts to
+    [pack_plain] of the individual plaintexts, provided every slot
+    plaintext fits [slot_bits] bits — the {e caller's} obligation, since
+    ciphertexts cannot be range-checked. *)
 
 (** {1 Signed-value encoding}
 

@@ -140,3 +140,21 @@ let map_array t f arr =
   end
 
 let map t f l = Array.to_list (map_array t f (Array.of_list l))
+
+(* A single detached background task on its own Domain — used for
+   genuinely offline work (randomness-pool production) that should
+   overlap the caller's online phase rather than share the pool's work
+   queue.  [background f] starts immediately; [await] joins and
+   re-raises whatever [f] raised. *)
+type 'a background = ('a, exn * Printexc.raw_backtrace) result Domain.t
+
+let background f : 'a background =
+  Domain.spawn (fun () ->
+      match f () with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+
+let await (task : 'a background) : 'a =
+  match Domain.join task with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt

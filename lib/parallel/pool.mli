@@ -40,3 +40,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; the pool must not be used
     afterwards.  A no-op on size-1 pools. *)
+
+(** {1 Background tasks}
+
+    One detached task on a dedicated Domain, for offline work (e.g.
+    randomness-pool production) that overlaps the caller's online phase
+    instead of competing for the pool's work queue. *)
+
+type 'a background
+
+val background : (unit -> 'a) -> 'a background
+(** Start [f] on a fresh Domain immediately. *)
+
+val await : 'a background -> 'a
+(** Join the task; re-raises (with backtrace) if it raised. *)

@@ -122,6 +122,8 @@ let cells_of_request (req : Message.request) =
   | Max_request _ -> Some (`Max, 1)
   | Batch_min_request sets -> Some (`Min, Array.length sets)
   | Batch_max_request sets -> Some (`Max, Array.length sets)
+  | Packed_min_request { counts; _ } -> Some (`Min, Array.length counts)
+  | Packed_max_request { counts; _ } -> Some (`Max, Array.length counts)
   | Hello _ | Phase1_request | Reveal_request _ | Catalog_request
   | Select_request _ | Stats_req | Bye | Resume _ | Health_req -> None
 

@@ -12,6 +12,8 @@ type request =
   | Select_request of int
   | Batch_min_request of Bigint.t array array
   | Batch_max_request of Bigint.t array array
+  | Packed_min_request of { slot_bits : int; counts : int array; packed : Bigint.t array }
+  | Packed_max_request of { slot_bits : int; counts : int array; packed : Bigint.t array }
   | Stats_req
   | Bye
   | Resume of { token : string; client_rounds : int; flags : int }
@@ -65,6 +67,8 @@ let tag_batch_max_request = 0x0a
 let tag_stats_request = 0x0b
 let tag_resume = 0x0c
 let tag_health_request = 0x0d
+let tag_packed_min_request = 0x0e
+let tag_packed_max_request = 0x0f
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -94,6 +98,13 @@ let flag_resume = 0x02
    length/dimension caps) before a single Paillier operation.  The bit
    is derived from [spec] at encode time, never set by hand. *)
 let flag_spec = 0x04
+
+(* [flag_packing] grants the plaintext-packing extension: the client may
+   send [Packed_min_request]/[Packed_max_request] frames carrying many
+   masked candidates per ciphertext.  Purely a throughput optimisation —
+   the candidates are the same masked quantities the unpacked frames
+   carry (SECURITY.md s.Packing). *)
+let flag_packing = 0x08
 
 let encode t =
   let w = Wire.writer () in
@@ -134,6 +145,18 @@ let encode t =
      Wire.put_u8 w tag_batch_max_request;
      Wire.put_u32 w (Array.length sets);
      Array.iter (Wire.put_bigint_array w) sets
+   | Request (Packed_min_request { slot_bits; counts; packed }) ->
+     Wire.put_u8 w tag_packed_min_request;
+     Wire.put_u8 w slot_bits;
+     Wire.put_u32 w (Array.length counts);
+     Array.iter (Wire.put_u32 w) counts;
+     Wire.put_bigint_array w packed
+   | Request (Packed_max_request { slot_bits; counts; packed }) ->
+     Wire.put_u8 w tag_packed_max_request;
+     Wire.put_u8 w slot_bits;
+     Wire.put_u32 w (Array.length counts);
+     Array.iter (Wire.put_u32 w) counts;
+     Wire.put_bigint_array w packed
    | Request Stats_req -> Wire.put_u8 w tag_stats_request
    | Request Health_req -> Wire.put_u8 w tag_health_request
    | Request Bye -> Wire.put_u8 w tag_bye
@@ -241,6 +264,18 @@ let decode s =
       if tag = tag_batch_min_request then Request (Batch_min_request sets)
       else Request (Batch_max_request sets)
     end
+    else if tag = tag_packed_min_request || tag = tag_packed_max_request then begin
+      let slot_bits = Wire.get_u8 r in
+      if slot_bits = 0 then raise (Wire.Malformed "packed slot_bits must be positive");
+      let count = Wire.get_u32 r in
+      if count * 4 > String.length s then
+        raise (Wire.Malformed "packed instance count exceeds frame capacity");
+      let counts = Array.init count (fun _ -> Wire.get_u32 r) in
+      let packed = Wire.get_bigint_array r in
+      if tag = tag_packed_min_request then
+        Request (Packed_min_request { slot_bits; counts; packed })
+      else Request (Packed_max_request { slot_bits; counts; packed })
+    end
     else if tag = tag_stats_request then Request Stats_req
     else if tag = tag_health_request then Request Health_req
     else if tag = tag_bye then Request Bye
@@ -336,6 +371,12 @@ let describe = function
     Printf.sprintf "batch-min-request(%d sets)" (Array.length sets)
   | Request (Batch_max_request sets) ->
     Printf.sprintf "batch-max-request(%d sets)" (Array.length sets)
+  | Request (Packed_min_request { slot_bits; counts; packed }) ->
+    Printf.sprintf "packed-min-request(%d instances, %d ciphertexts, %d-bit slots)"
+      (Array.length counts) (Array.length packed) slot_bits
+  | Request (Packed_max_request { slot_bits; counts; packed }) ->
+    Printf.sprintf "packed-max-request(%d instances, %d ciphertexts, %d-bit slots)"
+      (Array.length counts) (Array.length packed) slot_bits
   | Request Stats_req -> "stats-request"
   | Request Health_req -> "health-request"
   | Request Bye -> "bye"
@@ -375,6 +416,8 @@ let values_in = function
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
+  | Request (Packed_min_request { packed; _ }) | Request (Packed_max_request { packed; _ }) ->
+    Array.length packed
   | Request (Reveal_request _) -> 1
   | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
   | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _)

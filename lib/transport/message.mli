@@ -50,6 +50,18 @@ type request =
           instances (one per DP anti-diagonal cell) answered in a single
           round trip.  Each inner array is one candidate set. *)
   | Batch_max_request of Bigint.t array array
+  | Packed_min_request of { slot_bits : int; counts : int array; packed : Bigint.t array }
+      (** Packing extension (tag [0x0E], requires granted
+          {!flag_packing}): the masked candidate sets of many
+          minimum-selection instances, concatenated and packed
+          [slot_bits] bits per plaintext slot into as few ciphertexts
+          as the modulus can hold.  [counts.(i)] is the candidate
+          count of instance [i]; the flattened sequence fills each
+          ciphertext of [packed] in order.  Answered by
+          [Batch_cipher_reply] with one fresh encryption of the
+          extreme per instance, in request order. *)
+  | Packed_max_request of { slot_bits : int; counts : int array; packed : Bigint.t array }
+      (** Same, selecting the maximum (tag [0x0F]). *)
   | Stats_req
       (** Observability (tag [0x0B]): ask for the server's metrics
           snapshot.  Answered by {!Server_loop} itself — even at capacity
@@ -183,6 +195,8 @@ val tag_batch_max_request : int
 val tag_stats_request : int
 val tag_resume : int
 val tag_health_request : int
+val tag_packed_min_request : int
+val tag_packed_max_request : int
 val tag_welcome : int
 val tag_phase1_reply : int
 val tag_cipher_reply : int
@@ -217,3 +231,9 @@ val flag_spec : int
 (** [0x04]: a resource {!spec} (series length + dimension) follows the
     flags byte in [Hello].  Derived from the [spec] field by the
     encoder — never set it by hand in [Hello.flags]. *)
+
+val flag_packing : int
+(** [0x08]: the server accepts [Packed_min_request]/[Packed_max_request]
+    frames for this session.  A throughput capability only — packed
+    frames carry exactly the masked quantities the unpacked frames
+    would, so granting it adds zero leakage (SECURITY.md). *)

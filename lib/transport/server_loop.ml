@@ -511,11 +511,24 @@ let serve_session t ~id ~peer fd =
                let reply =
                  match reply with
                  | Message.Welcome
-                     { n; key_bits; series_length; dimension; max_value; _ } ->
+                     {
+                       n;
+                       key_bits;
+                       series_length;
+                       dimension;
+                       max_value;
+                       flags = app_granted;
+                       _;
+                     } ->
                    (* transport-owned negotiation: grant = offer AND
                       support, and mint the resume token here — the core
-                      handler stays transport-agnostic *)
-                   let granted = flags land supported_flags t in
+                      handler stays transport-agnostic.  Application
+                      capabilities the handler already granted (packing)
+                      are preserved, not clobbered. *)
+                   let granted =
+                     flags land supported_flags t
+                     lor (app_granted land Message.flag_packing)
+                   in
                    let token =
                      if granted land Message.flag_resume <> 0 then gen_token t
                      else ""

@@ -5,7 +5,12 @@
 # transcripts are identical (the lib/parallel determinism contract), and
 # (b) serves two concurrent TCP sessions through Server_loop with a
 # seeded key and a tiny series, cross-checking both revealed distances
-# (the concurrent-server correctness contract).
+# (the concurrent-server correctness contract).  The same smoke also
+# exercises the crypto hot path: a seeded session with the offline
+# noise pool on and off must hash to the same transcript bytes, and a
+# packed+pooled session must reveal the baseline distance with zero
+# pool misses (an offline run that silently pays online
+# exponentiations fails CI).
 #
 # The smoke run records a JSONL telemetry trace, which is then (c) linted
 # through ppst_analyze (closed attribute vocabulary — telemetry must not

@@ -361,6 +361,121 @@ let test_modular_ctx () =
     (Invalid_argument "Modular.make_ctx: even modulus") (fun () ->
       ignore (Modular.make_ctx (Bigint.of_int 16)))
 
+(* Differential: the windowed Montgomery ladder against the naive
+   fallback on every degenerate shape — zero exponent, modulus one, base
+   a multiple of the modulus, tiny exponents (below the window width)
+   and exponents with long zero runs (window restart boundaries). *)
+let test_powmod_degenerate_differential () =
+  let check b e m =
+    Alcotest.check eq_bi
+      (Printf.sprintf "%s^%s mod %s" (Bigint.to_string b) (Bigint.to_string e)
+         (Bigint.to_string m))
+      (Modular.pow_mod_naive b e m) (Modular.pow_mod b e m)
+  in
+  let m = bi "1000000007" in
+  check (bi "12345") Bigint.zero m;
+  check Bigint.zero Bigint.zero m;
+  check (bi "5") (bi "5") Bigint.one;
+  check (bi "5") Bigint.zero Bigint.one;
+  check m (bi "7") m;
+  check (Bigint.mul m (bi "4")) (bi "7") m;
+  (* exponents below the window width take the plain-ladder path *)
+  for e = 0 to 17 do
+    check (bi "987654321") (Bigint.of_int e) m
+  done;
+  (* one bits separated by > window zero runs *)
+  check (bi "3") (bi "0x100000001000000010000000100000001") m;
+  check (bi "3") (bi "0x80000000000000000000000000000001") m
+
+let prop_powmod_vs_naive_wide =
+  (* wide inputs through the windowed path, odd modulus *)
+  let gen_odd =
+    QCheck2.Gen.map
+      (fun v ->
+        let v = Bigint.abs v in
+        let v = if Bigint.is_even v then Bigint.succ v else v in
+        if Bigint.compare v (Bigint.of_int 3) < 0 then Bigint.of_int 3 else v)
+      gen_bigint
+  in
+  qtest3 "windowed = naive powmod (wide)" ~count:100 arb_positive arb_positive
+    gen_odd
+    (fun b e m -> Bigint.equal (Modular.pow_mod_naive b e m) (Modular.pow_mod b e m))
+
+let prop_powmod_even_vs_reference =
+  (* the even-modulus fallback against multiply-and-reduce *)
+  let gen_even =
+    QCheck2.Gen.map
+      (fun v ->
+        let v = Bigint.abs v in
+        let v = if Bigint.is_even v then v else Bigint.succ v in
+        if Bigint.compare v (Bigint.of_int 2) < 0 then Bigint.of_int 2 else v)
+      gen_bigint
+  in
+  qtest3 "even-modulus powmod = reference" ~count:100 arb_positive arb_positive
+    gen_even
+    (fun b e m ->
+      let reference =
+        let b = ref (Bigint.erem b m) and acc = ref (Bigint.erem Bigint.one m) in
+        for i = 0 to Bigint.num_bits e - 1 do
+          if Bigint.testbit e i then acc := Bigint.erem (Bigint.mul !acc !b) m;
+          b := Bigint.erem (Bigint.mul !b !b) m
+        done;
+        !acc
+      in
+      Bigint.equal reference (Modular.pow_mod b e m))
+
+(* --- fixed-base tables -------------------------------------------------- *)
+
+let test_fixed_base_matches_pow_mod () =
+  let m = bi "0xf0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f1" (* odd 128-bit *) in
+  let ctx = Modular.make_ctx m in
+  let base = bi "987654321123456789" in
+  let table = Fixed_base.create ctx ~max_bits:96 base in
+  Alcotest.(check int) "max_bits" 96 (Fixed_base.max_bits table);
+  let rng = Ppst_rng.Secure_rng.of_seed_string "fixed-base-vs-powmod" in
+  for _ = 1 to 50 do
+    let e = Ppst_rng.Secure_rng.bits rng 96 in
+    Alcotest.check eq_bi "table = pow_mod" (Modular.pow_mod base e m)
+      (Fixed_base.pow ctx table e)
+  done;
+  (* boundary exponents: 0, 1, all-ones at the table's full width *)
+  Alcotest.check eq_bi "e = 0" Bigint.one (Fixed_base.pow ctx table Bigint.zero);
+  Alcotest.check eq_bi "e = 1" (Bigint.erem base m)
+    (Fixed_base.pow ctx table Bigint.one);
+  let all_ones = Bigint.pred (Bigint.shift_left Bigint.one 96) in
+  Alcotest.check eq_bi "e all ones" (Modular.pow_mod base all_ones m)
+    (Fixed_base.pow ctx table all_ones)
+
+let test_fixed_base_rejects () =
+  let m = bi "1000000007" in
+  let ctx = Modular.make_ctx m in
+  let table = Fixed_base.create ctx ~max_bits:16 (bi "3") in
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Fixed_base.pow_raw: exponent exceeds table size")
+    (fun () -> ignore (Fixed_base.pow ctx table (Bigint.shift_left Bigint.one 16)));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Fixed_base.pow_raw: negative exponent") (fun () ->
+      ignore (Fixed_base.pow ctx table Bigint.minus_one));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Fixed_base.create: window") (fun () ->
+      ignore (Fixed_base.create ~window:0 ctx ~max_bits:16 (bi "3")))
+
+let test_fixed_base_windows_agree () =
+  let m = bi "0xffffffffffffffc5" in
+  let ctx = Modular.make_ctx m in
+  let base = bi "1234567" in
+  let rng = Ppst_rng.Secure_rng.of_seed_string "fixed-base-windows" in
+  let tables =
+    List.map (fun w -> Fixed_base.create ~window:w ctx ~max_bits:64 base) [ 1; 3; 4; 8 ]
+  in
+  for _ = 1 to 25 do
+    let e = Ppst_rng.Secure_rng.bits rng 64 in
+    let expected = Modular.pow_mod base e m in
+    List.iter
+      (fun t -> Alcotest.check eq_bi "window-independent" expected (Fixed_base.pow ctx t e))
+      tables
+  done
+
 (* --- primes ------------------------------------------------------------ *)
 
 let test_small_primes () =
@@ -592,11 +707,21 @@ let () =
           Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
           Alcotest.test_case "invert" `Quick test_invert;
           Alcotest.test_case "montgomery context" `Quick test_modular_ctx;
+          Alcotest.test_case "powmod degenerate differential" `Quick
+            test_powmod_degenerate_differential;
           prop_montgomery_vs_naive;
+          prop_powmod_vs_naive_wide;
+          prop_powmod_even_vs_reference;
           prop_fermat;
           prop_gcd_divides;
           prop_egcd_bezout;
           prop_invert;
+        ] );
+      ( "fixed base",
+        [
+          Alcotest.test_case "table = pow_mod" `Quick test_fixed_base_matches_pow_mod;
+          Alcotest.test_case "rejections" `Quick test_fixed_base_rejects;
+          Alcotest.test_case "windows agree" `Quick test_fixed_base_windows_agree;
         ] );
       ( "primes",
         [

@@ -308,6 +308,218 @@ let test_larger_key_roundtrip () =
   Alcotest.check eq_bi "256-bit standard dec" m
     (Paillier.decrypt sk (Paillier.encrypt pk r m))
 
+(* --- key-holder (CRT) encryption paths --------------------------------- *)
+
+let test_encrypt_sk_identical () =
+  (* same seed, same draws: the CRT path must yield the very same bytes *)
+  let m = Bigint.of_int 987654 in
+  let c_pk = Paillier.encrypt pk (rng ()) m in
+  let c_sk = Paillier.encrypt_sk sk (rng ()) m in
+  Alcotest.(check bool) "encrypt_sk = encrypt" true
+    (Paillier.equal_ciphertext c_pk c_sk);
+  let c_pk' = Paillier.rerandomize pk (rng ()) c_pk in
+  let c_sk' = Paillier.rerandomize_sk sk (rng ()) c_pk in
+  Alcotest.(check bool) "rerandomize_sk = rerandomize" true
+    (Paillier.equal_ciphertext c_pk' c_sk')
+
+let test_encrypt_batch_sk_identical () =
+  let plains = Array.init 7 (fun i -> Bigint.of_int (i * 1000)) in
+  let batch_pk = Paillier.encrypt_batch pk (rng ()) plains in
+  let batch_sk = Paillier.encrypt_batch_sk sk (rng ()) plains in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d" i)
+        true
+        (Paillier.equal_ciphertext c batch_sk.(i)))
+    batch_pk
+
+let test_invert_ciphertext () =
+  let r = rng () in
+  let m = Bigint.of_int 31415 in
+  let c = Paillier.encrypt pk r m in
+  Alcotest.check eq_bi "Dec(c^-1) = -m mod n"
+    (Paillier.decrypt_crt sk (Paillier.neg pk c))
+    (Paillier.decrypt_crt sk (Paillier.invert_ciphertext pk c));
+  (* inverting twice is the identity plaintext-wise *)
+  Alcotest.check eq_bi "double inverse" m
+    (Paillier.decrypt_crt sk
+       (Paillier.invert_ciphertext pk (Paillier.invert_ciphertext pk c)))
+
+(* --- offline pool: order, fast refill, async producer ------------------- *)
+
+let test_pool_fifo_transcript_identity () =
+  (* a pooled run must consume its rng's r-sequence exactly as the
+     unpooled run does: FIFO order makes the ciphertext streams
+     bit-identical under the same seed *)
+  let plains = Array.init 6 (fun i -> Bigint.of_int (i * 37)) in
+  let direct =
+    let r = rng () in
+    Array.map (Paillier.encrypt pk r) plains
+  in
+  let pooled =
+    let r = rng () in
+    let pool = Paillier.pool_create pk in
+    Paillier.pool_refill pk pool r (Array.length plains);
+    Array.map (Paillier.encrypt_pooled pk pool r) plains
+  in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ciphertext %d identical" i)
+        true
+        (Paillier.equal_ciphertext c pooled.(i)))
+    direct
+
+let test_pool_refill_fast () =
+  let r = rng () in
+  let pool = Paillier.pool_create pk in
+  Paillier.pool_refill_fast pk pool r 8;
+  Alcotest.(check int) "filled" 8 (Paillier.pool_size pool);
+  let m = Bigint.of_int 271828 in
+  for i = 1 to 8 do
+    let c = Paillier.encrypt_pooled pk pool r m in
+    Alcotest.check eq_bi (Printf.sprintf "fast entry %d decrypts" i) m
+      (Paillier.decrypt_crt sk c)
+  done;
+  Alcotest.(check int) "no misses" 0 (Paillier.pool_misses pool)
+
+let test_pool_refill_async () =
+  List.iter
+    (fun fast ->
+      let r = rng () in
+      let pool = Paillier.pool_create pk in
+      let join = Paillier.pool_refill_async ~fast pk pool r 10 in
+      let m = Bigint.of_int 6022 in
+      (* consume concurrently with production: rn_acquire must block on
+         promised entries rather than record misses *)
+      let cs = Array.init 10 (fun _ -> Paillier.encrypt_pooled pk pool r m) in
+      join ();
+      Array.iter
+        (fun c -> Alcotest.check eq_bi "async entry decrypts" m (Paillier.decrypt_crt sk c))
+        cs;
+      Alcotest.(check int)
+        (Printf.sprintf "no misses (fast=%b)" fast)
+        0 (Paillier.pool_misses pool))
+    [ false; true ]
+
+let test_noise_gen () =
+  let r = rng () in
+  let g = Paillier.noise_gen_create pk r in
+  let m = Bigint.of_int 1618 in
+  let c1 = Paillier.encrypt_with_rn pk ~rn:(Paillier.noise_gen_rn g pk r) m in
+  let c2 = Paillier.encrypt_with_rn pk ~rn:(Paillier.noise_gen_rn g pk r) m in
+  Alcotest.check eq_bi "decrypts" m (Paillier.decrypt_crt sk c1);
+  Alcotest.check eq_bi "decrypts" m (Paillier.decrypt_crt sk c2);
+  Alcotest.(check bool) "fresh noise each draw" false
+    (Paillier.equal_ciphertext c1 c2);
+  let pk2, _ =
+    Paillier.keygen ~bits:64 (Ppst_rng.Secure_rng.of_seed_string "noise-other")
+  in
+  (match Paillier.noise_gen_rn g pk2 r with
+   | _ -> Alcotest.fail "wrong-key generator accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_pool_hammer () =
+  (* the pool is hit from four Domains at once — two producers, two
+     consumers.  The mutex-guarded FIFO must neither crash, lose entries
+     nor corrupt ciphertexts; afterwards the counters must reconcile:
+     every consume either popped an entry or recorded a miss, so
+     size = produced - (consumed - misses). *)
+  let per_domain = 40 in
+  let pool = Paillier.pool_create pk in
+  let m = Bigint.of_int 4242 in
+  let producers =
+    List.map
+      (fun seed ->
+        Domain.spawn (fun () ->
+            let r = Ppst_rng.Secure_rng.of_seed_string seed in
+            for _ = 1 to per_domain do
+              Paillier.pool_refill pk pool r 1
+            done))
+      [ "hammer-p1"; "hammer-p2" ]
+  in
+  let consumers =
+    List.map
+      (fun seed ->
+        Domain.spawn (fun () ->
+            let r = Ppst_rng.Secure_rng.of_seed_string seed in
+            Array.init per_domain (fun _ -> Paillier.encrypt_pooled pk pool r m)))
+      [ "hammer-c1"; "hammer-c2" ]
+  in
+  List.iter Domain.join producers;
+  let batches = List.map Domain.join consumers in
+  List.iter
+    (fun batch ->
+      Array.iter
+        (fun c -> Alcotest.check eq_bi "hammered decrypts" m (Paillier.decrypt_crt sk c))
+        batch)
+    batches;
+  let produced = 2 * per_domain and consumed = 2 * per_domain in
+  Alcotest.(check int) "counters reconcile"
+    (produced - (consumed - Paillier.pool_misses pool))
+    (Paillier.pool_size pool)
+
+(* --- plaintext packing --------------------------------------------------- *)
+
+let test_pack_plain_roundtrip () =
+  let slot_bits = 7 in
+  let capacity = Paillier.pack_capacity pk ~slot_bits in
+  (* 64-bit modulus, 1 headroom bit: 63 / 7 = 9 slots *)
+  Alcotest.(check int) "capacity" 9 capacity;
+  let values = Array.init capacity (fun i -> Bigint.of_int (i * 13 mod 128)) in
+  let packed = Paillier.pack_plain pk ~slot_bits values in
+  let back = Paillier.unpack_plain ~slot_bits ~count:capacity packed in
+  Array.iteri
+    (fun i v -> Alcotest.check eq_bi (Printf.sprintf "slot %d" i) v back.(i))
+    values;
+  (* partial packs round-trip too *)
+  let partial = Array.sub values 0 3 in
+  let packed = Paillier.pack_plain pk ~slot_bits partial in
+  let back = Paillier.unpack_plain ~slot_bits ~count:3 packed in
+  Array.iteri (fun i v -> Alcotest.check eq_bi "partial slot" v back.(i)) partial
+
+let test_pack_bounds_checked () =
+  let slot_bits = 7 in
+  let capacity = Paillier.pack_capacity pk ~slot_bits in
+  (* capacity + 1 slots must be rejected: the top slot would eat the
+     wrap-guard headroom bit *)
+  (match
+     Paillier.pack_plain pk ~slot_bits (Array.make (capacity + 1) Bigint.one)
+   with
+   | _ -> Alcotest.fail "over-capacity pack accepted"
+   | exception Invalid_argument _ -> ());
+  (match Paillier.pack_plain pk ~slot_bits [||] with
+   | _ -> Alcotest.fail "empty pack accepted"
+   | exception Invalid_argument _ -> ());
+  (* a value needing more than slot_bits bits must be rejected *)
+  (match Paillier.pack_plain pk ~slot_bits [| Bigint.of_int 128 |] with
+   | _ -> Alcotest.fail "oversized slot value accepted"
+   | exception Paillier.Invalid_plaintext _ -> ())
+
+let test_pack_ciphertexts () =
+  let r = rng () in
+  let slot_bits = 7 in
+  let capacity = Paillier.pack_capacity pk ~slot_bits in
+  (* exactly at capacity, with boundary values in the extreme slots *)
+  let values =
+    Array.init capacity (fun i ->
+        if i = 0 || i = capacity - 1 then Bigint.of_int 127
+        else Bigint.of_int (i * 11 mod 128))
+  in
+  let cs = Array.map (Paillier.encrypt pk r) values in
+  let packed_c = Paillier.pack_ciphertexts pk ~slot_bits cs in
+  Alcotest.check eq_bi "homomorphic pack = plaintext pack"
+    (Paillier.pack_plain pk ~slot_bits values)
+    (Paillier.decrypt_crt sk packed_c);
+  let slots =
+    Paillier.unpack_plain ~slot_bits ~count:capacity
+      (Paillier.decrypt_crt sk packed_c)
+  in
+  Array.iteri
+    (fun i v -> Alcotest.check eq_bi (Printf.sprintf "slot %d" i) v slots.(i))
+    values
+
 let () =
   Alcotest.run "paillier"
     [
@@ -343,6 +555,25 @@ let () =
           prop_add_plain_negative;
           prop_scalar_mul;
           prop_sub;
+        ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "encrypt_sk = encrypt" `Quick test_encrypt_sk_identical;
+          Alcotest.test_case "encrypt_batch_sk = encrypt_batch" `Quick
+            test_encrypt_batch_sk_identical;
+          Alcotest.test_case "invert_ciphertext" `Quick test_invert_ciphertext;
+          Alcotest.test_case "pool FIFO transcript identity" `Quick
+            test_pool_fifo_transcript_identity;
+          Alcotest.test_case "fast (subgroup) refill" `Quick test_pool_refill_fast;
+          Alcotest.test_case "async refill" `Quick test_pool_refill_async;
+          Alcotest.test_case "noise generator" `Quick test_noise_gen;
+          Alcotest.test_case "pool hammer (4 domains)" `Quick test_pool_hammer;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "plain round-trip" `Quick test_pack_plain_roundtrip;
+          Alcotest.test_case "bounds checked" `Quick test_pack_bounds_checked;
+          Alcotest.test_case "homomorphic pack" `Quick test_pack_ciphertexts;
         ] );
       ( "signed encoding",
         [

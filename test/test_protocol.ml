@@ -385,6 +385,81 @@ let test_dfd_costs_more_than_dtw () =
   let t_dec = (Ppst.Cost.server_ops dtw.Ppst.Protocol.cost).Ppst.Cost.decryptions in
   Alcotest.(check bool) "dfd decrypts more" true (d_dec > t_dec)
 
+(* --- hot-path equivalences ---------------------------------------------------- *)
+
+(* Run secure DTW over an instrumented loopback channel that records the
+   exact bytes of every request and reply frame. *)
+let run_dtw_with_transcript ~offline =
+  let rng = Secure_rng.of_seed_string "transcript/client" in
+  let server_rng = Secure_rng.of_seed_string "transcript/server" in
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let server = Ppst.Server.create ~rng:server_rng ~series:y ~max_value:7 () in
+  let buf = Buffer.create 4096 in
+  let handler req =
+    Buffer.add_string buf (Message.encode (Message.Request req));
+    let reply = Ppst.Server.handle server req in
+    Buffer.add_string buf (Message.encode (Message.Reply reply));
+    reply
+  in
+  let client =
+    Ppst.Client.connect ~offline ~rng ~series:x ~max_value:7 ~distance:`Dtw
+      (Channel.local handler)
+  in
+  let dist = Ppst.Secure_dtw.run client in
+  Ppst.Client.finish client;
+  (dist, Buffer.contents buf)
+
+let test_pooled_unpooled_transcripts_identical () =
+  (* the offline/online split must be invisible on the wire: a pooled run
+     consumes its noise rng in production (FIFO) order, so under the same
+     seed the unpooled run emits the very same bytes *)
+  let dist_off, bytes_off = run_dtw_with_transcript ~offline:true in
+  let dist_on, bytes_on = run_dtw_with_transcript ~offline:false in
+  Alcotest.check eq_bi "same distance" dist_off dist_on;
+  Alcotest.(check int) "same transcript length" (String.length bytes_off)
+    (String.length bytes_on);
+  Alcotest.(check string) "bit-identical transcripts"
+    (Digest.to_hex (Digest.string bytes_off))
+    (Digest.to_hex (Digest.string bytes_on))
+
+let test_packed_matches_unpacked () =
+  (* plaintext packing is a throughput capability: same revealed
+     distance, no pool misses, strictly fewer values on the wire *)
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let params = Ppst.Params.make ~key_bits:128 () in
+  List.iter
+    (fun (name, algo, strategy) ->
+      let seed = "packed-" ^ name in
+      let run packing =
+        Ppst.Protocol.run
+          ~spec:(Ppst.Protocol.spec ~strategy ~packing algo)
+          ~params ~seed ~x ~y ()
+      in
+      let plain = run false and packed = run true in
+      Alcotest.check eq_bi (name ^ ": same distance")
+        plain.Ppst.Protocol.distance packed.Ppst.Protocol.distance;
+      Alcotest.(check int) (name ^ ": offline run never misses") 0
+        (Ppst.Cost.pool_misses packed.Ppst.Protocol.cost);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: packed moves fewer values (%d < %d)" name
+           (Stats.total_values packed.Ppst.Protocol.stats)
+           (Stats.total_values plain.Ppst.Protocol.stats))
+        true
+        (Stats.total_values packed.Ppst.Protocol.stats
+         < Stats.total_values plain.Ppst.Protocol.stats))
+    [ ("dtw", `Dtw, `Full); ("dfd", `Dfd, `Full); ("dtw-wavefront", `Dtw, `Wavefront) ]
+
+let test_packing_fallback_small_key () =
+  (* the default 64-bit key has no packing capacity: a packing-enabled
+     run silently degrades to the unpacked protocol, same distance *)
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let r =
+    Ppst.Protocol.run
+      ~spec:(Ppst.Protocol.spec ~packing:true `Dtw)
+      ~seed:"packed-fallback" ~x ~y ()
+  in
+  Alcotest.(check int) "distance" (Distance.dtw_sq x y) (Ppst.Protocol.distance_int r)
+
 (* --- hiding ------------------------------------------------------------------ *)
 
 let test_matrix_stays_encrypted_and_path_hidden () =
@@ -598,6 +673,15 @@ let () =
           Alcotest.test_case "offline pool never misses" `Quick
             test_offline_pool_has_no_misses;
           Alcotest.test_case "DFD costs ~2x DTW" `Quick test_dfd_costs_more_than_dtw;
+        ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "pooled = unpooled transcript" `Quick
+            test_pooled_unpooled_transcripts_identical;
+          Alcotest.test_case "packed = unpacked distance" `Slow
+            test_packed_matches_unpacked;
+          Alcotest.test_case "packing fallback on small keys" `Quick
+            test_packing_fallback_small_key;
         ] );
       ( "hiding",
         [
