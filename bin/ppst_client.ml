@@ -1,6 +1,13 @@
-(* The client party over TCP: owns a time series (CSV), connects to a
-   ppst_server, runs the secure DTW or DFD protocol and prints the jointly
-   revealed distance plus cost/communication accounting. *)
+(* The client party over TCP, verb-structured:
+
+     ppst_client pair SERIES.csv     one secure pairwise distance
+     ppst_client query SERIES.csv    secure 1-vs-N catalog search
+     ppst_client catalog             enumerate the server's records
+     ppst_client stats               live metrics snapshot
+     ppst_client health              readiness probe
+
+   The historical flag-style invocation (no verb) still works as the
+   default command, with a one-line deprecation notice on stderr. *)
 
 open Cmdliner
 
@@ -9,9 +16,14 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-(* --stats: one Stats_req round against a running server, no session
-   state needed.  Server_loop answers it even at capacity (the probe
-   path), so this works exactly when an operator needs it most. *)
+let setup verbose log_level log_json trace_out =
+  setup_logs verbose;
+  Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
+    ?trace_out ()
+
+(* stats: one Stats_req round against a running server, no session state
+   needed.  Server_loop answers it even at capacity (the probe path), so
+   this works exactly when an operator needs it most. *)
 let fetch_stats host port =
   let channel = Ppst_transport.Channel.connect ~host ~port () in
   (match Ppst_transport.Channel.request channel Ppst_transport.Message.Stats_req with
@@ -19,7 +31,7 @@ let fetch_stats host port =
    | _ -> failwith "expected Stats_reply");
   Ppst_transport.Channel.close channel
 
-(* --health: the readiness probe.  Like --stats it is answered even at
+(* health: the readiness probe.  Like stats it is answered even at
    capacity and even while the server sheds load, so it reports the
    truth exactly when the serving path is refusing work.  Exit status is
    the probe status (0 ready / 1 at capacity / 2 shedding). *)
@@ -42,21 +54,47 @@ let fetch_health host port =
   Ppst_transport.Channel.close channel;
   status
 
-let run host port series_file distance k band gap search wavefront stats health
-    seed jobs retries verbose log_level log_json trace_out =
-  setup_logs verbose;
-  Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
-    ?trace_out ();
-  if stats then begin
-    fetch_stats host port;
-    exit 0
-  end;
-  if health then exit (fetch_health host port);
-  let series_file =
-    match series_file with
-    | Some f -> f
-    | None -> failwith "SERIES.csv is required unless --stats is given"
-  in
+(* catalog: raw catalog-list round, no series (and so no Client.t)
+   needed — the capability handshake is just Hello with the catalog
+   flag. *)
+let fetch_catalog host port =
+  let open Ppst_transport in
+  let channel = Channel.connect ~host ~port () in
+  (match
+     Channel.request channel
+       (Message.Hello { flags = Message.flag_catalog; spec = None })
+   with
+   | Message.Welcome { flags; _ } when flags land Message.flag_catalog <> 0 -> ()
+   | Message.Welcome _ ->
+     failwith "server does not grant the catalog capability"
+   | _ -> failwith "expected Welcome");
+  (match Channel.request channel Message.Catalog_list_request with
+   | Message.Catalog_list_reply { ids; lengths } ->
+     Array.iteri
+       (fun i id -> Printf.printf "%d\t%s\t%d\n" i id lengths.(i))
+       ids
+   | Message.Error_reply m -> failwith m
+   | _ -> failwith "expected Catalog_list_reply");
+  (try ignore (Channel.request channel Message.Bye) with _ -> ());
+  Channel.close channel
+
+(* A quota rejection is a policy verdict, not a transient fault: the
+   server said this session's declared shape exceeds its admission
+   limits, so retrying is pointless.  Report which quota and exit with
+   EX_UNAVAILABLE so scripts can tell it from a crypto failure. *)
+let quota_fatal f =
+  try f ()
+  with Ppst_transport.Channel.Quota_exceeded { quota; limit; requested } ->
+    Logs.err (fun m ->
+        m "rejected by server admission control: %s quota (limit %d, requested %d)"
+          quota limit requested);
+    exit 69
+
+(* One secure session: connect with retry/backoff/breaker, run [f], then
+   print the shared accounting.  Used by both the pair and query
+   verbs. *)
+let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
+    ~series_file f =
   if jobs < 1 then failwith "--jobs must be >= 1";
   if retries < 1 then failwith "--retries must be >= 1";
   let workers = Ppst_parallel.Pool.create jobs in
@@ -68,13 +106,6 @@ let run host port series_file distance k band gap search wavefront stats health
   in
   let params = Ppst.Params.make ~k () in
   let max_value = Stdlib.max 1 (Ppst_timeseries.Series.max_abs_value series) in
-  let kind : Ppst.Client.distance_kind =
-    match distance with
-    | `Dtw -> `Dtw
-    | `Dfd -> `Dfd
-    | `Erp -> `Erp
-    | `Euclidean | `Subsequence -> `Euclidean
-  in
   (* One backoff policy for every way a session can fail to start:
      refused connects, a Busy server (its retry-after hint is honoured
      as a floor), a connection lost during the handshake.  The same
@@ -94,18 +125,6 @@ let run host port series_file distance k band gap search wavefront stats health
     | Some s -> Ppst_rng.Secure_rng.of_seed_string (s ^ "/backoff")
     | None -> Ppst_rng.Secure_rng.system ()
   in
-  (* A quota rejection is a policy verdict, not a transient fault: the
-     server said this session's declared shape exceeds its admission
-     limits, so retrying is pointless.  Report which quota and exit with
-     EX_UNAVAILABLE so scripts can tell it from a crypto failure. *)
-  let quota_fatal f =
-    try f ()
-    with Ppst_transport.Channel.Quota_exceeded { quota; limit; requested } ->
-      Logs.err (fun m ->
-          m "rejected by server admission control: %s quota (limit %d, requested %d)"
-            quota limit requested);
-      exit 69
-  in
   quota_fatal @@ fun () ->
   let connect_session () =
     let channel =
@@ -113,8 +132,8 @@ let run host port series_file distance k band gap search wavefront stats health
     in
     try
       ( channel,
-        Ppst.Client.connect ~params ~workers ~rng ~series ~max_value
-          ~distance:kind channel )
+        Ppst.Client.connect ~params ~query ~workers ~rng ~series ~max_value
+          ~distance channel )
     with e ->
       (try Ppst_transport.Channel.close channel with _ -> ());
       raise e
@@ -152,63 +171,7 @@ let run host port series_file distance k band gap search wavefront stats health
         (Ppst.Client.server_length client)
         Ppst.Params.pp_session (Ppst.Client.session client));
   let t0 = Unix.gettimeofday () in
-  (if search then begin
-     let metric = match distance with `Dfd -> `Dfd | _ -> `Dtw in
-     let results = Ppst.Search.scan ~metric client in
-     List.iter
-       (fun r ->
-         Printf.printf "record %d: distance %s\n" r.Ppst.Search.index
-           (Ppst_bigint.Bigint.to_string r.Ppst.Search.distance))
-       results;
-     match results with
-     | [] -> print_endline "empty catalog"
-     | first :: rest ->
-       let best =
-         List.fold_left
-           (fun b r ->
-             if Ppst_bigint.Bigint.compare r.Ppst.Search.distance
-                  b.Ppst.Search.distance < 0
-             then r else b)
-           first rest
-       in
-       Printf.printf "nearest: record %d (distance %s)\n" best.Ppst.Search.index
-         (Ppst_bigint.Bigint.to_string best.Ppst.Search.distance)
-   end
-   else begin
-     (match band with
-      | Some _ when distance <> `Dtw ->
-        failwith "--band only applies to --distance dtw"
-      | _ -> ());
-     let result =
-       match distance with
-       | `Dtw -> begin
-         match band with
-         | Some b -> Ppst.Secure_dtw_banded.run ~band:b client
-         | None ->
-           if wavefront then Ppst.Secure_dtw_wavefront.run_dtw client
-           else Ppst.Secure_dtw.run client
-       end
-       | `Dfd ->
-         if wavefront then Ppst.Secure_dtw_wavefront.run_dfd client
-         else Ppst.Secure_dfd.run client
-       | `Erp ->
-         let d = Ppst_timeseries.Series.dimension series in
-         Ppst.Secure_erp.run ~gap:(Array.make d gap) client
-       | `Euclidean -> Ppst.Secure_euclidean.run client
-       | `Subsequence ->
-         let offset, best = Ppst.Secure_euclidean.best_window client in
-         Printf.printf "best window offset = %d\n" offset;
-         best
-     in
-     Printf.printf "secure %s distance (squared-Euclidean costs) = %s\n"
-       (match distance with
-        | `Dtw -> "DTW"
-        | `Dfd -> "DFD"
-        | `Erp -> "ERP"
-        | `Euclidean -> "Euclidean"
-        | `Subsequence -> "best-window Euclidean")
-       (Ppst_bigint.Bigint.to_string result)
-   end);
+  f client series;
   let elapsed = Unix.gettimeofday () -. t0 in
   Ppst.Client.finish client;
   Ppst_parallel.Pool.shutdown workers;
@@ -220,15 +183,140 @@ let run host port series_file distance k band gap search wavefront stats health
     (Ppst_transport.Channel.stats channel);
   Format.printf "cost: %a@." Ppst.Cost.pp (Ppst.Client.cost client)
 
+let kind_of_distance : _ -> Ppst.Client.distance_kind = function
+  | `Dtw -> `Dtw
+  | `Dfd -> `Dfd
+  | `Erp -> `Erp
+  | `Euclidean | `Subsequence -> `Euclidean
+
+(* --- pair: one secure pairwise distance ------------------------------------ *)
+
+let pair_body distance band gap wavefront search client series =
+  if search then begin
+    let metric = match distance with `Dfd -> `Dfd | _ -> `Dtw in
+    let results = Ppst.Search.scan ~metric client in
+    List.iter
+      (fun r ->
+        Printf.printf "record %d: distance %s\n" r.Ppst.Search.index
+          (Ppst_bigint.Bigint.to_string r.Ppst.Search.distance))
+      results;
+    match results with
+    | [] -> print_endline "empty catalog"
+    | first :: rest ->
+      let best =
+        List.fold_left
+          (fun b r ->
+            if Ppst_bigint.Bigint.compare r.Ppst.Search.distance
+                 b.Ppst.Search.distance < 0
+            then r else b)
+          first rest
+      in
+      Printf.printf "nearest: record %d (distance %s)\n" best.Ppst.Search.index
+        (Ppst_bigint.Bigint.to_string best.Ppst.Search.distance)
+  end
+  else begin
+    (match band with
+     | Some _ when distance <> `Dtw ->
+       failwith "--band only applies to --distance dtw"
+     | _ -> ());
+    let result =
+      match distance with
+      | `Dtw -> begin
+        match band with
+        | Some b -> Ppst.Secure_dtw_banded.run ~band:b client
+        | None ->
+          if wavefront then Ppst.Secure_dtw_wavefront.run_dtw client
+          else Ppst.Secure_dtw.run client
+      end
+      | `Dfd ->
+        if wavefront then Ppst.Secure_dtw_wavefront.run_dfd client
+        else Ppst.Secure_dfd.run client
+      | `Erp ->
+        let d = Ppst_timeseries.Series.dimension series in
+        Ppst.Secure_erp.run ~gap:(Array.make d gap) client
+      | `Euclidean -> Ppst.Secure_euclidean.run client
+      | `Subsequence ->
+        let offset, best = Ppst.Secure_euclidean.best_window client in
+        Printf.printf "best window offset = %d\n" offset;
+        best
+    in
+    Printf.printf "secure %s distance (squared-Euclidean costs) = %s\n"
+      (match distance with
+       | `Dtw -> "DTW"
+       | `Dfd -> "DFD"
+       | `Erp -> "ERP"
+       | `Euclidean -> "Euclidean"
+       | `Subsequence -> "best-window Euclidean")
+      (Ppst_bigint.Bigint.to_string result)
+  end
+
+let run_pair host port series_file distance k band gap search wavefront seed
+    jobs retries verbose log_level log_json trace_out =
+  setup verbose log_level log_json trace_out;
+  with_session ~host ~port ~k ~seed ~jobs ~retries ~query:false
+    ~distance:(kind_of_distance distance) ~series_file
+    (pair_body distance band gap wavefront search)
+
+(* --- query: secure 1-vs-N catalog search ----------------------------------- *)
+
+let run_query host port series_file distance k band gap top within_r segments
+    wavefront seed jobs retries verbose log_level log_json trace_out =
+  setup verbose log_level log_json trace_out;
+  if top < 1 then failwith "--top must be >= 1";
+  with_session ~host ~port ~k ~seed ~jobs ~retries ~query:true
+    ~distance:(kind_of_distance distance) ~series_file
+    (fun client series ->
+      if not (Ppst.Client.catalog_capable client) then
+        failwith
+          "server does not grant the catalog capability (too old, or catalog \
+           queries disabled)";
+      let strategy = if wavefront then `Wavefront else `Full in
+      let spec =
+        match distance with
+        | `Dtw -> Ppst.Protocol.spec ?band ~strategy `Dtw
+        | `Dfd -> Ppst.Protocol.spec ?band ~strategy `Dfd
+        | `Erp ->
+          let d = Ppst_timeseries.Series.dimension series in
+          Ppst.Protocol.spec ~gap:(Array.make d gap) `Erp
+        | `Euclidean -> Ppst.Protocol.spec `Euclidean
+        | `Subsequence -> failwith "query does not support subsequence"
+      in
+      let report =
+        match within_r with
+        | Some r ->
+          Ppst.Query.within ?segments ~spec
+            ~radius:(Ppst_bigint.Bigint.of_int r) client
+        | None -> Ppst.Query.top_k ?segments ~spec ~k:top client
+      in
+      Array.iter
+        (fun h ->
+          Printf.printf "hit: record %d (id %s) distance %s\n"
+            h.Ppst.Query.index h.Ppst.Query.id
+            (Ppst_bigint.Bigint.to_string h.Ppst.Query.distance))
+        report.Ppst.Query.hits;
+      if Array.length report.Ppst.Query.hits = 0 then
+        print_endline "no records within the radius";
+      Printf.printf
+        "catalog: %d candidate(s), %d pruned by the secure lower bound, %d \
+         exact run(s)\n"
+        report.Ppst.Query.total report.Ppst.Query.pruned
+        report.Ppst.Query.evaluated)
+
+(* --- argument terms --------------------------------------------------------- *)
+
 let host =
   Arg.(value & opt string "127.0.0.1" & info [ "h"; "host" ] ~docv:"HOST" ~doc:"Server host.")
 
 let port =
   Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
 
-let series_file =
+let series_file_opt =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"SERIES.csv"
          ~doc:"Client time series (CSV).  Required except with --stats.")
+
+let series_file_req =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv"
+         ~doc:"Client time series (CSV).")
 
 let distance =
   let enum_conv =
@@ -238,6 +326,14 @@ let distance =
   in
   Arg.(value & opt enum_conv `Dtw & info [ "d"; "distance" ]
          ~docv:"dtw|dfd|erp|euclidean|subsequence" ~doc:"Distance function.")
+
+let query_distance =
+  let enum_conv =
+    Arg.enum
+      [ ("dtw", `Dtw); ("dfd", `Dfd); ("erp", `Erp); ("euclidean", `Euclidean) ]
+  in
+  Arg.(value & opt enum_conv `Dtw & info [ "d"; "distance" ]
+         ~docv:"dtw|dfd|erp|euclidean" ~doc:"Distance function.")
 
 let band =
   Arg.(value & opt (some int) None & info [ "band" ] ~docv:"B"
@@ -254,6 +350,18 @@ let search =
 let wavefront =
   Arg.(value & flag & info [ "wavefront" ]
          ~doc:"Batch each DP anti-diagonal into one round trip (big win on real networks).")
+
+let top =
+  Arg.(value & opt int 1 & info [ "top" ] ~docv:"K"
+         ~doc:"Report the $(docv) nearest catalog records.")
+
+let within_r =
+  Arg.(value & opt (some int) None & info [ "within" ] ~docv:"R"
+         ~doc:"Report every record within squared distance $(docv) instead of the nearest --top.")
+
+let segments =
+  Arg.(value & opt (some int) None & info [ "segments" ] ~docv:"S"
+         ~doc:"Pruning sketch segments (default min(8, series length); more                segments prune harder but cost more per candidate).")
 
 let k =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Random-set size for the masking rounds (paper default 10).")
@@ -291,12 +399,106 @@ let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
          ~doc:"Append every telemetry event (debug level) as JSON lines to $(docv); read it back with ppst_analyze trace.")
 
-let cmd =
-  let doc = "secure time-series similarity client (series X owner, evaluator)" in
-  Cmd.v
-    (Cmd.info "ppst_client" ~doc)
-    Term.(const run $ host $ port $ series_file $ distance $ k $ band $ gap
-          $ search $ wavefront $ stats $ health $ seed $ jobs $ retries
-          $ verbose $ log_level $ log_json $ trace_out)
+(* --- the legacy flag-style default command ---------------------------------- *)
 
-let () = exit (Cmd.eval cmd)
+let run_legacy host port series_file distance k band gap search wavefront stats
+    health seed jobs retries verbose log_level log_json trace_out =
+  prerr_endline
+    "ppst_client: note: the flag-style interface is deprecated; use the \
+     verbs: pair, query, catalog, stats, health (see --help)";
+  setup verbose log_level log_json trace_out;
+  if stats then begin
+    fetch_stats host port;
+    exit 0
+  end;
+  if health then exit (fetch_health host port);
+  let series_file =
+    match series_file with
+    | Some f -> f
+    | None -> failwith "SERIES.csv is required unless --stats is given"
+  in
+  run_pair host port series_file distance k band gap search wavefront seed jobs
+    retries verbose log_level log_json trace_out
+
+(* --- commands ---------------------------------------------------------------- *)
+
+let common_tail = Term.(const ()) (* placeholder for readability *)
+
+let pair_cmd =
+  let doc = "run one secure pairwise distance against the server's series" in
+  Cmd.v (Cmd.info "pair" ~doc)
+    Term.(const run_pair $ host $ port $ series_file_req $ distance $ k $ band
+          $ gap $ search $ wavefront $ seed $ jobs $ retries $ verbose
+          $ log_level $ log_json $ trace_out)
+
+let query_cmd =
+  let doc =
+    "secure 1-vs-N catalog search: prune candidates with an encrypted lower \
+     bound, run the exact protocol on the survivors"
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ host $ port $ series_file_req $ query_distance $ k
+          $ band $ gap $ top $ within_r $ segments $ wavefront $ seed $ jobs
+          $ retries $ verbose $ log_level $ log_json $ trace_out)
+
+let catalog_cmd =
+  let doc = "list the server's catalog (index, id, length per record)" in
+  let run_catalog host port verbose log_level log_json trace_out =
+    setup verbose log_level log_json trace_out;
+    fetch_catalog host port
+  in
+  Cmd.v (Cmd.info "catalog" ~doc)
+    Term.(const run_catalog $ host $ port $ verbose $ log_level $ log_json
+          $ trace_out)
+
+let stats_cmd =
+  let doc = "fetch and print the server's live metrics snapshot" in
+  let run_stats host port verbose log_level log_json trace_out =
+    setup verbose log_level log_json trace_out;
+    fetch_stats host port
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ host $ port $ verbose $ log_level $ log_json
+          $ trace_out)
+
+let health_cmd =
+  let doc = "readiness probe (exit 0 ready, 1 at capacity, 2 shedding)" in
+  let run_health host port verbose log_level log_json trace_out =
+    setup verbose log_level log_json trace_out;
+    exit (fetch_health host port)
+  in
+  Cmd.v (Cmd.info "health" ~doc)
+    Term.(const run_health $ host $ port $ verbose $ log_level $ log_json
+          $ trace_out)
+
+let legacy_term =
+  Term.(const run_legacy $ host $ port $ series_file_opt $ distance $ k $ band
+        $ gap $ search $ wavefront $ stats $ health $ seed $ jobs $ retries
+        $ verbose $ log_level $ log_json $ trace_out)
+
+let doc = "secure time-series similarity client (series X owner, evaluator)"
+
+let group_cmd =
+  ignore common_tail;
+  Cmd.group
+    (Cmd.info "ppst_client" ~doc)
+    [ pair_cmd; query_cmd; catalog_cmd; stats_cmd; health_cmd ]
+
+(* The historical flat interface, parsed exactly as before the verbs
+   existed.  Cmd.group would reject `ppst_client series.csv --search'
+   ("unknown command"), so dispatch on argv(1) ourselves: anything that
+   is not a verb (or --help/--version) replays through the legacy
+   parser, which prints a one-line deprecation notice and delegates. *)
+let legacy_cmd = Cmd.v (Cmd.info "ppst_client" ~doc) legacy_term
+
+let () =
+  let is_verb s =
+    List.mem s [ "pair"; "query"; "catalog"; "stats"; "health" ]
+  in
+  let use_group =
+    Array.length Sys.argv <= 1
+    || is_verb Sys.argv.(1)
+    || Sys.argv.(1) = "--help" || Sys.argv.(1) = "--version"
+    || (String.length Sys.argv.(1) > 7 && String.sub Sys.argv.(1) 0 7 = "--help=")
+  in
+  exit (Cmd.eval (if use_group then group_cmd else legacy_cmd))

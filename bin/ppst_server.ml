@@ -10,7 +10,7 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run port series_file key_file max_value seed sessions concurrency
+let run port series_file catalog_dir key_file max_value seed sessions concurrency
     idle_timeout deadline jobs chaos_profile chaos_seed resume_ttl no_resume
     no_crc max_cells max_series_len max_dim max_session_bytes
     max_session_frames rate_limit rate_burst shed_watermark watchdog_timeout
@@ -64,9 +64,21 @@ let run port series_file key_file max_value seed sessions concurrency
                chaos_seed);
          Some (Ppst_transport.Faults.create ~seed:chaos_seed profile))
   in
-  (* a CSV with blank-line-separated blocks is served as a multi-record
-     database (similarity-search mode); a plain CSV as a single series *)
-  let records = Array.of_list (Ppst_timeseries.Csv.load_many series_file) in
+  (* three sources, one shape: --catalog serves a whole directory as an
+     id-keyed store; a CSV with blank-line-separated blocks is served as
+     a multi-record database (similarity-search mode); a plain CSV as a
+     single series *)
+  let records, ids =
+    match (catalog_dir, series_file) with
+    | Some _, Some _ ->
+      failwith "give either SERIES.csv or --catalog DIR, not both"
+    | Some dir, None ->
+      let store = Ppst_catalog.Store.load_dir dir in
+      (Ppst_catalog.Store.records store, Some (Ppst_catalog.Store.ids store))
+    | None, Some file ->
+      (Array.of_list (Ppst_timeseries.Csv.load_many file), None)
+    | None, None -> failwith "SERIES.csv is required unless --catalog is given"
+  in
   if Array.length records = 0 then failwith "no series in input file";
   let rng_of suffix =
     match seed with
@@ -123,7 +135,7 @@ let run port series_file key_file max_value seed sessions concurrency
       | None -> Ppst_parallel.Pool.sequential
     in
     let server =
-      Ppst.Server.create_db_with_key ~workers ~sk
+      Ppst.Server.create_db_with_key ?ids ~workers ~sk
         ~rng:(rng_of (Printf.sprintf "/session-%d" id))
         ~records ~max_value ()
     in
@@ -224,7 +236,12 @@ let port =
   Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 picks an ephemeral port).")
 
 let series_file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.csv" ~doc:"Server time series (CSV, one element per row).")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SERIES.csv"
+         ~doc:"Server time series (CSV, one element per row).  Required                unless --catalog is given.")
+
+let catalog_dir =
+  Arg.(value & opt (some dir) None & info [ "catalog" ] ~docv:"DIR"
+         ~doc:"Serve every *.csv in $(docv) as an id-keyed catalog                (1-vs-N query mode); record ids are the file basenames.")
 
 let key_file =
   Arg.(value & opt (some file) None & info [ "k"; "key" ] ~docv:"FILE" ~doc:"Private key from ppst_keygen (fresh key when omitted).")
@@ -329,7 +346,7 @@ let cmd =
   let doc = "secure time-series similarity server (series Y owner, key holder)" in
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
-    Term.(const run $ port $ series_file $ key_file $ max_value $ seed
+    Term.(const run $ port $ series_file $ catalog_dir $ key_file $ max_value $ seed
           $ sessions $ concurrency $ idle_timeout $ deadline $ jobs
           $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
           $ max_cells $ max_series_len $ max_dim $ max_session_bytes

@@ -51,7 +51,7 @@ let () =
     Array.mapi
       (fun i record ->
         let r =
-          Ppst.Protocol.run_dtw
+          Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw)
             ~seed:(Printf.sprintf "ecg-session-%d" i)
             ~max_value ~x:alice ~y:record ()
         in

@@ -72,7 +72,7 @@ let () =
     List.map
       (fun (i, _) ->
         let r =
-          Ppst.Protocol.run_dtw
+          Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw)
             ~seed:(Printf.sprintf "hybrid-%d" i)
             ~max_value ~x:query ~y:records.(i) ()
         in

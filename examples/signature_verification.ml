@@ -31,7 +31,7 @@ let attempt ~signer ~noise_seed =
 
 let verify ~label ~reference ~candidate ~threshold =
   let r =
-    Ppst.Protocol.run_dfd
+    Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dfd)
       ~seed:("signature-" ^ label)
       ~max_value ~x:candidate ~y:reference ()
   in

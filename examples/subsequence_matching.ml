@@ -42,7 +42,7 @@ let () =
     (long_length - pattern_length + 1);
 
   let t0 = Unix.gettimeofday () in
-  let result = Ppst.Protocol.run_subsequence ~seed:"subseq-demo" ~x:long ~y:pattern () in
+  let result = Ppst.Protocol.subsequence ~seed:"subseq-demo" ~x:long ~y:pattern () in
   let elapsed = Unix.gettimeofday () -. t0 in
 
   (* Cross-check every window against the plaintext and find the best. *)

@@ -42,11 +42,11 @@ let () =
   Array.iteri
     (fun i route ->
       let dtw =
-        Ppst.Protocol.run_dtw ~seed:(Printf.sprintf "traj-dtw-%d" i) ~max_value
+        Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:(Printf.sprintf "traj-dtw-%d" i) ~max_value
           ~x:query ~y:route ()
       in
       let dfd =
-        Ppst.Protocol.run_dfd ~seed:(Printf.sprintf "traj-dfd-%d" i) ~max_value
+        Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dfd) ~seed:(Printf.sprintf "traj-dfd-%d" i) ~max_value
           ~x:query ~y:route ()
       in
       let sd = Ppst.Protocol.distance_int dtw and fd = Ppst.Protocol.distance_int dfd in
@@ -69,7 +69,7 @@ let () =
       let params = Ppst.Params.make ~k () in
       let t0 = Unix.gettimeofday () in
       let r =
-        Ppst.Protocol.run_dtw ~params
+        Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~params
           ~seed:(Printf.sprintf "traj-k-%d" k)
           ~max_value ~x:query ~y:fleet.(best_dtw) ()
       in

@@ -1,0 +1,6 @@
+(* Short aliases for the substrate libraries, opened by every module (and
+   interface) of the catalog library. *)
+
+module Series = Ppst_timeseries.Series
+module Csv = Ppst_timeseries.Csv
+module Generate = Ppst_timeseries.Generate

@@ -19,6 +19,7 @@ type t = {
   distance : distance_kind;
   max_value : int;  (* negotiated coordinate bound (max of both parties) *)
   packing : bool;  (* server granted Message.flag_packing *)
+  catalog_cap : bool;  (* server granted Message.flag_catalog *)
   mutable session : Params.session;
   mutable server_length : int;
   mutable catalog : int array option;
@@ -36,6 +37,7 @@ let cost t = t.cost
 let server_length t = t.server_length
 let client_length t = Series.length t.series
 let client_element t i = Series.get t.series i
+let max_value t = t.max_value
 let distance t = t.distance
 
 let show_kind = function
@@ -145,7 +147,8 @@ let plan_session ~params ~series ~server_length ~max_value ~modulus ~distance =
     ~client_length:(Series.length series) ~server_length ~modulus ~distance
 
 let connect ?(params = Params.default) ?(offline = true) ?(packing = false)
-    ?(workers = Parallel.sequential) ~rng ~series ~max_value ~distance channel =
+    ?(query = false) ?(workers = Parallel.sequential) ~rng ~series ~max_value
+    ~distance channel =
   check_own_bounds series max_value;
   (* Offer the channel's transport capabilities (CRC, resume) in Hello,
      and declare the client's matrix contribution (series length and
@@ -156,7 +159,8 @@ let connect ?(params = Params.default) ?(offline = true) ?(packing = false)
      the cost of one round. *)
   let offered =
     Channel.offered_flags channel
-    lor if packing then Message.flag_packing else 0
+    lor (if packing then Message.flag_packing else 0)
+    lor if query then Message.flag_catalog else 0
   in
   let spec =
     Some
@@ -199,6 +203,7 @@ let connect ?(params = Params.default) ?(offline = true) ?(packing = false)
       distance;
       max_value = bound;
       packing = packing && flags land Message.flag_packing <> 0;
+      catalog_cap = query && flags land Message.flag_catalog <> 0;
       session;
       server_length = series_length;
       catalog = None;
@@ -239,6 +244,97 @@ let select_record t index =
   | Message.Select_ack _ ->
     raise (Channel.Protocol_error "select acknowledged the wrong record")
   | _ -> raise (Channel.Protocol_error "expected Select_ack")
+
+(* --- catalog extension: enumeration, sketches, verdicts ----------------- *)
+
+let catalog_capable t = t.catalog_cap
+
+let require_catalog t =
+  if not t.catalog_cap then
+    raise (Channel.Protocol_error "server did not grant the catalog capability")
+
+let catalog_list t =
+  require_catalog t;
+  match Channel.request t.channel Message.Catalog_list_request with
+  | Message.Catalog_list_reply { ids; lengths } ->
+    if Array.length ids <> Array.length lengths then
+      raise (Channel.Protocol_error "catalog-list ids/lengths mismatch");
+    t.catalog <- Some lengths;
+    (Array.copy ids, Array.copy lengths)
+  | _ -> raise (Channel.Protocol_error "expected Catalog_list_reply")
+
+let query_submit t ~segments ~band ~indices =
+  require_catalog t;
+  if segments <= 0 then invalid_arg "Client.query_submit: segments must be positive";
+  if Array.length indices = 0 then
+    invalid_arg "Client.query_submit: empty candidate set";
+  let d = Series.dimension t.series in
+  let per = segments * d in
+  timed t Cost.Phase1 (fun () ->
+      match
+        Channel.request t.channel (Message.Query_submit { segments; band; indices })
+      with
+      | Message.Query_sketch sketches ->
+        if Array.length sketches <> Array.length indices then
+          raise (Channel.Protocol_error "sketch count differs from candidate count");
+        Array.map
+          (fun { Message.lo; hi } ->
+            if Array.length lo <> per || Array.length hi <> per then
+              raise (Channel.Protocol_error "sketch slot count mismatch");
+            let wrap = Paillier.ciphertext_of_bigint t.pk in
+            (Array.map wrap lo, Array.map wrap hi))
+          sketches
+      | Message.Error_reply m -> raise (Channel.Protocol_error m)
+      | _ -> raise (Channel.Protocol_error "expected Query_sketch"))
+
+(* Verdict round.  Each input ciphertext holds a signed threshold
+   difference p in (-bound, bound) (centered residue mod n): negative
+   means the candidate's lower bound stayed below the threshold.  The
+   client multiplicatively blinds each difference — Enc(ρ·p + μ) with
+   fresh ρ ∈ [2^(ρ_bits-1), 2^ρ_bits) and μ ∈ [0, ρ) — so the server's
+   decryption reveals the sign and nothing else: ρ·p + μ keeps p's sign
+   (μ < ρ) and stays under n/2 in magnitude because ρ_bits is sized to
+   leave two spare bits.  Returns [None] without touching the network
+   when the modulus is too small to blind meaningfully (< 16 bits of ρ);
+   callers then keep every candidate. *)
+let verdict_round t ~bound diffs =
+  require_catalog t;
+  let rho_bits = Bigint.num_bits t.pk.Paillier.n - 2 - Bigint.num_bits bound in
+  if rho_bits < 16 then None
+  else
+    timed t Cost.Phase2 (fun () ->
+        let client_ops = Cost.client_ops t.cost in
+        let half = Bigint.shift_left Bigint.one (rho_bits - 1) in
+        let blinded =
+          Array.map
+            (fun c ->
+              let rho = Bigint.add half (Secure_rng.below t.rng half) in
+              let mu = Secure_rng.below t.rng rho in
+              client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 2;
+              let scaled = Paillier.scalar_mul t.pk c rho in
+              Paillier.ciphertext_to_bigint (Paillier.add_plain t.pk scaled mu))
+            diffs
+        in
+        match Channel.request t.channel (Message.Verdict_request blinded) with
+        | Message.Verdict_reply survive ->
+          if Array.length survive <> Array.length diffs then
+            raise (Channel.Protocol_error "verdict count differs from candidate count");
+          Some survive
+        | Message.Error_reply m -> raise (Channel.Protocol_error m)
+        | _ -> raise (Channel.Protocol_error "expected Verdict_reply"))
+
+(* Auxiliary masking sessions: the pruning round masks lower-bound gap
+   values, not DP-matrix entries, so it plans its own (β, γ) from an
+   explicit bound and runs the standard extreme machinery under it.
+   [t.session] is swapped for the duration — packing_spec and the
+   secure_min/max paths all read it — and restored on any exit. *)
+let plan_aux_session t ~value_bound =
+  Params.plan_bound t.params ~value_bound ~modulus:t.pk.Paillier.n
+
+let with_session t session f =
+  let saved = t.session in
+  t.session <- session;
+  Fun.protect ~finally:(fun () -> t.session <- saved) f
 
 (* --- plaintext packing (packed/fast profile) ----------------------------- *)
 
@@ -604,10 +700,17 @@ let add t c1 c2 =
   client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
   Paillier.add t.pk c1 c2
 
-let add_plain t c v =
+let add_plain_big t c v =
   let client_ops = Cost.client_ops t.cost in
   client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
-  Paillier.add_plain t.pk c (Bigint.of_int v)
+  Paillier.add_plain t.pk c v
+
+let add_plain t c v = add_plain_big t c (Bigint.of_int v)
+
+let scalar_mul t c v =
+  let client_ops = Cost.client_ops t.cost in
+  client_ops.Cost.homomorphic <- client_ops.Cost.homomorphic + 1;
+  Paillier.scalar_mul t.pk c v
 
 let encrypt_constant t v = encrypt_online t (Bigint.of_int v)
 

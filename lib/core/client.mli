@@ -19,6 +19,7 @@ val connect :
   ?params:Params.t ->
   ?offline:bool ->
   ?packing:bool ->
+  ?query:bool ->
   ?workers:Parallel.t ->
   rng:Secure_rng.t ->
   series:Series.t ->
@@ -52,6 +53,11 @@ val connect :
     preparation — out over a Domain pool.  All randomness (rng draws and
     pool pops) is consumed sequentially before each fan-out, so a seeded
     session produces bit-identical transcripts at any pool size.
+
+    [query] (default false) offers the catalog capability
+    ({!Message.flag_catalog}): catalog enumeration, pruning-sketch and
+    verdict rounds for 1-vs-N search ({!Query}).  Off by default so
+    pairwise sessions keep their exact historical transcripts.
     @raise Incompatible on dimension mismatch
     @raise Params.Insecure when no safe [γ] exists for the negotiated
     key and series sizes. *)
@@ -85,6 +91,11 @@ val server_length : t -> int
 
 val client_length : t -> int
 
+val max_value : t -> int
+(** The negotiated coordinate bound [V] (the larger of the two parties'
+    advertised bounds); every coordinate of either series lies in
+    [\[0, V\]].  The pruning round's public shift is [w_s * V]. *)
+
 val distance : t -> distance_kind
 (** The distance kind the session's masking parameters were planned for.
     Running a distance with a larger value bound than planned (e.g. DTW
@@ -111,6 +122,52 @@ val catalog : t -> int array
 val select_record : t -> int -> unit
 (** Make record [i] the active series for subsequent protocol runs.
     @raise Invalid_argument when [i] is outside the catalog. *)
+
+(** {1 Catalog queries (1-vs-N extension)}
+
+    The privacy-preserving pruning primitives {!Query} is built from.
+    All of them require the catalog capability (offer [~query:true] at
+    {!connect} to a granting server; check {!catalog_capable}) and raise
+    {!Channel.Protocol_error} without it. *)
+
+val catalog_capable : t -> bool
+(** Whether the server granted {!Message.flag_catalog}. *)
+
+val catalog_list : t -> string array * int array
+(** Enumerate the server's records: ids and lengths, positionally
+    aligned; the position is the index used by {!query_submit} and
+    {!select_record}. *)
+
+val query_submit :
+  t ->
+  segments:int ->
+  band:int option ->
+  indices:int array ->
+  (Paillier.ciphertext array * Paillier.ciphertext array) array
+(** Open a pruning round: for each candidate index, the server's
+    encrypted per-segment coupling-window extremes [(lo, hi)], each
+    [segments * dimension] ciphertexts in segment-major dimension-minor
+    order ({!Lower_bound.segment_bounds}).  Timed as phase 1. *)
+
+val verdict_round :
+  t -> bound:Bigint.t -> Paillier.ciphertext array -> bool array option
+(** Blinded sign test.  Input ciphertexts hold signed threshold
+    differences (centered residues, [|p| < bound], negative = the
+    candidate survives); each is multiplicatively blinded as
+    [Enc(ρ·p + μ)] with fresh [ρ, μ] before the server decrypts and
+    answers only the signs.  Returns [None] — without any network
+    traffic — when the modulus leaves fewer than 16 bits for [ρ];
+    callers then keep every candidate.  Timed as phase 2. *)
+
+val plan_aux_session : t -> value_bound:Bigint.t -> Params.session
+(** Masking parameters for an auxiliary round whose plaintexts are
+    bounded by [value_bound] instead of a DP-matrix bound
+    ({!Params.plan_bound} against the session key). *)
+
+val with_session : t -> Params.session -> (unit -> 'a) -> 'a
+(** Run [f] with the active masking session swapped — the secure
+    min/max rounds and the packing geometry all follow.  The original
+    session is restored on any exit. *)
 
 (** {1 Phase 1} *)
 
@@ -169,6 +226,14 @@ val add : t -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext
 val add_plain : t -> Paillier.ciphertext -> int -> Paillier.ciphertext
 (** Homomorphic addition of a client-known constant (ERP uses this for
     the [δ²(x_i, gap)] penalties). *)
+
+val add_plain_big : t -> Paillier.ciphertext -> Bigint.t -> Paillier.ciphertext
+(** {!add_plain} for bigint constants (negative values are reduced
+    mod n — the catalog pruning round subtracts its public shift this
+    way). *)
+
+val scalar_mul : t -> Paillier.ciphertext -> Bigint.t -> Paillier.ciphertext
+(** Homomorphic scalar multiplication, counted in the client's tally. *)
 
 val encrypt_constant : t -> int -> Paillier.ciphertext
 (** Encrypt a client-known value (pooled).  ERP border cells use this. *)

@@ -8,6 +8,9 @@ module Secure_rng = Ppst_rng.Secure_rng
 module Paillier = Ppst_paillier.Paillier
 module Series = Ppst_timeseries.Series
 module Distance = Ppst_timeseries.Distance
+module Lower_bound = Ppst_timeseries.Lower_bound
+module Paa = Ppst_timeseries.Paa
+module Store = Ppst_catalog.Store
 module Parallel = Ppst_parallel.Pool
 module Message = Ppst_transport.Message
 module Channel = Ppst_transport.Channel

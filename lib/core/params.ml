@@ -25,16 +25,33 @@ type session = {
   offset_hi : Bigint.t;
 }
 
-let plan t ~max_value ~dimension ~client_length ~server_length ~modulus ~distance =
+let plan_bound t ~value_bound ~modulus =
   if t.k < 4 then insecure "random set size k = %d; need k >= 4 so that 0 < gamma - beta < alpha is satisfiable" t.k;
-  if max_value <= 0 then invalid_arg "Params.plan: max_value must be positive";
-  if dimension <= 0 then invalid_arg "Params.plan: dimension must be positive";
-  if client_length <= 0 || server_length <= 0 then
-    invalid_arg "Params.plan: series lengths must be positive";
   let a = alpha t in
   if t.gamma_slack <= 0 || t.gamma_slack >= a then
     insecure "gamma_slack = %d violates 0 < gamma - beta < alpha (alpha = %d for k = %d)"
       t.gamma_slack a t.k;
+  if Bigint.compare value_bound Bigint.one < 0 then
+    invalid_arg "Params.plan_bound: value_bound must be positive";
+  let beta = Stdlib.max 1 (Bigint.num_bits (Bigint.pred value_bound) - 1) in
+  let gamma = beta + t.gamma_slack in
+  let offset_lo = Bigint.succ (Bigint.shift_left Bigint.one gamma) in
+  let offset_hi = Bigint.shift_left Bigint.one (gamma + 1) in
+  (* Wrap-around guard: the largest masked candidate must stay below the
+     Paillier plaintext modulus. *)
+  let max_candidate = Bigint.add value_bound offset_hi in
+  if Bigint.compare max_candidate modulus >= 0 then
+    insecure
+      "masked candidates (up to %s) would wrap around the %d-bit plaintext modulus; \
+       use a larger key or smaller series/values"
+      (Bigint.to_string max_candidate) (Bigint.num_bits modulus);
+  { params = t; beta; gamma; value_bound; offset_lo; offset_hi }
+
+let plan t ~max_value ~dimension ~client_length ~server_length ~modulus ~distance =
+  if max_value <= 0 then invalid_arg "Params.plan: max_value must be positive";
+  if dimension <= 0 then invalid_arg "Params.plan: dimension must be positive";
+  if client_length <= 0 || server_length <= 0 then
+    invalid_arg "Params.plan: series lengths must be positive";
   (* Strict plaintext bound: the largest value any matrix entry can take.
      Every local cost is at most d * max_value^2; a DTW warping path has at
      most m + n - 1 couplings; DFD entries never exceed a single cost. *)
@@ -55,19 +72,7 @@ let plan t ~max_value ~dimension ~client_length ~server_length ~modulus ~distanc
          this bound with the window length *)
       Bigint.succ (Bigint.mul_int max_cost (Stdlib.min client_length server_length))
   in
-  let beta = Stdlib.max 1 (Bigint.num_bits (Bigint.pred value_bound) - 1) in
-  let gamma = beta + t.gamma_slack in
-  let offset_lo = Bigint.succ (Bigint.shift_left Bigint.one gamma) in
-  let offset_hi = Bigint.shift_left Bigint.one (gamma + 1) in
-  (* Wrap-around guard: the largest masked candidate must stay below the
-     Paillier plaintext modulus. *)
-  let max_candidate = Bigint.add value_bound offset_hi in
-  if Bigint.compare max_candidate modulus >= 0 then
-    insecure
-      "masked candidates (up to %s) would wrap around the %d-bit plaintext modulus; \
-       use a larger key or smaller series/values"
-      (Bigint.to_string max_candidate) (Bigint.num_bits modulus);
-  { params = t; beta; gamma; value_bound; offset_lo; offset_hi }
+  plan_bound t ~value_bound ~modulus
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>{key_bits = %d; k = %d; gamma_slack = %d}@]" t.key_bits

@@ -54,6 +54,13 @@ val plan :
     @raise Insecure when no valid [γ] exists or the masked candidates
     could wrap around the modulus. *)
 
+val plan_bound : t -> value_bound:Bigint.t -> modulus:Bigint.t -> session
+(** [plan_bound] derives a session directly from an explicit strict upper
+    bound on the masked plaintexts, bypassing the distance-specific bound
+    computation of {!plan}.  Used by auxiliary protocols (the catalog
+    pruning round) whose plaintexts are not DP-matrix entries.
+    @raise Insecure under the same conditions as {!plan}. *)
+
 val alpha : t -> int
 (** [⌊log2 k⌋]. *)
 

@@ -180,12 +180,14 @@ type windows_result = {
   windows_stats : Stats.t;
 }
 
-let run_subsequence ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
+let subsequence ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
   let distances, cost, stats, _session =
     run_session ~distance_kind:`Euclidean ~runner:Secure_euclidean.sliding_windows
       ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y ()
   in
   { window_distances = distances; windows_cost = cost; windows_stats = stats }
+
+let run_subsequence = subsequence
 
 (* Closed-form count of protocol "values" for this implementation's exact
    message layout; the paper's mn(d + k + 4) appears as the dominant term
@@ -202,3 +204,14 @@ let expected_values_transferred ~params ~m ~n ~d kind =
     let borders = (m - 1 + (n - 1)) * (k + 2) in
     let inner = (m - 1) * (n - 1) * (k + 3 + k + 2) in
     phase1 + borders + inner + reveal
+
+(* The pruning stage of a 1-vs-N query, same conventions (both directions,
+   unpacked profile).  Per candidate, per segment, per dimension: the two
+   sketch ciphertexts in, one 3-way secure-max instance (3 + k - 1 masked
+   candidates out, one result in); plus one blinded verdict ciphertext per
+   candidate.  This is also the number the admission ledger's
+   [declare_query] allowance is sized from: [candidates * (segments*d + 1)]
+   chargeable cells. *)
+let expected_query_values ~params ~candidates ~segments ~d =
+  let k = params.Params.k in
+  (candidates * segments * d * (k + 5)) + candidates

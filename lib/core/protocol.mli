@@ -12,8 +12,10 @@
 
     {!run} is the single engine entry point; the distance, the optional
     Sakoe–Chiba band, and the round-trip strategy are picked by a
-    {!spec} value.  The historical per-algorithm [run_*] functions
-    remain as thin wrappers (see {!section-legacy}).
+    {!spec} value.  For 1-vs-N search over a server catalog, see
+    {!Query} — it reuses the same [spec].  The historical per-algorithm
+    [run_*] functions remain as deprecated thin wrappers
+    (see {!section-legacy}).
 
     For a real two-machine deployment use the [bin/ppst_server] and
     [bin/ppst_client] executables (TCP), which drive exactly the same
@@ -100,13 +102,41 @@ val run :
     @raise Secure_dtw_banded.Band_too_narrow when a banded run's band
     admits no warping path. *)
 
+val runner_of_spec : spec -> Client.t -> Bigint.t
+(** The driver a [spec] denotes, as a function over an already-connected
+    client — validation included (same exceptions as {!run}).  {!Query}
+    uses this to run the exact stage of a 1-vs-N search on its own
+    connection; {!run} is [runner_of_spec] plus session setup. *)
+
+type windows_result = {
+  window_distances : Bigint.t array;  (** one per window offset *)
+  windows_cost : Cost.t;
+  windows_stats : Stats.t;
+}
+
+val subsequence :
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?jobs:int ->
+  x:Series.t ->
+  y:Series.t ->
+  unit ->
+  windows_result
+(** Secure subsequence matching: Euclidean distance of server series [y]
+    against every window of client series [x]
+    (see {!Secure_euclidean.sliding_windows}). *)
+
 (** {1:legacy Legacy per-algorithm entry points}
 
     Thin wrappers over {!run}, one per historical [spec] combination.
-    Deprecated: prefer [run ~spec:(spec ...)]; these remain so existing
-    callers keep compiling and will be removed in a future major
-    version.  Each preserves its historical signature, which is why
-    some lack [?trace]. *)
+    Deprecated: prefer [run ~spec:(spec ...)] (or {!subsequence} for the
+    sliding-window variant); these remain so existing callers keep
+    compiling and will be removed in a future major version.  Each
+    preserves its historical signature, which is why some lack
+    [?trace]. *)
 
 val run_dtw :
   ?params:Params.t ->
@@ -120,6 +150,8 @@ val run_dtw :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_dtw is deprecated: use run ~spec:(spec `Dtw) instead."]
 (** Equivalent to [run ~spec:(spec `Dtw)]; see {!run} for the optional
     arguments. *)
 
@@ -134,6 +166,8 @@ val run_dfd :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_dfd is deprecated: use run ~spec:(spec `Dfd) instead."]
 
 val run_erp :
   ?params:Params.t ->
@@ -147,6 +181,8 @@ val run_erp :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_erp is deprecated: use run ~spec:(spec ~gap `Erp) instead."]
 (** Secure ERP with the public gap element [gap] (see {!Secure_erp}). *)
 
 val run_dtw_banded :
@@ -162,6 +198,8 @@ val run_dtw_banded :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_dtw_banded is deprecated: use run ~spec:(spec ~band `Dtw) instead."]
 (** Secure Sakoe–Chiba banded DTW (see {!Secure_dtw_banded}).
     @raise Secure_dtw_banded.Band_too_narrow when no path fits. *)
 
@@ -178,6 +216,8 @@ val run_dfd_banded :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_dfd_banded is deprecated: use run ~spec:(spec ~band `Dfd) instead."]
 (** Band-constrained secure Discrete Fréchet Distance
     (see {!Secure_dtw_banded.run_dfd}). *)
 
@@ -192,6 +232,8 @@ val run_euclidean :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_euclidean is deprecated: use run ~spec:(spec `Euclidean) instead."]
 (** Secure lockstep squared Euclidean distance (equal lengths). *)
 
 val run_dtw_wavefront :
@@ -206,6 +248,8 @@ val run_dtw_wavefront :
   y:Series.t ->
   unit ->
   result
+  [@@ocaml.deprecated
+    "Protocol.run_dtw_wavefront is deprecated: use run ~spec:(spec ~strategy:`Wavefront `Dtw) instead."]
 (** Secure DTW with anti-diagonal batching: identical result and leakage
     profile, [m + n - 3] round trips instead of [(m-1)(n-1)]
     (see {!Secure_dtw_wavefront}). *)
@@ -221,12 +265,8 @@ val run_dfd_wavefront :
   y:Series.t ->
   unit ->
   result
-
-type windows_result = {
-  window_distances : Bigint.t array;  (** one per window offset *)
-  windows_cost : Cost.t;
-  windows_stats : Stats.t;
-}
+  [@@ocaml.deprecated
+    "Protocol.run_dfd_wavefront is deprecated: use run ~spec:(spec ~strategy:`Wavefront `Dfd) instead."]
 
 val run_subsequence :
   ?params:Params.t ->
@@ -239,6 +279,8 @@ val run_subsequence :
   y:Series.t ->
   unit ->
   windows_result
+  [@@ocaml.deprecated
+    "Protocol.run_subsequence is deprecated: use subsequence instead."]
 (** Secure subsequence matching: Euclidean distance of server series [y]
     against every window of client series [x]
     (see {!Secure_euclidean.sliding_windows}). *)
@@ -249,3 +291,15 @@ val expected_values_transferred :
     values for DTW — adapted to this implementation's exact message
     layout (border cells and the reveal round included).  Tests assert
     the live accounting matches this closed form. *)
+
+val expected_query_values :
+  params:Params.t -> candidates:int -> segments:int -> d:int -> int
+(** Closed-form value count for the {e pruning stage} of a 1-vs-N query
+    (unpacked profile, both directions): per candidate, per segment, per
+    dimension the two sketch ciphertexts, one 3-way secure-max instance
+    ([3 + k - 1] masked candidates out, one result back), plus one
+    blinded verdict ciphertext per candidate —
+    [C*S*d*(k + 5) + C] in total.  The admission ledger's
+    [declare_query] allowance ([C*(S*d + 1)] chargeable cells) is sized
+    from the same layout; tests pin both numbers against the live
+    accounting. *)

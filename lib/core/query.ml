@@ -1,0 +1,327 @@
+(* Secure 1-vs-N catalog search: a two-stage pipeline over a server
+   catalog.  Stage 1 evaluates a cheap secure lower bound per candidate
+   (the gap-sum statistic of [Lower_bound.gap_sum], computed under
+   encryption from the server's per-segment sketch) and discards
+   candidates that provably cannot beat the current threshold; stage 2
+   runs the exact secure protocol only on the survivors.
+
+   Soundness of the pruning rule (no false dismissals): for candidate
+   series Y of the same length m as the query X, with G the gap-sum
+   statistic and c_f the confidence factor (d*m for DTW / banded DTW /
+   Euclidean, (d*m)^2 for DFD),
+
+     D(X, Y) >= G^2 / c_f.
+
+   Discarding when G >= tau_G + 1 with tau_G = isqrt(c_f * tau) implies
+   G^2 > c_f * tau, hence D > tau: the candidate cannot enter a result
+   set thresholded at tau.  ERP and length-mismatched candidates have no
+   such bound and always go straight to the exact stage.
+
+   What the pruning stage reveals is analysed in SECURITY.md: the server
+   learns one survive/discard bit per candidate (blinded sign test); the
+   client learns nothing beyond the distances of the candidates it
+   evaluates exactly. *)
+
+open Import
+
+type hit = { index : int; id : string; distance : Bigint.t }
+
+type report = {
+  hits : hit array;
+  total : int;
+  evaluated : int;
+  pruned : int;
+}
+
+let prunable_spec (s : Protocol.spec) =
+  match s.Protocol.algo with `Erp -> false | `Dtw | `Dfd | `Euclidean -> true
+
+(* The coupling window the sketch must cover: Euclidean couples in
+   lockstep (band 0); DTW/DFD follow the spec's Sakoe–Chiba band (None =
+   any partner). *)
+let lb_band (s : Protocol.spec) =
+  match s.Protocol.algo with
+  | `Euclidean -> Some 0
+  | `Dtw | `Dfd -> s.Protocol.band
+  | `Erp -> assert false
+
+let confidence_factor (s : Protocol.spec) ~d ~m =
+  let dm = Bigint.of_int (d * m) in
+  match s.Protocol.algo with `Dfd -> Bigint.mul dm dm | _ -> dm
+
+let frame_widths ~segments ~length =
+  Array.init segments (fun i ->
+      Paa.frame_bounds ~segments ~length (i + 1)
+      - Paa.frame_bounds ~segments ~length i)
+
+(* Per-segment, per-dimension coordinate sums of the client's series —
+   the S_x side of the gap-sum statistic.  Plaintext: the client owns
+   this data. *)
+let segment_sums t ~segments =
+  let m = Client.client_length t in
+  let d = Array.length (Client.client_element t 0) in
+  let sums = Array.make_matrix segments d 0 in
+  for s = 0 to segments - 1 do
+    let a = Paa.frame_bounds ~segments ~length:m s
+    and b = Paa.frame_bounds ~segments ~length:m (s + 1) in
+    for i = a to b - 1 do
+      let e = Client.client_element t i in
+      for l = 0 to d - 1 do
+        sums.(s).(l) <- sums.(s).(l) + e.(l)
+      done
+    done
+  done;
+  sums
+
+(* One secure pruning round over [indices] (candidates of the client's
+   length) against threshold [tau] on the squared distance.  Returns
+   survive flags aligned with [indices]; conservatively all-true when
+   nothing can be discarded or the modulus is too small for the blinded
+   verdict. *)
+let prune_round t (s : Protocol.spec) ~segments ~tau ~indices =
+  let ni = Array.length indices in
+  let m = Client.client_length t in
+  let d = Array.length (Client.client_element t 0) in
+  let v = Client.max_value t in
+  let tau_g = Bigint.isqrt (Bigint.mul (confidence_factor s ~d ~m) tau) in
+  (* G never exceeds d*m*V, so a cut above it can discard nothing: skip
+     the round (and its traffic) entirely. *)
+  let g_max = Bigint.of_int (d * m * v) in
+  if Bigint.compare tau_g g_max >= 0 then Array.make ni true
+  else begin
+    let sketches = Client.query_submit t ~segments ~band:(lb_band s) ~indices in
+    let widths = frame_widths ~segments ~length:m in
+    let w_max = Array.fold_left Stdlib.max 1 widths in
+    let sums = segment_sums t ~segments in
+    (* Each 3-way max instance holds values in [0, 2*w_s*V] after the
+       public shift C_s = w_s*V; mask them under a session planned for
+       exactly that bound. *)
+    let aux =
+      Client.plan_aux_session t
+        ~value_bound:(Bigint.of_int ((2 * w_max * v) + 1))
+    in
+    (* Enc(C_s) once per segment; sharing it across candidates is safe
+       because the masking round re-randomizes every instance. *)
+    let enc_shift =
+      Array.init segments (fun si -> Client.encrypt_constant t (widths.(si) * v))
+    in
+    let per = segments * d in
+    let instances = Array.make (ni * per) [||] in
+    Array.iteri
+      (fun c (lo, hi) ->
+        for si = 0 to segments - 1 do
+          let w = widths.(si) in
+          let cs = w * v in
+          for l = 0 to d - 1 do
+            let idx = (si * d) + l in
+            let sx = sums.(si).(l) in
+            (* max(S_x - w*Hi, w*Lo - S_x, 0) + C_s, via the shared
+               shifted zero candidate Enc(C_s). *)
+            let a1 =
+              Client.add_plain_big t
+                (Client.scalar_mul t hi.(idx) (Bigint.of_int (-w)))
+                (Bigint.of_int (sx + cs))
+            in
+            let a2 =
+              Client.add_plain_big t
+                (Client.scalar_mul t lo.(idx) (Bigint.of_int w))
+                (Bigint.of_int (cs - sx))
+            in
+            instances.((c * per) + idx) <- [| a1; a2; enc_shift.(si) |]
+          done
+        done)
+      sketches;
+    let maxes =
+      Client.with_session t aux (fun () -> Client.secure_max_batch t instances)
+    in
+    (* Sum the per-(segment, dimension) maxima: Sigma_s d*C_s = d*m*V, so
+       the fold yields Enc(G + d*m*V); subtracting d*m*V + tau_G + 1
+       leaves the signed difference G - (tau_G + 1): negative iff the
+       candidate survives. *)
+    let cut = Bigint.add g_max (Bigint.succ tau_g) in
+    let diffs =
+      Array.init ni (fun c ->
+          let base = c * per in
+          let acc = ref maxes.(base) in
+          for j = 1 to per - 1 do
+            acc := Client.add t !acc maxes.(base + j)
+          done;
+          Client.add_plain_big t !acc (Bigint.neg cut))
+    in
+    let bound = Bigint.succ (Bigint.max g_max (Bigint.succ tau_g)) in
+    match Client.verdict_round t ~bound diffs with
+    | Some survive -> survive
+    | None -> Array.make ni true
+  end
+
+let check_segments ~segments ~m =
+  if segments < 1 || segments > m then
+    invalid_arg
+      (Printf.sprintf "Query: segments = %d outside [1, %d]" segments m)
+
+let default_segments m = Stdlib.min 8 m
+
+(* Exact stage: switch the active record and run the spec's driver. *)
+let eval_exact t runner evaluated index =
+  incr evaluated;
+  Client.select_record t index;
+  runner t
+
+let sort_hits hits =
+  Array.sort
+    (fun a b ->
+      match Bigint.compare a.distance b.distance with
+      | 0 -> Stdlib.compare a.index b.index
+      | c -> c)
+    hits;
+  hits
+
+let partition_candidates t (s : Protocol.spec) lengths =
+  let m = Client.client_length t in
+  let can_prune = prunable_spec s in
+  let prunable = ref [] and unprunable = ref [] in
+  Array.iteri
+    (fun i len ->
+      if can_prune && len = m then prunable := i :: !prunable
+      else unprunable := i :: !unprunable)
+    lengths;
+  (List.rev !prunable, List.rev !unprunable)
+
+let rec split_at n = function
+  | rest when n <= 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: tl ->
+    let taken, rest = split_at (n - 1) tl in
+    (x :: taken, rest)
+
+let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
+  if k <= 0 then invalid_arg "Query.top_k: k must be positive";
+  let runner = Protocol.runner_of_spec s in
+  Client.require_plan t s.Protocol.algo;
+  let m = Client.client_length t in
+  let segments =
+    match segments with
+    | None -> default_segments m
+    | Some s ->
+      check_segments ~segments:s ~m;
+      s
+  in
+  let ids, lengths = Client.catalog_list t in
+  let total = Array.length ids in
+  let prunable, unprunable = partition_candidates t s lengths in
+  let evaluated = ref 0 and pruned = ref 0 in
+  let results = ref [] in
+  let eval i =
+    results := (i, eval_exact t runner evaluated i) :: !results
+  in
+  (* Every unprunable candidate must be evaluated exactly anyway; their
+     distances double as threshold seeds. *)
+  List.iter eval unprunable;
+  (* Seed the threshold: exact runs on leading prunable candidates until
+     k distances are known. *)
+  let seeds, rest = split_at (k - List.length !results) prunable in
+  List.iter eval seeds;
+  (match rest with
+   | [] -> ()
+   | rest ->
+     (* rest nonempty implies the seeds filled the result set to >= k *)
+     let distances =
+       List.map snd !results |> List.sort Bigint.compare |> Array.of_list
+     in
+     let tau = distances.(k - 1) in
+     let indices = Array.of_list rest in
+     let survive = prune_round t s ~segments ~tau ~indices in
+     Array.iteri
+       (fun j i -> if survive.(j) then eval i else incr pruned)
+       indices);
+  let hits =
+    !results
+    |> List.map (fun (i, d) -> { index = i; id = ids.(i); distance = d })
+    |> Array.of_list |> sort_hits
+  in
+  let hits = Array.sub hits 0 (Stdlib.min k (Array.length hits)) in
+  { hits; total; evaluated = !evaluated; pruned = !pruned }
+
+let within ?segments ~spec:(s : Protocol.spec) ~radius t =
+  if Bigint.compare radius Bigint.zero < 0 then
+    invalid_arg "Query.within: radius must be non-negative";
+  let runner = Protocol.runner_of_spec s in
+  Client.require_plan t s.Protocol.algo;
+  let m = Client.client_length t in
+  let segments =
+    match segments with
+    | None -> default_segments m
+    | Some s ->
+      check_segments ~segments:s ~m;
+      s
+  in
+  let ids, lengths = Client.catalog_list t in
+  let total = Array.length ids in
+  let prunable, unprunable = partition_candidates t s lengths in
+  let evaluated = ref 0 and pruned = ref 0 in
+  let results = ref [] in
+  let eval i =
+    let d = eval_exact t runner evaluated i in
+    if Bigint.compare d radius <= 0 then results := (i, d) :: !results
+  in
+  List.iter eval unprunable;
+  (match prunable with
+   | [] -> ()
+   | prunable ->
+     let indices = Array.of_list prunable in
+     let survive = prune_round t s ~segments ~tau:radius ~indices in
+     Array.iteri
+       (fun j i -> if survive.(j) then eval i else incr pruned)
+       indices);
+  let hits =
+    !results
+    |> List.map (fun (i, d) -> { index = i; id = ids.(i); distance = d })
+    |> Array.of_list |> sort_hits
+  in
+  { hits; total; evaluated = !evaluated; pruned = !pruned }
+
+(* In-process conveniences, mirroring [Protocol.run]: stand up a
+   store-backed server on a loopback channel and drive a query against
+   it. *)
+
+let with_query_session ~(s : Protocol.spec) ?(params = Params.default) ?seed
+    ?max_value ?decryption ?offline ?(jobs = 1) ~x ~store f =
+  let rng_of suffix =
+    match seed with
+    | Some s -> Secure_rng.of_seed_string (s ^ "/" ^ suffix)
+    | None -> Secure_rng.system ()
+  in
+  let server_rng = rng_of "server" and client_rng = rng_of "client" in
+  let bound =
+    match max_value with
+    | Some v -> v
+    | None ->
+      Stdlib.max 1 (Stdlib.max (Series.max_abs_value x) (Store.max_abs_value store))
+  in
+  let workers = Parallel.create jobs in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown workers)
+    (fun () ->
+      let server =
+        Server.of_store ~params ?decryption ~workers ~rng:server_rng ~store
+          ~max_value:bound ()
+      in
+      let channel = Channel.local (Server.handle server) in
+      let client =
+        Client.connect ~params ?offline ~packing:s.Protocol.packing ~query:true
+          ~workers ~rng:client_rng ~series:x ~max_value:bound
+          ~distance:s.Protocol.algo channel
+      in
+      let result = f client in
+      Client.finish client;
+      (result, Channel.stats channel))
+
+let run_top_k ~spec ?segments ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~k ~x ~store () =
+  with_query_session ~s:spec ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~x ~store (fun client -> top_k ?segments ~spec ~k client)
+
+let run_within ~spec ?segments ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~radius ~x ~store () =
+  with_query_session ~s:spec ?params ?seed ?max_value ?decryption ?offline
+    ?jobs ~x ~store (fun client -> within ?segments ~spec ~radius client)

@@ -1,0 +1,107 @@
+(** Secure 1-vs-N catalog search: query-centric entry points over a
+    server-side series store.
+
+    Where {!Protocol.run} compares one client series against one server
+    series, a query compares it against {e every} record of a server
+    catalog — with a privacy-preserving pruning stage so most candidates
+    never pay the quadratic exact protocol:
+
+    + {b Stage 1 (pruning).}  For each candidate of the query's length,
+      the server ships an encrypted per-segment sketch of the record's
+      coupling-window extremes ({!Lower_bound.segment_bounds}).  The
+      client assembles, per segment and dimension, a three-way secure
+      maximum [max(S_x - w*Hi, w*Lo - S_x, 0)] (shifted to stay
+      non-negative), sums the maxima homomorphically into the encrypted
+      gap statistic [Enc(G)] ({!Lower_bound.gap_sum} under encryption),
+      and a blinded sign test against the threshold discards candidates
+      with [G >= tau_G + 1] where [tau_G = isqrt(c_f * tau)].  Since the
+      true squared distance satisfies [D >= G^2 / c_f] (with
+      [c_f = d*m] for DTW / banded DTW / Euclidean and [(d*m)^2] for
+      DFD), a discarded candidate provably has [D > tau]: pruning never
+      changes the result ({e no false dismissals}).
+    + {b Stage 2 (exact).}  Survivors — plus every candidate the bound
+      does not cover (ERP, length mismatches) — run the exact secure
+      protocol of the query's {!Protocol.spec}, one
+      {!Client.select_record} switch per candidate.
+
+    The leakage of the extra stage is one survive/discard bit per
+    candidate on the server side and nothing on the client side beyond
+    the exactly-evaluated distances; see SECURITY.md for the analysis
+    and PROTOCOL.md section 12 for the wire messages.
+
+    Requires a catalog-capable session: connect with [~query:true]
+    ({!Client.connect}) to a server that grants
+    {!Message.flag_catalog}.  The convenience wrappers {!run_top_k} and
+    {!run_within} stand up both parties in-process, like
+    {!Protocol.run}. *)
+
+open Import
+
+type hit = {
+  index : int;  (** catalog position, as used by {!Client.select_record} *)
+  id : string;  (** the record's catalog id *)
+  distance : Bigint.t;  (** exact secure distance (squared, as always) *)
+}
+
+type report = {
+  hits : hit array;  (** ascending distance, ties by index *)
+  total : int;  (** catalog size *)
+  evaluated : int;  (** exact protocol runs paid *)
+  pruned : int;  (** candidates discarded by the secure lower bound *)
+}
+
+val top_k : ?segments:int -> spec:Protocol.spec -> k:int -> Client.t -> report
+(** The [k] nearest catalog records to the client's series under the
+    spec's distance.  Exact protocol runs are paid for every
+    non-prunable candidate, the first seeds needed to establish the
+    threshold, and every pruning survivor; [hits] is bit-identical to
+    the exhaustive scan's [k] best (ascending distance, ties by index).
+    [segments] (default [min 8 m]) sizes the sketch; more segments
+    prune harder but cost more per candidate.
+    @raise Invalid_argument if [k <= 0], [segments] is outside
+    [\[1, m\]], or the spec is inconsistent ({!Protocol.run}'s rules).
+    @raise Channel.Protocol_error without the catalog capability. *)
+
+val within :
+  ?segments:int -> spec:Protocol.spec -> radius:Bigint.t -> Client.t -> report
+(** Every catalog record within squared distance [radius] of the
+    client's series.  One pruning round over all equal-length
+    candidates with [tau = radius], then exact runs on the rest.
+    @raise Invalid_argument on a negative radius (and as {!top_k}). *)
+
+(** {1 In-process conveniences} *)
+
+val run_top_k :
+  spec:Protocol.spec ->
+  ?segments:int ->
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?jobs:int ->
+  k:int ->
+  x:Series.t ->
+  store:Store.t ->
+  unit ->
+  report * Stats.t
+(** Stand up a store-backed {!Server} on a loopback channel, connect a
+    catalog-capable client for [x], and run {!top_k}.  Options as
+    {!Protocol.run}; [max_value] defaults to the larger of the two
+    sides' actual coordinate bounds.  Also returns the channel's wire
+    accounting. *)
+
+val run_within :
+  spec:Protocol.spec ->
+  ?segments:int ->
+  ?params:Params.t ->
+  ?seed:string ->
+  ?max_value:int ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?offline:bool ->
+  ?jobs:int ->
+  radius:Bigint.t ->
+  x:Series.t ->
+  store:Store.t ->
+  unit ->
+  report * Stats.t

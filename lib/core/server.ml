@@ -2,6 +2,7 @@ open Import
 
 type t = {
   records : Series.t array;
+  ids : string array;
   mutable selected : int;
   sk : Paillier.private_key;
   rng : Secure_rng.t;
@@ -30,7 +31,7 @@ let check_bounds series max_value =
   done
 
 let create_db_with_key ?(decryption = `Standard) ?(workers = Parallel.sequential)
-    ?max_reveals ~sk ~rng ~records ~max_value () =
+    ?max_reveals ?ids ~sk ~rng ~records ~max_value () =
   if Array.length records = 0 then invalid_arg "Server: empty record set";
   let dim = Series.dimension records.(0) in
   Array.iter
@@ -39,6 +40,14 @@ let create_db_with_key ?(decryption = `Standard) ?(workers = Parallel.sequential
         invalid_arg "Server: records have differing dimensions";
       check_bounds series max_value)
     records;
+  let ids =
+    match ids with
+    | None -> Array.init (Array.length records) string_of_int
+    | Some ids ->
+      if Array.length ids <> Array.length records then
+        invalid_arg "Server: ids and records length mismatch";
+      ids
+  in
   let decrypt =
     match decryption with
     | `Standard -> Paillier.decrypt
@@ -50,6 +59,7 @@ let create_db_with_key ?(decryption = `Standard) ?(workers = Parallel.sequential
    | _ -> ());
   {
     records;
+    ids;
     selected = 0;
     sk;
     rng;
@@ -67,10 +77,19 @@ let create_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~series ~max_valu
   create_db_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~records:[| series |]
     ~max_value ()
 
-let create_db ?(params = Params.default) ?decryption ?workers ?max_reveals ~rng
+let create_db ?(params = Params.default) ?decryption ?workers ?max_reveals ?ids ~rng
     ~records ~max_value () =
   let _pk, sk = Paillier.keygen ~bits:params.Params.key_bits rng in
-  create_db_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~records ~max_value ()
+  create_db_with_key ?decryption ?workers ?max_reveals ?ids ~sk ~rng ~records
+    ~max_value ()
+
+let of_store ?params ?decryption ?workers ?max_reveals ~rng ~store ~max_value () =
+  create_db ?params ?decryption ?workers ?max_reveals ~ids:(Store.ids store) ~rng
+    ~records:(Store.records store) ~max_value ()
+
+let of_store_with_key ?decryption ?workers ?max_reveals ~sk ~rng ~store ~max_value () =
+  create_db_with_key ?decryption ?workers ?max_reveals ~ids:(Store.ids store) ~sk ~rng
+    ~records:(Store.records store) ~max_value ()
 
 let create ?params ?decryption ?workers ?max_reveals ~rng ~series ~max_value () =
   create_db ?params ?decryption ?workers ?max_reveals ~rng ~records:[| series |]
@@ -245,6 +264,70 @@ let select_extreme_packed t ~better ~slot_bits ~counts ~(packed : Bigint.t array
     in
     Message.Batch_cipher_reply (Array.map Paillier.ciphertext_to_bigint encs)
 
+(* Catalog extension: encrypted pruning sketches.  For each requested
+   record the per-segment coupling-window extremes
+   (Lower_bound.segment_bounds) are encrypted coordinate-wise —
+   candidate-major, all Lo (segment-major, dimension-minor) then all Hi
+   — as one flat batch, so the rng stream matches a sequential loop and
+   the encryptions fan out across the worker pool. *)
+let query_sketches t ~segments ~band ~indices =
+  let nrec = Array.length t.records in
+  if Array.length indices = 0 then raise (Bad_candidates "empty candidate set");
+  if segments <= 0 then raise (Bad_candidates "segments must be positive");
+  (match band with
+  | Some b when b < 0 -> raise (Bad_candidates "negative band")
+  | _ -> ());
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= nrec then
+        raise (Bad_candidates (Printf.sprintf "record %d out of range [0, %d)" i nrec));
+      if segments > Series.length t.records.(i) then
+        raise
+          (Bad_candidates
+             (Printf.sprintf "%d segments exceed record %d length %d" segments i
+                (Series.length t.records.(i)))))
+    indices;
+  let d = Series.dimension t.records.(0) in
+  let per = segments * d in
+  let plains = Array.make (Array.length indices * 2 * per) Bigint.zero in
+  Array.iteri
+    (fun c i ->
+      let lo, hi = Lower_bound.segment_bounds ~segments ~band t.records.(i) in
+      for s = 0 to segments - 1 do
+        for l = 0 to d - 1 do
+          plains.((c * 2 * per) + (s * d) + l) <- Bigint.of_int lo.(s).(l);
+          plains.((c * 2 * per) + per + (s * d) + l) <- Bigint.of_int hi.(s).(l)
+        done
+      done)
+    indices;
+  t.ops.encryptions <- t.ops.encryptions + Array.length plains;
+  let encs = Paillier.encrypt_batch_sk ~workers:t.workers t.sk t.rng plains in
+  Array.init (Array.length indices) (fun c ->
+      {
+        Message.lo =
+          Array.init per (fun j ->
+              Paillier.ciphertext_to_bigint encs.((c * 2 * per) + j));
+        hi =
+          Array.init per (fun j ->
+              Paillier.ciphertext_to_bigint encs.((c * 2 * per) + per + j));
+      })
+
+(* Catalog extension: the verdict round.  Each candidate arrives as a
+   multiplicatively blinded threshold difference Enc(ρ·(G - τ_G - 1) + μ);
+   only the sign of the plaintext (encoded as wrap-around past n/2) is
+   disclosed — survive when negative, prune when non-negative. *)
+let verdicts t (blinded : Bigint.t array) =
+  if Array.length blinded = 0 then raise (Bad_candidates "empty verdict set");
+  let pk = public_key t in
+  let cs =
+    match Array.map (Paillier.validate_ciphertext pk) blinded with
+    | cs -> cs
+    | exception Paillier.Invalid_ciphertext m -> raise (Bad_candidates m)
+  in
+  let plains = decrypt_batch t cs in
+  let half = Bigint.shift_right pk.Paillier.n 1 in
+  Array.map (fun p -> Bigint.compare p half > 0) plains
+
 let handle t (req : Message.request) : Message.reply =
   let pk = public_key t in
   match req with
@@ -252,8 +335,8 @@ let handle t (req : Message.request) : Message.reply =
     (* the core handler grants no *transport* capabilities: flag
        negotiation (CRC, resume) belongs to the serving loop, which
        rewrites this Welcome with its grant and token (Server_loop).
-       Packing is an application capability, so it is granted here and
-       preserved by the loop's rewrite. *)
+       Packing and catalog search are application capabilities, so they
+       are granted here and preserved by the loop's rewrite. *)
     Message.Welcome
       {
         n = pk.Paillier.n;
@@ -261,11 +344,22 @@ let handle t (req : Message.request) : Message.reply =
         series_length = Series.length (active_series t);
         dimension = Series.dimension (active_series t);
         max_value = t.max_value;
-        flags = flags land Message.flag_packing;
+        flags = flags land (Message.flag_packing lor Message.flag_catalog);
         resume_token = "";
       }
   | Message.Catalog_request ->
     Message.Catalog_reply (Array.map Series.length t.records)
+  | Message.Catalog_list_request ->
+    Message.Catalog_list_reply
+      { ids = Array.copy t.ids; lengths = Array.map Series.length t.records }
+  | Message.Query_submit { segments; band; indices } -> (
+    match query_sketches t ~segments ~band ~indices with
+    | sketches -> Message.Query_sketch sketches
+    | exception Bad_candidates m -> Message.Error_reply m)
+  | Message.Verdict_request blinded -> (
+    match verdicts t blinded with
+    | survive -> Message.Verdict_reply survive
+    | exception Bad_candidates m -> Message.Error_reply m)
   | Message.Select_request i ->
     if i < 0 || i >= Array.length t.records then
       Message.Error_reply

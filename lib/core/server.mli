@@ -69,21 +69,49 @@ val create_db :
   ?decryption:[ `Standard | `Crt ] ->
   ?workers:Parallel.t ->
   ?max_reveals:int ->
+  ?ids:string array ->
   rng:Secure_rng.t ->
   records:Series.t array ->
   max_value:int ->
   unit ->
   t
-(** @raise Invalid_argument on an empty record set, mixed dimensions, or
-    out-of-bound coordinates. *)
+(** [ids] names the records for [Catalog_list_request] enumeration
+    (default ["0"], ["1"], ...); must match [records] in length.
+    @raise Invalid_argument on an empty record set, mixed dimensions,
+    out-of-bound coordinates, or an ids length mismatch. *)
 
 val create_db_with_key :
   ?decryption:[ `Standard | `Crt ] ->
   ?workers:Parallel.t ->
   ?max_reveals:int ->
+  ?ids:string array ->
   sk:Paillier.private_key ->
   rng:Secure_rng.t ->
   records:Series.t array ->
+  max_value:int ->
+  unit ->
+  t
+
+val of_store :
+  ?params:Params.t ->
+  ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
+  ?max_reveals:int ->
+  rng:Secure_rng.t ->
+  store:Store.t ->
+  max_value:int ->
+  unit ->
+  t
+(** Stand up a catalog server over a {!Store}: records and ids are the
+    store's, in store order. *)
+
+val of_store_with_key :
+  ?decryption:[ `Standard | `Crt ] ->
+  ?workers:Parallel.t ->
+  ?max_reveals:int ->
+  sk:Paillier.private_key ->
+  rng:Secure_rng.t ->
+  store:Store.t ->
   max_value:int ->
   unit ->
   t

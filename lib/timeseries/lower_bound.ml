@@ -36,6 +36,61 @@ let lb_keogh ~band x y =
   done;
   !acc
 
+(* Y-window coupled to the X-segment [a, b): under a Sakoe–Chiba band of
+   radius [r] every warping partner of an index in [a, b) lies within
+   [a - r, b - 1 + r]; without a band the whole series is reachable. *)
+let window ~band ~length a b =
+  match band with
+  | None -> (0, length - 1)
+  | Some r ->
+    if r < 0 then invalid_arg "Lower_bound.segment_bounds: negative band";
+    (Stdlib.max 0 (a - r), Stdlib.min (length - 1) (b - 1 + r))
+
+let segment_bounds ~segments ~band series =
+  let n = Series.length series in
+  if segments <= 0 || segments > n then
+    invalid_arg "Lower_bound.segment_bounds: segments must be in [1, length]";
+  let d = Series.dimension series in
+  let lo = Array.init segments (fun _ -> Array.make d max_int) in
+  let hi = Array.init segments (fun _ -> Array.make d min_int) in
+  for s = 0 to segments - 1 do
+    let a = Paa.frame_bounds ~segments ~length:n s in
+    let b = Paa.frame_bounds ~segments ~length:n (s + 1) in
+    let wa, wb = window ~band ~length:n a b in
+    for j = wa to wb do
+      let p = Series.get series j in
+      for l = 0 to d - 1 do
+        if p.(l) < lo.(s).(l) then lo.(s).(l) <- p.(l);
+        if p.(l) > hi.(s).(l) then hi.(s).(l) <- p.(l)
+      done
+    done
+  done;
+  (lo, hi)
+
+let gap_sum ~segments ~band x y =
+  if Series.length x <> Series.length y then
+    invalid_arg "Lower_bound.gap_sum: series lengths differ";
+  if Series.dimension x <> Series.dimension y then
+    invalid_arg "Lower_bound.gap_sum: series dimensions differ";
+  let n = Series.length x and d = Series.dimension x in
+  let lo, hi = segment_bounds ~segments ~band y in
+  let acc = ref 0 in
+  for s = 0 to segments - 1 do
+    let a = Paa.frame_bounds ~segments ~length:n s in
+    let b = Paa.frame_bounds ~segments ~length:n (s + 1) in
+    let w = b - a in
+    for l = 0 to d - 1 do
+      let sum = ref 0 in
+      for i = a to b - 1 do
+        sum := !sum + (Series.get x i).(l)
+      done;
+      let over = !sum - (w * hi.(s).(l)) in
+      let under = (w * lo.(s).(l)) - !sum in
+      acc := !acc + Stdlib.max 0 (Stdlib.max over under)
+    done
+  done;
+  !acc
+
 let prune ~band ~radius ~query database =
   let candidates = ref [] in
   for i = Array.length database - 1 downto 0 do

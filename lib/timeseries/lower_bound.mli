@@ -26,6 +26,36 @@ val lb_keogh : band:int -> Series.t -> Series.t -> int
     With [band = 0] it degenerates to the squared Euclidean distance.
     @raise Invalid_argument on length/dimension mismatch. *)
 
+val segment_bounds :
+  segments:int -> band:int option -> Series.t -> int array array * int array array
+(** [(lo, hi)] per-segment, per-dimension extremes of [series] over the
+    coupling window of each query segment: segment [s] covers query
+    positions [\[Paa.frame_bounds s, Paa.frame_bounds (s+1))], and its
+    window in [series] widens that range by [band] on each side
+    ([band = None] means the whole series — unbanded DTW/DFD;
+    [band = Some 0] means lockstep — Euclidean).  [lo.(s).(l)] /
+    [hi.(s).(l)] bound coordinate [l] of every possible coupling partner
+    of segment [s].  Works for any dimension.  This is the multi-segment
+    generalization of {!envelope}, and the sketch the catalog server
+    ships (encrypted) for secure pruning.
+    @raise Invalid_argument if [segments] is outside [\[1, length\]] or
+    [band] is negative. *)
+
+val gap_sum : segments:int -> band:int option -> Series.t -> Series.t -> int
+(** [gap_sum ~segments ~band x y] — the plaintext gap-sum lower-bound
+    statistic [G = Σ_{s,l} max(S_x - w·Hi, w·Lo - S_x, 0)] where [S_x]
+    sums coordinate [l] of [x] over segment [s], [w] is the segment
+    width, and [Lo]/[Hi] come from [segment_bounds ~segments ~band y].
+    Soundness (no false dismissals): for equal-length series,
+    [dtw_sq_banded ~band x y ≥ G² / (d·m)] (likewise unbanded DTW and
+    Euclidean, each with their own coupling window), and
+    [dfd_sq ≥ (G / (d·m))²] — every warping path couples each [x_i]
+    with a partner inside its segment window, the per-pair deviation is
+    at least the one-sided segment gap, and Cauchy–Schwarz turns the
+    absolute-deviation sum into a squared-cost bound.  The secure
+    pruning round computes exactly this [G] under encryption.
+    @raise Invalid_argument on length/dimension mismatch. *)
+
 val prune :
   band:int -> radius:int -> query:Series.t -> Series.t array -> int list
 (** Indices of database entries whose lower bound does not exceed

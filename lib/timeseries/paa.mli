@@ -10,6 +10,13 @@
     before the secure protocol runs on the shortlist) and general
     time-series tooling. *)
 
+val frame_bounds : segments:int -> length:int -> int -> int
+(** [frame_bounds ~segments ~length i = i * length / segments] — the start
+    index of frame [i]; frame [i] covers positions
+    [\[frame_bounds i, frame_bounds (i+1))].  Exposed because the secure
+    catalog-pruning round needs client and server to agree on the exact
+    segmentation rule. *)
+
 val paa : segments:int -> Series.Fseries.t -> float array
 (** Frame means of a 1-dimensional float series.  Frames differ by at
     most one element in width when the length is not divisible.

@@ -32,6 +32,8 @@ type verdict =
 type t = {
   limits : limits;
   mutable declared_len : int option;  (* from the Hello spec, if any *)
+  mutable declared_dim : int option;
+  mutable query_cells : int option;  (* open catalog-query allowance *)
   mutable cells_spent_min : int;  (* cumulative extreme instances, per kind *)
   mutable cells_spent_max : int;
   mutable bytes_spent : int;
@@ -42,6 +44,8 @@ let create limits =
   {
     limits;
     declared_len = None;
+    declared_dim = None;
+    query_cells = None;
     cells_spent_min = 0;
     cells_spent_max = 0;
     bytes_spent = 0;
@@ -75,15 +79,38 @@ let declare t ~(spec : Message.spec) ~server_len =
   match check "cells" t.limits.max_cells cells with
   | Admit ->
     t.declared_len <- Some spec.series_len;
+    t.declared_dim <- Some spec.dimension;
     Admit
   | r -> r
 
 (* Re-plan after [Select_request]: the cell ledger restarts against the
    newly active record (a catalog scan evaluates one matrix per record,
-   not one giant cumulative matrix). *)
+   not one giant cumulative matrix).  Any open catalog-query allowance
+   closes too — the per-survivor exact stage is billed per record. *)
 let reselect t =
   t.cells_spent_min <- 0;
-  t.cells_spent_max <- 0
+  t.cells_spent_max <- 0;
+  t.query_cells <- None
+
+(* Admission at Query_submit time: a catalog pruning round spends one
+   extreme instance per (candidate, segment, dimension) plus one verdict
+   decryption per candidate — all public quantities.  The total is
+   checked against the cell budget, then recorded as the open allowance
+   that later charge_cells calls are held to (instead of the pairwise
+   declared m*n budget, which does not describe a 1-vs-N round). *)
+let declare_query t ~candidates ~segments =
+  if candidates <= 0 || segments <= 0 then
+    Reject { quota = "cells"; limit = 0; requested = candidates * segments }
+  else
+    let dim = match t.declared_dim with Some d -> d | None -> 1 in
+    let cells = candidates * ((segments * dim) + 1) in
+    match check "cells" t.limits.max_cells cells with
+    | Admit ->
+      t.cells_spent_min <- 0;
+      t.cells_spent_max <- 0;
+      t.query_cells <- Some cells;
+      Admit
+    | r -> r
 
 (* Per-frame byte/frame budgets, charged before the codec runs. *)
 let charge_frame t ~bytes =
@@ -111,9 +138,15 @@ let charge_cells t ~kind ~count ~server_len =
   in
   check "cells" t.limits.max_cells spent
   &&& fun () ->
-  match t.declared_len with
-  | None -> Admit
-  | Some m -> check "cells" (Some (m * server_len)) spent
+  match t.query_cells with
+  | Some allowance ->
+    (* inside a declared catalog query: hold the spend to the declared
+       query allowance, not the pairwise m*n budget *)
+    check "cells" (Some allowance) spent
+  | None -> (
+    match t.declared_len with
+    | None -> Admit
+    | Some m -> check "cells" (Some (m * server_len)) spent)
 
 (* Cells implied by a decoded request, before any crypto runs. *)
 let cells_of_request (req : Message.request) =
@@ -124,8 +157,11 @@ let cells_of_request (req : Message.request) =
   | Batch_max_request sets -> Some (`Max, Array.length sets)
   | Packed_min_request { counts; _ } -> Some (`Min, Array.length counts)
   | Packed_max_request { counts; _ } -> Some (`Max, Array.length counts)
+  (* each verdict is one decryption — priced like a min instance *)
+  | Verdict_request blinded -> Some (`Min, Array.length blinded)
   | Hello _ | Phase1_request | Reveal_request _ | Catalog_request
-  | Select_request _ | Stats_req | Bye | Resume _ | Health_req -> None
+  | Select_request _ | Stats_req | Bye | Resume _ | Health_req
+  | Catalog_list_request | Query_submit _ -> None
 
 let to_reply = function
   | Admit -> None

@@ -50,7 +50,19 @@ val declare : t -> spec:Message.spec -> server_len:int -> verdict
 
 val reselect : t -> unit
 (** Reset the cell ledger after [Select_request]: a catalog scan
-    evaluates one matrix per record, not one cumulative matrix. *)
+    evaluates one matrix per record, not one cumulative matrix.  Also
+    closes any open catalog-query allowance ({!declare_query}) — the
+    per-survivor exact stage is billed per record again. *)
+
+val declare_query : t -> candidates:int -> segments:int -> verdict
+(** Admission at [Query_submit] time: a catalog pruning round over
+    [candidates] records and [segments] query segments spends
+    [candidates * (segments * dim + 1)] cells (one extreme instance per
+    candidate-segment-dimension plus one verdict decryption per
+    candidate, with [dim] from the Hello spec, defaulting to 1).  On
+    [Admit] the cell ledger restarts and that total becomes the open
+    allowance later {!charge_cells} calls are held to, replacing the
+    pairwise declared [m * n] budget for the duration of the query. *)
 
 val charge_frame : t -> bytes:int -> verdict
 (** Charge one request frame of [bytes] against the byte/frame budgets.

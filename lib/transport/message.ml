@@ -18,8 +18,12 @@ type request =
   | Bye
   | Resume of { token : string; client_rounds : int; flags : int }
   | Health_req
+  | Catalog_list_request
+  | Query_submit of { segments : int; band : int option; indices : int array }
+  | Verdict_request of Bigint.t array
 
 type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
+type sketch = { lo : Bigint.t array; hi : Bigint.t array }
 
 type reply =
   | Welcome of {
@@ -50,6 +54,9 @@ type reply =
       capacity : int;
       retry_after_s : float;
     }
+  | Catalog_list_reply of { ids : string array; lengths : int array }
+  | Query_sketch of sketch array
+  | Verdict_reply of bool array
 
 type t = Request of request | Reply of reply
 
@@ -69,6 +76,9 @@ let tag_resume = 0x0c
 let tag_health_request = 0x0d
 let tag_packed_min_request = 0x0e
 let tag_packed_max_request = 0x0f
+let tag_catalog_list_request = 0x10
+let tag_query_submit = 0x11
+let tag_verdict_request = 0x12
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -84,6 +94,9 @@ let tag_resume_reject = 0x8c
 let tag_quota_exceeded = 0x8d
 let tag_busy = 0x8e
 let tag_health_reply = 0x8f
+let tag_catalog_list_reply = 0x90
+let tag_query_sketch = 0x91
+let tag_verdict_reply = 0x92
 
 (* Capability bits carried in [Hello.flags] (the client's offer) and
    echoed back in [Welcome.flags] (the server's grant = offer AND
@@ -105,6 +118,14 @@ let flag_spec = 0x04
    the candidates are the same masked quantities the unpacked frames
    carry (SECURITY.md s.Packing). *)
 let flag_packing = 0x08
+
+(* [flag_catalog] grants the 1-vs-N catalog extension: catalog-list
+   (id+length enumeration), query-submit (encrypted per-segment
+   lower-bound sketches of the selected candidates) and the blinded
+   candidate-verdict round.  Like [flag_packing] this is a pure
+   capability — a flags-0 session never sees the new tags and its
+   transcript stays byte-identical. *)
+let flag_catalog = 0x10
 
 let encode t =
   let w = Wire.writer () in
@@ -159,6 +180,17 @@ let encode t =
      Wire.put_bigint_array w packed
    | Request Stats_req -> Wire.put_u8 w tag_stats_request
    | Request Health_req -> Wire.put_u8 w tag_health_request
+   | Request Catalog_list_request -> Wire.put_u8 w tag_catalog_list_request
+   | Request (Query_submit { segments; band; indices }) ->
+     Wire.put_u8 w tag_query_submit;
+     Wire.put_u32 w segments;
+     (* band + 1, so 0 encodes "unbanded" *)
+     Wire.put_u32 w (match band with None -> 0 | Some b -> b + 1);
+     Wire.put_u32 w (Array.length indices);
+     Array.iter (Wire.put_u32 w) indices
+   | Request (Verdict_request blinded) ->
+     Wire.put_u8 w tag_verdict_request;
+     Wire.put_bigint_array w blinded
    | Request Bye -> Wire.put_u8 w tag_bye
    | Request (Resume { token; client_rounds; flags }) ->
      Wire.put_u8 w tag_resume;
@@ -232,7 +264,24 @@ let encode t =
      Wire.put_u8 w status;
      Wire.put_u32 w active;
      Wire.put_u32 w capacity;
-     Wire.put_f64 w retry_after_s);
+     Wire.put_f64 w retry_after_s
+   | Reply (Catalog_list_reply { ids; lengths }) ->
+     Wire.put_u8 w tag_catalog_list_reply;
+     Wire.put_u32 w (Array.length ids);
+     Array.iter (Wire.put_bytes w) ids;
+     Array.iter (Wire.put_u32 w) lengths
+   | Reply (Query_sketch sketches) ->
+     Wire.put_u8 w tag_query_sketch;
+     Wire.put_u32 w (Array.length sketches);
+     Array.iter
+       (fun { lo; hi } ->
+         Wire.put_bigint_array w lo;
+         Wire.put_bigint_array w hi)
+       sketches
+   | Reply (Verdict_reply survive) ->
+     Wire.put_u8 w tag_verdict_reply;
+     Wire.put_u32 w (Array.length survive);
+     Array.iter (fun b -> Wire.put_u8 w (if b then 1 else 0)) survive);
   Wire.contents w
 
 let decode s =
@@ -278,6 +327,18 @@ let decode s =
     end
     else if tag = tag_stats_request then Request Stats_req
     else if tag = tag_health_request then Request Health_req
+    else if tag = tag_catalog_list_request then Request Catalog_list_request
+    else if tag = tag_query_submit then begin
+      let segments = Wire.get_u32 r in
+      let band = match Wire.get_u32 r with 0 -> None | b -> Some (b - 1) in
+      let count = Wire.get_u32 r in
+      if count * 4 > String.length s then
+        raise (Wire.Malformed "query index count exceeds frame capacity");
+      let indices = Array.init count (fun _ -> Wire.get_u32 r) in
+      Request (Query_submit { segments; band; indices })
+    end
+    else if tag = tag_verdict_request then
+      Request (Verdict_request (Wire.get_bigint_array r))
     else if tag = tag_bye then Request Bye
     else if tag = tag_resume then begin
       let token = Wire.get_bytes r in
@@ -347,6 +408,32 @@ let decode s =
       let retry_after_s = Wire.get_f64 r in
       Reply (Health_reply { status; active; capacity; retry_after_s })
     end
+    else if tag = tag_catalog_list_reply then begin
+      let count = Wire.get_u32 r in
+      if count * 5 > String.length s then
+        raise (Wire.Malformed "catalog-list count exceeds frame capacity");
+      let ids = Array.init count (fun _ -> Wire.get_bytes r) in
+      let lengths = Array.init count (fun _ -> Wire.get_u32 r) in
+      Reply (Catalog_list_reply { ids; lengths })
+    end
+    else if tag = tag_query_sketch then begin
+      let count = Wire.get_u32 r in
+      if count * 8 > String.length s then
+        raise (Wire.Malformed "sketch count exceeds frame capacity");
+      let sketches =
+        Array.init count (fun _ ->
+            let lo = Wire.get_bigint_array r in
+            let hi = Wire.get_bigint_array r in
+            { lo; hi })
+      in
+      Reply (Query_sketch sketches)
+    end
+    else if tag = tag_verdict_reply then begin
+      let count = Wire.get_u32 r in
+      if count > String.length s then
+        raise (Wire.Malformed "verdict count exceeds frame capacity");
+      Reply (Verdict_reply (Array.init count (fun _ -> Wire.get_u8 r <> 0)))
+    end
     else if tag = tag_error_reply then Reply (Error_reply (Wire.get_bytes r))
     else raise (Wire.Malformed (Printf.sprintf "unknown message tag 0x%02x" tag))
   in
@@ -379,6 +466,13 @@ let describe = function
       (Array.length counts) (Array.length packed) slot_bits
   | Request Stats_req -> "stats-request"
   | Request Health_req -> "health-request"
+  | Request Catalog_list_request -> "catalog-list-request"
+  | Request (Query_submit { segments; band; indices }) ->
+    Printf.sprintf "query-submit(%d candidates, %d segments, band=%s)"
+      (Array.length indices) segments
+      (match band with None -> "none" | Some b -> string_of_int b)
+  | Request (Verdict_request blinded) ->
+    Printf.sprintf "verdict-request(%d candidates)" (Array.length blinded)
   | Request Bye -> "bye"
   | Request (Resume { client_rounds; flags; _ }) ->
     Printf.sprintf "resume(acked=%d, flags=0x%02x)" client_rounds flags
@@ -408,11 +502,18 @@ let describe = function
   | Reply (Health_reply { status; active; capacity; retry_after_s }) ->
     Printf.sprintf "health-reply(status=%d, active=%d/%d, retry-after=%.1fs)"
       status active capacity retry_after_s
+  | Reply (Catalog_list_reply { ids; _ }) ->
+    Printf.sprintf "catalog-list-reply(%d records)" (Array.length ids)
+  | Reply (Query_sketch sketches) ->
+    Printf.sprintf "query-sketch(%d candidates)" (Array.length sketches)
+  | Reply (Verdict_reply survive) ->
+    Printf.sprintf "verdict-reply(%d candidates)" (Array.length survive)
 
 let values_in = function
   | Request (Hello _) | Request Phase1_request | Request Bye | Request Stats_req
-  | Request Health_req
+  | Request Health_req | Request Catalog_list_request | Request (Query_submit _)
   | Request Catalog_request | Request (Select_request _) | Request (Resume _) -> 0
+  | Request (Verdict_request blinded) -> Array.length blinded
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
     Array.fold_left (fun acc set -> acc + Array.length set) 0 sets
@@ -422,7 +523,12 @@ let values_in = function
   | Reply (Welcome _) | Reply (Bye_ack _) | Reply (Busy _) | Reply (Error_reply _)
   | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _)
   | Reply (Resume_ack _) | Reply (Resume_reject _)
-  | Reply (Quota_exceeded _) | Reply (Health_reply _) -> 0
+  | Reply (Quota_exceeded _) | Reply (Health_reply _)
+  | Reply (Catalog_list_reply _) | Reply (Verdict_reply _) -> 0
+  | Reply (Query_sketch sketches) ->
+    Array.fold_left
+      (fun acc { lo; hi } -> acc + Array.length lo + Array.length hi)
+      0 sketches
   | Reply (Phase1_reply elements) ->
     Array.fold_left (fun acc e -> acc + 1 + Array.length e.coords) 0 elements
   | Reply (Cipher_reply _) | Reply (Reveal_reply _) -> 1

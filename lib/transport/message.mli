@@ -82,11 +82,43 @@ type request =
           is served even at capacity, under load shed and on
           rate-limited connections — an operator or load balancer can
           always tell a saturated server from a dead one. *)
+  | Catalog_list_request
+      (** Catalog extension (tag [0x10], requires granted
+          {!flag_catalog}): enumerate the server's record store — ids
+          and lengths.  Both are public metadata in the catalog model
+          (the store admits by id; lengths were already disclosed by
+          [Catalog_reply]). *)
+  | Query_submit of { segments : int; band : int option; indices : int array }
+      (** Catalog extension (tag [0x11]): open a pruning round over the
+          records at [indices].  The server answers with a
+          [Query_sketch]: for each candidate, encryptions of its
+          per-segment, per-dimension coupling-window extremes
+          ([Lower_bound.segment_bounds ~segments ~band]), from which
+          the client assembles the secure lower-bound statistic without
+          the server ever seeing the query.  [band = None] means the
+          unbanded coupling window (whole series); [Some 0] lockstep
+          (Euclidean). *)
+  | Verdict_request of Bigint.t array
+      (** Catalog extension (tag [0x12]): one multiplicatively blinded
+          threshold difference [Enc(ρ·(G - τ_G - 1) + μ)] per pending
+          candidate.  The server decrypts and reports only the sign of
+          each plaintext ([Verdict_reply]) — the magnitude is blinded by
+          [ρ, μ], so the server learns one bit per candidate: prune or
+          survive (SECURITY.md). *)
 
 type phase1_element = {
   sum_sq : Bigint.t;  (** [Enc(Σ_l y_{j,l}²)] *)
   coords : Bigint.t array;  (** [Enc(y_{j,l})] for each dimension [l] *)
 }
+
+type sketch = {
+  lo : Bigint.t array;
+      (** [Enc(Lo_{s,l})] — segment-major, dimension-minor flattening of
+          the candidate's per-segment window minima *)
+  hi : Bigint.t array;  (** [Enc(Hi_{s,l})], same layout *)
+}
+(** Encrypted pruning sketch of one catalog candidate
+    ([Lower_bound.segment_bounds] under the session key). *)
 
 type reply =
   | Welcome of {
@@ -162,6 +194,18 @@ type reply =
           (** backoff hint when [status <> 0]; [0.] when ready *)
     }
       (** Readiness report (tag [0x8F]), answering [Health_req]. *)
+  | Catalog_list_reply of { ids : string array; lengths : int array }
+      (** Catalog enumeration (tag [0x90]); [ids.(i)] and [lengths.(i)]
+          describe the same record, and the position [i] is the index
+          [Query_submit]/[Select_request] refer to. *)
+  | Query_sketch of sketch array
+      (** Pruning sketches (tag [0x91]), one per candidate of the
+          [Query_submit], in request order. *)
+  | Verdict_reply of bool array
+      (** Pruning verdicts (tag [0x92]), one per blinded candidate of
+          the [Verdict_request], in request order: [true] = the
+          candidate survives (its lower bound does not clear the
+          threshold), [false] = it is pruned. *)
 
 type t = Request of request | Reply of reply
 
@@ -197,6 +241,9 @@ val tag_resume : int
 val tag_health_request : int
 val tag_packed_min_request : int
 val tag_packed_max_request : int
+val tag_catalog_list_request : int
+val tag_query_submit : int
+val tag_verdict_request : int
 val tag_welcome : int
 val tag_phase1_reply : int
 val tag_cipher_reply : int
@@ -212,6 +259,9 @@ val tag_resume_reject : int
 val tag_quota_exceeded : int
 val tag_busy : int
 val tag_health_reply : int
+val tag_catalog_list_reply : int
+val tag_query_sketch : int
+val tag_verdict_reply : int
 
 (** {1 Capability flags}
 
@@ -237,3 +287,9 @@ val flag_packing : int
     frames for this session.  A throughput capability only — packed
     frames carry exactly the masked quantities the unpacked frames
     would, so granting it adds zero leakage (SECURITY.md). *)
+
+val flag_catalog : int
+(** [0x10]: the server accepts [Catalog_list_request], [Query_submit]
+    and [Verdict_request] frames — the 1-vs-N catalog-search extension.
+    Leakage is confined to public metadata (ids, lengths) plus one
+    survive/prune bit per queried candidate (SECURITY.md). *)

@@ -523,11 +523,12 @@ let serve_session t ~id ~peer fd =
                    (* transport-owned negotiation: grant = offer AND
                       support, and mint the resume token here — the core
                       handler stays transport-agnostic.  Application
-                      capabilities the handler already granted (packing)
-                      are preserved, not clobbered. *)
+                      capabilities the handler already granted (packing,
+                      catalog) are preserved, not clobbered. *)
                    let granted =
                      flags land supported_flags t
-                     lor (app_granted land Message.flag_packing)
+                     lor (app_granted
+                         land (Message.flag_packing lor Message.flag_catalog))
                    in
                    let token =
                      if granted land Message.flag_resume <> 0 then gen_token t
@@ -598,11 +599,19 @@ let serve_session t ~id ~peer fd =
                   session's budget (configured or declared) does not
                   cover. *)
                match
-                 match Admission.cells_of_request req with
-                 | Some (kind, count) ->
-                   Admission.charge_cells c.adm ~kind ~count
-                     ~server_len:c.server_len
-                 | None -> Admission.Admit
+                 match req with
+                 | Message.Query_submit { segments; indices; _ } ->
+                   (* a query re-budgets the cell ledger up front: the
+                      declared candidate sketch is what the pruning
+                      rounds may spend *)
+                   Admission.declare_query c.adm
+                     ~candidates:(Array.length indices) ~segments
+                 | _ -> (
+                   match Admission.cells_of_request req with
+                   | Some (kind, count) ->
+                     Admission.charge_cells c.adm ~kind ~count
+                       ~server_len:c.server_len
+                   | None -> Admission.Admit)
                with
                | Admission.Reject { quota; limit; requested } ->
                  write_reply
@@ -614,6 +623,8 @@ let serve_session t ~id ~peer fd =
                     catalog re-selection *)
                  (match (req, reply) with
                   | _, Message.Catalog_reply lengths -> c.catalog <- Some lengths
+                  | _, Message.Catalog_list_reply { lengths; _ } ->
+                    c.catalog <- Some lengths
                   | Message.Select_request i, Message.Select_ack _ ->
                     Admission.reselect c.adm;
                     (match c.catalog with

@@ -152,3 +152,90 @@ if [ "$rejected" -ne 69 ] || ! grep -q 'series-len quota' "$chaos_dir/hostile.lo
   exit 1
 fi
 echo "ci: overload smoke OK (6/6 burst distances correct, oversized session quota-rejected)"
+
+# Catalog smoke: a seeded 20-record catalog server; the pruned top-1 of
+# `query` must equal the exhaustive nearest of the legacy --search scan
+# (the no-false-dismissal contract, end to end over TCP), a
+# within-radius Euclidean query must actually prune, and an oversized
+# query declaration must be quota-rejected with exit 69 before any
+# Paillier work.
+cat_dir="$(mktemp -d /tmp/ppst_ci_catalog.XXXXXX)"
+trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+mkdir "$cat_dir/store"
+i=0
+while [ "$i" -lt 20 ]; do
+  ./_build/default/bin/ppst_datagen.exe -t ecg -n 12 --max-value 40 \
+    --seed $((i + 1)) "$cat_dir/store/rec$(printf %02d "$i").csv"
+  i=$((i + 1))
+done >/dev/null
+# the query series is record 6's twin, so the true nearest is known
+./_build/default/bin/ppst_datagen.exe -t ecg -n 12 --max-value 40 \
+  --seed 7 "$cat_dir/query.csv" >/dev/null
+
+catalog_port=17975
+./_build/default/bin/ppst_server.exe -p "$catalog_port" --seed ci-catalog \
+  --catalog "$cat_dir/store" --sessions 4 \
+  >"$cat_dir/server.log" 2>&1 &
+catalog_pid=$!
+trap 'kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+sleep 1
+
+./_build/default/bin/ppst_client.exe catalog -p "$catalog_port" \
+  >"$cat_dir/list.log"
+if [ "$(wc -l < "$cat_dir/list.log")" -ne 20 ]; then
+  echo "ci: catalog smoke FAILED: catalog list has $(wc -l < "$cat_dir/list.log") rows, want 20" >&2
+  exit 1
+fi
+
+./_build/default/bin/ppst_client.exe query -p "$catalog_port" \
+  --seed ci-catalog-q --distance dtw --top 1 "$cat_dir/query.csv" \
+  >"$cat_dir/query.log" 2>&1
+pruned_top1="$(sed -n 's/^hit: record \([0-9]*\).*/\1/p' "$cat_dir/query.log")"
+
+./_build/default/bin/ppst_client.exe -p "$catalog_port" \
+  --seed ci-catalog-s --distance dtw --search "$cat_dir/query.csv" \
+  >"$cat_dir/scan.log" 2>&1
+exhaustive_top1="$(sed -n 's/^nearest: record \([0-9]*\).*/\1/p' "$cat_dir/scan.log")"
+
+if [ -z "$pruned_top1" ] || [ "$pruned_top1" != "$exhaustive_top1" ] || [ "$pruned_top1" != "6" ]; then
+  echo "ci: catalog smoke FAILED: pruned top-1 '$pruned_top1' != exhaustive '$exhaustive_top1' (want 6)" >&2
+  cat "$cat_dir/query.log" "$cat_dir/scan.log" "$cat_dir/server.log" >&2 || true
+  exit 1
+fi
+
+# The pruning stage must earn its keep: a tight Euclidean radius around
+# the twin record discards most of the catalog without losing the hit.
+./_build/default/bin/ppst_client.exe query -p "$catalog_port" \
+  --seed ci-catalog-w --distance euclidean --within 50 "$cat_dir/query.csv" \
+  >"$cat_dir/within.log" 2>&1
+grep -q '^hit: record 6 ' "$cat_dir/within.log"
+pruned_n="$(sed -n 's/^catalog: [0-9]* candidate(s), \([0-9]*\) pruned.*/\1/p' "$cat_dir/within.log")"
+if [ -z "$pruned_n" ] || [ "$pruned_n" -lt 10 ]; then
+  echo "ci: catalog smoke FAILED: within-radius query pruned only '$pruned_n' of 20" >&2
+  cat "$cat_dir/within.log" "$cat_dir/server.log" >&2 || true
+  exit 1
+fi
+kill "$catalog_pid" 2>/dev/null || true
+wait "$catalog_pid" 2>/dev/null || true
+
+# Oversized query declaration: 20 candidates x (8 segments + 1) = 180
+# cells against a 150-cell budget is refused with the typed verdict.
+tight_cat_port=17976
+./_build/default/bin/ppst_server.exe -p "$tight_cat_port" --seed ci-catalog-t \
+  --catalog "$cat_dir/store" --max-cells 150 --sessions 1 \
+  >"$cat_dir/server-tight.log" 2>&1 &
+tight_cat_pid=$!
+trap 'kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+sleep 1
+rejected=0
+./_build/default/bin/ppst_client.exe query -p "$tight_cat_port" \
+  --seed ci-catalog-h --distance dtw --top 1 "$cat_dir/query.csv" \
+  >"$cat_dir/oversize.log" 2>&1 || rejected=$?
+kill "$tight_cat_pid" 2>/dev/null || true
+wait "$tight_cat_pid" 2>/dev/null || true
+if [ "$rejected" -ne 69 ] || ! grep -q 'cells quota' "$cat_dir/oversize.log"; then
+  echo "ci: catalog smoke FAILED: oversized query not quota-rejected (exit $rejected)" >&2
+  cat "$cat_dir/oversize.log" "$cat_dir/server-tight.log" >&2 || true
+  exit 1
+fi
+echo "ci: catalog smoke OK (pruned top-1 = exhaustive top-1 = record 6, $pruned_n/20 pruned within radius, oversized query quota-rejected)"

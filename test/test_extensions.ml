@@ -32,7 +32,7 @@ let test_erp_paper_series () =
   List.iter
     (fun g ->
       let gap = [| g |] in
-      let r = Ppst.Protocol.run_erp ~seed:(Printf.sprintf "erp-%d" g) ~gap
+      let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap `Erp) ~seed:(Printf.sprintf "erp-%d" g)
           ~x:paper_x ~y:paper_y () in
       Alcotest.(check int)
         (Printf.sprintf "gap %d" g)
@@ -41,14 +41,14 @@ let test_erp_paper_series () =
     [ 0; 3; 7 ]
 
 let test_erp_identical_zero () =
-  let r = Ppst.Protocol.run_erp ~seed:"erp-id" ~gap:[| 0 |] ~x:paper_x ~y:paper_x () in
+  let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap:[| 0 |] `Erp) ~seed:"erp-id" ~x:paper_x ~y:paper_x () in
   Alcotest.(check int) "zero" 0 (Ppst.Protocol.distance_int r)
 
 let test_erp_multidim () =
   let x = Series.create [| [| 1; 2 |]; [| 3; 4 |]; [| 5; 6 |] |] in
   let y = Series.create [| [| 2; 2 |]; [| 4; 4 |] |] in
   let gap = [| 1; 1 |] in
-  let r = Ppst.Protocol.run_erp ~seed:"erp-2d" ~gap ~x ~y () in
+  let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap `Erp) ~seed:"erp-2d" ~x ~y () in
   Alcotest.(check int) "2-d erp" (Distance.erp_sq ~gap x y)
     (Ppst.Protocol.distance_int r)
 
@@ -61,17 +61,17 @@ let prop_erp_equals_plaintext =
       let gap = Array.make (Series.dimension x) g in
       if Series.dimension x <> Series.dimension y then true
       else begin
-        let r = Ppst.Protocol.run_erp ~seed:"erp-prop" ~gap ~x ~y () in
+        let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap `Erp) ~seed:"erp-prop" ~x ~y () in
         Ppst.Protocol.distance_int r = Distance.erp_sq ~gap x y
       end)
 
 let test_erp_gap_validation () =
   (* wrong dimension *)
-  (match Ppst.Protocol.run_erp ~seed:"erp-bad" ~gap:[| 0; 0 |] ~x:paper_x ~y:paper_y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap:[| 0; 0 |] `Erp) ~seed:"erp-bad" ~x:paper_x ~y:paper_y () with
    | _ -> Alcotest.fail "bad gap dimension accepted"
    | exception (Invalid_argument _ | Channel.Protocol_error _) -> ());
   (* gap outside negotiated bound *)
-  (match Ppst.Protocol.run_erp ~seed:"erp-big" ~gap:[| 5000 |] ~x:paper_x ~y:paper_y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap:[| 5000 |] `Erp) ~seed:"erp-big" ~x:paper_x ~y:paper_y () with
    | _ -> Alcotest.fail "oversized gap accepted"
    | exception (Invalid_argument _ | Channel.Protocol_error _) -> ())
 
@@ -94,7 +94,7 @@ let test_erp_triangle_inequality () =
   let gap = [| 0 |] in
   let d s1 s2 seed =
     sqrt (float_of_int (Ppst.Protocol.distance_int
-                          (Ppst.Protocol.run_erp ~seed ~gap ~x:s1 ~y:s2 ())))
+                          (Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~gap `Erp) ~seed ~x:s1 ~y:s2 ())))
   in
   let dab = d a b "t1" and dbc = d b c "t2" and dac = d a c "t3" in
   Alcotest.(check bool)
@@ -108,7 +108,7 @@ let test_banded_matches_plaintext () =
   List.iter
     (fun band ->
       let r =
-        Ppst.Protocol.run_dtw_banded ~seed:(Printf.sprintf "band-%d" band) ~band
+        Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dtw) ~seed:(Printf.sprintf "band-%d" band)
           ~x:paper_x ~y:paper_y ()
       in
       match Distance.dtw_sq_banded ~band paper_x paper_y with
@@ -119,16 +119,16 @@ let test_banded_matches_plaintext () =
     [ 1; 2; 3; 10 ]
 
 let test_banded_wide_equals_full () =
-  let r = Ppst.Protocol.run_dtw_banded ~seed:"band-wide" ~band:100 ~x:paper_x ~y:paper_y () in
+  let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band:100 `Dtw) ~seed:"band-wide" ~x:paper_x ~y:paper_y () in
   Alcotest.(check int) "wide band = dtw" (Distance.dtw_sq paper_x paper_y)
     (Ppst.Protocol.distance_int r)
 
 let test_banded_infeasible () =
   let x = Series.of_list [ 1; 2; 3; 4; 5 ] and y = Series.of_list [ 1 ] in
-  (match Ppst.Protocol.run_dtw_banded ~seed:"band-bad" ~band:2 ~x ~y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band:2 `Dtw) ~seed:"band-bad" ~x ~y () with
    | _ -> Alcotest.fail "narrow band accepted"
    | exception Ppst.Secure_dtw_banded.Band_too_narrow -> ());
-  (match Ppst.Protocol.run_dtw_banded ~seed:"band-neg" ~band:(-1) ~x:paper_x ~y:paper_y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band:(-1) `Dtw) ~seed:"band-neg" ~x:paper_x ~y:paper_y () with
    | _ -> Alcotest.fail "negative band accepted"
    | exception Invalid_argument _ -> ())
 
@@ -142,20 +142,20 @@ let prop_banded_equals_plaintext =
       else begin
         match Distance.dtw_sq_banded ~band x y with
         | None -> begin
-          match Ppst.Protocol.run_dtw_banded ~seed:"bp" ~band ~x ~y () with
+          match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dtw) ~seed:"bp" ~x ~y () with
           | _ -> false
           | exception Ppst.Secure_dtw_banded.Band_too_narrow -> true
         end
         | Some plain ->
-          let r = Ppst.Protocol.run_dtw_banded ~seed:"bp" ~band ~x ~y () in
+          let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dtw) ~seed:"bp" ~x ~y () in
           Ppst.Protocol.distance_int r = plain
       end)
 
 let test_banded_saves_communication () =
   let x = Generate.ecg_int ~seed:301 ~length:20 ~max_value:50 in
   let y = Generate.ecg_int ~seed:302 ~length:20 ~max_value:50 in
-  let full = Ppst.Protocol.run_dtw ~seed:"comm-full" ~x ~y () in
-  let banded = Ppst.Protocol.run_dtw_banded ~seed:"comm-band" ~band:2 ~x ~y () in
+  let full = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"comm-full" ~x ~y () in
+  let banded = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band:2 `Dtw) ~seed:"comm-band" ~x ~y () in
   Alcotest.(check int) "same distance (band covers optimum here)"
     (Ppst.Protocol.distance_int full)
     (Ppst.Protocol.distance_int banded);
@@ -172,8 +172,7 @@ let test_banded_dfd_matches_plaintext () =
       match Distance.dfd_sq_banded ~band paper_x paper_y with
       | Some plain ->
         let r =
-          Ppst.Protocol.run_dfd_banded ~seed:(Printf.sprintf "dband-%d" band)
-            ~band ~x:paper_x ~y:paper_y ()
+          Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dfd) ~seed:(Printf.sprintf "dband-%d" band) ~x:paper_x ~y:paper_y ()
         in
         Alcotest.(check int) (Printf.sprintf "band %d" band) plain
           (Ppst.Protocol.distance_int r)
@@ -190,13 +189,13 @@ let prop_banded_dfd_equals_plaintext =
       else begin
         match Distance.dfd_sq_banded ~band x y with
         | None -> begin
-          match Ppst.Protocol.run_dfd_banded ~seed:"dbp" ~band ~x ~y () with
+          match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dfd) ~seed:"dbp" ~x ~y () with
           | _ -> false
           | exception Ppst.Secure_dtw_banded.Band_too_narrow -> true
         end
         | Some plain ->
           Ppst.Protocol.distance_int
-            (Ppst.Protocol.run_dfd_banded ~seed:"dbp" ~band ~x ~y ())
+            (Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~band `Dfd) ~seed:"dbp" ~x ~y ())
           = plain
       end)
 
@@ -212,8 +211,8 @@ let prop_banded_dfd_plaintext_wide_equals_full =
 let test_wavefront_dtw_equals_sequential () =
   let x = Generate.ecg_int ~seed:401 ~length:12 ~max_value:50 in
   let y = Generate.ecg_int ~seed:402 ~length:9 ~max_value:50 in
-  let seq = Ppst.Protocol.run_dtw ~seed:"wf-a" ~x ~y () in
-  let wf = Ppst.Protocol.run_dtw_wavefront ~seed:"wf-b" ~x ~y () in
+  let seq = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"wf-a" ~x ~y () in
+  let wf = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront `Dtw) ~seed:"wf-b" ~x ~y () in
   Alcotest.check eq_bi "same distance" seq.Ppst.Protocol.distance
     wf.Ppst.Protocol.distance;
   Alcotest.(check int) "= plaintext" (Distance.dtw_sq x y)
@@ -223,8 +222,8 @@ let test_wavefront_round_count () =
   let m = 12 and n = 9 in
   let x = Generate.ecg_int ~seed:403 ~length:m ~max_value:50 in
   let y = Generate.ecg_int ~seed:404 ~length:n ~max_value:50 in
-  let seq = Ppst.Protocol.run_dtw ~seed:"wf-c" ~x ~y () in
-  let wf = Ppst.Protocol.run_dtw_wavefront ~seed:"wf-d" ~x ~y () in
+  let seq = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"wf-c" ~x ~y () in
+  let wf = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront `Dtw) ~seed:"wf-d" ~x ~y () in
   (* sequential: hello + phase1 + (m-1)(n-1) + reveal + bye *)
   Alcotest.(check int) "sequential rounds" (3 + ((m - 1) * (n - 1)) + 1)
     (Stats.rounds seq.Ppst.Protocol.stats);
@@ -239,7 +238,7 @@ let test_wavefront_round_count () =
 let test_wavefront_dfd_equals_sequential () =
   let x = Generate.ecg_int ~seed:405 ~length:8 ~max_value:50 in
   let y = Generate.ecg_int ~seed:406 ~length:10 ~max_value:50 in
-  let wf = Ppst.Protocol.run_dfd_wavefront ~seed:"wf-e" ~x ~y () in
+  let wf = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront `Dfd) ~seed:"wf-e" ~x ~y () in
   Alcotest.(check int) "= plaintext" (Distance.dfd_sq x y)
     (Ppst.Protocol.distance_int wf)
 
@@ -250,7 +249,7 @@ let prop_wavefront_equals_plaintext =
       if Series.dimension x <> Series.dimension y then true
       else
         Ppst.Protocol.distance_int
-          (Ppst.Protocol.run_dtw_wavefront ~seed:"wf-prop" ~x ~y ())
+          (Ppst.Protocol.run ~spec:(Ppst.Protocol.spec ~strategy:`Wavefront `Dtw) ~seed:"wf-prop" ~x ~y ())
         = Distance.dtw_sq x y)
 
 let test_batch_message_errors () =
@@ -273,26 +272,26 @@ let test_batch_message_errors () =
 
 let test_euclidean_matches_plaintext () =
   let y6 = Series.of_list [ 2; 4; 6; 5; 7; 9 ] in
-  let r = Ppst.Protocol.run_euclidean ~seed:"euc" ~x:paper_x ~y:y6 () in
+  let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Euclidean) ~seed:"euc" ~x:paper_x ~y:y6 () in
   Alcotest.(check int) "euclid" (Distance.euclidean_sq paper_x y6)
     (Ppst.Protocol.distance_int r)
 
 let test_euclidean_no_masking_rounds () =
   let y6 = Series.of_list [ 2; 4; 6; 5; 7; 9 ] in
-  let r = Ppst.Protocol.run_euclidean ~seed:"euc2" ~x:paper_x ~y:y6 () in
+  let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Euclidean) ~seed:"euc2" ~x:paper_x ~y:y6 () in
   (* hello + phase1 + reveal + bye = 4 rounds, no Min/Max requests *)
   Alcotest.(check int) "4 rounds only" 4 (Stats.rounds r.Ppst.Protocol.stats);
   let server = Ppst.Cost.server_ops r.Ppst.Protocol.cost in
   Alcotest.(check int) "one decryption (the reveal)" 1 server.Ppst.Cost.decryptions
 
 let test_euclidean_length_mismatch () =
-  match Ppst.Protocol.run_euclidean ~seed:"euc3" ~x:paper_x ~y:(Series.of_list [ 1 ]) () with
+  match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Euclidean) ~seed:"euc3" ~x:paper_x ~y:(Series.of_list [ 1 ]) () with
   | _ -> Alcotest.fail "length mismatch accepted"
   | exception (Invalid_argument _ | Channel.Protocol_error _) -> ()
 
 let test_subsequence_windows () =
   let long = Series.of_list [ 9; 9; 2; 4; 6; 5; 7; 9; 9 ] in
-  let r = Ppst.Protocol.run_subsequence ~seed:"sub" ~x:long ~y:paper_y () in
+  let r = Ppst.Protocol.subsequence ~seed:"sub" ~x:long ~y:paper_y () in
   Alcotest.(check int) "window count" 5 (Array.length r.Ppst.Protocol.window_distances);
   Array.iteri
     (fun o d ->
@@ -304,7 +303,7 @@ let test_subsequence_windows () =
     r.Ppst.Protocol.window_distances
 
 let test_subsequence_query_longer_than_series () =
-  match Ppst.Protocol.run_subsequence ~seed:"sub2" ~x:(Series.of_list [ 1 ]) ~y:paper_y () with
+  match Ppst.Protocol.subsequence ~seed:"sub2" ~x:(Series.of_list [ 1 ]) ~y:paper_y () with
   | _ -> Alcotest.fail "short client series accepted"
   | exception (Invalid_argument _ | Channel.Protocol_error _) -> ()
 
@@ -320,7 +319,7 @@ let prop_subsequence_equals_plaintext =
   qtest "subsequence windows = plaintext" gen
     ~print:(fun (a, b) -> print_series a ^ " / " ^ print_series b)
     (fun (x, y) ->
-      let r = Ppst.Protocol.run_subsequence ~seed:"sub-prop" ~x ~y () in
+      let r = Ppst.Protocol.subsequence ~seed:"sub-prop" ~x ~y () in
       let n = Series.length y in
       Array.to_list r.Ppst.Protocol.window_distances
       |> List.mapi (fun o d ->

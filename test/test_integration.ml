@@ -60,7 +60,7 @@ let test_tcp_matches_local_channel () =
   (* byte-for-byte identical accounting between local and TCP transports *)
   let x = Series.of_list [ 5; 10; 15; 20 ] and y = Series.of_list [ 7; 14; 21 ] in
   let tcp_dist, tcp_stats = run_over_tcp ~distance:`Dtw ~x ~y ~seed:"parity" () in
-  let local = Ppst.Protocol.run_dtw ~seed:"parity-local" ~x ~y () in
+  let local = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"parity-local" ~x ~y () in
   Alcotest.(check int) "same distance" (Bigint.to_int_exn local.Ppst.Protocol.distance)
     (Bigint.to_int_exn tcp_dist);
   (* values (not bytes: bigint payload sizes vary with randomness) *)
@@ -161,7 +161,7 @@ let test_csv_workload_end_to_end () =
       Csv.save pa a;
       Csv.save pb b;
       let a' = Csv.load pa and b' = Csv.load pb in
-      let r = Ppst.Protocol.run_dtw ~seed:"csv-e2e" ~x:a' ~y:b' () in
+      let r = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"csv-e2e" ~x:a' ~y:b' () in
       Alcotest.(check int) "reloaded data" (Distance.dtw_sq a b)
         (Ppst.Protocol.distance_int r))
 
@@ -194,8 +194,8 @@ let test_both_distances_same_session_params () =
   (* DFD immediately after DTW on the same data, fresh sessions *)
   let x = Generate.ecg_int ~seed:61 ~length:9 ~max_value:40 in
   let y = Generate.ecg_int ~seed:62 ~length:11 ~max_value:40 in
-  let dtw = Ppst.Protocol.run_dtw ~seed:"both-1" ~x ~y () in
-  let dfd = Ppst.Protocol.run_dfd ~seed:"both-2" ~x ~y () in
+  let dtw = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"both-1" ~x ~y () in
+  let dfd = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dfd) ~seed:"both-2" ~x ~y () in
   Alcotest.(check int) "dtw" (Distance.dtw_sq x y) (Ppst.Protocol.distance_int dtw);
   Alcotest.(check int) "dfd" (Distance.dfd_sq x y) (Ppst.Protocol.distance_int dfd);
   Alcotest.(check bool) "dfd <= dtw" true
@@ -209,7 +209,7 @@ let test_secure_knn_agrees_with_plaintext () =
   Array.iteri
     (fun i record ->
       let r =
-        Ppst.Protocol.run_dtw ~seed:(Printf.sprintf "knn-%d" i) ~max_value:50
+        Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:(Printf.sprintf "knn-%d" i) ~max_value:50
           ~x:query ~y:record ()
       in
       let d = Ppst.Protocol.distance_int r in

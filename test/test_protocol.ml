@@ -182,10 +182,10 @@ let test_masked_min_many_rounds () =
 (* --- secure DTW / DFD end-to-end ------------------------------------------ *)
 
 let run_dtw ?params ?max_value ~seed x y =
-  Ppst.Protocol.run_dtw ?params ?max_value ~seed ~x ~y ()
+  Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ?params ?max_value ~seed ~x ~y ()
 
 let run_dfd ?params ?max_value ~seed x y =
-  Ppst.Protocol.run_dfd ?params ?max_value ~seed ~x ~y ()
+  Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dfd) ?params ?max_value ~seed ~x ~y ()
 
 let test_dtw_paper_example () =
   let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ] and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
@@ -362,12 +362,12 @@ let test_offline_pool_has_no_misses () =
      online cost without any accounting trace.  The drivers pre-size the
      pool exactly, so a default (offline) run must never miss... *)
   let x = Series.of_list [ 1; 2; 3; 4 ] and y = Series.of_list [ 4; 3; 2 ] in
-  let offline = Ppst.Protocol.run_dtw ~seed:"misses-off" ~x ~y () in
+  let offline = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"misses-off" ~x ~y () in
   Alcotest.(check int) "offline run: zero pool misses" 0
     (Ppst.Cost.pool_misses offline.Ppst.Protocol.cost);
   (* ...while with the pool disabled every client encryption is a miss
      (i.e. an online exponentiation), and the counter says exactly that *)
-  let online = Ppst.Protocol.run_dtw ~offline:false ~seed:"misses-on" ~x ~y () in
+  let online = Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~offline:false ~seed:"misses-on" ~x ~y () in
   let client_encs =
     (Ppst.Cost.client_ops online.Ppst.Protocol.cost).Ppst.Cost.encryptions
   in
@@ -533,7 +533,7 @@ let test_server_never_sees_unmasked_values () =
 
 let test_dimension_mismatch_rejected () =
   let x = Series.create [| [| 1; 2 |] |] and y = Series.of_list [ 1; 2; 3 ] in
-  (match Ppst.Protocol.run_dtw ~seed:"dim" ~x ~y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"dim" ~x ~y () with
    | _ -> Alcotest.fail "dimension mismatch accepted"
    | exception Ppst.Client.Incompatible _ -> ())
 
@@ -549,7 +549,7 @@ let test_negative_coordinates_rejected () =
 
 let test_client_bound_violation_rejected () =
   let x = Series.of_list [ 1; 200 ] and y = Series.of_list [ 1; 2 ] in
-  (match Ppst.Protocol.run_dtw ~seed:"bound" ~max_value:100 ~x ~y () with
+  (match Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"bound" ~max_value:100 ~x ~y () with
    | _ -> Alcotest.fail "out-of-bound accepted"
    | exception (Ppst.Client.Incompatible _ | Invalid_argument _) -> ())
 
