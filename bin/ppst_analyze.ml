@@ -87,45 +87,222 @@ let infer () =
 (* JSONL telemetry traces (--trace-out on ppst_server/ppst_client/bench):
    per-phase and per-round aggregation, plus the leakage lint ci.sh runs
    over every trace it produces. *)
-let trace file lint =
+
+let opcode_name op =
+  let module M = Ppst_transport.Message in
+  if op = M.tag_hello then "hello"
+  else if op = M.tag_phase1_request then "phase1"
+  else if op = M.tag_min_request then "min"
+  else if op = M.tag_max_request then "max"
+  else if op = M.tag_reveal_request then "reveal"
+  else if op = M.tag_bye then "bye"
+  else if op = M.tag_catalog_request then "catalog"
+  else if op = M.tag_select_request then "select"
+  else if op = M.tag_batch_min_request then "batch-min"
+  else if op = M.tag_batch_max_request then "batch-max"
+  else if op = M.tag_stats_request then "stats"
+  else if op = M.tag_metrics_request then "metrics"
+  else Printf.sprintf "0x%02x" op
+
+(* Exit codes under --lint: 1 = leakage violation (hard failure), 3 = the
+   trace tail was cut mid-record (a killed writer, not corruption) — CI can
+   distinguish "leaky" from "merely incomplete". *)
+let exit_truncated = 3
+
+let read_trace file =
   let module R = Ppst_telemetry.Trace_reader in
-  match R.read_file file with
+  match R.read_file_partial file with
   | exception R.Parse_error msg ->
     Printf.eprintf "%s: %s\n" file msg;
     exit 1
-  | entries ->
-    let violations =
-      List.filter_map
-        (fun e -> Option.map (fun r -> (e.R.name, r)) (R.lint_entry e))
-        entries
-    in
-    if lint then
-      if violations = [] then
-        Printf.printf "lint: %d record(s), no leakage-lint violations\n"
-          (List.length entries)
-      else begin
-        List.iter
-          (fun (name, reason) ->
-            Printf.eprintf "lint: record %S: %s\n" name reason)
-          violations;
-        exit 1
-      end;
-    let opcode_name op =
-      let module M = Ppst_transport.Message in
-      if op = M.tag_hello then "hello"
-      else if op = M.tag_phase1_request then "phase1"
-      else if op = M.tag_min_request then "min"
-      else if op = M.tag_max_request then "max"
-      else if op = M.tag_reveal_request then "reveal"
-      else if op = M.tag_bye then "bye"
-      else if op = M.tag_catalog_request then "catalog"
-      else if op = M.tag_select_request then "select"
-      else if op = M.tag_batch_min_request then "batch-min"
-      else if op = M.tag_batch_max_request then "batch-max"
-      else if op = M.tag_stats_request then "stats"
-      else Printf.sprintf "0x%02x" op
-    in
-    R.pp_summary ~opcode_name Format.std_formatter (R.summarize entries)
+  | entries, tail ->
+    (match tail with
+     | R.Complete -> ()
+     | R.Truncated { line; reason } ->
+       Printf.eprintf
+         "%s: warning: final record (line %d) is truncated: %s; \
+          analyzing the %d complete record(s) before it\n"
+         file line reason (List.length entries));
+    (entries, tail)
+
+let trace file lint =
+  let module R = Ppst_telemetry.Trace_reader in
+  let entries, tail = read_trace file in
+  let truncated = tail <> R.Complete in
+  let violations =
+    List.filter_map
+      (fun e -> Option.map (fun r -> (e.R.name, r)) (R.lint_entry e))
+      entries
+  in
+  if lint then
+    if violations = [] then
+      Printf.printf "lint: %d record(s), no leakage-lint violations%s\n"
+        (List.length entries)
+        (if truncated then " (tail truncated)" else "")
+    else begin
+      List.iter
+        (fun (name, reason) ->
+          Printf.eprintf "lint: record %S: %s\n" name reason)
+        violations;
+      exit 1
+    end;
+  R.pp_summary ~opcode_name Format.std_formatter (R.summarize entries);
+  if lint && truncated then exit exit_truncated
+
+(* ---- trace diff: per-phase / per-round regression gate ---- *)
+
+(* A regression needs both a relative excess beyond [threshold] and an
+   absolute one beyond the floor: seeded runs repeat their byte counts
+   exactly, but sub-floor latencies are scheduler noise, and the floors
+   keep two runs of the same seed quiet while a genuine 2x per-phase
+   slowdown still trips the relative test. *)
+let diff base_file cand_file threshold latency_floor_ms byte_floor =
+  let module R = Ppst_telemetry.Trace_reader in
+  let summarize f = R.summarize (fst (read_trace f)) in
+  let a = summarize base_file and b = summarize cand_file in
+  let latency_floor = latency_floor_ms /. 1000.0 in
+  let regressions = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  let check ~what ~floor ~old_v ~new_v =
+    if new_v -. old_v > floor && new_v > old_v *. (1.0 +. threshold) then
+      flag "%s: %.6g -> %.6g (+%.0f%%)" what old_v new_v
+        (100.0 *. ((new_v /. Float.max old_v 1e-12) -. 1.0))
+  in
+  List.iter
+    (fun (sb : R.span_row) ->
+      match
+        List.find_opt (fun (sa : R.span_row) -> sa.R.span_name = sb.R.span_name) a.R.spans
+      with
+      | None -> ()
+      | Some sa ->
+        check
+          ~what:(Printf.sprintf "span %s total seconds" sb.R.span_name)
+          ~floor:latency_floor ~old_v:sa.R.total_s ~new_v:sb.R.total_s)
+    b.R.spans;
+  List.iter
+    (fun (rb : R.round_row) ->
+      match
+        List.find_opt (fun (ra : R.round_row) -> ra.R.opcode = rb.R.opcode) a.R.rounds
+      with
+      | None ->
+        if rb.R.request_bytes + rb.R.reply_bytes > byte_floor then
+          flag "round %s: absent from baseline (%d bytes)"
+            (opcode_name rb.R.opcode)
+            (rb.R.request_bytes + rb.R.reply_bytes)
+      | Some ra ->
+        check
+          ~what:(Printf.sprintf "round %s latency seconds" (opcode_name rb.R.opcode))
+          ~floor:latency_floor ~old_v:ra.R.latency_s ~new_v:rb.R.latency_s;
+        check
+          ~what:(Printf.sprintf "round %s bytes" (opcode_name rb.R.opcode))
+          ~floor:(float_of_int byte_floor)
+          ~old_v:(float_of_int (ra.R.request_bytes + ra.R.reply_bytes))
+          ~new_v:(float_of_int (rb.R.request_bytes + rb.R.reply_bytes)))
+    b.R.rounds;
+  check ~what:"total round bytes" ~floor:(float_of_int byte_floor)
+    ~old_v:(float_of_int a.R.total_round_bytes)
+    ~new_v:(float_of_int b.R.total_round_bytes);
+  check ~what:"total latency seconds" ~floor:latency_floor
+    ~old_v:a.R.total_latency_s ~new_v:b.R.total_latency_s;
+  match List.rev !regressions with
+  | [] ->
+    Printf.printf
+      "diff: no regressions (%s -> %s, threshold +%.0f%%, floors %gms / %d bytes)\n"
+      base_file cand_file (100.0 *. threshold) latency_floor_ms byte_floor
+  | found ->
+    List.iter (fun r -> Printf.eprintf "regression: %s\n" r) found;
+    Printf.eprintf "diff: %d regression(s) beyond +%.0f%%\n" (List.length found)
+      (100.0 *. threshold);
+    exit 1
+
+(* ---- bench report: flatten BENCH_*.json and optionally gate ---- *)
+
+let flatten_numbers json =
+  let module R = Ppst_telemetry.Trace_reader in
+  let out = ref [] in
+  let rec walk path = function
+    | R.Num v -> out := (path, v) :: !out
+    | R.Obj fields ->
+      List.iter
+        (fun (k, v) -> walk (if path = "" then k else path ^ "." ^ k) v)
+        fields
+    | R.Arr items ->
+      List.iteri (fun i v -> walk (Printf.sprintf "%s[%d]" path i) v) items
+    | R.Null | R.Bool _ | R.Str _ -> ()
+  in
+  walk "" json;
+  List.rev !out
+
+let load_bench file =
+  let module R = Ppst_telemetry.Trace_reader in
+  let ic = open_in_bin file in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match R.json_of_string text with
+  | exception R.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+  | json -> flatten_numbers json
+
+(* Only time-like leaves are gated against a baseline: byte and value
+   counts move legitimately when the protocol changes shape, and the
+   transcript-stability tests already pin those exactly. *)
+let time_like path =
+  let has sub =
+    let n = String.length sub and m = String.length path in
+    let rec at i = i + n <= m && (String.sub path i n = sub || at (i + 1)) in
+    at 0
+  in
+  has "seconds" || has "wall" || has "latency"
+
+let report strict baseline threshold files =
+  if files = [] then begin
+    Printf.eprintf "report: no bench files given\n";
+    exit 2
+  end;
+  let worst = ref [] in
+  List.iter
+    (fun file ->
+      let metrics = load_bench file in
+      Printf.printf "== %s: %d numeric metric(s)\n" file (List.length metrics);
+      List.iter
+        (fun (path, v) ->
+          if time_like path then Printf.printf "  %-56s %.6g\n" path v)
+        metrics;
+      match baseline with
+      | None -> ()
+      | Some dir ->
+        let base_file = Filename.concat dir (Filename.basename file) in
+        if Sys.file_exists base_file then begin
+          let base = load_bench base_file in
+          List.iter
+            (fun (path, v) ->
+              if time_like path then
+                match List.assoc_opt path base with
+                | Some bv when v > bv *. (1.0 +. threshold) && v -. bv > 0.005 ->
+                  let line =
+                    Printf.sprintf "%s: %s %.6g -> %.6g (+%.0f%%)"
+                      (Filename.basename file) path bv v
+                      (100.0 *. ((v /. Float.max bv 1e-12) -. 1.0))
+                  in
+                  Printf.printf "  REGRESSION %s\n" line;
+                  worst := line :: !worst
+                | _ -> ())
+            metrics
+        end
+        else Printf.printf "  (no baseline %s)\n" base_file)
+    files;
+  match List.rev !worst with
+  | [] -> ()
+  | found ->
+    Printf.printf "report: %d regression(s) beyond +%.0f%%\n" (List.length found)
+      (100.0 *. threshold);
+    (* Advisory by default — bench timings on shared CI hardware are too
+       noisy to block on; --strict turns the same findings into a gate. *)
+    if strict then exit 1
 
 (* ---- cmdliner plumbing ---- *)
 
@@ -179,7 +356,56 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"summarize a JSONL telemetry trace (per-phase and per-round tables)")
     Term.(const trace $ file $ lint)
 
+let diff_cmd =
+  let base =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE.jsonl"
+         ~doc:"Baseline telemetry trace.")
+  in
+  let cand =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE.jsonl"
+         ~doc:"Candidate telemetry trace to compare against the baseline.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.6 & info [ "threshold" ] ~docv:"FRAC"
+         ~doc:"Relative excess that counts as a regression (0.6 = +60%).")
+  in
+  let latency_floor =
+    Arg.(value & opt float 5.0 & info [ "latency-floor-ms" ] ~docv:"MS"
+         ~doc:"Ignore latency deltas smaller than this (scheduler noise).")
+  in
+  let byte_floor =
+    Arg.(value & opt int 64 & info [ "byte-floor" ] ~docv:"BYTES"
+         ~doc:"Ignore byte-count deltas smaller than this.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"compare two telemetry traces; exit 1 on per-phase latency or byte regressions")
+    Term.(const diff $ base $ cand $ threshold $ latency_floor $ byte_floor)
+
+let report_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"BENCH.json..."
+         ~doc:"Benchmark result files (bench --out artifacts).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+         ~doc:"Exit nonzero on baseline regressions instead of reporting them.")
+  in
+  let baseline =
+    Arg.(value & opt (some dir) None & info [ "baseline" ] ~docv:"DIR"
+         ~doc:"Directory holding baseline copies of the same files to gate against.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"FRAC"
+         ~doc:"Relative excess that counts as a regression (0.5 = +50%).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"tabulate time-like metrics from BENCH_*.json; advisory unless --strict")
+    Term.(const report $ strict $ baseline $ threshold $ files)
+
 let () =
   let doc = "security analysis for the secure time-series protocols" in
   exit (Cmd.eval (Cmd.group (Cmd.info "ppst_analyze" ~doc)
-                    [ entropy_cmd; attack_cmd; plan_cmd; infer_cmd; trace_cmd ]))
+                    [ entropy_cmd; attack_cmd; plan_cmd; infer_cmd; trace_cmd;
+                      diff_cmd; report_cmd ]))

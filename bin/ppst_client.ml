@@ -54,6 +54,29 @@ let fetch_health host port =
   Ppst_transport.Channel.close channel;
   status
 
+(* metrics: the OpenMetrics exposition page over the protocol socket.
+   Unlike stats/health this is a negotiated capability: Hello offers
+   [flag_metrics], and a server configured with --no-metrics refuses
+   both the flag and the request.  The same page is what the HTTP
+   sidecar (ppst_server --metrics-port) serves to scrapers. *)
+let fetch_metrics host port =
+  let open Ppst_transport in
+  let channel = Channel.connect ~host ~port () in
+  (match
+     Channel.request channel
+       (Message.Hello { flags = Message.flag_metrics; spec = None })
+   with
+   | Message.Welcome { flags; _ } when flags land Message.flag_metrics <> 0 -> ()
+   | Message.Welcome _ ->
+     failwith "server does not grant the metrics capability"
+   | _ -> failwith "expected Welcome");
+  (match Channel.request channel Message.Metrics_req with
+   | Message.Metrics_reply text -> print_string text
+   | Message.Error_reply m -> failwith m
+   | _ -> failwith "expected Metrics_reply");
+  (try ignore (Channel.request channel Message.Bye) with _ -> ());
+  Channel.close channel
+
 (* catalog: raw catalog-list round, no series (and so no Client.t)
    needed — the capability handshake is just Hello with the catalog
    flag. *)
@@ -461,6 +484,17 @@ let stats_cmd =
     Term.(const run_stats $ host $ port $ verbose $ log_level $ log_json
           $ trace_out)
 
+let metrics_cmd =
+  let doc = "fetch the server's OpenMetrics exposition page (counters, \
+             windowed rates and quantiles)" in
+  let run_metrics host port verbose log_level log_json trace_out =
+    setup verbose log_level log_json trace_out;
+    fetch_metrics host port
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const run_metrics $ host $ port $ verbose $ log_level $ log_json
+          $ trace_out)
+
 let health_cmd =
   let doc = "readiness probe (exit 0 ready, 1 at capacity, 2 shedding)" in
   let run_health host port verbose log_level log_json trace_out =
@@ -482,7 +516,7 @@ let group_cmd =
   ignore common_tail;
   Cmd.group
     (Cmd.info "ppst_client" ~doc)
-    [ pair_cmd; query_cmd; catalog_cmd; stats_cmd; health_cmd ]
+    [ pair_cmd; query_cmd; catalog_cmd; stats_cmd; metrics_cmd; health_cmd ]
 
 (* The historical flat interface, parsed exactly as before the verbs
    existed.  Cmd.group would reject `ppst_client series.csv --search'
@@ -493,7 +527,7 @@ let legacy_cmd = Cmd.v (Cmd.info "ppst_client" ~doc) legacy_term
 
 let () =
   let is_verb s =
-    List.mem s [ "pair"; "query"; "catalog"; "stats"; "health" ]
+    List.mem s [ "pair"; "query"; "catalog"; "stats"; "metrics"; "health" ]
   in
   let use_group =
     Array.length Sys.argv <= 1

@@ -14,7 +14,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
     idle_timeout deadline jobs chaos_profile chaos_seed resume_ttl no_resume
     no_crc max_cells max_series_len max_dim max_session_bytes
     max_session_frames rate_limit rate_burst shed_watermark watchdog_timeout
-    verbose log_level log_json trace_out =
+    metrics_port no_metrics verbose log_level log_json trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
@@ -184,6 +184,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
       admission;
       ratelimit;
       shed_watermark;
+      enable_metrics = not no_metrics;
       watchdog_timeout_s =
         (match watchdog_timeout with
          | Some _ as t -> t
@@ -196,6 +197,23 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
     Ppst_transport.Server_loop.create ~config ~on_session_end ~port ~handler ()
   in
   Ppst_transport.Server_loop.install_signal_handlers loop;
+  (* Sidecar scrape endpoint: plain HTTP on loopback, entirely outside the
+     protocol socket, serving the same closed-vocabulary aggregates as a
+     Metrics_req.  Off unless asked for. *)
+  let metrics_endpoint =
+    match metrics_port with
+    | None -> None
+    | Some _ when no_metrics ->
+      failwith "--metrics-port conflicts with --no-metrics"
+    | Some mp ->
+      let ep = Ppst_transport.Metrics_endpoint.start ~port:mp () in
+      Logs.info (fun m ->
+          m "metrics endpoint on http://127.0.0.1:%d/metrics"
+            (Ppst_transport.Metrics_endpoint.port ep));
+      Format.printf "metrics port: %d@."
+        (Ppst_transport.Metrics_endpoint.port ep);
+      Some ep
+  in
   Logs.info (fun m ->
       m "serving %d record(s), dim %d, max value %d, on port %d \
          (concurrency %d%s%s)"
@@ -212,6 +230,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
          | None -> ""));
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Ppst_transport.Metrics_endpoint.stop metrics_endpoint;
       match shared_pool with
       | Some pool -> Ppst_parallel.Pool.shutdown pool
       | None -> ())
@@ -328,6 +347,14 @@ let watchdog_timeout =
   Arg.(value & opt (some float) None & info [ "watchdog-timeout-s" ] ~docv:"S"
          ~doc:"Slow-peer watchdog: cut a connection whose frame stalls                mid-transfer for $(docv) seconds (default 30).")
 
+let metrics_port =
+  Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT"
+         ~doc:"Serve an OpenMetrics/Prometheus text endpoint on                http://127.0.0.1:$(docv)/metrics (0 picks an ephemeral port,                printed at startup).  Exposes only the closed-vocabulary                counter/histogram aggregates — the same surface as the                in-protocol Metrics_req.")
+
+let no_metrics =
+  Arg.(value & flag & info [ "no-metrics" ]
+         ~doc:"Never grant the metrics capability (Metrics_req is refused                even on the probe path).")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
 let log_level =
@@ -351,6 +378,7 @@ let cmd =
           $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
           $ max_cells $ max_series_len $ max_dim $ max_session_bytes
           $ max_session_frames $ rate_limit $ rate_burst $ shed_watermark
-          $ watchdog_timeout $ verbose $ log_level $ log_json $ trace_out)
+          $ watchdog_timeout $ metrics_port $ no_metrics $ verbose $ log_level
+          $ log_json $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -85,6 +85,14 @@ val round_randomness : t -> int array -> int
 val session : t -> Params.session
 val public_key : t -> Paillier.public_key
 val cost : t -> Cost.t
+
+val stats : t -> Stats.t
+(** Wire accounting of the underlying channel (live, cumulative) — the
+    "actual" side of the {!Ledger} predicted-vs-actual check. *)
+
+val params : t -> Params.t
+
+
 val server_length : t -> int
 (** Length of the server's {e active} record (changes on
     {!select_record}). *)

@@ -20,3 +20,5 @@ module Trace = Ppst_transport.Trace
 module Netsim = Ppst_transport.Netsim
 module Telemetry = Ppst_telemetry.Telemetry
 module Metrics = Ppst_telemetry.Metrics
+module Rollup = Ppst_telemetry.Rollup
+module Exposition = Ppst_telemetry.Exposition

@@ -1,0 +1,70 @@
+open Import
+
+(* Cost-attribution ledger: predicted protocol cost (the paper's closed
+   forms, Section 5.2) against actual wire accounting (Stats value
+   counts).  The protocols have exactly-predictable value counts, so any
+   drift is simultaneously a correctness signal (a driver sending frames
+   the model does not know about) and a leakage signal (extra values on
+   the wire that the security argument never accounted for).
+
+   The module is a leaf: hooks compute [predicted] from the closed forms
+   and [actual] from channel stats at the call site and hand both in as
+   plain integers, so the ledger depends on nothing above telemetry. *)
+
+type workload = Pairwise | Query
+
+type entry = {
+  workload : workload;
+  predicted_values : int;
+  actual_values : int;
+}
+
+let drift e = e.actual_values - e.predicted_values
+
+let m_checks = Metrics.counter "ledger.checks"
+let m_pairwise = Metrics.counter "ledger.pairwise.checks"
+let m_query = Metrics.counter "ledger.query.checks"
+let m_predicted = Metrics.counter "ledger.predicted.values"
+let m_actual = Metrics.counter "ledger.actual.values"
+let m_drift_events = Metrics.counter "ledger.drift.events"
+let m_drift_values = Metrics.counter "ledger.drift.values"
+
+let mu = Mutex.create ()
+let retain = 64
+let recent_entries : entry list ref = ref []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let record ~workload ~predicted ~actual =
+  let e = { workload; predicted_values = predicted; actual_values = actual } in
+  Metrics.incr m_checks;
+  Metrics.incr (match workload with Pairwise -> m_pairwise | Query -> m_query);
+  Metrics.incr ~by:predicted m_predicted;
+  Metrics.incr ~by:actual m_actual;
+  if predicted <> actual then begin
+    Metrics.incr m_drift_events;
+    Metrics.incr ~by:(abs (actual - predicted)) m_drift_values
+  end;
+  Telemetry.event ~name:"ledger.check"
+    ~attrs:
+      [
+        ("predicted_values", Telemetry.Int predicted);
+        ("actual_values", Telemetry.Int actual);
+        ("drift", Telemetry.Int (actual - predicted));
+      ]
+    ();
+  Mutex.lock mu;
+  recent_entries := e :: take (retain - 1) !recent_entries;
+  Mutex.unlock mu;
+  e
+
+let recent () =
+  Mutex.lock mu;
+  let l = !recent_entries in
+  Mutex.unlock mu;
+  l
+
+let drift_events () = Metrics.counter_value m_drift_events

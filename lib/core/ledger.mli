@@ -1,0 +1,33 @@
+(** Cost-attribution ledger: the paper's closed-form cost predictions
+    ({!Protocol.expected_values_transferred},
+    {!Protocol.expected_query_values}) checked against actual wire
+    accounting ({!Stats} value counts) at the end of each instrumented
+    workload.  The protocols have exactly-predictable value counts, so
+    nonzero drift is both a correctness and a leakage signal; the
+    [ledger.drift.events] counter trips on every divergence.
+
+    A leaf module: callers compute both sides and hand in plain
+    integers. *)
+
+type workload = Pairwise | Query
+
+type entry = {
+  workload : workload;
+  predicted_values : int;
+  actual_values : int;
+}
+
+val drift : entry -> int
+(** [actual - predicted]; [0] when the run matched the model. *)
+
+val record : workload:workload -> predicted:int -> actual:int -> entry
+(** Count the check into the [ledger.*] metrics ([ledger.checks],
+    per-workload counters, [ledger.drift.events]/[ledger.drift.values]
+    on divergence), emit a [ledger.check] trace point and remember the
+    entry. *)
+
+val recent : unit -> entry list
+(** Most recent entries first, bounded (64). *)
+
+val drift_events : unit -> int
+(** Lifetime count of checks that diverged. *)

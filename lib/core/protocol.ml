@@ -131,12 +131,58 @@ let runner_of_spec s : Client.t -> Bigint.t =
 
 let distance_kind_of_algo : algo -> Client.distance_kind = fun a -> a
 
+(* Closed-form count of protocol "values" for this implementation's exact
+   message layout; the paper's mn(d + k + 4) appears as the dominant term
+   of the DTW case. *)
+let expected_values_transferred ~params ~m ~n ~d kind =
+  let k = params.Params.k in
+  let phase1 = n * (d + 1) in
+  let reveal = 2 in
+  match kind with
+  | `Dtw ->
+    let inner = (m - 1) * (n - 1) * (k + 3) in
+    phase1 + inner + reveal
+  | `Dfd ->
+    let borders = (m - 1 + (n - 1)) * (k + 2) in
+    let inner = (m - 1) * (n - 1) * (k + 3 + k + 2) in
+    phase1 + borders + inner + reveal
+
+(* The pruning stage of a 1-vs-N query, same conventions (both directions,
+   unpacked profile).  Per candidate, per segment, per dimension: the two
+   sketch ciphertexts in, one 3-way secure-max instance (3 + k - 1 masked
+   candidates out, one result in); plus one blinded verdict ciphertext per
+   candidate.  This is also the number the admission ledger's
+   [declare_query] allowance is sized from: [candidates * (segments*d + 1)]
+   chargeable cells. *)
+let expected_query_values ~params ~candidates ~segments ~d =
+  let k = params.Params.k in
+  (candidates * segments * d * (k + 5)) + candidates
+
 let run ~spec:s ?params ?seed ?max_value ?decryption ?offline ?jobs ?trace ~x ~y () =
   let runner = runner_of_spec s in
-  pack
-    (run_session ~distance_kind:(distance_kind_of_algo s.algo) ~runner ?params
-       ?seed ?max_value ?decryption ?offline ~packing:s.packing ?jobs ?trace ~x
-       ~y ())
+  let result =
+    pack
+      (run_session ~distance_kind:(distance_kind_of_algo s.algo) ~runner ?params
+         ?seed ?max_value ?decryption ?offline ~packing:s.packing ?jobs ?trace ~x
+         ~y ())
+  in
+  (* Cost attribution: the unbanded, unpacked DTW/DFD paths have exact
+     closed forms, so every such run is checked against the model.  Banded
+     and gap variants have data-independent but spec-shaped counts this
+     module does not model; packed framing counts ciphertexts, not
+     values. *)
+  (match (s.algo, s.band, s.packing) with
+  | ((`Dtw | `Dfd) as kind), None, false ->
+    let predicted =
+      expected_values_transferred
+        ~params:(Option.value params ~default:Params.default)
+        ~m:(Series.length x) ~n:(Series.length y) ~d:(Series.dimension x) kind
+    in
+    ignore
+      (Ledger.record ~workload:Ledger.Pairwise ~predicted
+         ~actual:(Stats.total_values result.stats))
+  | _ -> ());
+  result
 
 (* Legacy entry points: thin wrappers over [run], kept so callers can
    migrate incrementally.  Each preserves its historical signature
@@ -189,29 +235,3 @@ let subsequence ?params ?seed ?max_value ?decryption ?offline ?jobs ~x ~y () =
 
 let run_subsequence = subsequence
 
-(* Closed-form count of protocol "values" for this implementation's exact
-   message layout; the paper's mn(d + k + 4) appears as the dominant term
-   of the DTW case. *)
-let expected_values_transferred ~params ~m ~n ~d kind =
-  let k = params.Params.k in
-  let phase1 = n * (d + 1) in
-  let reveal = 2 in
-  match kind with
-  | `Dtw ->
-    let inner = (m - 1) * (n - 1) * (k + 3) in
-    phase1 + inner + reveal
-  | `Dfd ->
-    let borders = (m - 1 + (n - 1)) * (k + 2) in
-    let inner = (m - 1) * (n - 1) * (k + 3 + k + 2) in
-    phase1 + borders + inner + reveal
-
-(* The pruning stage of a 1-vs-N query, same conventions (both directions,
-   unpacked profile).  Per candidate, per segment, per dimension: the two
-   sketch ciphertexts in, one 3-way secure-max instance (3 + k - 1 masked
-   candidates out, one result in); plus one blinded verdict ciphertext per
-   candidate.  This is also the number the admission ledger's
-   [declare_query] allowance is sized from: [candidates * (segments*d + 1)]
-   chargeable cells. *)
-let expected_query_values ~params ~candidates ~segments ~d =
-  let k = params.Params.k in
-  (candidates * segments * d * (k + 5)) + candidates

@@ -24,6 +24,18 @@
 
 open Import
 
+(* Query-path observability: stage-level counters and timings surfaced
+   through Stats_req and the metrics endpoint.  All aggregate quantities
+   the protocol already reveals (candidate counts and survive/prune bits
+   are known to both parties; sketch bytes are wire accounting). *)
+let m_submitted = Metrics.counter "query.submitted"
+let m_candidates = Metrics.counter "query.candidates"
+let m_pruned = Metrics.counter "query.pruned"
+let m_survivors = Metrics.counter "query.survivors"
+let m_sketch_bytes = Metrics.counter "query.sketch_bytes"
+let h_stage1 = Metrics.histogram "query.stage1.seconds"
+let h_stage2 = Metrics.histogram "query.stage2.seconds"
+
 type hit = { index : int; id : string; distance : Bigint.t }
 
 type report = {
@@ -89,7 +101,12 @@ let prune_round t (s : Protocol.spec) ~segments ~tau ~indices =
   let g_max = Bigint.of_int (d * m * v) in
   if Bigint.compare tau_g g_max >= 0 then Array.make ni true
   else begin
+    let wire = Client.stats t in
+    let t0 = Telemetry.now () in
+    let v0 = Stats.total_values wire in
+    let b0 = Stats.bytes_received wire in
     let sketches = Client.query_submit t ~segments ~band:(lb_band s) ~indices in
+    Metrics.incr ~by:(Stats.bytes_received wire - b0) m_sketch_bytes;
     let widths = frame_widths ~segments ~length:m in
     let w_max = Array.fold_left Stdlib.max 1 widths in
     let sums = segment_sums t ~segments in
@@ -149,9 +166,24 @@ let prune_round t (s : Protocol.spec) ~segments ~tau ~indices =
           Client.add_plain_big t !acc (Bigint.neg cut))
     in
     let bound = Bigint.succ (Bigint.max g_max (Bigint.succ tau_g)) in
-    match Client.verdict_round t ~bound diffs with
-    | Some survive -> survive
-    | None -> Array.make ni true
+    let verdict = Client.verdict_round t ~bound diffs in
+    Metrics.observe h_stage1 (Telemetry.now () -. t0);
+    match verdict with
+    | Some survive ->
+      (* The full round ran, so its wire cost must match the closed form
+         exactly — the predicted-vs-actual ledger check of this query. *)
+      let predicted =
+        Protocol.expected_query_values ~params:(Client.params t)
+          ~candidates:ni ~segments ~d
+      in
+      ignore
+        (Ledger.record ~workload:Ledger.Query ~predicted
+           ~actual:(Stats.total_values wire - v0));
+      survive
+    | None ->
+      (* modulus too small to blind the verdict: the round was cut short
+         before the verdict frame, so the closed form does not apply *)
+      Array.make ni true
   end
 
 let check_segments ~segments ~m =
@@ -165,7 +197,15 @@ let default_segments m = Stdlib.min 8 m
 let eval_exact t runner evaluated index =
   incr evaluated;
   Client.select_record t index;
-  runner t
+  let t0 = Telemetry.now () in
+  let d = runner t in
+  Metrics.observe h_stage2 (Telemetry.now () -. t0);
+  d
+
+let count_survivors survive =
+  let surv = Array.fold_left (fun a b -> if b then a + 1 else a) 0 survive in
+  Metrics.incr ~by:surv m_survivors;
+  Metrics.incr ~by:(Array.length survive - surv) m_pruned
 
 let sort_hits hits =
   Array.sort
@@ -208,6 +248,8 @@ let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
   in
   let ids, lengths = Client.catalog_list t in
   let total = Array.length ids in
+  Metrics.incr m_submitted;
+  Metrics.incr ~by:total m_candidates;
   let prunable, unprunable = partition_candidates t s lengths in
   let evaluated = ref 0 and pruned = ref 0 in
   let results = ref [] in
@@ -231,6 +273,7 @@ let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
      let tau = distances.(k - 1) in
      let indices = Array.of_list rest in
      let survive = prune_round t s ~segments ~tau ~indices in
+     count_survivors survive;
      Array.iteri
        (fun j i -> if survive.(j) then eval i else incr pruned)
        indices);
@@ -257,6 +300,8 @@ let within ?segments ~spec:(s : Protocol.spec) ~radius t =
   in
   let ids, lengths = Client.catalog_list t in
   let total = Array.length ids in
+  Metrics.incr m_submitted;
+  Metrics.incr ~by:total m_candidates;
   let prunable, unprunable = partition_candidates t s lengths in
   let evaluated = ref 0 and pruned = ref 0 in
   let results = ref [] in
@@ -270,6 +315,7 @@ let within ?segments ~spec:(s : Protocol.spec) ~radius t =
    | prunable ->
      let indices = Array.of_list prunable in
      let survive = prune_round t s ~segments ~tau:radius ~indices in
+     count_survivors survive;
      Array.iteri
        (fun j i -> if survive.(j) then eval i else incr pruned)
        indices);

@@ -403,6 +403,11 @@ let handle t (req : Message.request) : Message.reply =
      daemon's Server_loop intercepts Stats_req before it reaches here and
      prefixes its own live session counters. *)
   | Message.Stats_req -> Message.Stats_reply (Metrics.dump_string ())
+  (* Same story for the OpenMetrics page: the TCP daemon's Server_loop
+     answers (and capability-gates) this itself; in-process sessions get
+     the process-wide registry + rollups directly. *)
+  | Message.Metrics_req ->
+    Message.Metrics_reply (Exposition.render ~rollup:(Rollup.global ()) ())
   (* An in-process / single-session server is ready by definition; the
      TCP daemon's Server_loop answers this itself with live capacity. *)
   | Message.Health_req ->

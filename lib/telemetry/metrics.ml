@@ -149,6 +149,29 @@ let histogram_snapshot h =
   Mutex.unlock h.h_mu;
   snap
 
+(* --- introspection -------------------------------------------------------- *)
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of float
+  | Histogram_sample of histogram_snapshot
+
+let snapshot () =
+  let items =
+    locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
+  List.map
+    (fun (name, m) ->
+      let s =
+        match m with
+        | Counter c -> Counter_sample (counter_value c)
+        | Gauge g -> Gauge_sample (gauge_value g)
+        | Histogram h -> Histogram_sample (histogram_snapshot h)
+      in
+      (name, s))
+    items
+
 (* --- exposition ----------------------------------------------------------- *)
 
 (* One line per metric, sorted by name, whitespace-tokenized so the text

@@ -36,6 +36,15 @@ type histogram_snapshot = {
 
 val histogram_snapshot : histogram -> histogram_snapshot
 
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of float
+  | Histogram_sample of histogram_snapshot
+
+val snapshot : unit -> (string * sample) list
+(** Cumulative values of every registered metric, sorted by name.  The
+    basis for {!Rollup} windowed deltas and {!Exposition} rendering. *)
+
 val dump : Format.formatter -> unit
 (** Text exposition: one whitespace-tokenized line per metric, sorted by
     name ([counter NAME V] / [gauge NAME V] / [histogram NAME count N sum

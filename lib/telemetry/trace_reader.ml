@@ -223,18 +223,43 @@ let entry_of_line line =
   end
   | _ -> parse_error "trace line is not a JSON object"
 
-let read_lines ic =
-  let rec go lineno acc =
+type tail = Complete | Truncated of { line : int; reason : string }
+
+(* A malformed FINAL line is an expected artifact of a writer killed
+   mid-record (the server dying between write and flush), so it yields a
+   typed [Truncated] tail instead of an exception; a malformed line with
+   well-formed lines after it means real corruption and still raises. *)
+let read_lines_partial ic =
+  let rec slurp lineno acc =
     match input_line ic with
     | exception End_of_file -> List.rev acc
-    | "" -> go (lineno + 1) acc
-    | line -> begin
+    | line -> slurp (lineno + 1) ((lineno, line) :: acc)
+  in
+  let raw = slurp 1 [] in
+  let last_lineno = match List.rev raw with (n, _) :: _ -> n | [] -> 0 in
+  let rec go acc = function
+    | [] -> (List.rev acc, Complete)
+    | (_, "") :: rest -> go acc rest
+    | (lineno, line) :: rest -> begin
       match entry_of_line line with
-      | entry -> go (lineno + 1) (entry :: acc)
-      | exception Parse_error m -> parse_error "line %d: %s" lineno m
+      | entry -> go (entry :: acc) rest
+      | exception Parse_error m ->
+        if lineno = last_lineno then
+          (List.rev acc, Truncated { line = lineno; reason = m })
+        else parse_error "line %d: %s" lineno m
     end
   in
-  go 1 []
+  go [] raw
+
+let read_lines ic =
+  match read_lines_partial ic with
+  | entries, Complete -> entries
+  | _, Truncated { line; reason } -> parse_error "line %d: %s" line reason
+
+let read_file_partial path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      read_lines_partial ic)
 
 let read_file path =
   let ic = open_in path in

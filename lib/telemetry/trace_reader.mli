@@ -30,9 +30,20 @@ type entry = {
 val entry_of_line : string -> entry
 (** @raise Parse_error when the line is not a telemetry record. *)
 
+type tail = Complete | Truncated of { line : int; reason : string }
+
+val read_file_partial : string -> entry list * tail
+(** Like {!read_file}, but a malformed {e final} line — the expected
+    artifact of a writer killed mid-record — is reported as a typed
+    [Truncated] tail alongside every complete entry before it, instead of
+    raising.  A malformed line followed by well-formed lines still raises
+    [Parse_error] (that is corruption, not truncation).
+    @raise Sys_error if unreadable. *)
+
 val read_file : string -> entry list
 (** Blank lines are skipped. @raise Parse_error with the line number on
-    the first malformed line. @raise Sys_error if unreadable. *)
+    the first malformed line (including a truncated final line).
+    @raise Sys_error if unreadable. *)
 
 val lint_entry : entry -> string option
 (** Leakage lint: [Some reason] when the entry carries anything the

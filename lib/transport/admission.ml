@@ -161,7 +161,7 @@ let cells_of_request (req : Message.request) =
   | Verdict_request blinded -> Some (`Min, Array.length blinded)
   | Hello _ | Phase1_request | Reveal_request _ | Catalog_request
   | Select_request _ | Stats_req | Bye | Resume _ | Health_req
-  | Catalog_list_request | Query_submit _ -> None
+  | Catalog_list_request | Query_submit _ | Metrics_req -> None
 
 let to_reply = function
   | Admit -> None

@@ -21,6 +21,7 @@ type request =
   | Catalog_list_request
   | Query_submit of { segments : int; band : int option; indices : int array }
   | Verdict_request of Bigint.t array
+  | Metrics_req
 
 type phase1_element = { sum_sq : Bigint.t; coords : Bigint.t array }
 type sketch = { lo : Bigint.t array; hi : Bigint.t array }
@@ -57,6 +58,7 @@ type reply =
   | Catalog_list_reply of { ids : string array; lengths : int array }
   | Query_sketch of sketch array
   | Verdict_reply of bool array
+  | Metrics_reply of string
 
 type t = Request of request | Reply of reply
 
@@ -79,6 +81,7 @@ let tag_packed_max_request = 0x0f
 let tag_catalog_list_request = 0x10
 let tag_query_submit = 0x11
 let tag_verdict_request = 0x12
+let tag_metrics_request = 0x13
 let tag_welcome = 0x81
 let tag_phase1_reply = 0x82
 let tag_cipher_reply = 0x83
@@ -97,6 +100,7 @@ let tag_health_reply = 0x8f
 let tag_catalog_list_reply = 0x90
 let tag_query_sketch = 0x91
 let tag_verdict_reply = 0x92
+let tag_metrics_reply = 0x93
 
 (* Capability bits carried in [Hello.flags] (the client's offer) and
    echoed back in [Welcome.flags] (the server's grant = offer AND
@@ -126,6 +130,13 @@ let flag_packing = 0x08
    capability — a flags-0 session never sees the new tags and its
    transcript stays byte-identical. *)
 let flag_catalog = 0x10
+
+(* [flag_metrics] grants the observability extension: [Metrics_req]
+   returns the OpenMetrics text page (registry + windowed rollups) the
+   sidecar HTTP endpoint serves.  Pure capability — the page carries the
+   same aggregate-only surface as [Stats_reply], and a session that never
+   offers the bit has a byte-identical transcript. *)
+let flag_metrics = 0x20
 
 let encode t =
   let w = Wire.writer () in
@@ -191,6 +202,7 @@ let encode t =
    | Request (Verdict_request blinded) ->
      Wire.put_u8 w tag_verdict_request;
      Wire.put_bigint_array w blinded
+   | Request Metrics_req -> Wire.put_u8 w tag_metrics_request
    | Request Bye -> Wire.put_u8 w tag_bye
    | Request (Resume { token; client_rounds; flags }) ->
      Wire.put_u8 w tag_resume;
@@ -239,6 +251,9 @@ let encode t =
      Wire.put_f64 w server_seconds
    | Reply (Stats_reply text) ->
      Wire.put_u8 w tag_stats_reply;
+     Wire.put_bytes w text
+   | Reply (Metrics_reply text) ->
+     Wire.put_u8 w tag_metrics_reply;
      Wire.put_bytes w text
    | Reply (Busy { retry_after_s }) ->
      Wire.put_u8 w tag_busy;
@@ -339,6 +354,7 @@ let decode s =
     end
     else if tag = tag_verdict_request then
       Request (Verdict_request (Wire.get_bigint_array r))
+    else if tag = tag_metrics_request then Request Metrics_req
     else if tag = tag_bye then Request Bye
     else if tag = tag_resume then begin
       let token = Wire.get_bytes r in
@@ -386,6 +402,7 @@ let decode s =
     else if tag = tag_bye_ack then
       Reply (Bye_ack { server_seconds = Wire.get_f64 r })
     else if tag = tag_stats_reply then Reply (Stats_reply (Wire.get_bytes r))
+    else if tag = tag_metrics_reply then Reply (Metrics_reply (Wire.get_bytes r))
     else if tag = tag_busy then Reply (Busy { retry_after_s = Wire.get_f64 r })
     else if tag = tag_resume_ack then begin
       let server_rounds = Wire.get_u32 r in
@@ -473,6 +490,7 @@ let describe = function
       (match band with None -> "none" | Some b -> string_of_int b)
   | Request (Verdict_request blinded) ->
     Printf.sprintf "verdict-request(%d candidates)" (Array.length blinded)
+  | Request Metrics_req -> "metrics-request"
   | Request Bye -> "bye"
   | Request (Resume { client_rounds; flags; _ }) ->
     Printf.sprintf "resume(acked=%d, flags=0x%02x)" client_rounds flags
@@ -508,11 +526,14 @@ let describe = function
     Printf.sprintf "query-sketch(%d candidates)" (Array.length sketches)
   | Reply (Verdict_reply survive) ->
     Printf.sprintf "verdict-reply(%d candidates)" (Array.length survive)
+  | Reply (Metrics_reply text) ->
+    Printf.sprintf "metrics-reply(%d bytes)" (String.length text)
 
 let values_in = function
   | Request (Hello _) | Request Phase1_request | Request Bye | Request Stats_req
   | Request Health_req | Request Catalog_list_request | Request (Query_submit _)
-  | Request Catalog_request | Request (Select_request _) | Request (Resume _) -> 0
+  | Request Catalog_request | Request (Select_request _) | Request (Resume _)
+  | Request Metrics_req -> 0
   | Request (Verdict_request blinded) -> Array.length blinded
   | Request (Min_request c) | Request (Max_request c) -> Array.length c
   | Request (Batch_min_request sets) | Request (Batch_max_request sets) ->
@@ -524,7 +545,8 @@ let values_in = function
   | Reply (Catalog_reply _) | Reply (Select_ack _) | Reply (Stats_reply _)
   | Reply (Resume_ack _) | Reply (Resume_reject _)
   | Reply (Quota_exceeded _) | Reply (Health_reply _)
-  | Reply (Catalog_list_reply _) | Reply (Verdict_reply _) -> 0
+  | Reply (Catalog_list_reply _) | Reply (Verdict_reply _)
+  | Reply (Metrics_reply _) -> 0
   | Reply (Query_sketch sketches) ->
     Array.fold_left
       (fun acc { lo; hi } -> acc + Array.length lo + Array.length hi)

@@ -105,6 +105,13 @@ type request =
           each plaintext ([Verdict_reply]) — the magnitude is blinded by
           [ρ, μ], so the server learns one bit per candidate: prune or
           survive (SECURITY.md). *)
+  | Metrics_req
+      (** Observability extension (tag [0x13], requires granted
+          {!flag_metrics}): ask for the OpenMetrics text page — the full
+          registry plus windowed rollups, exactly what the sidecar HTTP
+          endpoint serves.  Like [Stats_req]/[Health_req] it is also
+          answered on probe connections at capacity, without consuming a
+          session slot. *)
 
 type phase1_element = {
   sum_sq : Bigint.t;  (** [Enc(Σ_l y_{j,l}²)] *)
@@ -206,6 +213,10 @@ type reply =
           the [Verdict_request], in request order: [true] = the
           candidate survives (its lower bound does not clear the
           threshold), [false] = it is pruned. *)
+  | Metrics_reply of string
+      (** OpenMetrics text page (tag [0x93]), answering [Metrics_req].
+          Same leakage surface as [Stats_reply]: static metric names and
+          aggregate numbers only ({!Ppst_telemetry.Exposition}). *)
 
 type t = Request of request | Reply of reply
 
@@ -244,6 +255,7 @@ val tag_packed_max_request : int
 val tag_catalog_list_request : int
 val tag_query_submit : int
 val tag_verdict_request : int
+val tag_metrics_request : int
 val tag_welcome : int
 val tag_phase1_reply : int
 val tag_cipher_reply : int
@@ -262,6 +274,7 @@ val tag_health_reply : int
 val tag_catalog_list_reply : int
 val tag_query_sketch : int
 val tag_verdict_reply : int
+val tag_metrics_reply : int
 
 (** {1 Capability flags}
 
@@ -293,3 +306,8 @@ val flag_catalog : int
     and [Verdict_request] frames — the 1-vs-N catalog-search extension.
     Leakage is confined to public metadata (ids, lengths) plus one
     survive/prune bit per queried candidate (SECURITY.md). *)
+
+val flag_metrics : int
+(** [0x20]: the server accepts [Metrics_req] frames for this session —
+    the observability extension.  Aggregate-only surface, identical in
+    kind to [Stats_req] (SECURITY.md). *)

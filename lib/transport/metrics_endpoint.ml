@@ -1,0 +1,129 @@
+(* Sidecar HTTP listener for Prometheus-style scrapes.
+
+   A deliberately tiny HTTP/1.0 responder: one background thread accepts
+   connections, reads whatever request line + headers arrive within a
+   short deadline, and answers every path with the rendered metrics page.
+   It lives on its own port — separate from the framed protocol listener
+   — so scraping never competes with sessions for slots, admission or
+   rate limits, and a hung scraper can at worst stall the sidecar thread,
+   never the serving loop.
+
+   The page is the same aggregate-only surface as Stats_req/Metrics_req
+   (static metric names + numbers), so exposing it over plain HTTP adds
+   no leakage beyond what the wire message already grants. *)
+
+module Rollup = Ppst_telemetry.Rollup
+module Exposition = Ppst_telemetry.Exposition
+module Metrics = Ppst_telemetry.Metrics
+
+let m_scrapes = Metrics.counter "metrics.endpoint.scrapes"
+let m_errors = Metrics.counter "metrics.endpoint.errors"
+
+type t = {
+  listener : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let default_render () = Exposition.render ~rollup:(Rollup.global ()) ()
+
+(* Read until the blank line ending the headers, EOF, a size cap or the
+   deadline — whichever comes first.  The request itself is ignored
+   (every path serves the page), so tolerance beats strictness here. *)
+let drain_request fd =
+  let deadline = Monoclock.now () +. 2.0 in
+  let buf = Bytes.create 1024 in
+  let seen = Buffer.create 256 in
+  let rec go () =
+    if Monoclock.now () >= deadline || Buffer.length seen > 8192 then ()
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> go ()
+      | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes seen buf 0 n;
+          let s = Buffer.contents seen in
+          let terminated i sep =
+            let l = String.length sep in
+            String.length s >= i + l && String.sub s i l = sep
+          in
+          let rec find i =
+            if i > String.length s - 2 then false
+            else terminated i "\r\n\r\n" || terminated i "\n\n" || find (i + 1)
+          in
+          if not (find 0) then go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> go ())
+  in
+  (try go () with Unix.Unix_error _ -> ())
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> ()
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let handle_conn render fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      drain_request fd;
+      let body = render () in
+      let head =
+        Printf.sprintf
+          "HTTP/1.0 200 OK\r\n\
+           Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n"
+          (String.length body)
+      in
+      write_all fd (head ^ body);
+      Metrics.incr m_scrapes)
+
+let serve t render =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listener ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.listener with
+      | fd, _ -> (
+        try handle_conn render fd
+        with _ -> Metrics.incr m_errors)
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ?(render = default_render) ~port () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listener 16
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { listener; port; stop_flag = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> serve t render) ());
+  t
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.thread with Some th -> Thread.join th | None -> ());
+  t.thread <- None;
+  try Unix.close t.listener with Unix.Unix_error _ -> ()

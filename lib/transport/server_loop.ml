@@ -14,6 +14,8 @@
 
 module Telemetry = Ppst_telemetry.Telemetry
 module Metrics = Ppst_telemetry.Metrics
+module Rollup = Ppst_telemetry.Rollup
+module Exposition = Ppst_telemetry.Exposition
 
 (* Session lifecycle metrics, exposed to operators through Stats_req. *)
 let m_active = Metrics.gauge "server.sessions.active"
@@ -39,6 +41,7 @@ type config = {
   drain_timeout_s : float;
   enable_crc : bool;
   enable_resume : bool;
+  enable_metrics : bool;
   resume_ttl_s : float;
   resume_capacity : int;
   faults : Faults.t option;
@@ -59,6 +62,7 @@ let default_config =
     drain_timeout_s = 30.0;
     enable_crc = true;
     enable_resume = true;
+    enable_metrics = true;
     resume_ttl_s = 300.0;
     resume_capacity = 1024;
     faults = None;
@@ -211,7 +215,8 @@ let sweep_resume t = Resume_table.sweep t.resume
 (* Capability bits this loop grants when a client offers them. *)
 let supported_flags t =
   (if t.config.enable_crc then Message.flag_crc32 else 0)
-  lor if t.config.enable_resume then Message.flag_resume else 0
+  lor (if t.config.enable_resume then Message.flag_resume else 0)
+  lor if t.config.enable_metrics then Message.flag_metrics else 0
 
 (* 128-bit resume token: pure CSPRNG output, never derived from key or
    protocol state, so it reveals nothing (SECURITY.md).  The rng is
@@ -250,7 +255,13 @@ let stats_text t =
     (Printf.sprintf "evicted %d\n" (Resume_table.evicted_total t.resume));
   Buffer.add_string b "# metrics\n";
   Buffer.add_string b (Metrics.dump_string ());
+  Buffer.add_string b "# windows\n";
+  Buffer.add_string b (Rollup.dump_string (Rollup.global ()));
   Buffer.contents b
+
+(* The Metrics_reply / sidecar-endpoint payload: the registry and its
+   windowed rollups in OpenMetrics text form. *)
+let metrics_text () = Exposition.render ~rollup:(Rollup.global ()) ()
 
 (* Readiness, as reported to Health_req probes.  Shedding (2) dominates
    at-capacity (1): a load balancer must stop sending work before the
@@ -306,6 +317,10 @@ let serve_session t ~id ~peer fd =
   let cap = t.config.max_frame in
   let stats = Stats.create () in
   let crc = ref false in
+  (* Whether this connection has negotiated (Hello or Resume).  Before
+     that, Metrics_req is open introspection like Stats_req; after a
+     negotiation that did not grant the flag, it is a violation. *)
+  let negotiated = ref false in
   let attached : session_ctx option ref = ref None in
   let base_requests = ref 0 in
   let base_handler = ref 0.0 in
@@ -503,10 +518,12 @@ let serve_session t ~id ~peer fd =
                           flags = granted;
                         });
                    crc := granted land Message.flag_crc32 <> 0;
+                   negotiated := true;
                    loop ()))
              | Message.Request (Message.Hello { flags; spec } as req) -> (
                let c = ctx () in
                c.requests <- c.requests + 1;
+               negotiated := true;
                let reply = timed c req in
                let reply =
                  match reply with
@@ -590,6 +607,26 @@ let serve_session t ~id ~peer fd =
                let c = ctx () in
                c.requests <- c.requests + 1;
                write_reply (health_reply t);
+               loop ()
+             | Message.Request Message.Metrics_req ->
+               (* loop-answered like Stats_req.  Sessionless probes (no
+                  Hello yet) are open introspection; once a session has
+                  negotiated, the reply follows the granted capability —
+                  a session that never offered the bit gets a named
+                  violation, not a page *)
+               let c = ctx () in
+               c.requests <- c.requests + 1;
+               if t.config.enable_metrics
+                  && ((not !negotiated)
+                     || c.granted land Message.flag_metrics <> 0)
+               then write_reply (Message.Metrics_reply (metrics_text ()))
+               else begin
+                 Metrics.incr m_capability_violations;
+                 write_reply
+                   (Message.Error_reply
+                      "capability violation: metrics exposition was not \
+                       granted on this session")
+               end;
                loop ()
              | Message.Request req -> (
                let c = ctx () in
@@ -748,12 +785,26 @@ let reject_or_probe ?(shed = false) ?retry_after t fd =
   let answer_probe = function
     | Message.Stats_req ->
       best_effort_reply ?max_frame:cap fd (Message.Stats_reply (stats_text t))
+    | Message.Metrics_req ->
+      (* the endpoint must work precisely when the server is saturated;
+         probe connections carry no negotiated grant, so the only gate
+         here is the server-side config switch *)
+      if t.config.enable_metrics then
+        best_effort_reply ?max_frame:cap fd
+          (Message.Metrics_reply (metrics_text ()))
+      else
+        best_effort_reply ?max_frame:cap fd
+          (Message.Error_reply
+             "capability violation: metrics exposition is disabled")
     | _ -> best_effort_reply ?max_frame:cap fd (health_reply t)
   in
   let rec probe_loop budget =
     if budget > 0 then begin
       match read_req ~timeout:2.0 with
-      | Some (Message.Request ((Message.Stats_req | Message.Health_req) as p)) ->
+      | Some
+          (Message.Request
+             ((Message.Stats_req | Message.Health_req | Message.Metrics_req) as
+              p)) ->
         answer_probe p;
         probe_loop (budget - 1)
       | Some (Message.Request Message.Bye) ->
@@ -764,7 +815,10 @@ let reject_or_probe ?(shed = false) ?retry_after t fd =
   in
   let answered_probe =
     match read_req ~timeout:0.5 with
-    | Some (Message.Request ((Message.Stats_req | Message.Health_req) as p)) ->
+    | Some
+        (Message.Request
+           ((Message.Stats_req | Message.Health_req | Message.Metrics_req) as p))
+      ->
       answer_probe p;
       probe_loop 64;
       true

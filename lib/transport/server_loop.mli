@@ -55,6 +55,11 @@ type config = {
   enable_resume : bool;
       (** grant {!Message.flag_resume} when offered: issue a resume
           token and park interrupted sessions in the resume table *)
+  enable_metrics : bool;
+      (** grant {!Message.flag_metrics} when offered and answer
+          [Metrics_req] (in-session and on probe connections) with the
+          OpenMetrics page; when [false] the request draws a named
+          capability-violation [Error_reply] *)
   resume_ttl_s : float;
       (** parked state lives this long before TTL eviction *)
   resume_capacity : int;

@@ -25,12 +25,20 @@
 # per-frame-index disconnect matrix run inside `dune runtest` —
 # test/test_resilience.ml.)
 #
-# Finally (e) an overload smoke: a capacity-2 server with admission
+# (e) an overload smoke: a capacity-2 server with admission
 # quotas takes a 6-client burst — every client must still reveal the
 # correct distance (Busy + retry-after absorbs the overflow), the
 # health probe must answer before and after the burst, and an
 # oversized session must be turned away with a typed quota verdict
 # before any Paillier work.
+#
+# Finally (f) observability: two smoke traces of the same seed must
+# diff clean while a doctored 2x-latency copy must be flagged; a
+# truncated trace tail is reported with its own exit code; the catalog
+# smoke runs with the metrics sidecar up and the exposition page (both
+# the HTTP endpoint and the in-protocol metrics verb) must carry the
+# server-side families; and `ppst_analyze report` runs advisory over
+# the checked-in BENCH_*.json artifacts.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,8 +46,10 @@ dune build @all
 dune runtest
 
 trace="$(mktemp /tmp/ppst_ci_trace.XXXXXX.jsonl)"
+trace2=""
+doctored=""
 chaos_dir="$(mktemp -d /tmp/ppst_ci_chaos.XXXXXX)"
-trap 'rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
+trap 'rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir"' EXIT INT TERM
 
 dune exec bench/main.exe -- smoke --log-json --trace-out "$trace"
 
@@ -56,6 +66,61 @@ if grep -E '[0-9]{17}' "$trace"; then
   exit 1
 fi
 echo "ci: telemetry trace lint OK ($(wc -l < "$trace") records)"
+
+# Regression diff: a second run of the same seed must diff clean against
+# the first (byte counts repeat exactly; latency floors absorb scheduler
+# noise), and a candidate whose span and round latencies are doubled
+# must be flagged.
+trace2="$(mktemp /tmp/ppst_ci_trace2.XXXXXX.jsonl)"
+doctored="$(mktemp /tmp/ppst_ci_doctored.XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir"' EXIT INT TERM
+# The 100ms floor keeps sub-100ms span jitter (scheduler noise on a
+# loaded CI host) out of the verdict; the doctored 2x copy still trips
+# it through the session span and the latency total.
+dune exec bench/main.exe -- smoke --log-json --trace-out "$trace2" >/dev/null
+dune exec bin/ppst_analyze.exe -- diff "$trace" "$trace2" --latency-floor-ms 100
+python3 - "$trace" "$doctored" <<'PYEOF'
+import json, sys
+def double(o):
+    if isinstance(o, dict):
+        return {k: (v * 2 if k in ("dt", "latency_s") and isinstance(v, (int, float))
+                    else double(v)) for k, v in o.items()}
+    if isinstance(o, list):
+        return [double(v) for v in o]
+    return o
+with open(sys.argv[1]) as src, open(sys.argv[2], "w") as dst:
+    for line in src:
+        line = line.strip()
+        if line:
+            dst.write(json.dumps(double(json.loads(line))) + "\n")
+PYEOF
+diff_rc=0
+dune exec bin/ppst_analyze.exe -- diff "$trace" "$doctored" --latency-floor-ms 100 \
+  >/dev/null 2>&1 || diff_rc=$?
+if [ "$diff_rc" -ne 1 ]; then
+  echo "ci: regression diff FAILED: doctored 2x slowdown not flagged (exit $diff_rc)" >&2
+  exit 1
+fi
+echo "ci: regression diff OK (same seed quiet, doctored 2x slowdown flagged)"
+
+# A trace whose final line was cut mid-record (crashed writer, partial
+# copy) is linted on the complete prefix and reported with exit 3, not
+# a parse abort.
+total_bytes="$(wc -c < "$trace")"
+head -c "$((total_bytes - 20))" "$trace" > "$doctored"
+trunc_rc=0
+dune exec bin/ppst_analyze.exe -- trace "$doctored" --lint \
+  >/dev/null 2>&1 || trunc_rc=$?
+if [ "$trunc_rc" -ne 3 ]; then
+  echo "ci: truncated-tail FAILED: want exit 3, got $trunc_rc" >&2
+  exit 1
+fi
+echo "ci: truncated trace tail reported with exit 3"
+
+# Advisory bench report over the checked-in artifacts (gating needs
+# --strict --baseline; here it only has to parse and summarize).
+dune exec bin/ppst_analyze.exe -- report BENCH_*.json >/dev/null
+echo "ci: bench report OK ($(ls BENCH_*.json | wc -l) artifact(s))"
 
 # Chaos smoke: clean run vs a fault-injected server; distances must match.
 ./_build/default/bin/ppst_datagen.exe --seed 4101 -n 12 "$chaos_dir/y.csv"
@@ -91,7 +156,7 @@ overload_port=17973
   --concurrency 2 --max-series-len 64 --max-dim 4 --max-cells 4096 \
   "$chaos_dir/y.csv" >"$chaos_dir/server-overload.log" 2>&1 &
 overload_pid=$!
-trap 'kill "$overload_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
+trap 'kill "$overload_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir"' EXIT INT TERM
 sleep 1
 
 ./_build/default/bin/ppst_client.exe -p "$overload_port" --health \
@@ -138,7 +203,7 @@ tight_port=17974
 ./_build/default/bin/ppst_server.exe -p "$tight_port" --seed ci-overload-tight \
   --max-series-len 4 "$chaos_dir/y.csv" >"$chaos_dir/server-tight.log" 2>&1 &
 tight_pid=$!
-trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir"' EXIT INT TERM
+trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir"' EXIT INT TERM
 sleep 1
 rejected=0
 ./_build/default/bin/ppst_client.exe -p "$tight_port" \
@@ -160,7 +225,7 @@ echo "ci: overload smoke OK (6/6 burst distances correct, oversized session quot
 # query declaration must be quota-rejected with exit 69 before any
 # Paillier work.
 cat_dir="$(mktemp -d /tmp/ppst_ci_catalog.XXXXXX)"
-trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+trap 'kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
 mkdir "$cat_dir/store"
 i=0
 while [ "$i" -lt 20 ]; do
@@ -174,11 +239,26 @@ done >/dev/null
 
 catalog_port=17975
 ./_build/default/bin/ppst_server.exe -p "$catalog_port" --seed ci-catalog \
-  --catalog "$cat_dir/store" --sessions 4 \
+  --catalog "$cat_dir/store" --sessions 12 --metrics-port 0 \
   >"$cat_dir/server.log" 2>&1 &
 catalog_pid=$!
-trap 'kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
-sleep 1
+trap 'kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+# A fixed sleep flakes on a loaded host: poll the health probe until the
+# listener is up (or give up and dump the server log).
+ready=0
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  if ./_build/default/bin/ppst_client.exe health -p "$catalog_port" \
+       >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.5
+done
+if [ "$ready" -ne 1 ]; then
+  echo "ci: catalog smoke FAILED: server never became ready on port $catalog_port" >&2
+  cat "$cat_dir/server.log" >&2 || true
+  exit 1
+fi
 
 ./_build/default/bin/ppst_client.exe catalog -p "$catalog_port" \
   >"$cat_dir/list.log"
@@ -215,6 +295,38 @@ if [ -z "$pruned_n" ] || [ "$pruned_n" -lt 10 ]; then
   cat "$cat_dir/within.log" "$cat_dir/server.log" >&2 || true
   exit 1
 fi
+
+# Metrics endpoint scrape while the catalog server is live: the sidecar
+# (bound to an ephemeral port, announced on stdout) and the in-protocol
+# metrics verb must both expose the server-side families (the query.*
+# and ledger.* families live in the querying client's registry and are
+# asserted by `bench observability`), and the page must be a complete
+# OpenMetrics document.
+metrics_port="$(sed -n 's/^metrics port: //p' "$cat_dir/server.log")"
+if [ -z "$metrics_port" ]; then
+  echo "ci: observability smoke FAILED: server did not announce a metrics port" >&2
+  cat "$cat_dir/server.log" >&2 || true
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$metrics_port/metrics" >"$cat_dir/scrape.txt"
+./_build/default/bin/ppst_client.exe metrics -p "$catalog_port" \
+  >"$cat_dir/metrics-verb.txt"
+for page in "$cat_dir/scrape.txt" "$cat_dir/metrics-verb.txt"; do
+  for family in ppst_server_sessions_accepted ppst_server_sessions_completed \
+                ppst_transport_rounds ppst_metrics_endpoint_scrapes; do
+    if ! grep -q "^$family" "$page"; then
+      echo "ci: observability smoke FAILED: $page lacks $family" >&2
+      head -40 "$page" >&2 || true
+      exit 1
+    fi
+  done
+  if ! tail -1 "$page" | grep -q '^# EOF'; then
+    echo "ci: observability smoke FAILED: $page is not EOF-terminated" >&2
+    exit 1
+  fi
+done
+echo "ci: observability smoke OK (endpoint + metrics verb expose the server families)"
+
 kill "$catalog_pid" 2>/dev/null || true
 wait "$catalog_pid" 2>/dev/null || true
 
@@ -225,7 +337,7 @@ tight_cat_port=17976
   --catalog "$cat_dir/store" --max-cells 150 --sessions 1 \
   >"$cat_dir/server-tight.log" 2>&1 &
 tight_cat_pid=$!
-trap 'kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
+trap 'kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir"' EXIT INT TERM
 sleep 1
 rejected=0
 ./_build/default/bin/ppst_client.exe query -p "$tight_cat_port" \

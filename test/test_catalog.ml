@@ -443,6 +443,7 @@ let test_expected_query_values () =
       (Series.create (Array.make 16 [| 9 |]))
   done;
   let x = Series.create (Array.make 16 [| 0 |]) in
+  let drift_before = Ppst.Ledger.drift_events () in
   let report, stats =
     Ppst.Query.run_within ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"cost-query"
       ~radius:Bigint.zero ~x ~store ()
@@ -456,7 +457,48 @@ let test_expected_query_values () =
   (* pin the closed form itself: C*S*d*(k+5) + C with k = 10 *)
   Alcotest.(check int) "closed form" 1210 expected;
   Alcotest.(check int) "live accounting matches" expected
-    (Stats.values_sent stats + Stats.values_received stats)
+    (Stats.values_sent stats + Stats.values_received stats);
+  (* the cost-attribution ledger checked the same run online: the most
+     recent entry is this query, with zero drift *)
+  (match Ppst.Ledger.recent () with
+   | e :: _ ->
+     Alcotest.(check bool) "query workload" true
+       (e.Ppst.Ledger.workload = Ppst.Ledger.Query);
+     Alcotest.(check int) "ledger predicted" expected
+       e.Ppst.Ledger.predicted_values;
+     Alcotest.(check int) "ledger actual" expected e.Ppst.Ledger.actual_values;
+     Alcotest.(check int) "ledger drift" 0 (Ppst.Ledger.drift e)
+   | [] -> Alcotest.fail "no ledger entry recorded for the query");
+  Alcotest.(check int) "no drift events" drift_before
+    (Ppst.Ledger.drift_events ())
+
+(* The pairwise ledger hook fires on every full (unbanded, unpacked)
+   DTW/DFD run; a seeded paper-example session must balance exactly. *)
+let test_ledger_pairwise_zero_drift () =
+  let x = Series.of_list [ 3; 4; 5; 4; 6; 7 ]
+  and y = Series.of_list [ 2; 4; 6; 5; 7 ] in
+  let drift_before = Ppst.Ledger.drift_events () in
+  let r =
+    Ppst.Protocol.run ~spec:(Ppst.Protocol.spec `Dtw) ~seed:"ledger-pairwise"
+      ~x ~y ()
+  in
+  let expected =
+    Ppst.Protocol.expected_values_transferred ~params:Ppst.Params.default
+      ~m:6 ~n:5 ~d:1 `Dtw
+  in
+  Alcotest.(check int) "closed form pinned" 272 expected;
+  Alcotest.(check int) "wire accounting" expected
+    (Stats.total_values r.Ppst.Protocol.stats);
+  (match Ppst.Ledger.recent () with
+   | e :: _ ->
+     Alcotest.(check bool) "pairwise workload" true
+       (e.Ppst.Ledger.workload = Ppst.Ledger.Pairwise);
+     Alcotest.(check int) "ledger predicted" expected
+       e.Ppst.Ledger.predicted_values;
+     Alcotest.(check int) "ledger actual" expected e.Ppst.Ledger.actual_values
+   | [] -> Alcotest.fail "no ledger entry recorded for the run");
+  Alcotest.(check int) "no drift events" drift_before
+    (Ppst.Ledger.drift_events ())
 
 (* the pairwise formula must not have drifted (admission and cost model
    agree on the same layout) *)
@@ -507,5 +549,7 @@ let () =
           Alcotest.test_case "query values" `Quick test_expected_query_values;
           Alcotest.test_case "pairwise values pinned" `Quick
             test_expected_pairwise_values_pinned;
+          Alcotest.test_case "pairwise ledger zero drift" `Quick
+            test_ledger_pairwise_zero_drift;
         ] );
     ]

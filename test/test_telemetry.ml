@@ -75,6 +75,11 @@ let starts_with prefix l =
   String.length l >= String.length prefix
   && String.sub l 0 (String.length prefix) = prefix
 
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec at i = i + n <= m && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
 let test_dump_format () =
   ignore (Metrics.counter "test.dump.a");
   let g = Metrics.gauge "test.dump.b" in
@@ -92,6 +97,92 @@ let test_dump_format () =
   Alcotest.(check bool) "counter line present" true (ia >= 0);
   Alcotest.(check bool) "gauge line present" true (ib >= 0);
   Alcotest.(check bool) "sorted by name" true (ia < ib)
+
+(* --- windowed rollups ---------------------------------------------------- *)
+
+module Rollup = Ppst_telemetry.Rollup
+
+let find_wc w name =
+  List.find_opt (fun c -> c.Rollup.wc_name = name) w.Rollup.w_counters
+
+let find_wh w name =
+  List.find_opt (fun h -> h.Rollup.wh_name = name) w.Rollup.w_histograms
+
+let test_rollup_fake_clock () =
+  let clock = ref 0.0 in
+  let r = Rollup.create ~now:(fun () -> !clock) ~slot_s:60.0 () in
+  let c = Metrics.counter "test.rollup.clock" in
+  (* slot 0: 30 increments, half a slot in *)
+  Metrics.incr ~by:30 c;
+  clock := 30.0;
+  let w = Rollup.window r ~slots:1 in
+  (match find_wc w "test.rollup.clock" with
+   | Some wc ->
+     Alcotest.(check int) "partial-slot delta" 30 wc.Rollup.wc_delta;
+     Alcotest.(check (float 0.01)) "rate over actual span" 1.0 wc.Rollup.wc_rate
+   | None -> Alcotest.fail "counter missing from window");
+  (* cross into slot 1: the first tick after the crossing freezes slot 0's
+     totals (sampling semantics — increments before that tick belong to
+     the closed slot) *)
+  clock := 70.0;
+  Rollup.tick r;
+  Metrics.incr ~by:5 c;
+  let w = Rollup.window r ~slots:1 in
+  (match find_wc w "test.rollup.clock" with
+   | Some wc ->
+     Alcotest.(check int) "new slot sees only new increments" 5
+       wc.Rollup.wc_delta
+   | None -> Alcotest.fail "counter missing after advance");
+  (* a 2-slot window spans the boundary and sees both batches *)
+  let w2 = Rollup.window r ~slots:2 in
+  (match find_wc w2 "test.rollup.clock" with
+   | Some wc -> Alcotest.(check int) "2-slot delta" 35 wc.Rollup.wc_delta
+   | None -> Alcotest.fail "counter missing from 2-slot window");
+  (* EWMA updated at the slot advance: alpha * (30/60) against a zero seed *)
+  (match List.assoc_opt "test.rollup.clock" (Rollup.ewma r) with
+   | Some rate -> Alcotest.(check bool) "ewma positive" true (rate > 0.0)
+   | None -> Alcotest.fail "no ewma entry");
+  (* a long silent gap: missed boundaries are backfilled, window drains *)
+  clock := 60.0 *. 40.0;
+  let w = Rollup.window r ~slots:15 in
+  match find_wc w "test.rollup.clock" with
+  | Some wc -> Alcotest.(check int) "idle window empty" 0 wc.Rollup.wc_delta
+  | None -> ()
+
+let test_rollup_histogram_across_domains () =
+  let clock = ref 0.0 in
+  let r = Rollup.create ~now:(fun () -> !clock) ~slot_s:60.0 () in
+  let h =
+    Metrics.histogram ~buckets:[| 0.001; 0.01; 0.1; 1.0 |]
+      "test.rollup.domains"
+  in
+  (* 4 Domains race 1000 observations each into the same histogram; the
+     windowed view must merge them without losing any *)
+  let per_domain = 1000 and domains = 4 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* deterministic spread: ~half in (0.001, 0.01], rest higher *)
+              let v = if (i + d) mod 2 = 0 then 0.005 else 0.05 in
+              Metrics.observe h v
+            done))
+  in
+  List.iter Domain.join workers;
+  clock := 30.0;
+  let w = Rollup.window r ~slots:1 in
+  match find_wh w "test.rollup.domains" with
+  | Some wh ->
+    Alcotest.(check int) "no lost observations" (domains * per_domain)
+      wh.Rollup.wh_count;
+    Alcotest.(check (float 1e-6)) "sum merged" 110.0 wh.Rollup.wh_sum;
+    (* half the mass is at 0.005, half at 0.05: p50 inside (0.001, 0.01],
+       p95/p99 inside (0.01, 0.1] (epsilon slack for the interpolation) *)
+    Alcotest.(check bool) "p50 bracket" true
+      (wh.Rollup.wh_p50 > 0.001 && wh.Rollup.wh_p50 <= 0.01 +. 1e-9);
+    Alcotest.(check bool) "p99 bracket" true
+      (wh.Rollup.wh_p99 > 0.01 && wh.Rollup.wh_p99 <= 0.1 +. 1e-9)
+  | None -> Alcotest.fail "histogram missing from window"
 
 (* --- spans and the JSONL sink ------------------------------------------- *)
 
@@ -288,6 +379,109 @@ let test_stats_req_live_sessions () =
       Channel.close a;
       Channel.close b)
 
+let test_metrics_codec_round_trip () =
+  let req = Message.Request Message.Metrics_req in
+  (match Message.decode (Message.encode req) with
+   | Message.Request Message.Metrics_req -> ()
+   | other ->
+     Alcotest.fail ("request did not round-trip: " ^ Message.describe other));
+  Alcotest.(check int) "request carries no protocol values" 0
+    (Message.values_in req);
+  let page = "# TYPE ppst_example counter\nppst_example 1\n# EOF\n" in
+  let reply = Message.Reply (Message.Metrics_reply page) in
+  (match Message.decode (Message.encode reply) with
+   | Message.Reply (Message.Metrics_reply text) ->
+     Alcotest.(check string) "payload preserved" page text
+   | other ->
+     Alcotest.fail ("reply did not round-trip: " ^ Message.describe other));
+  Alcotest.(check int) "reply carries no protocol values" 0
+    (Message.values_in reply)
+
+(* In-session Metrics_req is a negotiated capability: granted only when
+   Hello offered the flag (and the server allows it); otherwise the reply
+   is a typed capability violation, exactly like the catalog messages. *)
+let test_metrics_capability_gating () =
+  let t = make_loop ~seed:"metrics-gate" () in
+  let loop = fst t in
+  let port = Server_loop.port loop in
+  Fun.protect ~finally:(fun () -> stop t)
+    (fun () ->
+      (* without the flag: refused *)
+      let a = Channel.connect ~host:"127.0.0.1" ~port () in
+      (match Channel.request a (Message.Hello { flags = 0; spec = None }) with
+       | Message.Welcome _ -> ()
+       | _ -> Alcotest.fail "flagless Hello failed");
+      (match Channel.request a Message.Metrics_req with
+       | exception Channel.Protocol_error reason ->
+         Alcotest.(check bool) "typed capability violation" true
+           (contains reason "capability violation")
+       | other ->
+         Alcotest.fail
+           ("expected a capability violation, got "
+           ^ Message.describe (Message.Reply other)));
+      Channel.close a;
+      (* with the flag: granted, and the page is a terminated exposition *)
+      let b = Channel.connect ~host:"127.0.0.1" ~port () in
+      (match
+         Channel.request b
+           (Message.Hello { flags = Message.flag_metrics; spec = None })
+       with
+       | Message.Welcome { flags; _ } ->
+         Alcotest.(check bool) "flag granted" true
+           (flags land Message.flag_metrics <> 0)
+       | _ -> Alcotest.fail "flagged Hello failed");
+      (match Channel.request b Message.Metrics_req with
+       | Message.Metrics_reply text ->
+         Alcotest.(check bool) "non-empty page" true (String.length text > 0);
+         Alcotest.(check bool) "openmetrics terminator" true
+           (let tail = "# EOF\n" in
+            let n = String.length text and tn = String.length tail in
+            n >= tn && String.sub text (n - tn) tn = tail)
+       | other ->
+         Alcotest.fail
+           ("expected Metrics_reply, got "
+           ^ Message.describe (Message.Reply other)));
+      Channel.close b;
+      (* sessionless probe: answered without negotiation, like Health_req *)
+      let c = Channel.connect ~host:"127.0.0.1" ~port () in
+      (match Channel.request c Message.Metrics_req with
+       | Message.Metrics_reply _ -> ()
+       | other ->
+         Alcotest.fail
+           ("probe expected Metrics_reply, got "
+           ^ Message.describe (Message.Reply other)));
+      Channel.close c)
+
+(* --no-metrics: the flag is never granted and even the sessionless probe
+   is refused. *)
+let test_metrics_disabled () =
+  let config =
+    { Server_loop.default_config with Server_loop.enable_metrics = false }
+  in
+  let t = make_loop ~config ~seed:"metrics-off" () in
+  let loop = fst t in
+  let port = Server_loop.port loop in
+  Fun.protect ~finally:(fun () -> stop t)
+    (fun () ->
+      let a = Channel.connect ~host:"127.0.0.1" ~port () in
+      (match
+         Channel.request a
+           (Message.Hello { flags = Message.flag_metrics; spec = None })
+       with
+       | Message.Welcome { flags; _ } ->
+         Alcotest.(check int) "flag not granted" 0
+           (flags land Message.flag_metrics)
+       | _ -> Alcotest.fail "Hello failed");
+      (match Channel.request a Message.Metrics_req with
+       | exception Channel.Protocol_error _ -> ()
+       | _ -> Alcotest.fail "in-session Metrics_req should be refused");
+      Channel.close a;
+      let b = Channel.connect ~host:"127.0.0.1" ~port () in
+      (match Channel.request b Message.Metrics_req with
+       | exception Channel.Protocol_error _ -> ()
+       | _ -> Alcotest.fail "probe Metrics_req should be refused");
+      Channel.close b)
+
 let test_stats_req_at_capacity () =
   let config =
     { Server_loop.default_config with max_sessions = 1; retry_after_s = 0.5 }
@@ -335,6 +529,13 @@ let () =
             test_histogram_rejects_bad_buckets;
           Alcotest.test_case "dump format" `Quick test_dump_format;
         ] );
+      ( "rollups",
+        [
+          Alcotest.test_case "fake-clock slot advance" `Quick
+            test_rollup_fake_clock;
+          Alcotest.test_case "windowed histogram across 4 domains" `Quick
+            test_rollup_histogram_across_domains;
+        ] );
       ( "spans",
         [
           Alcotest.test_case "JSONL round trip" `Quick test_jsonl_round_trip;
@@ -350,5 +551,11 @@ let () =
             test_stats_req_live_sessions;
           Alcotest.test_case "Stats_req served at capacity" `Quick
             test_stats_req_at_capacity;
+          Alcotest.test_case "Metrics_req codec round trip" `Quick
+            test_metrics_codec_round_trip;
+          Alcotest.test_case "Metrics_req capability gating" `Quick
+            test_metrics_capability_gating;
+          Alcotest.test_case "Metrics_req disabled end to end" `Quick
+            test_metrics_disabled;
         ] );
     ]
