@@ -28,6 +28,9 @@
               BENCH_telemetry.json)
      resilience CRC-32 + resume-checkpoint overhead and chaos recovery
               (writes BENCH_resilience.json)
+     failover supervised multi-process workers: crash blackout, restart
+              accounting, cross-worker spool resume (writes
+              BENCH_failover.json)
      catalog  secure 1-vs-N catalog search: lower-bound pruning vs the
               naive exhaustive scan (writes BENCH_catalog.json)
      observability metrics-endpoint scrape overhead, windowed rollups and
@@ -566,7 +569,10 @@ let throughput_run ~params ~x ~y ~concurrency ~total ~client_workers =
       retry_after_s = 0.05;
     }
   in
-  let loop = Ppst_transport.Server_loop.create ~config ~port:0 ~handler () in
+  let loop =
+    Ppst_transport.Server_loop.create ~config ~port:0
+      ~handler:(fun ~id ~peer -> Ppst_transport.Server_loop.respond_only (handler ~id ~peer)) ()
+  in
   let runner = Thread.create (fun () -> Ppst_transport.Server_loop.run loop) () in
   let port = Ppst_transport.Server_loop.port loop in
   let next = Atomic.make 0 in
@@ -695,7 +701,10 @@ let resilience ~quick =
     in
     Ppst.Server.handle server
   in
-  let loop = Ppst_transport.Server_loop.create ~port:0 ~handler () in
+  let loop =
+    Ppst_transport.Server_loop.create ~port:0
+      ~handler:(fun ~id ~peer -> Ppst_transport.Server_loop.respond_only (handler ~id ~peer)) ()
+  in
   let runner = Thread.create (fun () -> Ppst_transport.Server_loop.run loop) () in
   let port = Ppst_transport.Server_loop.port loop in
   let expected = Distance.dtw_sq x y in
@@ -785,6 +794,227 @@ let resilience ~quick =
       close_out oc;
       line "  wrote BENCH_resilience.json")
 
+(* ---- failover: supervised multi-process crash recovery ----------------------- *)
+
+let rec failover_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun e -> failover_rm_rf (Filename.concat path e))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Fork a whole supervised deployment ([Supervisor.run] parent + worker
+   children) and hand the bench process back the listening port.  The
+   supervisor's exit code carries its lifetime restart count.  A
+   non-restarted worker carries the crash injector ([crash_at = 0]
+   disables it); replacements run fault-free — the ppst_server wiring. *)
+let failover_supervised ~sk ~y ~workers ~spool ~crash_at ~seed () =
+  let listener, port = Ppst_transport.Supervisor.bind ~port:0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let stop = Atomic.make false in
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Atomic.set stop true));
+    let worker_main ~slot ~restarted ~control =
+      let faults =
+        if restarted || crash_at = 0 then None
+        else
+          Some
+            (Ppst_transport.Faults.create
+               (Ppst_transport.Faults.Crash_at crash_at))
+      in
+      let config =
+        {
+          Ppst_transport.Server_loop.default_config with
+          spool_dir = Some spool;
+          faults;
+          drain_timeout_s = 5.0;
+        }
+      in
+      let handler ~id ~peer:_ =
+        let server =
+          Ppst.Server.create_with_key ~sk
+            ~rng:
+              (Ppst_rng.Secure_rng.of_seed_string
+                 (Printf.sprintf "%s/session-%d" seed id))
+            ~series:y ~max_value ()
+        in
+        {
+          Ppst_transport.Server_loop.respond = Ppst.Server.handle server;
+          snapshot = Some (fun () -> Ppst.Server.export_state server);
+          restore = Some (fun blob -> Ppst.Server.restore_state server blob);
+        }
+      in
+      let loop =
+        Ppst_transport.Server_loop.create_worker ~config
+          ~rng:
+            (Ppst_rng.Secure_rng.of_seed_string
+               (Printf.sprintf "%s/worker-%d" seed slot))
+          ~boot_id:"bnch" ~handler ()
+      in
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ ->
+             Ppst_transport.Server_loop.shutdown loop));
+      Ppst_transport.Server_loop.run_worker loop ~control
+    in
+    let restart_policy =
+      { Ppst_transport.Retry.max_attempts = 8; base_delay_s = 0.002;
+        max_delay_s = 0.02; multiplier = 2.0 }
+    in
+    let summary =
+      Ppst_transport.Supervisor.run ~restart_policy ~drain_timeout_s:5.0 ~stop
+        ~listener ~workers ~worker_main ()
+    in
+    Unix._exit (Stdlib.min 100 summary.Ppst_transport.Supervisor.restarts)
+  | pid ->
+    Unix.close listener;
+    (pid, port)
+
+let failover_stop_supervised pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED restarts -> restarts
+  | _, _ -> failwith "failover: supervisor did not exit cleanly"
+
+(* One secure DTW session against a supervised deployment.  A crash that
+   lands before the resume token exists is unrecoverable by design; the
+   outer loop restarts the session with the same seed (same transcript).
+   Returns the distance and the client-side frame count, which sizes the
+   crash schedule. *)
+let failover_session ~params ~x ~port ~seed () =
+  let policy =
+    { Ppst_transport.Retry.max_attempts = 12; base_delay_s = 0.002;
+      max_delay_s = 0.05; multiplier = 2.0 }
+  in
+  let rec attempt tries =
+    match
+      let channel =
+        Ppst_transport.Channel.connect ~retry:policy ~host:"127.0.0.1" ~port ()
+      in
+      match
+        let rng = Ppst_rng.Secure_rng.of_seed_string (seed ^ "/client") in
+        let client =
+          Ppst.Client.connect ~params ~rng ~series:x ~max_value ~distance:`Dtw
+            channel
+        in
+        let d = Ppst.Secure_dtw_wavefront.run_dtw client in
+        Ppst.Client.finish client;
+        (d, Stats.messages (Ppst_transport.Channel.stats channel))
+      with
+      | r -> r
+      | exception e ->
+        (try Ppst_transport.Channel.close channel with _ -> ());
+        raise e
+    with
+    | r -> r
+    | exception
+        (( Ppst_transport.Channel.Connection_lost _
+         | Ppst_transport.Channel.Frame_corrupt _
+         | Ppst_transport.Channel.Busy _
+         | Ppst_transport.Retry.Exhausted _
+         | Unix.Unix_error
+             ((Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE), _, _) ) as e)
+      ->
+      if tries = 0 then raise e
+      else begin
+        Unix.sleepf 0.02;
+        attempt (tries - 1)
+      end
+  in
+  attempt 30
+
+let failover_bench ~quick =
+  header "Failover: supervised multi-process crash recovery";
+  let length = 16 in
+  let key_bits = if quick then 256 else 512 in
+  let workers = 2 in
+  let params = Ppst.Params.make ~key_bits () in
+  let x = Generate.ecg_int ~seed:17001 ~length ~max_value in
+  let y = Generate.ecg_int ~seed:17002 ~length ~max_value in
+  let rng = Ppst_rng.Secure_rng.of_seed_string "failover/keygen" in
+  let _pk, sk = Ppst_paillier.Paillier.keygen ~bits:key_bits rng in
+  let expected = Distance.dtw_sq x y in
+  let spool_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppst-bench-failover-%d" (Unix.getpid ()))
+  in
+  let run ~tag ~crash_at =
+    let spool = Filename.concat spool_root tag in
+    failover_rm_rf spool;
+    let pid, port =
+      failover_supervised ~sk ~y ~workers ~spool ~crash_at
+        ~seed:("failover/" ^ tag) ()
+    in
+    Fun.protect
+      ~finally:(fun () -> failover_rm_rf spool)
+      (fun () ->
+        let resumes_before =
+          Ppst_telemetry.Metrics.counter_value
+            (Ppst_telemetry.Metrics.counter "transport.resume.ok")
+        in
+        let t0 = Unix.gettimeofday () in
+        let d, frames =
+          failover_session ~params ~x ~port ~seed:("failover/" ^ tag) ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let restarts = failover_stop_supervised pid in
+        if Ppst_bigint.Bigint.to_int_exn d <> expected then
+          failwith "failover: distance diverged from plaintext";
+        let resumes =
+          Ppst_telemetry.Metrics.counter_value
+            (Ppst_telemetry.Metrics.counter "transport.resume.ok")
+          - resumes_before
+        in
+        (wall, frames, restarts, resumes))
+  in
+  line
+    "m = n = %d, d = 1, %d-bit modulus, wavefront DTW; %d supervised workers, \
+     distance checked against plaintext:"
+    length key_bits workers;
+  let w_base, frames, r_base, _ = run ~tag:"baseline" ~crash_at:0 in
+  line "  crash-free            %7.3f s  (%d frames, %d restart(s))" w_base
+    frames r_base;
+  if r_base <> 0 then failwith "failover: baseline run restarted a worker";
+  let crash_at = frames / 2 in
+  let w_fail, _, restarts, resumes = run ~tag:"crash" ~crash_at in
+  let blackout = w_fail -. w_base in
+  line
+    "  worker SIGKILL @ %3d  %7.3f s  (%d restart(s), %d resume(s), +%.3f s \
+     recovery)"
+    crash_at w_fail restarts resumes blackout;
+  if restarts < 1 then failwith "failover: crash run restarted no worker";
+  if resumes < 1 then failwith "failover: crash run never resumed";
+  let oc = open_out "BENCH_failover.json" in
+  Printf.fprintf oc
+    {|{
+  "task": "supervised multi-process serving: worker crash mid-session, cross-worker resume via spool",
+  "m": %d,
+  "n": %d,
+  "d": 1,
+  "key_bits": %d,
+  "workers": %d,
+  "frames_per_session": %d,
+  "crash_at_frame": %d,
+  "wall_seconds_crash_free": %.3f,
+  "wall_seconds_with_crash": %.3f,
+  "failover_latency_seconds": %.3f,
+  "worker_restarts": %d,
+  "resumes": %d,
+  "distance_bit_identical": true,
+  "note": "Both runs serve one wavefront secure-DTW session through a forked parent dispatcher sharding connections across the worker pool by SCM_RIGHTS fd passing. The crash run arms a one-shot fault that SIGKILLs the serving worker at the session's midpoint frame; the client reconnects, the dispatcher routes the Resume by token hash, and whichever worker receives it rebuilds the session from the shared crash-safe spool (the dead worker's memory is gone). failover_latency_seconds is wall(crash) - wall(crash-free): reconnect backoff + supervisor respawn + spool rehydration. worker_restarts is the supervisor's lifetime restart count at exit; the kill itself accounts for one, and a resumed session landing on the second still-armed worker can add another (replacement workers always run fault-free, so the cascade is bounded)."
+}
+|}
+    length length key_bits workers frames crash_at w_base w_fail blackout
+    restarts resumes;
+  close_out oc;
+  line "  wrote BENCH_failover.json"
+
 (* ---- overload: admission overhead + shed-vs-queue latency -------------------- *)
 
 (* Admission control prices every frame and every extreme-selection
@@ -825,7 +1055,9 @@ let overload ~quick =
   let with_loop ~tag config f =
     let loop =
       Ppst_transport.Server_loop.create ~config ~port:0
-        ~handler:(make_handler tag) ()
+        ~handler:(fun ~id ~peer ->
+          Ppst_transport.Server_loop.respond_only (make_handler tag ~id ~peer))
+        ()
     in
     let runner =
       Thread.create (fun () -> Ppst_transport.Server_loop.run loop) ()
@@ -1547,7 +1779,10 @@ let observability_bench ~quick =
     let config =
       { Ppst_transport.Server_loop.default_config with enable_metrics }
     in
-    let loop = Ppst_transport.Server_loop.create ~config ~port:0 ~handler () in
+    let loop =
+      Ppst_transport.Server_loop.create ~config ~port:0
+        ~handler:(fun ~id ~peer -> Ppst_transport.Server_loop.respond_only (handler ~id ~peer)) ()
+    in
     let runner =
       Thread.create (fun () -> Ppst_transport.Server_loop.run loop) ()
     in
@@ -1823,6 +2058,8 @@ let () =
     with_tee out_dir "telemetry" (fun () -> telemetry_bench ~quick);
   if want "resilience" then
     with_tee out_dir "resilience" (fun () -> resilience ~quick);
+  if want "failover" then
+    with_tee out_dir "failover" (fun () -> failover_bench ~quick);
   if want "overload" then
     with_tee out_dir "overload" (fun () -> overload ~quick);
   if want "catalog" then

@@ -113,6 +113,21 @@ let quota_fatal f =
           quota limit requested);
     exit 69
 
+(* A whole-server restart is equally final: the resume token's boot-id
+   prefix names a dead incarnation, so no amount of retrying can ever
+   reattach this session — the channel already failed fast instead of
+   burning its retry budget.  EX_PROTOCOL distinguishes it from plain
+   exhaustion (75): the operator must start a fresh session, not wait. *)
+let restart_fatal f =
+  try f ()
+  with
+  | Ppst_transport.Channel.Resume_rejected reason
+    when Ppst_transport.Channel.is_server_restarted reason ->
+    Logs.err (fun m ->
+        m "session lost: the server restarted and cannot resume it (%s); \
+           run again to start a fresh session" reason);
+    exit 76
+
 (* One secure session: connect with retry/backoff/breaker, run [f], then
    print the shared accounting.  Used by both the pair and query
    verbs. *)
@@ -149,6 +164,7 @@ let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
     | None -> Ppst_rng.Secure_rng.system ()
   in
   quota_fatal @@ fun () ->
+  restart_fatal @@ fun () ->
   let connect_session () =
     let channel =
       Ppst_transport.Channel.connect ~retry:policy ~rng:jitter_rng ~host ~port ()

@@ -11,16 +11,18 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
 let run port series_file catalog_dir key_file max_value seed sessions concurrency
-    idle_timeout deadline jobs chaos_profile chaos_seed resume_ttl no_resume
-    no_crc max_cells max_series_len max_dim max_session_bytes
-    max_session_frames rate_limit rate_burst shed_watermark watchdog_timeout
-    metrics_port no_metrics verbose log_level log_json trace_out =
+    workers spool_dir idle_timeout deadline jobs chaos_profile chaos_seed
+    resume_ttl no_resume no_crc max_cells max_series_len max_dim
+    max_session_bytes max_session_frames rate_limit rate_burst shed_watermark
+    watchdog_timeout metrics_port no_metrics verbose log_level log_json
+    trace_out =
   setup_logs verbose;
   Ppst_telemetry.Telemetry.configure ~level:log_level ~json:log_json
     ?trace_out ();
   if jobs < 1 then failwith "--jobs must be >= 1";
   if concurrency < 1 then failwith "--concurrency must be >= 1";
   if sessions < 0 then failwith "--sessions must be >= 0";
+  if workers < 0 then failwith "--workers must be >= 0";
   if resume_ttl <= 0.0 then failwith "--resume-ttl-s must be positive";
   let positive name = function
     | Some v when v <= 0 -> failwith (name ^ " must be positive")
@@ -50,7 +52,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
   (match watchdog_timeout with
    | Some s when s <= 0.0 -> failwith "--watchdog-timeout-s must be positive"
    | _ -> ());
-  let faults =
+  let fault_profile =
     match chaos_profile with
     | None -> None
     | Some text ->
@@ -58,12 +60,32 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
        | Error msg -> failwith msg
        | Ok Ppst_transport.Faults.Off -> None
        | Ok profile ->
+         (match profile with
+          | Ppst_transport.Faults.Crash_at _
+          | Ppst_transport.Faults.Crash_write_at _
+            when workers = 0 ->
+            failwith
+              "--chaos-profile crash-at-N/crash-write-at-N requires \
+               --workers >= 1: a single-process server would SIGKILL \
+               itself with nobody left to restart it"
+          | _ -> ());
          Logs.warn (fun m ->
              m "CHAOS MODE: injecting %s (seed %d) into every session"
                (Ppst_transport.Faults.profile_to_string profile)
                chaos_seed);
-         Some (Ppst_transport.Faults.create ~seed:chaos_seed profile))
+         Some profile)
   in
+  let make_faults ~restarted =
+    match fault_profile with
+    | Some (Ppst_transport.Faults.Crash_at _ | Ppst_transport.Faults.Crash_write_at _)
+      when restarted ->
+      (* a replacement worker must not re-arm the one-shot crash, or the
+         deployment crash-loops instead of failing over *)
+      None
+    | Some profile -> Some (Ppst_transport.Faults.create ~seed:chaos_seed profile)
+    | None -> None
+  in
+  let faults = make_faults ~restarted:false in
   (* three sources, one shape: --catalog serves a whole directory as an
      id-keyed store; a CSV with blank-line-separated blocks is served as
      a multi-record database (similarity-search mode); a plain CSV as a
@@ -114,8 +136,11 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
   in
   (* The Domain pool has one work queue: safe to share only when a single
      session runs at a time.  Under real concurrency each session computes
-     sequentially and the parallelism comes from the sessions themselves. *)
-  let shared_pool =
+     sequentially and the parallelism comes from the sessions themselves.
+     Created lazily per process: in workers mode the supervisor parent
+     must stay thread- and domain-free to fork safely, so only the
+     worker children (post-fork) build their pools. *)
+  let make_pool () =
     if concurrency = 1 && jobs > 1 then Some (Ppst_parallel.Pool.create jobs)
     else begin
       if jobs > 1 then
@@ -128,9 +153,19 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
   in
   let total_ops = { Ppst.Cost.encryptions = 0; decryptions = 0; homomorphic = 0 } in
   let ops_mutex = Mutex.create () in
-  let handler ~id ~peer:_ =
+  let merge_ops (ops : Ppst.Cost.ops) =
+    Mutex.lock ops_mutex;
+    total_ops.Ppst.Cost.encryptions <-
+      total_ops.Ppst.Cost.encryptions + ops.Ppst.Cost.encryptions;
+    total_ops.Ppst.Cost.decryptions <-
+      total_ops.Ppst.Cost.decryptions + ops.Ppst.Cost.decryptions;
+    total_ops.Ppst.Cost.homomorphic <-
+      total_ops.Ppst.Cost.homomorphic + ops.Ppst.Cost.homomorphic;
+    Mutex.unlock ops_mutex
+  in
+  let make_handler pool ~id ~peer:_ =
     let workers =
-      match shared_pool with
+      match pool with
       | Some pool -> pool
       | None -> Ppst_parallel.Pool.sequential
     in
@@ -139,22 +174,23 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
         ~rng:(rng_of (Printf.sprintf "/session-%d" id))
         ~records ~max_value ()
     in
-    fun req ->
+    let respond req =
       let reply = Ppst.Server.handle server req in
       (match req with
        | Ppst_transport.Message.Bye ->
          (* last request of the session: fold this session's counters in *)
-         let ops = Ppst.Server.ops server in
-         Mutex.lock ops_mutex;
-         total_ops.Ppst.Cost.encryptions <-
-           total_ops.Ppst.Cost.encryptions + ops.Ppst.Cost.encryptions;
-         total_ops.Ppst.Cost.decryptions <-
-           total_ops.Ppst.Cost.decryptions + ops.Ppst.Cost.decryptions;
-         total_ops.Ppst.Cost.homomorphic <-
-           total_ops.Ppst.Cost.homomorphic + ops.Ppst.Cost.homomorphic;
-         Mutex.unlock ops_mutex
+         merge_ops (Ppst.Server.ops server)
        | _ -> ());
       reply
+    in
+    (* Crash safety: the loop spools this after every counted round, and
+       replays it into a fresh server when the session fails over to
+       another worker process. *)
+    {
+      Ppst_transport.Server_loop.respond;
+      snapshot = Some (fun () -> Ppst.Server.export_state server);
+      restore = Some (fun blob -> Ppst.Server.restore_state server blob);
+    }
   in
   let on_session_end (s : Ppst_transport.Server_loop.session) =
     Logs.info (fun m ->
@@ -175,6 +211,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
       Ppst_transport.Server_loop.default_config with
       max_sessions = concurrency;
       max_total = (if sessions = 0 then None else Some sessions);
+      spool_dir;
       idle_timeout_s = idle_timeout;
       deadline_s = deadline;
       resume_ttl_s = resume_ttl;
@@ -193,6 +230,164 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
              .Ppst_transport.Server_loop.watchdog_timeout_s);
     }
   in
+  if workers > 0 then begin
+    (* Supervised multi-process serving: parent owns the listener and
+       shards connections across forked workers; a SIGKILLed worker is
+       re-forked and its spooled sessions fail over to its siblings. *)
+    if metrics_port <> None then
+      failwith "--metrics-port is not available with --workers (metrics are per-process)";
+    if sessions > 0 then
+      Logs.warn (fun m ->
+          m "--sessions %d ignored with --workers: the supervisor serves \
+             until SIGTERM/SIGINT" sessions);
+    if spool_dir = None then
+      Logs.warn (fun m ->
+          m "--workers without --spool-dir: sessions cannot fail over \
+             across worker crashes (resume state is per-process memory)");
+    (* All worker generations share one boot id, so a token minted
+       before a worker crash still names this deployment's incarnation
+       and fails over instead of being rejected as stale. *)
+    let boot_id = Ppst_rng.Secure_rng.bytes (rng_of "/boot-id") 4 in
+    let listener, bound_port = Ppst_transport.Supervisor.bind ~port in
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    let worker_config = { config with max_total = None } in
+    let worker_main ~slot ~restarted ~control =
+      let config = { worker_config with faults = make_faults ~restarted } in
+      let rng =
+        match seed with
+        | Some s ->
+          Some
+            (Ppst_rng.Secure_rng.of_seed_string
+               (Printf.sprintf "%s/worker-%d" s slot))
+        | None -> None
+      in
+      let pool = make_pool () in
+      let loop =
+        Ppst_transport.Server_loop.create_worker ~config ~on_session_end ?rng
+          ~boot_id ~handler:(make_handler pool) ()
+      in
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle
+           (fun _ -> Ppst_transport.Server_loop.shutdown loop));
+      let extra () =
+        Mutex.lock ops_mutex;
+        let w = Ppst_transport.Wire.writer () in
+        Ppst_transport.Wire.put_u32 w total_ops.Ppst.Cost.encryptions;
+        Ppst_transport.Wire.put_u32 w total_ops.Ppst.Cost.decryptions;
+        Ppst_transport.Wire.put_u32 w total_ops.Ppst.Cost.homomorphic;
+        Mutex.unlock ops_mutex;
+        Ppst_transport.Wire.contents w
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          match pool with
+          | Some pool -> Ppst_parallel.Pool.shutdown pool
+          | None -> ())
+        (fun () -> Ppst_transport.Server_loop.run_worker ~extra loop ~control)
+    in
+    let on_event = function
+      | Ppst_transport.Supervisor.Worker_started { slot; pid; restarts } ->
+        if restarts = 0 then Format.printf "worker %d: pid %d@." slot pid
+        else
+          Logs.info (fun m ->
+              m "worker %d restarted: pid %d (restart #%d)" slot pid restarts)
+      | Ppst_transport.Supervisor.Worker_exited { slot; pid; status; restarting }
+        ->
+        let signal_name s =
+          if s = Sys.sigkill then "SIGKILL"
+          else if s = Sys.sigterm then "SIGTERM"
+          else if s = Sys.sigint then "SIGINT"
+          else if s = Sys.sigsegv then "SIGSEGV"
+          else if s = Sys.sigabrt then "SIGABRT"
+          else string_of_int s
+        in
+        Logs.warn (fun m ->
+            m "worker %d (pid %d) %s%s" slot pid
+              (match status with
+               | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+               | Unix.WSIGNALED s ->
+                 Printf.sprintf "killed by %s" (signal_name s)
+               | Unix.WSTOPPED s ->
+                 Printf.sprintf "stopped by %s" (signal_name s))
+              (if restarting then "; restarting" else ""))
+    in
+    Logs.info (fun m ->
+        m "serving %d record(s), dim %d, max value %d, on port %d \
+           (%d workers, concurrency %d each%s)"
+          (Array.length records)
+          (Ppst_timeseries.Series.dimension records.(0))
+          max_value bound_port workers concurrency
+          (match spool_dir with
+           | Some dir -> Printf.sprintf ", spool %s" dir
+           | None -> ""));
+    Format.printf "listening on port %d with %d workers@." bound_port workers;
+    let summary =
+      Ppst_transport.Supervisor.run ~on_event
+        ~drain_timeout_s:config.Ppst_transport.Server_loop.drain_timeout_s
+        ~stop ~listener ~workers ~worker_main ()
+    in
+    (* Merge each worker's final drain report into the process totals the
+       single-process path prints, so tooling parses both modes alike. *)
+    let accepted = ref 0
+    and rejected = ref 0
+    and shed = ref 0
+    and handler_seconds = ref 0.0
+    and merged = ref (Ppst_transport.Stats.create ())
+    and reported = ref 0 in
+    List.iter
+      (fun (slot, blob) ->
+        match blob with
+        | None -> Logs.warn (fun m -> m "worker %d sent no drain report" slot)
+        | Some blob -> (
+          match Ppst_transport.Server_loop.decode_report blob with
+          | r ->
+            incr reported;
+            accepted := !accepted + r.Ppst_transport.Server_loop.w_accepted;
+            rejected := !rejected + r.Ppst_transport.Server_loop.w_rejected;
+            shed := !shed + r.Ppst_transport.Server_loop.w_shed;
+            handler_seconds :=
+              !handler_seconds +. r.Ppst_transport.Server_loop.w_handler_seconds;
+            merged :=
+              Ppst_transport.Stats.merge !merged
+                r.Ppst_transport.Server_loop.w_stats;
+            (match r.Ppst_transport.Server_loop.w_extra with
+             | "" -> ()
+             | extra -> (
+               match
+                 let rd = Ppst_transport.Wire.reader extra in
+                 let encryptions = Ppst_transport.Wire.get_u32 rd in
+                 let decryptions = Ppst_transport.Wire.get_u32 rd in
+                 let homomorphic = Ppst_transport.Wire.get_u32 rd in
+                 Ppst_transport.Wire.expect_end rd;
+                 { Ppst.Cost.encryptions; decryptions; homomorphic }
+               with
+               | ops -> merge_ops ops
+               | exception Ppst_transport.Wire.Malformed _ ->
+                 Logs.warn (fun m ->
+                     m "worker %d: malformed crypto-ops blob" slot)))
+          | exception Ppst_transport.Wire.Malformed _ ->
+            Logs.warn (fun m -> m "worker %d: malformed drain report" slot)))
+      summary.Ppst_transport.Supervisor.reports;
+    Logs.info (fun m ->
+        m "done: %d worker report(s), %d session(s) served, %d restart(s)"
+          !reported !accepted summary.Ppst_transport.Supervisor.restarts);
+    Format.printf "sessions: %d accepted, %d rejected (Busy), %d shed@."
+      !accepted !rejected !shed;
+    Format.printf "handler time (all sessions): %.3f s@." !handler_seconds;
+    Format.printf "crypto ops: %d encryptions, %d decryptions, %d homomorphic@."
+      total_ops.Ppst.Cost.encryptions total_ops.Ppst.Cost.decryptions
+      total_ops.Ppst.Cost.homomorphic;
+    Format.printf "communication (all sessions): %a@." Ppst_transport.Stats.pp
+      !merged;
+    Format.printf "supervisor restarts: %d@."
+      summary.Ppst_transport.Supervisor.restarts
+  end
+  else begin
+  let shared_pool = make_pool () in
+  let handler = make_handler shared_pool in
   let loop =
     Ppst_transport.Server_loop.create ~config ~on_session_end ~port ~handler ()
   in
@@ -250,6 +445,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
     total_ops.Ppst.Cost.homomorphic;
   Format.printf "communication (all sessions): %a@." Ppst_transport.Stats.pp
     (Ppst_transport.Server_loop.stats loop)
+  end
 
 let port =
   Arg.(value & opt int 7788 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 picks an ephemeral port).")
@@ -278,6 +474,14 @@ let sessions =
 let concurrency =
   Arg.(value & opt int 4 & info [ "concurrency"; "max-sessions" ] ~docv:"N"
          ~doc:"Concurrent-session capacity; extra clients get a Busy reply with a retry-after hint.")
+
+let workers =
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+         ~doc:"Supervised multi-process serving: fork $(docv) worker                processes and shard accepted connections across them                (resume tokens route by hash, everything else round-robins).                 A crashed worker is restarted under backoff; with                --spool-dir its in-flight sessions fail over to the other                workers.  0 (the default) serves single-process.")
+
+let spool_dir =
+  Arg.(value & opt (some string) None & info [ "spool-dir" ] ~docv:"DIR"
+         ~doc:"Crash-safe session spool: snapshot every resumable session                to $(docv) (atomic rename + fsync) after each round, so a                session survives its worker process being killed and                resumes in another.")
 
 let idle_timeout =
   Arg.(value & opt (some float) None & info [ "idle-timeout-s" ] ~docv:"S"
@@ -374,7 +578,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ppst_server" ~doc)
     Term.(const run $ port $ series_file $ catalog_dir $ key_file $ max_value $ seed
-          $ sessions $ concurrency $ idle_timeout $ deadline $ jobs
+          $ sessions $ concurrency $ workers $ spool_dir $ idle_timeout
+          $ deadline $ jobs
           $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
           $ max_cells $ max_series_len $ max_dim $ max_session_bytes
           $ max_session_frames $ rate_limit $ rate_burst $ shed_watermark

@@ -81,13 +81,29 @@ let load_dir dir =
 let escape_id id =
   String.map (fun c -> match c with '/' | '\\' | '#' -> '_' | c -> c) id
 
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+        try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let save_dir t dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* Crash safety: each CSV lands under a temp name that load_dir ignores
+     (no .csv suffix), is fsynced, then atomically renamed over the final
+     path.  A crash mid-save leaves either the old series or the new one,
+     never a truncated file; stray .tmp files are invisible to loads. *)
   Array.iter
     (fun id ->
       let series = Hashtbl.find t.tbl id in
-      Csv.save (Filename.concat dir (escape_id id ^ ".csv")) series)
-    (ids t)
+      let final = Filename.concat dir (escape_id id ^ ".csv") in
+      let tmp = final ^ ".tmp" in
+      Csv.save tmp series;
+      fsync_path tmp;
+      Sys.rename tmp final)
+    (ids t);
+  fsync_path dir
 
 let generate ~seed ~count ~length ~dim ~max_value =
   if count <= 0 then invalid_arg "Store.generate: count must be positive";

@@ -61,7 +61,13 @@ val load_dir : string -> t
 val save_dir : t -> string -> unit
 (** Write each record to [<dir>/<id>.csv] (creating [dir] if needed).
     Ids containing [/] or [#] are escaped with [_] so the round trip
-    stays within one directory. *)
+    stays within one directory.
+
+    Each file is written crash-safely: the CSV lands in a temp file
+    (suffix [.csv.tmp], which {!load_dir} ignores), is fsynced, and is
+    atomically renamed over the final name; the directory is fsynced
+    once at the end.  A crash mid-save therefore leaves every id either
+    fully old or fully new, never truncated. *)
 
 val generate :
   seed:int -> count:int -> length:int -> dim:int -> max_value:int -> t

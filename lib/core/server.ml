@@ -328,6 +328,43 @@ let verdicts t (blinded : Bigint.t array) =
   let half = Bigint.shift_right pk.Paillier.n 1 in
   Array.map (fun p -> Bigint.compare p half > 0) plains
 
+(* Session-state codec for cross-worker failover.  Only protocol-visible
+   state travels: the selected record index, the reveal count, and the
+   crypto-op counters (so merged Cost accounting survives a worker
+   death).  The key, records, worker pool, and noise cache are the
+   restoring process's own configuration; the rng stream position is
+   deliberately not captured — server randomness cancels at decryption,
+   so replies re-encrypted under a fresh stream decrypt to the same
+   plaintexts (asserted by the failover chaos tests). *)
+
+let export_state t =
+  let w = Wire.writer () in
+  Wire.put_u32 w t.selected;
+  Wire.put_u32 w t.reveals;
+  Wire.put_u32 w t.ops.encryptions;
+  Wire.put_u32 w t.ops.decryptions;
+  Wire.put_u32 w t.ops.homomorphic;
+  Wire.contents w
+
+let restore_state t blob =
+  let r = Wire.reader blob in
+  let selected = Wire.get_u32 r in
+  let reveals = Wire.get_u32 r in
+  let encryptions = Wire.get_u32 r in
+  let decryptions = Wire.get_u32 r in
+  let homomorphic = Wire.get_u32 r in
+  Wire.expect_end r;
+  if selected >= Array.length t.records then
+    raise
+      (Wire.Malformed
+         (Printf.sprintf "Server.restore_state: record %d out of range [0, %d)"
+            selected (Array.length t.records)));
+  t.selected <- selected;
+  t.reveals <- reveals;
+  t.ops.encryptions <- encryptions;
+  t.ops.decryptions <- decryptions;
+  t.ops.homomorphic <- homomorphic
+
 let handle t (req : Message.request) : Message.reply =
   let pk = public_key t in
   match req with

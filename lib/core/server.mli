@@ -136,3 +136,17 @@ val reveal_count : t -> int
 (** Number of [Reveal_request]s answered — observability hook: each
     reveal discloses one plaintext to both parties, so callers enforcing
     a one-result-per-session policy can check this. *)
+
+val export_state : t -> string
+(** Serialize the per-session protocol state (selected record index,
+    reveal count, crypto-op counters) for cross-worker failover.  The
+    key, records and worker pool are configuration the restoring worker
+    already owns; the rng stream position is deliberately excluded —
+    server-side randomness cancels at decryption, so a restored server's
+    replies decrypt to the same plaintexts and every revealed distance
+    is bit-identical (see SECURITY.md). *)
+
+val restore_state : t -> string -> unit
+(** Apply {!export_state} output to a freshly built server over the same
+    records.  @raise Ppst_transport.Wire.Malformed on a corrupt blob or
+    an out-of-range record index. *)

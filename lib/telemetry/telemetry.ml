@@ -107,12 +107,16 @@ type sink = { emit : event -> unit; flush : unit -> unit }
 
 let null_sink = { emit = (fun _ -> ()); flush = (fun () -> ()) }
 
+(* Each record is flushed as one write: a SIGKILLed process loses at
+   most the line being written (which Trace_reader.read_file_partial
+   already tolerates), never a buffered tail of complete spans. *)
 let jsonl_sink oc =
   {
     emit =
       (fun ev ->
         output_string oc (event_to_json ev);
-        output_char oc '\n');
+        output_char oc '\n';
+        flush oc);
     flush = (fun () -> flush oc);
   }
 

@@ -167,3 +167,44 @@ let to_reply = function
   | Admit -> None
   | Reject { quota; limit; requested } ->
     Some (Message.Quota_exceeded { quota; limit; requested })
+
+(* Ledger serialization for cross-worker session failover.  Limits are
+   configuration (the restoring worker supplies its own); only the seven
+   mutable spend/declaration fields travel.  An optional int is encoded
+   presence-prefixed so 0 and absent stay distinct. *)
+
+let put_opt_int w = function
+  | None -> Wire.put_u8 w 0
+  | Some v ->
+    Wire.put_u8 w 1;
+    Wire.put_u32 w v
+
+let get_opt_int r =
+  match Wire.get_u8 r with
+  | 0 -> None
+  | 1 -> Some (Wire.get_u32 r)
+  | b -> raise (Wire.Malformed (Printf.sprintf "Admission: bad option tag %d" b))
+
+let export t =
+  let w = Wire.writer () in
+  put_opt_int w t.declared_len;
+  put_opt_int w t.declared_dim;
+  put_opt_int w t.query_cells;
+  Wire.put_u32 w t.cells_spent_min;
+  Wire.put_u32 w t.cells_spent_max;
+  Wire.put_u32 w t.bytes_spent;
+  Wire.put_u32 w t.frames_spent;
+  Wire.contents w
+
+let import limits blob =
+  let r = Wire.reader blob in
+  let t = create limits in
+  t.declared_len <- get_opt_int r;
+  t.declared_dim <- get_opt_int r;
+  t.query_cells <- get_opt_int r;
+  t.cells_spent_min <- Wire.get_u32 r;
+  t.cells_spent_max <- Wire.get_u32 r;
+  t.bytes_spent <- Wire.get_u32 r;
+  t.frames_spent <- Wire.get_u32 r;
+  Wire.expect_end r;
+  t

@@ -80,3 +80,14 @@ val cells_of_request : Message.request -> ([ `Min | `Max ] * int) option
 
 val to_reply : verdict -> Message.reply option
 (** [Reject] as the wire reply; [None] for [Admit]. *)
+
+val export : t -> string
+(** Serialize the mutable ledger (declarations and spends, not the
+    limits) for cross-worker session failover.  Everything in the blob
+    is a public quantity the client already shipped or a count of its
+    own requests — externalizing it adds no leakage (SECURITY.md). *)
+
+val import : limits -> string -> t
+(** Rebuild a ledger from {!export} output under the restoring server's
+    own [limits] (budgets are configuration, not session state).
+    @raise Wire.Malformed on a corrupt blob. *)

@@ -236,7 +236,17 @@ let write_frame ?max_frame:cap ?(crc = false) ?faults fd payload =
       | Faults.Duplicate ->
         write_range 0 total;
         write_range 0 total;
-        drop_connection fd "connection dropped after duplicated frame")
+        drop_connection fd "connection dropped after duplicated frame"
+      | Faults.Crash ->
+        (* deterministic process death at this frame index — only
+           meaningful inside a supervised worker (Supervisor restarts
+           it and the session fails over via its spooled snapshot) *)
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        assert false
+      | Faults.Crash_mid_write ->
+        write_range 0 (max 1 (total / 2));
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        assert false)
 
 (* Block until [fd] is readable or the absolute monotonic [deadline]
    passes.  Recomputes the remaining budget after every EINTR wakeup, so
@@ -311,6 +321,9 @@ let read_frame ?max_frame:cap ?deadline ?progress_timeout_s ?(crc = false)
         degrade to a plain drop when the injector fires on a receive *)
      drop_connection fd "connection dropped before receive"
    | Faults.Delay s -> Thread.delay s
+   | Faults.Crash | Faults.Crash_mid_write ->
+     (* process death is process death whichever direction fired *)
+     Unix.kill (Unix.getpid ()) Sys.sigkill
    | Faults.Pass | Faults.Corrupt _ -> ());
   map_conn_errors (fun () ->
       (* The watchdog arms on the header's first byte: a quiet connection
@@ -367,6 +380,16 @@ let tcp_socket_connect ~host ~port =
      Unix.close fd;
      raise e);
   fd
+
+(* The reject reason a restarted server sends when a resume token's
+   boot-id prefix names a previous server incarnation (Server_loop).
+   Matched as a prefix so the server may append detail after it. *)
+let server_restarted_reason = "server-restarted"
+
+let is_server_restarted reason =
+  String.length reason >= String.length server_restarted_reason
+  && String.sub reason 0 (String.length server_restarted_reason)
+     = server_restarted_reason
 
 let retryable_connect_errno = function
   | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT | Unix.EHOSTUNREACH
@@ -434,8 +457,13 @@ let resume_session t st =
   Retry.with_retry ~policy ~rng:rc.rng ~sleep:rc.sleep
     ~classify:(function
       | Connection_lost _ | Frame_corrupt _ -> `Retry
-      (* a reject may be the park/reconnect race (the server thread has
-         not parked the state yet): retry briefly before giving up *)
+      (* a whole-server restart is terminal: the token's boot-id prefix
+         can never match again, so burning the retry budget only delays
+         the inevitable.  Fail fast with the typed reason intact. *)
+      | Resume_rejected reason when is_server_restarted reason -> `Fail
+      (* any other reject may be the park/reconnect race (the server
+         thread has not parked the state yet): retry briefly before
+         giving up *)
       | Resume_rejected _ -> `Retry
       | Busy { retry_after_s } -> `Retry_after retry_after_s
       | Unix.Unix_error (e, _, _) when retryable_connect_errno e -> `Retry

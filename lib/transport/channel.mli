@@ -53,7 +53,18 @@ exception Frame_corrupt of string
 exception Resume_rejected of string
 (** The server answered [Resume] with [Resume_reject]: the token is
     unknown, expired or evicted.  The session is unrecoverable; start
-    over from [Hello]. *)
+    over from [Hello].  When {!is_server_restarted} holds on the
+    reason, the {e whole server} restarted (the token's boot-id prefix
+    names a dead incarnation) and the channel fails fast instead of
+    burning the retry budget — no later attempt can ever succeed. *)
+
+val server_restarted_reason : string
+(** The reason prefix a restarted server puts in [Resume_reject] when
+    the presented token was minted by a previous incarnation. *)
+
+val is_server_restarted : string -> bool
+(** Whether a {!Resume_rejected} reason carries the
+    {!server_restarted_reason} prefix. *)
 
 exception Quota_exceeded of { quota : string; limit : int; requested : int }
 (** The server rejected a request at admission control

@@ -18,6 +18,8 @@ type profile =
   | Short_every of int
   | Dup_every of int
   | Flaky of float
+  | Crash_at of int
+  | Crash_write_at of int
 
 type action =
   | Pass
@@ -26,6 +28,8 @@ type action =
   | Delay of float
   | Short_write
   | Duplicate
+  | Crash
+  | Crash_mid_write
 
 type t = {
   profile : profile;
@@ -37,14 +41,15 @@ type t = {
 
 let create ?(seed = 1) profile =
   (match profile with
-   | Drop_at n when n < 1 -> invalid_arg "Faults.create: drop-at index must be >= 1"
+   | Drop_at n | Crash_at n | Crash_write_at n ->
+     if n < 1 then invalid_arg "Faults.create: frame index must be >= 1"
    | Drop_every n | Corrupt_every (n, _) | Delay_every (n, _) | Short_every n
    | Dup_every n ->
      if n < 1 then invalid_arg "Faults.create: period must be >= 1"
    | Flaky p ->
      if p < 0.0 || p > 1.0 then
        invalid_arg "Faults.create: flaky probability must be in [0, 1]"
-   | Off | Drop_at _ -> ());
+   | Off -> ());
   {
     profile;
     prng = Ppst_bigint.Splitmix.create seed;
@@ -70,6 +75,8 @@ let next t =
         match t.profile with
         | Off -> Pass
         | Drop_at k -> if n = k then Drop else Pass
+        | Crash_at k -> if n = k then Crash else Pass
+        | Crash_write_at k -> if n = k then Crash_mid_write else Pass
         | Drop_every k -> if n mod k = 0 then Drop else Pass
         | Corrupt_every (k, byte) -> if n mod k = 0 then Corrupt byte else Pass
         | Delay_every (k, s) -> if n mod k = 0 then Delay s else Pass
@@ -95,6 +102,8 @@ let profile_to_string = function
   | Short_every n -> Printf.sprintf "short-every-%d" n
   | Dup_every n -> Printf.sprintf "dup-every-%d" n
   | Flaky p -> Printf.sprintf "flaky-%g" p
+  | Crash_at n -> Printf.sprintf "crash-at-%d" n
+  | Crash_write_at n -> Printf.sprintf "crash-write-at-%d" n
 
 let profile_of_string s =
   (* Parsed profiles go straight to [create]: validate here so a bad
@@ -161,9 +170,15 @@ let profile_of_string s =
         | Some p when p >= 0.0 && p <= 1.0 -> Ok (Flaky p)
         | _ -> Error (Printf.sprintf "chaos profile: bad probability %S" rest))
      | None ->
+     match strip "crash-write-at-" with
+     | Some rest -> let* n = int_of rest in Ok (Crash_write_at n)
+     | None ->
+     match strip "crash-at-" with
+     | Some rest -> let* n = int_of rest in Ok (Crash_at n)
+     | None ->
        Error
          (Printf.sprintf
             "unknown chaos profile %S (expected off, drop-at-N, drop-every-N, \
              corrupt-every-N[:BYTE], delay-every-N[:MS], short-every-N, \
-             dup-every-N or flaky-P)"
+             dup-every-N, flaky-P, crash-at-N or crash-write-at-N)"
             s))

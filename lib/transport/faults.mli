@@ -26,8 +26,26 @@ type profile =
           desyncs a strict request/reply stream — the drop forces the
           resume path to clean it up) *)
   | Flaky of float  (** drop each frame independently with probability p *)
+  | Crash_at of int
+      (** SIGKILL the {e injecting process} at frame N (1-based):
+          deterministic worker death for failover testing.  Meaningful
+          only on a supervised worker's server-side injector — a
+          single-process server would kill itself with no one to
+          restart it ([ppst_server] refuses the combination). *)
+  | Crash_write_at of int
+      (** like [Crash_at], but first write a partial prefix of frame
+          N, simulating death mid-write: the peer sees a torn frame,
+          the supervisor sees a dead worker *)
 
-type action = Pass | Drop | Corrupt of int | Delay of float | Short_write | Duplicate
+type action =
+  | Pass
+  | Drop
+  | Corrupt of int
+  | Delay of float
+  | Short_write
+  | Duplicate
+  | Crash  (** raise SIGKILL against the current process *)
+  | Crash_mid_write  (** write a partial frame, then SIGKILL *)
 
 type t
 
@@ -51,6 +69,7 @@ val injected : t -> int
 val profile_of_string : string -> (profile, string) result
 (** Parse a [--chaos-profile] argument: [off], [drop-at-N],
     [drop-every-N], [corrupt-every-N[:BYTE]], [delay-every-N[:MS]],
-    [short-every-N], [dup-every-N], [flaky-P]. *)
+    [short-every-N], [dup-every-N], [flaky-P], [crash-at-N],
+    [crash-write-at-N]. *)
 
 val profile_to_string : profile -> string

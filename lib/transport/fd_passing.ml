@@ -1,0 +1,21 @@
+(* SCM_RIGHTS fd passing: OCaml face of fd_passing_stubs.c.
+
+   The Unix.file_descr <-> int casts are the standard ones on POSIX,
+   where the abstract type is the raw descriptor. *)
+
+external send_raw : int -> int -> unit = "ppst_fd_passing_send"
+external recv_raw : int -> int = "ppst_fd_passing_recv"
+
+let int_of_fd : Unix.file_descr -> int = Obj.magic
+let fd_of_int : int -> Unix.file_descr = Obj.magic
+
+let rec send_fd sock ~fd =
+  match send_raw (int_of_fd sock) (int_of_fd fd) with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> send_fd sock ~fd
+
+let rec recv_fd sock =
+  match recv_raw (int_of_fd sock) with
+  | -1 -> None
+  | n -> Some (fd_of_int n)
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> recv_fd sock

@@ -1,0 +1,16 @@
+(** SCM_RIGHTS file-descriptor passing over a Unix-domain socket —
+    the supervisor's dispatch primitive: the parent accepts a TCP
+    connection and ships the connected socket to a worker process.
+
+    Both operations retry on EINTR/EAGAIN and release the OCaml runtime
+    lock while blocking, so other threads keep running. *)
+
+val send_fd : Unix.file_descr -> fd:Unix.file_descr -> unit
+(** Send one descriptor (plus a 1-byte payload) over [sock].  The
+    caller still owns its copy of [fd] and should close it after a
+    successful send.  @raise Unix.Unix_error on failure. *)
+
+val recv_fd : Unix.file_descr -> Unix.file_descr option
+(** Receive one descriptor; [None] on orderly EOF (peer closed).
+    @raise Unix.Unix_error on failure, including [EPROTO] when a
+    message arrives without an fd attached. *)

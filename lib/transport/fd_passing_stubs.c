@@ -1,0 +1,101 @@
+/* SCM_RIGHTS file-descriptor passing over a Unix-domain socketpair.
+ *
+ * The stdlib Unix module has no sendmsg/recvmsg binding, and fd passing
+ * is the one ancillary-data feature the supervisor needs: the parent
+ * dispatcher accepts TCP connections and ships the connected socket to
+ * a worker process.  Both calls release the OCaml runtime lock while
+ * blocking so a worker's session threads keep running during the
+ * dispatcher read.  Errors surface as Unix.Unix_error (uerror), so the
+ * existing EINTR retry wrappers apply unchanged.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <sys/types.h>
+#include <sys/socket.h>
+#include <string.h>
+#include <errno.h>
+
+CAMLprim value ppst_fd_passing_send(value vsock, value vfd)
+{
+  CAMLparam2(vsock, vfd);
+  struct msghdr msg;
+  struct iovec iov;
+  union {
+    struct cmsghdr hdr;
+    char buf[CMSG_SPACE(sizeof(int))];
+  } cmsg;
+  struct cmsghdr *c;
+  char byte = 'F';
+  int sock = Int_val(vsock);
+  int fd = Int_val(vfd);
+  ssize_t ret;
+
+  memset(&msg, 0, sizeof(msg));
+  memset(&cmsg, 0, sizeof(cmsg));
+  iov.iov_base = &byte;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cmsg.buf;
+  msg.msg_controllen = CMSG_SPACE(sizeof(int));
+  c = CMSG_FIRSTHDR(&msg);
+  c->cmsg_level = SOL_SOCKET;
+  c->cmsg_type = SCM_RIGHTS;
+  c->cmsg_len = CMSG_LEN(sizeof(int));
+  memcpy(CMSG_DATA(c), &fd, sizeof(int));
+
+  caml_release_runtime_system();
+  ret = sendmsg(sock, &msg, 0);
+  caml_acquire_runtime_system();
+  if (ret == -1) uerror("fd_passing_send", Nothing);
+  CAMLreturn(Val_unit);
+}
+
+/* Returns the received fd, or -1 on orderly EOF (peer closed). */
+CAMLprim value ppst_fd_passing_recv(value vsock)
+{
+  CAMLparam1(vsock);
+  struct msghdr msg;
+  struct iovec iov;
+  union {
+    struct cmsghdr hdr;
+    char buf[CMSG_SPACE(sizeof(int))];
+  } cmsg;
+  struct cmsghdr *c;
+  char byte;
+  int sock = Int_val(vsock);
+  int fd = -1;
+  ssize_t ret;
+
+  memset(&msg, 0, sizeof(msg));
+  memset(&cmsg, 0, sizeof(cmsg));
+  iov.iov_base = &byte;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cmsg.buf;
+  msg.msg_controllen = CMSG_SPACE(sizeof(int));
+
+  caml_release_runtime_system();
+  ret = recvmsg(sock, &msg, 0);
+  caml_acquire_runtime_system();
+  if (ret == -1) uerror("fd_passing_recv", Nothing);
+  if (ret == 0) CAMLreturn(Val_int(-1)); /* EOF */
+
+  for (c = CMSG_FIRSTHDR(&msg); c != NULL; c = CMSG_NXTHDR(&msg, c)) {
+    if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SCM_RIGHTS) {
+      memcpy(&fd, CMSG_DATA(c), sizeof(int));
+      break;
+    }
+  }
+  if (fd == -1) {
+    /* a data byte without ancillary payload: protocol violation */
+    errno = EPROTO;
+    uerror("fd_passing_recv", Nothing);
+  }
+  CAMLreturn(Val_int(fd));
+}

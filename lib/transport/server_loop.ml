@@ -49,6 +49,7 @@ type config = {
   ratelimit : Ratelimit.config option;
   shed_watermark : int option;
   watchdog_timeout_s : float option;
+  spool_dir : string option;
 }
 
 let default_config =
@@ -70,7 +71,23 @@ let default_config =
     ratelimit = None;
     shed_watermark = None;
     watchdog_timeout_s = Some 30.0;
+    spool_dir = None;
   }
+
+(* The per-session application handler.  [respond] answers protocol
+   requests; the optional [snapshot]/[restore] pair is the serializable
+   replacement for the parked closure: [snapshot] exports the
+   application's session state as an opaque blob (spooled crash-safely
+   after every counted round), [restore] re-applies a blob to a freshly
+   built handler — how a session parked in worker A resumes in worker B
+   after A is SIGKILLed. *)
+type app_handler = {
+  respond : Message.request -> Message.reply;
+  snapshot : (unit -> string) option;
+  restore : (string -> unit) option;
+}
+
+let respond_only respond = { respond; snapshot = None; restore = None }
 
 type outcome =
   | Completed
@@ -90,9 +107,12 @@ type outcome =
 type session_ctx = {
   ctx_id : int;
   ctx_peer : Unix.sockaddr;
-  mutable handle : (Message.request -> Message.reply) option;
+  mutable handle : app_handler option;
       (* created lazily in the session thread, exactly once per logical
          session — a resumed connection reuses it, state intact *)
+  mutable pending_restore : string option;
+      (* application blob from a spooled snapshot, applied through the
+         handler's [restore] hook the moment the factory rebuilds it *)
   mutable server_rounds : int;  (* replies written, control frames excluded *)
   mutable last_reply : string;  (* encoded last counted reply *)
   mutable handler_seconds : float;  (* cumulative across connections *)
@@ -117,9 +137,18 @@ type session = {
 type t = {
   config : config;
   on_session_end : (session -> unit) option;
-  handler : id:int -> peer:Unix.sockaddr -> (Message.request -> Message.reply);
-  listener : Unix.file_descr;
+  handler : id:int -> peer:Unix.sockaddr -> app_handler;
+  listener : Unix.file_descr option;
+      (* None in worker mode: connections arrive by fd passing from the
+         supervisor, not from an owned accept socket *)
   bound_port : int;
+  boot_id : string;
+      (* 4-byte incarnation prefix of every minted token: lets a
+         restarted server distinguish "token from a previous life"
+         (terminal; client fails fast) from "unknown token" *)
+  spool : Spool.t option;
+  clock : unit -> float;
+  mutable last_sweep : float;
   stop : bool Atomic.t;
   mu : Mutex.t;
   resume : session_ctx Resume_table.t;
@@ -144,8 +173,8 @@ let string_of_sockaddr = function
   | Unix.ADDR_INET (addr, port) ->
     Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
 
-let create ?(config = default_config) ?on_session_end ?clock ?rng ~port
-    ~handler () =
+let make ~config ~on_session_end ~clock ~rng ~boot_id ~listener ~bound_port
+    ~handler =
   if config.max_sessions < 1 then
     invalid_arg "Server_loop.create: max_sessions must be >= 1";
   (match config.max_frame with
@@ -153,6 +182,46 @@ let create ?(config = default_config) ?on_session_end ?clock ?rng ~port
      invalid_arg "Server_loop.create: frame cap below 16 bytes"
    | _ -> ());
   Channel.setup_sigpipe ();
+  let rng = match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system () in
+  let boot_id =
+    match boot_id with
+    | Some b ->
+      if String.length b <> 4 then
+        invalid_arg "Server_loop.create: boot_id must be exactly 4 bytes";
+      b
+    | None -> Ppst_rng.Secure_rng.bytes rng 4
+  in
+  {
+    config;
+    on_session_end;
+    handler;
+    listener;
+    bound_port;
+    boot_id;
+    spool = Option.map (fun dir -> Spool.create ~dir) config.spool_dir;
+    clock = (match clock with Some f -> f | None -> Monoclock.now);
+    last_sweep = 0.0;
+    stop = Atomic.make false;
+    mu = Mutex.create ();
+    resume =
+      Resume_table.create ?now:clock ~capacity:config.resume_capacity
+        ~ttl_s:config.resume_ttl_s ();
+    ratelimit =
+      Option.map (fun cfg -> Ratelimit.create ?now:clock cfg) config.ratelimit;
+    inflight = Atomic.make 0;
+    rng;
+    rng_mu = Mutex.create ();
+    active = 0;
+    accepted = 0;
+    rejected = 0;
+    shed = 0;
+    finished = [];
+    merged_stats = Stats.create ();
+    handler_seconds_total = 0.0;
+  }
+
+let create ?(config = default_config) ?on_session_end ?clock ?rng ?boot_id
+    ~port ~handler () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -166,32 +235,22 @@ let create ?(config = default_config) ?on_session_end ?clock ?rng ~port
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  {
-    config;
-    on_session_end;
-    handler;
-    listener;
-    bound_port;
-    stop = Atomic.make false;
-    mu = Mutex.create ();
-    resume =
-      Resume_table.create ?now:clock ~capacity:config.resume_capacity
-        ~ttl_s:config.resume_ttl_s ();
-    ratelimit =
-      Option.map (fun cfg -> Ratelimit.create ?now:clock cfg) config.ratelimit;
-    inflight = Atomic.make 0;
-    rng = (match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ());
-    rng_mu = Mutex.create ();
-    active = 0;
-    accepted = 0;
-    rejected = 0;
-    shed = 0;
-    finished = [];
-    merged_stats = Stats.create ();
-    handler_seconds_total = 0.0;
-  }
+  match
+    make ~config ~on_session_end ~clock ~rng ~boot_id ~listener:(Some listener)
+      ~bound_port ~handler
+  with
+  | t -> t
+  | exception e ->
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    raise e
+
+let create_worker ?(config = default_config) ?on_session_end ?clock ?rng
+    ?boot_id ~handler () =
+  make ~config ~on_session_end ~clock ~rng ~boot_id ~listener:None
+    ~bound_port:0 ~handler
 
 let port t = t.bound_port
+let boot_id t = t.boot_id
 let shutdown t = Atomic.set t.stop true
 
 let install_signal_handlers t =
@@ -210,7 +269,27 @@ let rejected t = locked t (fun () -> t.rejected)
 let shed_total t = locked t (fun () -> t.shed)
 let handler_seconds_total t = locked t (fun () -> t.handler_seconds_total)
 let resume_parked t = Resume_table.size t.resume
-let sweep_resume t = Resume_table.sweep t.resume
+
+let sweep_resume t =
+  let swept = Resume_table.sweep t.resume in
+  (match t.spool with
+   | Some sp -> ignore (Spool.sweep sp ~ttl_s:t.config.resume_ttl_s)
+   | None -> ());
+  swept
+
+let resume_expired_total t = Resume_table.expired_total t.resume
+
+(* Lazy sweep wired into the accept/inject path: abandoned sessions are
+   evicted as the server keeps serving, without a dedicated janitor
+   thread.  Rate-limited to roughly once per second of the (injectable)
+   clock so a busy accept loop pays one table scan per second, not one
+   per connection. *)
+let maybe_sweep t =
+  let now = t.clock () in
+  if now -. t.last_sweep >= 1.0 then begin
+    t.last_sweep <- now;
+    ignore (sweep_resume t)
+  end
 
 (* Capability bits this loop grants when a client offers them. *)
 let supported_flags t =
@@ -218,14 +297,18 @@ let supported_flags t =
   lor (if t.config.enable_resume then Message.flag_resume else 0)
   lor if t.config.enable_metrics then Message.flag_metrics else 0
 
-(* 128-bit resume token: pure CSPRNG output, never derived from key or
-   protocol state, so it reveals nothing (SECURITY.md).  The rng is
-   shared by all session threads, hence the lock. *)
+(* 128-bit resume token: the 4-byte boot id, then 12 bytes of pure
+   CSPRNG output — never derived from key or protocol state, so it
+   reveals nothing beyond "same server incarnation" (SECURITY.md).  The
+   prefix is what lets a restarted server answer an old token with the
+   terminal server-restarted reject instead of a retryable one; 96
+   random bits keep tokens unguessable.  The rng is shared by all
+   session threads, hence the lock. *)
 let gen_token t =
   Mutex.lock t.rng_mu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.rng_mu)
-    (fun () -> Ppst_rng.Secure_rng.bytes t.rng 16)
+    (fun () -> t.boot_id ^ Ppst_rng.Secure_rng.bytes t.rng 12)
 
 let stats t =
   (* fresh snapshot so callers never alias the mutable accumulator *)
@@ -343,6 +426,7 @@ let serve_session t ~id ~peer fd =
           ctx_id = id;
           ctx_peer = peer;
           handle = None;
+          pending_restore = None;
           server_rounds = 0;
           last_reply = "";
           handler_seconds = 0.0;
@@ -360,13 +444,57 @@ let serve_session t ~id ~peer fd =
   in
   let handle_of c =
     match c.handle with
-    | Some h -> h
+    | Some h -> h.respond
     | None ->
       (* the factory runs in the session thread: key-sharing setup cost
          is paid by the session, never by the accept loop *)
       let h = t.handler ~id:c.ctx_id ~peer:c.ctx_peer in
+      (* a spooled snapshot's application blob is re-applied the moment
+         the handler exists — before the first request touches it *)
+      (match (c.pending_restore, h.restore) with
+       | Some blob, Some restore -> restore blob
+       | _ -> ());
+      c.pending_restore <- None;
       c.handle <- Some h;
-      h
+      h.respond
+  in
+  (* The full serializable session image (Snapshot transport fields +
+     the handler's own exported state). *)
+  let snapshot_of c =
+    let app =
+      match c.handle with
+      | Some { snapshot = Some snap; _ } -> snap ()
+      | _ -> ( match c.pending_restore with Some blob -> blob | None -> "")
+    in
+    Snapshot.encode
+      {
+        Snapshot.token = c.token;
+        granted = c.granted;
+        server_rounds = c.server_rounds;
+        last_reply = c.last_reply;
+        requests = c.requests;
+        handler_seconds = c.handler_seconds;
+        server_len = c.server_len;
+        catalog = c.catalog;
+        admission = Admission.export c.adm;
+        app;
+      }
+  in
+  (* Externalize after every counted round, BEFORE the reply frame goes
+     out: a worker SIGKILLed at any later instant leaves a snapshot the
+     resuming worker replays from (killed-after-spool-before-send means
+     the client resumes one round behind and gets the cached reply;
+     killed-before-spool means the client re-sends and the round runs
+     again — either way the revealed distance is bit-identical). *)
+  let spool_snapshot c =
+    match t.spool with
+    | Some sp when c.token <> "" && t.config.enable_resume -> (
+      match Spool.put sp ~key:c.token (snapshot_of c) with
+      | () -> ()
+      | exception _ -> ()
+        (* a full disk must not kill the live session: the spool is a
+           recovery improvement, in-memory parking still works *))
+    | _ -> ()
   in
   let timed c req =
     let t0 = Unix.gettimeofday () in
@@ -389,7 +517,8 @@ let serve_session t ~id ~peer fd =
     if not control then begin
       let c = ctx () in
       c.server_rounds <- c.server_rounds + 1;
-      c.last_reply <- encoded
+      c.last_reply <- encoded;
+      spool_snapshot c
     end;
     Channel.write_frame ?max_frame:cap ~crc:!crc ?faults:t.config.faults fd
       encoded;
@@ -492,14 +621,7 @@ let serve_session t ~id ~peer fd =
                       });
                  loop ()
                | None -> (
-                 match Resume_table.take t.resume token with
-                 | None ->
-                   Metrics.incr m_resume_rejected;
-                   write_reply ~control:true
-                     (Message.Resume_reject
-                        { reason = "unknown or expired resume token" });
-                   loop ()
-                 | Some c ->
+                 let accept_resume c =
                    attach c;
                    let granted = flags land supported_flags t in
                    c.granted <- granted;
@@ -519,7 +641,72 @@ let serve_session t ~id ~peer fd =
                         });
                    crc := granted land Message.flag_crc32 <> 0;
                    negotiated := true;
-                   loop ()))
+                   loop ()
+                 in
+                 match Resume_table.take t.resume token with
+                 | Some c -> accept_resume c
+                 | None -> (
+                   (* memory miss: the session may have been parked by a
+                      worker that is now dead — reconstitute it from the
+                      crash-safe spool (cross-worker failover). *)
+                   let from_spool =
+                     match t.spool with
+                     | None -> None
+                     | Some sp -> (
+                       match Spool.take sp ~key:token with
+                       | None -> None
+                       | Some blob -> (
+                         match Snapshot.decode blob with
+                         | snap -> Some snap
+                         | exception Wire.Malformed _ -> None))
+                   in
+                   match from_spool with
+                   | Some snap ->
+                     let c =
+                       {
+                         ctx_id = id;
+                         ctx_peer = peer;
+                         handle = None;
+                         pending_restore =
+                           (if snap.Snapshot.app = "" then None
+                            else Some snap.Snapshot.app);
+                         server_rounds = snap.Snapshot.server_rounds;
+                         last_reply = snap.Snapshot.last_reply;
+                         handler_seconds = snap.Snapshot.handler_seconds;
+                         requests = snap.Snapshot.requests;
+                         token = snap.Snapshot.token;
+                         granted = snap.Snapshot.granted;
+                         (* the original absolute deadline died with its
+                            worker; the failed-over session gets this
+                            connection's accept deadline *)
+                         ctx_deadline = accept_deadline;
+                         adm =
+                           Admission.import t.config.admission
+                             snap.Snapshot.admission;
+                         server_len = snap.Snapshot.server_len;
+                         catalog = snap.Snapshot.catalog;
+                       }
+                     in
+                     accept_resume c
+                   | None ->
+                     Metrics.incr m_resume_rejected;
+                     let reason =
+                       (* a token whose boot-id prefix names a previous
+                          incarnation can never become valid again: say
+                          so, typed, so the client fails fast instead of
+                          burning its retry budget *)
+                       if
+                         String.length token >= 4
+                         && String.sub token 0 4 <> t.boot_id
+                       then
+                         Channel.server_restarted_reason
+                         ^ ": resume token was minted by a previous server \
+                            incarnation"
+                       else "unknown or expired resume token"
+                     in
+                     write_reply ~control:true
+                       (Message.Resume_reject { reason });
+                     loop ())))
              | Message.Request (Message.Hello { flags; spec } as req) -> (
                let c = ctx () in
                c.requests <- c.requests + 1;
@@ -591,7 +778,12 @@ let serve_session t ~id ~peer fd =
              | Message.Request Message.Bye ->
                let c = ctx () in
                c.requests <- c.requests + 1;
-               (* orderly end: nothing to park, the token dies here *)
+               (* orderly end: nothing to park, the token dies here —
+                  the spooled snapshot too, or a client could resurrect
+                  a session it already closed *)
+               (match t.spool with
+                | Some sp when c.token <> "" -> Spool.delete sp ~key:c.token
+                | _ -> ());
                c.token <- "";
                write_reply
                  (Message.Bye_ack { server_seconds = c.handler_seconds });
@@ -714,7 +906,16 @@ let serve_session t ~id ~peer fd =
    | (Disconnected | Idle_timeout), Some c
      when c.token <> "" && t.config.enable_resume ->
      Resume_table.put t.resume c.token c;
+     (* the spool already holds this session's last counted round; keep
+        it — it is what survives if THIS worker dies while parked *)
      Metrics.gauge_set m_parked (float_of_int (Resume_table.size t.resume))
+   | _, Some c -> (
+     (* terminal outcome: the token is dead, so the spooled snapshot
+        must die with it — otherwise a quota-rejected or deadline-cut
+        session could resurrect through the spool *)
+     match t.spool with
+     | Some sp when c.token <> "" -> Spool.delete sp ~key:c.token
+     | _ -> ())
    | _ -> ());
   let requests_delta, handler_delta =
     match !attached with
@@ -845,15 +1046,9 @@ let reject_or_probe ?(shed = false) ?retry_after t fd =
   end;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_one t =
-  match
-    Channel.retry_on_intr (fun () -> Unix.select [ t.listener ] [] [] 0.2)
-  with
-  | [], _, _ -> ()
-  | _ ->
-    let fd, peer = Unix.accept t.listener in
-    (try Unix.setsockopt fd Unix.TCP_NODELAY true
-     with Unix.Unix_error _ -> ());
+(* Admission decision + thread spawn for one connected socket, shared by
+   the owned-listener accept path and the worker fd-injection path. *)
+let inject t fd peer =
     (* Cheapest checks first, all on public information.  The per-peer
        rate limit is keyed by address (no port: one hostile process
        cannot dodge its bucket by rotating source ports), and the shed
@@ -916,6 +1111,18 @@ let accept_one t =
                 ())
             ()))
 
+let accept_one t listener =
+  match
+    Channel.retry_on_intr (fun () -> Unix.select [ listener ] [] [] 0.2)
+  with
+  | [], _, _ -> maybe_sweep t
+  | _ ->
+    let fd, peer = Unix.accept listener in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    maybe_sweep t;
+    inject t fd peer
+
 let drain t =
   let give_up = Monoclock.now () +. t.config.drain_timeout_s in
   Mutex.lock t.mu;
@@ -931,18 +1138,99 @@ let drain t =
       done)
 
 let run t =
+  let listener =
+    match t.listener with
+    | Some l -> l
+    | None ->
+      invalid_arg
+        "Server_loop.run: worker-mode loop has no listener (use run_worker)"
+  in
   let total_reached () =
     match t.config.max_total with
     | None -> false
     | Some n -> locked t (fun () -> t.accepted >= n)
   in
   Fun.protect
-    ~finally:(fun () ->
-      try Unix.close t.listener with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> try Unix.close listener with Unix.Unix_error _ -> ())
     (fun () ->
       while (not (Atomic.get t.stop)) && not (total_reached ()) do
-        accept_one t
+        accept_one t listener
       done);
   (* stopped accepting (listener closed above: queued connects are
      refused, not served) — now drain what is already in flight *)
   drain t
+
+(* --- supervised worker mode ------------------------------------------------ *)
+
+(* The worker's final drain frame to the parent dispatcher: its session
+   counters, merged traffic stats, and an opaque application blob
+   (ppst_server ships its crypto-op totals there), so the parent's
+   summary covers every worker that drained. *)
+type worker_report = {
+  w_accepted : int;
+  w_rejected : int;
+  w_shed : int;
+  w_handler_seconds : float;
+  w_stats : Stats.t;
+  w_extra : string;
+}
+
+let encode_report t ~extra =
+  locked t (fun () ->
+      let w = Wire.writer () in
+      Wire.put_u32 w t.accepted;
+      Wire.put_u32 w t.rejected;
+      Wire.put_u32 w t.shed;
+      Wire.put_f64 w t.handler_seconds_total;
+      Wire.put_bytes w (Stats.export t.merged_stats);
+      Wire.put_bytes w extra;
+      Wire.contents w)
+
+let decode_report blob =
+  let r = Wire.reader blob in
+  let w_accepted = Wire.get_u32 r in
+  let w_rejected = Wire.get_u32 r in
+  let w_shed = Wire.get_u32 r in
+  let w_handler_seconds = Wire.get_f64 r in
+  let w_stats = Stats.import (Wire.get_bytes r) in
+  let w_extra = Wire.get_bytes r in
+  Wire.expect_end r;
+  { w_accepted; w_rejected; w_shed; w_handler_seconds; w_stats; w_extra }
+
+(* Worker service loop: connections arrive as passed fds on [control]
+   instead of from an owned listener.  EOF on [control] (the parent
+   died or closed the channel) and SIGTERM-via-[shutdown] both end the
+   loop; either way the worker drains in-flight sessions and sends one
+   final report frame back up the control socket. *)
+let run_worker ?(extra = fun () -> "") t ~control =
+  (match t.listener with
+   | Some _ ->
+     invalid_arg "Server_loop.run_worker: loop owns a listener (use run)"
+   | None -> ());
+  let rec serve () =
+    if not (Atomic.get t.stop) then begin
+      match
+        Channel.retry_on_intr (fun () -> Unix.select [ control ] [] [] 0.2)
+      with
+      | [], _, _ ->
+        maybe_sweep t;
+        serve ()
+      | _ -> (
+        match Fd_passing.recv_fd control with
+        | None -> () (* parent closed the dispatch channel *)
+        | Some fd ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let peer =
+            try Unix.getpeername fd
+            with Unix.Unix_error _ -> Unix.ADDR_UNIX "supervisor"
+          in
+          maybe_sweep t;
+          inject t fd peer;
+          serve ())
+    end
+  in
+  (try serve () with Unix.Unix_error _ -> ());
+  drain t;
+  let report = encode_report t ~extra:(extra ()) in
+  try Channel.write_frame control report with _ -> ()

@@ -86,6 +86,14 @@ type config = {
           stalls longer than this is cut ({!outcome.Slow_peer}) — the
           slowloris defense.  Quiet time {e between} frames is governed
           by [idle_timeout_s], not this. *)
+  spool_dir : string option;
+      (** crash-safe session spool.  When set, every counted round of a
+          resumable session also writes a {!Snapshot} of the session to
+          this directory (atomic temp-file + rename + fsync), and a
+          [Resume] whose token misses the in-memory table falls back to
+          the spool — so a session parked in one worker process survives
+          that worker being [SIGKILL]ed and resumes in another.  [None]
+          (the default) keeps the pre-existing memory-only behavior. *)
 }
 
 val default_config : config
@@ -93,7 +101,24 @@ val default_config : config
     [retry_after_s = 1.0], default frame cap, [drain_timeout_s = 30.0],
     CRC and resume enabled ([resume_ttl_s = 300.], capacity 1024), no
     fault injection, no admission budgets, no rate limit, no shed
-    watermark, 30 s slow-peer watchdog. *)
+    watermark, 30 s slow-peer watchdog, no spool. *)
+
+(** What the per-session factory hands back: the request handler plus
+    optional crash-safety hooks.  [snapshot] (called after every counted
+    round, under the session thread) must return an opaque, serializable
+    encoding of the application state sufficient to rebuild the handler;
+    [restore] is called at most once, before the first request of a
+    session resumed {e from the spool}, with the last spooled blob.
+    Handlers without the hooks still park/resume in memory exactly as
+    before — they just cannot survive a process crash. *)
+type app_handler = {
+  respond : Message.request -> Message.reply;
+  snapshot : (unit -> string) option;
+  restore : (string -> unit) option;
+}
+
+val respond_only : (Message.request -> Message.reply) -> app_handler
+(** Wrap a plain request handler (no crash-safety hooks). *)
 
 (** Why a session ended, for observability and tests. *)
 type outcome =
@@ -139,8 +164,9 @@ val create :
   ?on_session_end:(session -> unit) ->
   ?clock:(unit -> float) ->
   ?rng:Ppst_rng.Secure_rng.t ->
+  ?boot_id:string ->
   port:int ->
-  handler:(id:int -> peer:Unix.sockaddr -> (Message.request -> Message.reply)) ->
+  handler:(id:int -> peer:Unix.sockaddr -> app_handler) ->
   unit ->
   t
 (** Bind and listen immediately (so [port = 0] picks an ephemeral port
@@ -156,12 +182,35 @@ val create :
     hook for logging and for merging per-session cost into process-wide
     aggregates.  [?clock] overrides the resume table's clock (tests
     prove TTL eviction by advancing a fake clock); [?rng] the token
-    generator (system-seeded by default).
-    @raise Invalid_argument on [max_sessions < 1]
+    generator (system-seeded by default).  [?boot_id] is the 4-byte
+    incarnation prefix carried by every issued resume token: workers of
+    one supervised deployment share it (so tokens shard and fail over
+    across them), while a fresh default (random) boot id makes a
+    restarted server reject tokens from its previous life with a
+    {!Channel.server_restarted_reason}-prefixed reason.
+    @raise Invalid_argument on [max_sessions < 1] or a [boot_id] whose
+    length is not exactly 4
     @raise Unix.Unix_error when the port cannot be bound. *)
 
+val create_worker :
+  ?config:config ->
+  ?on_session_end:(session -> unit) ->
+  ?clock:(unit -> float) ->
+  ?rng:Ppst_rng.Secure_rng.t ->
+  ?boot_id:string ->
+  handler:(id:int -> peer:Unix.sockaddr -> app_handler) ->
+  unit ->
+  t
+(** Like {!create} but without binding a listener: connections arrive as
+    file descriptors passed over a {!Supervisor} control socket and are
+    served by {!run_worker}.  {!port} returns [0]; {!run} raises. *)
+
 val port : t -> int
-(** The actually bound TCP port. *)
+(** The actually bound TCP port ([0] for a {!create_worker} loop). *)
+
+val boot_id : t -> string
+(** The 4-byte incarnation prefix of every resume token this loop
+    issues. *)
 
 val run : t -> unit
 (** Accept-and-serve until {!shutdown} is requested or [max_total]
@@ -205,4 +254,45 @@ val resume_parked : t -> int
 (** Sessions currently parked in the resume table. *)
 
 val sweep_resume : t -> int
-(** Evict every TTL-expired parked session now; returns how many went. *)
+(** Evict every TTL-expired parked session now (spool entries included
+    when a spool is configured); returns how many parked sessions went.
+    The accept loop also runs this lazily (at most once per second, on
+    its accept tick), so thousands of abandoned sessions cannot
+    accumulate unboundedly between explicit sweeps. *)
+
+val resume_expired_total : t -> int
+(** Parked sessions evicted by TTL expiry over this loop's lifetime
+    (the resume table's [expired_total] counter). *)
+
+(** {1 Supervised worker mode}
+
+    Under {!Supervisor}, each worker process runs {!run_worker} on a
+    {!create_worker} loop: accepted connections arrive as passed fds on
+    the control socket instead of from an owned listener.  When the
+    dispatch channel closes (supervisor shutdown or death) the worker
+    drains in-flight sessions and writes one final {!worker_report}
+    frame back up the control socket, so the parent's merged accounting
+    covers every worker that drained. *)
+
+type worker_report = {
+  w_accepted : int;
+  w_rejected : int;
+  w_shed : int;
+  w_handler_seconds : float;
+  w_stats : Stats.t;
+  w_extra : string;
+      (** opaque application blob ([run_worker]'s [?extra] thunk);
+          [ppst_server] ships its crypto-op totals here *)
+}
+
+val decode_report : string -> worker_report
+(** Decode a worker's final drain frame.
+    @raise Wire.Malformed on a corrupt blob. *)
+
+val run_worker : ?extra:(unit -> string) -> t -> control:Unix.file_descr -> unit
+(** Serve connections received via {!Fd_passing.recv_fd} on [control]
+    until the channel reaches EOF or {!shutdown} is requested, then
+    drain in-flight sessions ([drain_timeout_s]) and send the final
+    report frame (best-effort).  [?extra] is evaluated once, after the
+    drain, to fill [w_extra].
+    @raise Invalid_argument on a loop that owns a listener (use {!run}). *)

@@ -1,0 +1,86 @@
+(* Serializable session snapshot: everything Server_loop needs to
+   reconstitute a parked session in a different worker process, plus an
+   opaque application blob (the core server's own state codec).
+
+   Replaces the non-serializable handler closure as the unit of session
+   externalization.  Every field is either data the client already sent
+   on the wire (token, capability flags, declared spec via the admission
+   ledger) or a count of the session's own traffic — so spooling a
+   snapshot adds no leakage beyond what a parked in-memory session
+   already held (SECURITY.md). *)
+
+type t = {
+  token : string;  (* 16-byte resume token, spool key and wire identity *)
+  granted : int;  (* negotiated capability flags *)
+  server_rounds : int;  (* rounds counted by the server (exactly-once) *)
+  last_reply : string;  (* encoded reply of the last counted round *)
+  requests : int;
+  handler_seconds : float;
+  server_len : int;  (* active record length for admission pricing *)
+  catalog : int array option;  (* record lengths, when Catalog_reply was sent *)
+  admission : string;  (* Admission.export blob *)
+  app : string;  (* application state blob (Server.export_state) *)
+}
+
+let version = 1
+
+let put_opt_int_array w = function
+  | None -> Wire.put_u8 w 0
+  | Some arr ->
+    Wire.put_u8 w 1;
+    Wire.put_u32 w (Array.length arr);
+    Array.iter (Wire.put_u32 w) arr
+
+let get_opt_int_array r =
+  match Wire.get_u8 r with
+  | 0 -> None
+  | 1 ->
+    let n = Wire.get_u32 r in
+    if n * 4 > Wire.remaining r then
+      raise (Wire.Malformed "Snapshot: array count exceeds frame capacity");
+    Some (Array.init n (fun _ -> Wire.get_u32 r))
+  | b -> raise (Wire.Malformed (Printf.sprintf "Snapshot: bad option tag %d" b))
+
+let encode t =
+  let w = Wire.writer () in
+  Wire.put_u8 w version;
+  Wire.put_bytes w t.token;
+  Wire.put_u32 w t.granted;
+  Wire.put_u32 w t.server_rounds;
+  Wire.put_bytes w t.last_reply;
+  Wire.put_u32 w t.requests;
+  Wire.put_f64 w t.handler_seconds;
+  Wire.put_u32 w t.server_len;
+  put_opt_int_array w t.catalog;
+  Wire.put_bytes w t.admission;
+  Wire.put_bytes w t.app;
+  Wire.contents w
+
+let decode blob =
+  let r = Wire.reader blob in
+  let v = Wire.get_u8 r in
+  if v <> version then
+    raise (Wire.Malformed (Printf.sprintf "Snapshot: unsupported version %d" v));
+  let token = Wire.get_bytes r in
+  let granted = Wire.get_u32 r in
+  let server_rounds = Wire.get_u32 r in
+  let last_reply = Wire.get_bytes r in
+  let requests = Wire.get_u32 r in
+  let handler_seconds = Wire.get_f64 r in
+  let server_len = Wire.get_u32 r in
+  let catalog = get_opt_int_array r in
+  let admission = Wire.get_bytes r in
+  let app = Wire.get_bytes r in
+  Wire.expect_end r;
+  {
+    token;
+    granted;
+    server_rounds;
+    last_reply;
+    requests;
+    handler_seconds;
+    server_len;
+    catalog;
+    admission;
+    app;
+  }

@@ -1,0 +1,28 @@
+(** Serializable session snapshot — the externalizable replacement for
+    the parked handler closure, enabling cross-worker session failover
+    (PROTOCOL.md §13).
+
+    The transport fields reconstruct {!Server_loop}'s session context
+    (round counter for exactly-once replay, last encoded reply,
+    negotiated capabilities, admission ledger); [app] is an opaque blob
+    the application handler produced (e.g. [Ppst.Server.export_state])
+    and is reapplied through its [restore] hook after the handler
+    factory rebuilds the session. *)
+
+type t = {
+  token : string;
+  granted : int;
+  server_rounds : int;
+  last_reply : string;
+  requests : int;
+  handler_seconds : float;
+  server_len : int;
+  catalog : int array option;
+  admission : string;
+  app : string;
+}
+
+val encode : t -> string
+
+val decode : string -> t
+(** @raise Wire.Malformed on a corrupt or version-mismatched blob. *)

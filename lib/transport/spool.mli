@@ -1,0 +1,36 @@
+(** Crash-safe key/value spool: one file per key, written atomically
+    (temp file + fsync + [rename] + directory fsync), shared between
+    supervised worker processes.  This is the externalized resume store
+    of the failover design (PROTOCOL.md §13): a session snapshot put by
+    worker A survives A's SIGKILL and is taken by worker B.
+
+    Keys are raw byte strings (resume tokens); filenames are their hex
+    encoding, so untrusted token bytes cannot escape the directory. *)
+
+type t
+
+val create : dir:string -> t
+(** Open (creating, mode 0700, parents included) a spool directory. *)
+
+val dir : t -> string
+
+val put : t -> key:string -> string -> unit
+(** Atomically replace [key]'s value.  After a crash at any point the
+    key holds either its previous value or the new one, never a torn
+    write.  @raise Unix.Unix_error on filesystem failure. *)
+
+val find : t -> key:string -> string option
+(** Read without consuming. *)
+
+val take : t -> key:string -> string option
+(** Read and delete (resume consumes its snapshot). *)
+
+val delete : t -> key:string -> unit
+(** Remove [key] if present (session ended cleanly). *)
+
+val size : t -> int
+(** Number of spooled snapshots. *)
+
+val sweep : t -> ttl_s:float -> int
+(** Delete snapshots (and orphaned temp files) whose mtime is older
+    than [ttl_s]; returns the number of snapshots removed. *)

@@ -43,3 +43,10 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 (** Compact single-line JSON object (machine-readable [pp]); embedded
     verbatim in the bench BENCH_*.json reports. *)
+
+val export : t -> string
+(** Wire-encode for cross-process transfer (a supervised worker's final
+    drain frame to the parent dispatcher). *)
+
+val import : string -> t
+(** Inverse of {!export}. @raise Wire.Malformed on a corrupt blob. *)

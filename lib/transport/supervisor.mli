@@ -1,0 +1,88 @@
+(** Multi-process serving: a single-threaded parent dispatcher owning
+    the listening socket, sharding accepted connections across [N]
+    forked worker processes by passing the connected file descriptor
+    over a per-worker Unix socketpair ({!Fd_passing}).
+
+    Routing: the parent peeks (without consuming) at the connection's
+    first bytes for up to 50 ms.  A [Resume] frame — recognizable from
+    its fixed layout ([0x0c] tag, then the 16-byte token) — routes by
+    token hash ([Crc32.digest token mod workers]), so a resuming client
+    lands on the worker whose in-memory resume table parks the session;
+    with a shared session spool ({!Server_loop.config.spool_dir}) any
+    worker can serve it, but the hash keeps the common case on the fast
+    in-memory path.  Everything else round-robins.  The parent reads
+    nothing beyond the peek and learns nothing the server would not
+    learn anyway (SECURITY.md).
+
+    Fault tolerance: the parent [waitpid]s its children each accept
+    tick.  A dead worker is re-forked after a backoff drawn from the
+    shared transport {!Retry.policy}, with the exponent driven by the
+    worker's {e consecutive} crash count (a worker that stayed up 30 s
+    resets the streak) — an isolated crash restarts almost instantly, a
+    crash loop backs off exponentially, and a global [max_restarts]
+    budget stops the deployment rather than flapping forever.
+
+    Shutdown (stop flag set, typically from a signal handler):
+    half-close every control socket — the worker's dispatch loop reads
+    EOF, drains in-flight sessions and writes one final report frame
+    back up the same socket ({!Server_loop.run_worker}) — and send
+    SIGTERM for workers with their own handler; collect the reports
+    within the drain budget; SIGKILL stragglers.
+
+    The parent must stay single-threaded (it forks at arbitrary times);
+    that is why supervision lives in its own pre-threads module instead
+    of inside {!Server_loop}. *)
+
+type event =
+  | Worker_started of { slot : int; pid : int; restarts : int }
+      (** [restarts] is the supervisor-lifetime restart count {e before}
+          this start: [0] for each initial worker. *)
+  | Worker_exited of {
+      slot : int;
+      pid : int;
+      status : Unix.process_status;
+      restarting : bool;  (** a replacement has been scheduled *)
+    }
+
+type summary = {
+  restarts : int;  (** workers re-forked over the supervisor's lifetime *)
+  reports : (int * string option) list;
+      (** per-slot final drain frame, in slot order; [None] when the
+          worker died without reporting (crashed, or missed the drain
+          deadline).  Decode with {!Server_loop.decode_report}. *)
+}
+
+val bind : port:int -> Unix.file_descr * int
+(** Create the listening socket the parent will own ([SO_REUSEADDR],
+    backlog 64); returns the socket and the actually bound port
+    ([port = 0] picks an ephemeral one).  Bind {e before} forking so
+    every worker generation serves the same address.
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val run :
+  ?on_event:(event -> unit) ->
+  ?restart_policy:Retry.policy ->
+  ?max_restarts:int ->
+  ?drain_timeout_s:float ->
+  ?rng:Ppst_rng.Secure_rng.t ->
+  ?stop:bool Atomic.t ->
+  listener:Unix.file_descr ->
+  workers:int ->
+  worker_main:(slot:int -> restarted:bool -> control:Unix.file_descr -> unit) ->
+  unit ->
+  summary
+(** Fork [workers] children and dispatch until [stop] reads [true]
+    (set it from a SIGTERM/SIGINT handler — it is the only
+    async-signal-safe input), then shut down gracefully and return the
+    merged summary.  [worker_main] runs {e in the child} with the child
+    end of its control socketpair; it must serve fds received on
+    [control] until EOF and exit — {!Server_loop.create_worker} plus
+    {!Server_loop.run_worker} is the intended body.  [restarted] tells
+    a replacement worker it follows a crash (a chaos-injected worker
+    uses it to drop its one-shot crash fault instead of dying again).
+    [?max_restarts] (default 64) caps supervisor-lifetime restarts;
+    exceeding it stops the run.  [?drain_timeout_s] (default 30)
+    bounds shutdown collection.  Call from a process with {e no}
+    threads beyond the main one: fork from a threaded parent leaves
+    children with dead lock holders.
+    @raise Invalid_argument on [workers < 1]. *)

@@ -32,13 +32,21 @@
 # oversized session must be turned away with a typed quota verdict
 # before any Paillier work.
 #
-# Finally (f) observability: two smoke traces of the same seed must
+# (f) observability: two smoke traces of the same seed must
 # diff clean while a doctored 2x-latency copy must be flagged; a
 # truncated trace tail is reported with its own exit code; the catalog
 # smoke runs with the metrics sidecar up and the exposition page (both
 # the HTTP endpoint and the in-protocol metrics verb) must carry the
 # server-side families; and `ppst_analyze report` runs advisory over
 # the checked-in BENCH_*.json artifacts.
+#
+# Finally (g) a failover smoke: a 4-worker supervised server with a
+# shared session spool serves one session whose worker is SIGKILLed
+# mid-stream from outside; the client must ride the reconnect + Resume
+# path onto a surviving worker (the dead worker's memory is gone — the
+# session rehydrates from the spool), the revealed distance must be
+# bit-identical to a single-process reference run of the same seeds,
+# and the supervisor must report exactly one restart.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -351,3 +359,60 @@ if [ "$rejected" -ne 69 ] || ! grep -q 'cells quota' "$cat_dir/oversize.log"; th
   exit 1
 fi
 echo "ci: catalog smoke OK (pruned top-1 = exhaustive top-1 = record 6, $pruned_n/20 pruned within radius, oversized query quota-rejected)"
+
+# Failover smoke: 4 supervised workers, one SIGKILLed mid-session.
+fo_dir="$(mktemp -d /tmp/ppst_ci_failover.XXXXXX)"
+trap 'kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir" "$fo_dir"' EXIT INT TERM
+# 64 points keeps the session around 2 s at the default key size, so an
+# external kill 0.7 s in lands reliably mid-stream.
+./_build/default/bin/ppst_datagen.exe --seed 4201 -n 64 "$fo_dir/y.csv" >/dev/null
+./_build/default/bin/ppst_datagen.exe --seed 4202 -n 64 "$fo_dir/x.csv" >/dev/null
+
+# Single-process reference run of the same seeds.
+ref_port=17977
+./_build/default/bin/ppst_server.exe -p "$ref_port" --seed ci-failover \
+  "$fo_dir/y.csv" >"$fo_dir/server-ref.log" 2>&1 &
+ref_pid=$!
+sleep 1
+./_build/default/bin/ppst_client.exe -p "$ref_port" --seed ci-failover-client \
+  "$fo_dir/x.csv" >"$fo_dir/client-ref.log" 2>&1
+kill "$ref_pid" 2>/dev/null || true
+wait "$ref_pid" 2>/dev/null || true
+ref_distance="$(sed -n 's/^secure DTW distance.*= //p' "$fo_dir/client-ref.log")"
+
+# Supervised run: the first connection round-robins to worker slot 0,
+# whose pid the parent announces on stdout — that is the one we kill.
+fo_port=17978
+./_build/default/bin/ppst_server.exe -p "$fo_port" --seed ci-failover \
+  --workers 4 --spool-dir "$fo_dir/spool" \
+  "$fo_dir/y.csv" >"$fo_dir/server-fo.log" 2>&1 &
+fo_pid=$!
+trap 'kill "$fo_pid" 2>/dev/null || true; kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir" "$fo_dir"' EXIT INT TERM
+sleep 1
+worker0_pid="$(sed -n 's/^worker 0: pid //p' "$fo_dir/server-fo.log" | head -1)"
+if [ -z "$worker0_pid" ]; then
+  echo "ci: failover smoke FAILED: supervisor never announced worker 0" >&2
+  cat "$fo_dir/server-fo.log" >&2 || true
+  exit 1
+fi
+./_build/default/bin/ppst_client.exe -p "$fo_port" --seed ci-failover-client \
+  "$fo_dir/x.csv" >"$fo_dir/client-fo.log" 2>&1 &
+fo_client_pid=$!
+sleep 0.7
+kill -9 "$worker0_pid" 2>/dev/null || true
+fo_client_rc=0
+wait "$fo_client_pid" || fo_client_rc=$?
+fo_distance="$(sed -n 's/^secure DTW distance.*= //p' "$fo_dir/client-fo.log")"
+kill "$fo_pid" 2>/dev/null || true
+wait "$fo_pid" 2>/dev/null || true
+if [ "$fo_client_rc" -ne 0 ] || [ -z "$fo_distance" ] || [ "$fo_distance" != "$ref_distance" ]; then
+  echo "ci: failover smoke FAILED: distance '$fo_distance' != reference '$ref_distance' (client exit $fo_client_rc)" >&2
+  cat "$fo_dir/client-fo.log" "$fo_dir/server-fo.log" >&2 || true
+  exit 1
+fi
+if ! grep -q '^supervisor restarts: 1$' "$fo_dir/server-fo.log"; then
+  echo "ci: failover smoke FAILED: restart counter is not exactly 1" >&2
+  cat "$fo_dir/server-fo.log" >&2 || true
+  exit 1
+fi
+echo "ci: failover smoke OK (worker SIGKILLed mid-session, distance $fo_distance = reference, exactly 1 restart)"

@@ -27,7 +27,10 @@ let make_loop ?(config = Server_loop.default_config) ?on_session_end ~seed () =
     in
     Ppst.Server.handle server
   in
-  let loop = Server_loop.create ~config ?on_session_end ~port:0 ~handler () in
+  let loop =
+    Server_loop.create ~config ?on_session_end ~port:0
+      ~handler:(fun ~id ~peer -> Server_loop.respond_only (handler ~id ~peer)) ()
+  in
   let runner = Thread.create (fun () -> Server_loop.run loop) () in
   (loop, runner)
 

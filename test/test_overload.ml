@@ -34,7 +34,10 @@ let make_loop ?(config = Server_loop.default_config) ?wrap ~seed () =
     let h = Ppst.Server.handle server in
     match wrap with Some w -> w h | None -> h
   in
-  let loop = Server_loop.create ~config ~port:0 ~handler () in
+  let loop =
+    Server_loop.create ~config ~port:0
+      ~handler:(fun ~id ~peer -> Server_loop.respond_only (handler ~id ~peer)) ()
+  in
   let runner = Thread.create (fun () -> Server_loop.run loop) () in
   (loop, runner)
 
