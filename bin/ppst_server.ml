@@ -244,10 +244,18 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
       Logs.warn (fun m ->
           m "--workers without --spool-dir: sessions cannot fail over \
              across worker crashes (resume state is per-process memory)");
-    (* All worker generations share one boot id, so a token minted
-       before a worker crash still names this deployment's incarnation
-       and fails over instead of being rejected as stale. *)
-    let boot_id = Ppst_rng.Secure_rng.bytes (rng_of "/boot-id") 4 in
+    (* All worker generations share one boot id (minted in the parent
+       before any fork), so a token minted before a worker crash still
+       names this deployment's incarnation and fails over instead of
+       being rejected as stale.  The id always comes from the system
+       RNG — never from --seed — so every full server restart mints a
+       fresh incarnation even in seeded runs, and tokens from the
+       previous incarnation hit the typed server-restarted reject
+       instead of burning the client's retry budget on the retryable
+       "unknown or expired" path. *)
+    let boot_id =
+      Ppst_rng.Secure_rng.bytes (Ppst_rng.Secure_rng.system ()) 4
+    in
     let listener, bound_port = Ppst_transport.Supervisor.bind ~port in
     let stop = Atomic.make false in
     let request_stop _ = Atomic.set stop true in

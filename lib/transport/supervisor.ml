@@ -78,10 +78,11 @@ let peek_token fd =
     if n >= resume_peek_bytes then
       if Bytes.get_uint8 buf 4 = 0x0c then Some (Bytes.sub_string buf 9 16)
       else None
-    else if n > 0 && Bytes.get_uint8 buf 4 <> 0x0c then
+    else if n >= 5 && Bytes.get_uint8 buf 4 <> 0x0c then
       (* enough to see a non-Resume tag: no point waiting for more *)
       None
     else begin
+      (* 0 < n < 5 can't inspect the tag yet; wait like n = 0 *)
       let remaining = deadline -. Monoclock.now () in
       if remaining <= 0.0 then None
       else begin
@@ -94,8 +95,19 @@ let peek_token fd =
       end
     end
   in
-  (* n > 0 && n < 5 can't inspect the tag yet; treat like n = 0 *)
-  try wait () with Unix.Unix_error _ -> None
+  (* The parent dispatcher is single-threaded: a client that connects
+     and sends nothing (port scanner, LB health probe, hostile peer)
+     must never be able to park it in a blocking recv, so the peek runs
+     with the fd in non-blocking mode and polls via select up to the
+     deadline.  Blocking mode is restored before the fd is handed to a
+     worker. *)
+  match Unix.set_nonblock fd with
+  | exception Unix.Unix_error _ -> None
+  | () ->
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.clear_nonblock fd with Unix.Unix_error _ -> ())
+      (fun () -> try wait () with Unix.Unix_error _ -> None)
 
 type t = {
   listener : Unix.file_descr;

@@ -52,6 +52,17 @@ type summary = {
           deadline).  Decode with {!Server_loop.decode_report}. *)
 }
 
+val peek_token : Unix.file_descr -> string option
+(** Peek ([MSG_PEEK], consuming nothing) at a freshly accepted
+    connection's first frame for up to 50 ms; returns the 16-byte
+    resume token when the frame is a [Resume], [None] otherwise
+    (round-robin dispatch).  The fd is put in non-blocking mode for the
+    duration of the peek — a peer that connects and stays silent can
+    never park the single-threaded dispatcher in a blocking [recv] —
+    and restored to blocking before return.  A first segment too short
+    to carry the tag byte is waited out, not misread.  Exposed for
+    tests; {!run} calls it on every accepted connection. *)
+
 val bind : port:int -> Unix.file_descr * int
 (** Create the listening socket the parent will own ([SO_REUSEADDR],
     backlog 64); returns the socket and the actually bound port

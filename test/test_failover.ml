@@ -327,6 +327,70 @@ let test_resume_frame_layout_pins_peek () =
   Alcotest.(check int) "tag byte" 0x0c (Char.code payload.[0]);
   Alcotest.(check string) "token at bytes 5..20" token (String.sub payload 5 16)
 
+let resume_frame token =
+  let payload =
+    Message.encode
+      (Message.Request (Message.Resume { token; client_rounds = 7; flags = 3 }))
+  in
+  let len = String.length payload in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_uint8 frame 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 frame 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 frame 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 frame 3 (len land 0xff);
+  Bytes.blit_string payload 0 frame 4 len;
+  frame
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let test_peek_silent_client_does_not_block () =
+  (* a peer that connects and sends nothing (port scanner, LB health
+     probe, hostile client) must round-robin within the 50 ms peek
+     budget instead of parking the single-threaded dispatcher in a
+     blocking recv *)
+  with_socketpair (fun srv _cli ->
+      let t0 = Unix.gettimeofday () in
+      let routed = Supervisor.peek_token srv in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (option string)) "silent peer round-robins" None routed;
+      Alcotest.(check bool)
+        (Printf.sprintf "returned in %.3f s, within the peek budget" elapsed)
+        true (elapsed < 2.0))
+
+let test_peek_partial_first_segment () =
+  (* the first segment may carry fewer bytes than reach the tag: the
+     dispatcher must wait for the tag instead of inspecting the
+     uninitialized peek buffer, so a Resume split across segments still
+     routes by token hash *)
+  let token = String.init 16 (fun i -> Char.chr (0x61 + i)) in
+  let frame = resume_frame token in
+  with_socketpair (fun srv cli ->
+      Alcotest.(check int) "3 bytes sent" 3 (Unix.write cli frame 0 3);
+      let writer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.01;
+            ignore (Unix.write cli frame 3 (Bytes.length frame - 3)))
+          ()
+      in
+      let routed = Supervisor.peek_token srv in
+      Thread.join writer;
+      Alcotest.(check (option string)) "split Resume routes by token"
+        (Some token) routed;
+      (* the peek consumed nothing and left the fd blocking: the worker
+         sees the whole frame untouched *)
+      let got = Bytes.create (Bytes.length frame) in
+      let n = Unix.read srv got 0 (Bytes.length got) in
+      Alcotest.(check int) "frame intact for the worker" (Bytes.length frame) n;
+      Alcotest.(check bytes) "bytes untouched" frame got)
+
 (* --- resume table: sweeping stays bounded -------------------------------------- *)
 
 let test_resume_table_mass_expiry () =
@@ -782,6 +846,10 @@ let () =
             test_worker_report_decode;
           Alcotest.test_case "resume frame layout pins dispatcher peek" `Quick
             test_resume_frame_layout_pins_peek;
+          Alcotest.test_case "silent peer cannot block the dispatcher" `Quick
+            test_peek_silent_client_does_not_block;
+          Alcotest.test_case "partial first segment still routes Resume" `Quick
+            test_peek_partial_first_segment;
         ] );
       ( "spool",
         [
