@@ -33,6 +33,8 @@
               BENCH_failover.json)
      catalog  secure 1-vs-N catalog search: lower-bound pruning vs the
               naive exhaustive scan (writes BENCH_catalog.json)
+     degraded partial catalog results under poisoned/slow candidates and
+              whole-query budget adherence (writes BENCH_degraded.json)
      observability metrics-endpoint scrape overhead, windowed rollups and
               the cost-attribution ledger (writes BENCH_observability.json)
      smoke    sub-second correctness + determinism sweep (scripts/ci.sh)
@@ -1722,6 +1724,194 @@ let catalog_bench ~quick =
   close_out oc;
   line "  wrote BENCH_catalog.json"
 
+(* ---- degraded mode: partial results and budget adherence --------------------- *)
+
+(* The same 1-vs-N search under three failure shapes: a clean catalog, a
+   poisoned candidate (every exact run against it draws a server error)
+   and one black-holed candidate (its protocol rounds stall) under a
+   per-candidate budget — plus a whole-query wall budget against a
+   uniformly slow server, measuring how far past the declared budget the
+   query actually runs.  Every partial result is cross-checked against a
+   clean reference over the catalog minus the skipped record. *)
+let degraded_bench ~quick =
+  header "Degraded mode: partial catalog results, budget adherence";
+  let count = if quick then 8 else 12 in
+  let length = 12 in
+  let k = 3 in
+  let key_bits = 256 in
+  let params = Ppst.Params.make ~key_bits () in
+  let record i =
+    Generate.ecg_int ~seed:(15001 + i) ~length ~max_value:(20 + (i mod 5) * 15)
+  in
+  let store_without skip =
+    let t = Store.create () in
+    for i = 0 to count - 1 do
+      if i <> skip then Store.insert t ~id:(Printf.sprintf "rec%03d" i) (record i)
+    done;
+    t
+  in
+  let store = store_without (-1) in
+  let x =
+    let i = ref 0 in
+    Series.map
+      (Array.map (fun v ->
+           incr i;
+           let dv = (!i mod 3) - 1 in
+           Stdlib.max 0 (Stdlib.min max_value (v + dv))))
+      (Store.records store).(0)
+  in
+  let spec = Ppst.Protocol.spec `Euclidean in
+  let bound =
+    Stdlib.max 1 (Stdlib.max (Series.max_abs_value x) (Store.max_abs_value store))
+  in
+  line "degraded 1-vs-%d catalog search: m = %d, Euclidean, %d-bit modulus, k = %d"
+    count length key_bits k;
+  (* one query session over a loopback channel, with an optional request
+     interceptor in front of the server — the fault *is* the wrapper *)
+  let run ~seed ?wrap ?budget ?candidate_budget_s () =
+    let rng_of sfx = Secure_rng.of_seed_string (seed ^ "/" ^ sfx) in
+    let server =
+      Ppst.Server.of_store ~params ~rng:(rng_of "server") ~store
+        ~max_value:bound ()
+    in
+    let base = Ppst.Server.handle server in
+    let handler = match wrap with Some w -> w base | None -> base in
+    let channel = Channel.local handler in
+    let client =
+      Ppst.Client.connect ~params ~query:true ~rng:(rng_of "client") ~series:x
+        ~max_value:bound ~distance:`Euclidean channel
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Ppst.Query.top_k ~spec ?budget ?candidate_budget_s ~k client in
+    let wall = Unix.gettimeofday () -. t0 in
+    (try Ppst.Client.finish client with _ -> ());
+    (report, wall)
+  in
+  let hit_pairs (r : Ppst.Query.report) =
+    r.Ppst.Query.hits |> Array.to_list
+    |> List.map (fun (h : Ppst.Query.hit) ->
+        (h.Ppst.Query.id, Bigint.to_string h.Ppst.Query.distance))
+  in
+  (* the partial-result invariant: hits of a degraded run = a clean run
+     over the catalog minus the skipped record *)
+  let check_against_reference ~tag report skip =
+    let reference, _ =
+      Ppst.Query.run_top_k ~spec ~params
+        ~seed:(Printf.sprintf "degraded-ref-%d" skip)
+        ~max_value:bound ~k ~x ~store:(store_without skip) ()
+    in
+    if hit_pairs report <> hit_pairs reference then
+      failwith
+        (Printf.sprintf "%s: partial hits differ from the minus-%d reference"
+           tag skip)
+  in
+  let the_incomplete ~tag (r : Ppst.Query.report) =
+    match r.Ppst.Query.incomplete with
+    | [| c |] -> c
+    | arr ->
+      failwith
+        (Printf.sprintf "%s: expected exactly 1 incomplete, got %d" tag
+           (Array.length arr))
+  in
+  (* clean *)
+  let clean, clean_wall = run ~seed:"degraded-clean" () in
+  if clean.Ppst.Query.incomplete <> [||] then failwith "clean run incomplete";
+  line "  clean          %8.3f s  (%d hits, %d exact, %d pruned)" clean_wall
+    (Array.length clean.Ppst.Query.hits)
+    clean.Ppst.Query.evaluated clean.Ppst.Query.pruned;
+  (* poisoned: one candidate always answers the exact run with an error.
+     A threshold seed (index < k) is poisoned so the failure is hit on
+     every run — a pruned mid-catalog candidate would never be selected
+     — and the query must additionally survive the seed shortfall. *)
+  let poisoned = 1 in
+  let poison base req =
+    match req with
+    | Ppst_transport.Message.Select_request i when i = poisoned ->
+      Ppst_transport.Message.Error_reply "poisoned candidate"
+    | req -> base req
+  in
+  let preport, poisoned_wall = run ~seed:"degraded-poison" ~wrap:poison () in
+  let pinc = the_incomplete ~tag:"poisoned" preport in
+  check_against_reference ~tag:"poisoned" preport poisoned;
+  line "  poisoned       %8.3f s  (%d hits, skipped %s: %s)" poisoned_wall
+    (Array.length preport.Ppst.Query.hits)
+    pinc.Ppst.Query.id
+    (Ppst.Query.reason_to_string pinc.Ppst.Query.reason);
+  (* one slow candidate: its rounds stall; the per-candidate budget cuts
+     it loose while every other candidate resolves at full speed *)
+  let slow = Stdlib.min 2 (count - 1) in
+  let candidate_budget_s = 0.2 in
+  let stall base =
+    let selected = ref (-1) in
+    fun req ->
+      (match req with
+       | Ppst_transport.Message.Select_request i -> selected := i
+       | _ -> ());
+      if !selected = slow then Thread.delay 0.08;
+      base req
+  in
+  let sreport, slow_wall =
+    run ~seed:"degraded-slow" ~wrap:stall ~candidate_budget_s ()
+  in
+  let sinc = the_incomplete ~tag:"slow" sreport in
+  if sinc.Ppst.Query.reason <> Ppst.Query.Deadline then
+    failwith "slow candidate not skipped on Deadline";
+  check_against_reference ~tag:"slow" sreport slow;
+  line "  one slow       %8.3f s  (%d hits, skipped %s after %.2f s sub-budget)"
+    slow_wall
+    (Array.length sreport.Ppst.Query.hits)
+    sinc.Ppst.Query.id candidate_budget_s;
+  (* whole-query budget against a uniformly slow server: every request
+     costs a fixed stall, the budget binds mid-catalog, and the query
+     must return within the declared budget plus at most ~one round *)
+  let stall_all base req =
+    Thread.delay 0.03;
+    base req
+  in
+  let _, slow_clean_wall = run ~seed:"degraded-pace" ~wrap:stall_all () in
+  let budget_s = Stdlib.max 0.15 (slow_clean_wall /. 2.0) in
+  let breport, budget_wall =
+    run ~seed:"degraded-budget" ~wrap:stall_all
+      ~budget:(Retry.Budget.create ~budget_s ()) ()
+  in
+  let unresolved = Array.length breport.Ppst.Query.incomplete in
+  if unresolved = 0 then failwith "whole-query budget never bound";
+  let overshoot = budget_wall /. budget_s in
+  line "  budgeted       %8.3f s  (budget %.3f s, %d unresolved, x%.3f of budget)"
+    budget_wall budget_s unresolved overshoot;
+  if budget_wall > (budget_s *. 1.10) +. 0.05 then
+    failwith
+      (Printf.sprintf "budget overshoot: %.3f s against a %.3f s budget"
+         budget_wall budget_s);
+  let oc = open_out "BENCH_degraded.json" in
+  Printf.fprintf oc
+    {|{
+  "task": "degraded-mode 1-vs-N catalog search: partial results and budget adherence",
+  "catalog_size": %d,
+  "length": %d,
+  "k": %d,
+  "key_bits": %d,
+  "clean": { "wall_seconds": %.3f, "hits": %d, "evaluated": %d, "pruned": %d, "incomplete": 0 },
+  "poisoned": { "wall_seconds": %.3f, "hits": %d, "incomplete": 1, "skipped_id": "%s", "reason": "%s", "hits_match_reference": true },
+  "one_slow": { "wall_seconds": %.3f, "hits": %d, "incomplete": 1, "skipped_id": "%s", "reason": "deadline", "candidate_budget_s": %.3f, "hits_match_reference": true },
+  "budget_adherence": { "budget_s": %.3f, "wall_seconds": %.3f, "unresolved_candidates": %d, "overshoot_ratio": %.3f, "within_10pct": %b },
+  "note": "Each degraded run's hits are asserted identical (id and exact distance) to a clean query over the catalog minus the skipped record before this file is written. The budget run paces every request through a fixed stall so the declared whole-query budget binds mid-catalog; overshoot_ratio is wall/budget and the harness fails if the query runs more than 10%% (plus 50 ms scheduling slack) past its budget."
+}
+|}
+    count length k key_bits clean_wall
+    (Array.length clean.Ppst.Query.hits)
+    clean.Ppst.Query.evaluated clean.Ppst.Query.pruned poisoned_wall
+    (Array.length preport.Ppst.Query.hits)
+    pinc.Ppst.Query.id
+    (Ppst.Query.reason_to_string pinc.Ppst.Query.reason)
+    slow_wall
+    (Array.length sreport.Ppst.Query.hits)
+    sinc.Ppst.Query.id candidate_budget_s budget_s budget_wall unresolved
+    overshoot
+    (budget_wall <= (budget_s *. 1.10) +. 0.05);
+  close_out oc;
+  line "  wrote BENCH_degraded.json"
+
 (* ---- observability: endpoint overhead, rollups, ledger ----------------------- *)
 
 (* Minimal HTTP/1.0 GET against the loopback metrics sidecar; returns the
@@ -2064,6 +2254,8 @@ let () =
     with_tee out_dir "overload" (fun () -> overload ~quick);
   if want "catalog" then
     with_tee out_dir "catalog" (fun () -> catalog_bench ~quick);
+  if want "degraded" then
+    with_tee out_dir "degraded" (fun () -> degraded_bench ~quick);
   if want "observability" then
     with_tee out_dir "observability" (fun () -> observability_bench ~quick);
   if want "smoke" then with_tee out_dir "smoke" (fun () -> smoke ());

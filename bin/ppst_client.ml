@@ -34,7 +34,8 @@ let fetch_stats host port =
 (* health: the readiness probe.  Like stats it is answered even at
    capacity and even while the server sheds load, so it reports the
    truth exactly when the serving path is refusing work.  Exit status is
-   the probe status (0 ready / 1 at capacity / 2 shedding). *)
+   the probe status (0 ready / 1 at capacity / 2 shedding / 3 degraded —
+   serving but with durability lost, see PROTOCOL.md section 14). *)
 let fetch_health host port =
   let channel = Ppst_transport.Channel.connect ~host ~port () in
   let status =
@@ -46,7 +47,9 @@ let fetch_health host port =
         (match status with
          | 0 -> "ready"
          | 1 -> "at-capacity"
-         | _ -> "shedding")
+         | 2 -> "shedding"
+         | 3 -> "degraded"
+         | _ -> "unknown")
         active capacity retry_after_s;
       status
     | _ -> failwith "expected Health_reply"
@@ -128,10 +131,21 @@ let restart_fatal f =
            run again to start a fresh session" reason);
     exit 76
 
+(* The wall budget (--budget-s) ran out: connects, rounds and recovery
+   all stop at the deadline, by design.  Exit 124 — the convention
+   timeout(1) established — so scripts can tell "out of time" from
+   every other failure. *)
+let budget_fatal f =
+  try f ()
+  with Ppst_transport.Retry.Budget.Exceeded { budget_s } ->
+    Logs.err (fun m ->
+        m "wall budget of %.3f s exhausted; giving up" budget_s);
+    exit 124
+
 (* One secure session: connect with retry/backoff/breaker, run [f], then
    print the shared accounting.  Used by both the pair and query
    verbs. *)
-let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
+let with_session ~host ~port ~k ~seed ~jobs ~retries ?budget ~query ~distance
     ~series_file f =
   if jobs < 1 then failwith "--jobs must be >= 1";
   if retries < 1 then failwith "--retries must be >= 1";
@@ -165,9 +179,11 @@ let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
   in
   quota_fatal @@ fun () ->
   restart_fatal @@ fun () ->
+  budget_fatal @@ fun () ->
   let connect_session () =
     let channel =
-      Ppst_transport.Channel.connect ~retry:policy ~rng:jitter_rng ~host ~port ()
+      Ppst_transport.Channel.connect ~retry:policy ~rng:jitter_rng ?budget
+        ~host ~port ()
     in
     try
       ( channel,
@@ -179,7 +195,7 @@ let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
   in
   let channel, client =
     try
-      Ppst_transport.Retry.with_retry ~policy ~rng:jitter_rng ~breaker
+      Ppst_transport.Retry.with_retry ~policy ~rng:jitter_rng ~breaker ?budget
         ~on_attempt:(fun ~attempt ~delay_s e ->
           Logs.warn (fun m ->
               m "session attempt %d failed (%s); retrying in %.2f s" attempt
@@ -188,7 +204,12 @@ let with_session ~host ~port ~k ~seed ~jobs ~retries ~query ~distance
           | Ppst_transport.Channel.Busy { retry_after_s } ->
             `Retry_after retry_after_s
           | Ppst_transport.Channel.Connection_lost _
-          | Ppst_transport.Channel.Frame_corrupt _ -> `Retry
+          | Ppst_transport.Channel.Frame_corrupt _
+          (* a black-holed peer: the dial succeeded but the handshake
+             never answered — retrying is what lets the wall budget
+             (not this one stuck connection) decide when to give up *)
+          | Ppst_transport.Channel.Timeout
+          | Ppst_transport.Channel.Stalled -> `Retry
           | _ -> `Fail)
         connect_session
     with
@@ -289,20 +310,33 @@ let pair_body distance band gap wavefront search client series =
       (Ppst_bigint.Bigint.to_string result)
   end
 
-let run_pair host port series_file distance k band gap search wavefront seed
-    jobs retries verbose log_level log_json trace_out =
+let budget_of_flag = function
+  | None -> None
+  | Some s ->
+    if s <= 0.0 then failwith "--budget-s must be positive";
+    Some (Ppst_transport.Retry.Budget.create ~budget_s:s ())
+
+let run_pair host port series_file distance k band gap budget_s wavefront
+    search seed jobs retries verbose log_level log_json trace_out =
   setup verbose log_level log_json trace_out;
-  with_session ~host ~port ~k ~seed ~jobs ~retries ~query:false
+  let budget = budget_of_flag budget_s in
+  with_session ~host ~port ~k ~seed ~jobs ~retries ?budget ~query:false
     ~distance:(kind_of_distance distance) ~series_file
     (pair_body distance band gap wavefront search)
 
 (* --- query: secure 1-vs-N catalog search ----------------------------------- *)
 
 let run_query host port series_file distance k band gap top within_r segments
-    wavefront seed jobs retries verbose log_level log_json trace_out =
+    budget_s candidate_budget_s wavefront seed jobs retries verbose log_level
+    log_json trace_out =
   setup verbose log_level log_json trace_out;
   if top < 1 then failwith "--top must be >= 1";
-  with_session ~host ~port ~k ~seed ~jobs ~retries ~query:true
+  let budget = budget_of_flag budget_s in
+  (* Partial results terminate the process with 77 — but only after the
+     session has been closed and the accounting printed, so the flag is
+     carried out of the session body. *)
+  let partial = ref false in
+  with_session ~host ~port ~k ~seed ~jobs ~retries ?budget ~query:true
     ~distance:(kind_of_distance distance) ~series_file
     (fun client series ->
       if not (Ppst.Client.catalog_capable client) then
@@ -323,12 +357,14 @@ let run_query host port series_file distance k band gap top within_r segments
       let report =
         match within_r with
         | Some r ->
-          Ppst.Query.within ?segments ~spec
+          Ppst.Query.within ?segments ?budget ?candidate_budget_s ~spec
             ~radius:(Ppst_bigint.Bigint.of_int r) client
-        | None -> Ppst.Query.top_k ?segments ~spec ~k:top client
+        | None ->
+          Ppst.Query.top_k ?segments ?budget ?candidate_budget_s ~spec ~k:top
+            client
       in
       Array.iter
-        (fun h ->
+        (fun (h : Ppst.Query.hit) ->
           Printf.printf "hit: record %d (id %s) distance %s\n"
             h.Ppst.Query.index h.Ppst.Query.id
             (Ppst_bigint.Bigint.to_string h.Ppst.Query.distance))
@@ -339,7 +375,23 @@ let run_query host port series_file distance k band gap top within_r segments
         "catalog: %d candidate(s), %d pruned by the secure lower bound, %d \
          exact run(s)\n"
         report.Ppst.Query.total report.Ppst.Query.pruned
-        report.Ppst.Query.evaluated)
+        report.Ppst.Query.evaluated;
+      (* Greppable one-line-per-candidate summary of everything the query
+         could not resolve; distinct exit code so scripts never mistake a
+         partial answer for a complete one. *)
+      let inc = report.Ppst.Query.incomplete in
+      if Array.length inc > 0 then begin
+        Array.iter
+          (fun (c : Ppst.Query.incomplete) ->
+            Printf.printf "incomplete: idx=%d id=%s reason=%s\n"
+              c.Ppst.Query.index c.Ppst.Query.id
+              (Ppst.Query.reason_to_string c.Ppst.Query.reason))
+          inc;
+        Printf.printf "incomplete: %d of %d candidate(s) unresolved\n"
+          (Array.length inc) report.Ppst.Query.total;
+        partial := true
+      end);
+  if !partial then exit 77
 
 (* --- argument terms --------------------------------------------------------- *)
 
@@ -402,6 +454,14 @@ let segments =
   Arg.(value & opt (some int) None & info [ "segments" ] ~docv:"S"
          ~doc:"Pruning sketch segments (default min(8, series length); more                segments prune harder but cost more per candidate).")
 
+let budget_s =
+  Arg.(value & opt (some float) None & info [ "budget-s" ] ~docv:"SECONDS"
+         ~doc:"End-to-end wall budget for the whole operation: connects,                retries, every round and every reconnect+resume recovery                stop at the deadline.  Exit 124 when it runs out before the                query completes.")
+
+let candidate_budget_s =
+  Arg.(value & opt (some float) None & info [ "candidate-budget-s" ] ~docv:"SECONDS"
+         ~doc:"Per-candidate wall budget inside a catalog query: a                candidate that cannot be resolved within $(docv) seconds is                skipped and reported as incomplete instead of stalling the                whole query.")
+
 let k =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Random-set size for the masking rounds (paper default 10).")
 
@@ -422,7 +482,7 @@ let stats =
 
 let health =
   Arg.(value & flag & info [ "health" ]
-         ~doc:"Readiness probe: print the server's health (answered even at                capacity and while shedding) and exit with its status                (0 ready, 1 at capacity, 2 shedding).")
+         ~doc:"Readiness probe: print the server's health (answered even at                capacity and while shedding) and exit with its status                (0 ready, 1 at capacity, 2 shedding, 3 degraded —                durability lost).")
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
@@ -440,8 +500,9 @@ let trace_out =
 
 (* --- the legacy flag-style default command ---------------------------------- *)
 
-let run_legacy host port series_file distance k band gap search wavefront stats
-    health seed jobs retries verbose log_level log_json trace_out =
+let run_legacy host port series_file distance k band gap budget_s search
+    wavefront stats health seed jobs retries verbose log_level log_json
+    trace_out =
   prerr_endline
     "ppst_client: note: the flag-style interface is deprecated; use the \
      verbs: pair, query, catalog, stats, health (see --help)";
@@ -456,8 +517,8 @@ let run_legacy host port series_file distance k band gap search wavefront stats
     | Some f -> f
     | None -> failwith "SERIES.csv is required unless --stats is given"
   in
-  run_pair host port series_file distance k band gap search wavefront seed jobs
-    retries verbose log_level log_json trace_out
+  run_pair host port series_file distance k band gap budget_s wavefront search
+    seed jobs retries verbose log_level log_json trace_out
 
 (* --- commands ---------------------------------------------------------------- *)
 
@@ -467,8 +528,8 @@ let pair_cmd =
   let doc = "run one secure pairwise distance against the server's series" in
   Cmd.v (Cmd.info "pair" ~doc)
     Term.(const run_pair $ host $ port $ series_file_req $ distance $ k $ band
-          $ gap $ search $ wavefront $ seed $ jobs $ retries $ verbose
-          $ log_level $ log_json $ trace_out)
+          $ gap $ budget_s $ wavefront $ search $ seed $ jobs $ retries
+          $ verbose $ log_level $ log_json $ trace_out)
 
 let query_cmd =
   let doc =
@@ -477,8 +538,9 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run_query $ host $ port $ series_file_req $ query_distance $ k
-          $ band $ gap $ top $ within_r $ segments $ wavefront $ seed $ jobs
-          $ retries $ verbose $ log_level $ log_json $ trace_out)
+          $ band $ gap $ top $ within_r $ segments $ budget_s
+          $ candidate_budget_s $ wavefront $ seed $ jobs $ retries $ verbose
+          $ log_level $ log_json $ trace_out)
 
 let catalog_cmd =
   let doc = "list the server's catalog (index, id, length per record)" in
@@ -512,7 +574,9 @@ let metrics_cmd =
           $ trace_out)
 
 let health_cmd =
-  let doc = "readiness probe (exit 0 ready, 1 at capacity, 2 shedding)" in
+  let doc =
+    "readiness probe (exit 0 ready, 1 at capacity, 2 shedding, 3 degraded)"
+  in
   let run_health host port verbose log_level log_json trace_out =
     setup verbose log_level log_json trace_out;
     exit (fetch_health host port)
@@ -523,8 +587,8 @@ let health_cmd =
 
 let legacy_term =
   Term.(const run_legacy $ host $ port $ series_file_opt $ distance $ k $ band
-        $ gap $ search $ wavefront $ stats $ health $ seed $ jobs $ retries
-        $ verbose $ log_level $ log_json $ trace_out)
+        $ gap $ budget_s $ search $ wavefront $ stats $ health $ seed $ jobs
+        $ retries $ verbose $ log_level $ log_json $ trace_out)
 
 let doc = "secure time-series similarity client (series X owner, evaluator)"
 

@@ -12,7 +12,7 @@ let setup_logs verbose =
 
 let run port series_file catalog_dir key_file max_value seed sessions concurrency
     workers spool_dir idle_timeout deadline jobs chaos_profile chaos_seed
-    resume_ttl no_resume no_crc max_cells max_series_len max_dim
+    disk_chaos resume_ttl no_resume no_crc max_cells max_series_len max_dim
     max_session_bytes max_session_frames rate_limit rate_burst shed_watermark
     watchdog_timeout metrics_port no_metrics verbose log_level log_json
     trace_out =
@@ -86,6 +86,29 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
     | None -> None
   in
   let faults = make_faults ~restarted:false in
+  let disk_faults =
+    match disk_chaos with
+    | None -> None
+    | Some text ->
+      (match Ppst_transport.Faults.Disk.profile_of_string text with
+       | Error msg -> failwith msg
+       | Ok Ppst_transport.Faults.Disk.Off -> None
+       | Ok profile ->
+         Logs.warn (fun m ->
+             m "CHAOS MODE: injecting %s into disk/fd operations"
+               (Ppst_transport.Faults.Disk.profile_to_string profile));
+         Some (Ppst_transport.Faults.Disk.create profile))
+  in
+  (* Boot-time spool probe: an unwritable spool is a configuration error
+     and must fail the boot, not surface as a degraded server at the
+     first mid-session snapshot.  (The probe runs without the chaos
+     injector: --disk-chaos simulates faults appearing after boot.) *)
+  (match spool_dir with
+   | None -> ()
+   | Some dir ->
+     (match Ppst_transport.Spool.validate ~dir with
+      | Ok () -> ()
+      | Error msg -> failwith (Printf.sprintf "--spool-dir %s: %s" dir msg)));
   (* three sources, one shape: --catalog serves a whole directory as an
      id-keyed store; a CSV with blank-line-separated blocks is served as
      a multi-record database (similarity-search mode); a plain CSV as a
@@ -218,6 +241,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
       enable_resume = not no_resume;
       enable_crc = not no_crc;
       faults;
+      disk_faults;
       admission;
       ratelimit;
       shed_watermark;
@@ -335,7 +359,7 @@ let run port series_file catalog_dir key_file max_value seed sessions concurrenc
     let summary =
       Ppst_transport.Supervisor.run ~on_event
         ~drain_timeout_s:config.Ppst_transport.Server_loop.drain_timeout_s
-        ~stop ~listener ~workers ~worker_main ()
+        ?disk_faults ~stop ~listener ~workers ~worker_main ()
     in
     (* Merge each worker's final drain report into the process totals the
        single-process path prints, so tooling parses both modes alike. *)
@@ -511,6 +535,10 @@ let chaos_seed =
   Arg.(value & opt int 1 & info [ "chaos-seed" ] ~docv:"SEED"
          ~doc:"Seed for the --chaos-profile injector (replays bit-identically).")
 
+let disk_chaos =
+  Arg.(value & opt (some string) None & info [ "disk-chaos" ] ~docv:"PROFILE"
+         ~doc:"Deterministic disk/fd fault injection for degraded-mode                soaks: enospc-at-N, enospc-every-N, eio-fsync-at-N,                eio-fsync-every-N, torn-rename-at-N, emfile-at-N or                emfile-every-N.  Targets the session spool and the                accept/spawn paths; the server keeps serving (degraded                health) instead of crashing.  Never use in production.")
+
 let resume_ttl =
   Arg.(value & opt float 300.0 & info [ "resume-ttl-s" ] ~docv:"S"
          ~doc:"How long a disconnected session's state stays resumable.")
@@ -588,7 +616,8 @@ let cmd =
     Term.(const run $ port $ series_file $ catalog_dir $ key_file $ max_value $ seed
           $ sessions $ concurrency $ workers $ spool_dir $ idle_timeout
           $ deadline $ jobs
-          $ chaos_profile $ chaos_seed $ resume_ttl $ no_resume $ no_crc
+          $ chaos_profile $ chaos_seed $ disk_chaos $ resume_ttl $ no_resume
+          $ no_crc
           $ max_cells $ max_series_len $ max_dim $ max_session_bytes
           $ max_session_frames $ rate_limit $ rate_burst $ shed_watermark
           $ watchdog_timeout $ metrics_port $ no_metrics $ verbose $ log_level

@@ -88,7 +88,12 @@ let fsync_path path =
         try Unix.fsync fd with Unix.Unix_error _ -> ())
   | exception Unix.Unix_error _ -> ()
 
-let save_dir t dir =
+let save_dir ?disk_faults t dir =
+  let check op =
+    match disk_faults with
+    | None -> ()
+    | Some f -> Ppst_transport.Faults.Disk.check f op
+  in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Crash safety: each CSV lands under a temp name that load_dir ignores
      (no .csv suffix), is fsynced, then atomically renamed over the final
@@ -99,8 +104,11 @@ let save_dir t dir =
       let series = Hashtbl.find t.tbl id in
       let final = Filename.concat dir (escape_id id ^ ".csv") in
       let tmp = final ^ ".tmp" in
+      check Ppst_transport.Faults.Disk.Write;
       Csv.save tmp series;
+      check Ppst_transport.Faults.Disk.Fsync;
       fsync_path tmp;
+      check Ppst_transport.Faults.Disk.Rename;
       Sys.rename tmp final)
     (ids t);
   fsync_path dir

@@ -58,7 +58,7 @@ val load_dir : string -> t
     order, via the {!load_file} id scheme.
     @raise Invalid_argument if the directory has no [*.csv] files. *)
 
-val save_dir : t -> string -> unit
+val save_dir : ?disk_faults:Ppst_transport.Faults.Disk.t -> t -> string -> unit
 (** Write each record to [<dir>/<id>.csv] (creating [dir] if needed).
     Ids containing [/] or [#] are escaped with [_] so the round trip
     stays within one directory.
@@ -67,7 +67,12 @@ val save_dir : t -> string -> unit
     (suffix [.csv.tmp], which {!load_dir} ignores), is fsynced, and is
     atomically renamed over the final name; the directory is fsynced
     once at the end.  A crash mid-save therefore leaves every id either
-    fully old or fully new, never truncated. *)
+    fully old or fully new, never truncated.
+
+    [?disk_faults] injects environmental failures (ENOSPC on write, EIO
+    on fsync, a torn rename) into that sequence for degraded-mode
+    tests; the save raises the injected [Unix.Unix_error] and the
+    guarantee above still holds — no record is ever left truncated. *)
 
 val generate :
   seed:int -> count:int -> length:int -> dim:int -> max_value:int -> t

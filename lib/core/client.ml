@@ -35,6 +35,7 @@ let session t = t.session
 let public_key t = t.pk
 let cost t = t.cost
 let stats t = Channel.stats t.channel
+let channel t = t.channel
 let params t = t.params
 let server_length t = t.server_length
 let client_length t = Series.length t.series

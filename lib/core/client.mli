@@ -90,6 +90,12 @@ val stats : t -> Stats.t
 (** Wire accounting of the underlying channel (live, cumulative) — the
     "actual" side of the {!Ledger} predicted-vs-actual check. *)
 
+val channel : t -> Channel.t
+(** The underlying request/reply channel.  Exposed so drivers above the
+    client (e.g. the catalog query engine) can install per-operation
+    wall budgets with [Channel.set_budget]; everything else should go
+    through the typed operations on [t]. *)
+
 val params : t -> Params.t
 
 

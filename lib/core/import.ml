@@ -14,6 +14,7 @@ module Store = Ppst_catalog.Store
 module Parallel = Ppst_parallel.Pool
 module Message = Ppst_transport.Message
 module Channel = Ppst_transport.Channel
+module Retry = Ppst_transport.Retry
 module Stats = Ppst_transport.Stats
 module Wire = Ppst_transport.Wire
 module Trace = Ppst_transport.Trace

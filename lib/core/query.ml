@@ -33,16 +33,27 @@ let m_candidates = Metrics.counter "query.candidates"
 let m_pruned = Metrics.counter "query.pruned"
 let m_survivors = Metrics.counter "query.survivors"
 let m_sketch_bytes = Metrics.counter "query.sketch_bytes"
+let m_incomplete = Metrics.counter "query.incomplete"
 let h_stage1 = Metrics.histogram "query.stage1.seconds"
 let h_stage2 = Metrics.histogram "query.stage2.seconds"
 
 type hit = { index : int; id : string; distance : Bigint.t }
+
+type incomplete_reason = Deadline | Retries | Server_error of string
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Retries -> "retries"
+  | Server_error m -> Printf.sprintf "server-error: %s" m
+
+type incomplete = { index : int; id : string; reason : incomplete_reason }
 
 type report = {
   hits : hit array;
   total : int;
   evaluated : int;
   pruned : int;
+  incomplete : incomplete array;
 }
 
 let prunable_spec (s : Protocol.spec) =
@@ -186,6 +197,98 @@ let prune_round t (s : Protocol.spec) ~segments ~tau ~indices =
       Array.make ni true
   end
 
+(* Degraded-mode machinery.  A candidate whose exact run dies on a
+   transport-class failure is recorded in [incomplete] and skipped
+   instead of sinking the whole query; anything else (Invalid_argument,
+   logic bugs) still propagates. *)
+let reason_of_exn = function
+  | Retry.Budget.Exceeded _ | Channel.Timeout | Channel.Stalled ->
+    Some Deadline
+  | Retry.Exhausted _ | Retry.Breaker.Open_circuit _ | Channel.Busy _
+  | Channel.Connection_lost _ | Channel.Frame_corrupt _ ->
+    Some Retries
+  | Channel.Protocol_error m | Channel.Resume_rejected m ->
+    Some (Server_error m)
+  | _ -> None
+
+(* Per-query budget harness.  [budget] (whole query) is installed on the
+   client's channel for the duration; [candidate_budget_s] derives a
+   fresh sub-budget per exact run so one stuck candidate cannot eat the
+   whole allowance.  [guard i f] runs one candidate under that regime:
+   [Some d] on success, [None] with an [incomplete] record otherwise. *)
+let budget_guard ?budget ?candidate_budget_s t =
+  (match candidate_budget_s with
+  | Some s when s <= 0.0 ->
+    invalid_arg "Query: candidate_budget_s must be positive"
+  | _ -> ());
+  let ch = Client.channel t in
+  let saved = Channel.budget ch in
+  (* An explicit query budget overrides whatever the channel carried;
+     otherwise the channel's own budget (from [Channel.connect
+     ?budget]) keeps governing. *)
+  let outer = match budget with Some _ -> budget | None -> saved in
+  (match budget with Some _ -> Channel.set_budget ch budget | None -> ());
+  let incomplete = ref [] in
+  let skip i reason =
+    Metrics.incr m_incomplete;
+    incomplete := { index = i; id = ""; reason } :: !incomplete
+  in
+  let expired () =
+    match outer with Some b -> Retry.Budget.expired b | None -> false
+  in
+  let sub_budget () =
+    match candidate_budget_s with
+    | None -> None
+    | Some s ->
+      Some
+        (match outer with
+        | Some b -> Retry.Budget.sub b ~budget_s:s
+        | None -> Retry.Budget.create ~budget_s:s ())
+  in
+  let guard i f =
+    if expired () then begin
+      skip i Deadline;
+      None
+    end
+    else begin
+      (match sub_budget () with
+      | None -> ()
+      | Some sb -> Channel.set_budget ch (Some sb));
+      let restore () = Channel.set_budget ch outer in
+      match f () with
+      | d ->
+        restore ();
+        Some d
+      | exception e ->
+        restore ();
+        (match reason_of_exn e with
+        | Some r ->
+          skip i r;
+          None
+        | None -> raise e)
+    end
+  in
+  let restore_saved () = Channel.set_budget ch saved in
+  let incomplete_of ids =
+    let arr =
+      !incomplete
+      |> List.map (fun inc -> { inc with id = ids.(inc.index) })
+      |> Array.of_list
+    in
+    Array.sort (fun a b -> Stdlib.compare a.index b.index) arr;
+    arr
+  in
+  (guard, incomplete_of, restore_saved)
+
+(* Stage-1 failure degrades to the exhaustive scan: an all-true verdict
+   is always sound (pruning is an optimisation), so a recoverable
+   transport failure mid-round must never fail the query. *)
+let prune_round_safe t s ~segments ~tau ~indices =
+  match prune_round t s ~segments ~tau ~indices with
+  | survive -> survive
+  | exception e when reason_of_exn e <> None ->
+    Array.make (Array.length indices) true
+
 let check_segments ~segments ~m =
   if segments < 1 || segments > m then
     invalid_arg
@@ -234,7 +337,7 @@ let rec split_at n = function
     let taken, rest = split_at (n - 1) tl in
     (x :: taken, rest)
 
-let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
+let top_k ?segments ?budget ?candidate_budget_s ~spec:(s : Protocol.spec) ~k t =
   if k <= 0 then invalid_arg "Query.top_k: k must be positive";
   let runner = Protocol.runner_of_spec s in
   Client.require_plan t s.Protocol.algo;
@@ -246,6 +349,10 @@ let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
       check_segments ~segments:s ~m;
       s
   in
+  let guard, incomplete_of, restore_budget =
+    budget_guard ?budget ?candidate_budget_s t
+  in
+  Fun.protect ~finally:restore_budget @@ fun () ->
   let ids, lengths = Client.catalog_list t in
   let total = Array.length ids in
   Metrics.incr m_submitted;
@@ -254,7 +361,9 @@ let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
   let evaluated = ref 0 and pruned = ref 0 in
   let results = ref [] in
   let eval i =
-    results := (i, eval_exact t runner evaluated i) :: !results
+    match guard i (fun () -> eval_exact t runner evaluated i) with
+    | Some d -> results := (i, d) :: !results
+    | None -> ()
   in
   (* Every unprunable candidate must be evaluated exactly anyway; their
      distances double as threshold seeds. *)
@@ -266,26 +375,39 @@ let top_k ?segments ~spec:(s : Protocol.spec) ~k t =
   (match rest with
    | [] -> ()
    | rest ->
-     (* rest nonempty implies the seeds filled the result set to >= k *)
-     let distances =
-       List.map snd !results |> List.sort Bigint.compare |> Array.of_list
-     in
-     let tau = distances.(k - 1) in
-     let indices = Array.of_list rest in
-     let survive = prune_round t s ~segments ~tau ~indices in
-     count_survivors survive;
-     Array.iteri
-       (fun j i -> if survive.(j) then eval i else incr pruned)
-       indices);
+     if List.length !results < k then
+       (* Seed shortfall — some seeds came back incomplete, so there is
+          no sound threshold to prune against.  Degrade to the
+          exhaustive scan; the per-candidate guard still applies. *)
+       List.iter eval rest
+     else begin
+       let distances =
+         List.map snd !results |> List.sort Bigint.compare |> Array.of_list
+       in
+       let tau = distances.(k - 1) in
+       let indices = Array.of_list rest in
+       let survive = prune_round_safe t s ~segments ~tau ~indices in
+       count_survivors survive;
+       Array.iteri
+         (fun j i -> if survive.(j) then eval i else incr pruned)
+         indices
+     end);
   let hits =
     !results
     |> List.map (fun (i, d) -> { index = i; id = ids.(i); distance = d })
     |> Array.of_list |> sort_hits
   in
   let hits = Array.sub hits 0 (Stdlib.min k (Array.length hits)) in
-  { hits; total; evaluated = !evaluated; pruned = !pruned }
+  {
+    hits;
+    total;
+    evaluated = !evaluated;
+    pruned = !pruned;
+    incomplete = incomplete_of ids;
+  }
 
-let within ?segments ~spec:(s : Protocol.spec) ~radius t =
+let within ?segments ?budget ?candidate_budget_s ~spec:(s : Protocol.spec)
+    ~radius t =
   if Bigint.compare radius Bigint.zero < 0 then
     invalid_arg "Query.within: radius must be non-negative";
   let runner = Protocol.runner_of_spec s in
@@ -298,6 +420,10 @@ let within ?segments ~spec:(s : Protocol.spec) ~radius t =
       check_segments ~segments:s ~m;
       s
   in
+  let guard, incomplete_of, restore_budget =
+    budget_guard ?budget ?candidate_budget_s t
+  in
+  Fun.protect ~finally:restore_budget @@ fun () ->
   let ids, lengths = Client.catalog_list t in
   let total = Array.length ids in
   Metrics.incr m_submitted;
@@ -306,15 +432,16 @@ let within ?segments ~spec:(s : Protocol.spec) ~radius t =
   let evaluated = ref 0 and pruned = ref 0 in
   let results = ref [] in
   let eval i =
-    let d = eval_exact t runner evaluated i in
-    if Bigint.compare d radius <= 0 then results := (i, d) :: !results
+    match guard i (fun () -> eval_exact t runner evaluated i) with
+    | Some d when Bigint.compare d radius <= 0 -> results := (i, d) :: !results
+    | Some _ | None -> ()
   in
   List.iter eval unprunable;
   (match prunable with
    | [] -> ()
    | prunable ->
      let indices = Array.of_list prunable in
-     let survive = prune_round t s ~segments ~tau:radius ~indices in
+     let survive = prune_round_safe t s ~segments ~tau:radius ~indices in
      count_survivors survive;
      Array.iteri
        (fun j i -> if survive.(j) then eval i else incr pruned)
@@ -324,7 +451,13 @@ let within ?segments ~spec:(s : Protocol.spec) ~radius t =
     |> List.map (fun (i, d) -> { index = i; id = ids.(i); distance = d })
     |> Array.of_list |> sort_hits
   in
-  { hits; total; evaluated = !evaluated; pruned = !pruned }
+  {
+    hits;
+    total;
+    evaluated = !evaluated;
+    pruned = !pruned;
+    incomplete = incomplete_of ids;
+  }
 
 (* In-process conveniences, mirroring [Protocol.run]: stand up a
    store-backed server on a loopback channel and drive a query against
@@ -362,12 +495,14 @@ let with_query_session ~(s : Protocol.spec) ?(params = Params.default) ?seed
       Client.finish client;
       (result, Channel.stats channel))
 
-let run_top_k ~spec ?segments ?params ?seed ?max_value ?decryption ?offline
-    ?jobs ~k ~x ~store () =
+let run_top_k ~spec ?segments ?budget ?candidate_budget_s ?params ?seed
+    ?max_value ?decryption ?offline ?jobs ~k ~x ~store () =
   with_query_session ~s:spec ?params ?seed ?max_value ?decryption ?offline
-    ?jobs ~x ~store (fun client -> top_k ?segments ~spec ~k client)
+    ?jobs ~x ~store (fun client ->
+      top_k ?segments ?budget ?candidate_budget_s ~spec ~k client)
 
-let run_within ~spec ?segments ?params ?seed ?max_value ?decryption ?offline
-    ?jobs ~radius ~x ~store () =
+let run_within ~spec ?segments ?budget ?candidate_budget_s ?params ?seed
+    ?max_value ?decryption ?offline ?jobs ~radius ~x ~store () =
   with_query_session ~s:spec ?params ?seed ?max_value ?decryption ?offline
-    ?jobs ~x ~store (fun client -> within ?segments ~spec ~radius client)
+    ?jobs ~x ~store (fun client ->
+      within ?segments ?budget ?candidate_budget_s ~spec ~radius client)

@@ -43,14 +43,46 @@ type hit = {
   distance : Bigint.t;  (** exact secure distance (squared, as always) *)
 }
 
+type incomplete_reason =
+  | Deadline  (** a wall budget ({!top_k}'s [?budget] /
+                  [?candidate_budget_s]) or frame deadline expired *)
+  | Retries  (** the transport retry budget ran out (connection lost,
+                 server busy, circuit open, ...) *)
+  | Server_error of string  (** the server answered with an error *)
+
+val reason_to_string : incomplete_reason -> string
+(** Stable lowercase rendering ("deadline", "retries",
+    "server-error: <msg>") for logs and CLI summaries. *)
+
+type incomplete = {
+  index : int;  (** catalog position of the skipped candidate *)
+  id : string;  (** its catalog id *)
+  reason : incomplete_reason;
+}
+
 type report = {
   hits : hit array;  (** ascending distance, ties by index *)
   total : int;  (** catalog size *)
-  evaluated : int;  (** exact protocol runs paid *)
+  evaluated : int;  (** exact protocol runs paid (including failed
+                        attempts recorded in [incomplete]) *)
   pruned : int;  (** candidates discarded by the secure lower bound *)
+  incomplete : incomplete array;
+      (** candidates that could {e not} be resolved — skipped on a
+          transport failure or an expired budget, ascending index.
+          Empty on a fully-successful query.  [hits] is exactly the
+          result of the same query over the catalog {e minus} these
+          candidates; callers needing all-or-nothing semantics must
+          check this field. *)
 }
 
-val top_k : ?segments:int -> spec:Protocol.spec -> k:int -> Client.t -> report
+val top_k :
+  ?segments:int ->
+  ?budget:Ppst_transport.Retry.Budget.t ->
+  ?candidate_budget_s:float ->
+  spec:Protocol.spec ->
+  k:int ->
+  Client.t ->
+  report
 (** The [k] nearest catalog records to the client's series under the
     spec's distance.  Exact protocol runs are paid for every
     non-prunable candidate, the first seeds needed to establish the
@@ -58,15 +90,39 @@ val top_k : ?segments:int -> spec:Protocol.spec -> k:int -> Client.t -> report
     the exhaustive scan's [k] best (ascending distance, ties by index).
     [segments] (default [min 8 m]) sizes the sketch; more segments
     prune harder but cost more per candidate.
+
+    {b Degraded mode.}  A candidate whose exact run fails on a
+    transport-class error (lost connection after the retry budget,
+    server error reply, expired deadline) is skipped and recorded in
+    [incomplete] instead of failing the query; a failed stage-1 pruning
+    round degrades to the exhaustive scan (sound — pruning is only an
+    optimisation).  [?budget] is the wall budget for the whole query: it
+    is installed on the client's channel for the duration (bounding
+    every round and recovery, see {!Channel.set_budget}) and once it
+    expires the remaining candidates are marked [Deadline] without
+    further wire traffic.  [?candidate_budget_s] bounds each single
+    candidate's exact run (clamped to the remaining whole-query budget
+    when both are set), so one black-holed candidate cannot starve the
+    rest.
+
     @raise Invalid_argument if [k <= 0], [segments] is outside
-    [\[1, m\]], or the spec is inconsistent ({!Protocol.run}'s rules).
+    [\[1, m\]], [candidate_budget_s <= 0], or the spec is inconsistent
+    ({!Protocol.run}'s rules).
     @raise Channel.Protocol_error without the catalog capability. *)
 
 val within :
-  ?segments:int -> spec:Protocol.spec -> radius:Bigint.t -> Client.t -> report
+  ?segments:int ->
+  ?budget:Ppst_transport.Retry.Budget.t ->
+  ?candidate_budget_s:float ->
+  spec:Protocol.spec ->
+  radius:Bigint.t ->
+  Client.t ->
+  report
 (** Every catalog record within squared distance [radius] of the
     client's series.  One pruning round over all equal-length
     candidates with [tau = radius], then exact runs on the rest.
+    Degraded mode ([?budget], [?candidate_budget_s], [incomplete]) as
+    {!top_k}.
     @raise Invalid_argument on a negative radius (and as {!top_k}). *)
 
 (** {1 In-process conveniences} *)
@@ -74,6 +130,8 @@ val within :
 val run_top_k :
   spec:Protocol.spec ->
   ?segments:int ->
+  ?budget:Ppst_transport.Retry.Budget.t ->
+  ?candidate_budget_s:float ->
   ?params:Params.t ->
   ?seed:string ->
   ?max_value:int ->
@@ -94,6 +152,8 @@ val run_top_k :
 val run_within :
   spec:Protocol.spec ->
   ?segments:int ->
+  ?budget:Ppst_transport.Retry.Budget.t ->
+  ?candidate_budget_s:float ->
   ?params:Params.t ->
   ?seed:string ->
   ?max_value:int ->

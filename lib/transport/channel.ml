@@ -120,6 +120,11 @@ type t = {
   config : config;
   stats : Stats.t;
   trace : Trace.t option;
+  (* Wall budget for the operation currently driving this channel:
+     checked before every round, threaded into the reconnect/resume
+     retries, and mapped onto the frame-read deadline.  Mutable so a
+     caller (e.g. Query) can install per-candidate sub-budgets. *)
+  mutable budget : Retry.Budget.t option;
   mutable server_seconds : float;
   mutable closed : bool;
 }
@@ -127,6 +132,16 @@ type t = {
 let stats t = t.stats
 let trace t = t.trace
 let server_seconds t = t.server_seconds
+let budget t = t.budget
+let set_budget t b = t.budget <- b
+
+(* The budget's absolute deadline, for read_frame.  Only meaningful when
+   the budget runs on the monotonic clock (the default); a test-injected
+   fake clock should drive local channels, which never read frames. *)
+let budget_deadline t = Option.map Retry.Budget.deadline t.budget
+
+let check_budget t =
+  match t.budget with Some b -> Retry.Budget.check b | None -> ()
 
 let offered_flags t =
   match t.backend with
@@ -425,7 +440,7 @@ let resume_session t st =
     in
     Stats.record_sent t.stats ~bytes:(String.length encoded) ~values:0;
     write_frame ~max_frame:cap st.fd encoded;
-    match read_frame ~max_frame:cap st.fd with
+    match read_frame ~max_frame:cap ?deadline:(budget_deadline t) st.fd with
     | None -> conn_lost "connection lost during resume handshake"
     | Some frame ->
       Stats.record_received t.stats ~bytes:(String.length frame) ~values:0;
@@ -454,7 +469,7 @@ let resume_session t st =
        | Message.Error_reply m -> protocol_error "peer error during resume: %s" m
        | _ -> protocol_error "unexpected reply to resume")
   in
-  Retry.with_retry ~policy ~rng:rc.rng ~sleep:rc.sleep
+  Retry.with_retry ~policy ~rng:rc.rng ~sleep:rc.sleep ?budget:t.budget
     ~classify:(function
       | Connection_lost _ | Frame_corrupt _ -> `Retry
       (* a whole-server restart is terminal: the token's boot-id prefix
@@ -472,6 +487,10 @@ let resume_session t st =
 
 let request t req =
   check_not_closed t;
+  (* One whole-operation wall budget gates every round: an expired
+     budget surfaces as the typed [Retry.Budget.Exceeded] before any
+     further bytes move, on local and TCP backends alike. *)
+  check_budget t;
   let cap = t.config.max_frame in
   let msg = Message.Request req in
   let encoded = Message.encode msg in
@@ -523,7 +542,8 @@ let request t req =
         match
           write_frame ~max_frame:cap ~crc:st.crc ?faults:st.faults st.fd encoded;
           (match
-             read_frame ~max_frame:cap ~crc:st.crc ?faults:st.faults st.fd
+             read_frame ~max_frame:cap ?deadline:(budget_deadline t)
+               ~crc:st.crc ?faults:st.faults st.fd
            with
           | None -> conn_lost "connection closed by peer"
           | Some frame -> frame)
@@ -587,12 +607,13 @@ let close t =
     | Tcp st -> (try Unix.close st.fd with Unix.Unix_error _ -> ())
   end
 
-let make ?config:cfg ?trace backend =
+let make ?config:cfg ?trace ?budget backend =
   {
     backend;
     config = (match cfg with Some c -> c | None -> default_config ());
     stats = Stats.create ();
     trace;
+    budget;
     server_seconds = 0.0;
     closed = false;
   }
@@ -600,7 +621,7 @@ let make ?config:cfg ?trace backend =
 let local ?config ?trace handler = make ?config ?trace (Local handler)
 
 let connect ?config ?trace ?(crc = true) ?(resume = true) ?retry ?rng ?sleep
-    ?faults ~host ~port () =
+    ?budget ?faults ~host ~port () =
   Lazy.force ignore_sigpipe;
   let rng =
     match rng with Some r -> r | None -> Ppst_rng.Secure_rng.system ()
@@ -611,7 +632,7 @@ let connect ?config ?trace ?(crc = true) ?(resume = true) ?retry ?rng ?sleep
     match retry with
     | None -> connect_once ()
     | Some policy ->
-      Retry.with_retry ~policy ~rng ~sleep
+      Retry.with_retry ~policy ~rng ~sleep ?budget
         ~classify:(function
           | Unix.Unix_error (e, _, _) when retryable_connect_errno e -> `Retry
           | Connection_lost _ -> `Retry
@@ -622,7 +643,7 @@ let connect ?config ?trace ?(crc = true) ?(resume = true) ?retry ?rng ?sleep
     (if crc then Message.flag_crc32 else 0)
     lor if resume then Message.flag_resume else 0
   in
-  make ?config ?trace
+  make ?config ?trace ?budget
     (Tcp
        {
          fd;

@@ -110,6 +110,18 @@ val stats : t -> Stats.t
 
 val trace : t -> Trace.t option
 
+val budget : t -> Retry.Budget.t option
+(** The wall budget currently governing this channel, if any. *)
+
+val set_budget : t -> Retry.Budget.t option -> unit
+(** Install (or clear) the operation budget.  While set, {!request}
+    checks it before every round (raising [Retry.Budget.Exceeded] when
+    expired), maps its deadline onto the frame-read deadline on TCP
+    channels, and threads it through the reconnect/resume retries so no
+    recovery path outlives it.  Callers running many sub-operations on
+    one channel (e.g. per-candidate sub-deadlines in a catalog query)
+    swap sub-budgets in and out here. *)
+
 val server_seconds : t -> float
 (** Wall-clock time spent inside the server handler.
 
@@ -142,6 +154,7 @@ val connect :
   ?retry:Retry.policy ->
   ?rng:Ppst_rng.Secure_rng.t ->
   ?sleep:(float -> unit) ->
+  ?budget:Retry.Budget.t ->
   ?faults:Faults.t ->
   host:string ->
   port:int ->
@@ -155,10 +168,15 @@ val connect :
     TCP connect retry per the policy (single attempt when omitted) and
     is also the policy for mid-session resume (which defaults to
     {!Retry.default_policy}); [?rng] (jitter) and [?sleep] are
-    injectable for deterministic tests.  [?faults] installs a
-    deterministic fault injector in this channel's frame path — chaos
-    testing; never set in production.
-    @raise Unix.Unix_error on connection failure. *)
+    injectable for deterministic tests.  [?budget] is the end-to-end
+    wall budget for the whole operation: it bounds the initial connect
+    retries, every subsequent round and every reconnect+resume recovery
+    (see {!set_budget}).  [?faults] installs a deterministic fault
+    injector in this channel's frame path — chaos testing; never set in
+    production.
+    @raise Unix.Unix_error on connection failure.
+    @raise Retry.Budget.Exceeded when [?budget] expires during the
+    initial connect retries. *)
 
 val offered_flags : t -> int
 (** The capability bits this channel offers in [Hello]

@@ -93,6 +93,160 @@ let next t =
         Metrics.incr m_injected);
       action)
 
+(* Environmental (disk / file-descriptor) fault injection.  Where the
+   frame injector above sits in the wire path, a [Disk.t] sits in front
+   of filesystem and fd-allocating syscalls — spool writes, catalog
+   saves, snapshot fsyncs, the supervisor's accept/socketpair — and
+   fails the Nth such operation with the real errno the environment
+   would produce (ENOSPC, EIO, EMFILE).  Deterministic in the per-kind
+   operation counters, so a degraded-mode run replays bit-identically
+   from its profile string. *)
+module Disk = struct
+  type op = Write | Fsync | Rename | Fd
+
+  type profile =
+    | Off
+    | Enospc_at of int  (* Nth write fails with ENOSPC *)
+    | Enospc_every of int
+    | Eio_fsync_at of int  (* Nth fsync fails with EIO *)
+    | Eio_fsync_every of int
+    | Torn_rename_at of int
+        (* Nth rename fails with EIO after the temp file was written:
+           the orphaned .tmp is exactly what a torn atomic-replace
+           leaves behind *)
+    | Emfile_at of int  (* Nth fd allocation (accept/socketpair) fails *)
+    | Emfile_every of int
+
+  type t = {
+    profile : profile;
+    mu : Mutex.t;
+    mutable writes : int;
+    mutable fsyncs : int;
+    mutable renames : int;
+    mutable fds : int;
+    mutable injected : int;
+  }
+
+  let m_disk_injected = Metrics.counter "transport.faults.disk_injected"
+
+  let create profile =
+    (match profile with
+     | Enospc_at n | Enospc_every n | Eio_fsync_at n | Eio_fsync_every n
+     | Torn_rename_at n | Emfile_at n | Emfile_every n ->
+       if n < 1 then invalid_arg "Faults.Disk.create: index must be >= 1"
+     | Off -> ());
+    {
+      profile;
+      mu = Mutex.create ();
+      writes = 0;
+      fsyncs = 0;
+      renames = 0;
+      fds = 0;
+      injected = 0;
+    }
+
+  let profile t = t.profile
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  let injected t = locked t (fun () -> t.injected)
+
+  let check t op =
+    locked t (fun () ->
+        let count =
+          match op with
+          | Write ->
+            t.writes <- t.writes + 1;
+            t.writes
+          | Fsync ->
+            t.fsyncs <- t.fsyncs + 1;
+            t.fsyncs
+          | Rename ->
+            t.renames <- t.renames + 1;
+            t.renames
+          | Fd ->
+            t.fds <- t.fds + 1;
+            t.fds
+        in
+        let fail errno name =
+          t.injected <- t.injected + 1;
+          Metrics.incr m_disk_injected;
+          raise (Unix.Unix_error (errno, name, "fault injection"))
+        in
+        match (t.profile, op) with
+        | Enospc_at k, Write when count = k -> fail Unix.ENOSPC "write"
+        | Enospc_every k, Write when count mod k = 0 -> fail Unix.ENOSPC "write"
+        | Eio_fsync_at k, Fsync when count = k -> fail Unix.EIO "fsync"
+        | Eio_fsync_every k, Fsync when count mod k = 0 -> fail Unix.EIO "fsync"
+        | Torn_rename_at k, Rename when count = k -> fail Unix.EIO "rename"
+        | Emfile_at k, Fd when count = k -> fail Unix.EMFILE "accept"
+        | Emfile_every k, Fd when count mod k = 0 -> fail Unix.EMFILE "accept"
+        | _ -> ())
+
+  let profile_to_string = function
+    | Off -> "off"
+    | Enospc_at n -> Printf.sprintf "enospc-at-%d" n
+    | Enospc_every n -> Printf.sprintf "enospc-every-%d" n
+    | Eio_fsync_at n -> Printf.sprintf "eio-fsync-at-%d" n
+    | Eio_fsync_every n -> Printf.sprintf "eio-fsync-every-%d" n
+    | Torn_rename_at n -> Printf.sprintf "torn-rename-at-%d" n
+    | Emfile_at n -> Printf.sprintf "emfile-at-%d" n
+    | Emfile_every n -> Printf.sprintf "emfile-every-%d" n
+
+  let profile_of_string s =
+    let int_of v =
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Ok n
+      | Some n ->
+        Error (Printf.sprintf "disk chaos profile: %d is not a positive count" n)
+      | None ->
+        Error (Printf.sprintf "disk chaos profile: %S is not an integer" v)
+    in
+    let strip prefix =
+      if
+        String.length s > String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      then
+        Some
+          (String.sub s (String.length prefix)
+             (String.length s - String.length prefix))
+      else None
+    in
+    let ( let* ) = Result.bind in
+    match s with
+    | "off" | "" -> Ok Off
+    | _ ->
+      (match strip "enospc-at-" with
+       | Some rest -> let* n = int_of rest in Ok (Enospc_at n)
+       | None ->
+       match strip "enospc-every-" with
+       | Some rest -> let* n = int_of rest in Ok (Enospc_every n)
+       | None ->
+       match strip "eio-fsync-at-" with
+       | Some rest -> let* n = int_of rest in Ok (Eio_fsync_at n)
+       | None ->
+       match strip "eio-fsync-every-" with
+       | Some rest -> let* n = int_of rest in Ok (Eio_fsync_every n)
+       | None ->
+       match strip "torn-rename-at-" with
+       | Some rest -> let* n = int_of rest in Ok (Torn_rename_at n)
+       | None ->
+       match strip "emfile-at-" with
+       | Some rest -> let* n = int_of rest in Ok (Emfile_at n)
+       | None ->
+       match strip "emfile-every-" with
+       | Some rest -> let* n = int_of rest in Ok (Emfile_every n)
+       | None ->
+         Error
+           (Printf.sprintf
+              "unknown disk chaos profile %S (expected off, enospc-at-N, \
+               enospc-every-N, eio-fsync-at-N, eio-fsync-every-N, \
+               torn-rename-at-N, emfile-at-N or emfile-every-N)"
+              s))
+end
+
 let profile_to_string = function
   | Off -> "off"
   | Drop_at n -> Printf.sprintf "drop-at-%d" n

@@ -66,6 +66,56 @@ val frames : t -> int
 val injected : t -> int
 (** Faults injected so far. *)
 
+(** Environmental (disk / file-descriptor) fault injection: a companion
+    injector for filesystem and fd-allocating syscalls.  Install one in
+    front of {!Spool} writes, catalog [Store.save_dir] saves, snapshot
+    fsyncs or the supervisor's accept/socketpair path and the Nth such
+    operation fails with the real errno the environment would produce —
+    [ENOSPC] on write, [EIO] on fsync, [EIO] on rename (leaving the torn
+    temp file behind), [EMFILE] on fd allocation.  Deterministic in the
+    per-kind operation counters, so a degraded-mode chaos run replays
+    bit-identically from its [--disk-chaos] profile string. *)
+module Disk : sig
+  type op =
+    | Write  (** payload write to a temp/spool/catalog file *)
+    | Fsync  (** durability barrier (file or directory) *)
+    | Rename  (** the atomic-replace commit step *)
+    | Fd  (** fd allocation: accept(2), socketpair(2) *)
+
+  type profile =
+    | Off
+    | Enospc_at of int  (** Nth write fails with ENOSPC *)
+    | Enospc_every of int  (** ... every Nth write *)
+    | Eio_fsync_at of int  (** Nth fsync fails with EIO *)
+    | Eio_fsync_every of int
+    | Torn_rename_at of int
+        (** Nth rename fails with EIO after the temp file was written *)
+    | Emfile_at of int  (** Nth fd allocation fails with EMFILE *)
+    | Emfile_every of int
+
+  type t
+
+  val create : profile -> t
+  (** @raise Invalid_argument on a non-positive index/period. *)
+
+  val check : t -> op -> unit
+  (** Count one operation of kind [op] and raise the profile's
+      [Unix.Unix_error] if this is the operation it targets.
+      Thread-safe. *)
+
+  val profile : t -> profile
+
+  val injected : t -> int
+  (** Faults injected so far. *)
+
+  val profile_of_string : string -> (profile, string) result
+  (** Parse a [--disk-chaos] argument: [off], [enospc-at-N],
+      [enospc-every-N], [eio-fsync-at-N], [eio-fsync-every-N],
+      [torn-rename-at-N], [emfile-at-N], [emfile-every-N]. *)
+
+  val profile_to_string : profile -> string
+end
+
 val profile_of_string : string -> (profile, string) result
 (** Parse a [--chaos-profile] argument: [off], [drop-at-N],
     [drop-every-N], [corrupt-every-N[:BYTE]], [delay-every-N[:MS]],

@@ -194,7 +194,10 @@ type reply =
           not retryable: the same request will always be rejected. *)
   | Health_reply of {
       status : int;
-          (** [0] ready; [1] at session capacity; [2] shedding load *)
+          (** [0] ready; [1] at session capacity; [2] shedding load;
+              [3] degraded — the session spool is unwritable
+              (durability lost): sessions are still served but do not
+              survive a worker crash until the spool recovers *)
       active : int;  (** sessions currently being served *)
       capacity : int;  (** configured concurrent-session limit *)
       retry_after_s : float;

@@ -7,6 +7,7 @@ module Metrics = Ppst_telemetry.Metrics
 
 let m_attempts = Metrics.counter "transport.retry.attempts"
 let m_exhausted = Metrics.counter "transport.retry.exhausted"
+let m_budget_exhausted = Metrics.counter "transport.retry.budget_exhausted"
 
 type policy = {
   max_attempts : int;
@@ -30,6 +31,49 @@ let () =
 
 (* Uniform in [0, 1) from the CSPRNG: 30 bits is plenty for jitter. *)
 let unit_float rng = float_of_int (Ppst_rng.Secure_rng.int rng (1 lsl 30)) /. 1073741824.0
+
+(* A wall-clock budget for one whole logical operation.  Where [policy]
+   bounds the *count* of attempts, a budget bounds their total *elapsed
+   time*, reconnect sleeps included: every retry path the budget is
+   threaded through stops — and clamps its final backoff sleep — at the
+   deadline, so "give up after B seconds" holds end to end no matter how
+   many layers of retry sit in between.  The clock is injectable for
+   deterministic tests. *)
+module Budget = struct
+  type t = {
+    budget_s : float;
+    deadline : float;  (* absolute, on [now]'s timescale *)
+    now : unit -> float;
+  }
+
+  exception Exceeded of { budget_s : float }
+
+  let () =
+    Printexc.register_printer (function
+      | Exceeded { budget_s } ->
+        Some (Printf.sprintf "Retry.Budget.Exceeded(%.3fs budget)" budget_s)
+      | _ -> None)
+
+  let create ?now ~budget_s () =
+    if budget_s <= 0.0 then
+      invalid_arg "Retry.Budget.create: budget must be positive";
+    let now = match now with Some f -> f | None -> Monoclock.now in
+    { budget_s; deadline = now () +. budget_s; now }
+
+  let budget_s t = t.budget_s
+  let deadline t = t.deadline
+  let remaining_s t = Float.max 0.0 (t.deadline -. t.now ())
+  let expired t = t.deadline -. t.now () <= 0.0
+  let check t = if expired t then raise (Exceeded { budget_s = t.budget_s })
+
+  (* A sub-operation's budget never extends past its parent's deadline:
+     [sub b ~budget_s:s] is [min s (remaining b)] seconds from now on the
+     parent's clock.  May be born expired — callers treat that as "no
+     time left", not an error. *)
+  let sub t ~budget_s:s =
+    let s = Float.min s (Float.max 0.0 (t.deadline -. t.now ())) in
+    { budget_s = s; deadline = t.now () +. s; now = t.now }
+end
 
 (* Client-side circuit breaker.  A server under sustained overload
    answers every connect with Busy; hammering it with the full retry
@@ -162,7 +206,7 @@ let backoff_delay policy ~rng ~attempt ~hint =
   match hint with None -> jittered | Some h -> Float.max h jittered
 
 let with_retry ?(policy = default_policy) ?rng ?(sleep = Thread.delay)
-    ?on_attempt ?breaker ~classify f =
+    ?on_attempt ?breaker ?budget ~classify f =
   if policy.max_attempts < 1 then
     invalid_arg "Retry.with_retry: max_attempts must be >= 1";
   let rng =
@@ -208,8 +252,24 @@ let with_retry ?(policy = default_policy) ?rng ?(sleep = Thread.delay)
            Metrics.incr m_exhausted;
            raise (Exhausted { attempts = attempt; last = e })
          end;
+         (* The wall budget is checked after every failed attempt; when
+            it has run out there is no point sleeping at all. *)
+         (match budget with
+          | Some b when Budget.expired b ->
+            Metrics.incr m_budget_exhausted;
+            raise (Budget.Exceeded { budget_s = Budget.budget_s b })
+          | _ -> ());
          let hint = match verdict with `Retry_after s -> Some s | _ -> None in
          let delay_s = backoff_delay policy ~rng ~attempt ~hint in
+         (* The last sleep before a budget expiry is truncated to the
+            remaining budget (overriding even a retry-after floor): we
+            never sleep past the deadline, so "give up within B" holds
+            to within one attempt's own duration. *)
+         let delay_s =
+           match budget with
+           | Some b -> Float.min delay_s (Budget.remaining_s b)
+           | None -> delay_s
+         in
          Metrics.incr m_attempts;
          (match on_attempt with
           | Some hook -> hook ~attempt ~delay_s e

@@ -21,6 +21,51 @@ exception Exhausted of { attempts : int; last : exn }
 (** Raised when every attempt failed with a retryable error; [last] is
     the final attempt's exception. *)
 
+(** Wall-clock budget for one whole logical operation.
+
+    A {!policy} bounds how many times something is attempted; a budget
+    bounds the total {e elapsed} time of the operation, reconnect and
+    backoff sleeps included.  One budget is created per user-visible
+    operation (e.g. from [ppst_client --budget-s]) and threaded through
+    every retry layer underneath — initial connect, mid-session resume,
+    Busy loops — so no amount of nested retrying outlives the deadline.
+    {!with_retry} additionally truncates its final backoff sleep to the
+    remaining budget: the operation gives up within [B] plus at most one
+    attempt's own duration, never mid-sleep past the budget.
+
+    The clock is injectable for deterministic tests (like {!Breaker});
+    the default is the monotonic clock, whose timescale matches
+    {!Channel.read_frame}'s [?deadline]. *)
+module Budget : sig
+  type t
+
+  exception Exceeded of { budget_s : float }
+  (** The operation's budget ran out mid-retry. *)
+
+  val create : ?now:(unit -> float) -> budget_s:float -> unit -> t
+  (** Start a budget of [budget_s] seconds from now.
+      @raise Invalid_argument on a non-positive budget. *)
+
+  val budget_s : t -> float
+  (** The budget this was created with. *)
+
+  val deadline : t -> float
+  (** Absolute expiry instant, on the budget's own clock. *)
+
+  val remaining_s : t -> float
+  (** Seconds left, floored at [0]. *)
+
+  val expired : t -> bool
+
+  val check : t -> unit
+  (** @raise Exceeded when the budget has expired. *)
+
+  val sub : t -> budget_s:float -> t
+  (** A sub-operation's budget: [budget_s] seconds from now, clamped so
+      it never extends past the parent's deadline.  May be born already
+      expired when the parent has no time left. *)
+end
+
 val backoff_delay :
   policy -> rng:Ppst_rng.Secure_rng.t -> attempt:int -> hint:float option -> float
 (** The sleep before attempt [attempt + 1]: uniform in
@@ -88,6 +133,7 @@ val with_retry :
   ?sleep:(float -> unit) ->
   ?on_attempt:(attempt:int -> delay_s:float -> exn -> unit) ->
   ?breaker:Breaker.t ->
+  ?budget:Budget.t ->
   classify:(exn -> [ `Retry | `Retry_after of float | `Fail ]) ->
   (unit -> 'a) ->
   'a
@@ -104,5 +150,12 @@ val with_retry :
     {!Breaker.Open_circuit} failure that consumes a retry slot and
     sleeps at least the remaining cooldown — so a run of attempts
     against an overloaded server collapses to the probe schedule.
+
+    [?budget] bounds the total wall time: after each failed attempt the
+    budget is checked ({!Budget.Exceeded} when it has run out) and the
+    backoff sleep is truncated to the remaining budget, so the loop
+    never sleeps past the deadline — at most one further attempt starts
+    exactly at it.
     @raise Exhausted after [policy.max_attempts] failed tries.
+    @raise Budget.Exceeded when [?budget] expires first.
     @raise Invalid_argument when [policy.max_attempts < 1]. *)

@@ -31,6 +31,12 @@ let m_shed = Metrics.counter "server.shed"
 let m_capability_violations = Metrics.counter "server.capability.violations"
 let m_stalled = Metrics.counter "server.sessions.stalled"
 
+(* Degraded-mode observability: spool write failures and the sticky
+   durability flag they flip (surfaced as Health_reply status 3). *)
+let m_spool_write_failures = Metrics.counter "server.spool.write_failures"
+let m_degraded = Metrics.gauge "server.degraded"
+let m_accept_emfile = Metrics.counter "server.accept.emfile"
+
 type config = {
   max_sessions : int;
   max_total : int option;
@@ -50,6 +56,7 @@ type config = {
   shed_watermark : int option;
   watchdog_timeout_s : float option;
   spool_dir : string option;
+  disk_faults : Faults.Disk.t option;
 }
 
 let default_config =
@@ -72,6 +79,7 @@ let default_config =
     shed_watermark = None;
     watchdog_timeout_s = Some 30.0;
     spool_dir = None;
+    disk_faults = None;
   }
 
 (* The per-session application handler.  [respond] answers protocol
@@ -157,6 +165,12 @@ type t = {
      crypto work the shed watermark compares against.  An Atomic so the
      accept thread reads it without taking any session's lock. *)
   inflight : int Atomic.t;
+  (* Sticky-until-recovery durability flag: set when a spool/snapshot
+     write fails (ENOSPC, EIO, ...), cleared when a later write lands.
+     While set, sessions keep running non-durably and health probes
+     answer status 3 (degraded). *)
+  durability_lost : bool Atomic.t;
+  mutable spool_write_failures : int;
   rng : Ppst_rng.Secure_rng.t;
   rng_mu : Mutex.t;
   mutable active : int;
@@ -198,7 +212,10 @@ let make ~config ~on_session_end ~clock ~rng ~boot_id ~listener ~bound_port
     listener;
     bound_port;
     boot_id;
-    spool = Option.map (fun dir -> Spool.create ~dir) config.spool_dir;
+    spool =
+      Option.map
+        (fun dir -> Spool.create ?disk_faults:config.disk_faults ~dir ())
+        config.spool_dir;
     clock = (match clock with Some f -> f | None -> Monoclock.now);
     last_sweep = 0.0;
     stop = Atomic.make false;
@@ -209,6 +226,8 @@ let make ~config ~on_session_end ~clock ~rng ~boot_id ~listener ~bound_port
     ratelimit =
       Option.map (fun cfg -> Ratelimit.create ?now:clock cfg) config.ratelimit;
     inflight = Atomic.make 0;
+    durability_lost = Atomic.make false;
+    spool_write_failures = 0;
     rng;
     rng_mu = Mutex.create ();
     active = 0;
@@ -346,9 +365,33 @@ let stats_text t =
    windowed rollups in OpenMetrics text form. *)
 let metrics_text () = Exposition.render ~rollup:(Rollup.global ()) ()
 
+(* A spool/snapshot write failed: sessions continue non-durably (the
+   in-memory resume table still works), but cross-worker failover is
+   compromised — flip the sticky durability flag so health probes answer
+   "degraded" until a later write succeeds. *)
+let durability_lost t _e =
+  locked t (fun () -> t.spool_write_failures <- t.spool_write_failures + 1);
+  Metrics.incr m_spool_write_failures;
+  if not (Atomic.exchange t.durability_lost true) then begin
+    Metrics.gauge_set m_degraded 1.0;
+    Telemetry.event ~level:Telemetry.Info ~name:"server.durability_lost" ()
+  end
+
+(* A later spool write landed: durability is back, clear the flag. *)
+let durability_regained t =
+  if Atomic.exchange t.durability_lost false then begin
+    Metrics.gauge_set m_degraded 0.0;
+    Telemetry.event ~level:Telemetry.Info ~name:"server.durability_regained" ()
+  end
+
+let spool_write_failures t = locked t (fun () -> t.spool_write_failures)
+let is_degraded t = Atomic.get t.durability_lost
+
 (* Readiness, as reported to Health_req probes.  Shedding (2) dominates
    at-capacity (1): a load balancer must stop sending work before the
-   session slots are even full. *)
+   session slots are even full.  Both dominate degraded (3, durability
+   lost): overload states are transient and actionable right now, while
+   degraded only means new sessions lose crash-durability. *)
 let health_status t =
   let shedding =
     match t.config.shed_watermark with
@@ -357,6 +400,7 @@ let health_status t =
   in
   if shedding then 2
   else if locked t (fun () -> t.active) >= t.config.max_sessions then 1
+  else if Atomic.get t.durability_lost then 3
   else 0
 
 let health_reply ?status t =
@@ -490,10 +534,12 @@ let serve_session t ~id ~peer fd =
     match t.spool with
     | Some sp when c.token <> "" && t.config.enable_resume -> (
       match Spool.put sp ~key:c.token (snapshot_of c) with
-      | () -> ()
-      | exception _ -> ()
+      | () -> durability_regained t
+      | exception e -> durability_lost t e
         (* a full disk must not kill the live session: the spool is a
-           recovery improvement, in-memory parking still works *))
+           recovery improvement, in-memory parking still works.  The
+           failure demotes the server to the typed degraded state
+           (Health_reply status 3) until a later write lands. *))
     | _ -> ()
   in
   let timed c req =
@@ -1116,12 +1162,26 @@ let accept_one t listener =
     Channel.retry_on_intr (fun () -> Unix.select [ listener ] [] [] 0.2)
   with
   | [], _, _ -> maybe_sweep t
-  | _ ->
-    let fd, peer = Unix.accept listener in
-    (try Unix.setsockopt fd Unix.TCP_NODELAY true
-     with Unix.Unix_error _ -> ());
-    maybe_sweep t;
-    inject t fd peer
+  | _ -> (
+    match
+      (match t.config.disk_faults with
+       | Some f -> Faults.Disk.check f Faults.Disk.Fd
+       | None -> ());
+      Unix.accept listener
+    with
+    | fd, peer ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      maybe_sweep t;
+      inject t fd peer
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      (* fd exhaustion: nothing can be accepted right now.  Count it and
+         back off a beat so the still-readable listener does not spin
+         this loop at 100% CPU; the pending connection is served once
+         fds free up. *)
+      Metrics.incr m_accept_emfile;
+      Thread.delay 0.05;
+      maybe_sweep t)
 
 let drain t =
   let give_up = Monoclock.now () +. t.config.drain_timeout_s in

@@ -94,6 +94,10 @@ type config = {
           the spool — so a session parked in one worker process survives
           that worker being [SIGKILL]ed and resumes in another.  [None]
           (the default) keeps the pre-existing memory-only behavior. *)
+  disk_faults : Faults.Disk.t option;
+      (** environmental fault injector (ENOSPC / EIO / EMFILE) consulted
+          by the spool writes and the accept path — degraded-mode chaos
+          testing; never set in production *)
 }
 
 val default_config : config
@@ -242,6 +246,17 @@ val rejected : t -> int
 val shed_total : t -> int
 (** The subset of {!rejected} refused by the rate limiter or the shed
     watermark (rather than plain session capacity). *)
+
+val is_degraded : t -> bool
+(** Whether the server is in the durability-lost degraded state: a
+    spool/snapshot write failed (full disk, I/O error) and no later
+    write has succeeded yet.  Sessions continue non-durably; health
+    probes answer status [3].  Clears itself when a spool write lands
+    again. *)
+
+val spool_write_failures : t -> int
+(** Spool/snapshot writes that failed so far (each one also increments
+    the [server.spool.write_failures] counter). *)
 
 val stats : t -> Stats.t
 (** Merged traffic accounting over all {e finished} sessions (fresh

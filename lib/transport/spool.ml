@@ -15,7 +15,10 @@
    both read, but the resume protocol already serializes takes through
    the supervisor's token-hash sharding. *)
 
-type t = { dir : string }
+type t = { dir : string; disk_faults : Faults.Disk.t option }
+
+let check_fault t op =
+  match t.disk_faults with None -> () | Some f -> Faults.Disk.check f op
 
 let hex_of_key key =
   let b = Buffer.create (2 * String.length key) in
@@ -37,9 +40,9 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ~dir =
+let create ?disk_faults ~dir () =
   mkdir_p dir;
-  { dir }
+  { dir; disk_faults }
 
 let dir t = t.dir
 
@@ -50,12 +53,15 @@ let put t ~key value =
   Fun.protect
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
+      check_fault t Faults.Disk.Write;
       let off = ref 0 in
       let bytes = Bytes.of_string value in
       while !off < Bytes.length bytes do
         off := !off + Unix.write fd bytes !off (Bytes.length bytes - !off)
       done;
+      check_fault t Faults.Disk.Fsync;
       Unix.fsync fd);
+  check_fault t Faults.Disk.Rename;
   Sys.rename tmp final;
   fsync_path t.dir
 
@@ -78,6 +84,24 @@ let take t ~key =
   | Some v ->
     delete t ~key;
     Some v
+
+(* Boot-time writability probe: the full atomic dance on a throwaway
+   key, so an unusable spool (missing parent, read-only mount, full
+   disk) is discovered at startup with a clear message instead of at the
+   first mid-session snapshot write. *)
+let validate ~dir =
+  match
+    let t = create ~dir () in
+    let key = Printf.sprintf "boot-probe-%d" (Unix.getpid ()) in
+    put t ~key "probe";
+    delete t ~key
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error
+      (Printf.sprintf "spool directory %s is not writable: %s(%s): %s" dir fn
+         arg (Unix.error_message e))
+  | exception Sys_error m -> Error (Printf.sprintf "spool directory %s: %s" dir m)
 
 let entries t =
   match Sys.readdir t.dir with

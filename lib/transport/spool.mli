@@ -9,8 +9,19 @@
 
 type t
 
-val create : dir:string -> t
-(** Open (creating, mode 0700, parents included) a spool directory. *)
+val create : ?disk_faults:Faults.Disk.t -> dir:string -> unit -> t
+(** Open (creating, mode 0700, parents included) a spool directory.
+    [?disk_faults] installs an environmental fault injector consulted on
+    every {!put} (write, fsync, rename) — degraded-mode chaos testing,
+    never set in production. *)
+
+val validate : dir:string -> (unit, string) result
+(** Boot-time writability probe: create the directory if missing, then
+    run one full atomic write cycle (write + fsync + rename + directory
+    fsync) on a throwaway key and delete it.  [Error msg] carries a
+    human-readable reason (read-only mount, full disk, bad parent), so
+    a server can fail fast at startup instead of discovering an
+    unusable spool at its first mid-session snapshot. *)
 
 val dir : t -> string
 

@@ -9,6 +9,13 @@
    dead mutex holders, so keeping the parent single-threaded is what
    makes re-forking a replacement worker safe at any time. *)
 
+module Metrics = Ppst_telemetry.Metrics
+
+(* fd-exhaustion observability: accepts shed with Busy and spawns
+   deferred because socketpair had no fd to give. *)
+let m_accept_emfile = Metrics.counter "supervisor.accept.emfile"
+let m_spawn_emfile = Metrics.counter "supervisor.spawn.emfile"
+
 type event =
   | Worker_started of { slot : int; pid : int; restarts : int }
   | Worker_exited of {
@@ -120,16 +127,44 @@ type t = {
   on_event : event -> unit;
   stop : bool Atomic.t;
   slots : slot array;
+  disk_faults : Faults.Disk.t option;
+  (* One fd held in reserve so that EMFILE on accept can still shed:
+     closing it frees exactly the slot needed to accept the pending
+     connection, answer Busy and close — instead of leaving the client
+     wedged in the listen queue while the parent spins. *)
+  mutable reserve : Unix.file_descr option;
   mutable restarts_total : int;
   mutable next_rr : int;
 }
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+let open_reserve () =
+  match Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 with
+  | fd -> Some fd
+  | exception Unix.Unix_error _ -> None
+
+let check_fd_fault t =
+  match t.disk_faults with
+  | Some f -> Faults.Disk.check f Faults.Disk.Fd
+  | None -> ()
+
 let spawn t slot ~restarted =
-  let parent_fd, child_fd =
+  match
+    check_fd_fault t;
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
-  in
+  with
+  | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+    (* fd exhaustion at spawn: defer to the backoff schedule instead of
+       crashing the parent — respawn_due retries once fds free up *)
+    Metrics.incr m_spawn_emfile;
+    slot.consecutive <- slot.consecutive + 1;
+    slot.restart_at <-
+      Some
+        (Monoclock.now ()
+        +. Retry.backoff_delay t.policy ~rng:t.rng ~attempt:slot.consecutive
+             ~hint:None)
+  | parent_fd, child_fd -> (
   match Unix.fork () with
   | 0 ->
     (* child: drop every parent-side resource, then become the worker.
@@ -161,11 +196,11 @@ let spawn t slot ~restarted =
     slot.restart_at <- None;
     t.on_event
       (Worker_started
-         { slot = slot.index; pid; restarts = t.restarts_total })
+         { slot = slot.index; pid; restarts = t.restarts_total }))
 
 let create ?on_event ?(restart_policy = Retry.default_policy)
-    ?(max_restarts = 64) ?(drain_timeout_s = 30.0) ?rng ?stop ~listener
-    ~workers ~worker_main () =
+    ?(max_restarts = 64) ?(drain_timeout_s = 30.0) ?rng ?stop ?disk_faults
+    ~listener ~workers ~worker_main () =
   if workers < 1 then invalid_arg "Supervisor: workers must be >= 1";
   Channel.setup_sigpipe ();
   {
@@ -181,6 +216,8 @@ let create ?on_event ?(restart_policy = Retry.default_policy)
        | None -> Ppst_rng.Secure_rng.system ());
     on_event = Option.value on_event ~default:(fun _ -> ());
     stop = (match stop with Some s -> s | None -> Atomic.make false);
+    disk_faults;
+    reserve = open_reserve ();
     slots =
       Array.init workers (fun index ->
           {
@@ -268,6 +305,33 @@ let dispatch t fd ~preferred =
   in
   try_slot preferred t.workers
 
+(* Accept failed with EMFILE/ENFILE: the parent is out of fds and can
+   neither serve nor park the pending connection.  Shed it with the
+   existing Busy machinery instead: close the reserve fd (freeing
+   exactly one slot), accept, answer [Message.Busy] with the standard
+   retry-after hint and close — the client's Busy loop backs off and
+   retries, rather than wedging in the listen queue or crashing the
+   parent.  The reserve is reopened afterwards, best effort. *)
+let busy_retry_after_s = 1.0
+
+let shed_accept t =
+  Metrics.incr m_accept_emfile;
+  (match t.reserve with
+   | Some fd ->
+     close_quiet fd;
+     t.reserve <- None
+   | None -> ());
+  (match Unix.accept t.listener with
+   | exception Unix.Unix_error _ -> ()
+   | fd, _peer ->
+     (try
+        Channel.write_frame fd
+          (Message.encode
+             (Message.Reply (Message.Busy { retry_after_s = busy_retry_after_s })))
+      with _ -> ());
+     close_quiet fd);
+  t.reserve <- open_reserve ()
+
 let accept_tick t =
   reap t;
   respawn_due t;
@@ -276,7 +340,12 @@ let accept_tick t =
   with
   | [], _, _ -> ()
   | _ -> (
-    match Unix.accept t.listener with
+    match
+      check_fd_fault t;
+      Unix.accept t.listener
+    with
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      shed_accept t
     | exception Unix.Unix_error _ -> ()
     | fd, _peer ->
       (try Unix.setsockopt fd Unix.TCP_NODELAY true
@@ -349,10 +418,10 @@ let shutdown_workers t =
   reports
 
 let run ?on_event ?restart_policy ?max_restarts ?drain_timeout_s ?rng ?stop
-    ~listener ~workers ~worker_main () =
+    ?disk_faults ~listener ~workers ~worker_main () =
   let t =
     create ?on_event ?restart_policy ?max_restarts ?drain_timeout_s ?rng ?stop
-      ~listener ~workers ~worker_main ()
+      ?disk_faults ~listener ~workers ~worker_main ()
   in
   Array.iter (fun slot -> spawn t slot ~restarted:false) t.slots;
   (try
@@ -361,5 +430,10 @@ let run ?on_event ?restart_policy ?max_restarts ?drain_timeout_s ?rng ?stop
      done
    with Unix.Unix_error _ when Atomic.get t.stop -> ());
   close_quiet t.listener;
+  (match t.reserve with
+   | Some fd ->
+     close_quiet fd;
+     t.reserve <- None
+   | None -> ());
   let reports = shutdown_workers t in
   { restarts = t.restarts_total; reports }

@@ -77,6 +77,7 @@ val run :
   ?drain_timeout_s:float ->
   ?rng:Ppst_rng.Secure_rng.t ->
   ?stop:bool Atomic.t ->
+  ?disk_faults:Faults.Disk.t ->
   listener:Unix.file_descr ->
   workers:int ->
   worker_main:(slot:int -> restarted:bool -> control:Unix.file_descr -> unit) ->
@@ -96,4 +97,12 @@ val run :
     bounds shutdown collection.  Call from a process with {e no}
     threads beyond the main one: fork from a threaded parent leaves
     children with dead lock holders.
+
+    fd exhaustion never kills the parent: [EMFILE]/[ENFILE] on accept
+    sheds the pending connection through the existing Busy machinery
+    (a reserve fd is closed to make room, the connection is answered
+    [Message.Busy] and closed, the reserve reopened), and the same
+    errno from the spawn-time [socketpair] defers the fork to the
+    restart backoff schedule.  [?disk_faults] injects those errnos
+    deterministically for chaos tests ({!Faults.Disk}).
     @raise Invalid_argument on [workers < 1]. *)

@@ -40,13 +40,19 @@
 # server-side families; and `ppst_analyze report` runs advisory over
 # the checked-in BENCH_*.json artifacts.
 #
-# Finally (g) a failover smoke: a 4-worker supervised server with a
+# (g) a failover smoke: a 4-worker supervised server with a
 # shared session spool serves one session whose worker is SIGKILLed
 # mid-stream from outside; the client must ride the reconnect + Resume
 # path onto a surviving worker (the dead worker's memory is gone — the
 # session rehydrates from the spool), the revealed distance must be
 # bit-identical to a single-process reference run of the same seeds,
 # and the supervisor must report exactly one restart.
+#
+# Finally (h) a degraded smoke: the same 4-worker catalog server with
+# every spool write failing ENOSPC (--disk-chaos enospc-every-1) serves
+# a complete catalog query — full results, zero incomplete candidates,
+# zero worker crashes — while the health probe reports status 3
+# (degraded: serving, crash-durability lost).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -416,3 +422,71 @@ if ! grep -q '^supervisor restarts: 1$' "$fo_dir/server-fo.log"; then
   exit 1
 fi
 echo "ci: failover smoke OK (worker SIGKILLed mid-session, distance $fo_distance = reference, exactly 1 restart)"
+
+# Degraded smoke: a 4-worker catalog server whose spool is on a "full
+# disk" — every snapshot write draws an injected ENOSPC — must still
+# serve a complete catalog query (sessions continue non-durably), must
+# not crash a single worker, and the worker that lost durability must
+# answer the health probe with status 3.
+dg_dir="$(mktemp -d /tmp/ppst_ci_degraded.XXXXXX)"
+trap 'kill "$fo_pid" 2>/dev/null || true; kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir" "$fo_dir" "$dg_dir"' EXIT INT TERM
+dg_port=17979
+./_build/default/bin/ppst_server.exe -p "$dg_port" --seed ci-degraded \
+  --catalog "$cat_dir/store" --workers 4 --spool-dir "$dg_dir/spool" \
+  --disk-chaos enospc-every-1 >"$dg_dir/server.log" 2>&1 &
+dg_pid=$!
+trap 'kill "$dg_pid" 2>/dev/null || true; kill "$fo_pid" 2>/dev/null || true; kill "$tight_cat_pid" 2>/dev/null || true; kill "$catalog_pid" 2>/dev/null || true; kill "$tight_pid" 2>/dev/null || true; rm -f "$trace" "$trace2" "$doctored"; rm -rf "$chaos_dir" "$cat_dir" "$fo_dir" "$dg_dir"' EXIT INT TERM
+ready=0
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  if ./_build/default/bin/ppst_client.exe health -p "$dg_port" \
+       >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.5
+done
+if [ "$ready" -ne 1 ]; then
+  echo "ci: degraded smoke FAILED: server never became ready on port $dg_port" >&2
+  cat "$dg_dir/server.log" >&2 || true
+  exit 1
+fi
+
+# The query must complete with the full (exhaustive-identical) answer
+# and exit 0 — not the partial-results exit 77.
+dg_rc=0
+./_build/default/bin/ppst_client.exe query -p "$dg_port" \
+  --seed ci-degraded-q --distance dtw --top 1 "$cat_dir/query.csv" \
+  >"$dg_dir/query.log" 2>&1 || dg_rc=$?
+if [ "$dg_rc" -ne 0 ] || ! grep -q '^hit: record 6 ' "$dg_dir/query.log" \
+   || grep -q '^incomplete:' "$dg_dir/query.log"; then
+  echo "ci: degraded smoke FAILED: query under ENOSPC spool (exit $dg_rc)" >&2
+  cat "$dg_dir/query.log" "$dg_dir/server.log" >&2 || true
+  exit 1
+fi
+
+# Probes round-robin across workers; the one that paid the failed spool
+# writes answers 3 (degraded).  Give the ring a few spins.
+dg_health=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12; do
+  probe_rc=0
+  ./_build/default/bin/ppst_client.exe health -p "$dg_port" \
+    >"$dg_dir/health.log" 2>&1 || probe_rc=$?
+  if [ "$probe_rc" -eq 3 ]; then
+    dg_health=3
+    break
+  fi
+done
+if [ "$dg_health" != "3" ] || ! grep -q '^status: degraded$' "$dg_dir/health.log"; then
+  echo "ci: degraded smoke FAILED: no worker reported health 3 (degraded)" >&2
+  cat "$dg_dir/health.log" "$dg_dir/server.log" >&2 || true
+  exit 1
+fi
+
+kill "$dg_pid" 2>/dev/null || true
+wait "$dg_pid" 2>/dev/null || true
+if ! grep -q '^supervisor restarts: 0$' "$dg_dir/server.log"; then
+  echo "ci: degraded smoke FAILED: worker crashed under ENOSPC spool" >&2
+  cat "$dg_dir/server.log" >&2 || true
+  exit 1
+fi
+echo "ci: degraded smoke OK (full query under ENOSPC spool, health 3, zero crashes)"

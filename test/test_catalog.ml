@@ -178,7 +178,7 @@ let check_top_k name spec ~dist ~seed (store, x) =
     (name ^ ": pruned top-k equals exhaustive top-k")
     expected
     (Array.to_list report.Ppst.Query.hits
-    |> List.map (fun h ->
+    |> List.map (fun (h : Ppst.Query.hit) ->
            (h.Ppst.Query.index, Bigint.to_int_exn h.Ppst.Query.distance)));
   Alcotest.(check int)
     (name ^ ": accounting covers the catalog")
@@ -233,7 +233,7 @@ let test_erp_never_prunes () =
   Alcotest.(check (list (pair int int)))
     "erp ranking" expected
     (Array.to_list report.Ppst.Query.hits
-    |> List.map (fun h ->
+    |> List.map (fun (h : Ppst.Query.hit) ->
            (h.Ppst.Query.index, Bigint.to_int_exn h.Ppst.Query.distance)))
 
 (* [within]: survivors and results must match the plaintext predictions
@@ -263,7 +263,7 @@ let test_within_matches_prediction () =
   Alcotest.(check (list (pair int int)))
     "within hits" expected_hits
     (Array.to_list report.Ppst.Query.hits
-    |> List.map (fun h ->
+    |> List.map (fun (h : Ppst.Query.hit) ->
            (h.Ppst.Query.index, Bigint.to_int_exn h.Ppst.Query.distance)));
   (* discard rule: G >= tau_G + 1 with tau_G = isqrt(d*m*radius) *)
   let tau_g =

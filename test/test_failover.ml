@@ -207,7 +207,7 @@ let test_spool_basics () =
   let dir = fresh_dir "spool" in
   Fun.protect ~finally:(fun () -> rm_rf dir)
     (fun () ->
-      let sp = Spool.create ~dir in
+      let sp = Spool.create ~dir () in
       let key = String.init 16 (fun i -> Char.chr (0xF0 + i land 0x0f)) in
       Alcotest.(check (option string)) "miss" None (Spool.find sp ~key);
       Spool.put sp ~key "state v1";
@@ -227,7 +227,7 @@ let test_spool_ignores_torn_writes () =
   let dir = fresh_dir "spool-torn" in
   Fun.protect ~finally:(fun () -> rm_rf dir)
     (fun () ->
-      let sp = Spool.create ~dir in
+      let sp = Spool.create ~dir () in
       let key = "0123456789abcdef" in
       Spool.put sp ~key "good state";
       let oc = open_out (Filename.concat dir "deadbeef.snap.tmp") in
@@ -426,6 +426,21 @@ let sk16 =
        (Ppst_paillier.Paillier.keygen
           ~bits:Ppst.Params.default.Ppst.Params.key_bits rng))
 
+(* Seeded 8-record catalog for the 1-vs-8 query chaos matrix: length-16
+   dim-1 series with coordinates in [1, 10] from a fixed formula, so
+   every process (and every run) builds the identical store. *)
+let query_store8 =
+  lazy
+    (let store = Store.create () in
+     for i = 0 to 7 do
+       let series =
+         Series.of_list
+           (List.init 16 (fun j -> (((i * 7) + (j * 5) + 3) mod 10) + 1))
+       in
+       Store.insert store ~id:(string_of_int i) series
+     done;
+     store)
+
 let fast_policy =
   { Retry.max_attempts = 12; base_delay_s = 0.002; max_delay_s = 0.05;
     multiplier = 2.0 }
@@ -438,11 +453,16 @@ let fast_restart_policy =
    the pre-bound port.  Workers run the real Server_loop worker path
    with spool failover; a non-restarted worker carries the crash
    injector ([crash_at = 0] disables it), a restarted replacement runs
-   fault-free — exactly the ppst_server wiring. *)
-let start_supervised ~workers ~spool ~crash_at ~seed () =
+   fault-free — exactly the ppst_server wiring.  [?catalog] serves the
+   8-record query store instead of the single pairwise series;
+   [?disk_faults] arms the supervisor's fd-exhaustion injector
+   (accept/socketpair EMFILE). *)
+let start_supervised ?(catalog = false) ?disk_faults ~workers ~spool ~crash_at
+    ~seed () =
   let listener, port = Supervisor.bind ~port:0 in
-  (* force before forking: children inherit the memoized key *)
+  (* force before forking: children inherit the memoized key and store *)
   let sk = Lazy.force sk16 in
+  let store = if catalog then Some (Lazy.force query_store8) else None in
   flush stdout;
   flush stderr;
   match Unix.fork () with
@@ -464,10 +484,15 @@ let start_supervised ~workers ~spool ~crash_at ~seed () =
         }
       in
       let handler ~id ~peer:_ =
+        let rng = seeded (Printf.sprintf "%s/session-%d" seed id) in
         let server =
-          Ppst.Server.create_with_key ~sk
-            ~rng:(seeded (Printf.sprintf "%s/session-%d" seed id))
-            ~series:series_y16 ~max_value:max_value16 ()
+          match store with
+          | Some store ->
+            Ppst.Server.of_store_with_key ~sk ~rng ~store
+              ~max_value:max_value16 ()
+          | None ->
+            Ppst.Server.create_with_key ~sk ~rng ~series:series_y16
+              ~max_value:max_value16 ()
         in
         {
           Server_loop.respond = Ppst.Server.handle server;
@@ -486,7 +511,7 @@ let start_supervised ~workers ~spool ~crash_at ~seed () =
     in
     let summary =
       Supervisor.run ~restart_policy:fast_restart_policy ~drain_timeout_s:5.0
-        ~stop ~listener ~workers ~worker_main ()
+        ?disk_faults ~stop ~listener ~workers ~worker_main ()
     in
     (* exit code carries the restart count (bounded) back to the test *)
     Unix._exit (Stdlib.min 100 summary.Supervisor.restarts)
@@ -614,6 +639,147 @@ let test_failover_cross_worker () =
         (Printf.sprintf "cross-worker failover at frame %d" k)
         reference (Bigint.to_int_exn d))
     [ 5; 17; 40; 101 ]
+
+(* --- supervised failover: the query chaos matrix ------------------------------- *)
+
+let query_spec = Ppst.Protocol.spec `Euclidean
+
+(* Comparable shape of a query report: (index, id, distance) triples in
+   hit order.  Bigints go through their decimal rendering so the
+   comparison is structural. *)
+let hit_triples (r : Ppst.Query.report) =
+  Array.to_list r.Ppst.Query.hits
+  |> List.map (fun (h : Ppst.Query.hit) ->
+         (h.Ppst.Query.index, h.Ppst.Query.id, Bigint.to_string h.Ppst.Query.distance))
+
+(* One seeded 1-vs-8 top-3 query.  Like [run_failover_client], a crash
+   the channel could not resume transparently restarts the whole query
+   with the same seed — including the degraded-mode case where the
+   failure surfaced as a typed partial result instead of an exception
+   (a crash-matrix run must recover the complete answer, so a partial
+   one retries like a failed one). *)
+let run_query_client ~port ~seed ?stats_out () =
+  let rec attempt tries =
+    let retry e =
+      if tries = 0 then raise e
+      else begin
+        Thread.delay 0.02;
+        attempt (tries - 1)
+      end
+    in
+    match
+      let channel =
+        Channel.connect ~retry:fast_policy
+          ~rng:(seeded (seed ^ "/jitter"))
+          ~host:"127.0.0.1" ~port ()
+      in
+      match
+        let rng = seeded (seed ^ "/client") in
+        let client =
+          Ppst.Client.connect ~query:true ~rng ~series:series_x16
+            ~max_value:max_value16 ~distance:`Euclidean channel
+        in
+        let report = Ppst.Query.top_k ~spec:query_spec ~k:3 client in
+        Ppst.Client.finish client;
+        (match stats_out with
+         | Some r -> r := Stats.messages (Channel.stats channel)
+         | None -> ());
+        report
+      with
+      | report -> report
+      | exception e ->
+        (try Channel.close channel with _ -> ());
+        raise e
+    with
+    | report when report.Ppst.Query.incomplete = [||] -> report
+    | report ->
+      retry
+        (Failure
+           (Printf.sprintf "query returned %d incomplete candidate(s)"
+              (Array.length report.Ppst.Query.incomplete)))
+    | exception
+        (( Channel.Connection_lost _ | Channel.Frame_corrupt _
+         | Channel.Busy _ | Channel.Resume_rejected _ | Retry.Exhausted _
+         | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE), _, _)
+         ) as e) ->
+      retry e
+  in
+  attempt 30
+
+let test_query_kill_every_frame () =
+  (* crash-free supervised reference run: the top-3 answer plus the
+     frame budget that bounds the matrix *)
+  let spool = fresh_dir "query-matrix" in
+  let messages = ref 0 in
+  let reference =
+    let pid, port =
+      start_supervised ~catalog:true ~workers:2 ~spool ~crash_at:0
+        ~seed:"qmatrix-ref" ()
+    in
+    Fun.protect ~finally:(fun () -> ignore (stop_supervised pid))
+      (fun () ->
+        run_query_client ~port ~seed:"qmatrix-ref" ~stats_out:messages ())
+  in
+  rm_rf spool;
+  Alcotest.(check int) "reference finds k hits" 3
+    (Array.length reference.Ppst.Query.hits);
+  Alcotest.(check int) "reference complete" 0
+    (Array.length reference.Ppst.Query.incomplete);
+  let reference_hits = hit_triples reference in
+  let frames = !messages in
+  Alcotest.(check bool) "query exchanged frames" true (frames > 8);
+  for k = 1 to frames do
+    let spool = fresh_dir "query-matrix" in
+    let pid, port =
+      start_supervised ~catalog:true ~workers:2 ~spool ~crash_at:k
+        ~seed:(Printf.sprintf "qmatrix-%d" k) ()
+    in
+    let report =
+      Fun.protect ~finally:(fun () ->
+          ignore (stop_supervised pid);
+          rm_rf spool)
+        (fun () ->
+          run_query_client ~port ~seed:(Printf.sprintf "qmatrix-%d" k) ())
+    in
+    Alcotest.(check (list (triple int string string)))
+      (Printf.sprintf "top-k identical with worker killed at frame %d" k)
+      reference_hits (hit_triples report)
+  done
+
+(* --- supervisor fd exhaustion --------------------------------------------------- *)
+
+let test_supervisor_fd_exhaustion () =
+  (* The supervisor's fd-allocation injector: op 1 is worker 0's spawn
+     socketpair (EMFILE there defers the spawn to the restart schedule),
+     op 2 is the first accept (EMFILE there sheds the connection with a
+     Busy frame through the reserve descriptor).  Either way the client
+     must end with the exact distance and the supervisor must exit
+     cleanly — fd exhaustion is degraded operation, never a crash. *)
+  let reference = Lazy.force plaintext_reference in
+  List.iter
+    (fun at ->
+      let spool = fresh_dir "emfile" in
+      let pid, port =
+        start_supervised
+          ~disk_faults:(Faults.Disk.create (Faults.Disk.Emfile_at at))
+          ~workers:1 ~spool ~crash_at:0
+          ~seed:(Printf.sprintf "emfile-%d" at) ()
+      in
+      let d =
+        Fun.protect ~finally:(fun () ->
+            let restarts = stop_supervised pid in
+            Alcotest.(check bool)
+              (Printf.sprintf "supervisor survived EMFILE at fd op %d" at)
+              true (restarts < 100);
+            rm_rf spool)
+          (fun () ->
+            run_failover_client ~port
+              ~seed:(Printf.sprintf "emfile-%d" at) ())
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "distance exact despite EMFILE at fd op %d" at)
+        reference (Bigint.to_int_exn d))
+    [ 1; 2 ]
 
 (* --- accept-path sweeping ------------------------------------------------------ *)
 
@@ -874,6 +1040,10 @@ let () =
             test_failover_kill_every_frame;
           Alcotest.test_case "cross-worker spool failover" `Slow
             test_failover_cross_worker;
+          Alcotest.test_case "query: worker killed at every frame index" `Slow
+            test_query_kill_every_frame;
+          Alcotest.test_case "supervisor fd exhaustion degrades, not crashes"
+            `Slow test_supervisor_fd_exhaustion;
         ] );
       ( "resume",
         [
